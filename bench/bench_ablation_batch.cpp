@@ -1,0 +1,70 @@
+// Extension ablation reproducing the design decision in the paper's §4.6:
+// "As an alternative, we also tried running multiple BFS traversals in
+// parallel. However, this did not yield a speedup because it resulted in
+// too much redundant work, as concurrent Eliminate operations would
+// overlap in removing vertices from consideration."
+//
+// candidate_batch = 1 is F-Diam's chosen design (parallelism INSIDE each
+// BFS); larger batches evaluate several candidates concurrently (each BFS
+// serial) and pay for it in redundant eccentricity computations, which
+// this harness counts.
+
+#include <iostream>
+
+#include "core/fdiam.hpp"
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fdiam;
+  using namespace fdiam::bench;
+
+  Cli cli;
+  auto cfg = parse_bench_config(argc, argv, cli, "bench_ablation_batch");
+  if (!cfg) return 1;
+  if (cfg->inputs.empty()) {
+    cfg->inputs = {"amazon0601", "delaunay_n24", "USA-road-d.NY",
+                   "rmat16.sym", "internet"};
+  }
+
+  const int batches[] = {1, 4, 16, 64};
+  Table calls({"Graphs", "batch=1", "batch=4", "batch=16", "batch=64"});
+  Table runtimes({"Graphs", "batch=1", "batch=4", "batch=16", "batch=64"});
+
+  for (const auto& [name, g] : build_inputs(*cfg)) {
+    std::vector<std::string> calls_row = {name};
+    std::vector<std::string> time_row = {name};
+    dist_t reference = -1;
+    for (const int batch : batches) {
+      std::cerr << "[run] " << name << " / batch " << batch << "\n";
+      std::uint64_t bfs_calls = 0;
+      const Measurement m = measure(
+          [&](double budget) {
+            FDiamOptions opt;
+            opt.candidate_batch = batch;
+            opt.time_budget_seconds = budget;
+            const DiameterResult r = fdiam_diameter(g, opt);
+            bfs_calls = r.stats.bfs_calls;
+            return std::pair{r.diameter, r.timed_out};
+          },
+          cfg->reps, cfg->budget);
+      if (!m.timed_out) {
+        if (reference < 0) reference = m.diameter;
+        if (m.diameter != reference) {
+          std::cerr << "BUG: batched run changed the diameter on " << name
+                    << "\n";
+          return 1;
+        }
+      }
+      calls_row.push_back(m.timed_out ? "timeout"
+                                      : Table::fmt_count(bfs_calls));
+      time_row.push_back(runtime_cell(m));
+    }
+    calls.add_row(std::move(calls_row));
+    runtimes.add_row(std::move(time_row));
+  }
+  emit(calls, *cfg,
+       "Extension (paper 4.6 negative result): BFS calls vs candidate "
+       "batch size");
+  emit(runtimes, *cfg, "Runtime (s) vs candidate batch size");
+  return 0;
+}

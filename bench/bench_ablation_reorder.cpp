@@ -1,0 +1,70 @@
+// Extension ablation (DESIGN.md): how much of BFS/F-Diam performance is
+// memory locality? The paper's §6.2 attributes the limited parallel
+// speedup to memory bandwidth on an irregular access pattern; vertex
+// ordering is the classic lever on that pattern. We rerun F-Diam on the
+// same graphs under four vertex orders: the generator's natural order, a
+// BFS (Cuthill-McKee-flavored) order, a descending-degree order, and a
+// random shuffle (the locality destroyer).
+
+#include <iostream>
+
+#include "core/fdiam.hpp"
+#include "graph/reorder.hpp"
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fdiam;
+  using namespace fdiam::bench;
+
+  Cli cli;
+  auto cfg = parse_bench_config(argc, argv, cli, "bench_ablation_reorder");
+  if (!cfg) return 1;
+  if (cfg->inputs.empty()) {
+    // Mesh + road + power-law: the three locality regimes.
+    cfg->inputs = {"2d-2e20.sym", "USA-road-d.USA", "rmat22.sym",
+                   "delaunay_n24"};
+  }
+
+  struct Order {
+    const char* name;
+    Permutation (*make)(const Csr&);
+  };
+  const Order orders[] = {
+      {"natural", nullptr},
+      {"bfs", [](const Csr& g) { return bfs_order(g); }},
+      {"degree", [](const Csr& g) { return degree_order(g); }},
+      {"random", [](const Csr& g) { return random_order(g, 99); }},
+  };
+
+  Table table({"Graphs", "natural", "bfs", "degree", "random"});
+  for (const auto& [name, g] : build_inputs(*cfg)) {
+    std::vector<std::string> row = {name};
+    dist_t reference_diameter = -1;
+    for (const Order& order : orders) {
+      std::cerr << "[run] " << name << " / " << order.name << "\n";
+      const Csr permuted =
+          order.make ? apply_permutation(g, order.make(g)) : Csr(g);
+      const Measurement m = measure(
+          [&](double budget) {
+            FDiamOptions opt;
+            opt.time_budget_seconds = budget;
+            const DiameterResult r = fdiam_diameter(permuted, opt);
+            return std::pair{r.diameter, r.timed_out};
+          },
+          cfg->reps, cfg->budget);
+      if (!m.timed_out) {
+        if (reference_diameter < 0) reference_diameter = m.diameter;
+        if (m.diameter != reference_diameter) {
+          std::cerr << "BUG: diameter changed under relabeling on " << name
+                    << "\n";
+          return 1;
+        }
+      }
+      row.push_back(throughput_cell(m, g.num_vertices()));
+    }
+    table.add_row(std::move(row));
+  }
+  emit(table, *cfg,
+       "Extension: F-Diam throughput (v/s) under different vertex orders");
+  return 0;
+}

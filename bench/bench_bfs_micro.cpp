@@ -1,0 +1,107 @@
+// Google-benchmark microbenchmarks for the BFS substrate: serial vs
+// parallel, top-down vs direction-optimizing, on a mesh (high diameter,
+// narrow frontiers — bottom-up never triggers) and a power-law graph
+// (low diameter, huge frontiers — bottom-up pays off). These justify the
+// design choices behind the paper's §4.6.
+
+#include <benchmark/benchmark.h>
+
+#include "bfs/bfs.hpp"
+#include "core/fdiam.hpp"
+#include "gen/generators.hpp"
+
+namespace {
+
+using namespace fdiam;
+
+const Csr& grid_graph() {
+  static const Csr g = make_grid(300, 300);
+  return g;
+}
+
+const Csr& powerlaw_graph() {
+  // BA core with tendrils: realistic core-periphery structure (without
+  // the periphery, the end-to-end F-Diam benchmark would be dominated by
+  // thousands of near-diametral vertices no real input exhibits).
+  static const Csr g = [] {
+    TendrilOptions opt;
+    opt.per_vertex = 0.015;
+    opt.max_len = 12;
+    return attach_tendrils(make_barabasi_albert(100000, 8.0, 42), opt, 42);
+  }();
+  return g;
+}
+
+void bfs_bench(benchmark::State& state, const Csr& g, BfsConfig config) {
+  BfsEngine engine(g, config);
+  const vid_t source = g.max_degree_vertex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.eccentricity(source));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          g.num_vertices());
+}
+
+void BM_Grid_SerialTopDown(benchmark::State& state) {
+  bfs_bench(state, grid_graph(), {false, false, 0.1});
+}
+void BM_Grid_SerialHybrid(benchmark::State& state) {
+  bfs_bench(state, grid_graph(), {false, true, 0.1});
+}
+void BM_Grid_ParallelHybrid(benchmark::State& state) {
+  bfs_bench(state, grid_graph(), {true, true, 0.1});
+}
+void BM_PowerLaw_SerialTopDown(benchmark::State& state) {
+  bfs_bench(state, powerlaw_graph(), {false, false, 0.1});
+}
+void BM_PowerLaw_SerialHybrid(benchmark::State& state) {
+  bfs_bench(state, powerlaw_graph(), {false, true, 0.1});
+}
+void BM_PowerLaw_ParallelTopDown(benchmark::State& state) {
+  bfs_bench(state, powerlaw_graph(), {true, false, 0.1});
+}
+void BM_PowerLaw_ParallelHybrid(benchmark::State& state) {
+  bfs_bench(state, powerlaw_graph(), {true, true, 0.1});
+}
+
+// Threshold sweep for the direction-optimizing switch (paper §4.6 settled
+// on 10% of |V| experimentally).
+void BM_PowerLaw_ThresholdSweep(benchmark::State& state) {
+  const double threshold = static_cast<double>(state.range(0)) / 100.0;
+  bfs_bench(state, powerlaw_graph(), {true, true, threshold});
+}
+
+// End-to-end F-Diam as a microbenchmark (per-iteration full solve).
+void BM_FDiam_PowerLaw(benchmark::State& state) {
+  const Csr& g = powerlaw_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fdiam_diameter(g).diameter);
+  }
+}
+void BM_FDiam_Grid(benchmark::State& state) {
+  const Csr& g = grid_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fdiam_diameter(g).diameter);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Grid_SerialTopDown)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Grid_SerialHybrid)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Grid_ParallelHybrid)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PowerLaw_SerialTopDown)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PowerLaw_SerialHybrid)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PowerLaw_ParallelTopDown)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PowerLaw_ParallelHybrid)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PowerLaw_ThresholdSweep)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(25)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FDiam_PowerLaw)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FDiam_Grid)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

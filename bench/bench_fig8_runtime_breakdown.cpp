@@ -1,0 +1,38 @@
+// Reproduces Figure 8: the fraction of F-Diam's overall runtime spent in
+// each function (2-sweep initialization, Winnow, Chain Processing,
+// Eliminate incl. region extension, the main-loop eccentricity BFS calls,
+// and everything else). The paper's finding: the few eccentricity
+// computations dominate, all pruning stages are cheap.
+
+#include <iostream>
+
+#include "core/fdiam.hpp"
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fdiam;
+  using namespace fdiam::bench;
+
+  Cli cli;
+  const auto cfg =
+      parse_bench_config(argc, argv, cli, "bench_fig8_runtime_breakdown");
+  if (!cfg) return 1;
+
+  Table table({"Graphs", "init (2-sweep)", "winnow", "chain", "eliminate",
+               "eccentricity", "other", "total (s)"});
+  for (const auto& [name, g] : build_inputs(*cfg)) {
+    std::cerr << "[run] " << name << "\n";
+    FDiamOptions opt;
+    opt.time_budget_seconds = cfg->budget;
+    const DiameterResult r = fdiam_diameter(g, opt);
+    const FDiamStats& s = r.stats;
+    const double total = std::max(s.time_total, 1e-12);
+    auto pct = [&](double t) { return Table::fmt_percent(t / total, 1); };
+    table.add_row({name, pct(s.time_init), pct(s.time_winnow),
+                   pct(s.time_chain), pct(s.time_eliminate), pct(s.time_ecc),
+                   pct(std::max(0.0, s.time_other())),
+                   Table::fmt_double(s.time_total, 3)});
+  }
+  emit(table, *cfg, "Figure 8: % of F-Diam runtime per function");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Reproduces Table 2 (runtimes in seconds, T/O = timeout) and Figure 6
+// (throughput in vertices/second, log scale in the paper) for the five
+// codes: F-Diam serial, F-Diam parallel, iFUB serial, iFUB parallel, and
+// Graph-Diameter. Also prints the geometric-mean speedup summaries the
+// paper reports in §6.1 (computed over inputs where neither code timed
+// out, per the paper's footnote 2).
+
+#include <iostream>
+#include <map>
+
+#include "baselines/baselines.hpp"
+#include "core/fdiam.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace fdiam;
+using namespace fdiam::bench;
+
+struct Code {
+  std::string name;
+  std::function<Measurement(const Csr&, const BenchConfig&)> run;
+};
+
+Measurement run_fdiam(const Csr& g, const BenchConfig& cfg, bool parallel) {
+  return measure(
+      [&](double budget) {
+        FDiamOptions opt;
+        opt.parallel = parallel;
+        opt.time_budget_seconds = budget;
+        const DiameterResult r = fdiam_diameter(g, opt);
+        return std::pair{r.diameter, r.timed_out};
+      },
+      cfg.reps, cfg.budget);
+}
+
+Measurement run_baseline(const Csr& g, const BenchConfig& cfg,
+                         BaselineResult (*algo)(const Csr&, BaselineOptions),
+                         bool parallel) {
+  return measure(
+      [&](double budget) {
+        BaselineOptions opt;
+        opt.parallel = parallel;
+        opt.time_budget_seconds = budget;
+        const BaselineResult r = algo(g, opt);
+        return std::pair{r.diameter, r.timed_out};
+      },
+      cfg.reps, cfg.budget);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  const auto cfg = parse_bench_config(argc, argv, cli, "bench_table2_runtimes");
+  if (!cfg) return 1;
+
+  const std::vector<Code> codes = {
+      {"F-Diam (ser)",
+       [](const Csr& g, const BenchConfig& c) { return run_fdiam(g, c, false); }},
+      {"F-Diam (par)",
+       [](const Csr& g, const BenchConfig& c) { return run_fdiam(g, c, true); }},
+      {"iFUB (ser)",
+       [](const Csr& g, const BenchConfig& c) {
+         return run_baseline(g, c, ifub_diameter, false);
+       }},
+      {"iFUB (par)",
+       [](const Csr& g, const BenchConfig& c) {
+         return run_baseline(g, c, ifub_diameter, true);
+       }},
+      {"Graph-Diam.",
+       [](const Csr& g, const BenchConfig& c) {
+         return run_baseline(g, c, graph_diameter, false);
+       }},
+  };
+
+  Table runtimes({"Graphs", "F-Diam (ser)", "F-Diam (par)", "iFUB (ser)",
+                  "iFUB (par)", "Graph-Diam."});
+  Table throughput({"Graphs", "F-Diam (ser)", "F-Diam (par)", "iFUB (ser)",
+                    "iFUB (par)", "Graph-Diam."});
+  // throughputs[code][input] for the geomean summaries.
+  std::map<std::string, std::map<std::string, double>> tp;
+
+  for (const auto& [name, g] : build_inputs(*cfg)) {
+    std::vector<std::string> rt_row = {name};
+    std::vector<std::string> tp_row = {name};
+    for (const Code& code : codes) {
+      std::cerr << "[run] " << name << " / " << code.name << "\n";
+      const Measurement m = code.run(g, *cfg);
+      rt_row.push_back(runtime_cell(m));
+      tp_row.push_back(throughput_cell(m, g.num_vertices()));
+      if (!m.timed_out) {
+        tp[code.name][name] =
+            static_cast<double>(g.num_vertices()) / std::max(m.seconds, 1e-9);
+      }
+    }
+    runtimes.add_row(std::move(rt_row));
+    throughput.add_row(std::move(tp_row));
+  }
+
+  emit(runtimes, *cfg, "Table 2: measured runtimes in seconds (T/O = timeout)");
+  emit(throughput, *cfg, "Figure 6: throughput in vertices/second");
+
+  // Geometric-mean speedups over commonly-completed inputs (footnote 2).
+  auto speedup = [&](const std::string& a, const std::string& b) {
+    std::vector<double> ratios;
+    for (const auto& [input, tpa] : tp[a]) {
+      const auto it = tp[b].find(input);
+      if (it != tp[b].end()) ratios.push_back(tpa / it->second);
+    }
+    return ratios.empty() ? 0.0 : geomean(ratios);
+  };
+  std::cout << "\n=== Geometric-mean throughput ratios (paper §6.1) ===\n";
+  for (const std::string base :
+       {"iFUB (ser)", "iFUB (par)", "Graph-Diam."}) {
+    std::cout << "F-Diam (ser) vs " << base << ": "
+              << Table::fmt_double(speedup("F-Diam (ser)", base), 1) << "x\n";
+    std::cout << "F-Diam (par) vs " << base << ": "
+              << Table::fmt_double(speedup("F-Diam (par)", base), 1) << "x\n";
+  }
+  std::cout << "F-Diam (par) vs F-Diam (ser): "
+            << Table::fmt_double(speedup("F-Diam (par)", "F-Diam (ser)"), 2)
+            << "x (paper: 7.67x on 32 cores)\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Table 3: number of BFS traversals per code. The counting
+// rule follows the paper (§6.3): for F-Diam a traversal is an
+// eccentricity computation or a Winnow invocation (Eliminate is not
+// counted because it only touches a small region); for the baselines it
+// is the number of full BFS calls they issue.
+
+#include <iostream>
+
+#include "baselines/baselines.hpp"
+#include "core/fdiam.hpp"
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fdiam;
+  using namespace fdiam::bench;
+
+  Cli cli;
+  const auto cfg =
+      parse_bench_config(argc, argv, cli, "bench_table3_bfs_counts");
+  if (!cfg) return 1;
+
+  Table table({"Graphs", "F-Diam", "iFUB", "Graph-Diameter", "diameter"});
+  for (const auto& [name, g] : build_inputs(*cfg)) {
+    std::cerr << "[run] " << name << "\n";
+
+    FDiamOptions fopt;
+    fopt.time_budget_seconds = cfg->budget;
+    const DiameterResult f = fdiam_diameter(g, fopt);
+
+    BaselineOptions bopt;
+    bopt.time_budget_seconds = cfg->budget;
+    const BaselineResult ifub = ifub_diameter(g, bopt);
+    const BaselineResult gd = graph_diameter(g, bopt);
+
+    auto cell = [](std::uint64_t calls, bool timed_out) {
+      return timed_out ? std::string("timeout") : Table::fmt_count(calls);
+    };
+    table.add_row({name, cell(f.stats.bfs_calls, f.timed_out),
+                   cell(ifub.bfs_calls, ifub.timed_out),
+                   cell(gd.bfs_calls, gd.timed_out),
+                   Table::fmt_count(static_cast<std::uint64_t>(f.diameter))});
+  }
+  emit(table, *cfg, "Table 3: number of BFS traversals");
+  return 0;
+}

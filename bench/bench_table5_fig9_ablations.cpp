@@ -1,0 +1,90 @@
+// Reproduces Table 5 (number of BFS calls in different versions of
+// F-Diam) and Figure 9 (throughput of the same versions): full F-Diam vs
+// "no Winnow" vs "no Eliminate" vs "no 'u'" (start at vertex id 0 instead
+// of the max-degree vertex). Only one feature is disabled at a time, as
+// in the paper (§6.5: disabling several together mostly times out).
+
+#include <iostream>
+
+#include "core/fdiam.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace fdiam;
+using namespace fdiam::bench;
+
+struct Variant {
+  std::string name;
+  FDiamOptions opt;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  const auto cfg =
+      parse_bench_config(argc, argv, cli, "bench_table5_fig9_ablations");
+  if (!cfg) return 1;
+
+  // The paper's four variants plus one extra ablation of our own: "no
+  // Chain" (the paper motivates Chain Processing in §4.3 but does not
+  // ablate it; DESIGN.md lists this as an extension experiment).
+  std::vector<Variant> variants(5);
+  variants[0].name = "F-Diam";
+  variants[1].name = "no Winnow";
+  variants[1].opt.use_winnow = false;
+  variants[2].name = "no Elim.";
+  variants[2].opt.use_eliminate = false;
+  variants[3].name = "no 'u'";
+  variants[3].opt.start_policy = StartPolicy::kVertexZero;
+  variants[4].name = "no Chain";
+  variants[4].opt.use_chain = false;
+
+  Table calls(
+      {"Graphs", "F-Diam", "no Winnow", "no Elim.", "no 'u'", "no Chain"});
+  Table throughput(
+      {"Graphs", "F-Diam", "no Winnow", "no Elim.", "no 'u'", "no Chain"});
+  std::vector<std::vector<double>> tp(variants.size());
+
+  for (const auto& [name, g] : build_inputs(*cfg)) {
+    std::vector<std::string> calls_row = {name};
+    std::vector<std::string> tp_row = {name};
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      std::cerr << "[run] " << name << " / " << variants[i].name << "\n";
+      std::uint64_t bfs_calls = 0;
+      const Measurement m = measure(
+          [&](double budget) {
+            FDiamOptions opt = variants[i].opt;
+            opt.time_budget_seconds = budget;
+            const DiameterResult r = fdiam_diameter(g, opt);
+            bfs_calls = r.stats.bfs_calls;
+            return std::pair{r.diameter, r.timed_out};
+          },
+          cfg->reps, cfg->budget);
+      calls_row.push_back(m.timed_out ? "timeout"
+                                      : Table::fmt_count(bfs_calls));
+      tp_row.push_back(throughput_cell(m, g.num_vertices()));
+      if (!m.timed_out) {
+        tp[i].push_back(static_cast<double>(g.num_vertices()) /
+                        std::max(m.seconds, 1e-9));
+      }
+    }
+    calls.add_row(std::move(calls_row));
+    throughput.add_row(std::move(tp_row));
+  }
+
+  emit(calls, *cfg, "Table 5: number of BFS calls per F-Diam variant");
+  emit(throughput, *cfg, "Figure 9: throughput per F-Diam variant");
+
+  std::cout << "\n=== Geomean throughput relative to full F-Diam (paper "
+               "§6.5: no-Winnow 2%, no-'u' 17%, no-Elim 22%) ===\n";
+  const double base = geomean(tp[0]);
+  for (std::size_t i = 1; i < variants.size(); ++i) {
+    const double v = geomean(tp[i]);
+    std::cout << variants[i].name << ": "
+              << (base > 0 ? Table::fmt_percent(v / base, 1) : "n/a")
+              << " of full F-Diam (over completed inputs only)\n";
+  }
+  return 0;
+}

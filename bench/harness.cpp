@@ -1,0 +1,113 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <sstream>
+
+#include "gen/suite.hpp"
+#include "util/timer.hpp"
+
+namespace fdiam::bench {
+
+std::optional<BenchConfig> parse_bench_config(int argc,
+                                              const char* const* argv,
+                                              Cli& cli,
+                                              const std::string& program) {
+  cli.add_option("scale", "suite size multiplier (1.0 = laptop default)",
+                 "0.1");
+  cli.add_option("reps", "repetitions per measurement (median kept)", "3");
+  cli.add_option("budget", "time budget per run in seconds", "10");
+  cli.add_option("seed", "generator seed", "1");
+  cli.add_option("inputs",
+                 "comma-separated subset of the paper's input names", "all");
+  cli.add_flag("csv", "also print machine-readable CSV");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(program);
+    return std::nullopt;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(program);
+    return std::nullopt;
+  }
+
+  BenchConfig cfg;
+  cfg.scale = cli.get_double("scale", cfg.scale);
+  cfg.reps = static_cast<int>(cli.get_int("reps", cfg.reps));
+  cfg.budget = cli.get_double("budget", cfg.budget);
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  cfg.csv = cli.get_bool("csv");
+  const std::string list = cli.get("inputs", "all");
+  if (list != "all" && !list.empty()) {
+    std::istringstream ls(list);
+    std::string item;
+    while (std::getline(ls, item, ',')) cfg.inputs.push_back(item);
+  }
+  return cfg;
+}
+
+std::vector<std::pair<std::string, Csr>> build_inputs(const BenchConfig& cfg) {
+  std::vector<std::pair<std::string, Csr>> out;
+  const auto wanted = cfg.inputs.empty() ? suite_names() : cfg.inputs;
+  for (const std::string& name : wanted) {
+    std::cerr << "[build] " << name << " (scale " << cfg.scale << ") ... "
+              << std::flush;
+    Timer t;
+    out.emplace_back(name, build_suite_input(name, cfg.scale, cfg.seed));
+    std::cerr << out.back().second.num_vertices() << " vertices, "
+              << out.back().second.num_arcs() << " arcs in "
+              << Table::fmt_double(t.seconds(), 2) << "s\n";
+  }
+  return out;
+}
+
+Measurement measure(const SingleRun& run, int reps, double budget) {
+  Measurement m;
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    const auto [diameter, timed_out] = run(budget);
+    const double elapsed = t.seconds();
+    if (timed_out) {
+      m.timed_out = true;
+      return m;  // the paper reports T/O; repeating would double the wait
+    }
+    m.diameter = diameter;
+    times.push_back(elapsed);
+  }
+  std::sort(times.begin(), times.end());
+  m.seconds = times[times.size() / 2];
+  return m;
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::string throughput_cell(const Measurement& m, vid_t vertices) {
+  if (m.timed_out) return "T/O";
+  const double t = std::max(m.seconds, 1e-9);
+  return Table::fmt_sci(static_cast<double>(vertices) / t, 2);
+}
+
+std::string runtime_cell(const Measurement& m) {
+  if (m.timed_out) return "T/O";
+  return Table::fmt_double(m.seconds, 3);
+}
+
+void emit(const Table& table, const BenchConfig& cfg,
+          const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+  table.print(std::cout);
+  if (cfg.csv) {
+    std::cout << "\n--- CSV ---\n";
+    table.print_csv(std::cout);
+  }
+  std::cout.flush();
+}
+
+}  // namespace fdiam::bench

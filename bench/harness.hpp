@@ -1,0 +1,68 @@
+#pragma once
+// Shared support for the benchmark harness binaries (one per paper table
+// or figure; see DESIGN.md "Experiment index").
+//
+// Common conventions, mirroring the paper's methodology (§5):
+//  * every algorithm runs `reps` times per input and the median is kept
+//    (the paper uses 9 runs; the default here is 3 for quick turnaround),
+//  * every run gets a time budget (`budget` seconds; the paper used 2.5 h)
+//    and a timed-out run prints as "T/O",
+//  * throughput = vertices / seconds (higher is better), and cross-code
+//    speedups are geometric means over the inputs where neither code
+//    timed out (paper footnote 2).
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fdiam.hpp"
+#include "graph/csr.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace fdiam::bench {
+
+struct BenchConfig {
+  double scale = 0.1;   ///< suite size multiplier (1.0 = laptop default)
+  int reps = 3;         ///< runs per measurement; median reported
+  double budget = 10.0; ///< per-run time budget in seconds
+  std::uint64_t seed = 1;
+  std::vector<std::string> inputs;  ///< empty = the full 17-input suite
+  bool csv = false;     ///< also dump machine-readable CSV after the table
+};
+
+/// Registers the standard flags on `cli`, parses argv, and fills a config.
+/// Prints usage and returns nullopt when --help was requested or parsing
+/// failed.
+std::optional<BenchConfig> parse_bench_config(int argc, const char* const* argv,
+                                              Cli& cli,
+                                              const std::string& program);
+
+/// Build the requested suite inputs (all 17 by default) at config.scale.
+std::vector<std::pair<std::string, Csr>> build_inputs(const BenchConfig& cfg);
+
+/// Median-of-reps measurement of an arbitrary diameter code. The callable
+/// runs the algorithm once under `budget` seconds and reports whether it
+/// timed out; timing is handled here.
+struct Measurement {
+  double seconds = 0.0;       ///< median wall-clock of the completed runs
+  bool timed_out = false;     ///< any rep exceeded the budget
+  dist_t diameter = 0;        ///< result of the last completed run
+};
+
+using SingleRun = std::function<std::pair<dist_t, bool>(double budget)>;
+Measurement measure(const SingleRun& run, int reps, double budget);
+
+/// Geometric mean; empty input yields 0.
+double geomean(const std::vector<double>& values);
+
+/// vertices/second as a table cell, or "T/O".
+std::string throughput_cell(const Measurement& m, vid_t vertices);
+std::string runtime_cell(const Measurement& m);
+
+/// Emit the table, optionally followed by a CSV copy.
+void emit(const Table& table, const BenchConfig& cfg,
+          const std::string& title);
+
+}  // namespace fdiam::bench

@@ -1,0 +1,53 @@
+#pragma once
+// Competitor algorithms the paper evaluates against (§5), reimplemented
+// from their publications since the original binaries are not available
+// offline:
+//   * iFUB (Crescenzi, Grossi, Habib, Lanzi & Marino, 2013) — 4-sweep
+//     start + fringe sets, serial and parallel-BFS variants.
+//   * Graph-Diameter (Akiba, Iwata & Kawata, 2015) — double sweep plus
+//     per-vertex eccentricity upper bounds via the triangle inequality,
+//     skipping vertices whose bound falls under the diameter lower bound.
+//   * Korf (2021) — partial BFS over a shrinking candidate set (related
+//     work §2; implemented as an extra comparison point).
+//   * Naive APSP — one BFS per vertex; the test suite's ground truth.
+//
+// All baselines handle disconnected inputs the way the paper requires:
+// they report the largest eccentricity over all connected components and
+// flag the infinite true diameter via `connected = false`.
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace fdiam {
+
+struct BaselineOptions {
+  /// Parallel BFS inside each traversal (iFUB par) or parallel over
+  /// sources (APSP). Graph-Diameter and Korf are serial like the originals.
+  bool parallel = false;
+  /// Abort after this many seconds (0 = unlimited). The paper capped every
+  /// run at 2.5 hours.
+  double time_budget_seconds = 0.0;
+};
+
+struct BaselineResult {
+  dist_t diameter = 0;  ///< largest eccentricity over all components
+  bool connected = true;
+  bool timed_out = false;  ///< budget hit; diameter is only a lower bound
+  std::uint64_t bfs_calls = 0;
+};
+
+/// Exact diameter via one BFS per vertex. O(nm); ground truth for tests.
+BaselineResult apsp_diameter(const Csr& g, BaselineOptions opt = {});
+
+/// iFUB with 4-sweep start vertex and fringe-set processing.
+BaselineResult ifub_diameter(const Csr& g, BaselineOptions opt = {});
+
+/// Akiba-style eccentricity-bounding diameter computation.
+BaselineResult graph_diameter(const Csr& g, BaselineOptions opt = {});
+
+/// Korf's partial-BFS diameter computation over a shrinking active set.
+BaselineResult korf_diameter(const Csr& g, BaselineOptions opt = {});
+
+}  // namespace fdiam

@@ -1,0 +1,118 @@
+// iFUB — iterative Fringe Upper Bound (Crescenzi et al. 2013), the first
+// of the paper's two main comparison codes (§2, §5).
+//
+// From a near-central vertex u (found with a 4-sweep), the BFS tree of u
+// partitions the component into fringe sets F_i = vertices at distance i
+// from u. Key bound: every vertex in fringe <= i-1 has eccentricity at
+// most 2*(i-1), so after evaluating the eccentricity of every vertex in
+// fringe i the algorithm may stop as soon as the best lower bound exceeds
+// 2*(i-1) — the remaining (inner) vertices cannot beat it.
+//
+// Disconnected inputs are handled by running iFUB inside each component
+// (BFS never leaves a component, so no subgraph extraction is needed) and
+// reporting the maximum, per the paper's disconnected-graph semantics.
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "bfs/bfs.hpp"
+#include "core/two_sweep.hpp"
+#include "graph/components.hpp"
+#include "util/timer.hpp"
+
+namespace fdiam {
+
+namespace {
+
+struct IfubRun {
+  dist_t diameter = 0;
+  bool timed_out = false;
+};
+
+// iFUB on the component containing `rep`.
+IfubRun ifub_component(const Csr& g, BfsEngine& engine, vid_t rep,
+                       const Timer& timer, double budget,
+                       std::uint64_t& bfs_calls) {
+  IfubRun run;
+  if (g.degree(rep) == 0) return run;  // isolated vertex: ecc 0
+
+  // 4-sweep for a near-central start vertex and an initial lower bound.
+  const FourSweepResult sweep = four_sweep(engine, rep);
+  bfs_calls += 4;
+
+  std::vector<dist_t> dist;
+  const dist_t ecc_u = engine.distances(sweep.center, dist);
+  ++bfs_calls;
+
+  dist_t lb = std::max(sweep.lower_bound, ecc_u);
+  dist_t ub = 2 * ecc_u;
+
+  // Bucket the component's vertices into fringe sets by BFS level.
+  std::vector<std::vector<vid_t>> fringe(static_cast<std::size_t>(ecc_u) + 1);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (dist[v] >= 0) fringe[static_cast<std::size_t>(dist[v])].push_back(v);
+  }
+
+  for (dist_t i = ecc_u; ub > lb && i > 0; --i) {
+    for (const vid_t v : fringe[static_cast<std::size_t>(i)]) {
+      if (budget > 0.0 && timer.seconds() > budget) {
+        run.timed_out = true;
+        run.diameter = lb;
+        return run;
+      }
+      lb = std::max(lb, engine.eccentricity(v));
+      ++bfs_calls;
+    }
+    if (lb > 2 * (i - 1)) break;  // inner fringes cannot exceed lb
+    ub = 2 * (i - 1);
+  }
+  run.diameter = lb;
+  return run;
+}
+
+}  // namespace
+
+BaselineResult ifub_diameter(const Csr& g, BaselineOptions opt) {
+  const vid_t n = g.num_vertices();
+  BaselineResult result;
+  if (n == 0) return result;
+
+  Timer timer;
+  BfsEngine engine(g, BfsConfig{opt.parallel, opt.parallel, 0.1});
+  const Components cc = connected_components(g);
+  result.connected = cc.connected();
+
+  // Process components largest-first so a timeout still covers the
+  // dominant component (the one the paper's "CC diameter" comes from).
+  std::vector<std::uint32_t> order(cc.count());
+  for (std::uint32_t c = 0; c < cc.count(); ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return cc.size[a] > cc.size[b];
+  });
+  std::vector<vid_t> rep(cc.count(), 0);
+  std::vector<bool> seen(cc.count(), false);
+  for (vid_t v = 0; v < n; ++v) {
+    // Representative: highest-degree vertex of each component.
+    const std::uint32_t c = cc.label[v];
+    if (!seen[c] || g.degree(v) > g.degree(rep[c])) {
+      rep[c] = v;
+      seen[c] = true;
+    }
+  }
+
+  for (const std::uint32_t c : order) {
+    if (cc.size[c] <= 1) continue;  // singleton: eccentricity 0
+    const IfubRun run = ifub_component(g, engine, rep[c], timer,
+                                       opt.time_budget_seconds,
+                                       result.bfs_calls);
+    result.diameter = std::max(result.diameter, run.diameter);
+    if (run.timed_out) {
+      result.timed_out = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace fdiam

@@ -1,0 +1,81 @@
+// Korf (2021): exact diameter via partial breadth-first searches over a
+// shrinking candidate set (related work §2).
+//
+// Observation: a larger eccentricity can only be realized between two
+// vertices that have not yet been BFS starting vertices. Keeping the set S
+// of not-yet-started vertices, the BFS from v may terminate as soon as
+// every member of S has been visited — only distances to S members can
+// still improve the diameter — and v is removed from S afterwards. The
+// paper's authors evaluated this early termination for F-Diam but rejected
+// it because it conflicts with Winnowing; we keep it as an extra baseline.
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "bfs/frontier.hpp"
+#include "bfs/visited.hpp"
+#include "util/timer.hpp"
+
+namespace fdiam {
+
+BaselineResult korf_diameter(const Csr& g, BaselineOptions opt) {
+  const vid_t n = g.num_vertices();
+  BaselineResult result;
+  if (n == 0) return result;
+
+  Timer timer;
+  EpochVisited visited(n);
+  std::vector<vid_t> cur, next;
+  std::vector<std::uint8_t> in_set(n, 1);
+  vid_t set_size = n;
+  dist_t diameter = 0;
+
+  for (vid_t s = 0; s < n; ++s) {
+    if (opt.time_budget_seconds > 0.0 &&
+        timer.seconds() > opt.time_budget_seconds) {
+      result.timed_out = true;
+      break;
+    }
+    ++result.bfs_calls;
+
+    visited.new_epoch();
+    visited.visit(s);
+    // Members of S still to find in this traversal (excluding the source).
+    vid_t remaining = set_size - (in_set[s] ? 1 : 0);
+
+    cur.clear();
+    cur.push_back(s);
+    dist_t level = 0;
+    vid_t reached = 1;
+    while (!cur.empty() && remaining > 0) {
+      ++level;
+      next.clear();
+      for (const vid_t v : cur) {
+        for (const vid_t w : g.neighbors(v)) {
+          if (!visited.is_visited(w)) {
+            visited.visit(w);
+            ++reached;
+            if (in_set[w]) {
+              --remaining;
+              diameter = std::max(diameter, level);
+            }
+            next.push_back(w);
+          }
+        }
+      }
+      cur.swap(next);
+    }
+    if (remaining > 0 && reached < n) result.connected = false;
+
+    if (in_set[s]) {
+      in_set[s] = 0;
+      --set_size;
+    }
+  }
+
+  result.diameter = diameter;
+  return result;
+}
+
+}  // namespace fdiam

@@ -1,0 +1,92 @@
+#pragma once
+// Breadth-first-search engines.
+//
+// Every eccentricity computation in F-Diam and the baselines is a
+// level-synchronous BFS (paper §4.6). The reusable BfsEngine owns the
+// epoch-counter visited array and the two swap worklists, supports serial
+// and OpenMP-parallel execution, and implements the direction-optimizing
+// top-down / bottom-up hybrid of Beamer et al. with the paper's
+// 10%-of-|V| switch threshold.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bfs/frontier.hpp"
+#include "bfs/visited.hpp"
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace fdiam {
+
+/// Counters accumulated across all traversals run by one engine.
+struct BfsStats {
+  std::uint64_t traversals = 0;
+  std::uint64_t levels = 0;
+  std::uint64_t topdown_levels = 0;
+  std::uint64_t bottomup_levels = 0;
+  std::uint64_t edges_examined = 0;
+  std::uint64_t vertices_visited = 0;
+};
+
+/// Execution policy for a BfsEngine.
+struct BfsConfig {
+  bool parallel = true;              ///< use OpenMP inside each level
+  bool direction_optimizing = true;  ///< enable the bottom-up fallback
+  double bottomup_threshold = 0.1;   ///< frontier/|V| ratio that triggers it
+};
+
+class BfsEngine {
+ public:
+  explicit BfsEngine(const Csr& g, BfsConfig config = {});
+
+  /// Eccentricity of `source` within its connected component: the number
+  /// of BFS levels minus one (paper Alg. 2).
+  dist_t eccentricity(vid_t source);
+
+  /// Like eccentricity(), but also records the level of every reached
+  /// vertex into `dist` (unreached vertices get kUnreached).
+  dist_t distances(vid_t source, std::vector<dist_t>& dist);
+
+  /// Vertices at the deepest level of the most recent traversal. The
+  /// 2-sweep picks its periphery vertex from here (paper Alg. 1 line 2).
+  [[nodiscard]] std::span<const vid_t> last_frontier() const {
+    return cur_.view();
+  }
+
+  /// Vertices reached by the most recent traversal (incl. the source).
+  [[nodiscard]] vid_t last_visited_count() const { return last_visited_; }
+
+  [[nodiscard]] const BfsStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  [[nodiscard]] const BfsConfig& config() const { return config_; }
+  [[nodiscard]] const Csr& graph() const { return g_; }
+
+ private:
+  // One level expansion; returns the next frontier in next_.
+  void step_topdown(std::vector<dist_t>* dist, dist_t level);
+  void step_bottomup(std::vector<dist_t>* dist, dist_t level);
+  dist_t run(vid_t source, std::vector<dist_t>* dist);
+
+  const Csr& g_;
+  BfsConfig config_;
+  EpochVisited visited_;
+  Frontier cur_, next_;
+  vid_t last_visited_ = 0;
+  std::size_t threshold_count_ = 0;
+  BfsStats stats_;
+};
+
+/// Self-contained serial BFS filling a caller-provided distance vector
+/// (resized and reset internally). Returns the eccentricity of `source`.
+/// Used by tests, the APSP ground truth, and the baselines.
+dist_t bfs_distances_serial(const Csr& g, vid_t source,
+                            std::vector<dist_t>& dist);
+
+/// Multi-source serial BFS: every seed starts at distance 0. Used by tests
+/// to validate the multi-source elimination-extension logic.
+void multi_source_distances(const Csr& g, std::span<const vid_t> seeds,
+                            std::vector<dist_t>& dist);
+
+}  // namespace fdiam

@@ -1,0 +1,64 @@
+// Topology-driven bottom-up BFS level (paper Alg. 2 lines 16-23): every
+// unvisited vertex scans its own adjacency for a visited neighbor. In a
+// level-synchronous BFS any visited neighbor of an unvisited vertex
+// necessarily belongs to the deepest completed level, so the plain epoch
+// test identifies frontier membership. Newly found vertices are marked
+// only after the scan so the visited array stays frozen within the level
+// (no atomics needed on it).
+
+#include "bfs/bfs.hpp"
+
+namespace fdiam {
+
+void BfsEngine::step_bottomup(std::vector<dist_t>* dist, dist_t level) {
+  next_.clear();
+  const auto n = static_cast<std::int64_t>(g_.num_vertices());
+  std::uint64_t edges = 0;
+
+  if (config_.parallel) {
+#pragma omp parallel for schedule(dynamic, 2048) reduction(+ : edges)
+    for (std::int64_t vi = 0; vi < n; ++vi) {
+      const auto v = static_cast<vid_t>(vi);
+      if (visited_.is_visited(v)) continue;
+      for (const vid_t w : g_.neighbors(v)) {
+        ++edges;
+        if (visited_.is_visited(w)) {
+          next_.push_atomic(v);
+          break;
+        }
+      }
+    }
+  } else {
+    for (std::int64_t vi = 0; vi < n; ++vi) {
+      const auto v = static_cast<vid_t>(vi);
+      if (visited_.is_visited(v)) continue;
+      for (const vid_t w : g_.neighbors(v)) {
+        ++edges;
+        if (visited_.is_visited(w)) {
+          next_.push(v);
+          break;
+        }
+      }
+    }
+  }
+  stats_.edges_examined += edges;
+
+  const auto found = static_cast<std::int64_t>(next_.size());
+  const auto frontier = next_.view();
+  if (config_.parallel) {
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < found; ++i) {
+      const vid_t v = frontier[static_cast<std::size_t>(i)];
+      visited_.visit(v);
+      if (dist) (*dist)[v] = level;
+    }
+  } else {
+    for (std::int64_t i = 0; i < found; ++i) {
+      const vid_t v = frontier[static_cast<std::size_t>(i)];
+      visited_.visit(v);
+      if (dist) (*dist)[v] = level;
+    }
+  }
+}
+
+}  // namespace fdiam

@@ -1,0 +1,2 @@
+// Frontier is header-only; see visited.cpp for why this file exists.
+#include "bfs/frontier.hpp"

@@ -1,0 +1,67 @@
+#pragma once
+// Worklists for level-synchronous BFS. A Frontier is a fixed-capacity
+// vertex buffer supporting lock-free concurrent append (paper §4.6:
+// "Neighbors that have not been visited are atomically added to the second
+// worklist").
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace fdiam {
+
+class Frontier {
+ public:
+  Frontier() = default;
+  explicit Frontier(vid_t capacity) : buf_(capacity) {}
+
+  void resize(vid_t capacity) {
+    buf_.assign(capacity, 0);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+  void clear() { count_.store(0, std::memory_order_relaxed); }
+
+  /// Single-threaded append.
+  void push(vid_t v) {
+    const auto i = count_.load(std::memory_order_relaxed);
+    assert(i < buf_.size());
+    buf_[i] = v;
+    count_.store(i + 1, std::memory_order_relaxed);
+  }
+
+  /// Thread-safe append; safe to mix across OpenMP threads.
+  void push_atomic(vid_t v) {
+    const auto i = count_.fetch_add(1, std::memory_order_relaxed);
+    assert(i < buf_.size());
+    buf_[i] = v;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  [[nodiscard]] std::span<const vid_t> view() const {
+    return {buf_.data(), size()};
+  }
+  [[nodiscard]] vid_t operator[](std::size_t i) const { return buf_[i]; }
+
+  friend void swap(Frontier& a, Frontier& b) noexcept {
+    a.buf_.swap(b.buf_);
+    const auto ac = a.count_.load(std::memory_order_relaxed);
+    a.count_.store(b.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    b.count_.store(ac, std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<vid_t> buf_;
+  std::atomic<std::size_t> count_{0};
+};
+
+}  // namespace fdiam

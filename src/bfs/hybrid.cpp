@@ -1,0 +1,66 @@
+// Direction-optimizing BFS driver (paper §4.6 / Alg. 2).
+//
+// Each level either expands the frontier top-down (data-driven, atomic
+// claims) or bottom-up (topology-driven, no atomics, some wasted work).
+// The bottom-up path is taken while the frontier holds more than
+// `bottomup_threshold` (default 10%) of the vertices, and the engine
+// switches back to top-down when the frontier shrinks below the threshold
+// again, following the latest direction-optimized BFS implementations.
+
+#include <algorithm>
+#include <cassert>
+
+#include "bfs/bfs.hpp"
+
+namespace fdiam {
+
+BfsEngine::BfsEngine(const Csr& g, BfsConfig config)
+    : g_(g),
+      config_(config),
+      visited_(g.num_vertices()),
+      cur_(g.num_vertices()),
+      next_(g.num_vertices()) {
+  threshold_count_ = static_cast<std::size_t>(
+      static_cast<double>(g.num_vertices()) * config_.bottomup_threshold);
+}
+
+dist_t BfsEngine::eccentricity(vid_t source) { return run(source, nullptr); }
+
+dist_t BfsEngine::distances(vid_t source, std::vector<dist_t>& dist) {
+  dist.assign(g_.num_vertices(), kUnreached);
+  return run(source, &dist);
+}
+
+dist_t BfsEngine::run(vid_t source, std::vector<dist_t>* dist) {
+  assert(source < g_.num_vertices());
+  ++stats_.traversals;
+  visited_.new_epoch();
+  visited_.visit(source);
+  if (dist) (*dist)[source] = 0;
+
+  cur_.clear();
+  cur_.push(source);
+  last_visited_ = 1;
+
+  dist_t level = 0;
+  while (true) {
+    const bool bottom_up = config_.direction_optimizing &&
+                           cur_.size() > threshold_count_;
+    ++level;
+    if (bottom_up) {
+      ++stats_.bottomup_levels;
+      step_bottomup(dist, level);
+    } else {
+      ++stats_.topdown_levels;
+      step_topdown(dist, level);
+    }
+    ++stats_.levels;
+    if (next_.empty()) break;  // cur_ still holds the deepest level
+    last_visited_ += static_cast<vid_t>(next_.size());
+    swap(cur_, next_);
+  }
+  stats_.vertices_visited += last_visited_;
+  return level - 1;
+}
+
+}  // namespace fdiam

@@ -1,0 +1,36 @@
+// Multi-source BFS: all seeds start at distance 0. The serial reference
+// here backs the tests for the incremental elimination-extension step
+// (paper §4.5), whose production implementation lives in
+// core/eliminate.cpp.
+
+#include "bfs/bfs.hpp"
+
+namespace fdiam {
+
+void multi_source_distances(const Csr& g, std::span<const vid_t> seeds,
+                            std::vector<dist_t>& dist) {
+  const vid_t n = g.num_vertices();
+  dist.assign(n, kUnreached);
+
+  std::vector<vid_t> queue;
+  queue.reserve(seeds.size());
+  for (const vid_t s : seeds) {
+    if (dist[s] == kUnreached) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const vid_t v = queue[head++];
+    const dist_t dv = dist[v];
+    for (const vid_t w : g.neighbors(v)) {
+      if (dist[w] == kUnreached) {
+        dist[w] = dv + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+}
+
+}  // namespace fdiam

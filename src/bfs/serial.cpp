@@ -1,0 +1,33 @@
+// Self-contained serial BFS used as the reference implementation by the
+// tests, the APSP ground truth, and the baselines.
+
+#include "bfs/bfs.hpp"
+
+namespace fdiam {
+
+dist_t bfs_distances_serial(const Csr& g, vid_t source,
+                            std::vector<dist_t>& dist) {
+  const vid_t n = g.num_vertices();
+  dist.assign(n, kUnreached);
+  dist[source] = 0;
+
+  std::vector<vid_t> queue;
+  queue.reserve(256);
+  queue.push_back(source);
+  std::size_t head = 0;
+  dist_t ecc = 0;
+  while (head < queue.size()) {
+    const vid_t v = queue[head++];
+    const dist_t dv = dist[v];
+    ecc = dv;
+    for (const vid_t w : g.neighbors(v)) {
+      if (dist[w] == kUnreached) {
+        dist[w] = dv + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return ecc;
+}
+
+}  // namespace fdiam

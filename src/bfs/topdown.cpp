@@ -1,0 +1,45 @@
+// Data-driven top-down BFS level (paper Alg. 2 lines 10-14): scan the
+// adjacency of every frontier vertex and atomically claim unvisited
+// neighbors for the next frontier.
+
+#include "bfs/bfs.hpp"
+
+namespace fdiam {
+
+void BfsEngine::step_topdown(std::vector<dist_t>* dist, dist_t level) {
+  next_.clear();
+  const auto frontier = cur_.view();
+  const auto fsize = static_cast<std::int64_t>(frontier.size());
+  std::uint64_t edges = 0;
+
+  if (config_.parallel) {
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : edges)
+    for (std::int64_t i = 0; i < fsize; ++i) {
+      const vid_t v = frontier[static_cast<std::size_t>(i)];
+      const auto adj = g_.neighbors(v);
+      edges += adj.size();
+      for (const vid_t w : adj) {
+        if (visited_.try_visit(w)) {
+          if (dist) (*dist)[w] = level;
+          next_.push_atomic(w);
+        }
+      }
+    }
+  } else {
+    for (std::int64_t i = 0; i < fsize; ++i) {
+      const vid_t v = frontier[static_cast<std::size_t>(i)];
+      const auto adj = g_.neighbors(v);
+      edges += adj.size();
+      for (const vid_t w : adj) {
+        if (!visited_.is_visited(w)) {
+          visited_.visit(w);
+          if (dist) (*dist)[w] = level;
+          next_.push(w);
+        }
+      }
+    }
+  }
+  stats_.edges_examined += edges;
+}
+
+}  // namespace fdiam

@@ -1,0 +1,4 @@
+// EpochVisited is header-only; this translation unit exists so the target
+// has a home for future out-of-line definitions and keeps the build list
+// uniform (one .cpp per module).
+#include "bfs/visited.hpp"

@@ -1,0 +1,59 @@
+#pragma once
+// Epoch-counter "visited" array (paper §4): instead of clearing a boolean
+// per traversal, every traversal bumps a shared counter and a vertex is
+// visited iff its cell equals the current counter. Overflow (after 2^32-1
+// traversals) triggers a full reset, which the tests exercise.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace fdiam {
+
+class EpochVisited {
+ public:
+  EpochVisited() = default;
+  explicit EpochVisited(vid_t n) : cells_(n, 0) {}
+
+  void resize(vid_t n) {
+    cells_.assign(n, 0);
+    epoch_ = 0;
+  }
+
+  /// Begin a new traversal; all vertices become unvisited.
+  void new_epoch() {
+    if (++epoch_ == 0) {  // wrapped: every stale cell would look visited
+      std::fill(cells_.begin(), cells_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  [[nodiscard]] bool is_visited(vid_t v) const { return cells_[v] == epoch_; }
+
+  void visit(vid_t v) { cells_[v] = epoch_; }
+
+  /// Atomically claim v for the current epoch. Returns true iff this call
+  /// transitioned it from unvisited to visited (exactly one thread wins).
+  bool try_visit(vid_t v) {
+    auto& cell = reinterpret_cast<std::atomic<std::uint32_t>&>(cells_[v]);
+    std::uint32_t seen = cell.load(std::memory_order_relaxed);
+    if (seen == epoch_) return false;
+    return cell.compare_exchange_strong(seen, epoch_,
+                                        std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+  [[nodiscard]] vid_t size() const { return static_cast<vid_t>(cells_.size()); }
+
+  /// Test hook: jump the epoch counter (e.g. to UINT32_MAX to exercise the
+  /// wraparound reset without 2^32 traversals).
+  void force_epoch_for_testing(std::uint32_t epoch) { epoch_ = epoch; }
+
+ private:
+  std::vector<std::uint32_t> cells_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace fdiam

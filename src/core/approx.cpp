@@ -1,0 +1,56 @@
+#include "core/approx.hpp"
+
+#include <algorithm>
+
+#include "core/two_sweep.hpp"
+#include "util/rng.hpp"
+
+namespace fdiam {
+
+DiameterEstimate estimate_diameter(const Csr& g, int sweeps,
+                                   std::uint64_t seed, BfsConfig config) {
+  DiameterEstimate est;
+  const vid_t n = g.num_vertices();
+  if (n == 0) return est;
+  est.upper_bound = INT32_MAX;
+
+  BfsEngine engine(g, config);
+  Rng rng(seed);
+  std::vector<dist_t> dist;
+
+  for (int s = 0; s < sweeps; ++s) {
+    // First sweep starts at the max-degree vertex (the paper's u); the
+    // rest restart at random vertices to escape a component or an
+    // unlucky region.
+    const vid_t start = s == 0 ? g.max_degree_vertex()
+                               : static_cast<vid_t>(rng.below(n));
+
+    const dist_t ecc_start = engine.distances(start, dist);
+    ++est.bfs_calls;
+    const vid_t far = engine.last_frontier()[0];
+    est.lower_bound = std::max(est.lower_bound, ecc_start);
+
+    if (far != start) {
+      const dist_t ecc_far = engine.distances(far, dist);
+      ++est.bfs_calls;
+      est.lower_bound = std::max(est.lower_bound, ecc_far);
+
+      // Midpoint of the sweep path is a near-center: its eccentricity
+      // halves the upper bound (2 * ecc(v) >= diameter for every v, but
+      // the bound is only useful when ecc(v) is small).
+      const vid_t mid =
+          path_midpoint(g, dist, engine.last_frontier()[0]);
+      const dist_t ecc_mid = engine.eccentricity(mid);
+      ++est.bfs_calls;
+      est.lower_bound = std::max(est.lower_bound, ecc_mid);
+      est.upper_bound = std::min(est.upper_bound, 2 * ecc_mid);
+    } else {
+      est.upper_bound = std::min(est.upper_bound, 2 * ecc_start);
+    }
+    est.upper_bound = std::max(est.upper_bound, est.lower_bound);
+    if (est.exact()) break;
+  }
+  return est;
+}
+
+}  // namespace fdiam

@@ -1,0 +1,76 @@
+// Chain Processing (paper §4.3, Alg. 4).
+//
+// A degree-1 vertex x routes every one of its shortest paths through its
+// chain, so ecc(x) strictly dominates the chain and — by the paper's
+// argument — a whole region around the chain anchor w: either
+// ecc(w) = ecc(x) - s (another depth-s branch exists at w) and Theorem 1
+// covers the region, or the subtree under w is shallower than the chain
+// and x is a global maximum. Either way it is safe to remove every vertex
+// within s steps of the anchor while keeping only the tail tip x active.
+//
+// The removal reuses Eliminate with the pseudo-bound MAX = INT32_MAX - 1
+// (paper: "The constant MAX is INT_MAX - 1"), so chain-removed vertices
+// carry near-MAX recorded bounds that never match a real old bound and
+// hence are never used as elimination-extension seeds — chain removal is
+// unconditional and needs no extension.
+//
+// Implementation note: Alg. 4 runs one Eliminate per degree-1 vertex. A
+// hub with k pendant leaves would then re-traverse its whole ball k times
+// (O(k * deg(hub)) — quadratic on power-law graphs where hubs collect
+// thousands of leaves). We group the chains by anchor first and run a
+// single Eliminate per anchor at the maximum chain length; the longest
+// chain's tip is the one kept active (every shorter tip of the same
+// anchor lies inside the removed ball, where the longest tip's argument
+// covers it). Net effect and safety are the paper's; the work per anchor
+// drops from k traversals to one.
+
+#include <unordered_map>
+
+#include "core/fdiam.hpp"
+
+namespace fdiam {
+
+void FDiam::process_chains() {
+  const vid_t n = g_.num_vertices();
+
+  struct Chain {
+    dist_t len;
+    vid_t tip;
+  };
+  std::unordered_map<vid_t, Chain> by_anchor;
+
+  for (vid_t v = 0; v < n; ++v) {
+    if (g_.degree(v) != 1) continue;
+
+    // Follow the chain of degree-2 vertices away from the tail tip v.
+    vid_t prev = v;
+    vid_t cur = g_.neighbors(v)[0];
+    dist_t len = 1;
+    while (g_.degree(cur) == 2 && len < static_cast<dist_t>(n)) {
+      const auto adj = g_.neighbors(cur);
+      const vid_t next = adj[0] == prev ? adj[1] : adj[0];
+      prev = cur;
+      cur = next;
+      ++len;
+    }
+
+    const auto [it, inserted] = by_anchor.try_emplace(cur, Chain{len, v});
+    if (!inserted && len > it->second.len) it->second = Chain{len, v};
+  }
+
+  // Remove everything within `len` steps of each anchor...
+  for (const auto& [anchor, chain] : by_anchor) {
+    eliminate(anchor, kChainMax - chain.len, kChainMax, Stage::kChain);
+  }
+  // ...but keep the dominating tail tips under consideration (Alg. 4
+  // line 9). Reactivation happens after ALL eliminations so that one
+  // anchor's ball cannot re-remove another anchor's kept tip; it is
+  // unconditional — even a previously winnowed or eliminated tip may
+  // safely be re-examined (extra work, never wrong).
+  for (const auto& [anchor, chain] : by_anchor) {
+    state_[chain.tip] = kActiveState;
+    stage_tag_[chain.tip] = Stage::kNone;
+  }
+}
+
+}  // namespace fdiam

@@ -1,0 +1,53 @@
+#include "core/diametral_path.hpp"
+
+#include <algorithm>
+
+namespace fdiam {
+
+DiametralPath diametral_path_from(const Csr& g, vid_t witness,
+                                  BfsConfig config) {
+  DiametralPath out;
+  if (g.num_vertices() == 0) return out;
+
+  BfsEngine engine(g, config);
+  std::vector<dist_t> dist;
+  out.diameter = engine.distances(witness, dist);
+  out.connected = engine.last_visited_count() == g.num_vertices();
+
+  // Walk back from a farthest vertex: any neighbor one level closer lies
+  // on a shortest path, so the greedy descent reaches the witness in
+  // exactly `diameter` steps.
+  vid_t cur = engine.last_frontier()[0];
+  out.path.push_back(cur);
+  dist_t d = dist[cur];
+  while (d > 0) {
+    for (const vid_t w : g.neighbors(cur)) {
+      if (dist[w] == d - 1) {
+        cur = w;
+        --d;
+        out.path.push_back(cur);
+        break;
+      }
+    }
+  }
+  std::reverse(out.path.begin(), out.path.end());
+  return out;
+}
+
+DiametralPath diametral_path(const Csr& g, FDiamOptions opt) {
+  DiametralPath out;
+  if (g.num_vertices() == 0) return out;
+
+  const DiameterResult r = fdiam_diameter(g, opt);
+  out = diametral_path_from(
+      g, r.witness,
+      BfsConfig{opt.parallel, opt.direction_optimizing,
+                opt.bottomup_threshold});
+  // The witness BFS stays inside the witness's component; global
+  // connectivity comes from the solver.
+  out.connected = r.connected;
+  out.diameter = r.diameter;
+  return out;
+}
+
+}  // namespace fdiam

@@ -1,0 +1,34 @@
+#pragma once
+// Extraction of an actual diametral path — the longest shortest path the
+// diameter value talks about. Useful wherever the application cares about
+// *which* pair is extremal (the worst-delay route in a network, the most
+// separated members of a community), not just how far apart they are.
+
+#include <vector>
+
+#include "core/fdiam.hpp"
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace fdiam {
+
+struct DiametralPath {
+  /// Vertex sequence from one endpoint to the other; path.size() ==
+  /// diameter + 1 (empty for an empty graph).
+  std::vector<vid_t> path;
+  dist_t diameter = 0;
+  bool connected = true;
+};
+
+/// Compute the diameter with F-Diam and materialize one realizing path:
+/// a BFS from the solver's witness vertex reaches some farthest vertex,
+/// and a greedy descent through the distance field walks the path back.
+/// Costs one extra BFS on top of fdiam_diameter().
+DiametralPath diametral_path(const Csr& g, FDiamOptions opt = {});
+
+/// Same extraction when the diameter and a witness endpoint are already
+/// known (e.g. from a previous DiameterResult).
+DiametralPath diametral_path_from(const Csr& g, vid_t witness,
+                                  BfsConfig config = {});
+
+}  // namespace fdiam

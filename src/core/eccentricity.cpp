@@ -1,0 +1,34 @@
+#include "core/eccentricity.hpp"
+
+namespace fdiam {
+
+dist_t eccentricity(const Csr& g, vid_t v, BfsConfig config) {
+  BfsEngine engine(g, config);
+  return engine.eccentricity(v);
+}
+
+std::vector<dist_t> eccentricities(const Csr& g,
+                                   std::span<const vid_t> sources,
+                                   BfsConfig config) {
+  BfsEngine engine(g, config);
+  std::vector<dist_t> out;
+  out.reserve(sources.size());
+  for (const vid_t s : sources) out.push_back(engine.eccentricity(s));
+  return out;
+}
+
+std::vector<dist_t> all_eccentricities(const Csr& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<dist_t> ecc(n, 0);
+#pragma omp parallel
+  {
+    std::vector<dist_t> dist;  // per-thread scratch
+#pragma omp for schedule(dynamic, 16)
+    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+      ecc[v] = bfs_distances_serial(g, static_cast<vid_t>(v), dist);
+    }
+  }
+  return ecc;
+}
+
+}  // namespace fdiam

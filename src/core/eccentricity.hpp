@@ -1,0 +1,27 @@
+#pragma once
+// Convenience eccentricity helpers layered over BfsEngine — the simplest
+// entry points of the public API.
+
+#include <vector>
+
+#include "bfs/bfs.hpp"
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace fdiam {
+
+/// Eccentricity of one vertex within its connected component.
+dist_t eccentricity(const Csr& g, vid_t v, BfsConfig config = {});
+
+/// Eccentricities of every vertex in `sources` (one BFS each, reusing a
+/// single engine).
+std::vector<dist_t> eccentricities(const Csr& g,
+                                   std::span<const vid_t> sources,
+                                   BfsConfig config = {});
+
+/// Exact eccentricity of every vertex — n BFS traversals, parallelized
+/// over sources. O(nm): only sensible on small graphs; the test suite's
+/// ground truth.
+std::vector<dist_t> all_eccentricities(const Csr& g);
+
+}  // namespace fdiam

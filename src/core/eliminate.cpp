@@ -1,0 +1,112 @@
+// Eliminate (paper §4.4, Alg. 5) and the incremental extension of
+// eliminated regions (§4.5).
+//
+// After computing ecc(x) < bound, Theorem 1 gives every vertex z at
+// distance d of x the upper bound ecc(z) <= ecc(x) + d; vertices whose
+// bound stays <= `bound` can never raise the diameter estimate and are
+// removed from consideration. The partial BFS stops once the running
+// bound reaches `bound`. The recorded per-vertex bound is what makes the
+// later extension cheap: when the diameter bound rises old -> fresh, one
+// multi-source partial BFS seeded at every vertex recorded at exactly
+// `old` advances all eliminated regions by (fresh - old) levels at once,
+// independent of how many vertices were evaluated before (§4.5).
+//
+// Eliminate runs serially: it typically performs only a couple of
+// iterations with few worklist elements (paper §4.4). The multi-source
+// extension can touch large areas and is parallelized like a BFS level.
+
+#include "core/fdiam.hpp"
+
+namespace fdiam {
+
+void FDiam::eliminate(vid_t source, dist_t ecc, dist_t bound, Stage stage) {
+  if (ecc >= bound) return;
+  ++stats_.eliminate_calls;
+
+  elim_visited_.new_epoch();
+  // Deviation from the paper's listing: Alg. 5 never marks the source
+  // visited, so level 2 would re-discover it and overwrite its exact
+  // recorded eccentricity with the looser ecc+2 (harmless as a bound, but
+  // it destroys the value the extension step keys on). Marking the source
+  // first fixes that.
+  elim_visited_.visit(source);
+
+  elim_wl1_.clear();
+  elim_wl1_.push_back(source);
+  dist_t value = ecc;
+  while (value < bound && !elim_wl1_.empty()) {
+    ++value;
+    elim_wl2_.clear();
+    for (const vid_t v : elim_wl1_) {
+      for (const vid_t w : g_.neighbors(v)) {
+        if (!elim_visited_.is_visited(w)) {
+          elim_visited_.visit(w);
+          mark_removed(w, value, stage);
+          elim_wl2_.push_back(w);
+        }
+      }
+    }
+    elim_wl1_.swap(elim_wl2_);
+  }
+}
+
+void FDiam::extend_eliminated(dist_t old_bound, dist_t fresh_bound) {
+  const vid_t n = g_.num_vertices();
+
+  // Seed with every vertex whose recorded bound equals the old diameter
+  // bound — these form the outermost ring of every eliminated region plus
+  // all evaluated vertices whose exact eccentricity was old_bound
+  // (Alg. 1 lines 17-19, implemented as one multi-source BFS per §4.5).
+  aux_cur_.clear();
+  elim_visited_.new_epoch();
+#pragma omp parallel for schedule(static) if (opt_.parallel)
+  for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
+    const auto v = static_cast<vid_t>(vi);
+    if (state_[v] == old_bound) {
+      elim_visited_.visit(v);  // distinct cells: safe to set in parallel
+      aux_cur_.push_atomic(v);
+    }
+  }
+  if (aux_cur_.empty()) return;
+  ++stats_.extension_calls;
+
+  for (dist_t value = old_bound + 1;
+       value <= fresh_bound && !aux_cur_.empty(); ++value) {
+    aux_next_.clear();
+    const auto frontier = aux_cur_.view();
+    const auto fsize = static_cast<std::int64_t>(frontier.size());
+
+    if (opt_.parallel) {
+#pragma omp parallel for schedule(dynamic, 64)
+      for (std::int64_t i = 0; i < fsize; ++i) {
+        const vid_t v = frontier[static_cast<std::size_t>(i)];
+        for (const vid_t w : g_.neighbors(v)) {
+          if (elim_visited_.try_visit(w)) {
+            // The claiming thread exclusively owns w's state update.
+            if (state_[w] == kActiveState) {
+              state_[w] = value;
+              stage_tag_[w] = Stage::kEliminate;
+            } else if (value < state_[w] && state_[w] >= 0) {
+              state_[w] = value;
+            }
+            aux_next_.push_atomic(w);
+          }
+        }
+      }
+    } else {
+      for (std::int64_t i = 0; i < fsize; ++i) {
+        const vid_t v = frontier[static_cast<std::size_t>(i)];
+        for (const vid_t w : g_.neighbors(v)) {
+          if (!elim_visited_.is_visited(w)) {
+            elim_visited_.visit(w);
+            mark_removed(w, value, Stage::kEliminate);
+            aux_next_.push(w);
+          }
+        }
+      }
+    }
+    swap(aux_cur_, aux_next_);
+  }
+}
+
+}  // namespace fdiam

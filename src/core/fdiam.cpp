@@ -1,0 +1,317 @@
+// F-Diam driver (paper Alg. 1). The stage implementations live in
+// winnow.cpp, chain.cpp, and eliminate.cpp.
+
+#include "core/fdiam.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/two_sweep.hpp"
+#include "util/rng.hpp"
+
+namespace fdiam {
+
+FDiam::FDiam(const Csr& g, FDiamOptions opt)
+    : g_(g),
+      opt_(opt),
+      engine_(g, BfsConfig{opt.parallel, opt.direction_optimizing,
+                           opt.bottomup_threshold}),
+      state_(g.num_vertices(), kActiveState),
+      stage_tag_(g.num_vertices(), Stage::kNone),
+      in_winnow_region_(g.num_vertices(), 0),
+      aux_cur_(g.num_vertices()),
+      aux_next_(g.num_vertices()),
+      elim_visited_(g.num_vertices()) {}
+
+void FDiam::mark_removed(vid_t v, dist_t value, Stage stage) {
+  if (state_[v] == kActiveState) {
+    state_[v] = value;
+    stage_tag_[v] = stage;
+  } else if (value >= 0 && value < state_[v]) {
+    // Tighten the recorded bound; the original remover keeps attribution.
+    state_[v] = value;
+  }
+}
+
+bool FDiam::budget_exhausted() const {
+  if (opt_.time_budget_seconds > 0.0 &&
+      run_timer_.seconds() > opt_.time_budget_seconds) {
+    return true;
+  }
+  return opt_.max_bfs_calls > 0 &&
+         stats_.ecc_computations + stats_.winnow_calls >= opt_.max_bfs_calls;
+}
+
+void FDiam::finalize_stats() {
+  stats_.removed_by_winnow = 0;
+  stats_.removed_by_eliminate = 0;
+  stats_.removed_by_chain = 0;
+  stats_.degree0_vertices = 0;
+  stats_.evaluated = 0;
+  for (const Stage tag : stage_tag_) {
+    switch (tag) {
+      case Stage::kWinnow: ++stats_.removed_by_winnow; break;
+      case Stage::kEliminate: ++stats_.removed_by_eliminate; break;
+      case Stage::kChain: ++stats_.removed_by_chain; break;
+      case Stage::kDegree0: ++stats_.degree0_vertices; break;
+      case Stage::kEvaluated: ++stats_.evaluated; break;
+      case Stage::kNone: break;
+    }
+  }
+  stats_.bfs_calls = stats_.ecc_computations + stats_.winnow_calls;
+  stats_.time_total = run_timer_.seconds();
+}
+
+DiameterResult FDiam::run() {
+  const vid_t n = g_.num_vertices();
+
+  // Reset state so a solver instance can be run repeatedly.
+  std::fill(state_.begin(), state_.end(), kActiveState);
+  std::fill(stage_tag_.begin(), stage_tag_.end(), Stage::kNone);
+  std::fill(in_winnow_region_.begin(), in_winnow_region_.end(), 0);
+  winnow_frontier_.clear();
+  winnow_radius_ = 0;
+  stats_ = {};
+  run_timer_.reset();
+
+  DiameterResult result;
+  if (n == 0) return result;
+  if (g_.num_arcs() == 0) {
+    // Edge-free graph: every vertex has eccentricity 0.
+    for (vid_t v = 0; v < n; ++v) mark_removed(v, 0, Stage::kDegree0);
+    result.connected = n <= 1;
+    finalize_stats();
+    result.stats = stats_;
+    return result;
+  }
+
+  // Isolated vertices have eccentricity 0 and need no computation
+  // (Table 4's "Degree-0 Vertices" column).
+  for (vid_t v = 0; v < n; ++v) {
+    if (g_.degree(v) == 0) mark_removed(v, 0, Stage::kDegree0);
+  }
+
+  // --- Initial diameter (§4.1): 2-sweep from the start vertex u ----------
+  vid_t u;
+  switch (opt_.start_policy) {
+    case StartPolicy::kVertexZero:
+      u = 0;
+      break;
+    case StartPolicy::kFourSweepCenter: {
+      // Extension: anchor at a 4-sweep center instead of the degree
+      // heuristic. Costs 4 BFS traversals, counted like eccentricity
+      // computations for Table 3 comparability.
+      Timer t;
+      const FourSweepResult sweep = four_sweep(engine_, g_.max_degree_vertex());
+      stats_.ecc_computations += 4;
+      u = sweep.center;
+      stats_.time_init += t.seconds();
+      break;
+    }
+    case StartPolicy::kMaxDegree:
+    default:
+      u = g_.max_degree_vertex();
+      break;
+  }
+  winnow_center_ = u;
+  emit(FDiamEvent::Kind::kStart, static_cast<dist_t>(n), u);
+
+  dist_t bound;
+  {
+    Timer t;
+    const dist_t ecc_u = engine_.eccentricity(u);
+    ++stats_.ecc_computations;
+    bound = ecc_u;
+
+    // The farthest vertex from u sits on the periphery; its eccentricity
+    // is the initial lower bound (paper Alg. 1 lines 2-3).
+    const vid_t w = engine_.last_frontier()[0];
+    dist_t ecc_w = -1;
+    if (w != u) {
+      ecc_w = engine_.eccentricity(w);
+      ++stats_.ecc_computations;
+      bound = std::max(bound, ecc_w);
+    }
+
+    if (opt_.cap_initial_bound > 0 && opt_.cap_initial_bound < bound) {
+      // Experiment knob: pretend the 2-sweep produced a weaker (but still
+      // valid) lower bound. Correctness hinges on the invariant that no
+      // vertex is removed as "evaluated" with an eccentricity above the
+      // current bound, so u/w may only be retired if their eccentricity
+      // fits under the cap; otherwise they stay active and the main loop
+      // re-evaluates them (2 redundant traversals — experiment overhead).
+      bound = opt_.cap_initial_bound;
+    }
+    result.witness = u;
+    if (ecc_u <= bound) mark_removed(u, ecc_u, Stage::kEvaluated);
+    if (ecc_w >= 0 && ecc_w <= bound) {
+      mark_removed(w, ecc_w, Stage::kEvaluated);
+      if (ecc_w >= ecc_u) result.witness = w;
+    }
+    stats_.time_init += t.seconds();
+  }
+  emit(FDiamEvent::Kind::kInitialBound, bound, u);
+
+  // The first BFS visits exactly u's component: fewer vertices than the
+  // non-isolated count means the input is disconnected (paper §1: the true
+  // diameter is then infinite and we report the largest CC eccentricity).
+  {
+    vid_t non_isolated = 0;
+    for (vid_t v = 0; v < n; ++v) {
+      if (g_.degree(v) > 0) ++non_isolated;
+    }
+    const vid_t isolated = n - non_isolated;
+    result.connected = isolated == 0 && engine_.last_visited_count() == n;
+  }
+
+  // --- Winnow (§4.2) and Chain Processing (§4.3) --------------------------
+  if (opt_.use_winnow) {
+    Timer t;
+    winnow_extend(bound);
+    stats_.time_winnow += t.seconds();
+  }
+  if (opt_.use_chain) {
+    Timer t;
+    process_chains();
+    stats_.time_chain += t.seconds();
+    emit(FDiamEvent::Kind::kChainsProcessed, 0);
+  }
+
+  // --- Main loop (Alg. 1 lines 6-21) --------------------------------------
+  // Optionally visit vertices in a deterministic random permutation
+  // (paper §4.5); the default id-order scan matches the Alg. 1 listing.
+  std::vector<vid_t> scan_order;
+  if (opt_.randomize_scan) {
+    scan_order.resize(n);
+    for (vid_t v = 0; v < n; ++v) scan_order[v] = v;
+    Rng rng(opt_.scan_seed);
+    for (vid_t i = n; i > 1; --i) {  // Fisher-Yates
+      std::swap(scan_order[i - 1],
+                scan_order[static_cast<vid_t>(rng.below(i))]);
+    }
+  }
+
+  auto scan_vertex = [&](vid_t idx) {
+    return opt_.randomize_scan ? scan_order[idx] : idx;
+  };
+
+  if (opt_.candidate_batch > 1) {
+    // The §4.6 rejected alternative: concurrent candidate BFS traversals
+    // (each serial), then a serial pruning phase. Batch members may turn
+    // out redundant — an earlier member's Eliminate would have removed
+    // them — which is exactly why the paper chose parallel-inside-BFS.
+    const auto batch_size = static_cast<std::size_t>(opt_.candidate_batch);
+    std::vector<vid_t> batch;
+    std::vector<dist_t> batch_ecc;
+    vid_t idx = 0;
+    while (idx < n && !result.timed_out) {
+      batch.clear();
+      while (idx < n && batch.size() < batch_size) {
+        const vid_t v = scan_vertex(idx++);
+        if (state_[v] == kActiveState) batch.push_back(v);
+      }
+      if (batch.empty()) break;
+      if (budget_exhausted()) {
+        result.timed_out = true;
+        break;
+      }
+
+      Timer t_ecc;
+      batch_ecc.assign(batch.size(), 0);
+#pragma omp parallel if (opt_.parallel)
+      {
+        // Per-thread serial engine: multiple traversals in flight, no
+        // parallelism inside any one of them.
+        BfsEngine local(g_, BfsConfig{false, opt_.direction_optimizing,
+                                      opt_.bottomup_threshold});
+#pragma omp for schedule(dynamic, 1)
+        for (std::int64_t i = 0; i < static_cast<std::int64_t>(batch.size());
+             ++i) {
+          batch_ecc[static_cast<std::size_t>(i)] =
+              local.eccentricity(batch[static_cast<std::size_t>(i)]);
+        }
+      }
+      stats_.ecc_computations += batch.size();
+      stats_.time_ecc += t_ecc.seconds();
+
+      // Serial pruning phase, in batch order.
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const vid_t v = batch[i];
+        const dist_t ecc = batch_ecc[i];
+        mark_removed(v, ecc, Stage::kEvaluated);
+        emit(FDiamEvent::Kind::kEccentricity, ecc, v);
+        if (ecc > bound) {
+          const dist_t old = bound;
+          bound = ecc;
+          result.witness = v;
+          emit(FDiamEvent::Kind::kBoundRaised, bound, v);
+          if (opt_.use_winnow) winnow_extend(bound);
+          if (opt_.use_eliminate) extend_eliminated(old, bound);
+        } else if (opt_.use_eliminate) {
+          eliminate(v, ecc, bound, Stage::kEliminate);
+        }
+      }
+    }
+    result.diameter = bound;
+    emit(FDiamEvent::Kind::kDone, bound);
+    finalize_stats();
+    result.stats = stats_;
+    return result;
+  }
+
+  for (vid_t idx = 0; idx < n; ++idx) {
+    const vid_t v = scan_vertex(idx);
+    if (state_[v] != kActiveState) continue;
+    if (budget_exhausted()) {
+      result.timed_out = true;
+      break;
+    }
+
+    Timer t_ecc;
+    const dist_t ecc = engine_.eccentricity(v);
+    ++stats_.ecc_computations;
+    stats_.time_ecc += t_ecc.seconds();
+    mark_removed(v, ecc, Stage::kEvaluated);
+    emit(FDiamEvent::Kind::kEccentricity, ecc, v);
+
+    if (ecc > bound) {
+      // New lower bound: extend the winnowed region and every previously
+      // eliminated region (§4.5).
+      const dist_t old = bound;
+      bound = ecc;
+      result.witness = v;
+      emit(FDiamEvent::Kind::kBoundRaised, bound, v);
+      if (opt_.use_winnow) {
+        Timer t;
+        winnow_extend(bound);
+        stats_.time_winnow += t.seconds();
+      }
+      if (opt_.use_eliminate) {
+        Timer t;
+        extend_eliminated(old, bound);
+        stats_.time_eliminate += t.seconds();
+        emit(FDiamEvent::Kind::kExtendRegions, bound);
+      }
+    } else if (opt_.use_eliminate) {
+      // ecc == bound removes only v itself (already recorded above);
+      // eliminate() is a no-op in that case (paper §4.5).
+      Timer t;
+      eliminate(v, ecc, bound, Stage::kEliminate);
+      stats_.time_eliminate += t.seconds();
+      if (ecc < bound) emit(FDiamEvent::Kind::kEliminate, bound - ecc, v);
+    }
+  }
+
+  result.diameter = bound;
+  emit(FDiamEvent::Kind::kDone, bound);
+  finalize_stats();
+  result.stats = stats_;
+  return result;
+}
+
+DiameterResult fdiam_diameter(const Csr& g, FDiamOptions opt) {
+  FDiam solver(g, opt);
+  return solver.run();
+}
+
+}  // namespace fdiam

@@ -1,0 +1,256 @@
+#pragma once
+// F-Diam: fast exact diameter computation for undirected, unweighted,
+// sparse graphs (Bradley, Akathoott & Burtscher, ICPP 2025).
+//
+// The algorithm (paper Alg. 1):
+//   1. 2-sweep from the highest-degree vertex u to obtain an initial lower
+//      bound `bound` on the diameter (§4.1).
+//   2. Winnow: remove every vertex within floor(bound/2) steps of u from
+//      consideration — safe by Theorems 2+3 (§4.2).
+//   3. Chain Processing: for every degree-1 tail, remove the chain and a
+//      region around its anchor, keeping only the tail tip (§4.3).
+//   4. Repeatedly evaluate the eccentricity of a remaining active vertex.
+//      A value below `bound` triggers Eliminate (Theorem-1 pruning, §4.4);
+//      a value above it raises `bound` and incrementally extends the
+//      winnowed region and all previously eliminated regions (§4.5).
+//   5. Terminate when no active vertices remain; `bound` is the exact
+//      diameter.
+//
+// "Removing a vertex from consideration" means its eccentricity need not
+// be computed; the vertex remains traversable (paper footnote 1).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bfs/bfs.hpp"
+#include "graph/csr.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace fdiam {
+
+/// Progress events emitted by FDiam when a trace sink is installed —
+/// one event per algorithmic decision (never per vertex/edge), so the
+/// overhead is negligible and the stream reads like the paper's Alg. 1.
+struct FDiamEvent {
+  enum class Kind {
+    kStart,            ///< value = |V|, vertex = the chosen start u
+    kInitialBound,     ///< value = bound after the 2-sweep
+    kWinnow,           ///< value = new ball radius, vertex = center
+    kChainsProcessed,  ///< value = vertices removed by chains
+    kEccentricity,     ///< value = ecc, vertex = evaluated vertex
+    kBoundRaised,      ///< value = new bound, vertex = raising vertex
+    kEliminate,        ///< value = reach (bound - ecc), vertex = source
+    kExtendRegions,    ///< value = new bound after multi-source extension
+    kDone,             ///< value = final diameter
+  };
+  Kind kind;
+  dist_t value = 0;
+  vid_t vertex = 0;
+};
+
+/// Trace sink; see FDiamOptions::trace.
+using FDiamTrace = std::function<void(const FDiamEvent&)>;
+
+/// Where F-Diam anchors its 2-sweep and Winnow ball.
+enum class StartPolicy {
+  /// The paper's choice: the highest-degree vertex tends to be central
+  /// (core-periphery argument, §3).
+  kMaxDegree,
+  /// The "no 'u'" ablation (Table 5 / Fig. 9): plain vertex id 0.
+  kVertexZero,
+  /// Extension ablation: spend 4 extra BFS on a 4-sweep to find a vertex
+  /// of near-minimum eccentricity — a potentially better Winnow center
+  /// than the degree heuristic (the paper notes the true center is as
+  /// expensive as the diameter; the 4-sweep center is the cheap proxy
+  /// iFUB uses).
+  kFourSweepCenter,
+};
+
+/// Feature toggles. The defaults reproduce full F-Diam; the `use_*` flags
+/// reproduce the paper's ablations (Table 5 / Fig. 9).
+struct FDiamOptions {
+  bool parallel = true;               ///< OpenMP-parallel BFS levels
+  bool direction_optimizing = true;   ///< hybrid top-down/bottom-up BFS
+  double bottomup_threshold = 0.1;    ///< paper §4.6: 10% of |V|
+
+  bool use_winnow = true;             ///< "no Winnow" ablation when false
+  bool use_eliminate = true;          ///< "no Elim." ablation when false
+  bool use_chain = true;              ///< chain processing (§4.3)
+  StartPolicy start_policy = StartPolicy::kMaxDegree;
+
+  /// Evaluate remaining vertices in a deterministic random permutation
+  /// instead of id order (§4.5: "F-Diam loops over the remaining vertices
+  /// in random order"; Alg. 1 shows the id-order scan, the default here).
+  bool randomize_scan = false;
+  std::uint64_t scan_seed = 0x5eed;
+
+  /// > 1 reproduces the alternative the paper evaluated and REJECTED
+  /// (§4.6): run this many candidate eccentricity BFS traversals
+  /// concurrently (each one serial) instead of parallelizing inside each
+  /// BFS. The redundancy is measurable — candidates in the same batch are
+  /// evaluated even when an earlier member's Eliminate would have removed
+  /// them — and bench_ablation_batch quantifies it. 1 = the paper's
+  /// chosen design.
+  int candidate_batch = 1;
+
+  /// Abort knobs for benchmark timeouts (paper capped runs at 2.5 h).
+  /// 0 means unlimited. On abort the result carries timed_out = true and
+  /// the diameter field is only a lower bound.
+  double time_budget_seconds = 0.0;
+  std::uint64_t max_bfs_calls = 0;
+
+  /// Optional per-decision progress sink (see FDiamEvent).
+  FDiamTrace trace;
+
+  /// EXPERIMENT KNOB: cap the 2-sweep's initial bound at this value
+  /// (> 0 enables; bound becomes min(measured, cap), so the result stays
+  /// exact — a cap can only degrade the starting point, never inflate
+  /// it). Used by bench_ablation_bound_quality to measure how the initial
+  /// bound's quality drives Winnow's coverage and the total BFS count
+  /// (paper §4.1: "we want this bound to be as close to the actual
+  /// diameter as possible").
+  dist_t cap_initial_bound = 0;
+};
+
+/// Instrumentation: everything Tables 3-5 and Figs. 8-9 report.
+struct FDiamStats {
+  // Traversal counts. Table 3 counts a "BFS traversal" as an eccentricity
+  // computation or a Winnow invocation; Eliminate is not counted.
+  std::uint64_t bfs_calls = 0;
+  std::uint64_t ecc_computations = 0;
+  std::uint64_t winnow_calls = 0;
+  std::uint64_t eliminate_calls = 0;
+  std::uint64_t extension_calls = 0;
+
+  // Vertices removed from consideration per stage (Table 4). A vertex is
+  // attributed to the stage that first removed it. `evaluated` vertices
+  // had their eccentricity computed exactly.
+  vid_t removed_by_winnow = 0;
+  vid_t removed_by_eliminate = 0;
+  vid_t removed_by_chain = 0;
+  vid_t degree0_vertices = 0;
+  vid_t evaluated = 0;
+
+  // Stage wall-clock seconds (Fig. 8).
+  double time_init = 0.0;       // 2-sweep eccentricity BFS pair
+  double time_winnow = 0.0;     // winnow + its incremental extensions
+  double time_chain = 0.0;
+  double time_eliminate = 0.0;  // eliminate + eliminated-region extensions
+  double time_ecc = 0.0;        // main-loop eccentricity BFS calls
+  double time_total = 0.0;
+
+  [[nodiscard]] double time_other() const {
+    return time_total -
+           (time_init + time_winnow + time_chain + time_eliminate + time_ecc);
+  }
+};
+
+struct DiameterResult {
+  /// Largest eccentricity over all connected components — the diameter for
+  /// connected inputs; for disconnected ones the paper's "CC diameter".
+  dist_t diameter = 0;
+  /// A vertex whose eccentricity equals `diameter` (one endpoint of a
+  /// diametral path; feed it to diametral_path()).
+  vid_t witness = 0;
+  /// False when the input is disconnected (true diameter is infinite).
+  bool connected = true;
+  /// True when a time/BFS budget aborted the run; `diameter` is then only
+  /// a lower bound.
+  bool timed_out = false;
+  FDiamStats stats;
+};
+
+/// Reusable F-Diam solver. Construct once per graph; run() may be invoked
+/// repeatedly (benchmark repetitions reuse the scratch buffers).
+class FDiam {
+ public:
+  explicit FDiam(const Csr& g, FDiamOptions opt = {});
+
+  DiameterResult run();
+
+  /// Per-vertex consideration state after run(): ACTIVE never occurs in a
+  /// completed run; other values record the eccentricity upper bound under
+  /// which the vertex was removed (kWinnowedState for winnowed vertices).
+  [[nodiscard]] const std::vector<dist_t>& state() const { return state_; }
+
+  [[nodiscard]] const FDiamOptions& options() const { return opt_; }
+
+  /// Sentinels stored in state().
+  static constexpr dist_t kActiveState = INT32_MAX;
+  static constexpr dist_t kWinnowedState = -1;
+  /// Base for chain-processing bounds (paper §4.3: MAX = INT_MAX - 1).
+  static constexpr dist_t kChainMax = INT32_MAX - 1;
+
+  /// Which stage removed each vertex from consideration; used to compute
+  /// the Table 4 attribution exactly even when chain processing
+  /// reactivates a previously removed tail tip.
+  enum class Stage : std::uint8_t {
+    kNone = 0,     // still active
+    kWinnow,
+    kEliminate,
+    kChain,
+    kDegree0,
+    kEvaluated,    // eccentricity computed exactly
+  };
+
+ private:
+  // --- Winnow (§4.2), defined in winnow.cpp -------------------------------
+  // Grows the winnowed region around `winnow_center_` to radius
+  // floor(bound/2); incremental across calls (§4.5).
+  void winnow_extend(dist_t bound);
+
+  // --- Chain Processing (§4.3), defined in chain.cpp ----------------------
+  void process_chains();
+
+  // --- Eliminate (§4.4) and region extension (§4.5), eliminate.cpp --------
+  // Partial BFS from `source` (known eccentricity `ecc`) marking vertices
+  // at distance d with the Theorem-1 bound ecc + d, up to `bound`.
+  // `stage` attributes removals (main loop: kEliminate; chains: kChain).
+  void eliminate(vid_t source, dist_t ecc, dist_t bound, Stage stage);
+  // After the bound rose old -> fresh: one multi-source partial BFS seeded
+  // at every vertex whose recorded bound equals `old`.
+  void extend_eliminated(dist_t old_bound, dist_t fresh_bound);
+
+  // Removes v from consideration with bound `value` (or merely tightens an
+  // existing record — the first remover keeps the attribution).
+  void mark_removed(vid_t v, dist_t value, Stage stage);
+
+  // Tally stage_tag_ into the per-stage counters of stats_.
+  void finalize_stats();
+
+  void emit(FDiamEvent::Kind kind, dist_t value, vid_t vertex = 0) const {
+    if (opt_.trace) opt_.trace(FDiamEvent{kind, value, vertex});
+  }
+
+  [[nodiscard]] bool budget_exhausted() const;
+
+  const Csr& g_;
+  FDiamOptions opt_;
+  BfsEngine engine_;
+
+  std::vector<dist_t> state_;
+  std::vector<Stage> stage_tag_;
+
+  // Persistent winnow-region bookkeeping for incremental extension.
+  std::vector<std::uint8_t> in_winnow_region_;
+  std::vector<vid_t> winnow_frontier_;
+  dist_t winnow_radius_ = 0;
+  vid_t winnow_center_ = 0;
+
+  // Scratch for the parallel winnow / extension levels.
+  Frontier aux_cur_, aux_next_;
+
+  // Scratch worklists for Eliminate (serial, typically tiny — paper §4.4).
+  std::vector<vid_t> elim_wl1_, elim_wl2_;
+  EpochVisited elim_visited_;
+
+  FDiamStats stats_;
+  Timer run_timer_;
+};
+
+/// One-shot convenience wrapper.
+DiameterResult fdiam_diameter(const Csr& g, FDiamOptions opt = {});
+
+}  // namespace fdiam

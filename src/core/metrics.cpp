@@ -1,0 +1,89 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+#include "graph/components.hpp"
+
+namespace fdiam {
+
+ExactEccResult exact_eccentricities(const Csr& g, BfsConfig config) {
+  const vid_t n = g.num_vertices();
+  ExactEccResult result;
+  result.ecc.assign(n, 0);
+  if (n == 0) return result;
+
+  constexpr dist_t kInf = INT32_MAX;
+  std::vector<dist_t> lb(n, 0), ub(n, kInf);
+  // Isolated vertices are settled immediately: eccentricity 0.
+  vid_t unsettled = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    if (g.degree(v) == 0) {
+      ub[v] = 0;
+    } else {
+      ++unsettled;
+    }
+  }
+
+  BfsEngine engine(g, config);
+  std::vector<dist_t> dist;
+  bool pick_max_ub = true;
+  while (unsettled > 0) {
+    // Selection: alternate the largest-ub candidate (drives the global
+    // maximum up) and the smallest-lb candidate (a near-central vertex
+    // whose BFS tightens everyone's upper bound).
+    vid_t pick = n;
+    dist_t best = 0;
+    for (vid_t v = 0; v < n; ++v) {
+      if (lb[v] == ub[v]) continue;
+      const dist_t key = pick_max_ub ? ub[v] : -lb[v];
+      if (pick == n || key > best) {
+        best = key;
+        pick = v;
+      }
+    }
+    pick_max_ub = !pick_max_ub;
+
+    const dist_t ecc = engine.distances(pick, dist);
+    ++result.bfs_calls;
+    lb[pick] = ub[pick] = ecc;
+    for (vid_t v = 0; v < n; ++v) {
+      const dist_t d = dist[v];
+      if (d < 0) continue;  // other component: this BFS says nothing
+      lb[v] = std::max({lb[v], d, ecc - d});
+      ub[v] = std::min(ub[v], d + ecc);
+    }
+    unsettled = 0;
+    for (vid_t v = 0; v < n; ++v) {
+      if (lb[v] != ub[v]) ++unsettled;
+    }
+  }
+
+  for (vid_t v = 0; v < n; ++v) result.ecc[v] = lb[v];
+  return result;
+}
+
+GraphMetrics graph_metrics(const Csr& g, BfsConfig config) {
+  GraphMetrics m;
+  const vid_t n = g.num_vertices();
+  if (n == 0) return m;
+
+  const ExactEccResult ex = exact_eccentricities(g, config);
+  m.bfs_calls = ex.bfs_calls;
+
+  const Components cc = connected_components(g);
+  m.connected = cc.connected();
+  const std::uint32_t big = cc.largest();
+
+  m.diameter = *std::max_element(ex.ecc.begin(), ex.ecc.end());
+  m.radius = INT32_MAX;
+  for (vid_t v = 0; v < n; ++v) {
+    if (cc.label[v] == big) m.radius = std::min(m.radius, ex.ecc[v]);
+  }
+  for (vid_t v = 0; v < n; ++v) {
+    if (cc.label[v] == big && ex.ecc[v] == m.radius) m.center.push_back(v);
+    if (ex.ecc[v] == m.diameter) m.periphery.push_back(v);
+  }
+  return m;
+}
+
+}  // namespace fdiam

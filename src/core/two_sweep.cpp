@@ -1,0 +1,62 @@
+#include "core/two_sweep.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace fdiam {
+
+TwoSweepResult two_sweep(BfsEngine& engine, vid_t start) {
+  TwoSweepResult r;
+  r.start_ecc = engine.eccentricity(start);
+  r.periphery = engine.last_frontier()[0];
+  r.lower_bound = r.periphery == start
+                      ? r.start_ecc
+                      : engine.eccentricity(r.periphery);
+  return r;
+}
+
+vid_t path_midpoint(const Csr& g, const std::vector<dist_t>& dist,
+                    vid_t far_end) {
+  assert(dist[far_end] >= 0);
+  vid_t cur = far_end;
+  dist_t d = dist[far_end];
+  const dist_t target = d / 2;
+  // Greedy descent: any neighbor one level closer to the root lies on a
+  // shortest path, so repeatedly stepping down reaches the midpoint.
+  while (d > target) {
+    for (const vid_t w : g.neighbors(cur)) {
+      if (dist[w] == d - 1) {
+        cur = w;
+        --d;
+        break;
+      }
+    }
+  }
+  return cur;
+}
+
+FourSweepResult four_sweep(BfsEngine& engine, vid_t start) {
+  const Csr& g = engine.graph();
+  std::vector<dist_t> dist;
+
+  // Double sweep 1: start -> a1 -> b1, midpoint r2.
+  engine.distances(start, dist);
+  const vid_t a1 = engine.last_frontier()[0];
+  const dist_t ecc_a1 = engine.distances(a1, dist);
+  const vid_t b1 = engine.last_frontier()[0];
+  const vid_t r2 = path_midpoint(g, dist, b1);
+
+  // Double sweep 2: r2 -> a2 -> b2, midpoint = final center.
+  engine.distances(r2, dist);
+  const vid_t a2 = engine.last_frontier()[0];
+  const dist_t ecc_a2 = engine.distances(a2, dist);
+  const vid_t b2 = engine.last_frontier()[0];
+
+  FourSweepResult r;
+  r.center = path_midpoint(g, dist, b2);
+  r.lower_bound = std::max(ecc_a1, ecc_a2);
+  return r;
+}
+
+}  // namespace fdiam

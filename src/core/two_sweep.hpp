@@ -1,0 +1,42 @@
+#pragma once
+// 2-sweep and 4-sweep diameter lower-bound heuristics.
+//
+// 2-sweep (paper §4.1): BFS from a start vertex, then BFS from the vertex
+// found farthest away; that second eccentricity is a strong diameter lower
+// bound because the farthest vertex tends to lie on the periphery.
+//
+// 4-sweep (Crescenzi et al., used by the iFUB baseline): two chained
+// double sweeps whose midpoints home in on a vertex of near-minimum
+// eccentricity — a good "center" to root iFUB's fringe sets at.
+
+#include "bfs/bfs.hpp"
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace fdiam {
+
+struct TwoSweepResult {
+  vid_t periphery = 0;     ///< farthest vertex found from `start`
+  dist_t start_ecc = 0;    ///< eccentricity of the start vertex
+  dist_t lower_bound = 0;  ///< ecc(periphery): diameter lower bound
+};
+
+/// Runs 2 BFS traversals on `engine` from `start` (F-Diam passes the
+/// highest-degree vertex, which tends to be central — paper §3).
+TwoSweepResult two_sweep(BfsEngine& engine, vid_t start);
+
+struct FourSweepResult {
+  vid_t center = 0;        ///< midpoint vertex with near-minimal ecc
+  dist_t lower_bound = 0;  ///< best diameter lower bound of the 4 sweeps
+};
+
+/// Runs 4 BFS traversals (plus one midpoint walk each double sweep).
+FourSweepResult four_sweep(BfsEngine& engine, vid_t start);
+
+/// Walk from `far_end` back toward the BFS root along `dist` (the distance
+/// array of the root's BFS) and return the vertex at distance
+/// dist[far_end]/2 from the root — the path midpoint.
+vid_t path_midpoint(const Csr& g, const std::vector<dist_t>& dist,
+                    vid_t far_end);
+
+}  // namespace fdiam

@@ -1,0 +1,87 @@
+// Winnow (paper §4.2, Alg. 3) — the key novelty of F-Diam.
+//
+// Given a lower bound `bound` on the diameter, every vertex within
+// floor(bound/2) steps of the winnow center u can be removed from
+// consideration: if a pair of vertices more than `bound` apart exists, at
+// least one of the two lies outside that ball (two vertices inside can
+// reach each other through u in at most 2*floor(bound/2) <= bound steps),
+// and by Theorem 2 at least one vertex of maximum eccentricity therefore
+// stays active. Winnowing is only ever done around ONE vertex — a second
+// winnow ball would break the Theorem-2 guarantee.
+//
+// The ball is grown with a partial level-synchronous BFS whose frontier is
+// kept across calls, so raising the bound later extends the region
+// incrementally instead of re-traversing it (paper §4.5).
+
+#include <cstdint>
+
+#include "core/fdiam.hpp"
+
+namespace fdiam {
+
+void FDiam::winnow_extend(dist_t bound) {
+  const dist_t target_radius = bound / 2;
+  if (target_radius <= winnow_radius_ && winnow_radius_ > 0) return;
+
+  if (winnow_radius_ == 0 && winnow_frontier_.empty()) {
+    // First invocation: seed the ball at the center. The center itself is
+    // not marked — its exact eccentricity is already recorded by the
+    // 2-sweep (Alg. 3 only marks discovered neighbors).
+    in_winnow_region_[winnow_center_] = 1;
+    winnow_frontier_.push_back(winnow_center_);
+  }
+  if (target_radius <= winnow_radius_) return;
+
+  ++stats_.winnow_calls;  // Table 3 counts each (partial) winnow traversal
+  emit(FDiamEvent::Kind::kWinnow, target_radius, winnow_center_);
+
+  std::uint64_t removed = 0;
+  while (winnow_radius_ < target_radius && !winnow_frontier_.empty()) {
+    aux_next_.clear();
+    const auto fsize = static_cast<std::int64_t>(winnow_frontier_.size());
+
+    if (opt_.parallel) {
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : removed)
+      for (std::int64_t i = 0; i < fsize; ++i) {
+        const vid_t v = winnow_frontier_[static_cast<std::size_t>(i)];
+        for (const vid_t w : g_.neighbors(v)) {
+          std::uint8_t expected = 0;
+          // Atomically claim membership in the ball; exactly one thread
+          // wins and becomes responsible for marking w.
+          if (__atomic_compare_exchange_n(&in_winnow_region_[w], &expected, 1,
+                                          false, __ATOMIC_RELAXED,
+                                          __ATOMIC_RELAXED)) {
+            if (state_[w] == kActiveState) {
+              state_[w] = kWinnowedState;
+              stage_tag_[w] = Stage::kWinnow;
+              ++removed;
+            }
+            aux_next_.push_atomic(w);
+          }
+        }
+      }
+    } else {
+      for (std::int64_t i = 0; i < fsize; ++i) {
+        const vid_t v = winnow_frontier_[static_cast<std::size_t>(i)];
+        for (const vid_t w : g_.neighbors(v)) {
+          if (in_winnow_region_[w] == 0) {
+            in_winnow_region_[w] = 1;
+            if (state_[w] == kActiveState) {
+              state_[w] = kWinnowedState;
+              stage_tag_[w] = Stage::kWinnow;
+              ++removed;
+            }
+            aux_next_.push(w);
+          }
+        }
+      }
+    }
+
+    ++winnow_radius_;
+    const auto next = aux_next_.view();
+    winnow_frontier_.assign(next.begin(), next.end());
+  }
+  (void)removed;  // attribution is tallied from stage_tag_ in finalize_stats
+}
+
+}  // namespace fdiam

@@ -1,0 +1,40 @@
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+
+#include <vector>
+
+namespace fdiam {
+
+Csr make_barabasi_albert(vid_t n, double m_per_vertex, std::uint64_t seed) {
+  Rng rng(seed);
+  EdgeList edges(n);
+  if (n == 0) return Csr::from_edges(std::move(edges));
+
+  const auto m_floor = static_cast<vid_t>(m_per_vertex);
+  const double m_frac = m_per_vertex - static_cast<double>(m_floor);
+
+  // Preferential attachment via the repeated-endpoints trick: sampling a
+  // uniform entry of `endpoints` picks a vertex with probability
+  // proportional to its current degree.
+  std::vector<vid_t> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(
+      (m_per_vertex + 1.0) * 2.0 * static_cast<double>(n)));
+  endpoints.push_back(0);  // seed vertex gets one virtual degree
+
+  for (vid_t v = 1; v < n; ++v) {
+    vid_t m = m_floor + (rng.chance(m_frac) ? 1 : 0);
+    if (m == 0) m = 1;  // keep the graph connected
+    m = std::min(m, v);
+    for (vid_t j = 0; j < m; ++j) {
+      const vid_t target =
+          endpoints[static_cast<std::size_t>(rng.below(endpoints.size()))];
+      edges.add(v, target);
+      endpoints.push_back(target);
+      endpoints.push_back(v);
+    }
+  }
+  return Csr::from_edges(std::move(edges));
+}
+
+}  // namespace fdiam

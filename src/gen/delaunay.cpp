@@ -1,0 +1,255 @@
+// Incremental Bowyer-Watson Delaunay triangulation of uniform random
+// points in the unit square — the synthetic stand-in for the paper's
+// delaunay_n24 input (a SuiteSparse triangulation with ~6 neighbors per
+// vertex and a huge diameter; it is F-Diam's hardest instance, Table 2).
+//
+// Implementation notes:
+//  * Triangles live in a flat slot array with per-edge neighbor links
+//    (nb[i] faces vertex v[i]); dead slots go to a free list for reuse.
+//  * Point location walks from the most recently created triangle using
+//    orientation tests — short walks in practice on random input.
+//  * The cavity (triangles whose circumcircle contains the new point) is
+//    grown by flood fill with epoch marks (O(cavity) per insertion), its
+//    boundary re-triangulated as a fan around the point, and neighbor
+//    links stitched through a boundary-start map.
+//  * Random input makes exact predicates unnecessary; degenerate
+//    insertions are detected (non-simple cavity boundary) and retried
+//    with a tiny jitter.
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace fdiam {
+namespace {
+
+struct Point {
+  double x, y;
+};
+
+struct Tri {
+  vid_t v[3];          // CCW vertices
+  std::int32_t nb[3];  // nb[i] = triangle across the edge opposite v[i]
+  bool alive = true;
+};
+
+constexpr std::int32_t kNoTri = -1;
+
+/// Twice the signed area of (a, b, c); > 0 for CCW order.
+double orient(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+/// > 0 iff p lies strictly inside the circumcircle of CCW triangle (a,b,c).
+double in_circle(const Point& a, const Point& b, const Point& c,
+                 const Point& p) {
+  const double ax = a.x - p.x, ay = a.y - p.y;
+  const double bx = b.x - p.x, by = b.y - p.y;
+  const double cx = c.x - p.x, cy = c.y - p.y;
+  const double a2 = ax * ax + ay * ay;
+  const double b2 = bx * bx + by * by;
+  const double c2 = cx * cx + cy * cy;
+  return ax * (by * c2 - b2 * cy) - ay * (bx * c2 - b2 * cx) +
+         a2 * (bx * cy - by * cx);
+}
+
+class Triangulation {
+ public:
+  explicit Triangulation(std::vector<Point> pts) : pts_(std::move(pts)) {
+    super_ = static_cast<vid_t>(pts_.size());
+    // Super-triangle comfortably containing the unit square; random input
+    // keeps interior circumcircles away from these corners.
+    pts_.push_back({-60.0, -50.0});
+    pts_.push_back({60.0, -50.0});
+    pts_.push_back({0.5, 110.0});
+    tris_.push_back(Tri{{super_, super_ + 1, super_ + 2},
+                        {kNoTri, kNoTri, kNoTri},
+                        true});
+    mark_.push_back(0);
+    recent_ = 0;
+  }
+
+  bool insert(vid_t p) {
+    const std::int32_t t0 = locate(pts_[p]);
+    if (t0 == kNoTri) return false;
+
+    // --- Grow the cavity by flood fill over the in-circle test. ----------
+    ++epoch_;
+    cavity_.clear();
+    stack_.clear();
+    stack_.push_back(t0);
+    mark_[static_cast<std::size_t>(t0)] = epoch_;
+    while (!stack_.empty()) {
+      const std::int32_t t = stack_.back();
+      stack_.pop_back();
+      cavity_.push_back(t);
+      for (const std::int32_t nb : tris_[static_cast<std::size_t>(t)].nb) {
+        if (nb == kNoTri || mark_[static_cast<std::size_t>(nb)] == epoch_)
+          continue;
+        const Tri& tri = tris_[static_cast<std::size_t>(nb)];
+        if (in_circle(pts_[tri.v[0]], pts_[tri.v[1]], pts_[tri.v[2]],
+                      pts_[p]) > 0.0) {
+          mark_[static_cast<std::size_t>(nb)] = epoch_;
+          stack_.push_back(nb);
+        }
+      }
+    }
+
+    // --- Collect the boundary (CCW as seen from the cavity interior). ----
+    boundary_.clear();
+    for (const std::int32_t t : cavity_) {
+      const Tri& tri = tris_[static_cast<std::size_t>(t)];
+      for (int i = 0; i < 3; ++i) {
+        const std::int32_t nb = tri.nb[i];
+        if (nb != kNoTri && mark_[static_cast<std::size_t>(nb)] == epoch_)
+          continue;
+        boundary_.push_back({tri.v[(i + 1) % 3], tri.v[(i + 2) % 3], nb});
+      }
+    }
+    if (boundary_.size() < 3) return false;
+
+    // A valid cavity boundary is one simple cycle: every vertex appears
+    // exactly once as an edge start. Anything else means the epsilon
+    // arithmetic produced a broken cavity — bail before mutating.
+    start_of_.clear();
+    for (const auto& edge : boundary_) {
+      if (!start_of_.emplace(edge.a, std::int32_t{0}).second) return false;
+    }
+    for (const auto& edge : boundary_) {
+      if (start_of_.find(edge.b) == start_of_.end()) return false;
+    }
+
+    // --- Commit: tombstone the cavity, fan-triangulate the boundary. -----
+    for (const std::int32_t t : cavity_) {
+      tris_[static_cast<std::size_t>(t)].alive = false;
+      free_.push_back(t);
+    }
+    new_tris_.clear();
+    for (const auto& [a, b, outside] : boundary_) {
+      const std::int32_t idx = alloc(Tri{{p, a, b},
+                                         {outside, kNoTri, kNoTri},
+                                         true});
+      new_tris_.push_back(idx);
+      start_of_[a] = idx;
+      if (outside != kNoTri) {
+        // Re-point the outside triangle's link across exactly edge {a,b}.
+        Tri& out = tris_[static_cast<std::size_t>(outside)];
+        for (int i = 0; i < 3; ++i) {
+          const vid_t ea = out.v[(i + 1) % 3], eb = out.v[(i + 2) % 3];
+          if ((ea == b && eb == a) || (ea == a && eb == b)) {
+            out.nb[i] = idx;
+            break;
+          }
+        }
+      }
+    }
+    // Stitch the fan: triangle (p,a,b) meets start_of_[b] across edge
+    // (p,b) (= nb[1], opposite a) and that neighbor reciprocally links
+    // back across the same edge via its nb[2] (opposite its third vertex).
+    for (const std::int32_t t : new_tris_) {
+      Tri& tri = tris_[static_cast<std::size_t>(t)];
+      const auto it = start_of_.find(tri.v[2]);
+      if (it == start_of_.end()) return false;  // cannot happen on a cycle
+      tri.nb[1] = it->second;
+      tris_[static_cast<std::size_t>(it->second)].nb[2] = t;
+    }
+    recent_ = new_tris_.back();
+    return true;
+  }
+
+  /// Emit all edges between non-super vertices.
+  void edges(EdgeList& out) const {
+    for (const Tri& t : tris_) {
+      if (!t.alive) continue;
+      for (int i = 0; i < 3; ++i) {
+        const vid_t a = t.v[i], b = t.v[(i + 1) % 3];
+        if (a < b && b < super_) out.add(a, b);
+      }
+    }
+  }
+
+  Point& point(vid_t p) { return pts_[p]; }
+
+ private:
+  std::int32_t alloc(Tri t) {
+    if (!free_.empty()) {
+      const std::int32_t idx = free_.back();
+      free_.pop_back();
+      tris_[static_cast<std::size_t>(idx)] = t;
+      return idx;
+    }
+    tris_.push_back(t);
+    mark_.push_back(0);
+    return static_cast<std::int32_t>(tris_.size() - 1);
+  }
+
+  /// Walk from the most recent triangle toward the point.
+  std::int32_t locate(const Point& p) const {
+    std::int32_t t = recent_;
+    const std::size_t cap = tris_.size() + 64;
+    for (std::size_t steps = 0; steps < cap; ++steps) {
+      const Tri& tri = tris_[static_cast<std::size_t>(t)];
+      bool moved = false;
+      for (int i = 0; i < 3; ++i) {
+        const Point& a = pts_[tri.v[(i + 1) % 3]];
+        const Point& b = pts_[tri.v[(i + 2) % 3]];
+        if (orient(a, b, p) < 0.0) {  // p right of edge: leave through it
+          if (tri.nb[i] == kNoTri) return kNoTri;
+          t = tri.nb[i];
+          moved = true;
+          break;
+        }
+      }
+      if (!moved) return t;
+    }
+    return kNoTri;  // walk cycled (degenerate geometry)
+  }
+
+  struct BoundaryEdge {
+    vid_t a, b;
+    std::int32_t outside;
+  };
+
+  std::vector<Point> pts_;
+  std::vector<Tri> tris_;
+  std::vector<std::uint32_t> mark_;  // cavity epoch per triangle slot
+  std::vector<std::int32_t> free_;
+  vid_t super_ = 0;
+  std::int32_t recent_ = kNoTri;
+  std::uint32_t epoch_ = 0;
+
+  // Per-insertion scratch.
+  std::vector<std::int32_t> cavity_, stack_, new_tris_;
+  std::vector<BoundaryEdge> boundary_;
+  std::unordered_map<vid_t, std::int32_t> start_of_;
+};
+
+}  // namespace
+
+Csr make_delaunay(vid_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts(n);
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
+
+  Triangulation tri(std::move(pts));
+  for (vid_t p = 0; p < n; ++p) {
+    // Degenerate insertions (cocircular/collinear within epsilon) are
+    // retried with a tiny jitter; random input makes them vanishingly rare.
+    for (int attempt = 0; attempt < 8 && !tri.insert(p); ++attempt) {
+      tri.point(p).x += (rng.uniform() - 0.5) * 1e-9;
+      tri.point(p).y += (rng.uniform() - 0.5) * 1e-9;
+    }
+  }
+
+  EdgeList edges(n);
+  tri.edges(edges);
+  edges.ensure_vertices(n);
+  return Csr::from_edges(std::move(edges));
+}
+
+}  // namespace fdiam

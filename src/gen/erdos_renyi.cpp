@@ -1,0 +1,29 @@
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace fdiam {
+
+Csr make_erdos_renyi(vid_t n, eid_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  EdgeList edges(n);
+  edges.reserve(m);
+  // Sample with replacement and over-draw slightly; canonicalization in
+  // the CSR builder removes the (rare, for sparse m) duplicates.
+  const eid_t max_edges = static_cast<eid_t>(n) * (n - 1) / 2;
+  const eid_t want = std::min(m, max_edges);
+  eid_t attempts = 0;
+  const eid_t attempt_cap = want * 4 + 64;
+  while (edges.size() < want && attempts < attempt_cap) {
+    ++attempts;
+    const auto u = static_cast<vid_t>(rng.below(n));
+    const auto v = static_cast<vid_t>(rng.below(n));
+    if (u != v) edges.add(u, v);
+  }
+  // Note: `edges` may still contain duplicates counted above; from_edges
+  // dedups, so the final count can be slightly below `want` — acceptable
+  // for a random-graph workload factory.
+  return Csr::from_edges(std::move(edges));
+}
+
+}  // namespace fdiam

@@ -1,0 +1,133 @@
+#pragma once
+// Synthetic graph generators.
+//
+// The paper evaluates on 17 public graphs spanning grids, power-law /
+// small-world networks, Kronecker/RMAT graphs, Delaunay triangulations,
+// and road maps. This module synthesizes structurally matching stand-ins
+// for offline use (DESIGN.md "Substitutions"); the generators are also the
+// workload factories for the unit/property tests.
+//
+// Every generator is deterministic in its seed.
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace fdiam {
+
+// --- Meshes ----------------------------------------------------------------
+
+/// 4-neighbor 2-D grid with `width * height` vertices (analogue of
+/// 2d-2e20.sym). Diameter = width + height - 2.
+Csr make_grid(vid_t width, vid_t height);
+
+/// Delaunay triangulation of `n` uniformly random points in the unit
+/// square (analogue of delaunay_n24), built with incremental
+/// Bowyer-Watson insertion.
+Csr make_delaunay(vid_t n, std::uint64_t seed);
+
+// --- Random graphs -----------------------------------------------------------
+
+/// Erdos-Renyi G(n, m): m distinct undirected edges chosen uniformly.
+Csr make_erdos_renyi(vid_t n, eid_t m, std::uint64_t seed);
+
+/// Watts-Strogatz small world: ring lattice with `k` neighbors per side,
+/// each edge rewired with probability `beta`.
+Csr make_watts_strogatz(vid_t n, vid_t k, double beta, std::uint64_t seed);
+
+/// Random geometric graph: n points in the unit square, edges below
+/// distance `radius` (bucket-grid accelerated).
+Csr make_random_geometric(vid_t n, double radius, std::uint64_t seed);
+
+// --- Power-law graphs --------------------------------------------------------
+
+/// Barabasi-Albert preferential attachment; each new vertex attaches
+/// `m_per_vertex` edges (fractional part applied probabilistically, so
+/// e.g. 1.5 alternates between 1 and 2). Analogue of the paper's
+/// citation / co-purchase / internet-topology inputs.
+Csr make_barabasi_albert(vid_t n, double m_per_vertex, std::uint64_t seed);
+
+/// RMAT recursive-matrix graph over 2^scale vertices with
+/// edge_factor * 2^scale undirected edges and quadrant probabilities
+/// (a, b, c, 1-a-b-c). Analogue of rmat16/rmat22 and the web graphs.
+Csr make_rmat(int scale, double edge_factor, double a, double b, double c,
+              std::uint64_t seed);
+
+/// Graph500 Kronecker parameters (a=.57, b=.19, c=.19); analogue of
+/// kron_g500-logn21, including its many isolated (degree-0) vertices.
+Csr make_kronecker(int scale, double edge_factor, std::uint64_t seed);
+
+// --- Road networks -----------------------------------------------------------
+
+struct RoadOptions {
+  vid_t grid_width = 256;       ///< intersections per row of the base grid
+  vid_t grid_height = 256;      ///< rows of the base grid
+  double keep_extra = 0.55;     ///< fraction of non-tree grid edges kept
+  vid_t max_subdivisions = 3;   ///< road polylines: each edge becomes a
+                                ///< chain of 1..max_subdivisions segments
+  double dead_end_fraction = 0.02;  ///< degree-1 spurs per intersection
+};
+
+/// Road-map synthesizer (analogue of USA-road-d.* / europe_osm): sparse,
+/// huge diameter, average degree ~2-3, many degree-2 chain vertices and a
+/// sprinkling of degree-1 dead ends — the topology Chain Processing and
+/// the paper's high-diameter results exercise.
+Csr make_road_network(const RoadOptions& opt, std::uint64_t seed);
+
+// --- Deterministic special shapes (tests and corner cases) -------------------
+
+/// Uniform random recursive tree: vertex v attaches to a uniformly random
+/// earlier vertex. Trees are the extreme chain-processing workload (every
+/// leaf is a chain tip) and the 2-sweep lower bound is provably exact on
+/// them.
+Csr make_random_tree(vid_t n, std::uint64_t seed);
+
+Csr make_path(vid_t n);                   ///< diameter n-1
+Csr make_cycle(vid_t n);                  ///< diameter floor(n/2)
+Csr make_star(vid_t leaves);              ///< hub + leaves, diameter 2
+Csr make_complete(vid_t n);               ///< diameter 1
+Csr make_balanced_tree(vid_t branching, vid_t depth);  ///< diameter 2*depth
+/// Spine path of length `spine` with `legs` degree-1 legs per spine vertex.
+Csr make_caterpillar(vid_t spine, vid_t legs);
+/// Clique of `clique` vertices with a path of `tail` vertices attached.
+Csr make_lollipop(vid_t clique, vid_t tail);
+/// Two cliques of size `clique` joined by a path of `bridge` vertices.
+Csr make_barbell(vid_t clique, vid_t bridge);
+
+/// Disjoint union: relabels `b`'s vertices after `a`'s.
+Csr disjoint_union(const Csr& a, const Csr& b);
+
+// --- Periphery (tendril) transform -------------------------------------------
+
+struct TendrilOptions {
+  double per_vertex = 0.01;  ///< tendrils added per core vertex
+  vid_t max_len = 10;        ///< tendril depth ~ U[1, max_len]
+  double branch_prob = 0.2;  ///< extra leaf per open-tendril vertex
+  /// Fraction of tendrils that are open paths ending in a degree-1 tip;
+  /// the rest are closed "petals" (a cycle of ~2*depth attached at the
+  /// anchor, every vertex degree 2). Real SNAP peripheries are almost
+  /// entirely min-degree-2 (the paper's Table 4 shows ~0% Chain removal
+  /// on most inputs), so closed petals are the faithful default shape.
+  double open_fraction = 0.1;
+  /// Anchor all tendrils inside a small BFS ball around one random pole
+  /// (this fraction of the core) instead of uniformly. Real peripheries
+  /// are lumpy: with a one-sided periphery, most core vertices sit far
+  /// from the deep fringe and have eccentricities well above diameter/2,
+  /// which is what makes Winnow's ball (radius bound/2) categorically
+  /// stronger than Eliminate's (radius bound - ecc(v)) on the paper's
+  /// small-world inputs. 0 disables clustering (uniform anchors).
+  double cluster_fraction = 0.1;
+};
+
+/// Attach tree tendrils (paths with occasional leaf branches) to random
+/// vertices of a core graph. Real-world power-law graphs owe their large
+/// diameters to exactly this core-periphery structure (paper §3): the
+/// dense core has a small eccentricity spread, while sparse tendrils push
+/// the diameter up to 2-5x the core's. Without them, synthetic RMAT/BA
+/// graphs are "too round" — every vertex nearly diametral — which
+/// understates Winnow and flatters fringe-based codes.
+Csr attach_tendrils(const Csr& core, const TendrilOptions& opt,
+                    std::uint64_t seed);
+
+}  // namespace fdiam

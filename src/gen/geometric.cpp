@@ -1,0 +1,62 @@
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace fdiam {
+
+Csr make_random_geometric(vid_t n, double radius, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n), ys(n);
+  for (vid_t v = 0; v < n; ++v) {
+    xs[v] = rng.uniform();
+    ys[v] = rng.uniform();
+  }
+
+  // Bucket grid with cell size = radius: candidate pairs live in the same
+  // or an adjacent cell, giving near-linear expected work.
+  const auto cells =
+      std::max<vid_t>(1, static_cast<vid_t>(std::floor(1.0 / radius)));
+  std::vector<std::vector<vid_t>> grid(static_cast<std::size_t>(cells) *
+                                       cells);
+  auto cell_of = [&](vid_t v) {
+    auto cx = std::min<vid_t>(cells - 1,
+                              static_cast<vid_t>(xs[v] * static_cast<double>(cells)));
+    auto cy = std::min<vid_t>(cells - 1,
+                              static_cast<vid_t>(ys[v] * static_cast<double>(cells)));
+    return cy * cells + cx;
+  };
+  for (vid_t v = 0; v < n; ++v) grid[cell_of(v)].push_back(v);
+
+  EdgeList edges(n);
+  const double r2 = radius * radius;
+  for (vid_t cy = 0; cy < cells; ++cy) {
+    for (vid_t cx = 0; cx < cells; ++cx) {
+      const auto& bucket = grid[cy * cells + cx];
+      for (int dy = 0; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dy == 0 && dx < 0) continue;  // visit each pair once
+          const auto nx = static_cast<std::int64_t>(cx) + dx;
+          const auto ny = static_cast<std::int64_t>(cy) + dy;
+          if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+          const auto& other = grid[static_cast<std::size_t>(ny) * cells +
+                                   static_cast<std::size_t>(nx)];
+          const bool same = dx == 0 && dy == 0;
+          for (std::size_t i = 0; i < bucket.size(); ++i) {
+            const std::size_t j0 = same ? i + 1 : 0;
+            for (std::size_t j = j0; j < other.size(); ++j) {
+              const vid_t u = bucket[i], w = other[j];
+              const double ddx = xs[u] - xs[w], ddy = ys[u] - ys[w];
+              if (ddx * ddx + ddy * ddy <= r2) edges.add(u, w);
+            }
+          }
+        }
+      }
+    }
+  }
+  return Csr::from_edges(std::move(edges));
+}
+
+}  // namespace fdiam

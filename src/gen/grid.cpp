@@ -1,0 +1,19 @@
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+
+namespace fdiam {
+
+Csr make_grid(vid_t width, vid_t height) {
+  EdgeList edges(width * height);
+  edges.reserve(static_cast<std::size_t>(width) * height * 2);
+  auto id = [width](vid_t x, vid_t y) { return y * width + x; };
+  for (vid_t y = 0; y < height; ++y) {
+    for (vid_t x = 0; x < width; ++x) {
+      if (x + 1 < width) edges.add(id(x, y), id(x + 1, y));
+      if (y + 1 < height) edges.add(id(x, y), id(x, y + 1));
+    }
+  }
+  return Csr::from_edges(std::move(edges));
+}
+
+}  // namespace fdiam

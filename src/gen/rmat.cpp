@@ -1,0 +1,45 @@
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace fdiam {
+
+Csr make_rmat(int scale, double edge_factor, double a, double b, double c,
+              std::uint64_t seed) {
+  Rng rng(seed);
+  const vid_t n = vid_t{1} << scale;
+  const auto target =
+      static_cast<eid_t>(edge_factor * static_cast<double>(n));
+
+  EdgeList edges(n);
+  edges.reserve(target);
+  for (eid_t e = 0; e < target; ++e) {
+    vid_t u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: both bits 0
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) edges.add(u, v);
+  }
+  // Duplicates collapse in the CSR builder — exactly like real RMAT/Graph500
+  // inputs, where collisions leave many low-id multi-edges and isolated
+  // high-id vertices (the paper's kron_g500 input is 26% degree-0).
+  return Csr::from_edges(std::move(edges));
+}
+
+Csr make_kronecker(int scale, double edge_factor, std::uint64_t seed) {
+  return make_rmat(scale, edge_factor, 0.57, 0.19, 0.19, seed);
+}
+
+}  // namespace fdiam

@@ -1,0 +1,104 @@
+// Road-network synthesizer — the stand-in for the paper's USA-road-d.*
+// and europe_osm inputs: average degree ~2-3, maximum degree <= ~8, a
+// huge diameter, long degree-2 polyline chains, and occasional degree-1
+// dead ends (exactly the topology the paper's Chain Processing and
+// high-diameter results exercise; see Tables 1 and 4).
+//
+// Construction: a randomized spanning tree ("maze") over a W x H grid of
+// intersections guarantees connectivity and stretches the diameter; a
+// fraction of the remaining grid edges is kept to create alternative
+// routes; every road is then subdivided into a chain of 1..k segments
+// (picking up the polyline shape of real road data); finally a few
+// dead-end spurs are attached.
+
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace fdiam {
+
+Csr make_road_network(const RoadOptions& opt, std::uint64_t seed) {
+  Rng rng(seed);
+  const vid_t w = opt.grid_width, h = opt.grid_height;
+  const vid_t intersections = w * h;
+  auto id = [w](vid_t x, vid_t y) { return y * w + x; };
+
+  // --- Randomized-DFS spanning tree over the grid (maze carving). --------
+  std::vector<std::uint8_t> in_tree(intersections, 0);
+  std::vector<vid_t> stack;
+  std::vector<std::pair<vid_t, vid_t>> roads;  // intersection pairs
+  roads.reserve(static_cast<std::size_t>(intersections) * 2);
+
+  stack.push_back(0);
+  in_tree[0] = 1;
+  std::vector<vid_t> candidates;
+  while (!stack.empty()) {
+    const vid_t v = stack.back();
+    const vid_t x = v % w, y = v / w;
+    candidates.clear();
+    if (x > 0 && !in_tree[id(x - 1, y)]) candidates.push_back(id(x - 1, y));
+    if (x + 1 < w && !in_tree[id(x + 1, y)]) candidates.push_back(id(x + 1, y));
+    if (y > 0 && !in_tree[id(x, y - 1)]) candidates.push_back(id(x, y - 1));
+    if (y + 1 < h && !in_tree[id(x, y + 1)]) candidates.push_back(id(x, y + 1));
+    if (candidates.empty()) {
+      stack.pop_back();
+      continue;
+    }
+    const vid_t next =
+        candidates[static_cast<std::size_t>(rng.below(candidates.size()))];
+    in_tree[next] = 1;
+    roads.emplace_back(v, next);
+    stack.push_back(next);
+  }
+
+  // --- Keep a fraction of the remaining grid edges as alternate routes. --
+  std::vector<std::uint8_t> used(static_cast<std::size_t>(intersections) * 2,
+                                 0);
+  for (const auto& [a, b] : roads) {
+    // Encode grid edge as (min vertex, horizontal?) for duplicate checks.
+    const vid_t lo = std::min(a, b);
+    const bool horizontal = (a / w) == (b / w);
+    used[static_cast<std::size_t>(lo) * 2 + (horizontal ? 0 : 1)] = 1;
+  }
+  for (vid_t y = 0; y < h; ++y) {
+    for (vid_t x = 0; x < w; ++x) {
+      if (x + 1 < w && !used[static_cast<std::size_t>(id(x, y)) * 2] &&
+          rng.chance(opt.keep_extra)) {
+        roads.emplace_back(id(x, y), id(x + 1, y));
+      }
+      if (y + 1 < h && !used[static_cast<std::size_t>(id(x, y)) * 2 + 1] &&
+          rng.chance(opt.keep_extra)) {
+        roads.emplace_back(id(x, y), id(x, y + 1));
+      }
+    }
+  }
+
+  // --- Subdivide roads into polyline chains and add dead-end spurs. ------
+  EdgeList edges;
+  edges.ensure_vertices(intersections);
+  vid_t next_vertex = intersections;
+  for (const auto& [a, b] : roads) {
+    const auto segments =
+        1 + static_cast<vid_t>(rng.below(opt.max_subdivisions));
+    vid_t prev = a;
+    for (vid_t s = 1; s < segments; ++s) {
+      edges.add(prev, next_vertex);
+      prev = next_vertex++;
+    }
+    edges.add(prev, b);
+  }
+  for (vid_t v = 0; v < intersections; ++v) {
+    if (!rng.chance(opt.dead_end_fraction)) continue;
+    const auto spur_len = 1 + static_cast<vid_t>(rng.below(3));
+    vid_t prev = v;
+    for (vid_t s = 0; s < spur_len; ++s) {
+      edges.add(prev, next_vertex);
+      prev = next_vertex++;
+    }
+  }
+  return Csr::from_edges(std::move(edges));
+}
+
+}  // namespace fdiam

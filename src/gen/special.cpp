@@ -1,0 +1,207 @@
+// Deterministic special-shape generators with known diameters — the
+// backbone of the unit and property tests (each shape's exact diameter is
+// checked against every algorithm in the library).
+
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace fdiam {
+
+Csr make_random_tree(vid_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  EdgeList edges;
+  edges.ensure_vertices(n);
+  for (vid_t v = 1; v < n; ++v) {
+    edges.add(v, static_cast<vid_t>(rng.below(v)));
+  }
+  return Csr::from_edges(std::move(edges));
+}
+
+Csr make_path(vid_t n) {
+  EdgeList edges(n);
+  for (vid_t v = 0; v + 1 < n; ++v) edges.add(v, v + 1);
+  edges.ensure_vertices(n);
+  return Csr::from_edges(std::move(edges));
+}
+
+Csr make_cycle(vid_t n) {
+  EdgeList edges(n);
+  for (vid_t v = 0; v + 1 < n; ++v) edges.add(v, v + 1);
+  if (n >= 3) edges.add(n - 1, 0);
+  edges.ensure_vertices(n);
+  return Csr::from_edges(std::move(edges));
+}
+
+Csr make_star(vid_t leaves) {
+  EdgeList edges(leaves + 1);
+  for (vid_t v = 1; v <= leaves; ++v) edges.add(0, v);
+  return Csr::from_edges(std::move(edges));
+}
+
+Csr make_complete(vid_t n) {
+  EdgeList edges(n);
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v = u + 1; v < n; ++v) edges.add(u, v);
+  }
+  edges.ensure_vertices(n);
+  return Csr::from_edges(std::move(edges));
+}
+
+Csr make_balanced_tree(vid_t branching, vid_t depth) {
+  EdgeList edges;
+  // Level-order ids: child c of vertex v is v*branching + 1 + c.
+  vid_t level_start = 0, level_size = 1, next_id = 1;
+  for (vid_t d = 0; d < depth; ++d) {
+    for (vid_t i = 0; i < level_size; ++i) {
+      const vid_t parent = level_start + i;
+      for (vid_t c = 0; c < branching; ++c) edges.add(parent, next_id++);
+    }
+    level_start += level_size;
+    level_size *= branching;
+  }
+  edges.ensure_vertices(next_id == 1 ? 1 : next_id);
+  return Csr::from_edges(std::move(edges));
+}
+
+Csr make_caterpillar(vid_t spine, vid_t legs) {
+  EdgeList edges;
+  vid_t next_id = spine;
+  for (vid_t v = 0; v < spine; ++v) {
+    if (v + 1 < spine) edges.add(v, v + 1);
+    for (vid_t l = 0; l < legs; ++l) edges.add(v, next_id++);
+  }
+  edges.ensure_vertices(next_id == spine ? spine : next_id);
+  return Csr::from_edges(std::move(edges));
+}
+
+Csr make_lollipop(vid_t clique, vid_t tail) {
+  EdgeList edges(clique + tail);
+  for (vid_t u = 0; u < clique; ++u) {
+    for (vid_t v = u + 1; v < clique; ++v) edges.add(u, v);
+  }
+  vid_t prev = 0;  // attach the tail to clique vertex 0
+  for (vid_t t = 0; t < tail; ++t) {
+    edges.add(prev, clique + t);
+    prev = clique + t;
+  }
+  edges.ensure_vertices(clique + tail);
+  return Csr::from_edges(std::move(edges));
+}
+
+Csr make_barbell(vid_t clique, vid_t bridge) {
+  EdgeList edges(2 * clique + bridge);
+  auto add_clique = [&edges](vid_t base, vid_t size) {
+    for (vid_t u = 0; u < size; ++u) {
+      for (vid_t v = u + 1; v < size; ++v) edges.add(base + u, base + v);
+    }
+  };
+  add_clique(0, clique);
+  add_clique(clique, clique);
+  vid_t prev = 0;
+  for (vid_t b = 0; b < bridge; ++b) {
+    edges.add(prev, 2 * clique + b);
+    prev = 2 * clique + b;
+  }
+  edges.add(prev, clique);  // first vertex of the second clique
+  return Csr::from_edges(std::move(edges));
+}
+
+Csr attach_tendrils(const Csr& core, const TendrilOptions& opt,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  const vid_t n = core.num_vertices();
+  EdgeList edges(n);
+  for (vid_t v = 0; v < n; ++v) {
+    for (const vid_t w : core.neighbors(v)) {
+      if (v < w) edges.add(v, w);
+    }
+  }
+
+  // Candidate anchors: either the whole core or (clustered mode) the
+  // first cluster_fraction * n vertices of a BFS from a random pole —
+  // a contiguous "side" of the graph.
+  std::vector<vid_t> anchor_pool;
+  if (opt.cluster_fraction > 0.0 && n > 0) {
+    const auto want = std::max<vid_t>(
+        1, static_cast<vid_t>(opt.cluster_fraction * static_cast<double>(n)));
+    vid_t pole = static_cast<vid_t>(rng.below(n));
+    for (int tries = 0; tries < 64 && core.degree(pole) == 0; ++tries) {
+      pole = static_cast<vid_t>(rng.below(n));
+    }
+    std::vector<std::uint8_t> seen(n, 0);
+    anchor_pool.push_back(pole);
+    seen[pole] = 1;
+    for (std::size_t head = 0;
+         head < anchor_pool.size() && anchor_pool.size() < want; ++head) {
+      for (const vid_t w : core.neighbors(anchor_pool[head])) {
+        if (!seen[w]) {
+          seen[w] = 1;
+          anchor_pool.push_back(w);
+          if (anchor_pool.size() >= want) break;
+        }
+      }
+    }
+  }
+
+  const auto tendrils = static_cast<vid_t>(
+      opt.per_vertex * static_cast<double>(n));
+  vid_t next = n;
+  for (vid_t t = 0; t < tendrils; ++t) {
+    // Attach to a random (pool) vertex with at least one edge (tendrils
+    // on isolated vertices would just create new components).
+    vid_t anchor;
+    if (!anchor_pool.empty()) {
+      anchor = anchor_pool[static_cast<std::size_t>(
+          rng.below(anchor_pool.size()))];
+    } else {
+      anchor = static_cast<vid_t>(rng.below(n));
+      for (int tries = 0; tries < 32 && core.degree(anchor) == 0; ++tries) {
+        anchor = static_cast<vid_t>(rng.below(n));
+      }
+    }
+    const auto len = 1 + static_cast<vid_t>(rng.below(opt.max_len));
+    if (rng.chance(opt.open_fraction)) {
+      // Open tendril: path ending in a degree-1 tip, with occasional
+      // side leaves (chain-processing fodder).
+      vid_t prev = anchor;
+      for (vid_t step = 0; step < len; ++step) {
+        edges.add(prev, next);
+        prev = next++;
+        if (rng.chance(opt.branch_prob)) {
+          edges.add(prev, next++);  // side leaf breaks up pure chains
+        }
+      }
+    } else {
+      // Closed petal: a cycle of length ~2*len attached at the anchor;
+      // its antipode sits `len` steps away and every petal vertex has
+      // degree 2 — deep periphery without any degree-1 vertices.
+      const vid_t cycle_len = std::max<vid_t>(3, 2 * len);
+      vid_t prev = anchor;
+      for (vid_t step = 0; step + 1 < cycle_len; ++step) {
+        edges.add(prev, next);
+        prev = next++;
+      }
+      edges.add(prev, anchor);
+    }
+  }
+  return Csr::from_edges(std::move(edges));
+}
+
+Csr disjoint_union(const Csr& a, const Csr& b) {
+  EdgeList edges(a.num_vertices() + b.num_vertices());
+  for (vid_t v = 0; v < a.num_vertices(); ++v) {
+    for (const vid_t w : a.neighbors(v)) {
+      if (v < w) edges.add(v, w);
+    }
+  }
+  const vid_t shift = a.num_vertices();
+  for (vid_t v = 0; v < b.num_vertices(); ++v) {
+    for (const vid_t w : b.neighbors(v)) {
+      if (v < w) edges.add(shift + v, shift + w);
+    }
+  }
+  return Csr::from_edges(std::move(edges));
+}
+
+}  // namespace fdiam

@@ -1,0 +1,209 @@
+#include "gen/suite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+
+namespace fdiam {
+
+namespace {
+
+// Scale helpers. Vertex-count scaling multiplies by `scale`; the
+// power-of-two RMAT scale grows by log2(scale).
+vid_t scaled(double base, double scale) {
+  return static_cast<vid_t>(base * scale);
+}
+int scaled_log2(int base, double scale) {
+  return base + static_cast<int>(std::lround(std::log2(scale)));
+}
+
+// Power-law cores are wrapped with tree tendrils (attach_tendrils) tuned
+// so the analogue's diameter lands near the paper input's Table 1 value:
+// real SNAP/web graphs owe their 20-45 diameters to exactly this sparse
+// periphery, and without it the core alone is "too round" (diameter ~6).
+Csr tendrilled(Csr core, double per_vertex, vid_t max_len,
+               std::uint64_t seed) {
+  TendrilOptions opt;
+  opt.per_vertex = per_vertex;
+  opt.max_len = max_len;
+  return attach_tendrils(core, opt, seed ^ 0x7e4d7e4dULL);
+}
+
+std::vector<SuiteEntry> make_suite() {
+  std::vector<SuiteEntry> s;
+
+  // 2d-2e20.sym: 1024x1024 grid, 1,048,576 vertices. Full size at scale 4
+  // (the default 512x512 keeps the quick benches fast on one core).
+  s.push_back({"2d-2e20.sym", "grid", "2-D grid",
+               [](double scale, std::uint64_t) {
+                 const vid_t side = static_cast<vid_t>(512.0 * std::sqrt(scale));
+                 return make_grid(side, side);
+               }});
+
+  // amazon0601: product co-purchases, 403,394 vertices, avg deg 12.
+  s.push_back({"amazon0601", "product co-purchases", "Barabasi-Albert m=6",
+               [](double scale, std::uint64_t seed) {
+                 return tendrilled(make_barabasi_albert(scaled(100000, scale), 6.0, seed),
+                                   0.015, 10, seed);
+               }});
+
+  // as-skitter: internet topology, 1.7M vertices, avg deg 13, max deg 35k.
+  s.push_back({"as-skitter", "Internet topology", "Barabasi-Albert m=6.5",
+               [](double scale, std::uint64_t seed) {
+                 return tendrilled(
+                     make_barabasi_albert(scaled(120000, scale), 6.5, seed + 1),
+                     0.012, 13, seed + 1);
+               }});
+
+  // citationCiteSeer: 268,495 vertices, avg deg 8.6.
+  s.push_back({"citationCiteSeer", "publication citations",
+               "Barabasi-Albert m=4.3",
+               [](double scale, std::uint64_t seed) {
+                 return tendrilled(
+                     make_barabasi_albert(scaled(67000, scale), 4.3, seed + 2),
+                     0.012, 15, seed + 2);
+               }});
+
+  // cit-Patents: 3.8M vertices, avg deg 8.8. Full size at scale ~15.
+  s.push_back({"cit-Patents", "patent citations", "Barabasi-Albert m=4.4",
+               [](double scale, std::uint64_t seed) {
+                 return tendrilled(
+                     make_barabasi_albert(scaled(250000, scale), 4.4, seed + 3),
+                     0.015, 11, seed + 3);
+               }});
+
+  // coPapersDBLP: dense co-authorship, avg deg 56.
+  s.push_back({"coPapersDBLP", "publication citations",
+               "RMAT dense (a=.45,b=.22,c=.22) ef=28",
+               [](double scale, std::uint64_t seed) {
+                 return tendrilled(make_rmat(scaled_log2(15, scale), 28.0, 0.45,
+                                             0.22, 0.22, seed + 4),
+                                   0.01, 11, seed + 4);
+               }});
+
+  // delaunay_n24: 16.8M-vertex triangulation. Full size at scale 256.
+  s.push_back({"delaunay_n24", "triangulation", "Bowyer-Watson Delaunay",
+               [](double scale, std::uint64_t seed) {
+                 return make_delaunay(scaled(65536, scale), seed + 5);
+               }});
+
+  // europe_osm: 50.9M vertices, avg deg 2.1, diameter 30,102.
+  s.push_back({"europe_osm", "road map", "road synthesizer",
+               [](double scale, std::uint64_t seed) {
+                 RoadOptions opt;
+                 opt.grid_width = static_cast<vid_t>(160.0 * std::sqrt(scale));
+                 opt.grid_height = opt.grid_width;
+                 opt.keep_extra = 0.15;  // sparse: mostly tree-like
+                 opt.max_subdivisions = 5;
+                 opt.dead_end_fraction = 0.05;
+                 return make_road_network(opt, seed + 6);
+               }});
+
+  // in-2004: web links, 1.4M vertices, avg deg 19.7.
+  s.push_back({"in-2004", "web links", "RMAT (a=.55,b=.20,c=.15) ef=10",
+               [](double scale, std::uint64_t seed) {
+                 return tendrilled(make_rmat(scaled_log2(17, scale), 10.0, 0.55,
+                                             0.20, 0.15, seed + 7),
+                                   0.012, 17, seed + 7);
+               }});
+
+  // internet: 124,651 vertices, avg deg 3.1 (full size by default).
+  s.push_back({"internet", "Internet topology", "Barabasi-Albert m=1.55",
+               [](double scale, std::uint64_t seed) {
+                 return tendrilled(
+                     make_barabasi_albert(scaled(124651, scale), 1.55, seed + 8),
+                     0.01, 13, seed + 8);
+               }});
+
+  // kron_g500-logn21: scale-21 Kronecker, ef=87, 26% isolated vertices.
+  // Full size at scale 64.
+  s.push_back({"kron_g500-logn21", "Kronecker", "Graph500 Kronecker ef=43",
+               [](double scale, std::uint64_t seed) {
+                 return make_kronecker(scaled_log2(15, scale), 43.0, seed + 9);
+               }});
+
+  // rmat16.sym: 65,536 vertices, ef=7.4 — full paper size by default.
+  s.push_back({"rmat16.sym", "RMAT", "RMAT (a=.45,b=.15,c=.15) ef=7.4",
+               [](double scale, std::uint64_t seed) {
+                 return tendrilled(make_rmat(scaled_log2(16, scale), 7.4, 0.45,
+                                             0.15, 0.15, seed + 10),
+                                   0.005, 6, seed + 10);
+               }});
+
+  // rmat22.sym: 4.2M vertices, ef=7.8. Full size at scale 16.
+  s.push_back({"rmat22.sym", "RMAT", "RMAT (a=.45,b=.15,c=.15) ef=7.8",
+               [](double scale, std::uint64_t seed) {
+                 return tendrilled(make_rmat(scaled_log2(18, scale), 7.8, 0.45,
+                                             0.15, 0.15, seed + 11),
+                                   0.006, 8, seed + 11);
+               }});
+
+  // soc-LiveJournal1: 4.8M vertices, avg deg 17.7. Full size at scale 16.
+  s.push_back({"soc-LiveJournal1", "journal community",
+               "RMAT (a=.57,b=.19,c=.19) ef=9",
+               [](double scale, std::uint64_t seed) {
+                 return tendrilled(make_rmat(scaled_log2(18, scale), 9.0, 0.57,
+                                             0.19, 0.19, seed + 12),
+                                   0.008, 9, seed + 12);
+               }});
+
+  // uk-2002: 18.5M vertices, avg deg 28.3. Full size at scale 64.
+  s.push_back({"uk-2002", "web links", "RMAT (a=.55,b=.20,c=.15) ef=14",
+               [](double scale, std::uint64_t seed) {
+                 return tendrilled(make_rmat(scaled_log2(18, scale), 14.0, 0.55,
+                                             0.20, 0.15, seed + 13),
+                                   0.012, 18, seed + 13);
+               }});
+
+  // USA-road-d.NY: 264,346 vertices, avg deg 2.8, diameter 720 (full
+  // size by default).
+  s.push_back({"USA-road-d.NY", "road map", "road synthesizer",
+               [](double scale, std::uint64_t seed) {
+                 RoadOptions opt;
+                 opt.grid_width = static_cast<vid_t>(220.0 * std::sqrt(scale));
+                 opt.grid_height = opt.grid_width;
+                 opt.keep_extra = 0.55;  // Manhattan-ish: dense alternates
+                 opt.max_subdivisions = 2;
+                 opt.dead_end_fraction = 0.02;
+                 return make_road_network(opt, seed + 14);
+               }});
+
+  // USA-road-d.USA: 23.9M vertices, diameter 8,440. Full size at scale 24.
+  s.push_back({"USA-road-d.USA", "road map", "road synthesizer",
+               [](double scale, std::uint64_t seed) {
+                 RoadOptions opt;
+                 opt.grid_width = static_cast<vid_t>(340.0 * std::sqrt(scale));
+                 opt.grid_height = opt.grid_width;
+                 opt.keep_extra = 0.35;
+                 opt.max_subdivisions = 3;
+                 opt.dead_end_fraction = 0.03;
+                 return make_road_network(opt, seed + 15);
+               }});
+
+  return s;
+}
+
+}  // namespace
+
+const std::vector<SuiteEntry>& input_suite() {
+  static const std::vector<SuiteEntry> suite = make_suite();
+  return suite;
+}
+
+Csr build_suite_input(const std::string& name, double scale,
+                      std::uint64_t seed) {
+  for (const SuiteEntry& entry : input_suite()) {
+    if (entry.name == name) return entry.build(scale, seed);
+  }
+  throw std::invalid_argument("unknown suite input: " + name);
+}
+
+std::vector<std::string> suite_names() {
+  std::vector<std::string> names;
+  names.reserve(input_suite().size());
+  for (const SuiteEntry& entry : input_suite()) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace fdiam

@@ -1,0 +1,34 @@
+#pragma once
+// The benchmark input suite: one synthetic analogue per input graph of the
+// paper's Table 1 (see DESIGN.md "Substitutions" for the mapping
+// rationale). Sizes default to laptop scale and grow with `scale`:
+// scale 1.0 is the quick default; the comment next to each entry states
+// the scale at which the analogue reaches the paper's full input size.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace fdiam {
+
+struct SuiteEntry {
+  std::string name;     ///< the paper's input name
+  std::string type;     ///< Table 1 "type" column
+  std::string analogue; ///< generator description
+  std::function<Csr(double scale, std::uint64_t seed)> build;
+};
+
+/// All 17 entries in the paper's Table 1 order.
+const std::vector<SuiteEntry>& input_suite();
+
+/// Build one suite input by its paper name; throws on unknown names.
+Csr build_suite_input(const std::string& name, double scale = 1.0,
+                      std::uint64_t seed = 1);
+
+/// Names only, in Table 1 order.
+std::vector<std::string> suite_names();
+
+}  // namespace fdiam

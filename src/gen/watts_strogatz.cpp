@@ -1,0 +1,25 @@
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace fdiam {
+
+Csr make_watts_strogatz(vid_t n, vid_t k, double beta, std::uint64_t seed) {
+  Rng rng(seed);
+  EdgeList edges(n);
+  edges.reserve(static_cast<std::size_t>(n) * k);
+  for (vid_t v = 0; v < n; ++v) {
+    for (vid_t j = 1; j <= k; ++j) {
+      vid_t w = (v + j) % n;
+      if (rng.chance(beta)) {
+        // Rewire the far endpoint to a uniform random vertex.
+        w = static_cast<vid_t>(rng.below(n));
+        if (w == v) w = (v + j) % n;  // keep degree; skip self-loop
+      }
+      edges.add(v, w);
+    }
+  }
+  return Csr::from_edges(std::move(edges));
+}
+
+}  // namespace fdiam

@@ -1,0 +1,45 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+
+namespace fdiam {
+
+std::uint32_t Components::largest() const {
+  if (size.empty()) return 0;
+  return static_cast<std::uint32_t>(
+      std::max_element(size.begin(), size.end()) - size.begin());
+}
+
+Components connected_components(const Csr& g) {
+  const vid_t n = g.num_vertices();
+  Components out;
+  out.label.assign(n, UINT32_MAX);
+
+  std::vector<vid_t> queue;
+  queue.reserve(1024);
+  for (vid_t start = 0; start < n; ++start) {
+    if (out.label[start] != UINT32_MAX) continue;
+    const auto comp = static_cast<std::uint32_t>(out.size.size());
+    out.label[start] = comp;
+    vid_t members = 1;
+    queue.clear();
+    queue.push_back(start);
+    // Plain FIFO-less BFS: order does not matter for labelling, so we use
+    // the vector as a stack to avoid pop-front shuffling.
+    while (!queue.empty()) {
+      const vid_t v = queue.back();
+      queue.pop_back();
+      for (vid_t w : g.neighbors(v)) {
+        if (out.label[w] == UINT32_MAX) {
+          out.label[w] = comp;
+          ++members;
+          queue.push_back(w);
+        }
+      }
+    }
+    out.size.push_back(members);
+  }
+  return out;
+}
+
+}  // namespace fdiam

@@ -1,0 +1,30 @@
+#pragma once
+// Connected-component labelling. Needed because the paper's semantics for
+// disconnected inputs is "report infinity plus the largest eccentricity in
+// any connected component" (§1, §5).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace fdiam {
+
+struct Components {
+  /// Component id per vertex, in [0, count).
+  std::vector<std::uint32_t> label;
+  /// Vertex count per component.
+  std::vector<vid_t> size;
+
+  [[nodiscard]] std::uint32_t count() const {
+    return static_cast<std::uint32_t>(size.size());
+  }
+  /// Id of the largest component (0 if the graph is empty).
+  [[nodiscard]] std::uint32_t largest() const;
+  [[nodiscard]] bool connected() const { return count() <= 1; }
+};
+
+/// Label components with an iterative BFS sweep; O(n + m).
+Components connected_components(const Csr& g);
+
+}  // namespace fdiam

@@ -1,0 +1,118 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace fdiam {
+
+Csr Csr::from_edges(EdgeList edges) {
+  // Counting-scatter construction: O(n + m) plus a parallel per-vertex
+  // sort/dedup, instead of the O(m log m) global sort a canonicalization
+  // pass would need. Self-loops are dropped during the scatter; duplicate
+  // undirected edges collapse in the per-vertex unique step.
+  const vid_t n = edges.num_vertices();
+
+  std::vector<eid_t> raw_offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges.edges()) {
+    if (e.u == e.v) continue;
+    ++raw_offsets[e.u + 1];
+    ++raw_offsets[e.v + 1];
+  }
+  for (vid_t v = 0; v < n; ++v) raw_offsets[v + 1] += raw_offsets[v];
+
+  std::vector<vid_t> raw(raw_offsets[n]);
+  {
+    std::vector<eid_t> cursor(raw_offsets.begin(), raw_offsets.end() - 1);
+    for (const Edge& e : edges.edges()) {
+      if (e.u == e.v) continue;
+      raw[cursor[e.u]++] = e.v;
+      raw[cursor[e.v]++] = e.u;
+    }
+  }
+
+  // Per-vertex sort + dedup; record the surviving degree.
+  std::vector<eid_t> degree(static_cast<std::size_t>(n) + 1, 0);
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (vid_t v = 0; v < n; ++v) {
+    const auto begin = raw.begin() + static_cast<std::ptrdiff_t>(raw_offsets[v]);
+    const auto end = raw.begin() + static_cast<std::ptrdiff_t>(raw_offsets[v + 1]);
+    std::sort(begin, end);
+    degree[v + 1] = static_cast<eid_t>(std::unique(begin, end) - begin);
+  }
+
+  Csr g;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (vid_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + degree[v + 1];
+  g.neighbors_.resize(g.offsets_[n]);
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (vid_t v = 0; v < n; ++v) {
+    std::copy_n(raw.begin() + static_cast<std::ptrdiff_t>(raw_offsets[v]),
+                degree[v + 1],
+                g.neighbors_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]));
+  }
+  return g;
+}
+
+Csr Csr::from_raw(std::vector<eid_t> offsets, std::vector<vid_t> neighbors) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != neighbors.size()) {
+    throw std::invalid_argument("Csr::from_raw: inconsistent offsets");
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      throw std::invalid_argument("Csr::from_raw: offsets not monotone");
+    }
+  }
+  Csr g;
+  g.offsets_ = std::move(offsets);
+  g.neighbors_ = std::move(neighbors);
+  return g;
+}
+
+vid_t Csr::max_degree_vertex() const {
+  const vid_t n = num_vertices();
+  vid_t best = 0;
+  vid_t best_deg = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t d = degree(v);
+    if (d > best_deg) {
+      best_deg = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+vid_t Csr::max_degree() const {
+  return num_vertices() == 0 ? 0 : degree(max_degree_vertex());
+}
+
+bool Csr::has_edge(vid_t u, vid_t v) const {
+  auto adj = neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+bool Csr::validate() const {
+  const vid_t n = num_vertices();
+  if (offsets_.empty()) return neighbors_.empty();
+  if (offsets_.front() != 0 || offsets_.back() != neighbors_.size())
+    return false;
+  for (vid_t v = 0; v < n; ++v) {
+    auto adj = neighbors(v);
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      if (adj[i] >= n) return false;
+      if (adj[i] == v) return false;               // no self-loops
+      if (i > 0 && adj[i] <= adj[i - 1]) return false;  // sorted, unique
+    }
+  }
+  // Symmetry: every arc has its reverse.
+  for (vid_t v = 0; v < n; ++v) {
+    for (vid_t w : neighbors(v)) {
+      if (!has_edge(w, v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fdiam

@@ -1,0 +1,74 @@
+#pragma once
+// Compressed-sparse-row graph container — the representation every
+// algorithm in this library operates on (paper §2: "F-Diam uses the
+// compressed-sparse-row (CSR) representation to fit sparse graphs with many
+// millions of vertices and edges into the main memory").
+//
+// The graph is undirected: each undirected edge {u, v} is stored as the two
+// directed arcs (u,v) and (v,u), matching how the paper counts "edges
+// (including back edges)" in Table 1.
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/types.hpp"
+
+namespace fdiam {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Build from an edge list. Self-loops and duplicate undirected edges are
+  /// removed; adjacency lists come out sorted by neighbor id.
+  static Csr from_edges(EdgeList edges);
+
+  /// Build directly from CSR arrays (used by the binary loader). Offsets
+  /// must be monotonically increasing with offsets[n] == neighbors.size().
+  static Csr from_raw(std::vector<eid_t> offsets, std::vector<vid_t> neighbors);
+
+  [[nodiscard]] vid_t num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<vid_t>(offsets_.size() - 1);
+  }
+
+  /// Number of directed arcs (= 2x the undirected edge count), matching the
+  /// paper's Table 1 "edges" column.
+  [[nodiscard]] eid_t num_arcs() const { return neighbors_.size(); }
+
+  /// Number of undirected edges.
+  [[nodiscard]] eid_t num_edges() const { return num_arcs() / 2; }
+
+  [[nodiscard]] vid_t degree(vid_t v) const {
+    return static_cast<vid_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  [[nodiscard]] std::span<const vid_t> neighbors(vid_t v) const {
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  /// Vertex with the largest degree (smallest id wins ties); the paper's
+  /// starting vertex `u`. Returns 0 on an empty graph.
+  [[nodiscard]] vid_t max_degree_vertex() const;
+
+  [[nodiscard]] vid_t max_degree() const;
+
+  [[nodiscard]] bool has_edge(vid_t u, vid_t v) const;
+
+  /// Raw arrays, exposed for the binary writer and the bottom-up BFS.
+  [[nodiscard]] const std::vector<eid_t>& offsets() const { return offsets_; }
+  [[nodiscard]] const std::vector<vid_t>& raw_neighbors() const {
+    return neighbors_;
+  }
+
+  /// Structural invariants (sorted adjacency, symmetric arcs, no loops).
+  /// Cheap enough for tests; O(m log m) worst case.
+  [[nodiscard]] bool validate() const;
+
+ private:
+  std::vector<eid_t> offsets_;   // size n+1
+  std::vector<vid_t> neighbors_; // size num_arcs
+};
+
+}  // namespace fdiam

@@ -1,0 +1,21 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+
+namespace fdiam {
+
+void EdgeList::canonicalize() {
+  for (auto& e : edges_) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  auto last = std::unique(edges_.begin(), edges_.end());
+  edges_.erase(last, edges_.end());
+  auto is_loop = [](const Edge& e) { return e.u == e.v; };
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(), is_loop),
+               edges_.end());
+}
+
+}  // namespace fdiam

@@ -1,0 +1,53 @@
+#pragma once
+// Intermediate edge-list representation produced by generators and file
+// loaders, and consumed by the CSR builder.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace fdiam {
+
+struct Edge {
+  vid_t u = 0;
+  vid_t v = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// A bag of undirected edges over vertices [0, num_vertices).
+/// Duplicates and self-loops are permitted here; the CSR builder
+/// canonicalizes them.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(vid_t num_vertices) : num_vertices_(num_vertices) {}
+
+  void reserve(std::size_t edges) { edges_.reserve(edges); }
+
+  /// Add an undirected edge {u, v}; grows the vertex count if needed.
+  void add(vid_t u, vid_t v) {
+    if (u >= num_vertices_) num_vertices_ = u + 1;
+    if (v >= num_vertices_) num_vertices_ = v + 1;
+    edges_.push_back({u, v});
+  }
+
+  /// Ensure the graph has at least `n` vertices (isolated ones included).
+  void ensure_vertices(vid_t n) {
+    if (n > num_vertices_) num_vertices_ = n;
+  }
+
+  [[nodiscard]] vid_t num_vertices() const { return num_vertices_; }
+  [[nodiscard]] std::size_t size() const { return edges_.size(); }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] std::vector<Edge>& edges() { return edges_; }
+
+  /// Remove exact duplicate pairs and self-loops (treating {u,v} == {v,u}).
+  void canonicalize();
+
+ private:
+  vid_t num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace fdiam

@@ -1,0 +1,68 @@
+#include "graph/kcore.hpp"
+
+#include <algorithm>
+
+namespace fdiam {
+
+KCoreResult kcore_decomposition(const Csr& g) {
+  // Matula-Beck peeling with the classic bucket structure: vertices are
+  // kept sorted by current degree so the minimum-degree vertex is O(1).
+  const vid_t n = g.num_vertices();
+  KCoreResult result;
+  result.core.assign(n, 0);
+  if (n == 0) return result;
+
+  std::vector<vid_t> degree(n);
+  vid_t max_degree = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // bucket_start[d] = first position of degree-d vertices in `order`.
+  std::vector<vid_t> bucket_start(static_cast<std::size_t>(max_degree) + 2, 0);
+  for (vid_t v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
+  for (std::size_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<vid_t> order(n), pos(n);
+  {
+    std::vector<vid_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (vid_t v = 0; v < n; ++v) {
+      pos[v] = cursor[degree[v]]++;
+      order[pos[v]] = v;
+    }
+  }
+
+  for (vid_t i = 0; i < n; ++i) {
+    const vid_t v = order[i];
+    result.core[v] = degree[v];
+    result.degeneracy = std::max(result.degeneracy, degree[v]);
+    for (const vid_t w : g.neighbors(v)) {
+      if (degree[w] <= degree[v]) continue;  // already peeled or tied
+      // Swap w to the front of its bucket, then shrink its degree by one
+      // (which moves the bucket boundary over it).
+      const vid_t dw = degree[w];
+      const vid_t front = bucket_start[dw];
+      const vid_t u = order[front];
+      if (u != w) {
+        std::swap(order[pos[w]], order[front]);
+        std::swap(pos[w], pos[u]);
+      }
+      ++bucket_start[dw];
+      --degree[w];
+    }
+  }
+  return result;
+}
+
+std::vector<vid_t> innermost_core(const Csr& g) {
+  const KCoreResult r = kcore_decomposition(g);
+  std::vector<vid_t> core_vertices;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (r.core[v] == r.degeneracy) core_vertices.push_back(v);
+  }
+  return core_vertices;
+}
+
+}  // namespace fdiam

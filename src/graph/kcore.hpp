@@ -1,0 +1,32 @@
+#pragma once
+// k-core decomposition (Matula & Beck peeling, O(n + m)).
+//
+// The paper's §3 grounds Winnow's choice of starting vertex in the
+// core-periphery structure of real graphs: high-degree vertices sit in
+// the dense core and have small eccentricities, degree-1/2 vertices sit
+// on the periphery and have the largest ones. The core number makes that
+// structure quantitative: this module backs the core-periphery analysis
+// example and the tests that validate the suite analogues' structure.
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace fdiam {
+
+struct KCoreResult {
+  /// Core number per vertex: the largest k such that the vertex belongs
+  /// to a subgraph where every vertex has degree >= k.
+  std::vector<vid_t> core;
+  vid_t degeneracy = 0;  ///< max core number (the graph's degeneracy)
+};
+
+/// Bucket-based peeling: repeatedly remove a minimum-degree vertex; the
+/// degree at removal time (monotonically clamped) is its core number.
+KCoreResult kcore_decomposition(const Csr& g);
+
+/// Vertices whose core number equals the degeneracy (the innermost core).
+std::vector<vid_t> innermost_core(const Csr& g);
+
+}  // namespace fdiam

@@ -1,0 +1,92 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace fdiam {
+
+bool is_permutation(const Csr& g, const Permutation& perm) {
+  const vid_t n = g.num_vertices();
+  if (perm.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (const vid_t v : perm) {
+    if (v >= n || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+Csr apply_permutation(const Csr& g, const Permutation& new_id) {
+  if (!is_permutation(g, new_id)) {
+    throw std::invalid_argument("apply_permutation: not a bijection");
+  }
+  EdgeList edges(g.num_vertices());
+  edges.reserve(g.num_edges());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (const vid_t w : g.neighbors(v)) {
+      if (v < w) edges.add(new_id[v], new_id[w]);
+    }
+  }
+  return Csr::from_edges(std::move(edges));
+}
+
+Permutation degree_order(const Csr& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&g](vid_t a, vid_t b) { return g.degree(a) > g.degree(b); });
+  Permutation new_id(n);
+  for (vid_t rank = 0; rank < n; ++rank) new_id[by_degree[rank]] = rank;
+  return new_id;
+}
+
+Permutation bfs_order(const Csr& g) {
+  const vid_t n = g.num_vertices();
+  Permutation new_id(n, n);  // n = unassigned sentinel
+  vid_t next = 0;
+  std::vector<vid_t> queue;
+  queue.reserve(1024);
+
+  // Components in descending max-degree order of their seed: start each
+  // BFS at the component's highest-degree vertex, like F-Diam does.
+  std::vector<vid_t> seeds(n);
+  std::iota(seeds.begin(), seeds.end(), 0);
+  std::stable_sort(seeds.begin(), seeds.end(), [&g](vid_t a, vid_t b) {
+    return g.degree(a) > g.degree(b);
+  });
+
+  for (const vid_t seed : seeds) {
+    if (new_id[seed] != n) continue;
+    new_id[seed] = next++;
+    queue.clear();
+    queue.push_back(seed);
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const vid_t v = queue[head++];
+      for (const vid_t w : g.neighbors(v)) {
+        if (new_id[w] == n) {
+          new_id[w] = next++;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return new_id;
+}
+
+Permutation random_order(const Csr& g, std::uint64_t seed) {
+  const vid_t n = g.num_vertices();
+  Permutation new_id(n);
+  std::iota(new_id.begin(), new_id.end(), 0);
+  Rng rng(seed);
+  for (vid_t i = n; i > 1; --i) {
+    std::swap(new_id[i - 1], new_id[static_cast<vid_t>(rng.below(i))]);
+  }
+  return new_id;
+}
+
+}  // namespace fdiam

@@ -1,0 +1,42 @@
+#pragma once
+// Vertex relabeling / graph reordering.
+//
+// BFS performance on large sparse graphs is dominated by memory locality
+// (the paper's §6.2 bandwidth discussion); relabeling vertices so that
+// topologically close vertices get nearby ids is the standard mitigation.
+// This module provides the classic orders, a permutation applicator, and
+// is exercised by the locality ablation bench (bench_ablation_reorder).
+//
+// All functions return a NEW graph whose vertex v corresponds to old
+// vertex perm_inverse[v]; the diameter and all distances are invariant
+// under relabeling (asserted by the tests).
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace fdiam {
+
+/// new_id[old_id] permutation; must be a bijection on [0, n).
+using Permutation = std::vector<vid_t>;
+
+/// Apply a permutation: result has edge {new_id[u], new_id[v]} for every
+/// edge {u, v}. Throws std::invalid_argument if perm is not a bijection.
+Csr apply_permutation(const Csr& g, const Permutation& new_id);
+
+/// Descending-degree order: hubs get the smallest ids (hub clustering).
+Permutation degree_order(const Csr& g);
+
+/// BFS visitation order from the max-degree vertex of each component —
+/// the locality workhorse (a close relative of Cuthill-McKee).
+Permutation bfs_order(const Csr& g);
+
+/// Deterministic pseudo-random shuffle — the locality *destroyer*, used
+/// as the worst-case contrast in the reorder bench.
+Permutation random_order(const Csr& g, std::uint64_t seed);
+
+/// True iff `perm` is a bijection on [0, g.num_vertices()).
+bool is_permutation(const Csr& g, const Permutation& perm);
+
+}  // namespace fdiam

@@ -1,0 +1,36 @@
+#include "graph/stats.hpp"
+
+#include "graph/components.hpp"
+
+namespace fdiam {
+
+GraphStats compute_stats(const Csr& g) {
+  GraphStats s;
+  s.vertices = g.num_vertices();
+  s.arcs = g.num_arcs();
+  s.avg_degree =
+      s.vertices == 0 ? 0.0
+                      : static_cast<double>(s.arcs) / static_cast<double>(s.vertices);
+  for (vid_t v = 0; v < s.vertices; ++v) {
+    const vid_t d = g.degree(v);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 0) ++s.degree0;
+    else if (d == 1) ++s.degree1;
+    else if (d == 2) ++s.degree2;
+  }
+  const Components cc = connected_components(g);
+  s.num_components = cc.count();
+  s.largest_component = cc.size.empty() ? 0 : cc.size[cc.largest()];
+  return s;
+}
+
+std::vector<std::uint64_t> degree_histogram(const Csr& g, vid_t max_bucket) {
+  std::vector<std::uint64_t> hist(static_cast<std::size_t>(max_bucket) + 1, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const vid_t d = g.degree(v);
+    ++hist[std::min(d, max_bucket)];
+  }
+  return hist;
+}
+
+}  // namespace fdiam

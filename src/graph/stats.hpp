@@ -1,0 +1,32 @@
+#pragma once
+// Graph statistics in the shape of the paper's Table 1 (vertices, edges,
+// average/max degree) plus degree histograms used by the generators' tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace fdiam {
+
+struct GraphStats {
+  vid_t vertices = 0;
+  eid_t arcs = 0;          // directed arcs, as the paper counts "edges"
+  double avg_degree = 0.0;
+  vid_t max_degree = 0;
+  vid_t degree0 = 0;       // isolated vertices (Table 4 last column)
+  vid_t degree1 = 0;       // chain tails (chain-processing fodder)
+  vid_t degree2 = 0;
+  std::uint32_t num_components = 0;
+  vid_t largest_component = 0;
+};
+
+/// Compute the statistics above. Runs one component census (BFS sweep).
+GraphStats compute_stats(const Csr& g);
+
+/// degree -> count histogram, capped: the last bucket aggregates all
+/// degrees >= max_bucket.
+std::vector<std::uint64_t> degree_histogram(const Csr& g,
+                                            vid_t max_bucket = 64);
+
+}  // namespace fdiam

@@ -1,0 +1,55 @@
+#include "graph/union_find.hpp"
+
+#include <numeric>
+
+namespace fdiam {
+
+UnionFind::UnionFind(vid_t n)
+    : parent_(n), rank_(n, 0), count_(n, 1), sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+vid_t UnionFind::find(vid_t v) {
+  while (parent_[v] != v) {
+    parent_[v] = parent_[parent_[v]];  // path halving
+    v = parent_[v];
+  }
+  return v;
+}
+
+bool UnionFind::unite(vid_t a, vid_t b) {
+  vid_t ra = find(a), rb = find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  count_[ra] += count_[rb];
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --sets_;
+  return true;
+}
+
+vid_t UnionFind::set_size(vid_t v) { return count_[find(v)]; }
+
+Components connected_components_union_find(const Csr& g) {
+  const vid_t n = g.num_vertices();
+  UnionFind uf(n);
+  for (vid_t v = 0; v < n; ++v) {
+    for (const vid_t w : g.neighbors(v)) {
+      if (v < w) uf.unite(v, w);
+    }
+  }
+
+  Components out;
+  out.label.assign(n, UINT32_MAX);
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t root = uf.find(v);
+    if (out.label[root] == UINT32_MAX) {
+      out.label[root] = static_cast<std::uint32_t>(out.size.size());
+      out.size.push_back(uf.set_size(root));
+    }
+    out.label[v] = out.label[root];
+  }
+  return out;
+}
+
+}  // namespace fdiam

@@ -1,0 +1,45 @@
+#pragma once
+// Disjoint-set union (union by rank + path halving) and a union-find
+// based connected-components labelling. Complements the BFS labelling in
+// components.*: union-find processes an *edge list* without needing the
+// CSR first (handy inside generators and loaders) and is the standard
+// building block for incremental connectivity.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/components.hpp"
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+namespace fdiam {
+
+class UnionFind {
+ public:
+  explicit UnionFind(vid_t n);
+
+  /// Representative of v's set (with path halving).
+  vid_t find(vid_t v);
+
+  /// Merge the sets of a and b; returns true iff they were distinct.
+  bool unite(vid_t a, vid_t b);
+
+  [[nodiscard]] vid_t set_count() const { return sets_; }
+  [[nodiscard]] vid_t size() const { return static_cast<vid_t>(parent_.size()); }
+
+  /// Size of v's set.
+  vid_t set_size(vid_t v);
+
+ private:
+  std::vector<vid_t> parent_;
+  std::vector<vid_t> rank_;
+  std::vector<vid_t> count_;  // valid at roots
+  vid_t sets_;
+};
+
+/// Connected components via union-find over the CSR's arcs; produces the
+/// same labelling semantics as connected_components() (tested equal up to
+/// renumbering).
+Components connected_components_union_find(const Csr& g);
+
+}  // namespace fdiam

@@ -1,0 +1,59 @@
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "io/io.hpp"
+
+namespace fdiam::io {
+
+namespace {
+constexpr char kMagic[8] = {'F', 'D', 'I', 'A', 'M', 'C', 'S', 'R'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+Csr read_binary(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+
+  char magic[8];
+  std::uint32_t version = 0;
+  std::uint64_t n = 0, arcs = 0;
+  in.read(magic, sizeof magic);
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+  in.read(reinterpret_cast<char*>(&n), sizeof n);
+  in.read(reinterpret_cast<char*>(&arcs), sizeof arcs);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0 ||
+      version != kVersion) {
+    throw std::runtime_error("not an fdiam binary CSR file: " +
+                             path.string());
+  }
+
+  std::vector<eid_t> offsets(n + 1);
+  std::vector<vid_t> neighbors(arcs);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(eid_t)));
+  in.read(reinterpret_cast<char*>(neighbors.data()),
+          static_cast<std::streamsize>(neighbors.size() * sizeof(vid_t)));
+  if (!in) throw std::runtime_error("truncated binary CSR: " + path.string());
+  return Csr::from_raw(std::move(offsets), std::move(neighbors));
+}
+
+void write_binary(const Csr& g, const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path.string());
+  const std::uint32_t version = kVersion;
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t arcs = g.num_arcs();
+  out.write(kMagic, sizeof kMagic);
+  out.write(reinterpret_cast<const char*>(&version), sizeof version);
+  out.write(reinterpret_cast<const char*>(&n), sizeof n);
+  out.write(reinterpret_cast<const char*>(&arcs), sizeof arcs);
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>(g.offsets().size() * sizeof(eid_t)));
+  out.write(
+      reinterpret_cast<const char*>(g.raw_neighbors().data()),
+      static_cast<std::streamsize>(g.raw_neighbors().size() * sizeof(vid_t)));
+  if (!out) throw std::runtime_error("write failed: " + path.string());
+}
+
+}  // namespace fdiam::io

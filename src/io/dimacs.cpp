@@ -1,0 +1,59 @@
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/edge_list.hpp"
+#include "io/io.hpp"
+
+namespace fdiam::io {
+
+Csr read_dimacs(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+
+  EdgeList edges;
+  std::string line;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'c') continue;
+    if (tag == 'p') {
+      std::string problem;
+      std::uint64_t n = 0, m = 0;
+      if (!(ls >> problem >> n >> m)) {
+        throw std::runtime_error("malformed DIMACS header in " +
+                                 path.string());
+      }
+      edges.ensure_vertices(static_cast<vid_t>(n));
+      edges.reserve(m);
+      have_header = true;
+    } else if (tag == 'a' || tag == 'e') {
+      std::uint64_t u = 0, v = 0;
+      if (!(ls >> u >> v) || u == 0 || v == 0) {
+        throw std::runtime_error("malformed DIMACS arc in " + path.string());
+      }
+      edges.add(static_cast<vid_t>(u - 1), static_cast<vid_t>(v - 1));
+    }
+  }
+  if (!have_header) {
+    throw std::runtime_error("missing DIMACS 'p' header in " + path.string());
+  }
+  return Csr::from_edges(std::move(edges));
+}
+
+void write_dimacs(const Csr& g, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path.string());
+  out << "c written by fdiam\n";
+  out << "p sp " << g.num_vertices() << ' ' << g.num_arcs() << '\n';
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (const vid_t w : g.neighbors(v)) {
+      out << "a " << v + 1 << ' ' << w + 1 << " 1\n";
+    }
+  }
+}
+
+}  // namespace fdiam::io

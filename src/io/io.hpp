@@ -1,0 +1,50 @@
+#pragma once
+// Graph file I/O. Readers for the formats the paper's real inputs ship in
+// (so the genuine SNAP / SuiteSparse / DIMACS-9 files can be dropped into
+// the harness), writers for round-tripping, and a fast binary CSR format
+// for caching generated graphs.
+//
+// All loaders produce undirected graphs: each input arc/edge contributes
+// both directions and the CSR builder removes duplicates and self-loops.
+
+#include <filesystem>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace fdiam::io {
+
+/// DIMACS-9 shortest-path format (.gr): "p sp <n> <m>" header and
+/// "a <u> <v> <w>" arcs, 1-indexed; weights are ignored (the paper treats
+/// the road networks as unweighted). Throws std::runtime_error on
+/// malformed input.
+Csr read_dimacs(const std::filesystem::path& path);
+void write_dimacs(const Csr& g, const std::filesystem::path& path);
+
+/// SNAP edge-list format (.txt/.el): '#' comment lines, one
+/// whitespace-separated "u v" pair per line, 0-indexed ids used verbatim
+/// (num_vertices = max id + 1).
+Csr read_snap(const std::filesystem::path& path);
+void write_snap(const Csr& g, const std::filesystem::path& path);
+
+/// Matrix Market coordinate format (.mtx) as used by SuiteSparse:
+/// pattern/real/integer entries, general or symmetric, 1-indexed.
+Csr read_matrix_market(const std::filesystem::path& path);
+void write_matrix_market(const Csr& g, const std::filesystem::path& path);
+
+/// Fast binary CSR (.csrbin): magic + version + counts + raw arrays.
+Csr read_binary(const std::filesystem::path& path);
+void write_binary(const Csr& g, const std::filesystem::path& path);
+
+/// METIS graph format (.metis/.graph): "<n> <m> [fmt]" header followed by
+/// one 1-indexed adjacency line per vertex; '%' comments; vertex/edge
+/// weights (fmt 1/10/11) are parsed and discarded.
+Csr read_metis(const std::filesystem::path& path);
+void write_metis(const Csr& g, const std::filesystem::path& path);
+
+/// Dispatch on extension: .gr -> dimacs, .txt/.el/.snap -> snap, .mtx ->
+/// matrix market, .metis/.graph -> metis, .csrbin -> binary. Throws on
+/// unknown extensions.
+Csr load_graph(const std::filesystem::path& path);
+
+}  // namespace fdiam::io

@@ -1,0 +1,19 @@
+#include <stdexcept>
+
+#include "io/io.hpp"
+
+namespace fdiam::io {
+
+Csr load_graph(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  if (ext == ".gr") return read_dimacs(path);
+  if (ext == ".txt" || ext == ".el" || ext == ".snap") return read_snap(path);
+  if (ext == ".mtx") return read_matrix_market(path);
+  if (ext == ".metis" || ext == ".graph") return read_metis(path);
+  if (ext == ".csrbin") return read_binary(path);
+  throw std::runtime_error(
+      "unknown graph file extension: " + path.string() +
+      " (expected .gr, .txt, .el, .snap, .mtx, .metis, .graph, .csrbin)");
+}
+
+}  // namespace fdiam::io

@@ -1,0 +1,77 @@
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/edge_list.hpp"
+#include "io/io.hpp"
+
+namespace fdiam::io {
+
+Csr read_matrix_market(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0) {
+    throw std::runtime_error("missing MatrixMarket banner in " +
+                             path.string());
+  }
+  std::string banner = line;
+  std::transform(banner.begin(), banner.end(), banner.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (banner.find("coordinate") == std::string::npos) {
+    throw std::runtime_error("only coordinate MatrixMarket supported: " +
+                             path.string());
+  }
+  const bool pattern = banner.find("pattern") != std::string::npos;
+
+  // Skip comments, then read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::uint64_t rows = 0, cols = 0, nnz = 0;
+  {
+    std::istringstream ls(line);
+    if (!(ls >> rows >> cols >> nnz)) {
+      throw std::runtime_error("malformed size line in " + path.string());
+    }
+  }
+
+  EdgeList edges;
+  edges.ensure_vertices(static_cast<vid_t>(std::max(rows, cols)));
+  edges.reserve(nnz);
+  for (std::uint64_t i = 0; i < nnz; ++i) {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("truncated MatrixMarket file " +
+                               path.string());
+    }
+    std::istringstream ls(line);
+    std::uint64_t r = 0, c = 0;
+    if (!(ls >> r >> c) || r == 0 || c == 0) {
+      throw std::runtime_error("malformed entry in " + path.string());
+    }
+    if (!pattern) {
+      double value;  // discard — the library is unweighted
+      ls >> value;
+    }
+    edges.add(static_cast<vid_t>(r - 1), static_cast<vid_t>(c - 1));
+  }
+  return Csr::from_edges(std::move(edges));
+}
+
+void write_matrix_market(const Csr& g, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path.string());
+  out << "%%MatrixMarket matrix coordinate pattern symmetric\n";
+  out << g.num_vertices() << ' ' << g.num_vertices() << ' ' << g.num_edges()
+      << '\n';
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (const vid_t w : g.neighbors(v)) {
+      // Symmetric format stores the lower triangle: row >= column.
+      if (w <= v) out << v + 1 << ' ' << w + 1 << '\n';
+    }
+  }
+}
+
+}  // namespace fdiam::io

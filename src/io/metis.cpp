@@ -1,0 +1,80 @@
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/edge_list.hpp"
+#include "io/io.hpp"
+
+namespace fdiam::io {
+
+Csr read_metis(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+
+  std::string line;
+  // Header: "<n> <m> [fmt [ncon]]" after any % comment lines.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::uint64_t n = 0, m = 0;
+  std::uint64_t fmt = 0;
+  {
+    std::istringstream ls(line);
+    if (!(ls >> n >> m)) {
+      throw std::runtime_error("malformed METIS header in " + path.string());
+    }
+    ls >> fmt;  // optional; 0/1/10/11 encode vertex/edge weights
+  }
+  const bool edge_weights = fmt == 1 || fmt == 11;
+  const bool vertex_weights = fmt == 10 || fmt == 11;
+
+  EdgeList edges;
+  edges.ensure_vertices(static_cast<vid_t>(n));
+  edges.reserve(m);
+  std::uint64_t v = 0;
+  while (v < n && std::getline(in, line)) {
+    if (!line.empty() && line[0] == '%') continue;
+    std::istringstream ls(line);
+    if (vertex_weights) {
+      std::uint64_t weight;
+      ls >> weight;  // discarded — the library is unweighted
+    }
+    std::uint64_t w = 0;
+    while (ls >> w) {
+      if (w == 0 || w > n) {
+        throw std::runtime_error("METIS neighbor out of range in " +
+                                 path.string());
+      }
+      edges.add(static_cast<vid_t>(v), static_cast<vid_t>(w - 1));
+      if (edge_weights) {
+        std::uint64_t weight;
+        ls >> weight;  // discarded
+      }
+    }
+    ++v;
+  }
+  if (v != n) {
+    throw std::runtime_error("METIS file truncated: expected " +
+                             std::to_string(n) + " adjacency lines in " +
+                             path.string());
+  }
+  return Csr::from_edges(std::move(edges));
+}
+
+void write_metis(const Csr& g, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path.string());
+  out << "% written by fdiam\n";
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    bool first = true;
+    for (const vid_t w : g.neighbors(v)) {
+      if (!first) out << ' ';
+      out << w + 1;
+      first = false;
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace fdiam::io

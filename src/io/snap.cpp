@@ -1,0 +1,41 @@
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/edge_list.hpp"
+#include "io/io.hpp"
+
+namespace fdiam::io {
+
+Csr read_snap(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+
+  EdgeList edges;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error("malformed edge line in " + path.string() +
+                               ": " + line);
+    }
+    edges.add(static_cast<vid_t>(u), static_cast<vid_t>(v));
+  }
+  return Csr::from_edges(std::move(edges));
+}
+
+void write_snap(const Csr& g, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path.string());
+  out << "# undirected graph: " << g.num_vertices() << " vertices, "
+      << g.num_edges() << " edges (each written once)\n";
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (const vid_t w : g.neighbors(v)) {
+      if (v < w) out << v << '\t' << w << '\n';
+    }
+  }
+}
+
+}  // namespace fdiam::io

@@ -1,0 +1,90 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace fdiam {
+
+void Cli::add_option(std::string name, std::string help, std::string def) {
+  decls_[std::move(name)] = Decl{std::move(help), std::move(def), false};
+}
+
+void Cli::add_flag(std::string name, std::string help) {
+  decls_[std::move(name)] = Decl{std::move(help), "", true};
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string key = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    if (auto eq = key.find('='); eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+      have_value = true;
+    }
+    auto it = decls_.find(key);
+    if (it == decls_.end()) {
+      error_ = "unknown option --" + key;
+      return false;
+    }
+    if (it->second.is_flag) {
+      values_[key] = have_value ? value : "true";
+    } else if (have_value) {
+      values_[key] = value;
+    } else if (i + 1 < argc) {
+      values_[key] = argv[++i];
+    } else {
+      error_ = "option --" + key + " requires a value";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Cli::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key, const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::string Cli::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [options]\n";
+  for (const auto& [name, decl] : decls_) {
+    os << "  --" << name;
+    if (!decl.is_flag) os << " <value>";
+    os << "\n      " << decl.help;
+    if (!decl.def.empty()) os << " (default: " << decl.def << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fdiam

@@ -1,0 +1,53 @@
+#pragma once
+// Minimal command-line argument parser used by the bench harnesses and
+// examples. Supports `--flag`, `--key value`, and `--key=value` forms plus
+// positional arguments, with typed accessors and a generated usage string.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fdiam {
+
+class Cli {
+ public:
+  /// Declare an option before parse() so it appears in usage(). `help`
+  /// describes the option; `def` is rendered as the default.
+  void add_option(std::string name, std::string help, std::string def = "");
+  void add_flag(std::string name, std::string help);
+
+  /// Parse argv. Returns false (and fills error()) on unknown options or a
+  /// missing value. `--help` sets help_requested().
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& def = "") const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def = false) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  struct Decl {
+    std::string help;
+    std::string def;
+    bool is_flag = false;
+  };
+  std::map<std::string, Decl> decls_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+  bool help_requested_ = false;
+};
+
+}  // namespace fdiam

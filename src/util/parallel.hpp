@@ -1,0 +1,38 @@
+#pragma once
+// Thin OpenMP wrappers so the rest of the code never touches raw omp_*
+// calls and still compiles (serially) when OpenMP is unavailable.
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace fdiam {
+
+/// Number of threads an upcoming parallel region will use.
+inline int num_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Calling thread's id inside a parallel region (0 outside one).
+inline int thread_id() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// Globally set the thread count used by subsequent parallel regions.
+inline void set_num_threads(int n) {
+#ifdef _OPENMP
+  omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+}  // namespace fdiam

@@ -1,0 +1,93 @@
+#include "util/table.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace fdiam {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << "  ";
+      if (c == 0)
+        os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      else
+        os << std::right << std::setw(static_cast<int>(width[c])) << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  os << std::right;
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    return out + "\"";
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << quote(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt_sci(double v, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt_percent(double fraction, int precision) {
+  return fmt_double(fraction * 100.0, precision) + "%";
+}
+
+std::string Table::fmt_count(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i > 0 && (i - lead) % 3 == 0 && i >= lead) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+}  // namespace fdiam

@@ -1,0 +1,40 @@
+#pragma once
+// Column-aligned plain-text table printer. The benchmark harnesses use it
+// to emit rows in the same layout as the paper's tables, plus a CSV dump
+// for downstream plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fdiam {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render as an aligned text table (first column left-aligned, the rest
+  /// right-aligned, in the style of the paper's tables).
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (quoting cells that contain commas or quotes).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  // Formatting helpers for cells.
+  static std::string fmt_double(double v, int precision = 3);
+  static std::string fmt_sci(double v, int precision = 2);
+  static std::string fmt_percent(double fraction, int precision = 2);
+  /// Groups digits with commas: 1234567 -> "1,234,567".
+  static std::string fmt_count(std::uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fdiam

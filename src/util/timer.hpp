@@ -1,0 +1,57 @@
+#pragma once
+// Monotonic wall-clock timers used by the benchmark harness and the
+// per-stage instrumentation inside F-Diam.
+
+#include <chrono>
+#include <cstdint>
+
+namespace fdiam {
+
+/// Simple monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop intervals, e.g. the total
+/// time spent inside Winnow over a whole F-Diam run.
+class AccumTimer {
+ public:
+  void start() { t_.reset(); }
+  void stop() { total_ += t_.seconds(); }
+  [[nodiscard]] double seconds() const { return total_; }
+  void clear() { total_ = 0.0; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+};
+
+/// RAII helper adding an interval to an AccumTimer on scope exit.
+class ScopedAccum {
+ public:
+  explicit ScopedAccum(AccumTimer& acc) : acc_(acc) { acc_.start(); }
+  ~ScopedAccum() { acc_.stop(); }
+  ScopedAccum(const ScopedAccum&) = delete;
+  ScopedAccum& operator=(const ScopedAccum&) = delete;
+
+ private:
+  AccumTimer& acc_;
+};
+
+}  // namespace fdiam

@@ -1,0 +1,25 @@
+#pragma once
+// Fundamental integer types shared by every module.
+//
+// Vertices are 32-bit (the paper's largest input, europe_osm, has 51M
+// vertices) while edge offsets are 64-bit so CSR row offsets cannot
+// overflow on graphs with more than 2^31 directed edges (uk-2002 has 523M).
+
+#include <cstdint>
+
+namespace fdiam {
+
+/// Vertex identifier. Valid vertices are [0, n).
+using vid_t = std::uint32_t;
+
+/// Edge-offset type used for CSR row offsets and edge counts.
+using eid_t = std::uint64_t;
+
+/// Distance / eccentricity / level type. Signed so sentinels can be
+/// negative; INT32_MAX comfortably exceeds any achievable path length.
+using dist_t = std::int32_t;
+
+/// Sentinel meaning "vertex not reached" in distance arrays.
+inline constexpr dist_t kUnreached = -1;
+
+}  // namespace fdiam

@@ -1,0 +1,75 @@
+// Tests for the multi-sweep diameter estimator.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "core/approx.hpp"
+#include "gen/generators.hpp"
+
+namespace fdiam {
+namespace {
+
+TEST(EstimateDiameter, BoundsBracketTheTruthOnConnectedGraphs) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Csr g = make_barabasi_albert(400, 2.0, seed);
+    const dist_t truth = apsp_diameter(g).diameter;
+    const DiameterEstimate est = estimate_diameter(g, 4, seed);
+    EXPECT_LE(est.lower_bound, truth) << "seed " << seed;
+    EXPECT_GE(est.upper_bound, truth) << "seed " << seed;
+  }
+}
+
+TEST(EstimateDiameter, ExactOnTrees) {
+  // Double sweep is provably exact on trees.
+  const DiameterEstimate est = estimate_diameter(make_balanced_tree(2, 7), 1);
+  EXPECT_EQ(est.lower_bound, 14);
+}
+
+TEST(EstimateDiameter, ExactOnPathsWithTightUpperBound) {
+  const DiameterEstimate est = estimate_diameter(make_path(101), 1);
+  EXPECT_EQ(est.lower_bound, 100);
+  EXPECT_EQ(est.upper_bound, 100);  // midpoint ecc = 50, ub = 100
+  EXPECT_TRUE(est.exact());
+}
+
+TEST(EstimateDiameter, MoreSweepsNeverWorsenTheBounds) {
+  const Csr g = make_erdos_renyi(500, 1000, 3);
+  const DiameterEstimate few = estimate_diameter(g, 1, 7);
+  const DiameterEstimate many = estimate_diameter(g, 8, 7);
+  EXPECT_GE(many.lower_bound, few.lower_bound);
+  EXPECT_LE(many.upper_bound, few.upper_bound);
+}
+
+TEST(EstimateDiameter, HandlesTinyGraphs) {
+  EXPECT_EQ(estimate_diameter(Csr::from_edges(EdgeList{})).lower_bound, 0);
+  EdgeList one;
+  one.ensure_vertices(1);
+  const DiameterEstimate e1 = estimate_diameter(Csr::from_edges(std::move(one)));
+  EXPECT_EQ(e1.lower_bound, 0);
+  EXPECT_EQ(e1.upper_bound, 0);
+}
+
+TEST(EstimateDiameter, LowerBoundValidOnDisconnectedGraphs) {
+  const Csr g = disjoint_union(make_path(30), make_cycle(10));
+  const DiameterEstimate est = estimate_diameter(g, 6, 2);
+  EXPECT_LE(est.lower_bound, 29);
+  EXPECT_GE(est.lower_bound, 1);
+}
+
+TEST(EstimateDiameter, InitialBoundQualityMatchesPaperClaim) {
+  // Paper §4.2: "our initial diameter [bound is] often very close to the
+  // exact diameter". One 2-sweep from u should reach >= 80% of the truth
+  // on typical graphs.
+  int close = 0;
+  const int trials = 10;
+  for (std::uint64_t seed = 0; seed < trials; ++seed) {
+    const Csr g = make_erdos_renyi(300, 700, seed + 50);
+    const dist_t truth = apsp_diameter(g).diameter;
+    const DiameterEstimate est = estimate_diameter(g, 1, seed);
+    if (5 * est.lower_bound >= 4 * truth) ++close;
+  }
+  EXPECT_GE(close, trials * 7 / 10);
+}
+
+}  // namespace
+}  // namespace fdiam

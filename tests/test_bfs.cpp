@@ -1,0 +1,161 @@
+// Tests for the BFS engines: every execution mode must agree with the
+// serial reference on distances and eccentricities, the direction-
+// optimizing switch must not change results, and the last-frontier
+// bookkeeping (used by the 2-sweep) must hold the deepest level.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bfs/bfs.hpp"
+#include "gen/generators.hpp"
+
+namespace fdiam {
+namespace {
+
+struct BfsMode {
+  const char* name;
+  BfsConfig config;
+};
+
+class BfsModes : public ::testing::TestWithParam<BfsMode> {};
+
+TEST_P(BfsModes, MatchesSerialReferenceOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Csr g = make_erdos_renyi(400, 1000, seed);
+    BfsEngine engine(g, GetParam().config);
+    std::vector<dist_t> ref, got;
+    for (vid_t s = 0; s < g.num_vertices(); s += 37) {
+      const dist_t ecc_ref = bfs_distances_serial(g, s, ref);
+      const dist_t ecc_got = engine.distances(s, got);
+      EXPECT_EQ(ecc_ref, ecc_got) << "seed " << seed << " source " << s;
+      EXPECT_EQ(ref, got) << "seed " << seed << " source " << s;
+    }
+  }
+}
+
+TEST_P(BfsModes, EccentricityAgreesWithDistances) {
+  const Csr g = make_barabasi_albert(800, 3.0, 5);
+  BfsEngine engine(g, GetParam().config);
+  std::vector<dist_t> dist;
+  for (vid_t s = 0; s < g.num_vertices(); s += 101) {
+    EXPECT_EQ(engine.eccentricity(s), engine.distances(s, dist));
+  }
+}
+
+TEST_P(BfsModes, LastFrontierHoldsDeepestLevel) {
+  const Csr g = make_grid(15, 11);
+  BfsEngine engine(g, GetParam().config);
+  std::vector<dist_t> dist;
+  const dist_t ecc = engine.distances(0, dist);
+  const auto frontier = engine.last_frontier();
+  ASSERT_FALSE(frontier.empty());
+  // Frontier = exactly the vertices at distance ecc.
+  const auto expected = static_cast<std::size_t>(
+      std::count(dist.begin(), dist.end(), ecc));
+  EXPECT_EQ(frontier.size(), expected);
+  for (const vid_t v : frontier) EXPECT_EQ(dist[v], ecc);
+}
+
+TEST_P(BfsModes, IsolatedSourceHasZeroEccentricity) {
+  EdgeList e(10);
+  e.add(0, 1);
+  const Csr g = Csr::from_edges(std::move(e));
+  BfsEngine engine(g, GetParam().config);
+  EXPECT_EQ(engine.eccentricity(9), 0);
+  EXPECT_EQ(engine.last_visited_count(), 1u);
+  ASSERT_EQ(engine.last_frontier().size(), 1u);
+  EXPECT_EQ(engine.last_frontier()[0], 9u);
+}
+
+TEST_P(BfsModes, DisconnectedGraphStaysInComponent) {
+  const Csr g = disjoint_union(make_path(20), make_cycle(8));
+  BfsEngine engine(g, GetParam().config);
+  EXPECT_EQ(engine.eccentricity(0), 19);
+  EXPECT_EQ(engine.last_visited_count(), 20u);
+  EXPECT_EQ(engine.eccentricity(20), 4);
+  EXPECT_EQ(engine.last_visited_count(), 8u);
+}
+
+TEST_P(BfsModes, RepeatedTraversalsAreIndependent) {
+  const Csr g = make_grid(20, 20);
+  BfsEngine engine(g, GetParam().config);
+  const dist_t first = engine.eccentricity(0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(engine.eccentricity(0), first);
+  EXPECT_EQ(engine.stats().traversals, 11u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, BfsModes,
+    ::testing::Values(
+        BfsMode{"serial_topdown", BfsConfig{false, false, 0.1}},
+        BfsMode{"serial_hybrid", BfsConfig{false, true, 0.1}},
+        BfsMode{"parallel_topdown", BfsConfig{true, false, 0.1}},
+        BfsMode{"parallel_hybrid", BfsConfig{true, true, 0.1}},
+        // Degenerate thresholds force the bottom-up path early/never.
+        BfsMode{"hybrid_always_bottomup", BfsConfig{true, true, 0.0}},
+        BfsMode{"hybrid_never_bottomup", BfsConfig{true, true, 1.0}}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(BfsEngine, BottomUpLevelsActuallyTriggerOnSmallWorld) {
+  // A dense small-world graph drives the frontier over 10% of |V|.
+  const Csr g = make_barabasi_albert(5000, 8.0, 2);
+  BfsEngine engine(g, BfsConfig{true, true, 0.1});
+  engine.eccentricity(g.max_degree_vertex());
+  EXPECT_GT(engine.stats().bottomup_levels, 0u);
+  EXPECT_GT(engine.stats().topdown_levels, 0u);
+}
+
+TEST(BfsEngine, HighDiameterGraphNeverTriggersBottomUp) {
+  // Paper §6.2: on europe_osm-like graphs the worklist never passes the
+  // threshold, so the bottom-up code never runs.
+  const Csr g = make_path(2000);
+  BfsEngine engine(g, BfsConfig{true, true, 0.1});
+  engine.eccentricity(0);
+  EXPECT_EQ(engine.stats().bottomup_levels, 0u);
+}
+
+TEST(BfsEngine, StatsAccumulateAndReset) {
+  const Csr g = make_grid(10, 10);
+  BfsEngine engine(g, BfsConfig{false, false, 0.1});
+  engine.eccentricity(0);
+  engine.eccentricity(5);
+  EXPECT_EQ(engine.stats().traversals, 2u);
+  EXPECT_GT(engine.stats().edges_examined, 0u);
+  EXPECT_EQ(engine.stats().vertices_visited, 200u);
+  engine.reset_stats();
+  EXPECT_EQ(engine.stats().traversals, 0u);
+}
+
+TEST(MultiSource, MatchesMinOfSingleSourceDistances) {
+  const Csr g = make_erdos_renyi(300, 700, 9);
+  const std::vector<vid_t> seeds = {3, 77, 150};
+  std::vector<dist_t> multi;
+  multi_source_distances(g, seeds, multi);
+
+  std::vector<dist_t> d0, d1, d2;
+  bfs_distances_serial(g, seeds[0], d0);
+  bfs_distances_serial(g, seeds[1], d1);
+  bfs_distances_serial(g, seeds[2], d2);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    dist_t best = kUnreached;
+    for (const dist_t d : {d0[v], d1[v], d2[v]}) {
+      if (d != kUnreached && (best == kUnreached || d < best)) best = d;
+    }
+    EXPECT_EQ(multi[v], best) << "vertex " << v;
+  }
+}
+
+TEST(MultiSource, DuplicateSeedsAreHarmless) {
+  const Csr g = make_path(10);
+  std::vector<dist_t> dist;
+  const std::vector<vid_t> seeds = {0, 0, 9};
+  multi_source_distances(g, seeds, dist);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[9], 0);
+  EXPECT_EQ(dist[4], 4);
+  EXPECT_EQ(dist[5], 4);
+}
+
+}  // namespace
+}  // namespace fdiam

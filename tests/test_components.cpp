@@ -1,0 +1,62 @@
+// Tests for connected-component labelling.
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+
+namespace fdiam {
+namespace {
+
+TEST(Components, ConnectedGraphHasOneComponent) {
+  const Csr g = make_grid(8, 8);
+  const Components cc = connected_components(g);
+  EXPECT_EQ(cc.count(), 1u);
+  EXPECT_TRUE(cc.connected());
+  EXPECT_EQ(cc.size[0], 64u);
+}
+
+TEST(Components, DisjointUnionHasTwo) {
+  const Csr g = disjoint_union(make_path(10), make_cycle(6));
+  const Components cc = connected_components(g);
+  EXPECT_EQ(cc.count(), 2u);
+  EXPECT_FALSE(cc.connected());
+  EXPECT_EQ(cc.size[cc.largest()], 10u);
+}
+
+TEST(Components, IsolatedVerticesAreSingletons) {
+  EdgeList e(5);
+  e.add(0, 1);
+  const Csr g = Csr::from_edges(std::move(e));
+  const Components cc = connected_components(g);
+  EXPECT_EQ(cc.count(), 4u);  // {0,1} plus three singletons
+}
+
+TEST(Components, LabelsAreConsistentWithEdges) {
+  const Csr g = disjoint_union(make_star(5), make_complete(4));
+  const Components cc = connected_components(g);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (const vid_t w : g.neighbors(v)) {
+      EXPECT_EQ(cc.label[v], cc.label[w]);
+    }
+  }
+}
+
+TEST(Components, SizesSumToVertexCount) {
+  const Csr g =
+      disjoint_union(disjoint_union(make_path(7), make_cycle(9)),
+                     make_star(3));
+  const Components cc = connected_components(g);
+  vid_t total = 0;
+  for (const vid_t s : cc.size) total += s;
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(Components, EmptyGraph) {
+  const Components cc = connected_components(Csr::from_edges(EdgeList{}));
+  EXPECT_EQ(cc.count(), 0u);
+  EXPECT_TRUE(cc.connected());
+}
+
+}  // namespace
+}  // namespace fdiam

@@ -1,0 +1,125 @@
+// Tests for the CSR graph container.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "graph/csr.hpp"
+
+namespace fdiam {
+namespace {
+
+Csr triangle_plus_pendant() {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 0);
+  e.add(2, 3);
+  return Csr::from_edges(std::move(e));
+}
+
+TEST(Csr, CountsVerticesAndEdges) {
+  const Csr g = triangle_plus_pendant();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.num_arcs(), 8u);
+}
+
+TEST(Csr, DegreesMatchTopology) {
+  const Csr g = triangle_plus_pendant();
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(Csr, NeighborsAreSortedAndComplete) {
+  const Csr g = triangle_plus_pendant();
+  const auto adj2 = g.neighbors(2);
+  ASSERT_EQ(adj2.size(), 3u);
+  EXPECT_EQ(adj2[0], 0u);
+  EXPECT_EQ(adj2[1], 1u);
+  EXPECT_EQ(adj2[2], 3u);
+}
+
+TEST(Csr, DuplicateAndLoopEdgesCollapse) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(1, 0);
+  e.add(0, 0);
+  e.add(0, 1);
+  const Csr g = Csr::from_edges(std::move(e));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Csr, HasEdgeIsSymmetric) {
+  const Csr g = triangle_plus_pendant();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(3, 3));
+}
+
+TEST(Csr, MaxDegreeVertex) {
+  const Csr g = triangle_plus_pendant();
+  EXPECT_EQ(g.max_degree_vertex(), 2u);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Csr, MaxDegreeVertexPrefersSmallestId) {
+  const Csr g = make_path(5);  // vertices 1..3 all have degree 2
+  EXPECT_EQ(g.max_degree_vertex(), 1u);
+}
+
+TEST(Csr, EmptyGraph) {
+  const Csr g = Csr::from_edges(EdgeList{});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+  EXPECT_TRUE(g.validate());
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(Csr, IsolatedVerticesSurvive) {
+  EdgeList e(10);
+  e.add(0, 1);
+  const Csr g = Csr::from_edges(std::move(e));
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.degree(9), 0u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Csr, FromRawValidInput) {
+  // Path 0-1-2 in raw CSR form.
+  const Csr g = Csr::from_raw({0, 1, 3, 4}, {1, 0, 2, 1});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Csr, FromRawRejectsInconsistentOffsets) {
+  EXPECT_THROW(Csr::from_raw({0, 5}, {1}), std::invalid_argument);
+  EXPECT_THROW(Csr::from_raw({}, {}), std::invalid_argument);
+  EXPECT_THROW(Csr::from_raw({0, 2, 1}, {1, 0, 2}), std::invalid_argument);
+}
+
+TEST(Csr, ValidateCatchesAsymmetry) {
+  // Arc 0->1 without 1->0.
+  const Csr g = Csr::from_raw({0, 1, 1}, {1});
+  EXPECT_FALSE(g.validate());
+}
+
+TEST(Csr, ValidateCatchesSelfLoop) {
+  const Csr g = Csr::from_raw({0, 1}, {0});
+  EXPECT_FALSE(g.validate());
+}
+
+TEST(Csr, GeneratedGraphsValidate) {
+  EXPECT_TRUE(make_grid(17, 9).validate());
+  EXPECT_TRUE(make_complete(20).validate());
+  EXPECT_TRUE(make_erdos_renyi(300, 900, 1).validate());
+}
+
+}  // namespace
+}  // namespace fdiam

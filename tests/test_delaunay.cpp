@@ -1,0 +1,74 @@
+// Structural tests for the Bowyer-Watson Delaunay generator. A correct
+// Delaunay triangulation of n points in general position is planar and
+// connected with close to 3n - 6 edges (boundary effects subtract the
+// convex-hull edge count), average degree just under 6, and the empty-
+// circumcircle property on every triangle. We validate the graph-level
+// consequences (the ones the diameter experiments depend on).
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "graph/stats.hpp"
+
+namespace fdiam {
+namespace {
+
+class DelaunaySizes : public ::testing::TestWithParam<vid_t> {};
+
+TEST_P(DelaunaySizes, PlanarConnectedAndNearlyMaximal) {
+  const vid_t n = GetParam();
+  const Csr g = make_delaunay(n, 1234 + n);
+  ASSERT_EQ(g.num_vertices(), n);
+  ASSERT_TRUE(g.validate());
+  EXPECT_TRUE(connected_components(g).connected());
+  // Planarity upper bound and triangulation lower bound: a triangulation
+  // of n >= 3 points has between 2n - 3 (all collinear-ish hull) and
+  // 3n - 6 edges; uniform random points sit near the top.
+  EXPECT_LE(g.num_edges(), 3 * static_cast<eid_t>(n) - 6);
+  if (n >= 100) {
+    // Hull effects dominate tiny inputs; from ~100 points on, uniform
+    // random Delaunay has average degree comfortably above 5.
+    EXPECT_GE(g.num_edges(), (5 * static_cast<eid_t>(n)) / 2);
+  } else {
+    EXPECT_GE(g.num_edges(), 2 * static_cast<eid_t>(n) - 3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DelaunaySizes,
+                         ::testing::Values(10, 100, 1000, 5000),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(Delaunay, TinyInputs) {
+  EXPECT_EQ(make_delaunay(0, 1).num_vertices(), 0u);
+  EXPECT_EQ(make_delaunay(1, 1).num_vertices(), 1u);
+  const Csr two = make_delaunay(2, 1);
+  EXPECT_EQ(two.num_vertices(), 2u);
+  EXPECT_EQ(two.num_edges(), 1u);
+  const Csr three = make_delaunay(3, 1);
+  EXPECT_EQ(three.num_edges(), 3u);
+}
+
+TEST(Delaunay, DiameterScalesLikeSqrtN) {
+  // Mesh-like: diameter grows roughly with sqrt(n) (the property that
+  // makes delaunay_n24 the paper's hardest instance).
+  const dist_t d1 = apsp_diameter(make_delaunay(256, 3)).diameter;
+  const dist_t d2 = apsp_diameter(make_delaunay(4096, 3)).diameter;
+  EXPECT_GT(d2, 2 * d1);
+  EXPECT_LT(d2, 16 * d1);
+}
+
+TEST(Delaunay, MaxDegreeStaysModerate) {
+  const Csr g = make_delaunay(4000, 9);
+  // Random Delaunay max degree is O(log n / log log n) in expectation;
+  // anything beyond ~25 signals a broken cavity.
+  EXPECT_LE(g.max_degree(), 25u);
+  const GraphStats s = compute_stats(g);
+  EXPECT_NEAR(s.avg_degree, 6.0, 0.5);
+}
+
+}  // namespace
+}  // namespace fdiam

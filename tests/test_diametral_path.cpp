@@ -1,0 +1,96 @@
+// Tests for witness tracking and diametral-path extraction.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "core/diametral_path.hpp"
+#include "core/eccentricity.hpp"
+#include "gen/generators.hpp"
+
+namespace fdiam {
+namespace {
+
+void expect_valid_path(const Csr& g, const DiametralPath& p) {
+  ASSERT_EQ(p.path.size(), static_cast<std::size_t>(p.diameter) + 1);
+  for (std::size_t i = 0; i + 1 < p.path.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(p.path[i], p.path[i + 1]))
+        << "gap at step " << i;
+  }
+}
+
+TEST(Witness, EccentricityEqualsDiameter) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Csr g = make_erdos_renyi(250, 600, seed);
+    const DiameterResult r = fdiam_diameter(g);
+    EXPECT_EQ(eccentricity(g, r.witness), r.diameter) << "seed " << seed;
+  }
+}
+
+TEST(Witness, TracksBoundRaisesAcrossComponents) {
+  const Csr g = disjoint_union(make_star(50), make_cycle(44));
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_EQ(r.diameter, 22);
+  EXPECT_GE(r.witness, 51u);  // must be a cycle vertex
+  EXPECT_EQ(eccentricity(g, r.witness), 22);
+}
+
+TEST(DiametralPathTest, PathOnAPathGraph) {
+  const DiametralPath p = diametral_path(make_path(30));
+  EXPECT_EQ(p.diameter, 29);
+  expect_valid_path(make_path(30), p);
+  EXPECT_TRUE((p.path.front() == 0 && p.path.back() == 29) ||
+              (p.path.front() == 29 && p.path.back() == 0));
+}
+
+TEST(DiametralPathTest, PathIsShortest) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Csr g = make_barabasi_albert(300, 2.0, seed);
+    const DiametralPath p = diametral_path(g);
+    EXPECT_EQ(p.diameter, apsp_diameter(g).diameter) << "seed " << seed;
+    expect_valid_path(g, p);
+    // Endpoints realize the diameter.
+    EXPECT_EQ(eccentricity(g, p.path.front()), p.diameter);
+    EXPECT_EQ(eccentricity(g, p.path.back()), p.diameter);
+  }
+}
+
+TEST(DiametralPathTest, GridCornerToCorner) {
+  const Csr g = make_grid(9, 7);
+  const DiametralPath p = diametral_path(g);
+  EXPECT_EQ(p.diameter, 14);
+  expect_valid_path(g, p);
+}
+
+TEST(DiametralPathTest, DisconnectedUsesLargestEccComponent) {
+  const Csr g = disjoint_union(make_path(8), make_cycle(40));
+  const DiametralPath p = diametral_path(g);
+  EXPECT_FALSE(p.connected);
+  EXPECT_EQ(p.diameter, 20);
+  expect_valid_path(g, p);
+  for (const vid_t v : p.path) EXPECT_GE(v, 8u);  // inside the cycle
+}
+
+TEST(DiametralPathTest, TinyGraphs) {
+  EXPECT_TRUE(diametral_path(Csr::from_edges(EdgeList{})).path.empty());
+  EdgeList one;
+  one.ensure_vertices(1);
+  const DiametralPath p1 = diametral_path(Csr::from_edges(std::move(one)));
+  EXPECT_EQ(p1.path.size(), 1u);
+  EXPECT_EQ(p1.diameter, 0);
+  EdgeList two;
+  two.add(0, 1);
+  const DiametralPath p2 = diametral_path(Csr::from_edges(std::move(two)));
+  EXPECT_EQ(p2.diameter, 1);
+  EXPECT_EQ(p2.path.size(), 2u);
+}
+
+TEST(DiametralPathTest, FromKnownWitness) {
+  const Csr g = make_lollipop(10, 15);
+  const DiameterResult r = fdiam_diameter(g);
+  const DiametralPath p = diametral_path_from(g, r.witness);
+  EXPECT_EQ(p.diameter, 16);
+  expect_valid_path(g, p);
+}
+
+}  // namespace
+}  // namespace fdiam

@@ -1,0 +1,79 @@
+// Tests for the convenience eccentricity API.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/eccentricity.hpp"
+#include "gen/generators.hpp"
+
+namespace fdiam {
+namespace {
+
+TEST(Eccentricity, KnownValuesOnPath) {
+  const Csr g = make_path(9);
+  EXPECT_EQ(eccentricity(g, 0), 8);
+  EXPECT_EQ(eccentricity(g, 4), 4);
+  EXPECT_EQ(eccentricity(g, 8), 8);
+}
+
+TEST(Eccentricity, StarHubVersusLeaf) {
+  const Csr g = make_star(12);
+  EXPECT_EQ(eccentricity(g, 0), 1);   // hub
+  EXPECT_EQ(eccentricity(g, 5), 2);   // leaf
+}
+
+TEST(Eccentricity, BatchMatchesSingle) {
+  const Csr g = make_erdos_renyi(200, 600, 4);
+  const std::vector<vid_t> sources = {0, 10, 50, 199};
+  const auto batch = eccentricities(g, sources);
+  ASSERT_EQ(batch.size(), sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(batch[i], eccentricity(g, sources[i]));
+  }
+}
+
+TEST(AllEccentricities, MatchesPerVertexBfs) {
+  const Csr g = make_barabasi_albert(250, 2.0, 8);
+  const auto all = all_eccentricities(g);
+  ASSERT_EQ(all.size(), g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); v += 17) {
+    EXPECT_EQ(all[v], eccentricity(g, v));
+  }
+}
+
+TEST(AllEccentricities, AdjacentVerticesDifferByAtMostOne) {
+  // Theorem 1 of the paper, checked exhaustively on a random graph.
+  const Csr g = make_erdos_renyi(300, 900, 15);
+  const auto ecc = all_eccentricities(g);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (const vid_t w : g.neighbors(v)) {
+      EXPECT_LE(std::abs(ecc[v] - ecc[w]), 1) << v << " ~ " << w;
+    }
+  }
+}
+
+TEST(AllEccentricities, MinimumAtLeastHalfTheDiameter) {
+  // Theorem 3 of the paper: radius >= diameter / 2 on connected graphs.
+  const Csr g = make_barabasi_albert(400, 3.0, 21);
+  const auto ecc = all_eccentricities(g);
+  const dist_t diameter = *std::max_element(ecc.begin(), ecc.end());
+  const dist_t radius = *std::min_element(ecc.begin(), ecc.end());
+  EXPECT_GE(2 * radius, diameter);
+}
+
+TEST(AllEccentricities, AtLeastTwoVerticesRealizeTheDiameter) {
+  // Theorem 2 of the paper.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Csr g = make_barabasi_albert(200, 2.0, seed);
+    const auto ecc = all_eccentricities(g);
+    const dist_t diameter = *std::max_element(ecc.begin(), ecc.end());
+    const auto peripheral =
+        std::count(ecc.begin(), ecc.end(), diameter);
+    EXPECT_GE(peripheral, 2) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace fdiam

@@ -1,0 +1,67 @@
+// Tests for the EdgeList intermediate representation.
+
+#include <gtest/gtest.h>
+
+#include "graph/edge_list.hpp"
+
+namespace fdiam {
+namespace {
+
+TEST(EdgeList, GrowsVertexCountFromEdges) {
+  EdgeList e;
+  e.add(3, 7);
+  EXPECT_EQ(e.num_vertices(), 8u);
+  e.add(10, 2);
+  EXPECT_EQ(e.num_vertices(), 11u);
+}
+
+TEST(EdgeList, EnsureVerticesAddsIsolated) {
+  EdgeList e;
+  e.add(0, 1);
+  e.ensure_vertices(5);
+  EXPECT_EQ(e.num_vertices(), 5u);
+  e.ensure_vertices(2);  // shrinking is a no-op
+  EXPECT_EQ(e.num_vertices(), 5u);
+}
+
+TEST(EdgeList, CanonicalizeRemovesDuplicates) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(1, 0);  // same undirected edge, reversed
+  e.add(0, 1);  // exact duplicate
+  e.add(1, 2);
+  e.canonicalize();
+  EXPECT_EQ(e.size(), 2u);
+}
+
+TEST(EdgeList, CanonicalizeRemovesSelfLoops) {
+  EdgeList e;
+  e.add(0, 0);
+  e.add(1, 1);
+  e.add(0, 1);
+  e.canonicalize();
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e.edges()[0], (Edge{0, 1}));
+}
+
+TEST(EdgeList, CanonicalizeSortsEdges) {
+  EdgeList e;
+  e.add(5, 2);
+  e.add(1, 0);
+  e.add(3, 1);
+  e.canonicalize();
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e.edges()[0], (Edge{0, 1}));
+  EXPECT_EQ(e.edges()[1], (Edge{1, 3}));
+  EXPECT_EQ(e.edges()[2], (Edge{2, 5}));
+}
+
+TEST(EdgeList, EmptyCanonicalizeIsSafe) {
+  EdgeList e;
+  e.canonicalize();
+  EXPECT_EQ(e.size(), 0u);
+  EXPECT_EQ(e.num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace fdiam

@@ -1,0 +1,209 @@
+// F-Diam correctness on deterministic shapes and edge cases, plus the
+// result/stat invariants of the solver itself.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "core/fdiam.hpp"
+#include "gen/generators.hpp"
+
+namespace fdiam {
+namespace {
+
+TEST(FDiam, EmptyGraph) {
+  const DiameterResult r = fdiam_diameter(Csr::from_edges(EdgeList{}));
+  EXPECT_EQ(r.diameter, 0);
+  EXPECT_TRUE(r.connected);
+  EXPECT_FALSE(r.timed_out);
+}
+
+TEST(FDiam, SingleVertex) {
+  EdgeList e;
+  e.ensure_vertices(1);
+  const DiameterResult r = fdiam_diameter(Csr::from_edges(std::move(e)));
+  EXPECT_EQ(r.diameter, 0);
+  EXPECT_TRUE(r.connected);
+}
+
+TEST(FDiam, SingleEdge) {
+  EdgeList e;
+  e.add(0, 1);
+  const DiameterResult r = fdiam_diameter(Csr::from_edges(std::move(e)));
+  EXPECT_EQ(r.diameter, 1);
+  EXPECT_TRUE(r.connected);
+}
+
+TEST(FDiam, EdgeFreeGraphWithManyVertices) {
+  EdgeList e(7);
+  const DiameterResult r = fdiam_diameter(Csr::from_edges(std::move(e)));
+  EXPECT_EQ(r.diameter, 0);
+  EXPECT_FALSE(r.connected);
+  EXPECT_EQ(r.stats.degree0_vertices, 7u);
+}
+
+struct ShapeCase {
+  const char* name;
+  Csr (*build)();
+  dist_t diameter;
+};
+
+class FDiamShapes : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(FDiamShapes, ExactDiameter) {
+  const auto& param = GetParam();
+  const Csr g = param.build();
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_EQ(r.diameter, param.diameter);
+  EXPECT_TRUE(r.connected);
+  EXPECT_FALSE(r.timed_out);
+}
+
+TEST_P(FDiamShapes, ExactDiameterSerial) {
+  const auto& param = GetParam();
+  FDiamOptions opt;
+  opt.parallel = false;
+  EXPECT_EQ(fdiam_diameter(param.build(), opt).diameter, param.diameter);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnownShapes, FDiamShapes,
+    ::testing::Values(
+        ShapeCase{"path", [] { return make_path(57); }, 56},
+        ShapeCase{"even_cycle", [] { return make_cycle(24); }, 12},
+        ShapeCase{"odd_cycle", [] { return make_cycle(25); }, 12},
+        ShapeCase{"star", [] { return make_star(30); }, 2},
+        ShapeCase{"complete", [] { return make_complete(16); }, 1},
+        ShapeCase{"tree", [] { return make_balanced_tree(2, 6); }, 12},
+        ShapeCase{"caterpillar", [] { return make_caterpillar(10, 3); }, 11},
+        ShapeCase{"lollipop", [] { return make_lollipop(10, 7); }, 8},
+        ShapeCase{"barbell", [] { return make_barbell(5, 6); }, 9},
+        ShapeCase{"grid", [] { return make_grid(13, 9); }, 20},
+        ShapeCase{"triangle", [] { return make_cycle(3); }, 1},
+        ShapeCase{"two_path", [] { return make_path(2); }, 1}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(FDiam, DisconnectedReportsLargestComponentEccentricity) {
+  // Paper §1/§5: disconnected inputs are flagged and the largest
+  // eccentricity over all components is reported.
+  const Csr g = disjoint_union(make_path(12), make_cycle(30));
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_FALSE(r.connected);
+  EXPECT_EQ(r.diameter, 15);  // cycle's diameter beats the path's 11
+}
+
+TEST(FDiam, DisconnectedWithIsolatedVertices) {
+  EdgeList e(20);
+  for (vid_t v = 0; v + 1 < 10; ++v) e.add(v, v + 1);  // path on 0..9
+  const Csr g = Csr::from_edges(std::move(e));
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_FALSE(r.connected);
+  EXPECT_EQ(r.diameter, 9);
+  EXPECT_EQ(r.stats.degree0_vertices, 10u);
+}
+
+TEST(FDiam, ManyComponents) {
+  Csr g = disjoint_union(make_path(5), make_path(9));
+  g = disjoint_union(g, make_star(4));
+  g = disjoint_union(g, make_complete(6));
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_FALSE(r.connected);
+  EXPECT_EQ(r.diameter, 8);
+}
+
+TEST(FDiam, NoVertexLeftActive) {
+  const Csr g = make_barabasi_albert(2000, 2.5, 3);
+  FDiam solver(g);
+  solver.run();
+  for (const dist_t s : solver.state()) {
+    EXPECT_NE(s, FDiam::kActiveState);
+  }
+}
+
+TEST(FDiam, StageAttributionSumsToN) {
+  const Csr g = make_barabasi_albert(3000, 3.0, 7);
+  const DiameterResult r = fdiam_diameter(g);
+  const auto& s = r.stats;
+  EXPECT_EQ(s.removed_by_winnow + s.removed_by_eliminate +
+                s.removed_by_chain + s.degree0_vertices + s.evaluated,
+            g.num_vertices());
+}
+
+TEST(FDiam, BfsCallCountingMatchesTable3Rule) {
+  // Table 3 counts eccentricity computations plus Winnow invocations.
+  const Csr g = make_grid(40, 40);
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_EQ(r.stats.bfs_calls,
+            r.stats.ecc_computations + r.stats.winnow_calls);
+  EXPECT_GE(r.stats.ecc_computations, 2u);  // at least the 2-sweep
+  EXPECT_GE(r.stats.winnow_calls, 1u);
+}
+
+TEST(FDiam, RecordedBoundsAreValidUpperBounds) {
+  // Every recorded state value (except winnowed/chain sentinels) must be a
+  // genuine upper bound on the vertex's true eccentricity — the invariant
+  // the Eliminate machinery rests on.
+  const Csr g = make_erdos_renyi(400, 1200, 19);
+  FDiam solver(g);
+  solver.run();
+  BfsEngine engine(g);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const dist_t s = solver.state()[v];
+    if (s == FDiam::kWinnowedState || s > FDiam::kChainMax - 1000) continue;
+    EXPECT_GE(s, engine.eccentricity(v)) << "vertex " << v;
+  }
+}
+
+TEST(FDiam, RunIsRepeatable) {
+  const Csr g = make_rmat(10, 8.0, 0.45, 0.15, 0.15, 5);
+  FDiam solver(g);
+  const DiameterResult first = solver.run();
+  const DiameterResult second = solver.run();
+  EXPECT_EQ(first.diameter, second.diameter);
+  EXPECT_EQ(first.stats.bfs_calls, second.stats.bfs_calls);
+  EXPECT_EQ(first.stats.evaluated, second.stats.evaluated);
+}
+
+TEST(FDiam, TimeBudgetProducesLowerBound) {
+  const Csr g = make_grid(120, 120);
+  FDiamOptions opt;
+  opt.max_bfs_calls = 3;  // abort almost immediately
+  const DiameterResult r = fdiam_diameter(g, opt);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_LE(r.diameter, 238);
+  EXPECT_GT(r.diameter, 0);
+}
+
+TEST(FDiam, RandomizedScanOrderIsExactAndDeterministic) {
+  // Paper §4.5 describes a random evaluation order; it must not change
+  // the result and must be reproducible for a fixed seed.
+  FDiamOptions opt;
+  opt.randomize_scan = true;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Csr g = make_erdos_renyi(250, 600, seed);
+    const BaselineResult truth = apsp_diameter(g);
+    const DiameterResult a = fdiam_diameter(g, opt);
+    const DiameterResult b = fdiam_diameter(g, opt);
+    EXPECT_EQ(a.diameter, truth.diameter) << "seed " << seed;
+    EXPECT_EQ(a.stats.bfs_calls, b.stats.bfs_calls);
+  }
+}
+
+TEST(FDiam, ScanSeedChangesWorkNotResult) {
+  const Csr g = make_erdos_renyi(400, 900, 77);
+  FDiamOptions a, b;
+  a.randomize_scan = b.randomize_scan = true;
+  a.scan_seed = 1;
+  b.scan_seed = 2;
+  EXPECT_EQ(fdiam_diameter(g, a).diameter, fdiam_diameter(g, b).diameter);
+}
+
+TEST(FDiam, StageTimersCoverTotal) {
+  const Csr g = make_barabasi_albert(5000, 4.0, 13);
+  const DiameterResult r = fdiam_diameter(g);
+  const auto& s = r.stats;
+  EXPECT_GE(s.time_total, 0.0);
+  EXPECT_GE(s.time_other(), -1e-6);  // stage times never exceed the total
+}
+
+}  // namespace
+}  // namespace fdiam

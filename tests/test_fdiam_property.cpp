@@ -1,0 +1,137 @@
+// The heavyweight property suite: F-Diam (in several configurations) must
+// produce exactly the APSP ground-truth diameter — and the same
+// connectivity verdict — across a broad randomized sweep of graph
+// families, sizes, and densities.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "baselines/baselines.hpp"
+#include "core/fdiam.hpp"
+#include "gen/generators.hpp"
+
+namespace fdiam {
+namespace {
+
+struct Family {
+  const char* name;
+  Csr (*build)(vid_t n, std::uint64_t seed);
+};
+
+const Family kFamilies[] = {
+    {"erdos_renyi_sparse",
+     [](vid_t n, std::uint64_t s) {
+       return make_erdos_renyi(n, static_cast<eid_t>(n) * 3 / 2, s);
+     }},
+    {"erdos_renyi_dense",
+     [](vid_t n, std::uint64_t s) {
+       return make_erdos_renyi(n, static_cast<eid_t>(n) * 5, s);
+     }},
+    {"barabasi_albert",
+     [](vid_t n, std::uint64_t s) { return make_barabasi_albert(n, 2.0, s); }},
+    {"watts_strogatz",
+     [](vid_t n, std::uint64_t s) {
+       return make_watts_strogatz(n, 2, 0.1, s);
+     }},
+    {"rmat",
+     [](vid_t n, std::uint64_t s) {
+       int scale = 1;
+       while ((vid_t{1} << scale) < n) ++scale;
+       return make_rmat(scale, 4.0, 0.45, 0.15, 0.15, s);
+     }},
+    {"geometric",
+     [](vid_t n, std::uint64_t s) {
+       return make_random_geometric(n, 0.08, s);
+     }},
+    {"delaunay",
+     [](vid_t n, std::uint64_t s) { return make_delaunay(n, s); }},
+    {"road",
+     [](vid_t n, std::uint64_t s) {
+       RoadOptions opt;
+       opt.grid_width = opt.grid_height =
+           std::max<vid_t>(4, static_cast<vid_t>(std::sqrt(n / 2)));
+       return make_road_network(opt, s);
+     }},
+};
+
+using PropertyParam = std::tuple<int /*family*/, vid_t /*n*/, int /*seed*/>;
+
+class FDiamMatchesApsp : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(FDiamMatchesApsp, ParallelHybrid) {
+  const auto [family, n, seed] = GetParam();
+  const Csr g = kFamilies[family].build(n, static_cast<std::uint64_t>(seed));
+  const BaselineResult truth = apsp_diameter(g);
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_EQ(r.diameter, truth.diameter);
+  EXPECT_EQ(r.connected, truth.connected);
+  EXPECT_FALSE(r.timed_out);
+}
+
+TEST_P(FDiamMatchesApsp, SerialTopDown) {
+  const auto [family, n, seed] = GetParam();
+  const Csr g =
+      kFamilies[family].build(n, static_cast<std::uint64_t>(seed) + 1000);
+  FDiamOptions opt;
+  opt.parallel = false;
+  opt.direction_optimizing = false;
+  const BaselineResult truth = apsp_diameter(g);
+  const DiameterResult r = fdiam_diameter(g, opt);
+  EXPECT_EQ(r.diameter, truth.diameter);
+  EXPECT_EQ(r.connected, truth.connected);
+}
+
+TEST_P(FDiamMatchesApsp, AggressiveBottomUp) {
+  const auto [family, n, seed] = GetParam();
+  const Csr g =
+      kFamilies[family].build(n, static_cast<std::uint64_t>(seed) + 2000);
+  FDiamOptions opt;
+  opt.bottomup_threshold = 0.01;  // hybrid switches almost immediately
+  EXPECT_EQ(fdiam_diameter(g, opt).diameter, apsp_diameter(g).diameter);
+}
+
+std::string property_name(
+    const ::testing::TestParamInfo<PropertyParam>& info) {
+  const auto [family, n, seed] = info.param;
+  return std::string(kFamilies[family].name) + "_n" + std::to_string(n) +
+         "_s" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FDiamMatchesApsp,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values<vid_t>(60, 350),
+                       ::testing::Values(1, 2, 3)),
+    property_name);
+
+// Disconnected property sweep: unions of two random components plus
+// isolated vertices must match APSP's maximum component eccentricity.
+class FDiamDisconnected : public ::testing::TestWithParam<int> {};
+
+TEST_P(FDiamDisconnected, MatchesApsp) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Csr g = disjoint_union(
+      make_erdos_renyi(150, 350, seed),
+      make_barabasi_albert(100, 1.5, seed + 7));
+  EdgeList extra(g.num_vertices() + 5);  // 5 isolated vertices
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (const vid_t w : g.neighbors(v)) {
+      if (v < w) extra.add(v, w);
+    }
+  }
+  g = Csr::from_edges(std::move(extra));
+
+  const BaselineResult truth = apsp_diameter(g);
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_FALSE(r.connected);
+  EXPECT_EQ(r.diameter, truth.diameter);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FDiamDisconnected, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace fdiam

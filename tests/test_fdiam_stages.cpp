@@ -1,0 +1,214 @@
+// Stage-level tests: Winnow, Chain Processing, Eliminate, the incremental
+// extensions, and the ablation toggles (the configurations of Table 5 /
+// Fig. 9) — all of which must leave the computed diameter exact.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "core/fdiam.hpp"
+#include "gen/generators.hpp"
+
+namespace fdiam {
+namespace {
+
+TEST(Winnow, RemovesMajorityOnSmallWorldGraphs) {
+  // Paper Table 4: Winnow removes >70% of the vertices on every input and
+  // >99% on most small-world graphs.
+  const Csr g = make_barabasi_albert(20000, 5.0, 3);
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_GT(r.stats.removed_by_winnow,
+            static_cast<vid_t>(0.7 * g.num_vertices()));
+}
+
+TEST(Winnow, NeverRemovesAllDiametralVertices) {
+  // Theorem 2 safety: at least one vertex whose eccentricity equals the
+  // diameter must be evaluated (never only winnowed away).
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Csr g = make_erdos_renyi(250, 650, seed);
+    const dist_t truth = apsp_diameter(g).diameter;
+    EXPECT_EQ(fdiam_diameter(g).diameter, truth) << "seed " << seed;
+  }
+}
+
+TEST(Winnow, DisablingItStillGivesExactDiameter) {
+  FDiamOptions opt;
+  opt.use_winnow = false;
+  const Csr g = make_barabasi_albert(1500, 3.0, 5);
+  EXPECT_EQ(fdiam_diameter(g, opt).diameter, apsp_diameter(g).diameter);
+}
+
+TEST(Winnow, DisablingItCostsBfsCalls) {
+  // Table 5: "no Winnow" inflates the number of BFS calls dramatically.
+  const Csr g = make_barabasi_albert(8000, 4.0, 11);
+  FDiamOptions base, no_winnow;
+  no_winnow.use_winnow = false;
+  const auto with = fdiam_diameter(g, base);
+  const auto without = fdiam_diameter(g, no_winnow);
+  EXPECT_EQ(with.diameter, without.diameter);
+  EXPECT_GT(without.stats.bfs_calls, with.stats.bfs_calls);
+}
+
+TEST(Winnow, ExtensionTriggersWhenBoundGrows) {
+  // A lollipop started from the clique hub underestimates the diameter
+  // (2-sweep finds it exactly, so build a shape where the initial bound
+  // must grow: two tails of very different lengths arranged so the
+  // max-degree start is pulled toward the short side). We just assert the
+  // general invariant instead on graphs where multiple bound updates are
+  // common: random sparse graphs with low expansion.
+  for (std::uint64_t seed = 20; seed < 30; ++seed) {
+    const Csr g = make_erdos_renyi(300, 450, seed);  // sparse, scraggly
+    const DiameterResult r = fdiam_diameter(g);
+    EXPECT_EQ(r.diameter, apsp_diameter(g).diameter) << "seed " << seed;
+  }
+}
+
+TEST(Chain, CaterpillarUsesChains) {
+  const Csr g = make_caterpillar(40, 2);
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_EQ(r.diameter, 41);
+  EXPECT_GT(r.stats.removed_by_chain, 0u);
+}
+
+TEST(Chain, LongTailIsFollowedThroughDegree2Vertices) {
+  // Lollipop: the tail is one long degree-2 chain ending in a degree-1
+  // tip; chain processing should eliminate around the anchor.
+  const Csr g = make_lollipop(30, 50);
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_EQ(r.diameter, 51);
+}
+
+TEST(Chain, PurePathIsChainOnly) {
+  const Csr g = make_path(200);
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_EQ(r.diameter, 199);
+  // Both endpoints are degree-1: chain processing covers the interior, so
+  // very few eccentricity evaluations remain.
+  EXPECT_LE(r.stats.ecc_computations, 6u);
+}
+
+TEST(Chain, DisablingItStillGivesExactDiameter) {
+  FDiamOptions opt;
+  opt.use_chain = false;
+  for (const vid_t spine : {5u, 17u, 33u}) {
+    const Csr g = make_caterpillar(spine, 2);
+    EXPECT_EQ(fdiam_diameter(g, opt).diameter,
+              apsp_diameter(g).diameter);
+  }
+}
+
+TEST(Chain, TwoVertexComponentDoesNotCrash) {
+  EdgeList e;
+  e.add(0, 1);  // both endpoints degree 1
+  e.add(2, 3);
+  e.add(3, 4);
+  const DiameterResult r = fdiam_diameter(Csr::from_edges(std::move(e)));
+  EXPECT_EQ(r.diameter, 2);
+  EXPECT_FALSE(r.connected);
+}
+
+TEST(Chain, StarOfChains) {
+  // A "spider": hub with several long legs — every leg is a chain.
+  EdgeList e;
+  vid_t next = 1;
+  for (int leg = 0; leg < 5; ++leg) {
+    vid_t prev = 0;
+    for (int i = 0; i < 20; ++i) {
+      e.add(prev, next);
+      prev = next++;
+    }
+  }
+  const Csr g = Csr::from_edges(std::move(e));
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_EQ(r.diameter, 40);
+
+  // All legs share the hub anchor: winnow (radius 20 around the hub)
+  // already covers the whole spider, so chain attribution only shows up
+  // with winnow disabled — and then one grouped elimination per anchor
+  // must cover everything but the kept tip.
+  FDiamOptions no_winnow;
+  no_winnow.use_winnow = false;
+  const DiameterResult r2 = fdiam_diameter(g, no_winnow);
+  EXPECT_EQ(r2.diameter, 40);
+  EXPECT_GT(r2.stats.removed_by_chain, 50u);
+}
+
+TEST(Eliminate, DisablingItStillGivesExactDiameter) {
+  FDiamOptions opt;
+  opt.use_eliminate = false;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Csr g = make_erdos_renyi(250, 600, seed);
+    EXPECT_EQ(fdiam_diameter(g, opt).diameter,
+              apsp_diameter(g).diameter) << "seed " << seed;
+  }
+}
+
+TEST(Eliminate, HelpsOnMeshes) {
+  // Paper Fig. 9 / Table 5: disabling Eliminate explodes the BFS count on
+  // meshes (2d grid, delaunay) where Winnow covers < 85%.
+  const Csr g = make_grid(60, 60);
+  FDiamOptions base, no_elim;
+  no_elim.use_eliminate = false;
+  const auto with = fdiam_diameter(g, base);
+  const auto without = fdiam_diameter(g, no_elim);
+  EXPECT_EQ(with.diameter, without.diameter);
+  EXPECT_GT(without.stats.ecc_computations, with.stats.ecc_computations);
+}
+
+TEST(MaxDegreeStart, DisablingItStillGivesExactDiameter) {
+  FDiamOptions opt;
+  opt.start_policy = StartPolicy::kVertexZero;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Csr g = make_barabasi_albert(300, 2.0, seed);
+    EXPECT_EQ(fdiam_diameter(g, opt).diameter,
+              apsp_diameter(g).diameter) << "seed " << seed;
+  }
+}
+
+TEST(FourSweepStart, ExtensionPolicyIsExact) {
+  FDiamOptions opt;
+  opt.start_policy = StartPolicy::kFourSweepCenter;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Csr g = make_erdos_renyi(300, 700, seed);
+    const DiameterResult r = fdiam_diameter(g, opt);
+    EXPECT_EQ(r.diameter, apsp_diameter(g).diameter) << "seed " << seed;
+    EXPECT_GE(r.stats.ecc_computations, 6u);  // 4-sweep + 2-sweep
+  }
+  // Shapes where the center is far from the hub.
+  EXPECT_EQ(fdiam_diameter(make_lollipop(20, 30), opt).diameter, 31);
+  EXPECT_EQ(fdiam_diameter(make_grid(11, 17), opt).diameter, 26);
+  EXPECT_EQ(fdiam_diameter(disjoint_union(make_path(9), make_cycle(14)), opt)
+                .diameter,
+            8);
+}
+
+class AblationConfigs
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool, bool>> {};
+
+TEST_P(AblationConfigs, EveryToggleCombinationIsExact) {
+  // All 16 combinations of the four feature toggles must stay exact —
+  // the optimizations are pure work-savers, never correctness trades.
+  const auto [winnow, eliminate, chain, start_u] = GetParam();
+  FDiamOptions opt;
+  opt.use_winnow = winnow;
+  opt.use_eliminate = eliminate;
+  opt.use_chain = chain;
+  opt.start_policy = start_u ? StartPolicy::kMaxDegree : StartPolicy::kVertexZero;
+  for (std::uint64_t seed = 40; seed < 44; ++seed) {
+    const Csr g = make_erdos_renyi(150, 300, seed);
+    EXPECT_EQ(fdiam_diameter(g, opt).diameter,
+              apsp_diameter(g).diameter)
+        << "seed " << seed;
+  }
+  // Also on a chain-heavy shape and a mesh.
+  EXPECT_EQ(fdiam_diameter(make_caterpillar(12, 2), opt).diameter, 13);
+  EXPECT_EQ(fdiam_diameter(make_grid(9, 14), opt).diameter, 21);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSixteen, AblationConfigs,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Bool()));
+
+}  // namespace
+}  // namespace fdiam

@@ -1,0 +1,86 @@
+// Mutation fuzzing: start from a structured graph, apply random edge
+// insertions/deletions, and cross-check F-Diam (all parallel modes)
+// against the APSP ground truth. Deletions can disconnect the graph or
+// create chains/isolated vertices, hitting many rare paths at once.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/baselines.hpp"
+#include "core/fdiam.hpp"
+#include "gen/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fdiam {
+namespace {
+
+Csr mutate(const Csr& base, int additions, int deletions,
+           std::uint64_t seed) {
+  Rng rng(seed);
+  const vid_t n = base.num_vertices();
+
+  // Collect the edge set, delete a random sample, add random pairs.
+  std::vector<Edge> edges;
+  for (vid_t v = 0; v < n; ++v) {
+    for (const vid_t w : base.neighbors(v)) {
+      if (v < w) edges.push_back({v, w});
+    }
+  }
+  for (int d = 0; d < deletions && !edges.empty(); ++d) {
+    const auto i = static_cast<std::size_t>(rng.below(edges.size()));
+    edges[i] = edges.back();
+    edges.pop_back();
+  }
+  EdgeList out(n);
+  for (const Edge& e : edges) out.add(e.u, e.v);
+  for (int a = 0; a < additions; ++a) {
+    const auto u = static_cast<vid_t>(rng.below(n));
+    const auto v = static_cast<vid_t>(rng.below(n));
+    if (u != v) out.add(u, v);
+  }
+  return Csr::from_edges(std::move(out));
+}
+
+struct FuzzCase {
+  const char* base;
+  Csr (*make)(std::uint64_t seed);
+};
+
+class MutationFuzz
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MutationFuzz, FDiamAlwaysMatchesApsp) {
+  const auto [family, seed] = GetParam();
+  const auto useed = static_cast<std::uint64_t>(seed);
+  Csr base;
+  switch (family) {
+    case 0: base = make_grid(14, 14); break;
+    case 1: base = make_barabasi_albert(200, 2.0, useed); break;
+    case 2: base = make_cycle(150); break;
+    case 3: base = make_random_tree(180, useed); break;
+    default: base = make_erdos_renyi(200, 400, useed); break;
+  }
+  // Three mutation intensities, from light perturbation to shredding.
+  for (const auto [add, del] : {std::pair{3, 3}, {0, 40}, {25, 60}}) {
+    const Csr g = mutate(base, add, del, useed * 31 + add + del);
+    const BaselineResult truth = apsp_diameter(g);
+
+    const DiameterResult par = fdiam_diameter(g);
+    EXPECT_EQ(par.diameter, truth.diameter)
+        << "family " << family << " seed " << seed << " +" << add << " -"
+        << del;
+    EXPECT_EQ(par.connected, truth.connected);
+
+    FDiamOptions serial;
+    serial.parallel = false;
+    EXPECT_EQ(fdiam_diameter(g, serial).diameter, truth.diameter);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, MutationFuzz,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Range(1, 7)));
+
+}  // namespace
+}  // namespace fdiam

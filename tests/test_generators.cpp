@@ -1,0 +1,301 @@
+// Tests for the synthetic graph generators: structural invariants, exact
+// diameters of the deterministic shapes, and statistical sanity of the
+// random families. Parameterized sweeps double as property tests.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "graph/stats.hpp"
+#include "util/rng.hpp"
+
+namespace fdiam {
+namespace {
+
+TEST(Grid, SizeDegreesAndDiameter) {
+  const Csr g = make_grid(6, 4);
+  EXPECT_EQ(g.num_vertices(), 24u);
+  EXPECT_TRUE(g.validate());
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_EQ(apsp_diameter(g).diameter, 6 + 4 - 2);
+}
+
+TEST(Grid, OneByOneIsSingleVertex) {
+  const Csr g = make_grid(1, 1);
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+}
+
+TEST(Grid, LineGridIsPath) {
+  const Csr g = make_grid(10, 1);
+  EXPECT_EQ(apsp_diameter(g).diameter, 9);
+}
+
+TEST(SpecialShapes, PathDiameter) {
+  EXPECT_EQ(apsp_diameter(make_path(17)).diameter, 16);
+}
+
+TEST(SpecialShapes, CycleDiameter) {
+  EXPECT_EQ(apsp_diameter(make_cycle(10)).diameter, 5);
+  EXPECT_EQ(apsp_diameter(make_cycle(11)).diameter, 5);
+}
+
+TEST(SpecialShapes, StarDiameter) {
+  const Csr g = make_star(25);
+  EXPECT_EQ(g.num_vertices(), 26u);
+  EXPECT_EQ(apsp_diameter(g).diameter, 2);
+  EXPECT_EQ(g.max_degree_vertex(), 0u);
+}
+
+TEST(SpecialShapes, CompleteDiameter) {
+  EXPECT_EQ(apsp_diameter(make_complete(12)).diameter, 1);
+  EXPECT_EQ(make_complete(12).num_edges(), 66u);
+}
+
+TEST(SpecialShapes, BalancedTreeDiameter) {
+  const Csr g = make_balanced_tree(2, 4);
+  EXPECT_EQ(g.num_vertices(), 31u);
+  EXPECT_EQ(apsp_diameter(g).diameter, 8);
+}
+
+TEST(SpecialShapes, CaterpillarDiameter) {
+  // Leg - spine(6 edges along 7 spine vertices... spine=7) - leg.
+  const Csr g = make_caterpillar(7, 1);
+  EXPECT_EQ(apsp_diameter(g).diameter, 6 + 2);
+}
+
+TEST(SpecialShapes, LollipopDiameter) {
+  const Csr g = make_lollipop(8, 5);
+  // Across the clique (1) plus the tail (5).
+  EXPECT_EQ(apsp_diameter(g).diameter, 6);
+}
+
+TEST(SpecialShapes, BarbellDiameter) {
+  const Csr g = make_barbell(6, 4);
+  // clique hop + bridge path (5 edges through 4 bridge vertices) + hop.
+  EXPECT_EQ(apsp_diameter(g).diameter, 1 + 5 + 1);
+}
+
+TEST(SpecialShapes, DisjointUnionKeepsBothParts) {
+  const Csr g = disjoint_union(make_path(5), make_star(3));
+  EXPECT_EQ(g.num_vertices(), 9u);
+  EXPECT_TRUE(g.validate());
+  const BaselineResult r = apsp_diameter(g);
+  EXPECT_FALSE(r.connected);
+  EXPECT_EQ(r.diameter, 4);  // path part dominates
+}
+
+TEST(BarabasiAlbert, ConnectedAndPowerLawish) {
+  const Csr g = make_barabasi_albert(2000, 3.0, 11);
+  EXPECT_TRUE(g.validate());
+  EXPECT_TRUE(connected_components(g).connected());
+  // Preferential attachment produces a pronounced hub.
+  EXPECT_GT(g.max_degree(), 40u);
+}
+
+TEST(BarabasiAlbert, FractionalAttachment) {
+  const Csr g = make_barabasi_albert(4000, 1.5, 3);
+  const GraphStats s = compute_stats(g);
+  EXPECT_NEAR(s.avg_degree, 3.0, 0.35);  // 2 * 1.5 arcs per vertex
+}
+
+TEST(BarabasiAlbert, Deterministic) {
+  const Csr a = make_barabasi_albert(500, 2.0, 9);
+  const Csr b = make_barabasi_albert(500, 2.0, 9);
+  EXPECT_EQ(a.num_arcs(), b.num_arcs());
+  EXPECT_EQ(a.raw_neighbors(), b.raw_neighbors());
+}
+
+TEST(ErdosRenyi, EdgeCountApproximatelyRequested) {
+  const Csr g = make_erdos_renyi(1000, 5000, 17);
+  EXPECT_TRUE(g.validate());
+  EXPECT_GT(g.num_edges(), 4800u);
+  EXPECT_LE(g.num_edges(), 5000u);
+}
+
+TEST(ErdosRenyi, DenseRequestSaturates) {
+  const Csr g = make_erdos_renyi(10, 1000, 3);
+  EXPECT_LE(g.num_edges(), 45u);  // complete graph bound
+  EXPECT_GT(g.num_edges(), 30u);
+}
+
+TEST(WattsStrogatz, ZeroBetaIsRingLattice) {
+  const Csr g = make_watts_strogatz(50, 2, 0.0, 1);
+  EXPECT_TRUE(g.validate());
+  for (vid_t v = 0; v < 50; ++v) EXPECT_EQ(g.degree(v), 4u);
+  // Ring lattice with k=2: diameter = ceil(n/2) / k rounded up = 13.
+  EXPECT_EQ(apsp_diameter(g).diameter, 13);
+}
+
+TEST(WattsStrogatz, RewiringShrinksDiameter) {
+  const Csr lattice = make_watts_strogatz(400, 2, 0.0, 2);
+  const Csr small_world = make_watts_strogatz(400, 2, 0.2, 2);
+  EXPECT_LT(apsp_diameter(small_world).diameter,
+            apsp_diameter(lattice).diameter);
+}
+
+TEST(Rmat, SizeAndSkew) {
+  const Csr g = make_rmat(12, 8.0, 0.45, 0.15, 0.15, 21);
+  EXPECT_EQ(g.num_vertices(), 4096u);
+  EXPECT_TRUE(g.validate());
+  const GraphStats s = compute_stats(g);
+  EXPECT_GT(static_cast<double>(s.max_degree),
+            5.0 * s.avg_degree);  // heavy-tailed degrees
+}
+
+TEST(Kronecker, HasIsolatedVerticesLikeGraph500) {
+  // The paper's kron_g500-logn21 input is 26% degree-0 (Table 4); the
+  // generator reproduces a substantial isolated fraction.
+  const Csr g = make_kronecker(13, 16.0, 33);
+  const GraphStats s = compute_stats(g);
+  EXPECT_GT(s.degree0, g.num_vertices() / 20);
+}
+
+TEST(RandomGeometric, RadiusControlsConnectivity) {
+  const Csr sparse = make_random_geometric(400, 0.01, 5);
+  const Csr dense = make_random_geometric(400, 0.2, 5);
+  EXPECT_TRUE(dense.validate());
+  EXPECT_GT(connected_components(sparse).count(),
+            connected_components(dense).count());
+}
+
+TEST(RandomGeometric, EdgesRespectRadius) {
+  // All pairs within radius must be present: verify via a brute-force
+  // recomputation with the identical RNG stream.
+  const Csr g = make_random_geometric(300, 0.1, 77);
+  Rng rng(77);
+  std::vector<double> xs(300), ys(300);
+  for (vid_t v = 0; v < 300; ++v) {
+    xs[v] = rng.uniform();
+    ys[v] = rng.uniform();
+  }
+  eid_t expected = 0;
+  for (vid_t u = 0; u < 300; ++u) {
+    for (vid_t v = u + 1; v < 300; ++v) {
+      const double dx = xs[u] - xs[v], dy = ys[u] - ys[v];
+      if (dx * dx + dy * dy <= 0.01) {
+        ++expected;
+        EXPECT_TRUE(g.has_edge(u, v)) << u << "," << v;
+      }
+    }
+  }
+  EXPECT_EQ(g.num_edges(), expected);
+}
+
+TEST(Road, ConnectedSparseAndChainRich) {
+  RoadOptions opt;
+  opt.grid_width = 40;
+  opt.grid_height = 40;
+  const Csr g = make_road_network(opt, 13);
+  EXPECT_TRUE(g.validate());
+  EXPECT_TRUE(connected_components(g).connected());
+  const GraphStats s = compute_stats(g);
+  EXPECT_LT(s.avg_degree, 4.0);   // road maps are very sparse
+  EXPECT_LE(s.max_degree, 8u);
+  EXPECT_GT(s.degree2, s.vertices / 10);  // polyline chain vertices
+  EXPECT_GT(s.degree1, 0u);               // dead ends
+}
+
+TEST(Road, DiameterGrowsWithGridSide) {
+  RoadOptions small_opt, large_opt;
+  small_opt.grid_width = small_opt.grid_height = 16;
+  large_opt.grid_width = large_opt.grid_height = 48;
+  const auto d_small = apsp_diameter(make_road_network(small_opt, 4));
+  const auto d_large = apsp_diameter(make_road_network(large_opt, 4));
+  EXPECT_GT(d_large.diameter, 2 * d_small.diameter);
+}
+
+TEST(Tendrils, StretchTheDiameter) {
+  const Csr core = make_barabasi_albert(2000, 4.0, 5);
+  TendrilOptions opt;
+  opt.per_vertex = 0.02;
+  opt.max_len = 12;
+  const Csr g = attach_tendrils(core, opt, 9);
+  EXPECT_TRUE(g.validate());
+  EXPECT_GT(g.num_vertices(), core.num_vertices());
+  const dist_t core_diam = apsp_diameter(core).diameter;
+  const dist_t full_diam = apsp_diameter(g).diameter;
+  EXPECT_GT(full_diam, core_diam + 8);  // periphery dominates the diameter
+}
+
+TEST(Tendrils, PreserveTheCoreEdges) {
+  const Csr core = make_cycle(50);
+  TendrilOptions opt;
+  opt.per_vertex = 0.1;
+  const Csr g = attach_tendrils(core, opt, 3);
+  for (vid_t v = 0; v < 50; ++v) {
+    for (const vid_t w : core.neighbors(v)) EXPECT_TRUE(g.has_edge(v, w));
+  }
+}
+
+TEST(Tendrils, KeepConnectedCoresConnected) {
+  const Csr core = make_barabasi_albert(500, 2.0, 7);
+  TendrilOptions opt;
+  opt.per_vertex = 0.05;
+  opt.max_len = 6;
+  const Csr g = attach_tendrils(core, opt, 11);
+  EXPECT_TRUE(connected_components(g).connected());
+}
+
+TEST(Tendrils, AddDegree1Periphery) {
+  const Csr core = make_complete(30);  // no degree-1 vertices at all
+  TendrilOptions opt;
+  opt.per_vertex = 0.5;
+  opt.max_len = 4;
+  const Csr g = attach_tendrils(core, opt, 2);
+  const GraphStats s = compute_stats(g);
+  EXPECT_GT(s.degree1, 0u);  // tendril tips and leaves
+}
+
+// Determinism sweep across every random family.
+struct GenCase {
+  const char* name;
+  Csr (*build)(std::uint64_t seed);
+};
+
+class GeneratorDeterminism : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorDeterminism, SameSeedSameGraph) {
+  const auto& param = GetParam();
+  const Csr a = param.build(123);
+  const Csr b = param.build(123);
+  EXPECT_EQ(a.offsets(), b.offsets());
+  EXPECT_EQ(a.raw_neighbors(), b.raw_neighbors());
+  const Csr c = param.build(124);
+  EXPECT_NE(a.raw_neighbors(), c.raw_neighbors());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRandomFamilies, GeneratorDeterminism,
+    ::testing::Values(
+        GenCase{"erdos_renyi",
+                [](std::uint64_t s) { return make_erdos_renyi(500, 1500, s); }},
+        GenCase{"barabasi_albert",
+                [](std::uint64_t s) {
+                  return make_barabasi_albert(500, 2.0, s);
+                }},
+        GenCase{"watts_strogatz",
+                [](std::uint64_t s) {
+                  return make_watts_strogatz(500, 3, 0.1, s);
+                }},
+        GenCase{"rmat",
+                [](std::uint64_t s) {
+                  return make_rmat(9, 8.0, 0.45, 0.15, 0.15, s);
+                }},
+        GenCase{"geometric",
+                [](std::uint64_t s) {
+                  return make_random_geometric(500, 0.08, s);
+                }},
+        GenCase{"delaunay",
+                [](std::uint64_t s) { return make_delaunay(400, s); }},
+        GenCase{"road",
+                [](std::uint64_t s) {
+                  RoadOptions opt;
+                  opt.grid_width = opt.grid_height = 20;
+                  return make_road_network(opt, s);
+                }}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace fdiam

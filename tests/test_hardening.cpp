@@ -1,0 +1,284 @@
+// Hardening tests: deterministic scenarios that force the rarely-taken
+// internal paths — diameter-bound growth with winnow/eliminate region
+// extension, multi-component scans, budget aborts, and thread-count
+// invariance.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "core/fdiam.hpp"
+#include "gen/generators.hpp"
+#include "util/parallel.hpp"
+
+namespace fdiam {
+namespace {
+
+TEST(BoundGrowth, LaterComponentRaisesTheBoundAndExtendsWinnow) {
+  // u (the max-degree hub) lives in a star with diameter 2, so the
+  // initial bound is tiny; the cycle component found later in the scan
+  // raises it to 30, forcing a winnow extension around u.
+  const Csr g = disjoint_union(make_star(100), make_cycle(60));
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_EQ(r.diameter, 30);
+  EXPECT_FALSE(r.connected);
+  EXPECT_GE(r.stats.winnow_calls, 2u);  // initial + at least one extension
+}
+
+TEST(BoundGrowth, EliminatedRegionsExtendOnBoundIncrease) {
+  // Same construction, but assert the multi-source extension actually ran
+  // (seeded by the star leaf whose exact eccentricity equals the old
+  // bound).
+  const Csr g = disjoint_union(make_star(100), make_cycle(60));
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_GE(r.stats.extension_calls, 1u);
+  EXPECT_EQ(r.diameter, 30);
+}
+
+TEST(BoundGrowth, ManyProgressiveIncreases) {
+  // Components in increasing-diameter order force repeated bound growth:
+  // star (2), then cycles of diameter 5, 10, 20, 40.
+  Csr g = make_star(50);
+  for (const vid_t len : {10u, 20u, 40u, 80u}) {
+    g = disjoint_union(g, make_cycle(len));
+  }
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_EQ(r.diameter, 40);
+  const BaselineResult truth = apsp_diameter(g);
+  EXPECT_EQ(r.diameter, truth.diameter);
+}
+
+TEST(BoundGrowth, DecreasingComponentOrderNeverExtends) {
+  // All vertices have degree 2, so u is vertex 0 inside the LARGEST
+  // component (the 80-cycle): the initial bound is already the final
+  // diameter and no extension should ever run.
+  Csr g = make_cycle(80);
+  g = disjoint_union(g, make_cycle(20));
+  g = disjoint_union(g, make_cycle(12));
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_EQ(r.diameter, 40);
+  EXPECT_EQ(r.stats.extension_calls, 0u);
+}
+
+TEST(Budget, TimeBudgetAbortsFDiam) {
+  RoadOptions opt;
+  opt.grid_width = opt.grid_height = 50;
+  const Csr g = make_road_network(opt, 5);
+  FDiamOptions fopt;
+  fopt.time_budget_seconds = 1e-9;
+  const DiameterResult r = fdiam_diameter(g, fopt);
+  EXPECT_TRUE(r.timed_out);
+  // The reported value is still a valid lower bound.
+  EXPECT_LE(r.diameter, apsp_diameter(g).diameter);
+}
+
+TEST(Budget, GenerousBudgetDoesNotAbort) {
+  const Csr g = make_grid(30, 30);
+  FDiamOptions fopt;
+  fopt.time_budget_seconds = 3600.0;
+  const DiameterResult r = fdiam_diameter(g, fopt);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.diameter, 58);
+}
+
+TEST(Threads, DiameterInvariantUnderThreadCount) {
+  // Parallel scheduling may change which periphery vertex the 2-sweep
+  // picks (frontier order is nondeterministic), but the diameter must
+  // not change.
+  const Csr g = make_rmat(12, 8.0, 0.45, 0.15, 0.15, 17);
+  const int original = num_threads();
+  const dist_t truth = fdiam_diameter(g, {.parallel = false}).diameter;
+  for (const int t : {1, 2, 4}) {
+    set_num_threads(t);
+    for (int rep = 0; rep < 3; ++rep) {
+      EXPECT_EQ(fdiam_diameter(g).diameter, truth) << t << " threads";
+    }
+  }
+  set_num_threads(original);
+}
+
+TEST(Threads, BaselinesInvariantUnderThreadCount) {
+  const Csr g = make_barabasi_albert(2000, 3.0, 8);
+  const dist_t truth = ifub_diameter(g, {}).diameter;
+  const int original = num_threads();
+  set_num_threads(4);
+  BaselineOptions par;
+  par.parallel = true;
+  EXPECT_EQ(ifub_diameter(g, par).diameter, truth);
+  EXPECT_EQ(apsp_diameter(g, par).diameter, apsp_diameter(g, {}).diameter);
+  set_num_threads(original);
+}
+
+TEST(Degenerate, SelfLoopsAndMultiEdgesCollapseBeforeFDiam) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(1, 0);
+  e.add(0, 0);
+  e.add(1, 2);
+  e.add(1, 2);
+  e.add(2, 2);
+  const Csr g = Csr::from_edges(std::move(e));
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(fdiam_diameter(g).diameter, 2);
+}
+
+TEST(Degenerate, StarOfStars) {
+  // Hub connected to k sub-hubs, each with its own leaves: diameter 4.
+  EdgeList e;
+  vid_t next = 1;
+  for (int sub = 0; sub < 8; ++sub) {
+    const vid_t hub = next++;
+    e.add(0, hub);
+    for (int leaf = 0; leaf < 10; ++leaf) e.add(hub, next++);
+  }
+  const Csr g = Csr::from_edges(std::move(e));
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_EQ(r.diameter, 4);
+}
+
+TEST(Degenerate, CycleWithSingleTail) {
+  // The chain walk must stop at the cycle junction (degree 3), not loop.
+  EdgeList e;
+  for (vid_t v = 0; v + 1 < 20; ++v) e.add(v, v + 1);
+  e.add(19, 0);                        // cycle 0..19
+  e.add(0, 20);                        // tail of length 5 at junction 0
+  for (vid_t v = 20; v < 24; ++v) e.add(v, v + 1);
+  const Csr g = Csr::from_edges(std::move(e));
+  const BaselineResult truth = apsp_diameter(g);
+  EXPECT_EQ(fdiam_diameter(g).diameter, truth.diameter);
+  EXPECT_EQ(truth.diameter, 15);  // tail tip (24) to cycle antipode (10)
+}
+
+TEST(Degenerate, TwoTailsOfVeryDifferentLength) {
+  // Long and short tail on the same dense core: the short tail's chain
+  // elimination must not erase the long tail's dominance.
+  EdgeList e;
+  // Core: complete graph on 0..9.
+  for (vid_t u = 0; u < 10; ++u) {
+    for (vid_t v = u + 1; v < 10; ++v) e.add(u, v);
+  }
+  vid_t next = 10;
+  vid_t prev = 0;
+  for (int i = 0; i < 30; ++i) {  // long tail at core vertex 0
+    e.add(prev, next);
+    prev = next++;
+  }
+  prev = 5;
+  for (int i = 0; i < 3; ++i) {  // short tail at core vertex 5
+    e.add(prev, next);
+    prev = next++;
+  }
+  const Csr g = Csr::from_edges(std::move(e));
+  const BaselineResult truth = apsp_diameter(g);
+  EXPECT_EQ(fdiam_diameter(g).diameter, truth.diameter);
+  EXPECT_EQ(truth.diameter, 30 + 1 + 3);
+}
+
+TEST(Degenerate, BinaryTreeChainsInterlock) {
+  // Every leaf of a deep binary tree is a degree-1 chain tip of length 1;
+  // dozens of overlapping chain eliminations must stay consistent.
+  const Csr g = make_balanced_tree(2, 8);
+  EXPECT_EQ(fdiam_diameter(g).diameter, 16);
+}
+
+TEST(Degenerate, HugeStarPlusPendantChain) {
+  // Max-degree start is the hub; bound initializes to hub-leaf-chain
+  // geometry and chain processing must keep exactly the chain tip alive.
+  EdgeList e;
+  for (vid_t v = 1; v <= 1000; ++v) e.add(0, v);
+  vid_t prev = 1;
+  vid_t next = 1001;
+  for (int i = 0; i < 12; ++i) {
+    e.add(prev, next);
+    prev = next++;
+  }
+  const Csr g = Csr::from_edges(std::move(e));
+  EXPECT_EQ(fdiam_diameter(g).diameter, 14);  // leaf -> hub -> chain tip
+}
+
+
+TEST(BatchedCandidates, StaysExactAndCountsRedundancy) {
+  // The rejected 4.6 alternative must stay exact; on graphs where
+  // Eliminate matters, larger batches can only do >= the BFS calls of
+  // batch size 1 (redundant candidates are evaluated before the pruning
+  // they would have received).
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Csr g = make_erdos_renyi(250, 500, seed);
+    const dist_t truth = apsp_diameter(g).diameter;
+    FDiamOptions one, many;
+    many.candidate_batch = 16;
+    const DiameterResult a = fdiam_diameter(g, one);
+    const DiameterResult b = fdiam_diameter(g, many);
+    EXPECT_EQ(a.diameter, truth) << "seed " << seed;
+    EXPECT_EQ(b.diameter, truth) << "seed " << seed;
+    EXPECT_GE(b.stats.bfs_calls, a.stats.bfs_calls) << "seed " << seed;
+  }
+}
+
+TEST(BatchedCandidates, WorksOnMeshesAndChains) {
+  FDiamOptions opt;
+  opt.candidate_batch = 8;
+  EXPECT_EQ(fdiam_diameter(make_grid(25, 25), opt).diameter, 48);
+  EXPECT_EQ(fdiam_diameter(make_caterpillar(30, 1), opt).diameter, 31);
+  EXPECT_EQ(fdiam_diameter(disjoint_union(make_star(20), make_cycle(40)), opt)
+                .diameter,
+            20);
+}
+
+TEST(BatchedCandidates, RespectsBudget) {
+  const Csr g = make_grid(80, 80);
+  FDiamOptions opt;
+  opt.candidate_batch = 4;
+  opt.max_bfs_calls = 5;
+  const DiameterResult r = fdiam_diameter(g, opt);
+  EXPECT_TRUE(r.timed_out);
+}
+
+
+TEST(BoundCap, StaysExactForAnyValidCap) {
+  // The experiment knob (cap_initial_bound) degrades the starting lower
+  // bound; the final diameter must stay exact for every cap value.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Csr g = make_erdos_renyi(250, 550, seed);
+    const dist_t truth = apsp_diameter(g).diameter;
+    for (dist_t cap = 1; cap <= truth + 2; ++cap) {
+      FDiamOptions opt;
+      opt.cap_initial_bound = cap;
+      EXPECT_EQ(fdiam_diameter(g, opt).diameter, truth)
+          << "seed " << seed << " cap " << cap;
+    }
+  }
+}
+
+TEST(BoundCap, WeakerBoundsCostMoreTraversals) {
+  const Csr g = make_grid(40, 40);  // diameter 78
+  FDiamOptions full, weak;
+  weak.cap_initial_bound = 20;
+  const DiameterResult a = fdiam_diameter(g, full);
+  const DiameterResult b = fdiam_diameter(g, weak);
+  EXPECT_EQ(a.diameter, 78);
+  EXPECT_EQ(b.diameter, 78);
+  EXPECT_GT(b.stats.bfs_calls, a.stats.bfs_calls);
+}
+
+TEST(BoundCap, CapAboveMeasuredBoundIsANoop) {
+  const Csr g = make_barabasi_albert(400, 3.0, 5);
+  FDiamOptions capped;
+  capped.cap_initial_bound = 10000;
+  const DiameterResult a = fdiam_diameter(g);
+  const DiameterResult b = fdiam_diameter(g, capped);
+  EXPECT_EQ(a.diameter, b.diameter);
+  EXPECT_EQ(a.stats.bfs_calls, b.stats.bfs_calls);
+}
+
+TEST(BoundCap, WitnessStillRealizesTheDiameter) {
+  const Csr g = disjoint_union(make_grid(12, 12), make_cycle(30));
+  FDiamOptions opt;
+  opt.cap_initial_bound = 3;
+  const DiameterResult r = fdiam_diameter(g, opt);
+  EXPECT_EQ(r.diameter, 22);
+  BfsEngine engine(g);
+  EXPECT_EQ(engine.eccentricity(r.witness), 22);
+}
+
+}  // namespace
+}  // namespace fdiam

@@ -1,0 +1,160 @@
+// Round-trip and error-handling tests for every graph file format.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "gen/generators.hpp"
+#include "io/io.hpp"
+
+namespace fdiam {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fdiam_io_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] fs::path file(const std::string& name) const {
+    return dir_ / name;
+  }
+
+  static void expect_same_graph(const Csr& a, const Csr& b) {
+    ASSERT_EQ(a.num_vertices(), b.num_vertices());
+    ASSERT_EQ(a.num_arcs(), b.num_arcs());
+    for (vid_t v = 0; v < a.num_vertices(); ++v) {
+      const auto na = a.neighbors(v);
+      const auto nb = b.neighbors(v);
+      ASSERT_EQ(na.size(), nb.size()) << "vertex " << v;
+      for (std::size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+    }
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(IoTest, DimacsRoundTrip) {
+  const Csr g = make_erdos_renyi(200, 600, 5);
+  io::write_dimacs(g, file("g.gr"));
+  expect_same_graph(g, io::read_dimacs(file("g.gr")));
+}
+
+TEST_F(IoTest, SnapRoundTrip) {
+  const Csr g = make_barabasi_albert(300, 2.0, 6);
+  io::write_snap(g, file("g.txt"));
+  expect_same_graph(g, io::read_snap(file("g.txt")));
+}
+
+TEST_F(IoTest, MatrixMarketRoundTrip) {
+  const Csr g = make_grid(12, 7);
+  io::write_matrix_market(g, file("g.mtx"));
+  expect_same_graph(g, io::read_matrix_market(file("g.mtx")));
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  const Csr g = make_rmat(10, 8.0, 0.45, 0.15, 0.15, 7);
+  io::write_binary(g, file("g.csrbin"));
+  expect_same_graph(g, io::read_binary(file("g.csrbin")));
+}
+
+TEST_F(IoTest, BinaryPreservesIsolatedVertices) {
+  EdgeList e(50);
+  e.add(0, 1);
+  const Csr g = Csr::from_edges(std::move(e));
+  io::write_binary(g, file("iso.csrbin"));
+  const Csr h = io::read_binary(file("iso.csrbin"));
+  EXPECT_EQ(h.num_vertices(), 50u);
+}
+
+TEST_F(IoTest, LoaderDispatchesByExtension) {
+  const Csr g = make_cycle(9);
+  io::write_dimacs(g, file("a.gr"));
+  io::write_snap(g, file("a.txt"));
+  io::write_matrix_market(g, file("a.mtx"));
+  io::write_binary(g, file("a.csrbin"));
+  expect_same_graph(g, io::load_graph(file("a.gr")));
+  expect_same_graph(g, io::load_graph(file("a.txt")));
+  expect_same_graph(g, io::load_graph(file("a.mtx")));
+  expect_same_graph(g, io::load_graph(file("a.csrbin")));
+}
+
+TEST_F(IoTest, LoaderRejectsUnknownExtension) {
+  EXPECT_THROW(io::load_graph(file("x.unknown")), std::runtime_error);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(io::read_dimacs(file("missing.gr")), std::runtime_error);
+  EXPECT_THROW(io::read_snap(file("missing.txt")), std::runtime_error);
+  EXPECT_THROW(io::read_binary(file("missing.csrbin")), std::runtime_error);
+}
+
+TEST_F(IoTest, DimacsSkipsCommentsAndIgnoresWeights) {
+  std::ofstream out(file("c.gr"));
+  out << "c a comment\np sp 3 4\na 1 2 99\nc another\na 2 3 7\n";
+  out.close();
+  const Csr g = io::read_dimacs(file("c.gr"));
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST_F(IoTest, DimacsWithoutHeaderThrows) {
+  std::ofstream out(file("bad.gr"));
+  out << "a 1 2 1\n";
+  out.close();
+  EXPECT_THROW(io::read_dimacs(file("bad.gr")), std::runtime_error);
+}
+
+TEST_F(IoTest, SnapSkipsCommentLines) {
+  std::ofstream out(file("s.txt"));
+  out << "# from snap\n0 1\n1 2\n";
+  out.close();
+  const Csr g = io::read_snap(file("s.txt"));
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST_F(IoTest, SnapMalformedLineThrows) {
+  std::ofstream out(file("bad.txt"));
+  out << "0 1\nnot numbers\n";
+  out.close();
+  EXPECT_THROW(io::read_snap(file("bad.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, MatrixMarketRealValuesAreIgnored) {
+  std::ofstream out(file("w.mtx"));
+  out << "%%MatrixMarket matrix coordinate real symmetric\n"
+      << "% weights get dropped\n"
+      << "3 3 2\n2 1 0.5\n3 2 1.5\n";
+  out.close();
+  const Csr g = io::read_matrix_market(file("w.mtx"));
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST_F(IoTest, MatrixMarketWithoutBannerThrows) {
+  std::ofstream out(file("nb.mtx"));
+  out << "3 3 1\n1 2\n";
+  out.close();
+  EXPECT_THROW(io::read_matrix_market(file("nb.mtx")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsCorruptMagic) {
+  std::ofstream out(file("bad.csrbin"), std::ios::binary);
+  out << "NOTMAGIC0000000000000000000000";
+  out.close();
+  EXPECT_THROW(io::read_binary(file("bad.csrbin")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fdiam

@@ -1,0 +1,121 @@
+// Tests for the k-core decomposition.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/generators.hpp"
+#include "graph/kcore.hpp"
+
+namespace fdiam {
+namespace {
+
+// Reference check: the k-core of G is the maximal subgraph with all
+// degrees >= k. Verify core numbers by iterative peeling at each level.
+bool core_numbers_valid(const Csr& g, const std::vector<vid_t>& core) {
+  const vid_t n = g.num_vertices();
+  for (vid_t k = 0;; ++k) {
+    // Peel everything with degree < k; survivors must be exactly the
+    // vertices with core >= k.
+    std::vector<vid_t> degree(n);
+    std::vector<bool> alive(n, true);
+    for (vid_t v = 0; v < n; ++v) degree[v] = g.degree(v);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (vid_t v = 0; v < n; ++v) {
+        if (alive[v] && degree[v] < k) {
+          alive[v] = false;
+          changed = true;
+          for (const vid_t w : g.neighbors(v)) {
+            if (alive[w]) --degree[w];
+          }
+        }
+      }
+    }
+    bool any = false;
+    for (vid_t v = 0; v < n; ++v) {
+      if (alive[v] != (core[v] >= k)) return false;
+      any = any || alive[v];
+    }
+    if (!any) return true;
+  }
+}
+
+TEST(KCore, CompleteGraphIsOneCore) {
+  const Csr g = make_complete(8);
+  const KCoreResult r = kcore_decomposition(g);
+  EXPECT_EQ(r.degeneracy, 7u);
+  for (const vid_t c : r.core) EXPECT_EQ(c, 7u);
+}
+
+TEST(KCore, TreeHasDegeneracyOne) {
+  const Csr g = make_balanced_tree(3, 4);
+  const KCoreResult r = kcore_decomposition(g);
+  EXPECT_EQ(r.degeneracy, 1u);
+}
+
+TEST(KCore, CycleIsTwoCore) {
+  const KCoreResult r = kcore_decomposition(make_cycle(10));
+  EXPECT_EQ(r.degeneracy, 2u);
+  for (const vid_t c : r.core) EXPECT_EQ(c, 2u);
+}
+
+TEST(KCore, LollipopSeparatesCliqueFromTail) {
+  const Csr g = make_lollipop(6, 10);
+  const KCoreResult r = kcore_decomposition(g);
+  EXPECT_EQ(r.degeneracy, 5u);
+  for (vid_t v = 0; v < 6; ++v) EXPECT_EQ(r.core[v], 5u);   // clique
+  for (vid_t v = 6; v < 16; ++v) EXPECT_EQ(r.core[v], 1u);  // tail
+}
+
+TEST(KCore, IsolatedVerticesAreZeroCore) {
+  EdgeList e(5);
+  e.add(0, 1);
+  const KCoreResult r = kcore_decomposition(Csr::from_edges(std::move(e)));
+  EXPECT_EQ(r.core[4], 0u);
+  EXPECT_EQ(r.core[0], 1u);
+}
+
+TEST(KCore, EmptyGraph) {
+  const KCoreResult r = kcore_decomposition(Csr::from_edges(EdgeList{}));
+  EXPECT_EQ(r.degeneracy, 0u);
+  EXPECT_TRUE(r.core.empty());
+}
+
+class KCoreRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KCoreRandom, MatchesIterativePeelingReference) {
+  const Csr g = make_erdos_renyi(120, 400, GetParam());
+  const KCoreResult r = kcore_decomposition(g);
+  EXPECT_TRUE(core_numbers_valid(g, r.core));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KCoreRandom, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(KCore, CoreIsAtMostDegree) {
+  const Csr g = make_barabasi_albert(500, 3.0, 4);
+  const KCoreResult r = kcore_decomposition(g);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(r.core[v], g.degree(v));
+  }
+}
+
+TEST(KCore, InnermostCoreIsNonEmptyAndCorrect) {
+  const Csr g = make_barabasi_albert(300, 2.0, 6);
+  const KCoreResult r = kcore_decomposition(g);
+  const auto inner = innermost_core(g);
+  ASSERT_FALSE(inner.empty());
+  for (const vid_t v : inner) EXPECT_EQ(r.core[v], r.degeneracy);
+}
+
+TEST(KCore, HighDegreeVerticesSitInTheCore) {
+  // The paper's §3 premise: the max-degree vertex u belongs to the dense
+  // core (its core number is near the degeneracy) on power-law graphs.
+  const Csr g = make_barabasi_albert(2000, 4.0, 9);
+  const KCoreResult r = kcore_decomposition(g);
+  EXPECT_GE(r.core[g.max_degree_vertex()] + 1u, r.degeneracy);
+}
+
+}  // namespace
+}  // namespace fdiam

@@ -1,0 +1,96 @@
+// Round-trip and error tests for the METIS graph format.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "gen/generators.hpp"
+#include "io/io.hpp"
+
+namespace fdiam {
+namespace {
+
+namespace fs = std::filesystem;
+
+class MetisTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fdiam_metis_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  [[nodiscard]] fs::path file(const std::string& name) const {
+    return dir_ / name;
+  }
+  fs::path dir_;
+};
+
+TEST_F(MetisTest, RoundTrip) {
+  const Csr g = make_barabasi_albert(200, 2.0, 3);
+  io::write_metis(g, file("g.metis"));
+  const Csr h = io::read_metis(file("g.metis"));
+  ASSERT_EQ(g.num_vertices(), h.num_vertices());
+  ASSERT_EQ(g.num_arcs(), h.num_arcs());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.neighbors(v), b = h.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST_F(MetisTest, RoundTripWithIsolatedVertices) {
+  EdgeList e(9);
+  e.add(0, 8);
+  const Csr g = Csr::from_edges(std::move(e));
+  io::write_metis(g, file("iso.metis"));
+  EXPECT_EQ(io::read_metis(file("iso.metis")).num_vertices(), 9u);
+}
+
+TEST_F(MetisTest, ParsesEdgeWeightFormat) {
+  std::ofstream out(file("w.graph"));
+  out << "% weighted\n3 2 1\n2 7 3 9\n1 7\n1 9\n";  // fmt=1: edge weights
+  out.close();
+  const Csr g = io::read_metis(file("w.graph"));
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST_F(MetisTest, ParsesVertexWeightFormat) {
+  std::ofstream out(file("vw.graph"));
+  out << "2 1 10\n5 2\n7 1\n";  // fmt=10: leading vertex weight per line
+  out.close();
+  const Csr g = io::read_metis(file("vw.graph"));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST_F(MetisTest, RejectsOutOfRangeNeighbor) {
+  std::ofstream out(file("bad.metis"));
+  out << "2 1\n3\n1\n";  // neighbor 3 of 2 vertices
+  out.close();
+  EXPECT_THROW(io::read_metis(file("bad.metis")), std::runtime_error);
+}
+
+TEST_F(MetisTest, RejectsTruncatedFile) {
+  std::ofstream out(file("short.metis"));
+  out << "4 2\n2\n1\n";  // promises 4 adjacency lines, provides 2
+  out.close();
+  EXPECT_THROW(io::read_metis(file("short.metis")), std::runtime_error);
+}
+
+TEST_F(MetisTest, LoaderDispatchesMetisExtensions) {
+  const Csr g = make_cycle(7);
+  io::write_metis(g, file("c.metis"));
+  io::write_metis(g, file("c.graph"));
+  EXPECT_EQ(io::load_graph(file("c.metis")).num_edges(), 7u);
+  EXPECT_EQ(io::load_graph(file("c.graph")).num_edges(), 7u);
+}
+
+}  // namespace
+}  // namespace fdiam

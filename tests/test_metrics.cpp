@@ -1,0 +1,135 @@
+// Tests for exact all-vertex eccentricities and the radius / center /
+// periphery metrics built on them.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/eccentricity.hpp"
+#include "core/fdiam.hpp"
+#include "core/metrics.hpp"
+#include "gen/generators.hpp"
+
+namespace fdiam {
+namespace {
+
+TEST(ExactEccentricities, MatchesApspOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Csr g = make_erdos_renyi(250, 700, seed);
+    const auto truth = all_eccentricities(g);
+    const ExactEccResult r = exact_eccentricities(g);
+    EXPECT_EQ(r.ecc, truth) << "seed " << seed;
+    EXPECT_LE(r.bfs_calls, g.num_vertices());
+  }
+}
+
+TEST(ExactEccentricities, FewerTraversalsThanVerticesOnSmallWorld) {
+  // Random BA graphs are the bounding algorithm's hard case (the
+  // eccentricity distribution spans only 3-4 distinct values, so many
+  // vertices stay within lb+1 == ub until individually evaluated); even
+  // there it beats one-BFS-per-vertex.
+  const Csr g = make_barabasi_albert(5000, 4.0, 3);
+  const ExactEccResult r = exact_eccentricities(g);
+  EXPECT_LT(r.bfs_calls, g.num_vertices() / 2);
+  EXPECT_EQ(r.ecc, all_eccentricities(g));
+}
+
+TEST(ExactEccentricities, SettlesHighDiameterGraphsInFewTraversals) {
+  // Wide eccentricity spread (the favorable, real-world case): a long
+  // path settles after a handful of traversals.
+  const Csr g = make_path(3000);
+  const ExactEccResult r = exact_eccentricities(g);
+  EXPECT_LE(r.bfs_calls, 10u);
+  EXPECT_EQ(r.ecc, all_eccentricities(g));
+}
+
+TEST(ExactEccentricities, HandlesDisconnectedGraphs) {
+  const Csr g = disjoint_union(make_path(15), make_star(6));
+  const ExactEccResult r = exact_eccentricities(g);
+  EXPECT_EQ(r.ecc, all_eccentricities(g));
+}
+
+TEST(ExactEccentricities, IsolatedVerticesAreFree) {
+  EdgeList e(20);
+  e.add(0, 1);
+  const Csr g = Csr::from_edges(std::move(e));
+  const ExactEccResult r = exact_eccentricities(g);
+  for (vid_t v = 2; v < 20; ++v) EXPECT_EQ(r.ecc[v], 0);
+  EXPECT_LE(r.bfs_calls, 2u);
+}
+
+TEST(ExactEccentricities, EmptyGraph) {
+  const ExactEccResult r = exact_eccentricities(Csr::from_edges(EdgeList{}));
+  EXPECT_TRUE(r.ecc.empty());
+  EXPECT_EQ(r.bfs_calls, 0u);
+}
+
+TEST(GraphMetrics, PathCenterAndPeriphery) {
+  const Csr g = make_path(21);
+  const GraphMetrics m = graph_metrics(g);
+  EXPECT_EQ(m.diameter, 20);
+  EXPECT_EQ(m.radius, 10);
+  ASSERT_EQ(m.center.size(), 1u);
+  EXPECT_EQ(m.center[0], 10u);
+  ASSERT_EQ(m.periphery.size(), 2u);
+  EXPECT_EQ(m.periphery[0], 0u);
+  EXPECT_EQ(m.periphery[1], 20u);
+}
+
+TEST(GraphMetrics, EvenPathHasTwoCenters) {
+  const Csr g = make_path(10);
+  const GraphMetrics m = graph_metrics(g);
+  EXPECT_EQ(m.radius, 5);
+  EXPECT_EQ(m.center.size(), 2u);
+}
+
+TEST(GraphMetrics, CycleIsAllCenterAllPeriphery) {
+  const Csr g = make_cycle(12);
+  const GraphMetrics m = graph_metrics(g);
+  EXPECT_EQ(m.diameter, 6);
+  EXPECT_EQ(m.radius, 6);
+  EXPECT_EQ(m.center.size(), 12u);
+  EXPECT_EQ(m.periphery.size(), 12u);
+}
+
+TEST(GraphMetrics, StarCenterIsTheHub) {
+  const GraphMetrics m = graph_metrics(make_star(9));
+  EXPECT_EQ(m.radius, 1);
+  ASSERT_EQ(m.center.size(), 1u);
+  EXPECT_EQ(m.center[0], 0u);
+  EXPECT_EQ(m.periphery.size(), 9u);
+}
+
+TEST(GraphMetrics, RadiusSatisfiesTheorem3) {
+  // Paper Theorem 3: radius >= diameter / 2.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Csr g = make_barabasi_albert(300, 2.0, seed);
+    const GraphMetrics m = graph_metrics(g);
+    EXPECT_GE(2 * m.radius, m.diameter) << "seed " << seed;
+    EXPECT_GE(m.periphery.size(), 2u);  // Theorem 2
+  }
+}
+
+TEST(GraphMetrics, DiameterAgreesWithFDiam) {
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    const Csr g = make_erdos_renyi(300, 700, seed);
+    const GraphMetrics m = graph_metrics(g);
+    const DiameterResult f = fdiam_diameter(g);
+    EXPECT_EQ(m.diameter, f.diameter) << "seed " << seed;
+    EXPECT_EQ(m.connected, f.connected);
+  }
+}
+
+TEST(GraphMetrics, DisconnectedUsesLargestComponentForRadius) {
+  // Largest component: cycle(20) with radius 10; the small path would
+  // have radius 1.
+  const Csr g = disjoint_union(make_path(3), make_cycle(20));
+  const GraphMetrics m = graph_metrics(g);
+  EXPECT_FALSE(m.connected);
+  EXPECT_EQ(m.diameter, 10);
+  EXPECT_EQ(m.radius, 10);
+  for (const vid_t c : m.center) EXPECT_GE(c, 3u);  // in the cycle
+}
+
+}  // namespace
+}  // namespace fdiam

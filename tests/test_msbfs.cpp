@@ -1,0 +1,88 @@
+// Tests for the bit-parallel multi-source BFS.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/baselines.hpp"
+#include "bfs/msbfs.hpp"
+#include "core/eccentricity.hpp"
+#include "gen/generators.hpp"
+
+namespace fdiam {
+namespace {
+
+TEST(MsBfs, SingleSourceMatchesScalarBfs) {
+  const Csr g = make_grid(17, 13);
+  for (const vid_t s : {vid_t{0}, vid_t{110}, vid_t{220}}) {
+    const vid_t src[1] = {s};
+    const auto ecc = msbfs_eccentricities(g, src);
+    ASSERT_EQ(ecc.size(), 1u);
+    EXPECT_EQ(ecc[0], eccentricity(g, s));
+  }
+}
+
+TEST(MsBfs, FullBatchMatchesScalarBfs) {
+  const Csr g = make_erdos_renyi(300, 900, 6);
+  std::vector<vid_t> sources(64);
+  std::iota(sources.begin(), sources.end(), 100);
+  const auto batch = msbfs_eccentricities(g, sources);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(batch[i], eccentricity(g, sources[i])) << "source " << sources[i];
+  }
+}
+
+TEST(MsBfs, MoreThan64SourcesSplitsIntoBatches) {
+  const Csr g = make_barabasi_albert(400, 2.0, 3);
+  std::vector<vid_t> sources(150);
+  std::iota(sources.begin(), sources.end(), 0);
+  const auto batch = msbfs_eccentricities(g, sources);
+  ASSERT_EQ(batch.size(), 150u);
+  for (std::size_t i = 0; i < sources.size(); i += 13) {
+    EXPECT_EQ(batch[i], eccentricity(g, sources[i]));
+  }
+}
+
+TEST(MsBfs, AllEccentricitiesMatchApspLoop) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Csr g = make_erdos_renyi(257, 600, seed);  // non-multiple of 64
+    EXPECT_EQ(msbfs_all_eccentricities(g), all_eccentricities(g))
+        << "seed " << seed;
+  }
+}
+
+TEST(MsBfs, HandlesDisconnectedAndIsolated) {
+  EdgeList e(70);
+  for (vid_t v = 0; v + 1 < 40; ++v) e.add(v, v + 1);  // path on 0..39
+  e.add(50, 51);
+  const Csr g = Csr::from_edges(std::move(e));
+  const auto ecc = msbfs_all_eccentricities(g);
+  EXPECT_EQ(ecc[0], 39);
+  EXPECT_EQ(ecc[20], 20);
+  EXPECT_EQ(ecc[50], 1);
+  EXPECT_EQ(ecc[69], 0);  // isolated
+}
+
+TEST(MsBfs, DiameterMatchesApsp) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Csr g = make_barabasi_albert(500, 1.5, seed);
+    const BaselineResult truth = apsp_diameter(g);
+    const MsbfsDiameter r = msbfs_diameter(g);
+    EXPECT_EQ(r.diameter, truth.diameter) << "seed " << seed;
+    EXPECT_EQ(r.connected, truth.connected) << "seed " << seed;
+    EXPECT_EQ(r.sweeps, (g.num_vertices() + 63) / 64);
+  }
+}
+
+TEST(MsBfs, EmptyAndTiny) {
+  EXPECT_EQ(msbfs_diameter(Csr::from_edges(EdgeList{})).diameter, 0);
+  EdgeList two;
+  two.add(0, 1);
+  const MsbfsDiameter r = msbfs_diameter(Csr::from_edges(std::move(two)));
+  EXPECT_EQ(r.diameter, 1);
+  EXPECT_TRUE(r.connected);
+}
+
+}  // namespace
+}  // namespace fdiam

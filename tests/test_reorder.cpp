@@ -1,0 +1,97 @@
+// Tests for vertex relabeling: permutation validity and the invariance of
+// every distance-derived quantity under relabeling.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "core/fdiam.hpp"
+#include "gen/generators.hpp"
+#include "graph/reorder.hpp"
+#include "graph/stats.hpp"
+
+namespace fdiam {
+namespace {
+
+TEST(Reorder, DegreeOrderPutsHubsFirst) {
+  const Csr g = make_barabasi_albert(300, 2.0, 3);
+  const Permutation p = degree_order(g);
+  ASSERT_TRUE(is_permutation(g, p));
+  const Csr h = apply_permutation(g, p);
+  for (vid_t v = 0; v + 1 < h.num_vertices(); ++v) {
+    EXPECT_GE(h.degree(v), h.degree(v + 1));
+  }
+}
+
+TEST(Reorder, BfsOrderIsAPermutation) {
+  const Csr g = disjoint_union(make_grid(10, 10), make_path(15));
+  EXPECT_TRUE(is_permutation(g, bfs_order(g)));
+}
+
+TEST(Reorder, RandomOrderIsAPermutationAndSeeded) {
+  const Csr g = make_cycle(100);
+  const Permutation a = random_order(g, 5);
+  const Permutation b = random_order(g, 5);
+  const Permutation c = random_order(g, 6);
+  EXPECT_TRUE(is_permutation(g, a));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Reorder, ApplyRejectsNonBijections) {
+  const Csr g = make_path(4);
+  EXPECT_THROW(apply_permutation(g, {0, 0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(apply_permutation(g, {0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(apply_permutation(g, {0, 1, 2, 9}), std::invalid_argument);
+}
+
+struct OrderCase {
+  const char* name;
+  Permutation (*make)(const Csr&);
+};
+
+class ReorderInvariance : public ::testing::TestWithParam<OrderCase> {};
+
+TEST_P(ReorderInvariance, DiameterAndStatsAreInvariant) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Csr g = make_erdos_renyi(200, 500, seed);
+    const Csr h = apply_permutation(g, GetParam().make(g));
+    EXPECT_EQ(g.num_vertices(), h.num_vertices());
+    EXPECT_EQ(g.num_arcs(), h.num_arcs());
+    EXPECT_EQ(apsp_diameter(g).diameter, apsp_diameter(h).diameter);
+    EXPECT_EQ(fdiam_diameter(g).diameter, fdiam_diameter(h).diameter);
+    const GraphStats sg = compute_stats(g), sh = compute_stats(h);
+    EXPECT_EQ(sg.max_degree, sh.max_degree);
+    EXPECT_EQ(sg.num_components, sh.num_components);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, ReorderInvariance,
+    ::testing::Values(OrderCase{"degree", degree_order},
+                      OrderCase{"bfs", bfs_order},
+                      OrderCase{"random",
+                                [](const Csr& g) {
+                                  return random_order(g, 42);
+                                }}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(Reorder, BfsOrderImprovesNeighborLocality) {
+  // The point of the module: after BFS ordering, adjacent vertices have
+  // nearby ids. Compare the mean |id(u) - id(v)| gap across edges.
+  const Csr g = apply_permutation(make_grid(60, 60),
+                                  random_order(make_grid(60, 60), 3));
+  const Csr h = apply_permutation(g, bfs_order(g));
+  auto mean_gap = [](const Csr& x) {
+    double total = 0;
+    for (vid_t v = 0; v < x.num_vertices(); ++v) {
+      for (const vid_t w : x.neighbors(v)) {
+        total += std::abs(static_cast<double>(v) - static_cast<double>(w));
+      }
+    }
+    return total / static_cast<double>(x.num_arcs());
+  };
+  EXPECT_LT(mean_gap(h) * 4, mean_gap(g));
+}
+
+}  // namespace
+}  // namespace fdiam

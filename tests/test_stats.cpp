@@ -1,0 +1,63 @@
+// Tests for graph statistics (the Table 1 columns).
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace fdiam {
+namespace {
+
+TEST(Stats, GridStatistics) {
+  const Csr g = make_grid(10, 10);
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.vertices, 100u);
+  EXPECT_EQ(s.arcs, 2u * (9 * 10 + 10 * 9));
+  EXPECT_EQ(s.max_degree, 4u);
+  EXPECT_EQ(s.degree0, 0u);
+  EXPECT_EQ(s.num_components, 1u);
+  EXPECT_EQ(s.largest_component, 100u);
+  EXPECT_NEAR(s.avg_degree, 3.6, 1e-9);
+}
+
+TEST(Stats, DegreeBucketsOnCaterpillar) {
+  // Spine of 5 with 2 legs each: 10 degree-1 legs; spine interior has
+  // degree 4, spine ends degree 3.
+  const Csr g = make_caterpillar(5, 2);
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.degree1, 10u);
+  EXPECT_EQ(s.degree2, 0u);
+}
+
+TEST(Stats, CountsIsolatedVertices) {
+  EdgeList e(6);
+  e.add(0, 1);
+  const GraphStats s = compute_stats(Csr::from_edges(std::move(e)));
+  EXPECT_EQ(s.degree0, 4u);
+  EXPECT_EQ(s.num_components, 5u);
+}
+
+TEST(Stats, DegreeHistogramSumsToN) {
+  const Csr g = make_barabasi_albert(500, 3.0, 42);
+  const auto hist = degree_histogram(g, 32);
+  std::uint64_t total = 0;
+  for (const auto c : hist) total += c;
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(Stats, DegreeHistogramCapsBucket) {
+  const Csr g = make_star(100);  // hub degree 100 lands in the cap bucket
+  const auto hist = degree_histogram(g, 10);
+  EXPECT_EQ(hist[10], 1u);
+  EXPECT_EQ(hist[1], 100u);
+}
+
+TEST(Stats, EmptyGraphIsAllZero) {
+  const GraphStats s = compute_stats(Csr::from_edges(EdgeList{}));
+  EXPECT_EQ(s.vertices, 0u);
+  EXPECT_EQ(s.arcs, 0u);
+  EXPECT_EQ(s.avg_degree, 0.0);
+}
+
+}  // namespace
+}  // namespace fdiam

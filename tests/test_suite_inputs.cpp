@@ -1,0 +1,93 @@
+// Tests for the benchmark input suite: every analogue must build, be
+// structurally valid, resemble its paper counterpart's topology class,
+// and yield the same diameter from F-Diam and two independent baselines.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "core/fdiam.hpp"
+#include "gen/suite.hpp"
+#include "graph/stats.hpp"
+
+namespace fdiam {
+namespace {
+
+constexpr double kTinyScale = 0.02;  // a few thousand vertices per input
+
+class SuiteInputs : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteInputs, BuildsAndValidates) {
+  const Csr g = build_suite_input(GetParam(), kTinyScale);
+  EXPECT_GT(g.num_vertices(), 100u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST_P(SuiteInputs, FDiamAgreesWithIndependentBaselines) {
+  const Csr g = build_suite_input(GetParam(), kTinyScale);
+  const DiameterResult f = fdiam_diameter(g);
+  const BaselineResult gd = graph_diameter(g);
+  const BaselineResult ik = ifub_diameter(g);
+  EXPECT_EQ(f.diameter, gd.diameter);
+  EXPECT_EQ(f.diameter, ik.diameter);
+  EXPECT_EQ(f.connected, gd.connected);
+}
+
+TEST_P(SuiteInputs, DeterministicAcrossBuilds) {
+  const Csr a = build_suite_input(GetParam(), kTinyScale);
+  const Csr b = build_suite_input(GetParam(), kTinyScale);
+  EXPECT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_EQ(a.raw_neighbors(), b.raw_neighbors());
+}
+
+INSTANTIATE_TEST_SUITE_P(All17, SuiteInputs,
+                         ::testing::ValuesIn(suite_names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Suite, HasAll17PaperInputs) {
+  EXPECT_EQ(input_suite().size(), 17u);
+  EXPECT_EQ(suite_names().front(), "2d-2e20.sym");
+  EXPECT_EQ(suite_names().back(), "USA-road-d.USA");
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(build_suite_input("no-such-graph"), std::invalid_argument);
+}
+
+TEST(Suite, ScaleGrowsTheInputs) {
+  const Csr small = build_suite_input("rmat16.sym", 0.02);
+  const Csr large = build_suite_input("rmat16.sym", 0.08);
+  EXPECT_GT(large.num_vertices(), small.num_vertices());
+}
+
+TEST(Suite, TopologyClassesMatchThePaper) {
+  // Grid analogue: constant degree 4-mesh.
+  const GraphStats grid = compute_stats(build_suite_input("2d-2e20.sym", 0.05));
+  EXPECT_EQ(grid.max_degree, 4u);
+
+  // Road analogue: avg degree ~2-3, long chains.
+  const GraphStats road =
+      compute_stats(build_suite_input("USA-road-d.NY", 0.05));
+  EXPECT_LT(road.avg_degree, 4.0);
+  EXPECT_GT(road.degree2, 0u);
+
+  // Kronecker analogue: substantial degree-0 fraction (paper: 26%).
+  const GraphStats kron =
+      compute_stats(build_suite_input("kron_g500-logn21", 0.05));
+  EXPECT_GT(kron.degree0, kron.vertices / 25);
+
+  // Power-law analogue: hub degree far above the average.
+  const GraphStats skitter =
+      compute_stats(build_suite_input("as-skitter", 0.05));
+  EXPECT_GT(static_cast<double>(skitter.max_degree),
+            20.0 * skitter.avg_degree);
+}
+
+}  // namespace
+}  // namespace fdiam

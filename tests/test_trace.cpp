@@ -1,0 +1,91 @@
+// Tests for the F-Diam progress-trace facility.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fdiam.hpp"
+#include "gen/generators.hpp"
+
+namespace fdiam {
+namespace {
+
+using Kind = FDiamEvent::Kind;
+
+std::vector<FDiamEvent> trace_run(const Csr& g, FDiamOptions opt = {}) {
+  std::vector<FDiamEvent> events;
+  opt.trace = [&events](const FDiamEvent& e) { events.push_back(e); };
+  fdiam_diameter(g, opt);
+  return events;
+}
+
+int count(const std::vector<FDiamEvent>& events, Kind kind) {
+  int c = 0;
+  for (const auto& e : events) c += e.kind == kind;
+  return c;
+}
+
+TEST(Trace, StartAndDoneBracketTheRun) {
+  const auto events = trace_run(make_grid(20, 20));
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events.front().kind, Kind::kStart);
+  EXPECT_EQ(events.front().value, 400);
+  EXPECT_EQ(events.back().kind, Kind::kDone);
+  EXPECT_EQ(events.back().value, 38);
+}
+
+TEST(Trace, InitialBoundMatchesTwoSweep) {
+  const auto events = trace_run(make_path(50));
+  bool found = false;
+  for (const auto& e : events) {
+    if (e.kind == Kind::kInitialBound) {
+      EXPECT_EQ(e.value, 49);  // 2-sweep is exact on paths
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Trace, EccentricityEventsMatchStats) {
+  const Csr g = make_erdos_renyi(300, 700, 3);
+  std::vector<FDiamEvent> events;
+  FDiamOptions opt;
+  opt.trace = [&events](const FDiamEvent& e) { events.push_back(e); };
+  const DiameterResult r = fdiam_diameter(g, opt);
+  // Main-loop evaluations only (the 2-sweep pair is reported via
+  // kInitialBound instead).
+  EXPECT_EQ(static_cast<std::uint64_t>(count(events, Kind::kEccentricity)) + 2,
+            r.stats.ecc_computations);
+  EXPECT_EQ(static_cast<std::uint64_t>(count(events, Kind::kWinnow)),
+            r.stats.winnow_calls);
+}
+
+TEST(Trace, BoundRaisedAppearsWhenComponentsGrow) {
+  const Csr g = disjoint_union(make_star(40), make_cycle(30));
+  const auto events = trace_run(g);
+  EXPECT_GE(count(events, Kind::kBoundRaised), 1);
+  EXPECT_GE(count(events, Kind::kExtendRegions), 1);
+}
+
+TEST(Trace, NoTraceMeansNoOverheadPath) {
+  // Smoke check that a null trace is handled (the default everywhere).
+  FDiamOptions opt;
+  EXPECT_FALSE(opt.trace);
+  EXPECT_EQ(fdiam_diameter(make_cycle(16), opt).diameter, 8);
+}
+
+TEST(Trace, DisabledStagesEmitNoStageEvents) {
+  FDiamOptions opt;
+  opt.use_winnow = false;
+  opt.use_chain = false;
+  opt.use_eliminate = false;
+  std::vector<FDiamEvent> events;
+  opt.trace = [&events](const FDiamEvent& e) { events.push_back(e); };
+  fdiam_diameter(make_grid(8, 8), opt);
+  EXPECT_EQ(count(events, Kind::kWinnow), 0);
+  EXPECT_EQ(count(events, Kind::kChainsProcessed), 0);
+  EXPECT_EQ(count(events, Kind::kEliminate), 0);
+}
+
+}  // namespace
+}  // namespace fdiam

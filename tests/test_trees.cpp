@@ -1,0 +1,83 @@
+// Tree-focused property tests: trees are the extreme chain-processing
+// workload (every leaf starts a chain) and the theory is strongest there
+// (2-sweep exact, diameter = sum of two deepest branch depths).
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "core/fdiam.hpp"
+#include "core/two_sweep.hpp"
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "graph/stats.hpp"
+
+namespace fdiam {
+namespace {
+
+TEST(RandomTree, IsATree) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Csr g = make_random_tree(500, seed);
+    EXPECT_EQ(g.num_vertices(), 500u);
+    EXPECT_EQ(g.num_edges(), 499u);  // n-1 edges
+    EXPECT_TRUE(connected_components(g).connected());
+    EXPECT_TRUE(g.validate());
+  }
+}
+
+TEST(RandomTree, Deterministic) {
+  const Csr a = make_random_tree(200, 7);
+  const Csr b = make_random_tree(200, 7);
+  EXPECT_EQ(a.raw_neighbors(), b.raw_neighbors());
+}
+
+class TreeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeSweep, FDiamMatchesApsp) {
+  const Csr g = make_random_tree(400, GetParam());
+  const BaselineResult truth = apsp_diameter(g);
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_EQ(r.diameter, truth.diameter);
+  EXPECT_TRUE(r.connected);
+}
+
+TEST_P(TreeSweep, TwoSweepIsExactOnTrees) {
+  const Csr g = make_random_tree(300, GetParam() + 100);
+  BfsEngine engine(g);
+  const TwoSweepResult sweep = two_sweep(engine, g.max_degree_vertex());
+  EXPECT_EQ(sweep.lower_bound, apsp_diameter(g).diameter);
+}
+
+TEST_P(TreeSweep, ChainProcessingDominatesLeafHeavyTrees) {
+  // Random recursive trees are ~50% leaves; chain processing plus winnow
+  // should leave only a handful of vertices for explicit evaluation.
+  const Csr g = make_random_tree(2000, GetParam() + 200);
+  const DiameterResult r = fdiam_diameter(g);
+  EXPECT_EQ(r.diameter, apsp_diameter(g).diameter);
+  EXPECT_LT(r.stats.evaluated, g.num_vertices() / 4);
+}
+
+TEST_P(TreeSweep, AllAblationsExactOnTrees) {
+  const Csr g = make_random_tree(250, GetParam() + 300);
+  const dist_t truth = apsp_diameter(g).diameter;
+  for (const bool winnow : {false, true}) {
+    for (const bool chain : {false, true}) {
+      FDiamOptions opt;
+      opt.use_winnow = winnow;
+      opt.use_chain = chain;
+      EXPECT_EQ(fdiam_diameter(g, opt).diameter, truth)
+          << "winnow=" << winnow << " chain=" << chain;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeSweep,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(TreeStats, AboutHalfTheVerticesAreLeaves) {
+  const GraphStats s = compute_stats(make_random_tree(5000, 3));
+  EXPECT_GT(s.degree1, 2000u);
+  EXPECT_LT(s.degree1, 3000u);
+}
+
+}  // namespace
+}  // namespace fdiam

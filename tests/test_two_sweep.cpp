@@ -1,0 +1,77 @@
+// Tests for the 2-sweep / 4-sweep lower-bound heuristics.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "core/two_sweep.hpp"
+#include "gen/generators.hpp"
+
+namespace fdiam {
+namespace {
+
+TEST(TwoSweep, ExactOnPath) {
+  const Csr g = make_path(30);
+  BfsEngine engine(g);
+  const TwoSweepResult r = two_sweep(engine, 15);
+  EXPECT_EQ(r.lower_bound, 29);
+  EXPECT_TRUE(r.periphery == 0 || r.periphery == 29);
+}
+
+TEST(TwoSweep, ExactOnTree) {
+  const Csr g = make_balanced_tree(3, 5);
+  BfsEngine engine(g);
+  // 2-sweep is exact on trees regardless of the start vertex.
+  const TwoSweepResult r = two_sweep(engine, 0);
+  EXPECT_EQ(r.lower_bound, apsp_diameter(g).diameter);
+}
+
+TEST(TwoSweep, LowerBoundNeverExceedsDiameter) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Csr g = make_erdos_renyi(300, 800, seed);
+    BfsEngine engine(g);
+    const TwoSweepResult r = two_sweep(engine, g.max_degree_vertex());
+    EXPECT_LE(r.lower_bound, apsp_diameter(g).diameter) << "seed " << seed;
+    EXPECT_GE(r.lower_bound, r.start_ecc / 2);
+  }
+}
+
+TEST(TwoSweep, IsolatedStartVertex) {
+  EdgeList e(5);
+  e.add(0, 1);
+  const Csr g = Csr::from_edges(std::move(e));
+  BfsEngine engine(g);
+  const TwoSweepResult r = two_sweep(engine, 4);
+  EXPECT_EQ(r.lower_bound, 0);
+  EXPECT_EQ(r.periphery, 4u);
+}
+
+TEST(PathMidpoint, FindsTheMiddleOfAPath) {
+  const Csr g = make_path(21);
+  BfsEngine engine(g);
+  std::vector<dist_t> dist;
+  engine.distances(0, dist);
+  EXPECT_EQ(path_midpoint(g, dist, 20), 10u);
+}
+
+TEST(FourSweep, CenterOfPathIsMidpointAndBoundExact) {
+  const Csr g = make_path(41);
+  BfsEngine engine(g);
+  const FourSweepResult r = four_sweep(engine, 3);
+  EXPECT_EQ(r.lower_bound, 40);
+  EXPECT_EQ(r.center, 20u);
+}
+
+TEST(FourSweep, BoundAtLeastAsGoodAsTwoSweepStart) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Csr g = make_barabasi_albert(400, 2.0, seed);
+    BfsEngine engine(g);
+    const FourSweepResult r = four_sweep(engine, 0);
+    const dist_t diameter = apsp_diameter(g).diameter;
+    EXPECT_LE(r.lower_bound, diameter);
+    // 4-sweep's bound is within a factor 2 of optimal by construction.
+    EXPECT_GE(2 * r.lower_bound, diameter);
+  }
+}
+
+}  // namespace
+}  // namespace fdiam

@@ -1,0 +1,69 @@
+// Tests for the union-find structure and its components labelling.
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/union_find.hpp"
+
+namespace fdiam {
+namespace {
+
+TEST(UnionFind, StartsFullyDisjoint) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.set_count(), 5u);
+  for (vid_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(uf.find(v), v);
+    EXPECT_EQ(uf.set_size(v), 1u);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndCounts) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_TRUE(uf.unite(0, 2));
+  EXPECT_FALSE(uf.unite(1, 3));  // already same set
+  EXPECT_EQ(uf.set_count(), 3u);
+  EXPECT_EQ(uf.set_size(3), 4u);
+  EXPECT_EQ(uf.find(1), uf.find(3));
+  EXPECT_NE(uf.find(0), uf.find(4));
+}
+
+TEST(UnionFind, LongChainStaysFlat) {
+  UnionFind uf(1000);
+  for (vid_t v = 0; v + 1 < 1000; ++v) uf.unite(v, v + 1);
+  EXPECT_EQ(uf.set_count(), 1u);
+  EXPECT_EQ(uf.set_size(0), 1000u);
+  EXPECT_EQ(uf.find(0), uf.find(999));
+}
+
+TEST(UnionFindComponents, AgreesWithBfsLabelling) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Csr g = make_erdos_renyi(200, 180, seed);  // sub-critical: many CCs
+    const Components bfs = connected_components(g);
+    const Components uf = connected_components_union_find(g);
+    ASSERT_EQ(bfs.count(), uf.count()) << "seed " << seed;
+    // Same partition (labels may be permuted): equal-label iff equal-label.
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      for (const vid_t w : g.neighbors(v)) {
+        EXPECT_EQ(uf.label[v], uf.label[w]);
+      }
+    }
+    std::vector<vid_t> bfs_sorted = bfs.size, uf_sorted = uf.size;
+    std::sort(bfs_sorted.begin(), bfs_sorted.end());
+    std::sort(uf_sorted.begin(), uf_sorted.end());
+    EXPECT_EQ(bfs_sorted, uf_sorted);
+  }
+}
+
+TEST(UnionFindComponents, IsolatedVertices) {
+  EdgeList e(4);
+  e.add(0, 1);
+  const Components cc =
+      connected_components_union_find(Csr::from_edges(std::move(e)));
+  EXPECT_EQ(cc.count(), 3u);
+  EXPECT_EQ(cc.size[cc.largest()], 2u);
+}
+
+}  // namespace
+}  // namespace fdiam

@@ -1,0 +1,182 @@
+// Tests for the utility layer: RNG determinism and distribution sanity,
+// CLI parsing, and table formatting.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace fdiam {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowZeroBoundIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowCoversSmallRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    ASSERT_GE(u, -2.5);
+    ASSERT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(SplitMix, KnownFirstValueIsStable) {
+  SplitMix64 sm(0);
+  const auto first = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(first, sm2.next());
+  EXPECT_NE(first, sm.next());
+}
+
+TEST(Cli, ParsesOptionsFlagsAndPositionals) {
+  Cli cli;
+  cli.add_option("graph", "input graph");
+  cli.add_option("scale", "size multiplier", "1.0");
+  cli.add_flag("verbose", "talk more");
+  const char* argv[] = {"prog",    "--graph", "g.mtx", "--verbose",
+                        "--scale", "2.5",     "pos1"};
+  ASSERT_TRUE(cli.parse(7, argv));
+  EXPECT_EQ(cli.get("graph"), "g.mtx");
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_DOUBLE_EQ(cli.get_double("scale", 1.0), 2.5);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, EqualsSyntax) {
+  Cli cli;
+  cli.add_option("threads", "thread count");
+  const char* argv[] = {"prog", "--threads=8"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get_int("threads", 1), 8);
+}
+
+TEST(Cli, UnknownOptionFails) {
+  Cli cli;
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  EXPECT_NE(cli.error().find("nope"), std::string::npos);
+}
+
+TEST(Cli, MissingValueFails) {
+  Cli cli;
+  cli.add_option("graph", "input");
+  const char* argv[] = {"prog", "--graph"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, HelpRequested) {
+  Cli cli;
+  cli.add_option("x", "an option");
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.help_requested());
+  EXPECT_NE(cli.usage("prog").find("--x"), std::string::npos);
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  Cli cli;
+  cli.add_option("n", "count", "10");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("n", 10), 10);
+  EXPECT_FALSE(cli.has("n"));
+}
+
+TEST(Table, AlignedOutputContainsAllCells) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvQuotesSpecialCells) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "plain"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_percent(0.5, 1), "50.0%");
+  EXPECT_EQ(Table::fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(Table::fmt_count(999), "999");
+  EXPECT_EQ(Table::fmt_count(0), "0");
+  EXPECT_EQ(Table::fmt_count(1000), "1,000");
+}
+
+TEST(Timer, MonotonicAndAccumulates) {
+  Timer t;
+  AccumTimer acc;
+  acc.start();
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  acc.stop();
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(acc.seconds(), 0.0);
+  EXPECT_GE(t.seconds(), acc.seconds() * 0.5);
+}
+
+}  // namespace
+}  // namespace fdiam

@@ -1,0 +1,56 @@
+// Tests for the epoch-counter visited array, including the wraparound
+// reset the paper's counter trick requires.
+
+#include <gtest/gtest.h>
+
+#include "bfs/visited.hpp"
+
+namespace fdiam {
+namespace {
+
+TEST(EpochVisited, FreshEpochClearsEverything) {
+  EpochVisited v(8);
+  v.new_epoch();
+  v.visit(3);
+  EXPECT_TRUE(v.is_visited(3));
+  EXPECT_FALSE(v.is_visited(4));
+  v.new_epoch();
+  EXPECT_FALSE(v.is_visited(3));
+}
+
+TEST(EpochVisited, TryVisitClaimsOnce) {
+  EpochVisited v(4);
+  v.new_epoch();
+  EXPECT_TRUE(v.try_visit(2));
+  EXPECT_FALSE(v.try_visit(2));
+  EXPECT_TRUE(v.is_visited(2));
+}
+
+TEST(EpochVisited, WraparoundResetsCells) {
+  EpochVisited v(4);
+  v.new_epoch();
+  v.visit(1);  // cell[1] = 1
+  v.force_epoch_for_testing(UINT32_MAX);
+  v.visit(2);  // cell[2] = UINT32_MAX
+  v.new_epoch();  // wraps: full reset, epoch restarts at 1
+  EXPECT_EQ(v.epoch(), 1u);
+  // Cell 1 holds the stale value 1 == epoch 1 — the wraparound reset must
+  // have cleared it or this would be a false positive.
+  EXPECT_FALSE(v.is_visited(1));
+  EXPECT_FALSE(v.is_visited(2));
+  v.visit(0);
+  EXPECT_TRUE(v.is_visited(0));
+}
+
+TEST(EpochVisited, ResizeResets) {
+  EpochVisited v(2);
+  v.new_epoch();
+  v.visit(0);
+  v.resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  v.new_epoch();
+  EXPECT_FALSE(v.is_visited(0));
+}
+
+}  // namespace
+}  // namespace fdiam
