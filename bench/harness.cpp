@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "gen/suite.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
 #include "util/timer.hpp"
 
 namespace fdiam::bench {
@@ -22,6 +25,9 @@ std::optional<BenchConfig> parse_bench_config(int argc,
   cli.add_option("inputs",
                  "comma-separated subset of the paper's input names", "all");
   cli.add_flag("csv", "also print machine-readable CSV");
+  cli.add_option("json",
+                 "write a machine-readable JSON report to this file "
+                 "(fdiam.bench_report/v1)");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(program);
     return std::nullopt;
@@ -37,6 +43,8 @@ std::optional<BenchConfig> parse_bench_config(int argc,
   cfg.budget = cli.get_double("budget", cfg.budget);
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   cfg.csv = cli.get_bool("csv");
+  cfg.json_out = cli.get("json");
+  cfg.program = program;
   const std::string list = cli.get("inputs", "all");
   if (list != "all" && !list.empty()) {
     std::istringstream ls(list);
@@ -99,13 +107,94 @@ std::string runtime_cell(const Measurement& m) {
   return Table::fmt_double(m.seconds, 3);
 }
 
+namespace {
+
+/// Tables emitted so far, kept so the JSON report can be rewritten whole
+/// after each emit() (bench binaries emit several tables per run).
+std::vector<std::pair<std::string, Table>>& emitted_tables() {
+  static std::vector<std::pair<std::string, Table>> tables;
+  return tables;
+}
+
+}  // namespace
+
+std::string provenance_line(const BenchConfig& cfg) {
+  std::ostringstream os;
+  os << "fdiam-bench program=" << cfg.program << " seed=" << cfg.seed
+     << " scale=" << cfg.scale << " reps=" << cfg.reps
+     << " budget=" << cfg.budget << " inputs=";
+  if (cfg.inputs.empty()) {
+    os << "all";
+  } else {
+    for (std::size_t i = 0; i < cfg.inputs.size(); ++i) {
+      os << (i ? "," : "") << cfg.inputs[i];
+    }
+  }
+  return os.str();
+}
+
+void write_bench_json(std::ostream& os, const BenchConfig& cfg) {
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", std::string_view("fdiam.bench_report/v1"));
+  w.field("program", std::string_view(cfg.program));
+
+  w.key("config").begin_object();
+  w.field("scale", cfg.scale);
+  w.field("reps", cfg.reps);
+  w.field("budget_s", cfg.budget);
+  w.field("seed", cfg.seed);
+  w.key("inputs").begin_array();
+  for (const std::string& name : cfg.inputs) w.value(std::string_view(name));
+  w.end_array();
+  w.end_object();
+
+  obs::write_env_fields(w, obs::capture_env());
+
+  w.key("tables").begin_array();
+  for (const auto& [title, table] : emitted_tables()) {
+    w.begin_object();
+    w.field("title", std::string_view(title));
+    w.key("columns").begin_array();
+    for (const std::string& col : table.header()) {
+      w.value(std::string_view(col));
+    }
+    w.end_array();
+    w.key("rows").begin_array();
+    for (const std::vector<std::string>& row : table.data()) {
+      w.begin_array();
+      for (const std::string& cell : row) w.value(std::string_view(cell));
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void reset_emitted_tables() { emitted_tables().clear(); }
+
 void emit(const Table& table, const BenchConfig& cfg,
           const std::string& title) {
+  emitted_tables().emplace_back(title, table);
+
   std::cout << "\n=== " << title << " ===\n";
   table.print(std::cout);
   if (cfg.csv) {
     std::cout << "\n--- CSV ---\n";
+    std::cout << "# " << provenance_line(cfg) << "\n";
+    std::cout << "# table: " << title << "\n";
     table.print_csv(std::cout);
+  }
+  if (!cfg.json_out.empty()) {
+    std::ofstream out(cfg.json_out, std::ios::trunc);
+    if (out) {
+      write_bench_json(out, cfg);
+    } else {
+      std::cerr << "warning: cannot write JSON report to " << cfg.json_out
+                << "\n";
+    }
   }
   std::cout.flush();
 }

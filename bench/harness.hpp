@@ -30,6 +30,8 @@ struct BenchConfig {
   std::uint64_t seed = 1;
   std::vector<std::string> inputs;  ///< empty = the full 17-input suite
   bool csv = false;     ///< also dump machine-readable CSV after the table
+  std::string json_out; ///< non-empty: write a JSON report to this path
+  std::string program;  ///< bench binary name, recorded as provenance
 };
 
 /// Registers the standard flags on `cli`, parses argv, and fills a config.
@@ -61,8 +63,23 @@ double geomean(const std::vector<double>& values);
 std::string throughput_cell(const Measurement& m, vid_t vertices);
 std::string runtime_cell(const Measurement& m);
 
-/// Emit the table, optionally followed by a CSV copy.
+/// Emit the table, optionally followed by a CSV copy (prefixed with a
+/// `# fdiam-bench ...` provenance comment carrying program, seed, scale,
+/// reps, and budget so saved dumps are self-describing). When
+/// cfg.json_out is set, the file is (re)written with every table emitted
+/// so far in the "fdiam.bench_report/v1" schema — rewriting after each
+/// emit keeps the report complete even if a later measurement crashes.
 void emit(const Table& table, const BenchConfig& cfg,
           const std::string& title);
+
+/// One-line provenance string shared by the CSV comment and log output.
+std::string provenance_line(const BenchConfig& cfg);
+
+/// Serialize every table emitted so far by this process, plus config and
+/// environment provenance, as one "fdiam.bench_report/v1" JSON document.
+void write_bench_json(std::ostream& os, const BenchConfig& cfg);
+
+/// Forget the tables accumulated by emit() (tests isolate cases with it).
+void reset_emitted_tables();
 
 }  // namespace fdiam::bench

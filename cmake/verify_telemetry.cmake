@@ -1,0 +1,50 @@
+# verify-telemetry ctest driver (run via `cmake -P`): exercises the
+# telemetry surface end-to-end and validates every produced file as JSON
+# with the in-tree json_check tool — no python or external JSON utilities
+# required. Variables passed by the add_test() invocation:
+#   FDIAM_CLI   path to the fdiam_cli binary
+#   BENCH       path to a bench binary accepting --json (bench_table1_inputs)
+#   JSON_CHECK  path to the json_check binary
+#   WORK_DIR    scratch directory for the emitted files
+
+set(report "${WORK_DIR}/verify_report.json")
+set(trace "${WORK_DIR}/verify_trace.json")
+set(bench_json "${WORK_DIR}/verify_bench.json")
+
+execute_process(
+  COMMAND "${FDIAM_CLI}" --input 2d-2e20.sym --scale 0.05
+          --json-report "${report}" --trace-out "${trace}" --trace-levels
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fdiam_cli telemetry run failed (exit ${rc})")
+endif()
+
+execute_process(
+  COMMAND "${BENCH}" --inputs 2d-2e20.sym --scale 0.05 --reps 1 --budget 30
+          --json "${bench_json}"
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench --json run failed (exit ${rc})")
+endif()
+
+execute_process(
+  COMMAND "${JSON_CHECK}" "${report}" "${trace}" "${bench_json}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "telemetry output failed JSON validation (exit ${rc})")
+endif()
+
+# Cheap schema smoke checks on top of structural validity.
+file(READ "${report}" report_text)
+foreach(needle "fdiam.run_report/v1" "\"diameter\"" "\"times_s\"" "\"env\""
+        "\"bfs\"")
+  string(FIND "${report_text}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "run report is missing ${needle}")
+  endif()
+endforeach()
+file(READ "${bench_json}" bench_text)
+string(FIND "${bench_text}" "fdiam.bench_report/v1" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "bench report is missing its schema tag")
+endif()

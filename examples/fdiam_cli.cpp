@@ -8,19 +8,80 @@
 //
 //   ./fdiam_cli --file path/to/graph.mtx
 //   ./fdiam_cli --input europe_osm --scale 0.2 --no-winnow --serial
+//
+// Telemetry (docs/OBSERVABILITY.md):
+//   --json-report r.json   fdiam.run_report/v1 report ('-' = stdout)
+//   --trace-out t.json     Chrome trace_event file for Perfetto
+//   --trace-levels         add one span per BFS level to the trace
+//   --progress             live progress line on stderr
+//   --stats                per-stage table + BFS traversal counters
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "core/fdiam.hpp"
 #include "gen/suite.hpp"
 #include "graph/stats.hpp"
 #include "io/io.hpp"
+#include "obs/counters.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
-  using namespace fdiam;
+namespace {
 
+using namespace fdiam;
+
+/// Renders the FDiamEvent stream as a live stderr line: milestones get
+/// their own lines, the per-eccentricity firehose overwrites one line.
+FDiamTrace make_progress_printer() {
+  auto ecc_seen = std::make_shared<std::uint64_t>(0);
+  return [ecc_seen](const FDiamEvent& e) {
+    using Kind = FDiamEvent::Kind;
+    switch (e.kind) {
+      case Kind::kStart:
+        std::fprintf(stderr, "[fdiam] start: %d vertices, u=%u\n",
+                     e.value, e.vertex);
+        break;
+      case Kind::kInitialBound:
+        std::fprintf(stderr, "[fdiam] initial bound %d (2-sweep, %.3f s)\n",
+                     e.value, e.seconds);
+        break;
+      case Kind::kWinnow:
+        std::fprintf(stderr,
+                     "[fdiam] winnow radius %d around v=%u (%.3f s)\n",
+                     e.value, e.vertex, e.seconds);
+        break;
+      case Kind::kChainsProcessed:
+        std::fprintf(stderr, "[fdiam] chains processed (%.3f s)\n", e.seconds);
+        break;
+      case Kind::kEccentricity:
+        ++*ecc_seen;
+        std::fprintf(stderr, "\r[fdiam] ecc #%llu: v=%u ecc=%d (%.3f s)   ",
+                     static_cast<unsigned long long>(*ecc_seen), e.vertex,
+                     e.value, e.seconds);
+        break;
+      case Kind::kBoundRaised:
+        std::fprintf(stderr, "\n[fdiam] bound raised to %d by v=%u\n",
+                     e.value, e.vertex);
+        break;
+      case Kind::kEliminate:
+      case Kind::kExtendRegions:
+        break;  // too chatty for a progress line; the trace has them
+      case Kind::kDone:
+        std::fprintf(stderr, "\r[fdiam] done: diameter %d in %.3f s%12s\n",
+                     e.value, e.seconds, "");
+        break;
+    }
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   Cli cli;
   cli.add_option("file", "graph file (.gr/.txt/.el/.snap/.mtx/.csrbin)");
   cli.add_option("input", "built-in suite input name (see --list)");
@@ -28,6 +89,13 @@ int main(int argc, char** argv) {
   cli.add_option("seed", "generator seed", "1");
   cli.add_option("budget", "time budget in seconds (0 = unlimited)", "0");
   cli.add_option("save", "write the loaded/generated graph to this file");
+  cli.add_option("json-report",
+                 "write a fdiam.run_report/v1 JSON report ('-' = stdout)");
+  cli.add_option("trace-out",
+                 "write a Chrome trace_event JSON file (open in Perfetto)");
+  cli.add_flag("trace-levels",
+               "include one span per BFS level in the trace (high volume)");
+  cli.add_flag("progress", "print live progress to stderr");
   cli.add_flag("list", "list the built-in suite inputs and exit");
   cli.add_flag("serial", "disable the parallel BFS");
   cli.add_flag("no-winnow", "disable Winnow (ablation)");
@@ -36,7 +104,7 @@ int main(int argc, char** argv) {
   cli.add_flag("no-u", "start from vertex 0 instead of max-degree (ablation)");
   cli.add_flag("center-start",
                "anchor Winnow at a 4-sweep center (extension ablation)");
-  cli.add_flag("stats", "print per-stage statistics");
+  cli.add_flag("stats", "print per-stage statistics and BFS counters");
 
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage("fdiam_cli");
@@ -53,11 +121,24 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  const bool want_trace = cli.has("trace-out");
+  const bool want_report = cli.has("json-report");
+  // With the report on stdout, keep stdout pure JSON (pipeable into jq)
+  // and move the human-readable output to stderr.
+  const bool report_to_stdout = want_report && cli.get("json-report") == "-";
+  std::ostream& human = report_to_stdout ? std::cerr : std::cout;
+  obs::TraceSession session;
+
   Csr g;
+  std::string graph_name;
   if (cli.has("file")) {
-    g = io::load_graph(cli.get("file"));
+    const auto load_span = session.span("load_graph");
+    graph_name = cli.get("file");
+    g = io::load_graph(graph_name);
   } else if (cli.has("input")) {
-    g = build_suite_input(cli.get("input"), cli.get_double("scale", 0.1),
+    const auto gen_span = session.span("generate_graph");
+    graph_name = cli.get("input");
+    g = build_suite_input(graph_name, cli.get_double("scale", 0.1),
                           static_cast<std::uint64_t>(cli.get_int("seed", 1)));
   } else {
     std::cerr << "need --file or --input\n" << cli.usage("fdiam_cli");
@@ -70,15 +151,15 @@ int main(int argc, char** argv) {
     else if (ext == ".mtx") io::write_matrix_market(g, out);
     else if (ext == ".csrbin") io::write_binary(g, out);
     else io::write_snap(g, out);
-    std::cout << "saved graph to " << out << "\n";
+    human << "saved graph to " << out << "\n";
   }
 
   const GraphStats s = compute_stats(g);
-  std::cout << "graph: " << Table::fmt_count(s.vertices) << " vertices, "
-            << Table::fmt_count(s.arcs) << " arcs, avg degree "
-            << Table::fmt_double(s.avg_degree, 1) << ", max degree "
-            << Table::fmt_count(s.max_degree) << ", " << s.num_components
-            << " component(s)\n";
+  human << "graph: " << Table::fmt_count(s.vertices) << " vertices, "
+        << Table::fmt_count(s.arcs) << " arcs, avg degree "
+        << Table::fmt_double(s.avg_degree, 1) << ", max degree "
+        << Table::fmt_count(s.max_degree) << ", " << s.num_components
+        << " component(s)\n";
 
   FDiamOptions opt;
   opt.parallel = !cli.get_bool("serial");
@@ -90,18 +171,48 @@ int main(int argc, char** argv) {
   if (cli.get_bool("center-start")) opt.start_policy = StartPolicy::kFourSweepCenter;
   opt.time_budget_seconds = cli.get_double("budget", 0.0);
 
+  // Fan the solver's event stream out to every requested consumer.
+  std::vector<FDiamTrace> sinks;
+  if (cli.get_bool("progress")) sinks.push_back(make_progress_printer());
+  if (want_trace) sinks.push_back(session.fdiam_sink());
+  if (!sinks.empty()) {
+    opt.trace = [sinks](const FDiamEvent& e) {
+      for (const FDiamTrace& sink : sinks) sink(e);
+    };
+  }
+
+  // Per-level profiling: the trace gets the full span firehose when asked
+  // for; otherwise a report run folds the direction decisions into the
+  // metric registry so they land in the report's "metrics" block.
+  obs::MetricRegistry& registry = obs::metrics();
+  if (want_trace && cli.get_bool("trace-levels")) {
+    opt.level_profile = session.bfs_level_sink();
+  } else if (want_report) {
+    obs::Counter& topdown = registry.counter("bfs.levels.topdown");
+    obs::Counter& bottomup = registry.counter("bfs.levels.bottomup");
+    obs::Counter& edges = registry.counter("bfs.level_edges");
+    obs::Gauge& widest = registry.gauge("bfs.widest_frontier");
+    opt.level_profile = [&](const BfsLevelProfile& p) {
+      (p.bottom_up ? bottomup : topdown).inc();
+      edges.inc(static_cast<std::int64_t>(p.edges));
+      if (static_cast<double>(p.frontier) > widest.get()) {
+        widest.set(static_cast<double>(p.frontier));
+      }
+    };
+  }
+
   const DiameterResult r = fdiam_diameter(g, opt);
 
   if (!r.connected) {
-    std::cout << "graph is DISCONNECTED: true diameter is infinite\n";
-    std::cout << "largest eccentricity in any connected component: ";
+    human << "graph is DISCONNECTED: true diameter is infinite\n";
+    human << "largest eccentricity in any connected component: ";
   } else {
-    std::cout << "diameter: ";
+    human << "diameter: ";
   }
-  std::cout << r.diameter << (r.timed_out ? " (LOWER BOUND - timed out)" : "")
-            << "\n";
-  std::cout << "time: " << Table::fmt_double(r.stats.time_total, 3)
-            << " s, BFS traversals: " << r.stats.bfs_calls << "\n";
+  human << r.diameter << (r.timed_out ? " (LOWER BOUND - timed out)" : "")
+        << "\n";
+  human << "time: " << Table::fmt_double(r.stats.time_total, 3)
+        << " s, BFS traversals: " << r.stats.bfs_calls << "\n";
 
   if (cli.get_bool("stats")) {
     const FDiamStats& st = r.stats;
@@ -121,7 +232,46 @@ int main(int argc, char** argv) {
     t.add_row({"evaluated (BFS)", Table::fmt_count(st.evaluated),
                Table::fmt_percent(st.evaluated / n),
                Table::fmt_double(st.time_ecc, 4)});
-    t.print(std::cout);
+    t.print(human);
+
+    // Traversal-level counters (Table 3's numbers, straight from the CLI).
+    const BfsStats& bfs = r.bfs;
+    Table b({"BFS counter", "value"});
+    b.add_row({"traversals", Table::fmt_count(bfs.traversals)});
+    b.add_row({"levels", Table::fmt_count(bfs.levels)});
+    b.add_row({"top-down levels", Table::fmt_count(bfs.topdown_levels)});
+    b.add_row({"bottom-up levels", Table::fmt_count(bfs.bottomup_levels)});
+    b.add_row({"edges examined", Table::fmt_count(bfs.edges_examined)});
+    b.add_row({"vertices visited", Table::fmt_count(bfs.vertices_visited)});
+    b.print(human);
+  }
+
+  if (want_report) {
+    obs::RunReport report = obs::make_run_report(graph_name, s, opt, r);
+    report.metrics = registry.snapshot();
+    const std::string path = cli.get("json-report");
+    if (path == "-") {
+      report.write_json(std::cout);
+    } else {
+      std::ofstream out(path, std::ios::trunc);
+      if (!out) {
+        std::cerr << "cannot write JSON report to " << path << "\n";
+        return 1;
+      }
+      report.write_json(out);
+      human << "wrote run report to " << path << "\n";
+    }
+  }
+  if (want_trace) {
+    const std::string path = cli.get("trace-out");
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot write trace to " << path << "\n";
+      return 1;
+    }
+    session.write(out);
+    human << "wrote " << session.size() << " trace events to " << path
+          << " (open in https://ui.perfetto.dev)\n";
   }
   return 0;
 }

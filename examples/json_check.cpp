@@ -1,0 +1,46 @@
+// json_check: validate that each argument file (or stdin, with "-") is a
+// single well-formed JSON document, using the library's dependency-free
+// validator. Exit status 0 iff every input validates. The verify-telemetry
+// ctest uses this to check fdiam_cli's --json-report and --trace-out
+// outputs without requiring python or an external JSON tool.
+//
+//   ./json_check report.json trace.json
+//   ./fdiam_cli --input grid --json-report - | ./json_check -
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: json_check <file|-> [more files...]\n";
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ostringstream buf;
+    if (path == "-") {
+      buf << std::cin.rdbuf();
+    } else {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::cerr << path << ": cannot open\n";
+        ++failures;
+        continue;
+      }
+      buf << in.rdbuf();
+    }
+    const std::string text = buf.str();
+    if (fdiam::obs::json_valid(text)) {
+      std::cout << path << ": valid JSON (" << text.size() << " bytes)\n";
+    } else {
+      std::cerr << path << ": INVALID JSON\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -9,6 +9,7 @@
 // 10%-of-|V| switch threshold.
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -27,7 +28,38 @@ struct BfsStats {
   std::uint64_t bottomup_levels = 0;
   std::uint64_t edges_examined = 0;
   std::uint64_t vertices_visited = 0;
+
+  /// Merge counters from another engine (FDiam's candidate-batch mode
+  /// sums its per-thread serial engines into one result).
+  BfsStats& operator+=(const BfsStats& o) {
+    traversals += o.traversals;
+    levels += o.levels;
+    topdown_levels += o.topdown_levels;
+    bottomup_levels += o.bottomup_levels;
+    edges_examined += o.edges_examined;
+    vertices_visited += o.vertices_visited;
+    return *this;
+  }
 };
+
+/// One record per level-synchronous step, delivered to the opt-in
+/// profiling hook. `frontier` is the size of the frontier being expanded
+/// (so over one traversal the frontier sizes sum to the visited count),
+/// `edges` counts adjacency entries examined by this step, and `bottom_up`
+/// records which direction the engine chose — the profile is what makes
+/// the direction-optimizing switch decisions inspectable.
+struct BfsLevelProfile {
+  std::uint64_t traversal = 0;  ///< 1-based index over the engine's lifetime
+  dist_t depth = 0;             ///< depth of the expanded frontier (0 = source)
+  bool bottom_up = false;
+  vid_t frontier = 0;
+  std::uint64_t edges = 0;
+  double micros = 0.0;          ///< wall-clock of this step
+};
+
+/// Per-level profiling sink. Installing one adds two clock reads per
+/// level; the default (empty) hook costs a single branch.
+using BfsLevelHook = std::function<void(const BfsLevelProfile&)>;
 
 /// Execution policy for a BfsEngine.
 struct BfsConfig {
@@ -60,6 +92,9 @@ class BfsEngine {
   [[nodiscard]] const BfsStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  /// Install (or clear, with an empty function) the per-level profiler.
+  void set_level_hook(BfsLevelHook hook) { level_hook_ = std::move(hook); }
+
   [[nodiscard]] const BfsConfig& config() const { return config_; }
   [[nodiscard]] const Csr& graph() const { return g_; }
 
@@ -76,6 +111,7 @@ class BfsEngine {
   vid_t last_visited_ = 0;
   std::size_t threshold_count_ = 0;
   BfsStats stats_;
+  BfsLevelHook level_hook_;
 };
 
 /// Self-contained serial BFS filling a caller-provided distance vector

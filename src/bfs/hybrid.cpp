@@ -11,6 +11,7 @@
 #include <cassert>
 
 #include "bfs/bfs.hpp"
+#include "util/timer.hpp"
 
 namespace fdiam {
 
@@ -47,6 +48,11 @@ dist_t BfsEngine::run(vid_t source, std::vector<dist_t>* dist) {
     const bool bottom_up = config_.direction_optimizing &&
                            cur_.size() > threshold_count_;
     ++level;
+    // Per-level profiling (opt-in): every visited vertex belongs to
+    // exactly one expanded frontier, so the reported frontier sizes of a
+    // traversal sum to last_visited_count().
+    const std::uint64_t edges_before = stats_.edges_examined;
+    Timer step_timer;
     if (bottom_up) {
       ++stats_.bottomup_levels;
       step_bottomup(dist, level);
@@ -55,6 +61,12 @@ dist_t BfsEngine::run(vid_t source, std::vector<dist_t>* dist) {
       step_topdown(dist, level);
     }
     ++stats_.levels;
+    if (level_hook_) {
+      level_hook_(BfsLevelProfile{stats_.traversals, level - 1, bottom_up,
+                                  static_cast<vid_t>(cur_.size()),
+                                  stats_.edges_examined - edges_before,
+                                  step_timer.millis() * 1e3});
+    }
     if (next_.empty()) break;  // cur_ still holds the deepest level
     last_visited_ += static_cast<vid_t>(next_.size());
     swap(cur_, next_);

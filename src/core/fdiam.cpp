@@ -21,7 +21,9 @@ FDiam::FDiam(const Csr& g, FDiamOptions opt)
       in_winnow_region_(g.num_vertices(), 0),
       aux_cur_(g.num_vertices()),
       aux_next_(g.num_vertices()),
-      elim_visited_(g.num_vertices()) {}
+      elim_visited_(g.num_vertices()) {
+  if (opt_.level_profile) engine_.set_level_hook(opt_.level_profile);
+}
 
 void FDiam::mark_removed(vid_t v, dist_t value, Stage stage) {
   if (state_[v] == kActiveState) {
@@ -72,6 +74,7 @@ DiameterResult FDiam::run() {
   winnow_frontier_.clear();
   winnow_radius_ = 0;
   stats_ = {};
+  engine_.reset_stats();  // result.bfs reports this run only
   run_timer_.reset();
 
   DiameterResult result;
@@ -150,7 +153,7 @@ DiameterResult FDiam::run() {
     }
     stats_.time_init += t.seconds();
   }
-  emit(FDiamEvent::Kind::kInitialBound, bound, u);
+  emit(FDiamEvent::Kind::kInitialBound, bound, u, stats_.time_init);
 
   // The first BFS visits exactly u's component: fewer vertices than the
   // non-isolated count means the input is disconnected (paper §1: the true
@@ -173,8 +176,9 @@ DiameterResult FDiam::run() {
   if (opt_.use_chain) {
     Timer t;
     process_chains();
-    stats_.time_chain += t.seconds();
-    emit(FDiamEvent::Kind::kChainsProcessed, 0);
+    const double chain_seconds = t.seconds();
+    stats_.time_chain += chain_seconds;
+    emit(FDiamEvent::Kind::kChainsProcessed, 0, 0, chain_seconds);
   }
 
   // --- Main loop (Alg. 1 lines 6-21) --------------------------------------
@@ -203,6 +207,7 @@ DiameterResult FDiam::run() {
     const auto batch_size = static_cast<std::size_t>(opt_.candidate_batch);
     std::vector<vid_t> batch;
     std::vector<dist_t> batch_ecc;
+    BfsStats batch_bfs;  // per-thread engine counters, merged per batch
     vid_t idx = 0;
     while (idx < n && !result.timed_out) {
       batch.clear();
@@ -224,12 +229,15 @@ DiameterResult FDiam::run() {
         // parallelism inside any one of them.
         BfsEngine local(g_, BfsConfig{false, opt_.direction_optimizing,
                                       opt_.bottomup_threshold});
+        if (opt_.level_profile) local.set_level_hook(opt_.level_profile);
 #pragma omp for schedule(dynamic, 1)
         for (std::int64_t i = 0; i < static_cast<std::int64_t>(batch.size());
              ++i) {
           batch_ecc[static_cast<std::size_t>(i)] =
               local.eccentricity(batch[static_cast<std::size_t>(i)]);
         }
+#pragma omp critical(fdiam_batch_bfs_stats)
+        batch_bfs += local.stats();
       }
       stats_.ecc_computations += batch.size();
       stats_.time_ecc += t_ecc.seconds();
@@ -253,9 +261,11 @@ DiameterResult FDiam::run() {
       }
     }
     result.diameter = bound;
-    emit(FDiamEvent::Kind::kDone, bound);
     finalize_stats();
     result.stats = stats_;
+    result.bfs = engine_.stats();
+    result.bfs += batch_bfs;
+    emit(FDiamEvent::Kind::kDone, bound, 0, stats_.time_total);
     return result;
   }
 
@@ -270,9 +280,10 @@ DiameterResult FDiam::run() {
     Timer t_ecc;
     const dist_t ecc = engine_.eccentricity(v);
     ++stats_.ecc_computations;
-    stats_.time_ecc += t_ecc.seconds();
+    const double ecc_seconds = t_ecc.seconds();
+    stats_.time_ecc += ecc_seconds;
     mark_removed(v, ecc, Stage::kEvaluated);
-    emit(FDiamEvent::Kind::kEccentricity, ecc, v);
+    emit(FDiamEvent::Kind::kEccentricity, ecc, v, ecc_seconds);
 
     if (ecc > bound) {
       // New lower bound: extend the winnowed region and every previously
@@ -289,23 +300,28 @@ DiameterResult FDiam::run() {
       if (opt_.use_eliminate) {
         Timer t;
         extend_eliminated(old, bound);
-        stats_.time_eliminate += t.seconds();
-        emit(FDiamEvent::Kind::kExtendRegions, bound);
+        const double ext_seconds = t.seconds();
+        stats_.time_eliminate += ext_seconds;
+        emit(FDiamEvent::Kind::kExtendRegions, bound, 0, ext_seconds);
       }
     } else if (opt_.use_eliminate) {
       // ecc == bound removes only v itself (already recorded above);
       // eliminate() is a no-op in that case (paper §4.5).
       Timer t;
       eliminate(v, ecc, bound, Stage::kEliminate);
-      stats_.time_eliminate += t.seconds();
-      if (ecc < bound) emit(FDiamEvent::Kind::kEliminate, bound - ecc, v);
+      const double elim_seconds = t.seconds();
+      stats_.time_eliminate += elim_seconds;
+      if (ecc < bound) {
+        emit(FDiamEvent::Kind::kEliminate, bound - ecc, v, elim_seconds);
+      }
     }
   }
 
   result.diameter = bound;
-  emit(FDiamEvent::Kind::kDone, bound);
   finalize_stats();
   result.stats = stats_;
+  result.bfs = engine_.stats();
+  emit(FDiamEvent::Kind::kDone, bound, 0, stats_.time_total);
   return result;
 }
 

@@ -19,6 +19,7 @@
 // "Removing a vertex from consideration" means its eccentricity need not
 // be computed; the vertex remains traversable (paper footnote 1).
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -48,6 +49,13 @@ struct FDiamEvent {
   Kind kind;
   dist_t value = 0;
   vid_t vertex = 0;
+  /// Wall-clock duration of the work this event reports, when the event
+  /// closes a timed stage: kInitialBound (the 2-sweep), kWinnow,
+  /// kChainsProcessed, kEccentricity (one BFS), kEliminate,
+  /// kExtendRegions, and kDone (the whole run). 0 for point events
+  /// (kStart, kBoundRaised) and for batch-mode eccentricities, where only
+  /// the batch is timed. Telemetry sinks turn these into trace spans.
+  double seconds = 0.0;
 };
 
 /// Trace sink; see FDiamOptions::trace.
@@ -104,6 +112,12 @@ struct FDiamOptions {
   /// Optional per-decision progress sink (see FDiamEvent).
   FDiamTrace trace;
 
+  /// Optional per-level BFS profiler, installed on every engine the run
+  /// uses (including the per-thread engines of candidate_batch mode, so
+  /// the hook must be thread-safe when candidate_batch > 1 and parallel
+  /// is on). See BfsLevelProfile.
+  BfsLevelHook level_profile;
+
   /// EXPERIMENT KNOB: cap the 2-sweep's initial bound at this value
   /// (> 0 enables; bound becomes min(measured, cap), so the result stays
   /// exact — a cap can only degrade the starting point, never inflate
@@ -142,8 +156,10 @@ struct FDiamStats {
   double time_total = 0.0;
 
   [[nodiscard]] double time_other() const {
-    return time_total -
-           (time_init + time_winnow + time_chain + time_eliminate + time_ecc);
+    // Clamped at zero: the stage timers each round independently, so
+    // their sum can exceed time_total by a few microseconds.
+    return std::max(0.0, time_total - (time_init + time_winnow + time_chain +
+                                       time_eliminate + time_ecc));
   }
 };
 
@@ -160,6 +176,9 @@ struct DiameterResult {
   /// a lower bound.
   bool timed_out = false;
   FDiamStats stats;
+  /// Traversal-level counters summed over every BFS the run performed
+  /// (Table 3's level/direction/edge numbers). Reset per run().
+  BfsStats bfs;
 };
 
 /// Reusable F-Diam solver. Construct once per graph; run() may be invoked
@@ -220,8 +239,9 @@ class FDiam {
   // Tally stage_tag_ into the per-stage counters of stats_.
   void finalize_stats();
 
-  void emit(FDiamEvent::Kind kind, dist_t value, vid_t vertex = 0) const {
-    if (opt_.trace) opt_.trace(FDiamEvent{kind, value, vertex});
+  void emit(FDiamEvent::Kind kind, dist_t value, vid_t vertex = 0,
+            double seconds = 0.0) const {
+    if (opt_.trace) opt_.trace(FDiamEvent{kind, value, vertex, seconds});
   }
 
   [[nodiscard]] bool budget_exhausted() const;

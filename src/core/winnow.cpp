@@ -33,7 +33,7 @@ void FDiam::winnow_extend(dist_t bound) {
   if (target_radius <= winnow_radius_) return;
 
   ++stats_.winnow_calls;  // Table 3 counts each (partial) winnow traversal
-  emit(FDiamEvent::Kind::kWinnow, target_radius, winnow_center_);
+  Timer winnow_timer;     // duration is reported on the kWinnow event
 
   std::uint64_t removed = 0;
   while (winnow_radius_ < target_radius && !winnow_frontier_.empty()) {
@@ -82,6 +82,8 @@ void FDiam::winnow_extend(dist_t bound) {
     winnow_frontier_.assign(next.begin(), next.end());
   }
   (void)removed;  // attribution is tallied from stage_tag_ in finalize_stats
+  emit(FDiamEvent::Kind::kWinnow, target_radius, winnow_center_,
+       winnow_timer.seconds());
 }
 
 }  // namespace fdiam

@@ -1,0 +1,74 @@
+#include "obs/counters.hpp"
+
+#include "obs/json.hpp"
+
+namespace fdiam::obs {
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+void MetricRegistry::write_text(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    os << name << ' ' << c->get() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << name << ' ' << g->get() << '\n';
+  }
+}
+
+void MetricRegistry::write_json(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  for (const auto& [name, c] : counters_) w.field(name, c->get());
+  for (const auto& [name, g] : gauges_) w.field(name, g->get());
+  w.end_object();
+}
+
+std::vector<std::pair<std::string, double>> MetricRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, c] : counters_) {
+    out.emplace_back(name, static_cast<double>(c->get()));
+  }
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->get());
+  return out;
+}
+
+void MetricRegistry::reset_counters() {
+  std::lock_guard lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    (void)name;
+    c->reset();
+  }
+}
+
+std::size_t MetricRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return counters_.size() + gauges_.size();
+}
+
+MetricRegistry& metrics() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+}  // namespace fdiam::obs

@@ -1,0 +1,84 @@
+#pragma once
+// Thread-safe named counter/gauge registry with text and JSON exposition.
+//
+// Counters are monotonic integers (events, traversals, cache hits);
+// gauges are last-write-wins doubles (frontier sizes, thresholds).
+// Registration takes a mutex once per distinct name; the returned handle
+// is a stable reference whose updates are plain atomics, so hot paths can
+// cache it and pay no locking. A process-wide registry is available via
+// metrics() for code that has no natural place to thread a registry
+// through (the CLI's BFS level hook uses it).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fdiam::obs {
+
+class Counter {
+ public:
+  void inc(std::int64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t get() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double get() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+class MetricRegistry {
+ public:
+  /// Find-or-create; the reference stays valid for the registry's
+  /// lifetime. Counter and gauge namespaces are disjoint: registering
+  /// "x" as both is allowed and yields two series ("x" and "x" gauge).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+
+  /// `name value` lines sorted by name (Prometheus-style exposition
+  /// without type annotations). Counters print as integers.
+  void write_text(std::ostream& os) const;
+
+  /// One flat JSON object {"name": value, ...} sorted by name.
+  void write_json(std::ostream& os) const;
+
+  /// Snapshot of every metric as (name, value), counters first.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> snapshot() const;
+
+  /// Zero all counters (gauges keep their last value). Tests use this to
+  /// isolate runs sharing the global registry.
+  void reset_counters();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  // unique_ptr keeps handle addresses stable across rehash/insert.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+};
+
+/// Process-wide registry.
+MetricRegistry& metrics();
+
+}  // namespace fdiam::obs

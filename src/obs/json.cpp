@@ -1,0 +1,425 @@
+#include "obs/json.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace fdiam::obs {
+
+// --- JsonWriter -----------------------------------------------------------
+
+void JsonWriter::separator() {
+  if (!stack_.empty() && !key_pending_) {
+    if (has_elems_.back()) os_ << ',';
+    has_elems_.back() = true;
+    if (indent_ > 0) {
+      os_ << '\n';
+      for (std::size_t i = 0; i < stack_.size(); ++i) {
+        for (int s = 0; s < indent_; ++s) os_ << ' ';
+      }
+    }
+  }
+  key_pending_ = false;
+}
+
+void JsonWriter::open(Ctx ctx, char brace) {
+  assert(stack_.empty() || stack_.back() == Ctx::kArray || key_pending_);
+  separator();
+  os_ << brace;
+  stack_.push_back(ctx);
+  has_elems_.push_back(false);
+}
+
+void JsonWriter::close(Ctx ctx, char brace) {
+  assert(!stack_.empty() && stack_.back() == ctx && !key_pending_);
+  (void)ctx;
+  const bool had = has_elems_.back();
+  stack_.pop_back();
+  has_elems_.pop_back();
+  if (had && indent_ > 0) {
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) {
+      for (int s = 0; s < indent_; ++s) os_ << ' ';
+    }
+  }
+  os_ << brace;
+  if (stack_.empty() && indent_ > 0) os_ << '\n';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  open(Ctx::kObject, '{');
+  return *this;
+}
+JsonWriter& JsonWriter::end_object() {
+  close(Ctx::kObject, '}');
+  return *this;
+}
+JsonWriter& JsonWriter::begin_array() {
+  open(Ctx::kArray, '[');
+  return *this;
+}
+JsonWriter& JsonWriter::end_array() {
+  close(Ctx::kArray, ']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  assert(!stack_.empty() && stack_.back() == Ctx::kObject && !key_pending_);
+  separator();
+  os_ << '"' << json_escape(k) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separator();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separator();
+  if (!std::isfinite(v)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    os_ << "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separator();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separator();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separator();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separator();
+  os_ << "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  separator();
+  os_ << json;
+  return *this;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 passes through byte-for-byte
+        }
+    }
+  }
+  return out;
+}
+
+// --- Validating scanner ---------------------------------------------------
+//
+// One cursor-based recursive-descent pass shared by json_valid() and
+// json_lookup(): skip_value() advances past one well-formed value or
+// reports failure. No allocation, no DOM.
+
+namespace {
+
+constexpr int kMaxDepth = 256;
+
+struct Scanner {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool done() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!done() && (text[pos] == ' ' || text[pos] == '\t' ||
+                       text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    if (done() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool skip_string() {
+    if (!consume('"')) return false;
+    while (!done()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (done()) return false;
+        const char e = text[pos++];
+        switch (e) {
+          case '"': case '\\': case '/': case 'b': case 'f':
+          case 'n': case 'r': case 't':
+            break;
+          case 'u': {
+            for (int i = 0; i < 4; ++i) {
+              if (done() || !std::isxdigit(
+                                static_cast<unsigned char>(text[pos]))) {
+                return false;
+              }
+              ++pos;
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool skip_number() {
+    consume('-');
+    if (done() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return false;
+    }
+    if (peek() == '0') {
+      ++pos;  // no leading zeros
+    } else {
+      while (!done() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    }
+    if (!done() && peek() == '.') {
+      ++pos;
+      if (done() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return false;
+      }
+      while (!done() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    }
+    if (!done() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!done() && (peek() == '+' || peek() == '-')) ++pos;
+      if (done() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return false;
+      }
+      while (!done() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    }
+    return true;
+  }
+
+  bool skip_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  bool skip_value(int depth) {
+    if (depth > kMaxDepth) return false;
+    skip_ws();
+    if (done()) return false;
+    switch (peek()) {
+      case '"': return skip_string();
+      case '{': {
+        ++pos;
+        skip_ws();
+        if (consume('}')) return true;
+        while (true) {
+          skip_ws();
+          if (!skip_string()) return false;
+          skip_ws();
+          if (!consume(':')) return false;
+          if (!skip_value(depth + 1)) return false;
+          skip_ws();
+          if (consume('}')) return true;
+          if (!consume(',')) return false;
+        }
+      }
+      case '[': {
+        ++pos;
+        skip_ws();
+        if (consume(']')) return true;
+        while (true) {
+          if (!skip_value(depth + 1)) return false;
+          skip_ws();
+          if (consume(']')) return true;
+          if (!consume(',')) return false;
+        }
+      }
+      case 't': return skip_literal("true");
+      case 'f': return skip_literal("false");
+      case 'n': return skip_literal("null");
+      default: return skip_number();
+    }
+  }
+};
+
+/// Splits "a.b.0.c" into components in place.
+std::vector<std::string_view> split_path(std::string_view path) {
+  std::vector<std::string_view> parts;
+  while (!path.empty()) {
+    const std::size_t dot = path.find('.');
+    parts.push_back(path.substr(0, dot));
+    if (dot == std::string_view::npos) break;
+    path.remove_prefix(dot + 1);
+  }
+  return parts;
+}
+
+}  // namespace
+
+bool json_valid(std::string_view text) {
+  Scanner s{text};
+  if (!s.skip_value(0)) return false;
+  s.skip_ws();
+  return s.done();
+}
+
+std::optional<std::string_view> json_lookup(std::string_view text,
+                                            std::string_view dotted_path) {
+  Scanner s{text};
+  for (const std::string_view part : split_path(dotted_path)) {
+    s.skip_ws();
+    if (s.done()) return std::nullopt;
+    if (s.peek() == '{') {
+      ++s.pos;
+      bool found = false;
+      while (!found) {
+        s.skip_ws();
+        if (s.consume('}')) return std::nullopt;  // key absent
+        const std::size_t key_start = s.pos;
+        if (!s.skip_string()) return std::nullopt;
+        // Compare against the raw (escape-free) key bytes; report-schema
+        // keys never need escaping.
+        const std::string_view key =
+            s.text.substr(key_start + 1, s.pos - key_start - 2);
+        s.skip_ws();
+        if (!s.consume(':')) return std::nullopt;
+        if (key == part) {
+          found = true;  // cursor now sits on the value
+        } else {
+          if (!s.skip_value(0)) return std::nullopt;
+          s.skip_ws();
+          if (!s.consume(',')) {
+            if (!s.consume('}')) return std::nullopt;
+            return std::nullopt;  // key absent
+          }
+        }
+      }
+    } else if (s.peek() == '[') {
+      std::size_t index = 0;
+      const auto [ptr, ec] = std::from_chars(
+          part.data(), part.data() + part.size(), index);
+      if (ec != std::errc() || ptr != part.data() + part.size()) {
+        return std::nullopt;
+      }
+      ++s.pos;
+      s.skip_ws();
+      if (s.peek() == ']') return std::nullopt;
+      for (std::size_t i = 0; i < index; ++i) {
+        if (!s.skip_value(0)) return std::nullopt;
+        s.skip_ws();
+        if (!s.consume(',')) return std::nullopt;  // index out of range
+      }
+    } else {
+      return std::nullopt;  // scalar has no children
+    }
+  }
+  s.skip_ws();
+  const std::size_t start = s.pos;
+  if (!s.skip_value(0)) return std::nullopt;
+  return text.substr(start, s.pos - start);
+}
+
+std::optional<double> json_number(std::string_view text,
+                                  std::string_view dotted_path) {
+  const auto raw = json_lookup(text, dotted_path);
+  if (!raw) return std::nullopt;
+  double out = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(raw->data(), raw->data() + raw->size(), out);
+  if (ec != std::errc() || ptr != raw->data() + raw->size()) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::optional<std::string> json_string(std::string_view text,
+                                       std::string_view dotted_path) {
+  const auto raw = json_lookup(text, dotted_path);
+  if (!raw || raw->size() < 2 || raw->front() != '"') return std::nullopt;
+  std::string_view body = raw->substr(1, raw->size() - 2);
+  std::string out;
+  out.reserve(body.size());
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (body[i] != '\\') {
+      out += body[i];
+      continue;
+    }
+    if (++i >= body.size()) return std::nullopt;
+    switch (body[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 4 >= body.size()) return std::nullopt;
+        unsigned cp = 0;
+        const auto [p, ec] =
+            std::from_chars(body.data() + i + 1, body.data() + i + 5, cp, 16);
+        if (ec != std::errc() || p != body.data() + i + 5) return std::nullopt;
+        i += 4;
+        // Report keys stay ASCII; encode the BMP code point as UTF-8.
+        if (cp < 0x80) {
+          out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+          out += static_cast<char>(0xC0 | (cp >> 6));
+          out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+          out += static_cast<char>(0xE0 | (cp >> 12));
+          out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+        break;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+  return out;
+}
+
+}  // namespace fdiam::obs

@@ -1,0 +1,100 @@
+#pragma once
+// Dependency-free JSON support for the observability layer: a streaming
+// writer (used by RunReport, TraceSession, and the bench harness), a
+// validating recursive-descent scanner (used by tests and the
+// verify-telemetry ctest so no external JSON tool is needed), and a
+// path lookup that extracts individual values from a serialized document
+// without materializing a DOM.
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fdiam::obs {
+
+/// Streaming JSON emitter with correct string escaping and pretty
+/// printing. The caller drives the nesting (begin_object/end_object,
+/// begin_array/end_array); arity and comma placement are handled here.
+/// Misuse (e.g. a value with no pending key inside an object) trips an
+/// assert in debug builds and emits structurally broken output otherwise,
+/// so tests validate every produced document with json_valid().
+class JsonWriter {
+ public:
+  /// indent <= 0 emits compact single-line JSON.
+  explicit JsonWriter(std::ostream& os, int indent = 2)
+      : os_(os), indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit the key of the next object member.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Emit a pre-serialized JSON fragment verbatim (caller guarantees
+  /// validity — used to splice TraceSession arg objects).
+  JsonWriter& raw(std::string_view json);
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// Number of unclosed containers; 0 once the document is complete.
+  [[nodiscard]] int depth() const { return static_cast<int>(stack_.size()); }
+
+ private:
+  enum class Ctx : std::uint8_t { kObject, kArray };
+  void separator();  // comma/newline/indent before the next element
+  void open(Ctx ctx, char brace);
+  void close(Ctx ctx, char brace);
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Ctx> stack_;
+  std::vector<bool> has_elems_;
+  bool key_pending_ = false;
+};
+
+/// Escape `s` as the contents of a JSON string (no surrounding quotes).
+std::string json_escape(std::string_view s);
+
+/// Strict structural validation of a complete JSON document (one value,
+/// trailing whitespace allowed). Accepts exactly RFC 8259: no comments,
+/// no trailing commas, no unquoted keys. Depth-capped at 256 so malformed
+/// input cannot overflow the stack.
+[[nodiscard]] bool json_valid(std::string_view text);
+
+/// Find the raw text of the value at `dotted_path` (e.g. "result.diameter"
+/// or "tables.0.title" — decimal components index arrays) inside a valid
+/// JSON document. Returns std::nullopt when the path is absent or the
+/// document is malformed. The returned slice is trimmed and still JSON
+/// (strings keep their quotes).
+std::optional<std::string_view> json_lookup(std::string_view text,
+                                            std::string_view dotted_path);
+
+/// json_lookup + numeric conversion.
+std::optional<double> json_number(std::string_view text,
+                                  std::string_view dotted_path);
+
+/// json_lookup + string unescaping; nullopt when the value is not a string.
+std::optional<std::string> json_string(std::string_view text,
+                                       std::string_view dotted_path);
+
+}  // namespace fdiam::obs

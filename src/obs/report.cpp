@@ -1,0 +1,160 @@
+#include "obs/report.hpp"
+
+#include <chrono>
+#include <ctime>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "obs/json.hpp"
+
+namespace fdiam::obs {
+
+namespace {
+
+const char* start_policy_name(StartPolicy p) {
+  switch (p) {
+    case StartPolicy::kMaxDegree: return "max_degree";
+    case StartPolicy::kVertexZero: return "vertex_zero";
+    case StartPolicy::kFourSweepCenter: return "four_sweep_center";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+EnvInfo capture_env() {
+  EnvInfo env;
+#ifdef _OPENMP
+  env.openmp = true;
+  env.omp_max_threads = omp_get_max_threads();
+#endif
+#ifdef NDEBUG
+  env.build_type = "release";
+#else
+  env.build_type = "debug";
+#endif
+#ifdef __VERSION__
+  env.compiler = __VERSION__;
+#endif
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  env.timestamp = buf;
+  return env;
+}
+
+void write_env_fields(JsonWriter& w, const EnvInfo& env) {
+  w.key("env").begin_object();
+  w.field("omp_max_threads", env.omp_max_threads);
+  w.field("openmp", env.openmp);
+  w.field("build_type", std::string_view(env.build_type));
+  w.field("compiler", std::string_view(env.compiler));
+  w.field("timestamp", std::string_view(env.timestamp));
+  w.end_object();
+}
+
+void RunReport::write_json(std::ostream& os) const {
+  const FDiamStats& st = result.stats;
+  const BfsStats& bfs = result.bfs;
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", std::string_view("fdiam.run_report/v1"));
+
+  w.key("graph").begin_object();
+  w.field("name", std::string_view(graph_name));
+  w.field("vertices", static_cast<std::uint64_t>(graph.vertices));
+  w.field("arcs", graph.arcs);
+  w.field("avg_degree", graph.avg_degree);
+  w.field("max_degree", static_cast<std::uint64_t>(graph.max_degree));
+  w.field("degree0", static_cast<std::uint64_t>(graph.degree0));
+  w.field("degree1", static_cast<std::uint64_t>(graph.degree1));
+  w.field("components", static_cast<std::uint64_t>(graph.num_components));
+  w.field("largest_component",
+          static_cast<std::uint64_t>(graph.largest_component));
+  w.end_object();
+
+  w.key("options").begin_object();
+  w.field("parallel", options.parallel);
+  w.field("direction_optimizing", options.direction_optimizing);
+  w.field("bottomup_threshold", options.bottomup_threshold);
+  w.field("use_winnow", options.use_winnow);
+  w.field("use_eliminate", options.use_eliminate);
+  w.field("use_chain", options.use_chain);
+  w.field("start_policy",
+          std::string_view(start_policy_name(options.start_policy)));
+  w.field("randomize_scan", options.randomize_scan);
+  w.field("candidate_batch", options.candidate_batch);
+  w.field("time_budget_seconds", options.time_budget_seconds);
+  w.end_object();
+
+  w.key("result").begin_object();
+  w.field("diameter", static_cast<std::int64_t>(result.diameter));
+  w.field("witness", static_cast<std::uint64_t>(result.witness));
+  w.field("connected", result.connected);
+  w.field("timed_out", result.timed_out);
+  w.end_object();
+
+  w.key("stages").begin_object();
+  w.key("counts").begin_object();
+  w.field("bfs_calls", st.bfs_calls);
+  w.field("ecc_computations", st.ecc_computations);
+  w.field("winnow_calls", st.winnow_calls);
+  w.field("eliminate_calls", st.eliminate_calls);
+  w.field("extension_calls", st.extension_calls);
+  w.end_object();
+  w.key("removed").begin_object();
+  w.field("winnow", static_cast<std::uint64_t>(st.removed_by_winnow));
+  w.field("eliminate", static_cast<std::uint64_t>(st.removed_by_eliminate));
+  w.field("chain", static_cast<std::uint64_t>(st.removed_by_chain));
+  w.field("degree0", static_cast<std::uint64_t>(st.degree0_vertices));
+  w.field("evaluated", static_cast<std::uint64_t>(st.evaluated));
+  w.end_object();
+  w.key("times_s").begin_object();
+  w.field("init", st.time_init);
+  w.field("winnow", st.time_winnow);
+  w.field("chain", st.time_chain);
+  w.field("eliminate", st.time_eliminate);
+  w.field("ecc", st.time_ecc);
+  w.field("other", st.time_other());
+  w.field("total", st.time_total);
+  w.end_object();
+  w.end_object();
+
+  w.key("bfs").begin_object();
+  w.field("traversals", bfs.traversals);
+  w.field("levels", bfs.levels);
+  w.field("topdown_levels", bfs.topdown_levels);
+  w.field("bottomup_levels", bfs.bottomup_levels);
+  w.field("edges_examined", bfs.edges_examined);
+  w.field("vertices_visited", bfs.vertices_visited);
+  w.end_object();
+
+  write_env_fields(w, env);
+
+  if (!metrics.empty()) {
+    w.key("metrics").begin_object();
+    for (const auto& [name, value] : metrics) w.field(name, value);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+RunReport make_run_report(std::string graph_name, const GraphStats& graph,
+                          const FDiamOptions& options,
+                          const DiameterResult& result) {
+  RunReport r;
+  r.graph_name = std::move(graph_name);
+  r.graph = graph;
+  r.options = options;
+  r.result = result;
+  r.env = capture_env();
+  return r;
+}
+
+}  // namespace fdiam::obs

@@ -1,0 +1,56 @@
+#pragma once
+// Machine-readable run reports: everything one F-Diam invocation produced
+// (result, per-stage stats, BFS counters), what it ran on (graph stats),
+// and how (options, environment), serialized to a stable JSON schema so
+// perf baselines can be recorded and diffed across commits.
+//
+// Schema "fdiam.run_report/v1" — field additions are allowed, renames and
+// removals are a schema bump. docs/OBSERVABILITY.md documents every field.
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/fdiam.hpp"
+#include "graph/stats.hpp"
+
+namespace fdiam::obs {
+
+class JsonWriter;
+
+/// Build/runtime environment block shared by run and bench reports.
+struct EnvInfo {
+  int omp_max_threads = 1;
+  bool openmp = false;
+  std::string build_type;   // "release" (NDEBUG) or "debug"
+  std::string compiler;     // __VERSION__
+  std::string timestamp;    // ISO 8601 UTC at capture time
+};
+
+/// Capture the current process environment.
+EnvInfo capture_env();
+
+struct RunReport {
+  std::string graph_name;   // file path or suite input name
+  GraphStats graph;
+  FDiamOptions options;     // serializable subset (callbacks are omitted)
+  DiameterResult result;    // includes FDiamStats and BfsStats
+  EnvInfo env;
+  /// Optional registry snapshot appended as a flat "metrics" object.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// Serialize as one pretty-printed JSON document.
+  void write_json(std::ostream& os) const;
+};
+
+/// Convenience assembler: env is captured here.
+RunReport make_run_report(std::string graph_name, const GraphStats& graph,
+                          const FDiamOptions& options,
+                          const DiameterResult& result);
+
+/// Append the env block to an open JsonWriter object ("env": {...}).
+/// Shared with the bench harness's report writer.
+void write_env_fields(JsonWriter& w, const EnvInfo& env);
+
+}  // namespace fdiam::obs

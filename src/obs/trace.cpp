@@ -1,0 +1,135 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace fdiam::obs {
+
+TraceArg::TraceArg(std::string k, double v) : key(std::move(k)) {
+  if (std::isfinite(v)) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    json_value = buf;
+  } else {
+    json_value = "null";
+  }
+}
+
+TraceArg::TraceArg(std::string k, std::string_view v)
+    : key(std::move(k)), json_value('"' + json_escape(v) + '"') {}
+
+TraceSession::Span::Span(TraceSession& session, std::string name,
+                         std::vector<TraceArg> args)
+    : session_(session),
+      name_(std::move(name)),
+      args_(std::move(args)),
+      start_us_(session.now_us()) {}
+
+TraceSession::Span::~Span() {
+  const double end_us = session_.now_us();
+  session_.record(Event{std::move(name_), 'X', start_us_,
+                        std::max(0.0, end_us - start_us_), std::move(args_)});
+}
+
+void TraceSession::complete(std::string name, double duration_seconds,
+                            std::vector<TraceArg> args) {
+  const double dur_us = std::max(0.0, duration_seconds * 1e6);
+  const double end_us = now_us();
+  record(Event{std::move(name), 'X', std::max(0.0, end_us - dur_us), dur_us,
+               std::move(args)});
+}
+
+void TraceSession::instant(std::string name, std::vector<TraceArg> args) {
+  record(Event{std::move(name), 'i', now_us(), 0.0, std::move(args)});
+}
+
+void TraceSession::record(Event e) {
+  std::lock_guard lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+std::size_t TraceSession::size() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+FDiamTrace TraceSession::fdiam_sink() {
+  return [this](const FDiamEvent& e) {
+    using Kind = FDiamEvent::Kind;
+    const auto value = static_cast<std::int64_t>(e.value);
+    const auto vertex = static_cast<std::int64_t>(e.vertex);
+    switch (e.kind) {
+      case Kind::kStart:
+        instant("start", {{"vertices", value}, {"u", vertex}});
+        break;
+      case Kind::kInitialBound:
+        complete("init", e.seconds, {{"bound", value}, {"u", vertex}});
+        break;
+      case Kind::kWinnow:
+        complete("winnow", e.seconds,
+                 {{"radius", value}, {"center", vertex}});
+        break;
+      case Kind::kChainsProcessed:
+        complete("chain", e.seconds, {{"removed", value}});
+        break;
+      case Kind::kEccentricity:
+        complete("ecc_bfs", e.seconds, {{"ecc", value}, {"vertex", vertex}});
+        break;
+      case Kind::kBoundRaised:
+        instant("bound_raised", {{"bound", value}, {"vertex", vertex}});
+        break;
+      case Kind::kEliminate:
+        complete("eliminate", e.seconds,
+                 {{"reach", value}, {"source", vertex}});
+        break;
+      case Kind::kExtendRegions:
+        complete("extend_regions", e.seconds, {{"bound", value}});
+        break;
+      case Kind::kDone:
+        complete("fdiam.run", e.seconds, {{"diameter", value}});
+        break;
+    }
+  };
+}
+
+BfsLevelHook TraceSession::bfs_level_sink() {
+  return [this](const BfsLevelProfile& p) {
+    complete(p.bottom_up ? "bfs_level/bottomup" : "bfs_level/topdown",
+             p.micros * 1e-6,
+             {{"traversal", static_cast<std::int64_t>(p.traversal)},
+              {"depth", static_cast<std::int64_t>(p.depth)},
+              {"frontier", static_cast<std::int64_t>(p.frontier)},
+              {"edges", static_cast<std::int64_t>(p.edges)}});
+  };
+}
+
+void TraceSession::write(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_array();
+  for (const Event& e : events_) {
+    w.begin_object();
+    w.field("name", std::string_view(e.name));
+    w.field("ph", std::string_view(&e.ph, 1));
+    w.field("ts", e.ts_us);
+    if (e.ph == 'X') w.field("dur", e.dur_us);
+    if (e.ph == 'i') w.field("s", std::string_view("g"));
+    w.field("pid", std::int64_t{1});
+    w.field("tid", std::int64_t{1});
+    if (!e.args.empty()) {
+      w.key("args").begin_object();
+      for (const TraceArg& a : e.args) {
+        w.key(a.key).raw(a.json_value);
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  os << '\n';
+}
+
+}  // namespace fdiam::obs

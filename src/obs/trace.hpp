@@ -1,0 +1,114 @@
+#pragma once
+// Chrome trace_event recording (the "JSON Array Format" understood by
+// Perfetto and chrome://tracing).
+//
+// A TraceSession collects events in memory — complete spans (ph "X") with
+// microsecond timestamps relative to session start, and instant markers
+// (ph "i") — and serializes them with write(). Spans come from three
+// sources:
+//   * RAII Span objects for caller-defined scopes (graph load, run, ...),
+//   * fdiam_sink(): an FDiamTrace adapter turning the solver's per-decision
+//     event stream into one span per stage invocation and one span per
+//     eccentricity BFS (FDiamEvent::seconds carries the duration),
+//   * bfs_level_sink(): an opt-in BfsLevelProfile adapter emitting one
+//     span per BFS level, named by traversal direction — this is the
+//     high-volume firehose that makes the direction-optimizing switch
+//     visible on a timeline.
+// Recording is mutex-protected so parallel sections may emit safely.
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/fdiam.hpp"
+#include "util/timer.hpp"
+
+namespace fdiam::obs {
+
+/// One key plus a JSON-ready value for a trace event's "args" object.
+struct TraceArg {
+  std::string key;
+  std::string json_value;  // pre-serialized: number, "quoted string", bool
+
+  TraceArg(std::string k, std::int64_t v)
+      : key(std::move(k)), json_value(std::to_string(v)) {}
+  TraceArg(std::string k, std::uint64_t v)
+      : key(std::move(k)), json_value(std::to_string(v)) {}
+  TraceArg(std::string k, int v)
+      : key(std::move(k)), json_value(std::to_string(v)) {}
+  TraceArg(std::string k, double v);
+  TraceArg(std::string k, bool v)
+      : key(std::move(k)), json_value(v ? "true" : "false") {}
+  TraceArg(std::string k, std::string_view v);
+};
+
+class TraceSession {
+ public:
+  TraceSession() = default;
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// RAII complete-span: records begin on construction, emits the "X"
+  /// event with the measured duration on destruction.
+  class Span {
+   public:
+    Span(TraceSession& session, std::string name,
+         std::vector<TraceArg> args = {});
+    ~Span();
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+   private:
+    TraceSession& session_;
+    std::string name_;
+    std::vector<TraceArg> args_;
+    double start_us_;
+  };
+
+  [[nodiscard]] Span span(std::string name, std::vector<TraceArg> args = {}) {
+    return Span(*this, std::move(name), std::move(args));
+  }
+
+  /// Record a complete span whose duration was measured externally; the
+  /// span is placed so it *ends* now (begin = now - duration).
+  void complete(std::string name, double duration_seconds,
+                std::vector<TraceArg> args = {});
+
+  /// Record an instant marker at the current time.
+  void instant(std::string name, std::vector<TraceArg> args = {});
+
+  /// Adapter for FDiamOptions::trace; the returned callable refers to
+  /// this session, which must outlive the solver run.
+  [[nodiscard]] FDiamTrace fdiam_sink();
+
+  /// Adapter for FDiamOptions::level_profile / BfsEngine::set_level_hook.
+  /// High volume: one event per BFS level across all traversals.
+  [[nodiscard]] BfsLevelHook bfs_level_sink();
+
+  /// Microseconds since session construction.
+  [[nodiscard]] double now_us() const { return clock_.seconds() * 1e6; }
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serialize every recorded event as a Chrome trace_event JSON array.
+  void write(std::ostream& os) const;
+
+ private:
+  struct Event {
+    std::string name;
+    char ph;        // 'X' complete, 'i' instant
+    double ts_us;   // relative to session start
+    double dur_us;  // 'X' only
+    std::vector<TraceArg> args;
+  };
+  void record(Event e);
+
+  Timer clock_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+}  // namespace fdiam::obs

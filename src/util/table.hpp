@@ -25,6 +25,15 @@ class Table {
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
 
+  /// Raw cell access for machine-readable exports (the bench harness's
+  /// JSON report serializes tables through these).
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data() const {
+    return rows_;
+  }
+
   // Formatting helpers for cells.
   static std::string fmt_double(double v, int precision = 3);
   static std::string fmt_sci(double v, int precision = 2);

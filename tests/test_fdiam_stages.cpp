@@ -132,6 +132,23 @@ TEST(Chain, StarOfChains) {
   EXPECT_GT(r2.stats.removed_by_chain, 50u);
 }
 
+TEST(Stats, TimeOtherIsClampedAtZero) {
+  // Regression: the stage timers round independently, so their sum can
+  // exceed time_total by a hair; time_other() must clamp, not go negative.
+  FDiamStats st;
+  st.time_total = 1.0;
+  st.time_init = 0.3;
+  st.time_winnow = 0.3;
+  st.time_chain = 0.2;
+  st.time_eliminate = 0.2;
+  st.time_ecc = 0.1;  // stage sum 1.1 > total
+  EXPECT_EQ(st.time_other(), 0.0);
+
+  // And on a real run the value is always non-negative.
+  const DiameterResult r = fdiam_diameter(make_grid(40, 40));
+  EXPECT_GE(r.stats.time_other(), 0.0);
+}
+
 TEST(Eliminate, DisablingItStillGivesExactDiameter) {
   FDiamOptions opt;
   opt.use_eliminate = false;

@@ -1,0 +1,326 @@
+// Tests for the observability subsystem: the JSON writer/validator, the
+// run-report schema, the per-level BFS profile, the metric registry, and
+// the bench harness's JSON report.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "bfs/bfs.hpp"
+#include "core/fdiam.hpp"
+#include "gen/generators.hpp"
+#include "graph/stats.hpp"
+#include "harness.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace fdiam {
+namespace {
+
+using obs::json_lookup;
+using obs::json_number;
+using obs::json_string;
+using obs::json_valid;
+using obs::JsonWriter;
+
+// --- JsonWriter -----------------------------------------------------------
+
+TEST(JsonWriter, NestedDocumentIsValid) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("name", std::string_view("fdiam"));
+  w.field("count", std::uint64_t{42});
+  w.field("ratio", 0.5);
+  w.field("ok", true);
+  w.key("nothing").null();
+  w.key("list").begin_array();
+  w.value(std::int64_t{1}).value(std::int64_t{2}).value(std::int64_t{3});
+  w.end_array();
+  w.key("nested").begin_object();
+  w.field("deep", std::string_view("value"));
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.depth(), 0);
+  EXPECT_TRUE(json_valid(os.str())) << os.str();
+  EXPECT_EQ(json_number(os.str(), "count"), 42.0);
+  EXPECT_EQ(json_string(os.str(), "nested.deep"), "value");
+  EXPECT_EQ(json_lookup(os.str(), "list.2"), "3");
+}
+
+TEST(JsonWriter, CompactModeAndEmptyContainers) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.key("empty_obj").begin_object().end_object();
+  w.key("empty_arr").begin_array().end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\"empty_obj\":{},\"empty_arr\":[]}");
+  EXPECT_TRUE(json_valid(os.str()));
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.field("k", std::string_view("a\"b\\c\nd\te\x01f"));
+  w.end_object();
+  EXPECT_TRUE(json_valid(os.str())) << os.str();
+  // Round-trip through the unescaper restores the original bytes.
+  EXPECT_EQ(json_string(os.str(), "k"), "a\"b\\c\nd\te\x01f");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+// --- Validator ------------------------------------------------------------
+
+TEST(JsonValidator, AcceptsWellFormedDocuments) {
+  for (const char* text :
+       {"{}", "[]", "null", "true", "42", "-1.5e9", "\"str\"",
+        R"({"a": [1, 2, {"b": null}], "c": "\u00e9\n"})", "  [1]  "}) {
+    EXPECT_TRUE(json_valid(text)) << text;
+  }
+}
+
+TEST(JsonValidator, RejectsMalformedDocuments) {
+  for (const char* text :
+       {"", "{", "}", "[1,]", "{\"a\":}", "{a: 1}", "{\"a\" 1}", "01",
+        "+1", "1.", "\"unterminated", "\"bad\\q\"", "[1] trailing",
+        "nulll", "{\"a\":1,}", "\"\\u12g4\""}) {
+    EXPECT_FALSE(json_valid(text)) << text;
+  }
+}
+
+TEST(JsonValidator, DepthCapStopsDeepRecursion) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(json_valid(deep));  // structurally fine but over the cap
+}
+
+TEST(JsonLookup, MissingPathsReturnNullopt) {
+  const std::string doc = R"({"a": {"b": [10, 20]}})";
+  EXPECT_EQ(json_lookup(doc, "a.b.1"), "20");
+  EXPECT_FALSE(json_lookup(doc, "a.c").has_value());
+  EXPECT_FALSE(json_lookup(doc, "a.b.7").has_value());
+  EXPECT_FALSE(json_lookup(doc, "a.b.x").has_value());
+  EXPECT_FALSE(json_number(doc, "a").has_value());  // object, not number
+}
+
+// --- RunReport ------------------------------------------------------------
+
+TEST(RunReport, RoundTripsKeyFields) {
+  const Csr g = make_grid(25, 25);
+  const GraphStats s = compute_stats(g);
+  FDiamOptions opt;
+  opt.start_policy = StartPolicy::kVertexZero;
+  const DiameterResult r = fdiam_diameter(g, opt);
+
+  obs::RunReport report = obs::make_run_report("grid25", s, opt, r);
+  report.metrics = {{"custom.metric", 7.0}};
+  std::ostringstream os;
+  report.write_json(os);
+  const std::string doc = os.str();
+
+  ASSERT_TRUE(json_valid(doc)) << doc;
+  EXPECT_EQ(json_string(doc, "schema"), "fdiam.run_report/v1");
+  EXPECT_EQ(json_string(doc, "graph.name"), "grid25");
+  EXPECT_EQ(json_number(doc, "graph.vertices"), 625.0);
+  EXPECT_EQ(json_number(doc, "result.diameter"),
+            static_cast<double>(r.diameter));
+  EXPECT_EQ(json_string(doc, "options.start_policy"), "vertex_zero");
+  EXPECT_EQ(json_number(doc, "stages.counts.bfs_calls"),
+            static_cast<double>(r.stats.bfs_calls));
+  EXPECT_EQ(json_number(doc, "stages.removed.evaluated"),
+            static_cast<double>(r.stats.evaluated));
+  EXPECT_EQ(json_number(doc, "bfs.traversals"),
+            static_cast<double>(r.bfs.traversals));
+  // Metric names may contain dots, so check presence textually.
+  EXPECT_NE(doc.find("\"custom.metric\": 7"), std::string::npos);
+  EXPECT_TRUE(json_string(doc, "env.timestamp").has_value());
+  EXPECT_GE(json_number(doc, "env.omp_max_threads").value_or(0.0), 1.0);
+  // Stage times must be present and non-negative, including "other".
+  EXPECT_GE(json_number(doc, "stages.times_s.other").value_or(-1.0), 0.0);
+  EXPECT_GE(json_number(doc, "stages.times_s.total").value_or(-1.0), 0.0);
+}
+
+// --- DiameterResult::bfs --------------------------------------------------
+
+TEST(ResultBfsStats, PopulatedAndResetPerRun) {
+  const Csr g = make_grid(30, 30);
+  FDiam solver(g);
+  const DiameterResult r1 = solver.run();
+  EXPECT_GT(r1.bfs.traversals, 0u);
+  EXPECT_GT(r1.bfs.levels, 0u);
+  EXPECT_EQ(r1.bfs.topdown_levels + r1.bfs.bottomup_levels, r1.bfs.levels);
+  EXPECT_GT(r1.bfs.edges_examined, 0u);
+  // A second run on the same solver reports that run only, not the sum.
+  const DiameterResult r2 = solver.run();
+  EXPECT_EQ(r1.bfs.traversals, r2.bfs.traversals);
+  EXPECT_EQ(r1.bfs.levels, r2.bfs.levels);
+}
+
+TEST(ResultBfsStats, BatchModeMergesPerThreadEngines) {
+  const Csr g = make_erdos_renyi(400, 900, 7);
+  FDiamOptions opt;
+  opt.candidate_batch = 4;
+  const DiameterResult r = fdiam_diameter(g, opt);
+  // The 2-sweep runs on the shared engine; the candidates run on local
+  // engines. All of it must land in result.bfs.
+  EXPECT_GE(r.bfs.traversals, r.stats.ecc_computations);
+}
+
+// --- Per-level BFS profile ------------------------------------------------
+
+TEST(BfsLevelProfile, FrontierSizesSumToVisitedCount) {
+  const Csr g = make_grid(20, 20);
+  for (const bool parallel : {false, true}) {
+    BfsEngine engine(g, BfsConfig{parallel, true, 0.1});
+    std::uint64_t frontier_sum = 0;
+    std::uint64_t hook_levels = 0;
+    engine.set_level_hook([&](const BfsLevelProfile& p) {
+      frontier_sum += p.frontier;
+      ++hook_levels;
+      EXPECT_GE(p.micros, 0.0);
+    });
+    engine.eccentricity(0);
+    EXPECT_EQ(frontier_sum, engine.last_visited_count()) << parallel;
+    EXPECT_EQ(hook_levels, engine.stats().levels);
+  }
+}
+
+TEST(BfsLevelProfile, DirectionCountsMatchEngineStats) {
+  // A star forces a huge level-2 frontier, so the hybrid engine must take
+  // at least one bottom-up level; the profile must agree with the stats.
+  const Csr g = make_star(2000);
+  BfsEngine engine(g, BfsConfig{false, true, 0.1});
+  std::uint64_t topdown = 0, bottomup = 0;
+  engine.set_level_hook([&](const BfsLevelProfile& p) {
+    (p.bottom_up ? bottomup : topdown)++;
+  });
+  engine.eccentricity(1);  // a leaf: levels leaf -> hub -> all other leaves
+  EXPECT_EQ(topdown, engine.stats().topdown_levels);
+  EXPECT_EQ(bottomup, engine.stats().bottomup_levels);
+  EXPECT_GT(bottomup, 0u);
+  EXPECT_EQ(topdown + bottomup, engine.stats().levels);
+}
+
+TEST(BfsLevelProfile, ThreadedThroughFDiamOptions) {
+  const Csr g = make_grid(25, 25);
+  std::uint64_t hook_levels = 0;
+  std::map<std::uint64_t, std::uint64_t> frontier_by_traversal;
+  FDiamOptions opt;
+  opt.level_profile = [&](const BfsLevelProfile& p) {
+    ++hook_levels;
+    frontier_by_traversal[p.traversal] += p.frontier;
+  };
+  const DiameterResult r = fdiam_diameter(g, opt);
+  // Every eccentricity BFS of the run is profiled, level by level.
+  EXPECT_EQ(hook_levels, r.bfs.levels);
+  EXPECT_EQ(frontier_by_traversal.size(), r.bfs.traversals);
+  std::uint64_t total = 0;
+  for (const auto& [traversal, sum] : frontier_by_traversal) total += sum;
+  EXPECT_EQ(total, r.bfs.vertices_visited);
+}
+
+// --- Metric registry ------------------------------------------------------
+
+TEST(MetricRegistry, CountersAndGaugesExpose) {
+  obs::MetricRegistry reg;
+  reg.counter("a.count").inc(3);
+  reg.counter("a.count").inc();
+  reg.gauge("b.gauge").set(1.5);
+  EXPECT_EQ(reg.counter("a.count").get(), 4);
+  EXPECT_EQ(reg.size(), 2u);
+
+  std::ostringstream text;
+  reg.write_text(text);
+  EXPECT_EQ(text.str(), "a.count 4\nb.gauge 1.5\n");
+
+  std::ostringstream js;
+  reg.write_json(js);
+  EXPECT_TRUE(json_valid(js.str())) << js.str();
+  // Metric names contain dots, which the dotted-path lookup would split,
+  // so check the emitted fields textually.
+  EXPECT_NE(js.str().find("\"a.count\":4"), std::string::npos) << js.str();
+  EXPECT_NE(js.str().find("\"b.gauge\":1.5"), std::string::npos) << js.str();
+
+  reg.reset_counters();
+  EXPECT_EQ(reg.counter("a.count").get(), 0);
+  EXPECT_EQ(reg.gauge("b.gauge").get(), 1.5);  // gauges keep their value
+}
+
+TEST(MetricRegistry, ConcurrentIncrementsAreLossless) {
+  obs::MetricRegistry reg;
+  constexpr int kIters = 20000;
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < kIters; ++i) {
+    reg.counter("hot").inc();
+    reg.gauge("last").set(static_cast<double>(i));
+  }
+  EXPECT_EQ(reg.counter("hot").get(), kIters);
+}
+
+TEST(MetricRegistry, GlobalRegistryIsAvailable) {
+  obs::Counter& c = obs::metrics().counter("test.obs.global");
+  const std::int64_t before = c.get();
+  c.inc();
+  EXPECT_EQ(obs::metrics().counter("test.obs.global").get(), before + 1);
+}
+
+// --- Bench harness JSON report --------------------------------------------
+
+TEST(BenchJson, SchemaStableReport) {
+  bench::reset_emitted_tables();
+  bench::BenchConfig cfg;
+  cfg.program = "unit_test";
+  cfg.scale = 0.25;
+  cfg.reps = 2;
+  cfg.budget = 5.0;
+  cfg.seed = 9;
+  cfg.inputs = {"alpha", "beta"};
+
+  Table t({"input", "seconds"});
+  t.add_row({"alpha", "0.5"});
+  t.add_row({"beta", "1.5"});
+  {
+    // emit() prints the table to stdout; silence it for the test log.
+    std::ostringstream sink;
+    auto* old = std::cout.rdbuf(sink.rdbuf());
+    bench::emit(t, cfg, "unit table");
+    std::cout.rdbuf(old);
+  }
+
+  std::ostringstream os;
+  bench::write_bench_json(os, cfg);
+  const std::string doc = os.str();
+  bench::reset_emitted_tables();
+
+  ASSERT_TRUE(json_valid(doc)) << doc;
+  EXPECT_EQ(json_string(doc, "schema"), "fdiam.bench_report/v1");
+  EXPECT_EQ(json_string(doc, "program"), "unit_test");
+  EXPECT_EQ(json_number(doc, "config.seed"), 9.0);
+  EXPECT_EQ(json_number(doc, "config.reps"), 2.0);
+  EXPECT_EQ(json_string(doc, "config.inputs.1"), "beta");
+  EXPECT_EQ(json_string(doc, "tables.0.title"), "unit table");
+  EXPECT_EQ(json_string(doc, "tables.0.columns.1"), "seconds");
+  EXPECT_EQ(json_string(doc, "tables.0.rows.1.0"), "beta");
+  EXPECT_TRUE(json_string(doc, "env.build_type").has_value());
+
+  const std::string prov = bench::provenance_line(cfg);
+  EXPECT_NE(prov.find("program=unit_test"), std::string::npos);
+  EXPECT_NE(prov.find("seed=9"), std::string::npos);
+  EXPECT_NE(prov.find("inputs=alpha,beta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fdiam

@@ -1,11 +1,15 @@
-// Tests for the F-Diam progress-trace facility.
+// Tests for the F-Diam progress-trace facility and the Chrome-trace
+// TraceSession built on top of it.
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <vector>
 
 #include "core/fdiam.hpp"
 #include "gen/generators.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 
 namespace fdiam {
 namespace {
@@ -72,6 +76,87 @@ TEST(Trace, NoTraceMeansNoOverheadPath) {
   FDiamOptions opt;
   EXPECT_FALSE(opt.trace);
   EXPECT_EQ(fdiam_diameter(make_cycle(16), opt).diameter, 8);
+}
+
+TEST(Trace, TimedEventsCarryDurations) {
+  const auto events = trace_run(make_grid(30, 30));
+  double ecc_seconds = 0.0;
+  for (const auto& e : events) {
+    if (e.kind == Kind::kEccentricity) ecc_seconds += e.seconds;
+    if (e.kind == Kind::kStart || e.kind == Kind::kBoundRaised) {
+      EXPECT_EQ(e.seconds, 0.0);  // point events
+    }
+  }
+  EXPECT_GT(ecc_seconds, 0.0);
+  EXPECT_GT(events.back().seconds, 0.0);  // kDone carries the total runtime
+  EXPECT_GE(events.back().seconds, ecc_seconds);
+}
+
+// --- TraceSession (Chrome trace_event output) -----------------------------
+
+TEST(TraceSession, FDiamSinkProducesValidBalancedTrace) {
+  const Csr g = make_grid(20, 20);
+  obs::TraceSession session;
+  FDiamOptions opt;
+  opt.trace = session.fdiam_sink();
+  const DiameterResult r = fdiam_diameter(g, opt);
+
+  std::ostringstream os;
+  session.write(os);
+  const std::string doc = os.str();
+  ASSERT_TRUE(obs::json_valid(doc)) << doc;
+  ASSERT_EQ(doc.front(), '[');  // Chrome trace "JSON Array Format"
+
+  // Balanced spans: every complete event carries a non-negative duration
+  // (counting occurrences textually keeps the test parser-free).
+  std::size_t spans = 0, ecc_spans = 0;
+  for (std::size_t pos = 0; (pos = doc.find("\"ph\":\"X\"", pos)) !=
+                            std::string::npos;
+       ++pos) {
+    ++spans;
+  }
+  for (std::size_t pos = 0;
+       (pos = doc.find("\"name\":\"ecc_bfs\"", pos)) != std::string::npos;
+       ++pos) {
+    ++ecc_spans;
+  }
+  std::size_t durs = 0;
+  for (std::size_t pos = 0;
+       (pos = doc.find("\"dur\":", pos)) != std::string::npos; ++pos) {
+    ++durs;
+  }
+  EXPECT_EQ(durs, spans);
+  // One span per main-loop eccentricity BFS (the 2-sweep pair is the
+  // "init" span), plus the top-level fdiam.run span.
+  EXPECT_EQ(ecc_spans, r.stats.ecc_computations - 2);
+  EXPECT_NE(doc.find("\"name\":\"fdiam.run\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"winnow\""), std::string::npos);
+}
+
+TEST(TraceSession, RaiiSpansAndInstantsRecord) {
+  obs::TraceSession session;
+  {
+    const auto outer = session.span("outer", {{"k", std::int64_t{1}}});
+    session.instant("marker", {{"note", std::string_view("hi")}});
+  }
+  EXPECT_EQ(session.size(), 2u);
+  std::ostringstream os;
+  session.write(os);
+  ASSERT_TRUE(obs::json_valid(os.str())) << os.str();
+  EXPECT_NE(os.str().find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"note\":\"hi\""), std::string::npos);
+}
+
+TEST(TraceSession, BfsLevelSinkEmitsOneSpanPerLevel) {
+  const Csr g = make_grid(15, 15);
+  obs::TraceSession session;
+  FDiamOptions opt;
+  opt.level_profile = session.bfs_level_sink();
+  const DiameterResult r = fdiam_diameter(g, opt);
+  EXPECT_EQ(session.size(), r.bfs.levels);
+  std::ostringstream os;
+  session.write(os);
+  EXPECT_TRUE(obs::json_valid(os.str()));
 }
 
 TEST(Trace, DisabledStagesEmitNoStageEvents) {
