@@ -1,0 +1,206 @@
+// bench_compare: diff two bench_regress reports with per-metric
+// thresholds; nonzero exit on regression so CI can gate on it.
+//
+//   ./bench_compare baseline.json candidate.json [--time-tol 0.25]
+//
+// Comparison policy (per case, matched by name):
+//  * deterministic metrics (diameter, bfs_calls, edges_examined,
+//    vertices_visited) must match exactly — the suite is fully seeded,
+//    so any drift is an algorithm change, not noise;
+//  * wall-clock (seconds_median) is one-sided: candidate may be faster
+//    without bound but at most --time-tol (default 25%) slower. Cases
+//    where both sides ran under --min-seconds are skipped as noise;
+//  * hardware counters are one-sided at --hw-tol (default 50% — counters
+//    are stable but multiplexing and frequency scaling add variance);
+//  * peak RSS is one-sided at --mem-tol (default 25%);
+//  * a metric null/absent on either side is skipped (counters degrade to
+//    null on machines without a PMU), so reports from different machines
+//    still compare on their common subset.
+//
+// Exit status: 0 pass, 1 regression (or missing case), 2 usage/parse.
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/perf/hw_counters.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace fdiam;
+
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string case_path(std::size_t i, std::string_view field) {
+  return "cases." + std::to_string(i) + "." + std::string(field);
+}
+
+/// Index of the case named `name` in `text`, scanning the cases array.
+std::optional<std::size_t> find_case(std::string_view text,
+                                     const std::string& name) {
+  for (std::size_t i = 0;; ++i) {
+    const auto n = obs::json_string(text, case_path(i, "name"));
+    if (!n) return std::nullopt;
+    if (*n == name) return i;
+  }
+}
+
+struct Comparison {
+  Table table{{"case", "metric", "baseline", "candidate", "delta", "verdict"}};
+  int regressions = 0;
+  int compared = 0;
+  int skipped = 0;
+
+  /// Record one metric row. `tol < 0` means exact match required;
+  /// otherwise candidate <= baseline * (1 + tol) passes (one-sided:
+  /// improvements never fail).
+  void check(const std::string& case_name, const std::string& metric,
+             std::optional<double> base, std::optional<double> cand,
+             double tol) {
+    if (!base || !cand) {
+      ++skipped;
+      return;
+    }
+    ++compared;
+    bool ok;
+    std::string delta;
+    if (tol < 0.0) {
+      ok = *base == *cand;
+      delta = ok ? "=" : "!=";
+    } else {
+      ok = *cand <= *base * (1.0 + tol);
+      const double rel =
+          *base > 0.0 ? (*cand - *base) / *base : (*cand > 0.0 ? 1.0 : 0.0);
+      delta = (rel >= 0 ? "+" : "") + Table::fmt_double(rel * 100.0, 1) + "%";
+    }
+    if (!ok) ++regressions;
+    // Keep the table small: exact matches within tolerance are the
+    // common case; only print headline metrics and every failure.
+    if (!ok || tol < 0.0 || metric == "seconds_median" ||
+        metric == "peak_rss_bytes") {
+      table.add_row({case_name, metric, Table::fmt_double(*base, 4),
+                     Table::fmt_double(*cand, 4), delta,
+                     ok ? "ok" : "REGRESS"});
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_option("time-tol", "allowed seconds_median slowdown (fraction)",
+                 "0.25");
+  cli.add_option("hw-tol", "allowed hardware-counter growth (fraction)",
+                 "0.5");
+  cli.add_option("mem-tol", "allowed peak-RSS growth (fraction)", "0.25");
+  cli.add_option("min-seconds",
+                 "skip the time check when both sides ran faster than this",
+                 "0.01");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n"
+              << cli.usage("bench_compare baseline.json candidate.json");
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage("bench_compare baseline.json candidate.json");
+    return 0;
+  }
+  if (cli.positional().size() != 2) {
+    std::cerr << "need exactly two report files\n"
+              << cli.usage("bench_compare baseline.json candidate.json");
+    return 2;
+  }
+  const double time_tol = cli.get_double("time-tol", 0.25);
+  const double hw_tol = cli.get_double("hw-tol", 0.5);
+  const double mem_tol = cli.get_double("mem-tol", 0.25);
+  const double min_seconds = cli.get_double("min-seconds", 0.01);
+
+  const std::string base_path = cli.positional()[0];
+  const std::string cand_path = cli.positional()[1];
+  const auto base = slurp(base_path);
+  const auto cand = slurp(cand_path);
+  if (!base || !cand) {
+    std::cerr << "cannot read " << (base ? cand_path : base_path) << "\n";
+    return 2;
+  }
+  for (const auto& [path, text] :
+       {std::pair{&base_path, &*base}, std::pair{&cand_path, &*cand}}) {
+    if (const auto diag = obs::json_diagnose(*text)) {
+      std::cerr << *path << ": invalid JSON: " << *diag << "\n";
+      return 2;
+    }
+    const auto schema = obs::json_string(*text, "schema");
+    if (!schema || *schema != "fdiam.bench_report/v1") {
+      std::cerr << *path << ": not a fdiam.bench_report/v1 document\n";
+      return 2;
+    }
+  }
+
+  Comparison cmp;
+  std::size_t n_cases = 0;
+  for (std::size_t i = 0;; ++i) {
+    const auto name = obs::json_string(*base, case_path(i, "name"));
+    if (!name) break;
+    ++n_cases;
+    const auto j = find_case(*cand, *name);
+    if (!j) {
+      std::cerr << "case " << *name << " missing from " << cand_path << "\n";
+      ++cmp.regressions;
+      continue;
+    }
+    const auto b = [&](std::string_view f) {
+      return obs::json_number(*base, case_path(i, f));
+    };
+    const auto c = [&](std::string_view f) {
+      return obs::json_number(*cand, case_path(*j, f));
+    };
+
+    for (const char* exact :
+         {"diameter", "bfs_calls", "edges_examined", "vertices_visited"}) {
+      cmp.check(*name, exact, b(exact), c(exact), -1.0);
+    }
+
+    const auto bt = b("seconds_median");
+    const auto ct = c("seconds_median");
+    if (bt && ct && std::max(*bt, *ct) < min_seconds) {
+      ++cmp.skipped;  // sub-centisecond runs are timer noise
+    } else {
+      cmp.check(*name, "seconds_median", bt, ct, time_tol);
+    }
+
+    for (std::size_t e = 0; e < obs::kHwEventCount; ++e) {
+      const auto ev = static_cast<obs::HwEvent>(e);
+      const std::string field =
+          "hardware.counters." + std::string(obs::hw_event_name(ev));
+      cmp.check(*name, std::string(obs::hw_event_name(ev)), b(field),
+                c(field), hw_tol);
+    }
+
+    cmp.check(*name, "peak_rss_bytes", b("memory.peak_rss_bytes"),
+              c("memory.peak_rss_bytes"), mem_tol);
+  }
+  if (n_cases == 0) {
+    std::cerr << base_path << ": no cases found\n";
+    return 2;
+  }
+
+  cmp.table.print(std::cout);
+  std::cout << n_cases << " case(s): " << cmp.compared << " metrics compared, "
+            << cmp.skipped << " skipped (unavailable/noise), "
+            << cmp.regressions << " regression(s)\n";
+  return cmp.regressions == 0 ? 0 : 1;
+}

@@ -1,0 +1,237 @@
+// bench_regress: fixed regression-tracking benchmark suite.
+//
+// Unlike the per-table bench binaries (which mirror the paper's
+// experiments), this one exists to be diffed against itself across
+// commits: a small, fully seeded set of synthetic inputs spanning the
+// algorithm's regimes (mesh, power-law, chain-heavy), run with hardware
+// counters and memory watermarks on, and written as one
+// fdiam.bench_report/v1 document whose "cases" array carries raw numbers
+// (not formatted table cells) so bench_compare can apply per-metric
+// thresholds.
+//
+//   ./bench_regress --out-dir perf/           # writes BENCH_<n>.json
+//   ./bench_regress --out baseline.json
+//   ./bench_compare baseline.json candidate.json
+//
+// Determinism contract: every input is generated from a fixed seed, so
+// diameter, bfs_calls, and edges_examined must be bit-identical between
+// two builds of the same algorithm — bench_compare checks them exactly.
+// Only time/hardware/memory metrics get tolerance thresholds.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/fdiam.hpp"
+#include "gen/generators.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace fdiam;
+
+struct CaseResult {
+  std::string name;
+  std::uint64_t vertices = 0;
+  std::uint64_t arcs = 0;
+  dist_t diameter = 0;
+  bool timed_out = false;
+  double seconds_median = 0.0;
+  std::uint64_t bfs_calls = 0;
+  std::uint64_t edges_examined = 0;
+  std::uint64_t vertices_visited = 0;
+  obs::HwCounters hardware;
+  obs::MemProfile memory;
+};
+
+/// The suite: one representative per structural regime the paper's
+/// stages target. Sizes are chosen so the full suite at --reps 3 stays
+/// under ~10 s on one laptop core; scaling them would invalidate stored
+/// baselines, so they are deliberately NOT configurable.
+std::vector<std::pair<std::string, Csr>> build_cases(std::uint64_t seed) {
+  std::vector<std::pair<std::string, Csr>> cases;
+  // Mesh regime: wide frontiers, direction-optimizing BFS territory.
+  cases.emplace_back("grid_200x150", make_grid(200, 150));
+  // Power-law regime: small diameter, Winnow/Eliminate territory.
+  cases.emplace_back("rmat_s13_e8",
+                     make_rmat(13, 8.0, 0.45, 0.22, 0.22, seed));
+  // Chain-heavy regimes: Chain Processing territory.
+  cases.emplace_back("caterpillar_4k", make_caterpillar(4000, 3));
+  cases.emplace_back("random_tree_20k", make_random_tree(20000, seed + 1));
+  // Road regime: huge diameter, degree-2 chains plus grid structure.
+  RoadOptions road;
+  road.grid_width = 72;
+  road.grid_height = 72;
+  cases.emplace_back("road_72", make_road_network(road, seed + 2));
+  return cases;
+}
+
+CaseResult run_case(const std::string& name, const Csr& g, int reps,
+                    double budget) {
+  CaseResult out;
+  out.name = name;
+  out.vertices = g.num_vertices();
+  out.arcs = g.num_arcs();
+
+  FDiamOptions opt;
+  opt.hw_counters = true;
+  opt.time_budget_seconds = budget;
+
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    const DiameterResult res = fdiam_diameter(g, opt);
+    times.push_back(t.seconds());
+    out.diameter = res.diameter;
+    out.timed_out = res.timed_out;
+    out.bfs_calls = res.stats.bfs_calls;
+    out.edges_examined = res.bfs.edges_examined;
+    out.vertices_visited = res.bfs.vertices_visited;
+    out.hardware = res.hardware;
+    out.memory = res.memory;
+    if (res.timed_out) break;  // repeating a T/O only doubles the wait
+  }
+  std::sort(times.begin(), times.end());
+  out.seconds_median = times[times.size() / 2];
+  return out;
+}
+
+void write_report(std::ostream& os, const std::vector<CaseResult>& cases,
+                  int reps, std::uint64_t seed, double budget) {
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", std::string_view("fdiam.bench_report/v1"));
+  w.field("program", std::string_view("bench_regress"));
+  w.field("kind", std::string_view("regress"));
+
+  w.key("config").begin_object();
+  w.field("reps", reps);
+  w.field("seed", seed);
+  w.field("budget_s", budget);
+  w.end_object();
+
+  obs::write_env_fields(w, obs::capture_env());
+
+  w.key("cases").begin_array();
+  for (const CaseResult& c : cases) {
+    w.begin_object();
+    w.field("name", std::string_view(c.name));
+    w.field("vertices", c.vertices);
+    w.field("arcs", c.arcs);
+    w.field("diameter", static_cast<std::int64_t>(c.diameter));
+    w.field("timed_out", c.timed_out);
+    w.field("seconds_median", c.seconds_median);
+    w.field("bfs_calls", c.bfs_calls);
+    w.field("edges_examined", c.edges_examined);
+    w.field("vertices_visited", c.vertices_visited);
+
+    w.key("hardware").begin_object();
+    w.field("available", c.hardware.any());
+    w.key("counters").begin_object();
+    for (std::size_t i = 0; i < obs::kHwEventCount; ++i) {
+      const auto ev = static_cast<obs::HwEvent>(i);
+      w.key(obs::hw_event_name(ev));
+      if (c.hardware.has(ev)) {
+        w.value(c.hardware.get(ev));
+      } else {
+        w.null();
+      }
+    }
+    w.end_object();
+    w.end_object();
+
+    w.key("memory").begin_object();
+    w.field("available", c.memory.available);
+    if (c.memory.available) {
+      w.field("peak_rss_bytes", c.memory.peak_rss_bytes);
+      w.field("rss_delta_bytes", c.memory.rss_delta_bytes());
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+/// Next free BENCH_<n>.json in `dir`, counting up from 1 — successive
+/// runs accumulate a perf trajectory instead of overwriting it.
+std::filesystem::path next_free_slot(const std::filesystem::path& dir) {
+  for (int n = 1;; ++n) {
+    std::filesystem::path p = dir / ("BENCH_" + std::to_string(n) + ".json");
+    if (!std::filesystem::exists(p)) return p;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_option("reps", "runs per case (median wall-clock kept)", "3");
+  cli.add_option("seed", "generator seed (changing it invalidates stored "
+                 "baselines)", "42");
+  cli.add_option("budget", "per-run time budget in seconds", "60");
+  cli.add_option("out", "write the report to exactly this path");
+  cli.add_option("out-dir",
+                 "write the report to the next free BENCH_<n>.json here");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage("bench_regress");
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage("bench_regress");
+    return 0;
+  }
+
+  const int reps = std::max(1, static_cast<int>(cli.get_int("reps", 3)));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const double budget = cli.get_double("budget", 60.0);
+
+  std::vector<CaseResult> results;
+  Table t({"case", "vertices", "arcs", "diameter", "median (s)", "BFS",
+           "edges examined"});
+  for (const auto& [name, g] : build_cases(seed)) {
+    std::cerr << "[regress] " << name << " ... " << std::flush;
+    CaseResult c = run_case(name, g, reps, budget);
+    std::cerr << (c.timed_out ? "T/O" : Table::fmt_double(c.seconds_median, 3))
+              << "\n";
+    t.add_row({c.name, Table::fmt_count(c.vertices), Table::fmt_count(c.arcs),
+               std::to_string(c.diameter),
+               c.timed_out ? "T/O" : Table::fmt_double(c.seconds_median, 4),
+               Table::fmt_count(c.bfs_calls),
+               Table::fmt_count(c.edges_examined)});
+    results.push_back(std::move(c));
+  }
+  t.print(std::cout);
+
+  std::filesystem::path out_path;
+  if (cli.has("out")) {
+    out_path = cli.get("out");
+  } else if (cli.has("out-dir")) {
+    const std::filesystem::path dir = cli.get("out-dir");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    out_path = next_free_slot(dir);
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot write report to " << out_path << "\n";
+      return 1;
+    }
+    write_report(out, results, reps, seed, budget);
+    std::cout << "wrote " << out_path.string() << "\n";
+  } else {
+    write_report(std::cout, results, reps, seed, budget);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+# verify-regress ctest driver (run via `cmake -P`): exercises the
+# regression-benchmark pipeline end-to-end. Produces a BENCH_<n>.json with
+# bench_regress, validates it with json_check, and bench_compares it
+# against itself — which must pass with zero diff, proving the
+# deterministic metrics really are deterministic and the comparator's
+# parse/threshold logic accepts its own producer. Variables passed by the
+# add_test() invocation:
+#   BENCH_REGRESS  path to the bench_regress binary
+#   BENCH_COMPARE  path to the bench_compare binary
+#   JSON_CHECK     path to the json_check binary
+#   WORK_DIR       scratch directory for the emitted files
+
+# Fresh scratch dir so the slot counter always starts at BENCH_1.json.
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${BENCH_REGRESS}" --reps 1 --out-dir "${WORK_DIR}"
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_regress failed (exit ${rc})")
+endif()
+
+file(GLOB reports "${WORK_DIR}/BENCH_*.json")
+list(LENGTH reports n_reports)
+if(NOT n_reports EQUAL 1)
+  message(FATAL_ERROR
+          "expected exactly one BENCH_<n>.json, found ${n_reports}")
+endif()
+list(GET reports 0 report)
+
+execute_process(COMMAND "${JSON_CHECK}" "${report}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_regress report failed JSON validation")
+endif()
+
+# Schema smoke checks: schema tag, cases array, and the hardware/memory
+# blocks (present even when degraded to available=false).
+file(READ "${report}" report_text)
+foreach(needle "fdiam.bench_report/v1" "\"cases\"" "\"hardware\""
+        "\"memory\"" "\"seconds_median\"")
+  string(FIND "${report_text}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "regress report is missing ${needle}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${BENCH_COMPARE}" "${report}" "${report}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE cmp_out ERROR_VARIABLE cmp_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "self-compare reported a regression (exit ${rc}):\n"
+          "${cmp_out}${cmp_err}")
+endif()
+if(NOT cmp_out MATCHES "0 regression")
+  message(FATAL_ERROR "self-compare summary missing: ${cmp_out}")
+endif()

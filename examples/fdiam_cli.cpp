@@ -16,10 +16,12 @@
 //   --progress             live progress line on stderr
 //   --stats                per-stage table + BFS traversal counters
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "core/fdiam.hpp"
 #include "gen/suite.hpp"
@@ -105,6 +107,9 @@ int main(int argc, char** argv) {
   cli.add_flag("center-start",
                "anchor Winnow at a 4-sweep center (extension ablation)");
   cli.add_flag("stats", "print per-stage statistics and BFS counters");
+  cli.add_flag("hw-counters",
+               "collect hardware perf counters + memory watermarks "
+               "(implied by --stats/--json-report)");
 
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage("fdiam_cli");
@@ -170,6 +175,10 @@ int main(int argc, char** argv) {
                                            : StartPolicy::kMaxDegree;
   if (cli.get_bool("center-start")) opt.start_policy = StartPolicy::kFourSweepCenter;
   opt.time_budget_seconds = cli.get_double("budget", 0.0);
+  // Counters are opt-in at the library level; any observability consumer
+  // here wants them (they degrade to "unavailable", never fail a run).
+  opt.hw_counters =
+      cli.get_bool("hw-counters") || cli.get_bool("stats") || want_report;
 
   // Fan the solver's event stream out to every requested consumer.
   std::vector<FDiamTrace> sinks;
@@ -244,6 +253,57 @@ int main(int argc, char** argv) {
     b.add_row({"edges examined", Table::fmt_count(bfs.edges_examined)});
     b.add_row({"vertices visited", Table::fmt_count(bfs.vertices_visited)});
     b.print(human);
+
+    // Hardware efficiency: what the traversal cost the machine, not just
+    // the clock. Every row degrades to "-" when its counter was refused.
+    const obs::HwCounters& hw = r.hardware;
+    if (hw.any()) {
+      const double edges = std::max<double>(1.0, bfs.edges_examined);
+      const auto fmt_opt = [](const std::optional<double>& v, int digits) {
+        return v ? Table::fmt_double(*v, digits) : std::string("-");
+      };
+      Table h({"hardware metric", "value"});
+      for (std::size_t i = 0; i < obs::kHwEventCount; ++i) {
+        const auto ev = static_cast<obs::HwEvent>(i);
+        h.add_row({std::string(obs::hw_event_name(ev)),
+                   hw.has(ev) ? Table::fmt_count(hw.get(ev))
+                              : std::string("-")});
+      }
+      h.add_row({"ipc", fmt_opt(hw.ipc(), 3)});
+      h.add_row({"cache miss rate", fmt_opt(hw.cache_miss_rate(), 4)});
+      h.add_row({"cycles / edge", fmt_opt(hw.per(obs::HwEvent::kCycles, edges), 2)});
+      h.add_row({"instructions / edge",
+                 fmt_opt(hw.per(obs::HwEvent::kInstructions, edges), 2)});
+      h.add_row({"cache misses / edge",
+                 fmt_opt(hw.per(obs::HwEvent::kCacheMisses, edges), 4)});
+      if (r.hw_multiplex_scale > 1.0) {
+        h.add_row({"multiplex scale",
+                   Table::fmt_double(r.hw_multiplex_scale, 3)});
+      }
+      h.print(human);
+      if (!r.hw_unavailable_reason.empty()) {
+        human << "note: some counters unavailable ("
+              << r.hw_unavailable_reason << ")\n";
+      }
+    } else {
+      human << "hardware counters unavailable"
+            << (r.hw_unavailable_reason.empty()
+                    ? std::string()
+                    : " (" + r.hw_unavailable_reason + ")")
+            << "\n";
+    }
+    if (r.memory.available) {
+      const double n_bytes = std::max<double>(1.0, s.vertices);
+      Table m({"memory metric", "value"});
+      m.add_row({"peak RSS (bytes)", Table::fmt_count(r.memory.peak_rss_bytes)});
+      m.add_row({"RSS delta (bytes)",
+                 Table::fmt_count(r.memory.rss_delta_bytes())});
+      m.add_row({"peak RSS bytes / vertex",
+                 Table::fmt_double(
+                     static_cast<double>(r.memory.peak_rss_bytes) / n_bytes,
+                     1)});
+      m.print(human);
+    }
   }
 
   if (want_report) {

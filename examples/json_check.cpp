@@ -35,11 +35,11 @@ int main(int argc, char** argv) {
       buf << in.rdbuf();
     }
     const std::string text = buf.str();
-    if (fdiam::obs::json_valid(text)) {
-      std::cout << path << ": valid JSON (" << text.size() << " bytes)\n";
-    } else {
-      std::cerr << path << ": INVALID JSON\n";
+    if (const auto diag = fdiam::obs::json_diagnose(text)) {
+      std::cerr << path << ": INVALID JSON: " << *diag << "\n";
       ++failures;
+    } else {
+      std::cout << path << ": valid JSON (" << text.size() << " bytes)\n";
     }
   }
   return failures == 0 ? 0 : 1;

@@ -7,6 +7,7 @@
 #include <cassert>
 
 #include "core/two_sweep.hpp"
+#include "obs/perf/perf_session.hpp"
 #include "util/rng.hpp"
 
 namespace fdiam {
@@ -23,6 +24,12 @@ FDiam::FDiam(const Csr& g, FDiamOptions opt)
       aux_next_(g.num_vertices()),
       elim_visited_(g.num_vertices()) {
   if (opt_.level_profile) engine_.set_level_hook(opt_.level_profile);
+}
+
+FDiam::~FDiam() = default;
+
+obs::HwCounters FDiam::hw_snapshot() const {
+  return perf_ ? perf_->read() : obs::HwCounters{};
 }
 
 void FDiam::mark_removed(vid_t v, dist_t value, Stage stage) {
@@ -77,6 +84,31 @@ DiameterResult FDiam::run() {
   engine_.reset_stats();  // result.bfs reports this run only
   run_timer_.reset();
 
+  // Hardware/software counter session (opt-in; see FDiamOptions). The
+  // session is opened once and reused across repeated run() calls.
+  if (opt_.hw_counters && !perf_) {
+    perf_ = std::make_unique<obs::PerfSession>();
+  }
+  obs::MemWatermark mem_start;
+  if (opt_.hw_counters) {
+    mem_start = obs::read_mem_watermark();
+    if (perf_) perf_->start();
+  }
+  const auto finalize_hw = [&](DiameterResult& res) {
+    if (!opt_.hw_counters) return;
+    if (perf_) {
+      res.hardware = perf_->read();
+      res.hw_multiplex_scale = perf_->multiplex_scale();
+      res.hw_unavailable_reason = perf_->reason();
+      perf_->stop();
+    }
+    const obs::MemWatermark mem_end = obs::read_mem_watermark();
+    res.memory.available = mem_end.available;
+    res.memory.peak_rss_bytes = mem_end.peak_rss_bytes;
+    res.memory.rss_start_bytes = mem_start.current_rss_bytes;
+    res.memory.rss_end_bytes = mem_end.current_rss_bytes;
+  };
+
   DiameterResult result;
   if (n == 0) return result;
   if (g_.num_arcs() == 0) {
@@ -85,6 +117,7 @@ DiameterResult FDiam::run() {
     result.connected = n <= 1;
     finalize_stats();
     result.stats = stats_;
+    finalize_hw(result);
     return result;
   }
 
@@ -95,6 +128,7 @@ DiameterResult FDiam::run() {
   }
 
   // --- Initial diameter (§4.1): 2-sweep from the start vertex u ----------
+  const obs::HwCounters hw_before_init = hw_snapshot();
   vid_t u;
   switch (opt_.start_policy) {
     case StartPolicy::kVertexZero:
@@ -153,7 +187,9 @@ DiameterResult FDiam::run() {
     }
     stats_.time_init += t.seconds();
   }
-  emit(FDiamEvent::Kind::kInitialBound, bound, u, stats_.time_init);
+  stats_.hw_init = obs::HwCounters::delta(hw_snapshot(), hw_before_init);
+  emit(FDiamEvent::Kind::kInitialBound, bound, u, stats_.time_init,
+       perf_ ? &stats_.hw_init : nullptr);
 
   // The first BFS visits exactly u's component: fewer vertices than the
   // non-isolated count means the input is disconnected (paper §1: the true
@@ -170,15 +206,21 @@ DiameterResult FDiam::run() {
   // --- Winnow (§4.2) and Chain Processing (§4.3) --------------------------
   if (opt_.use_winnow) {
     Timer t;
+    const obs::HwCounters hw0 = hw_snapshot();
     winnow_extend(bound);
+    stats_.hw_winnow += obs::HwCounters::delta(hw_snapshot(), hw0);
     stats_.time_winnow += t.seconds();
   }
   if (opt_.use_chain) {
     Timer t;
+    const obs::HwCounters hw0 = hw_snapshot();
     process_chains();
+    const obs::HwCounters hw_d = obs::HwCounters::delta(hw_snapshot(), hw0);
+    stats_.hw_chain += hw_d;
     const double chain_seconds = t.seconds();
     stats_.time_chain += chain_seconds;
-    emit(FDiamEvent::Kind::kChainsProcessed, 0, 0, chain_seconds);
+    emit(FDiamEvent::Kind::kChainsProcessed, 0, 0, chain_seconds,
+         perf_ ? &hw_d : nullptr);
   }
 
   // --- Main loop (Alg. 1 lines 6-21) --------------------------------------
@@ -222,6 +264,7 @@ DiameterResult FDiam::run() {
       }
 
       Timer t_ecc;
+      const obs::HwCounters hw_batch0 = hw_snapshot();
       batch_ecc.assign(batch.size(), 0);
 #pragma omp parallel if (opt_.parallel)
       {
@@ -240,6 +283,7 @@ DiameterResult FDiam::run() {
         batch_bfs += local.stats();
       }
       stats_.ecc_computations += batch.size();
+      stats_.hw_ecc += obs::HwCounters::delta(hw_snapshot(), hw_batch0);
       stats_.time_ecc += t_ecc.seconds();
 
       // Serial pruning phase, in batch order.
@@ -253,10 +297,20 @@ DiameterResult FDiam::run() {
           bound = ecc;
           result.witness = v;
           emit(FDiamEvent::Kind::kBoundRaised, bound, v);
-          if (opt_.use_winnow) winnow_extend(bound);
-          if (opt_.use_eliminate) extend_eliminated(old, bound);
+          if (opt_.use_winnow) {
+            const obs::HwCounters hw0 = hw_snapshot();
+            winnow_extend(bound);
+            stats_.hw_winnow += obs::HwCounters::delta(hw_snapshot(), hw0);
+          }
+          if (opt_.use_eliminate) {
+            const obs::HwCounters hw0 = hw_snapshot();
+            extend_eliminated(old, bound);
+            stats_.hw_eliminate += obs::HwCounters::delta(hw_snapshot(), hw0);
+          }
         } else if (opt_.use_eliminate) {
+          const obs::HwCounters hw0 = hw_snapshot();
           eliminate(v, ecc, bound, Stage::kEliminate);
+          stats_.hw_eliminate += obs::HwCounters::delta(hw_snapshot(), hw0);
         }
       }
     }
@@ -265,7 +319,9 @@ DiameterResult FDiam::run() {
     result.stats = stats_;
     result.bfs = engine_.stats();
     result.bfs += batch_bfs;
-    emit(FDiamEvent::Kind::kDone, bound, 0, stats_.time_total);
+    finalize_hw(result);
+    emit(FDiamEvent::Kind::kDone, bound, 0, stats_.time_total,
+         perf_ ? &result.hardware : nullptr);
     return result;
   }
 
@@ -278,12 +334,17 @@ DiameterResult FDiam::run() {
     }
 
     Timer t_ecc;
+    const obs::HwCounters hw_ecc0 = hw_snapshot();
     const dist_t ecc = engine_.eccentricity(v);
     ++stats_.ecc_computations;
+    const obs::HwCounters hw_ecc_d =
+        obs::HwCounters::delta(hw_snapshot(), hw_ecc0);
+    stats_.hw_ecc += hw_ecc_d;
     const double ecc_seconds = t_ecc.seconds();
     stats_.time_ecc += ecc_seconds;
     mark_removed(v, ecc, Stage::kEvaluated);
-    emit(FDiamEvent::Kind::kEccentricity, ecc, v, ecc_seconds);
+    emit(FDiamEvent::Kind::kEccentricity, ecc, v, ecc_seconds,
+         perf_ ? &hw_ecc_d : nullptr);
 
     if (ecc > bound) {
       // New lower bound: extend the winnowed region and every previously
@@ -294,25 +355,35 @@ DiameterResult FDiam::run() {
       emit(FDiamEvent::Kind::kBoundRaised, bound, v);
       if (opt_.use_winnow) {
         Timer t;
+        const obs::HwCounters hw0 = hw_snapshot();
         winnow_extend(bound);
+        stats_.hw_winnow += obs::HwCounters::delta(hw_snapshot(), hw0);
         stats_.time_winnow += t.seconds();
       }
       if (opt_.use_eliminate) {
         Timer t;
+        const obs::HwCounters hw0 = hw_snapshot();
         extend_eliminated(old, bound);
+        const obs::HwCounters hw_d = obs::HwCounters::delta(hw_snapshot(), hw0);
+        stats_.hw_eliminate += hw_d;
         const double ext_seconds = t.seconds();
         stats_.time_eliminate += ext_seconds;
-        emit(FDiamEvent::Kind::kExtendRegions, bound, 0, ext_seconds);
+        emit(FDiamEvent::Kind::kExtendRegions, bound, 0, ext_seconds,
+             perf_ ? &hw_d : nullptr);
       }
     } else if (opt_.use_eliminate) {
       // ecc == bound removes only v itself (already recorded above);
       // eliminate() is a no-op in that case (paper §4.5).
       Timer t;
+      const obs::HwCounters hw0 = hw_snapshot();
       eliminate(v, ecc, bound, Stage::kEliminate);
+      const obs::HwCounters hw_d = obs::HwCounters::delta(hw_snapshot(), hw0);
+      stats_.hw_eliminate += hw_d;
       const double elim_seconds = t.seconds();
       stats_.time_eliminate += elim_seconds;
       if (ecc < bound) {
-        emit(FDiamEvent::Kind::kEliminate, bound - ecc, v, elim_seconds);
+        emit(FDiamEvent::Kind::kEliminate, bound - ecc, v, elim_seconds,
+             perf_ ? &hw_d : nullptr);
       }
     }
   }
@@ -321,7 +392,9 @@ DiameterResult FDiam::run() {
   finalize_stats();
   result.stats = stats_;
   result.bfs = engine_.stats();
-  emit(FDiamEvent::Kind::kDone, bound, 0, stats_.time_total);
+  finalize_hw(result);
+  emit(FDiamEvent::Kind::kDone, bound, 0, stats_.time_total,
+       perf_ ? &result.hardware : nullptr);
   return result;
 }
 

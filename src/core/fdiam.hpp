@@ -22,14 +22,21 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "bfs/bfs.hpp"
 #include "graph/csr.hpp"
+#include "obs/perf/hw_counters.hpp"
 #include "util/timer.hpp"
 #include "util/types.hpp"
 
 namespace fdiam {
+
+namespace obs {
+class PerfSession;  // owned by FDiam when hw_counters is on
+}
 
 /// Progress events emitted by FDiam when a trace sink is installed —
 /// one event per algorithmic decision (never per vertex/edge), so the
@@ -56,6 +63,11 @@ struct FDiamEvent {
   /// (kStart, kBoundRaised) and for batch-mode eccentricities, where only
   /// the batch is timed. Telemetry sinks turn these into trace spans.
   double seconds = 0.0;
+  /// Hardware/software counter delta of the work this event reports,
+  /// populated for the same timed events as `seconds` when
+  /// FDiamOptions::hw_counters is on and the counters opened. Only valid
+  /// during the trace callback — sinks must copy what they keep.
+  const obs::HwCounters* hw = nullptr;
 };
 
 /// Trace sink; see FDiamOptions::trace.
@@ -109,6 +121,14 @@ struct FDiamOptions {
   double time_budget_seconds = 0.0;
   std::uint64_t max_bfs_calls = 0;
 
+  /// Collect Linux perf_event hardware/software counters and an RSS
+  /// watermark per stage and per run (obs/perf/). Degrades gracefully —
+  /// kernels/containers without perf access report the counters as
+  /// unavailable, never fail — but still costs a handful of read()
+  /// syscalls per stage, so it is opt-in. The counters cover the calling
+  /// thread and descendants spawned after run() starts.
+  bool hw_counters = false;
+
   /// Optional per-decision progress sink (see FDiamEvent).
   FDiamTrace trace;
 
@@ -155,6 +175,15 @@ struct FDiamStats {
   double time_ecc = 0.0;        // main-loop eccentricity BFS calls
   double time_total = 0.0;
 
+  // Per-stage hardware/software counter deltas (empty — all events
+  // invalid — unless FDiamOptions::hw_counters is on and the perf
+  // session opened). Stage attribution mirrors the time_* fields.
+  obs::HwCounters hw_init;
+  obs::HwCounters hw_winnow;
+  obs::HwCounters hw_chain;
+  obs::HwCounters hw_eliminate;
+  obs::HwCounters hw_ecc;
+
   [[nodiscard]] double time_other() const {
     // Clamped at zero: the stage timers each round independently, so
     // their sum can exceed time_total by a few microseconds.
@@ -179,6 +208,16 @@ struct DiameterResult {
   /// Traversal-level counters summed over every BFS the run performed
   /// (Table 3's level/direction/edge numbers). Reset per run().
   BfsStats bfs;
+  /// Whole-run hardware/software counter totals (see
+  /// FDiamOptions::hw_counters; all events invalid when off/unavailable).
+  obs::HwCounters hardware;
+  /// Human-readable reason when `hardware` is degraded (no perf access).
+  std::string hw_unavailable_reason;
+  /// Worst-case multiplex scaling ratio of `hardware` (1.0 = unscaled).
+  double hw_multiplex_scale = 1.0;
+  /// RSS watermark around the run (available == false when /proc and
+  /// getrusage are both unusable, or hw_counters was off).
+  obs::MemProfile memory;
 };
 
 /// Reusable F-Diam solver. Construct once per graph; run() may be invoked
@@ -186,6 +225,7 @@ struct DiameterResult {
 class FDiam {
  public:
   explicit FDiam(const Csr& g, FDiamOptions opt = {});
+  ~FDiam();  // out-of-line: PerfSession is incomplete here
 
   DiameterResult run();
 
@@ -240,15 +280,23 @@ class FDiam {
   void finalize_stats();
 
   void emit(FDiamEvent::Kind kind, dist_t value, vid_t vertex = 0,
-            double seconds = 0.0) const {
-    if (opt_.trace) opt_.trace(FDiamEvent{kind, value, vertex, seconds});
+            double seconds = 0.0, const obs::HwCounters* hw = nullptr) const {
+    if (opt_.trace) opt_.trace(FDiamEvent{kind, value, vertex, seconds, hw});
   }
+
+  /// Cumulative counter snapshot since run() start (empty when counters
+  /// are off/unavailable); stage deltas come from HwCounters::delta.
+  [[nodiscard]] obs::HwCounters hw_snapshot() const;
 
   [[nodiscard]] bool budget_exhausted() const;
 
   const Csr& g_;
   FDiamOptions opt_;
   BfsEngine engine_;
+
+  // Created lazily on the first run() with hw_counters on; reused by
+  // later runs (benchmark repetitions pay the open cost once).
+  std::unique_ptr<obs::PerfSession> perf_;
 
   std::vector<dist_t> state_;
   std::vector<Stage> stage_tag_;

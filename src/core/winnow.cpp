@@ -34,6 +34,7 @@ void FDiam::winnow_extend(dist_t bound) {
 
   ++stats_.winnow_calls;  // Table 3 counts each (partial) winnow traversal
   Timer winnow_timer;     // duration is reported on the kWinnow event
+  const obs::HwCounters hw_before = hw_snapshot();
 
   std::uint64_t removed = 0;
   while (winnow_radius_ < target_radius && !winnow_frontier_.empty()) {
@@ -82,8 +83,9 @@ void FDiam::winnow_extend(dist_t bound) {
     winnow_frontier_.assign(next.begin(), next.end());
   }
   (void)removed;  // attribution is tallied from stage_tag_ in finalize_stats
+  const obs::HwCounters hw_d = obs::HwCounters::delta(hw_snapshot(), hw_before);
   emit(FDiamEvent::Kind::kWinnow, target_radius, winnow_center_,
-       winnow_timer.seconds());
+       winnow_timer.seconds(), perf_ ? &hw_d : nullptr);
 }
 
 }  // namespace fdiam

@@ -84,12 +84,17 @@ JsonWriter& JsonWriter::value(double v) {
   separator();
   if (!std::isfinite(v)) {
     // JSON has no Infinity/NaN; null is the conventional stand-in.
+    // (json_diagnose would flag the raw tokens as "invalid value".)
     os_ << "null";
     return *this;
   }
+  // std::to_chars: shortest round-trip representation, and — unlike
+  // printf "%g" — immune to LC_NUMERIC locales whose decimal separator
+  // (',') would be an invalid JSON token.
   char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  os_ << buf;
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;  // 40 bytes always suffice for a finite double
+  os_ << std::string_view(buf, static_cast<std::size_t>(end - buf));
   return *this;
 }
 
@@ -302,6 +307,41 @@ bool json_valid(std::string_view text) {
   if (!s.skip_value(0)) return false;
   s.skip_ws();
   return s.done();
+}
+
+namespace {
+
+std::string diagnose_at(std::string_view text, std::size_t pos,
+                        std::string_view what) {
+  std::string out = "byte ";
+  out += std::to_string(pos);
+  out += ": ";
+  out += what;
+  if (pos < text.size()) {
+    out += " (near \"";
+    for (const char c : text.substr(pos, 16)) {
+      out += (static_cast<unsigned char>(c) < 0x20) ? ' ' : c;
+    }
+    out += "\")";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::string> json_diagnose(std::string_view text) {
+  Scanner s{text};
+  s.skip_ws();
+  if (s.done()) return diagnose_at(text, s.pos, "empty document");
+  if (!s.skip_value(0)) {
+    // The cursor stops at (or just past) the first byte the grammar
+    // rejects — a raw NaN/Infinity token, a truncated container, a bad
+    // escape. Close enough to point a human at the writer bug.
+    return diagnose_at(text, s.pos, "invalid value");
+  }
+  s.skip_ws();
+  if (!s.done()) return diagnose_at(text, s.pos, "trailing data after document");
+  return std::nullopt;
 }
 
 std::optional<std::string_view> json_lookup(std::string_view text,

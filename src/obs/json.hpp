@@ -81,6 +81,13 @@ std::string json_escape(std::string_view s);
 /// input cannot overflow the stack.
 [[nodiscard]] bool json_valid(std::string_view text);
 
+/// Like json_valid, but on failure returns a one-line diagnostic with the
+/// byte offset and a quoted snippet of the offending input, e.g.
+/// `byte 17: invalid value (near "nan,")` — json_check prints this so a
+/// broken report pinpoints the writer bug (a raw NaN/Inf token, a
+/// truncated file) instead of a bare INVALID. Returns nullopt when valid.
+[[nodiscard]] std::optional<std::string> json_diagnose(std::string_view text);
+
 /// Find the raw text of the value at `dotted_path` (e.g. "result.diameter"
 /// or "tables.0.title" — decimal components index arrays) inside a valid
 /// JSON document. Returns std::nullopt when the path is absent or the

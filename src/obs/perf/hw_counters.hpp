@@ -1,0 +1,178 @@
+#pragma once
+// Plain-data hardware/software performance-counter sample.
+//
+// This header is intentionally dependency-free (no syscalls, no perf
+// headers) so that core/fdiam.hpp can embed per-stage counter samples in
+// FDiamStats/DiameterResult without pulling the Linux-specific session
+// machinery (perf_session.hpp) into every translation unit. A counter
+// that could not be opened on this kernel/container is simply invalid in
+// every sample; consumers emit it as `null`/`unavailable`, never as 0,
+// so absent hardware is distinguishable from idle hardware.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace fdiam::obs {
+
+/// The fixed set of events a PerfSession samples. The first six are
+/// hardware PMU events (frequently unavailable inside VMs/containers);
+/// the last three are kernel software events, which work almost
+/// everywhere and keep the subsystem useful even without a PMU.
+enum class HwEvent : std::uint8_t {
+  kCycles = 0,
+  kInstructions,
+  kCacheReferences,
+  kCacheMisses,
+  kBranchMisses,
+  kStalledCycles,     // stalled-cycles-frontend
+  kTaskClockNs,       // software: per-thread CPU time in nanoseconds
+  kPageFaults,        // software
+  kContextSwitches,   // software
+  kCount
+};
+
+inline constexpr std::size_t kHwEventCount =
+    static_cast<std::size_t>(HwEvent::kCount);
+
+/// Index of the first software event in the HwEvent order.
+inline constexpr std::size_t kFirstSoftwareEvent =
+    static_cast<std::size_t>(HwEvent::kTaskClockNs);
+
+/// Stable snake_case name used as the JSON report key for each event.
+constexpr std::string_view hw_event_name(HwEvent e) {
+  switch (e) {
+    case HwEvent::kCycles: return "cycles";
+    case HwEvent::kInstructions: return "instructions";
+    case HwEvent::kCacheReferences: return "cache_references";
+    case HwEvent::kCacheMisses: return "cache_misses";
+    case HwEvent::kBranchMisses: return "branch_misses";
+    case HwEvent::kStalledCycles: return "stalled_cycles";
+    case HwEvent::kTaskClockNs: return "task_clock_ns";
+    case HwEvent::kPageFaults: return "page_faults";
+    case HwEvent::kContextSwitches: return "context_switches";
+    case HwEvent::kCount: break;
+  }
+  return "unknown";
+}
+
+/// One multiplex-scaled counter sample (a point snapshot or a delta
+/// between two snapshots). Values are summed event counts; validity is
+/// per event, so a kernel that exposes software events but no PMU still
+/// yields a partially valid sample.
+struct HwCounters {
+  std::array<std::uint64_t, kHwEventCount> value{};
+  std::array<bool, kHwEventCount> valid{};
+
+  [[nodiscard]] bool has(HwEvent e) const {
+    return valid[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] std::uint64_t get(HwEvent e) const {
+    return value[static_cast<std::size_t>(e)];
+  }
+  void set(HwEvent e, std::uint64_t v) {
+    value[static_cast<std::size_t>(e)] = v;
+    valid[static_cast<std::size_t>(e)] = true;
+  }
+
+  /// True when at least one event (of any kind) carries a valid value.
+  [[nodiscard]] bool any() const {
+    for (const bool v : valid) {
+      if (v) return true;
+    }
+    return false;
+  }
+
+  /// True when at least one of the six PMU events is valid.
+  [[nodiscard]] bool any_hardware() const {
+    for (std::size_t i = 0; i < kFirstSoftwareEvent; ++i) {
+      if (valid[i]) return true;
+    }
+    return false;
+  }
+
+  /// Per-event sum; an event is valid in the result only when valid in
+  /// both operands (a stage measured without a counter must not silently
+  /// zero the aggregate)... except against an all-invalid default, which
+  /// acts as the neutral element so `total += stage` accumulation works.
+  HwCounters& operator+=(const HwCounters& o) {
+    for (std::size_t i = 0; i < kHwEventCount; ++i) {
+      if (!o.valid[i]) continue;
+      value[i] += o.value[i];
+      valid[i] = true;
+    }
+    return *this;
+  }
+
+  /// later - earlier, per event; valid only where both are valid.
+  /// Values are clamped at 0 (multiplex scaling can jitter backwards).
+  [[nodiscard]] static HwCounters delta(const HwCounters& later,
+                                        const HwCounters& earlier) {
+    HwCounters d;
+    for (std::size_t i = 0; i < kHwEventCount; ++i) {
+      if (!later.valid[i] || !earlier.valid[i]) continue;
+      d.valid[i] = true;
+      d.value[i] =
+          later.value[i] >= earlier.value[i] ? later.value[i] - earlier.value[i]
+                                             : 0;
+    }
+    return d;
+  }
+
+  // --- Derived metrics (nullopt when an input event is unavailable) ------
+
+  [[nodiscard]] std::optional<double> ipc() const {
+    if (!has(HwEvent::kInstructions) || !has(HwEvent::kCycles) ||
+        get(HwEvent::kCycles) == 0) {
+      return std::nullopt;
+    }
+    return static_cast<double>(get(HwEvent::kInstructions)) /
+           static_cast<double>(get(HwEvent::kCycles));
+  }
+
+  [[nodiscard]] std::optional<double> cache_miss_rate() const {
+    if (!has(HwEvent::kCacheMisses) || !has(HwEvent::kCacheReferences) ||
+        get(HwEvent::kCacheReferences) == 0) {
+      return std::nullopt;
+    }
+    return static_cast<double>(get(HwEvent::kCacheMisses)) /
+           static_cast<double>(get(HwEvent::kCacheReferences));
+  }
+
+  /// get(e) / divisor — e.g. cache misses per examined edge.
+  [[nodiscard]] std::optional<double> per(HwEvent e,
+                                          std::uint64_t divisor) const {
+    if (!has(e) || divisor == 0) return std::nullopt;
+    return static_cast<double>(get(e)) / static_cast<double>(divisor);
+  }
+};
+
+/// Peak-RSS / resident-set watermark snapshot, read from
+/// /proc/self/status (VmHWM/VmRSS) with a getrusage fallback.
+/// `available == false` (non-Linux, masked /proc) is never fatal.
+struct MemWatermark {
+  bool available = false;
+  std::uint64_t peak_rss_bytes = 0;     ///< process-lifetime high-water mark
+  std::uint64_t current_rss_bytes = 0;  ///< resident set at capture time
+};
+
+/// Memory profile of one solver run: watermark at start and end. The
+/// peak is process-wide (the kernel's watermark cannot be reset without
+/// privileges), so `peak_rss_bytes` covers graph construction too; the
+/// `rss_start/end` pair isolates what the run itself touched.
+struct MemProfile {
+  bool available = false;
+  std::uint64_t peak_rss_bytes = 0;   ///< VmHWM at run end
+  std::uint64_t rss_start_bytes = 0;  ///< VmRSS when run() began
+  std::uint64_t rss_end_bytes = 0;    ///< VmRSS when run() finished
+
+  /// Growth across the run; 0 when the run fit in already-resident pages.
+  [[nodiscard]] std::uint64_t rss_delta_bytes() const {
+    return rss_end_bytes >= rss_start_bytes ? rss_end_bytes - rss_start_bytes
+                                            : 0;
+  }
+};
+
+}  // namespace fdiam::obs

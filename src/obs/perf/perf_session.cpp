@@ -1,0 +1,166 @@
+#include "obs/perf/perf_session.hpp"
+
+#include <cstring>
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <string_view>
+#endif
+
+namespace fdiam::obs {
+
+#ifdef __linux__
+
+namespace {
+
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr std::array<EventSpec, kHwEventCount> kEventSpecs = {{
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_FRONTEND},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES},
+}};
+
+int open_event(const EventSpec& spec) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = spec.type;
+  attr.size = sizeof attr;
+  attr.config = spec.config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;  // works at perf_event_paranoid <= 2
+  attr.exclude_hv = 1;
+  attr.inherit = 1;  // count OpenMP workers spawned after open
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // pid=0, cpu=-1: this thread (and, via inherit, its descendants) on
+  // any CPU. Self-monitoring needs no privileges on most kernels.
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+}  // namespace
+
+PerfSession::PerfSession() {
+  fds_.fill(-1);
+  for (std::size_t i = 0; i < kHwEventCount; ++i) {
+    const int fd = open_event(kEventSpecs[i]);
+    if (fd >= 0) {
+      fds_[i] = fd;
+      ++open_count_;
+    } else if (reason_.empty()) {
+      reason_ = "perf_event_open(";
+      reason_ += hw_event_name(static_cast<HwEvent>(i));
+      reason_ += "): ";
+      reason_ += std::strerror(errno);
+    }
+  }
+}
+
+PerfSession::~PerfSession() {
+  for (const int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+void PerfSession::start() {
+  for (const int fd : fds_) {
+    if (fd < 0) continue;
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+  multiplex_scale_ = 1.0;
+}
+
+void PerfSession::stop() {
+  for (const int fd : fds_) {
+    if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+}
+
+HwCounters PerfSession::read() const {
+  HwCounters out;
+  double worst_scale = 1.0;
+  for (std::size_t i = 0; i < kHwEventCount; ++i) {
+    if (fds_[i] < 0) continue;
+    // PERF_FORMAT_TOTAL_TIME_ENABLED|RUNNING layout.
+    struct {
+      std::uint64_t value, time_enabled, time_running;
+    } sample{};
+    if (::read(fds_[i], &sample, sizeof sample) != sizeof sample) continue;
+    double v = static_cast<double>(sample.value);
+    if (sample.time_running > 0 && sample.time_running < sample.time_enabled) {
+      // The kernel multiplexed this counter; extrapolate linearly.
+      const double ratio = static_cast<double>(sample.time_running) /
+                           static_cast<double>(sample.time_enabled);
+      v /= ratio;
+      if (ratio < worst_scale) worst_scale = ratio;
+    }
+    out.set(static_cast<HwEvent>(i), static_cast<std::uint64_t>(v));
+  }
+  multiplex_scale_ = worst_scale;
+  return out;
+}
+
+MemWatermark read_mem_watermark() {
+  MemWatermark m;
+  // /proc/self/status has both the high-water mark (VmHWM) and the
+  // current resident set (VmRSS), in kB.
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof line, f)) {
+      unsigned long long kb = 0;
+      if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+        m.peak_rss_bytes = kb * 1024;
+        m.available = true;
+      } else if (std::sscanf(line, "VmRSS: %llu kB", &kb) == 1) {
+        m.current_rss_bytes = kb * 1024;
+        m.available = true;
+      }
+    }
+    std::fclose(f);
+  }
+  if (!m.available) {
+    // Fallback: getrusage reports the peak (in kB on Linux) but not the
+    // current RSS.
+    rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+      m.peak_rss_bytes = static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+      m.available = true;
+    }
+  }
+  return m;
+}
+
+#else  // !__linux__
+
+PerfSession::PerfSession() {
+  fds_.fill(-1);
+  reason_ = "perf_event_open: unsupported platform";
+}
+PerfSession::~PerfSession() = default;
+void PerfSession::start() {}
+void PerfSession::stop() {}
+HwCounters PerfSession::read() const { return {}; }
+
+MemWatermark read_mem_watermark() { return {}; }
+
+#endif
+
+}  // namespace fdiam::obs

@@ -1,0 +1,72 @@
+#pragma once
+// Linux perf_event_open counter sessions.
+//
+// A PerfSession opens one self-monitoring counter per HwEvent (cycles,
+// instructions, cache references/misses, branch misses, stalled cycles,
+// plus the task-clock/page-fault/context-switch software events) with
+// `inherit` set, so OpenMP worker threads spawned after the session
+// opens are counted too. Each event is opened independently: a kernel or
+// container that rejects the PMU events (common — VMs often have no PMU,
+// and perf_event_paranoid or seccomp can forbid the syscall entirely)
+// still yields the software subset, and a total failure degrades to
+// available() == false with a human-readable reason(). Nothing in this
+// layer ever aborts the run.
+//
+// Reads carry PERF_FORMAT_TOTAL_TIME_ENABLED/RUNNING so values are
+// scaled up when the kernel multiplexed the counters; multiplex_scale()
+// exposes the worst-case running/enabled ratio for honesty in reports.
+//
+// Counting scope: the opening thread and its descendants. Threads that
+// already existed (e.g. a warm OpenMP pool from an earlier parallel
+// region) are not attributed; serial runs are covered exactly.
+
+#include <array>
+#include <string>
+
+#include "obs/perf/hw_counters.hpp"
+
+namespace fdiam::obs {
+
+class PerfSession {
+ public:
+  /// Opens the event set (disabled). Failures are recorded, not thrown.
+  PerfSession();
+  ~PerfSession();
+  PerfSession(const PerfSession&) = delete;
+  PerfSession& operator=(const PerfSession&) = delete;
+
+  /// True when at least one event opened.
+  [[nodiscard]] bool available() const { return open_count_ > 0; }
+
+  /// Why the session (or its PMU subset) is degraded: the errno text of
+  /// the first failed perf_event_open, e.g. "perf_event_open(cycles):
+  /// No such file or directory". Empty when every event opened.
+  [[nodiscard]] const std::string& reason() const { return reason_; }
+
+  /// Reset every counter to zero and start counting.
+  void start();
+
+  /// Stop counting (counters keep their values for read()).
+  void stop();
+
+  /// Read the current (multiplex-scaled) values of every open event.
+  /// Cumulative since the last start(); events that failed to open or
+  /// whose read failed are invalid in the result.
+  [[nodiscard]] HwCounters read() const;
+
+  /// Smallest running/enabled ratio observed by the last read(); 1.0
+  /// means no multiplexing happened (or nothing was read).
+  [[nodiscard]] double multiplex_scale() const { return multiplex_scale_; }
+
+ private:
+  std::array<int, kHwEventCount> fds_;  // -1 = not open
+  int open_count_ = 0;
+  std::string reason_;
+  mutable double multiplex_scale_ = 1.0;
+};
+
+/// Read the current process RSS watermark (VmHWM/VmRSS from
+/// /proc/self/status, getrusage fallback for the peak).
+[[nodiscard]] MemWatermark read_mem_watermark();
+
+}  // namespace fdiam::obs

@@ -1,13 +1,17 @@
 #include "obs/report.hpp"
 
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <ctime>
+#include <optional>
 
 #ifdef _OPENMP
 #include <omp.h>
 #endif
 
 #include "obs/json.hpp"
+#include "obs/perf/hw_counters.hpp"
 
 namespace fdiam::obs {
 
@@ -20,6 +24,56 @@ const char* start_policy_name(StartPolicy p) {
     case StartPolicy::kFourSweepCenter: return "four_sweep_center";
   }
   return "unknown";
+}
+
+/// First "model name" line of /proc/cpuinfo, or "unknown" (non-Linux,
+/// ARM cores that spell it differently, restricted /proc).
+std::string read_cpu_model() {
+  std::string model = "unknown";
+  if (std::FILE* f = std::fopen("/proc/cpuinfo", "re")) {
+    char line[256];
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      if (std::strncmp(line, "model name", 10) != 0) continue;
+      const char* colon = std::strchr(line, ':');
+      if (colon == nullptr) break;
+      ++colon;
+      while (*colon == ' ' || *colon == '\t') ++colon;
+      model = colon;
+      while (!model.empty() &&
+             (model.back() == '\n' || model.back() == '\r')) {
+        model.pop_back();
+      }
+      break;
+    }
+    std::fclose(f);
+  }
+  return model;
+}
+
+/// Emit `key: value` or `key: null` — absent measurements stay visible
+/// in the schema instead of silently disappearing.
+void field_opt(JsonWriter& w, std::string_view key,
+               const std::optional<double>& v) {
+  w.key(key);
+  if (v) {
+    w.value(*v);
+  } else {
+    w.null();
+  }
+}
+
+/// One counter object: every known event name is always a key; events the
+/// kernel refused (no PMU, paranoid level, seccomp) serialize as null.
+void write_hw_counter_fields(JsonWriter& w, const HwCounters& hw) {
+  for (std::size_t i = 0; i < kHwEventCount; ++i) {
+    const auto ev = static_cast<HwEvent>(i);
+    w.key(hw_event_name(ev));
+    if (hw.has(ev)) {
+      w.value(hw.get(ev));
+    } else {
+      w.null();
+    }
+  }
 }
 
 }  // namespace
@@ -38,6 +92,19 @@ EnvInfo capture_env() {
 #ifdef __VERSION__
   env.compiler = __VERSION__;
 #endif
+#if defined(__clang__)
+  env.compiler_id = "clang";
+#elif defined(__GNUC__)
+  env.compiler_id = "gcc";
+#else
+  env.compiler_id = "unknown";
+#endif
+#ifdef FDIAM_GIT_SHA
+  env.git_sha = FDIAM_GIT_SHA;
+#else
+  env.git_sha = "unknown";
+#endif
+  env.cpu_model = read_cpu_model();
   const std::time_t now =
       std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
   std::tm tm_utc{};
@@ -54,6 +121,9 @@ void write_env_fields(JsonWriter& w, const EnvInfo& env) {
   w.field("openmp", env.openmp);
   w.field("build_type", std::string_view(env.build_type));
   w.field("compiler", std::string_view(env.compiler));
+  w.field("compiler_id", std::string_view(env.compiler_id));
+  w.field("git_sha", std::string_view(env.git_sha));
+  w.field("cpu_model", std::string_view(env.cpu_model));
   w.field("timestamp", std::string_view(env.timestamp));
   w.end_object();
 }
@@ -91,6 +161,7 @@ void RunReport::write_json(std::ostream& os) const {
   w.field("randomize_scan", options.randomize_scan);
   w.field("candidate_batch", options.candidate_batch);
   w.field("time_budget_seconds", options.time_budget_seconds);
+  w.field("hw_counters", options.hw_counters);
   w.end_object();
 
   w.key("result").begin_object();
@@ -133,6 +204,64 @@ void RunReport::write_json(std::ostream& os) const {
   w.field("bottomup_levels", bfs.bottomup_levels);
   w.field("edges_examined", bfs.edges_examined);
   w.field("vertices_visited", bfs.vertices_visited);
+  w.end_object();
+
+  // Always present so consumers can key on "hardware.available" without
+  // probing for the block. available == at least one counter (hardware
+  // or software) delivered a reading; pmu distinguishes the degraded
+  // software-only mode (VMs without a virtualized PMU).
+  const HwCounters& hw = result.hardware;
+  w.key("hardware").begin_object();
+  w.field("available", hw.any());
+  w.field("pmu", hw.any_hardware());
+  if (!result.hw_unavailable_reason.empty()) {
+    w.field("reason", std::string_view(result.hw_unavailable_reason));
+  }
+  if (hw.any()) {
+    w.field("multiplex_scale", result.hw_multiplex_scale);
+    w.key("counters").begin_object();
+    write_hw_counter_fields(w, hw);
+    w.end_object();
+    const auto edges = static_cast<double>(bfs.edges_examined);
+    w.key("derived").begin_object();
+    field_opt(w, "ipc", hw.ipc());
+    field_opt(w, "cache_miss_rate", hw.cache_miss_rate());
+    field_opt(w, "cycles_per_edge", hw.per(HwEvent::kCycles, edges));
+    field_opt(w, "instructions_per_edge",
+              hw.per(HwEvent::kInstructions, edges));
+    field_opt(w, "cache_misses_per_edge",
+              hw.per(HwEvent::kCacheMisses, edges));
+    field_opt(w, "branch_misses_per_edge",
+              hw.per(HwEvent::kBranchMisses, edges));
+    w.end_object();
+    w.key("per_stage").begin_object();
+    const std::pair<std::string_view, const HwCounters*> stages[] = {
+        {"init", &st.hw_init},         {"winnow", &st.hw_winnow},
+        {"chain", &st.hw_chain},       {"eliminate", &st.hw_eliminate},
+        {"ecc", &st.hw_ecc}};
+    for (const auto& [name, counters] : stages) {
+      w.key(name).begin_object();
+      write_hw_counter_fields(w, *counters);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_object();
+
+  const MemProfile& mem = result.memory;
+  w.key("memory").begin_object();
+  w.field("available", mem.available);
+  if (mem.available) {
+    w.field("peak_rss_bytes", mem.peak_rss_bytes);
+    w.field("rss_start_bytes", mem.rss_start_bytes);
+    w.field("rss_end_bytes", mem.rss_end_bytes);
+    w.field("rss_delta_bytes", mem.rss_delta_bytes());
+    if (graph.vertices > 0) {
+      w.field("peak_rss_bytes_per_vertex",
+              static_cast<double>(mem.peak_rss_bytes) /
+                  static_cast<double>(graph.vertices));
+    }
+  }
   w.end_object();
 
   write_env_fields(w, env);

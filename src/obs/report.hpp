@@ -20,11 +20,16 @@ namespace fdiam::obs {
 class JsonWriter;
 
 /// Build/runtime environment block shared by run and bench reports.
+/// Carries enough provenance to interpret a perf trajectory months
+/// later: which commit, which compiler, which CPU, how many threads.
 struct EnvInfo {
   int omp_max_threads = 1;
   bool openmp = false;
   std::string build_type;   // "release" (NDEBUG) or "debug"
-  std::string compiler;     // __VERSION__
+  std::string compiler;     // __VERSION__ (id + version string)
+  std::string compiler_id;  // "gcc", "clang", or "unknown"
+  std::string git_sha;      // FDIAM_GIT_SHA captured at configure time
+  std::string cpu_model;    // /proc/cpuinfo "model name" (or "unknown")
   std::string timestamp;    // ISO 8601 UTC at capture time
 };
 

@@ -1,8 +1,8 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
-#include <cstdio>
 
 #include "obs/json.hpp"
 
@@ -10,9 +10,13 @@ namespace fdiam::obs {
 
 TraceArg::TraceArg(std::string k, double v) : key(std::move(k)) {
   if (std::isfinite(v)) {
+    // to_chars: shortest round-trip form, locale-independent (printf
+    // under an LC_NUMERIC locale could emit a ',' decimal separator —
+    // an invalid JSON token).
     char buf[40];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    json_value = buf;
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    (void)ec;
+    json_value.assign(buf, end);
   } else {
     json_value = "null";
   }
@@ -56,40 +60,63 @@ std::size_t TraceSession::size() const {
   return events_.size();
 }
 
+namespace {
+
+/// Append the event's hardware-counter delta (when the solver collected
+/// one) to a span's args: raw counts for the valid events plus derived
+/// IPC, so Perfetto shows why a stage was slow, not just that it was.
+void append_hw_args(const FDiamEvent& e, std::vector<TraceArg>& args) {
+  if (e.hw == nullptr || !e.hw->any()) return;
+  for (std::size_t i = 0; i < kHwEventCount; ++i) {
+    const auto ev = static_cast<HwEvent>(i);
+    if (e.hw->has(ev)) {
+      args.emplace_back(std::string(hw_event_name(ev)), e.hw->get(ev));
+    }
+  }
+  if (const auto ipc = e.hw->ipc()) args.emplace_back("ipc", *ipc);
+}
+
+}  // namespace
+
 FDiamTrace TraceSession::fdiam_sink() {
   return [this](const FDiamEvent& e) {
     using Kind = FDiamEvent::Kind;
     const auto value = static_cast<std::int64_t>(e.value);
     const auto vertex = static_cast<std::int64_t>(e.vertex);
+    const auto with_hw = [&e](std::vector<TraceArg> args) {
+      append_hw_args(e, args);
+      return args;
+    };
     switch (e.kind) {
       case Kind::kStart:
         instant("start", {{"vertices", value}, {"u", vertex}});
         break;
       case Kind::kInitialBound:
-        complete("init", e.seconds, {{"bound", value}, {"u", vertex}});
+        complete("init", e.seconds, with_hw({{"bound", value}, {"u", vertex}}));
         break;
       case Kind::kWinnow:
         complete("winnow", e.seconds,
-                 {{"radius", value}, {"center", vertex}});
+                 with_hw({{"radius", value}, {"center", vertex}}));
         break;
       case Kind::kChainsProcessed:
-        complete("chain", e.seconds, {{"removed", value}});
+        complete("chain", e.seconds, with_hw({{"removed", value}}));
         break;
       case Kind::kEccentricity:
-        complete("ecc_bfs", e.seconds, {{"ecc", value}, {"vertex", vertex}});
+        complete("ecc_bfs", e.seconds,
+                 with_hw({{"ecc", value}, {"vertex", vertex}}));
         break;
       case Kind::kBoundRaised:
         instant("bound_raised", {{"bound", value}, {"vertex", vertex}});
         break;
       case Kind::kEliminate:
         complete("eliminate", e.seconds,
-                 {{"reach", value}, {"source", vertex}});
+                 with_hw({{"reach", value}, {"source", vertex}}));
         break;
       case Kind::kExtendRegions:
-        complete("extend_regions", e.seconds, {{"bound", value}});
+        complete("extend_regions", e.seconds, with_hw({{"bound", value}}));
         break;
       case Kind::kDone:
-        complete("fdiam.run", e.seconds, {{"diameter", value}});
+        complete("fdiam.run", e.seconds, with_hw({{"diameter", value}}));
         break;
     }
   };

@@ -101,6 +101,53 @@ TEST(JsonValidator, RejectsMalformedDocuments) {
   }
 }
 
+TEST(JsonDiagnose, ValidDocumentsReturnNoDiagnostic) {
+  for (const char* text : {"{}", "[1, 2]", "null", R"({"a": "b"})"}) {
+    EXPECT_FALSE(obs::json_diagnose(text).has_value()) << text;
+  }
+}
+
+TEST(JsonDiagnose, PinpointsTheOffendingByte) {
+  // The diagnostic exists to catch writer bugs like a raw NaN token: it
+  // must carry the byte offset and quote the offending input.
+  const auto nan_diag = obs::json_diagnose(R"({"x": nan})");
+  ASSERT_TRUE(nan_diag.has_value());
+  EXPECT_NE(nan_diag->find("byte 6"), std::string::npos) << *nan_diag;
+  EXPECT_NE(nan_diag->find("nan"), std::string::npos) << *nan_diag;
+
+  const auto empty_diag = obs::json_diagnose("");
+  ASSERT_TRUE(empty_diag.has_value());
+  EXPECT_NE(empty_diag->find("empty"), std::string::npos) << *empty_diag;
+
+  const auto trailing = obs::json_diagnose("{} extra");
+  ASSERT_TRUE(trailing.has_value());
+  EXPECT_NE(trailing->find("trailing"), std::string::npos) << *trailing;
+
+  // Agreement with json_valid: a diagnostic iff invalid.
+  for (const char* text :
+       {"", "{", "[1,]", "{\"a\":}", "nulll", "[Infinity]", "1.", "{}",
+        "[null]", "-2.5e3"}) {
+    EXPECT_EQ(obs::json_diagnose(text).has_value(), !json_valid(text))
+        << text;
+  }
+}
+
+TEST(JsonWriter, DoubleFormattingRoundTripsAndStaysLocaleFree) {
+  // to_chars emits shortest-round-trip doubles with '.' regardless of
+  // locale; the values must parse back to exactly the same bits.
+  for (const double v : {0.1, 1e-300, 1.7976931348623157e308, 3.25,
+                         -0.0078125, 12345.6789}) {
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.begin_array();
+    w.value(v);
+    w.end_array();
+    ASSERT_TRUE(json_valid(os.str())) << os.str();
+    EXPECT_EQ(os.str().find(','), std::string::npos) << os.str();
+    EXPECT_EQ(json_number(os.str(), "0"), v) << os.str();
+  }
+}
+
 TEST(JsonValidator, DepthCapStopsDeepRecursion) {
   std::string deep(1000, '[');
   deep += std::string(1000, ']');

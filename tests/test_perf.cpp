@@ -1,0 +1,305 @@
+// Tests for the hardware perf-counter layer: HwCounters sample
+// arithmetic, PerfSession graceful degradation (these tests must pass
+// identically on machines with a PMU, without one, and with
+// perf_event_paranoid locked down), memory watermarks, and the
+// hardware/memory blocks of the run report.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/fdiam.hpp"
+#include "gen/generators.hpp"
+#include "graph/stats.hpp"
+#include "obs/json.hpp"
+#include "obs/perf/hw_counters.hpp"
+#include "obs/perf/perf_session.hpp"
+#include "obs/report.hpp"
+
+namespace fdiam {
+namespace {
+
+using obs::HwCounters;
+using obs::HwEvent;
+
+// --- HwCounters (pure data, no syscalls) ----------------------------------
+
+TEST(HwCounters, DefaultIsEmpty) {
+  const HwCounters hw;
+  EXPECT_FALSE(hw.any());
+  EXPECT_FALSE(hw.any_hardware());
+  EXPECT_FALSE(hw.has(HwEvent::kCycles));
+  EXPECT_EQ(hw.get(HwEvent::kCycles), 0u);
+  EXPECT_FALSE(hw.ipc().has_value());
+  EXPECT_FALSE(hw.cache_miss_rate().has_value());
+}
+
+TEST(HwCounters, SetGetAndAvailabilitySplit) {
+  HwCounters hw;
+  hw.set(HwEvent::kTaskClockNs, 1000);
+  EXPECT_TRUE(hw.any());
+  EXPECT_FALSE(hw.any_hardware());  // task-clock is a software event
+  hw.set(HwEvent::kCycles, 5000);
+  EXPECT_TRUE(hw.any_hardware());
+}
+
+TEST(HwCounters, DeltaClampsAndRespectsValidity) {
+  HwCounters earlier, later;
+  earlier.set(HwEvent::kCycles, 100);
+  later.set(HwEvent::kCycles, 350);
+  later.set(HwEvent::kInstructions, 40);  // not valid in `earlier`
+  earlier.set(HwEvent::kCacheMisses, 9);  // not valid in `later`
+
+  const HwCounters d = HwCounters::delta(later, earlier);
+  EXPECT_EQ(d.get(HwEvent::kCycles), 250u);
+  // An event must be valid on BOTH sides to produce a delta.
+  EXPECT_FALSE(d.has(HwEvent::kInstructions));
+  EXPECT_FALSE(d.has(HwEvent::kCacheMisses));
+
+  // A counter that (impossibly) went backwards clamps to 0, not wraps.
+  const HwCounters back = HwCounters::delta(earlier, later);
+  EXPECT_EQ(back.get(HwEvent::kCycles), 0u);
+}
+
+TEST(HwCounters, AccumulateAddsValidEventsOnly) {
+  HwCounters a, b;
+  a.set(HwEvent::kCycles, 10);
+  b.set(HwEvent::kCycles, 5);
+  b.set(HwEvent::kPageFaults, 2);
+  a += b;
+  EXPECT_EQ(a.get(HwEvent::kCycles), 15u);
+  EXPECT_EQ(a.get(HwEvent::kPageFaults), 2u);
+  EXPECT_TRUE(a.has(HwEvent::kPageFaults));
+}
+
+TEST(HwCounters, DerivedMetricsNeedBothInputs) {
+  HwCounters hw;
+  hw.set(HwEvent::kInstructions, 400);
+  EXPECT_FALSE(hw.ipc().has_value());  // cycles missing
+  hw.set(HwEvent::kCycles, 200);
+  ASSERT_TRUE(hw.ipc().has_value());
+  EXPECT_DOUBLE_EQ(*hw.ipc(), 2.0);
+
+  hw.set(HwEvent::kCacheReferences, 100);
+  hw.set(HwEvent::kCacheMisses, 25);
+  ASSERT_TRUE(hw.cache_miss_rate().has_value());
+  EXPECT_DOUBLE_EQ(*hw.cache_miss_rate(), 0.25);
+
+  EXPECT_FALSE(hw.per(HwEvent::kBranchMisses, 10.0).has_value());
+  ASSERT_TRUE(hw.per(HwEvent::kCycles, 100.0).has_value());
+  EXPECT_DOUBLE_EQ(*hw.per(HwEvent::kCycles, 100.0), 2.0);
+  EXPECT_FALSE(hw.per(HwEvent::kCycles, 0.0).has_value());  // no div by 0
+}
+
+TEST(HwCounters, EventNamesAreStableJsonKeys) {
+  // These names are schema: renaming one is a report-schema break.
+  EXPECT_EQ(obs::hw_event_name(HwEvent::kCycles), "cycles");
+  EXPECT_EQ(obs::hw_event_name(HwEvent::kInstructions), "instructions");
+  EXPECT_EQ(obs::hw_event_name(HwEvent::kCacheReferences),
+            "cache_references");
+  EXPECT_EQ(obs::hw_event_name(HwEvent::kCacheMisses), "cache_misses");
+  EXPECT_EQ(obs::hw_event_name(HwEvent::kBranchMisses), "branch_misses");
+  EXPECT_EQ(obs::hw_event_name(HwEvent::kStalledCycles), "stalled_cycles");
+  EXPECT_EQ(obs::hw_event_name(HwEvent::kTaskClockNs), "task_clock_ns");
+  EXPECT_EQ(obs::hw_event_name(HwEvent::kPageFaults), "page_faults");
+  EXPECT_EQ(obs::hw_event_name(HwEvent::kContextSwitches),
+            "context_switches");
+}
+
+// --- PerfSession ----------------------------------------------------------
+
+TEST(PerfSession, DegradesGracefullyWhateverTheKernelAllows) {
+  obs::PerfSession session;
+  if (!session.available()) {
+    // Fully unavailable (non-Linux, seccomp, paranoid=3): the reason must
+    // say why, and reads must stay harmless.
+    EXPECT_FALSE(session.reason().empty());
+    session.start();
+    session.stop();
+    EXPECT_FALSE(session.read().any());
+    return;
+  }
+  // At least partially available: counting a busy loop must move at least
+  // one counter, and every reported event must round-trip through delta.
+  session.start();
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += static_cast<std::uint64_t>(i);
+  const HwCounters sample = session.read();
+  session.stop();
+  EXPECT_TRUE(sample.any());
+  EXPECT_GE(session.multiplex_scale(), 1.0);
+  bool some_nonzero = false;
+  for (std::size_t i = 0; i < obs::kHwEventCount; ++i) {
+    const auto ev = static_cast<HwEvent>(i);
+    if (sample.has(ev) && sample.get(ev) > 0) some_nonzero = true;
+  }
+  EXPECT_TRUE(some_nonzero);
+}
+
+TEST(PerfSession, StartResetsTheCount) {
+  obs::PerfSession session;
+  if (!session.available()) GTEST_SKIP() << session.reason();
+  session.start();
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < 1000000; ++i) sink += static_cast<std::uint64_t>(i);
+  session.stop();
+  session.start();  // reset + enable: prior work must not carry over
+  const HwCounters fresh = session.read();
+  session.stop();
+  if (fresh.has(HwEvent::kTaskClockNs)) {
+    EXPECT_LT(fresh.get(HwEvent::kTaskClockNs), 1000000000u);  // < 1 s
+  }
+}
+
+TEST(MemWatermark, ReportsPlausibleRss) {
+  const obs::MemWatermark mem = obs::read_mem_watermark();
+  if (!mem.available) GTEST_SKIP() << "no RSS source on this platform";
+  // A running test binary occupies at least 1 MB and (sanity bound)
+  // under 1 TB; the high-water mark can never undercut the current RSS.
+  EXPECT_GT(mem.current_rss_bytes, 1u << 20);
+  EXPECT_LT(mem.peak_rss_bytes, 1ull << 40);
+  EXPECT_GE(mem.peak_rss_bytes, mem.current_rss_bytes);
+}
+
+// --- Solver integration ---------------------------------------------------
+
+TEST(FDiamHwCounters, OffByDefaultOnByOption) {
+  const Csr g = make_grid(20, 20);
+  const DiameterResult off = fdiam_diameter(g, {});
+  EXPECT_FALSE(off.hardware.any());
+
+  FDiamOptions opt;
+  opt.hw_counters = true;
+  const DiameterResult on = fdiam_diameter(g, opt);
+  EXPECT_EQ(on.diameter, off.diameter);
+  // Memory watermarks have no perf_event dependency: they must be
+  // available on any Linux. Counter availability is machine-dependent,
+  // but either way the run must have succeeded (checked above) and the
+  // reason string must be set iff something was refused.
+  if (!on.hardware.any()) {
+    EXPECT_FALSE(on.hw_unavailable_reason.empty());
+  }
+#ifdef __linux__
+  EXPECT_TRUE(on.memory.available);
+  EXPECT_GT(on.memory.peak_rss_bytes, 0u);
+#endif
+}
+
+TEST(FDiamHwCounters, PerStageDeltasSumBelowTotal) {
+  FDiamOptions opt;
+  opt.hw_counters = true;
+  const DiameterResult r = fdiam_diameter(make_grid(40, 40), opt);
+  if (!r.hardware.has(HwEvent::kTaskClockNs)) {
+    GTEST_SKIP() << "no counters on this machine";
+  }
+  const std::uint64_t total = r.hardware.get(HwEvent::kTaskClockNs);
+  std::uint64_t stage_sum = 0;
+  for (const HwCounters* stage :
+       {&r.stats.hw_init, &r.stats.hw_winnow, &r.stats.hw_chain,
+        &r.stats.hw_eliminate, &r.stats.hw_ecc}) {
+    stage_sum += stage->get(HwEvent::kTaskClockNs);
+  }
+  // Stages are disjoint slices of the run, so their sum cannot exceed the
+  // whole (glue work between stages makes it strictly smaller usually).
+  EXPECT_LE(stage_sum, total);
+  EXPECT_GT(total, 0u);
+}
+
+TEST(FDiamHwCounters, EventStreamCarriesSamplesWhenEnabled) {
+  FDiamOptions opt;
+  opt.hw_counters = true;
+  bool saw_done_hw = false;
+  opt.trace = [&](const FDiamEvent& e) {
+    if (e.kind == FDiamEvent::Kind::kDone && e.hw != nullptr) {
+      saw_done_hw = e.hw->any();
+    }
+  };
+  const DiameterResult r = fdiam_diameter(make_grid(25, 25), opt);
+  if (!r.hardware.any()) GTEST_SKIP() << "no counters on this machine";
+  EXPECT_TRUE(saw_done_hw);
+}
+
+// --- Run report blocks ----------------------------------------------------
+
+TEST(RunReportHardware, BlocksAlwaysPresentAndValid) {
+  const Csr g = make_grid(25, 25);
+  const GraphStats s = compute_stats(g);
+  FDiamOptions opt;
+  opt.hw_counters = true;
+  const DiameterResult r = fdiam_diameter(g, opt);
+
+  std::ostringstream os;
+  obs::make_run_report("grid", s, opt, r).write_json(os);
+  const std::string doc = os.str();
+  ASSERT_TRUE(obs::json_valid(doc)) << doc;
+
+  // The blocks are unconditional; their contents depend on the machine.
+  ASSERT_TRUE(obs::json_lookup(doc, "hardware.available").has_value());
+  ASSERT_TRUE(obs::json_lookup(doc, "memory.available").has_value());
+  EXPECT_EQ(obs::json_lookup(doc, "options.hw_counters"), "true");
+  if (r.hardware.any()) {
+    // Every event name is a key — refused ones as null, not absent.
+    for (std::size_t i = 0; i < obs::kHwEventCount; ++i) {
+      const auto ev = static_cast<HwEvent>(i);
+      const std::string path =
+          "hardware.counters." + std::string(obs::hw_event_name(ev));
+      ASSERT_TRUE(obs::json_lookup(doc, path).has_value()) << path;
+      EXPECT_EQ(obs::json_lookup(doc, path) == "null", !r.hardware.has(ev));
+    }
+    EXPECT_TRUE(obs::json_lookup(doc, "hardware.per_stage.ecc").has_value());
+    EXPECT_TRUE(obs::json_lookup(doc, "hardware.derived.ipc").has_value());
+  } else {
+    EXPECT_EQ(obs::json_lookup(doc, "hardware.available"), "false");
+    EXPECT_TRUE(obs::json_string(doc, "hardware.reason").has_value());
+  }
+  if (r.memory.available) {
+    EXPECT_GT(obs::json_number(doc, "memory.peak_rss_bytes").value_or(0), 0);
+  }
+}
+
+TEST(RunReportHardware, UncollectedRunSaysUnavailable) {
+  const Csr g = make_grid(10, 10);
+  const GraphStats s = compute_stats(g);
+  const FDiamOptions opt;  // hw_counters off
+  const DiameterResult r = fdiam_diameter(g, opt);
+  std::ostringstream os;
+  obs::make_run_report("grid", s, opt, r).write_json(os);
+  ASSERT_TRUE(obs::json_valid(os.str()));
+  EXPECT_EQ(obs::json_lookup(os.str(), "hardware.available"), "false");
+  EXPECT_EQ(obs::json_lookup(os.str(), "options.hw_counters"), "false");
+}
+
+// --- Env provenance -------------------------------------------------------
+
+TEST(EnvProvenance, CapturesBuildAndMachineIdentity) {
+  const obs::EnvInfo env = obs::capture_env();
+  EXPECT_FALSE(env.compiler_id.empty());
+  EXPECT_FALSE(env.git_sha.empty());
+  EXPECT_FALSE(env.cpu_model.empty());
+#if defined(__GNUC__) && !defined(__clang__)
+  EXPECT_EQ(env.compiler_id, "gcc");
+#endif
+  // Tarball builds legitimately record "unknown"; a captured SHA must be
+  // plain lowercase hex (it is spliced into file names downstream).
+  if (env.git_sha != "unknown") {
+    EXPECT_GE(env.git_sha.size(), 7u);
+    for (const char ch : env.git_sha) {
+      EXPECT_TRUE((ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f'))
+          << env.git_sha;
+    }
+  }
+
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  obs::write_env_fields(w, env);
+  w.end_object();
+  ASSERT_TRUE(obs::json_valid(os.str())) << os.str();
+  EXPECT_EQ(obs::json_string(os.str(), "env.git_sha"), env.git_sha);
+  EXPECT_EQ(obs::json_string(os.str(), "env.cpu_model"), env.cpu_model);
+  EXPECT_EQ(obs::json_string(os.str(), "env.compiler_id"), env.compiler_id);
+}
+
+}  // namespace
+}  // namespace fdiam

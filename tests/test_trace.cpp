@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -157,6 +159,112 @@ TEST(TraceSession, BfsLevelSinkEmitsOneSpanPerLevel) {
   std::ostringstream os;
   session.write(os);
   EXPECT_TRUE(obs::json_valid(os.str()));
+}
+
+// One parsed 'X' span from a trace document.
+struct ParsedSpan {
+  std::string name;
+  double ts = 0.0;
+  double dur = 0.0;
+  double tid = 0.0;
+};
+
+/// Parse every complete ('X') span out of a trace document with the
+/// library's own path lookup — the same machinery json_check trusts.
+std::vector<ParsedSpan> parse_spans(const std::string& doc) {
+  std::vector<ParsedSpan> spans;
+  for (std::size_t i = 0;; ++i) {
+    const std::string base = std::to_string(i);
+    const auto ph = obs::json_string(doc, base + ".ph");
+    if (!ph) break;  // end of the event array
+    if (*ph != "X") continue;
+    ParsedSpan s;
+    s.name = obs::json_string(doc, base + ".name").value_or("");
+    s.ts = obs::json_number(doc, base + ".ts").value_or(-1.0);
+    s.dur = obs::json_number(doc, base + ".dur").value_or(-1.0);
+    s.tid = obs::json_number(doc, base + ".tid").value_or(-1.0);
+    spans.push_back(std::move(s));
+  }
+  return spans;
+}
+
+TEST(TraceSession, WrittenFileValidatesAndSpansNestPerThread) {
+  // End-to-end over a real file, exactly like `fdiam_cli --trace-out` +
+  // json_check: write, re-read, validate, then check span structure.
+  const Csr g = make_grid(25, 25);
+  obs::TraceSession session;
+  FDiamOptions opt;
+  opt.trace = session.fdiam_sink();
+  opt.level_profile = session.bfs_level_sink();
+  fdiam_diameter(g, opt);
+
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "fdiam_test_trace.json";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.is_open());
+    session.write(out);
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+  std::filesystem::remove(path);
+
+  EXPECT_FALSE(obs::json_diagnose(doc).has_value())
+      << *obs::json_diagnose(doc);
+
+  const std::vector<ParsedSpan> spans = parse_spans(doc);
+  ASSERT_FALSE(spans.empty());
+
+  // Every complete span is well-formed: non-negative start and duration.
+  const ParsedSpan* run = nullptr;
+  for (const ParsedSpan& s : spans) {
+    EXPECT_GE(s.ts, 0.0) << s.name;
+    EXPECT_GE(s.dur, 0.0) << s.name;
+    if (s.name == "fdiam.run") run = &s;
+  }
+
+  // Nesting: the fdiam.run span must enclose every stage span recorded on
+  // its thread. complete() derives start times from independently-read
+  // clocks, so allow a small epsilon rather than exact containment.
+  ASSERT_NE(run, nullptr);
+  constexpr double kEpsUs = 1000.0;
+  for (const ParsedSpan& s : spans) {
+    if (&s == run || s.tid != run->tid) continue;
+    if (s.name != "ecc_bfs" && s.name != "winnow" && s.name != "init" &&
+        s.name != "eliminate" && s.name != "extend_regions" &&
+        s.name != "chain") {
+      continue;
+    }
+    EXPECT_GE(s.ts + kEpsUs, run->ts) << s.name;
+    EXPECT_LE(s.ts + s.dur, run->ts + run->dur + kEpsUs) << s.name;
+  }
+}
+
+TEST(TraceSession, SpansCarryHwArgsWhenCountersCollected) {
+  obs::TraceSession session;
+  FDiamOptions opt;
+  opt.hw_counters = true;
+  opt.trace = session.fdiam_sink();
+  const DiameterResult r = fdiam_diameter(make_grid(20, 20), opt);
+  if (!r.hardware.any()) GTEST_SKIP() << "no counters on this machine";
+
+  std::ostringstream os;
+  session.write(os);
+  ASSERT_TRUE(obs::json_valid(os.str()));
+  // At least one available per-event count must have landed in span args
+  // (on PMU-less machines that is the software task clock).
+  bool found = false;
+  for (std::size_t i = 0; i < obs::kHwEventCount; ++i) {
+    const auto ev = static_cast<obs::HwEvent>(i);
+    if (r.hardware.has(ev) &&
+        os.str().find('"' + std::string(obs::hw_event_name(ev)) + '"') !=
+            std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << os.str();
 }
 
 TEST(Trace, DisabledStagesEmitNoStageEvents) {
