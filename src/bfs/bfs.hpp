@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "bfs/bitmap.hpp"
 #include "bfs/frontier.hpp"
 #include "bfs/visited.hpp"
 #include "graph/csr.hpp"
@@ -99,15 +100,27 @@ class BfsEngine {
   [[nodiscard]] const Csr& graph() const { return g_; }
 
  private:
-  // One level expansion; returns the next frontier in next_.
+  // One top-down level expansion; returns the next frontier in next_.
   void step_topdown(std::vector<dist_t>* dist, dist_t level);
-  void step_bottomup(std::vector<dist_t>* dist, dist_t level);
+  // One bottom-up level expansion over the frontier/visited bitmaps:
+  // expands front_bm_ into next_bm_, keeps visited_bm_ and the epoch
+  // array in sync, and returns the number of newly discovered vertices.
+  vid_t step_bottomup(std::vector<dist_t>* dist, dist_t level);
+  // Direction-switch conversions (paper §4.6 keeps one worklist format;
+  // the bitmap representation exists only while running bottom-up).
+  void queue_to_bitmaps(const Frontier& frontier);
+  void bitmap_to_queue(const Bitmap& bitmap, Frontier& frontier);
   dist_t run(vid_t source, std::vector<dist_t>* dist);
 
   const Csr& g_;
   BfsConfig config_;
   EpochVisited visited_;
   Frontier cur_, next_;
+  // Bottom-up worklists: 1 bit per vertex instead of a queue entry, so
+  // the all-vertices scan reads 1 bit per probe. Valid only while the
+  // engine is in bitmap mode (between a top-down->bottom-up switch and
+  // the matching switch back).
+  Bitmap front_bm_, next_bm_, visited_bm_;
   vid_t last_visited_ = 0;
   std::size_t threshold_count_ = 0;
   BfsStats stats_;

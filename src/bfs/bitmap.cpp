@@ -1,0 +1,2 @@
+// Bitmap is header-only; see visited.cpp for why this file exists.
+#include "bfs/bitmap.hpp"

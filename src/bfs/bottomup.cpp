@@ -1,62 +1,116 @@
 // Topology-driven bottom-up BFS level (paper Alg. 2 lines 16-23): every
-// unvisited vertex scans its own adjacency for a visited neighbor. In a
+// unvisited vertex scans its own adjacency for a frontier member. In a
 // level-synchronous BFS any visited neighbor of an unvisited vertex
-// necessarily belongs to the deepest completed level, so the plain epoch
-// test identifies frontier membership. Newly found vertices are marked
-// only after the scan so the visited array stays frozen within the level
-// (no atomics needed on it).
+// necessarily belongs to the deepest completed level, so probing the
+// frontier bitmap is equivalent to the epoch test — but reads 1 bit per
+// probe instead of a 4-byte epoch cell (the step is bandwidth-bound).
+//
+// The scan is word-parallel: each 64-vertex word of the visited bitmap is
+// owned by exactly one thread, so the visited/next words are written with
+// plain stores and the next frontier is produced in the same pass that
+// discovers it (no push-then-remark double pass, no atomics anywhere).
+
+#include <algorithm>
+#include <bit>
 
 #include "bfs/bfs.hpp"
 
 namespace fdiam {
 
-void BfsEngine::step_bottomup(std::vector<dist_t>* dist, dist_t level) {
-  next_.clear();
-  const auto n = static_cast<std::int64_t>(g_.num_vertices());
+vid_t BfsEngine::step_bottomup(std::vector<dist_t>* dist, dist_t level) {
+  next_bm_.clear();
+  const auto nwords = static_cast<std::int64_t>(visited_bm_.num_words());
   std::uint64_t edges = 0;
+  vid_t found_total = 0;
 
-  if (config_.parallel) {
-#pragma omp parallel for schedule(dynamic, 2048) reduction(+ : edges)
-    for (std::int64_t vi = 0; vi < n; ++vi) {
-      const auto v = static_cast<vid_t>(vi);
-      if (visited_.is_visited(v)) continue;
+#pragma omp parallel for schedule(dynamic, 32) \
+    reduction(+ : edges, found_total) if (config_.parallel)
+  for (std::int64_t wi = 0; wi < nwords; ++wi) {
+    const auto w_idx = static_cast<std::size_t>(wi);
+    std::uint64_t unvisited =
+        ~visited_bm_.word(w_idx) & visited_bm_.valid_mask(w_idx);
+    std::uint64_t found = 0;
+    while (unvisited != 0) {
+      const int bit = std::countr_zero(unvisited);
+      unvisited &= unvisited - 1;
+      const auto v = static_cast<vid_t>(wi * 64 + bit);
       for (const vid_t w : g_.neighbors(v)) {
         ++edges;
-        if (visited_.is_visited(w)) {
-          next_.push_atomic(v);
+        if (front_bm_.test(w)) {
+          found |= 1ULL << bit;
           break;
         }
       }
     }
-  } else {
-    for (std::int64_t vi = 0; vi < n; ++vi) {
-      const auto v = static_cast<vid_t>(vi);
-      if (visited_.is_visited(v)) continue;
-      for (const vid_t w : g_.neighbors(v)) {
-        ++edges;
-        if (visited_.is_visited(w)) {
-          next_.push(v);
-          break;
-        }
+    if (found != 0) {
+      visited_bm_.or_word(w_idx, found);
+      next_bm_.set_word(w_idx, found);
+      found_total += static_cast<vid_t>(std::popcount(found));
+      // This thread owns the whole word, so the epoch cells and distance
+      // slots of its vertices are written by exactly one thread.
+      std::uint64_t bits = found;
+      while (bits != 0) {
+        const int bit = std::countr_zero(bits);
+        bits &= bits - 1;
+        const auto v = static_cast<vid_t>(wi * 64 + bit);
+        visited_.visit(v);
+        if (dist) (*dist)[v] = level;
       }
     }
   }
   stats_.edges_examined += edges;
+  return found_total;
+}
 
-  const auto found = static_cast<std::int64_t>(next_.size());
-  const auto frontier = next_.view();
+void BfsEngine::queue_to_bitmaps(const Frontier& frontier) {
+  const vid_t n = g_.num_vertices();
+  front_bm_.clear();
+  const auto fview = frontier.view();
+  const auto fsize = static_cast<std::int64_t>(fview.size());
+  // The switch only happens on frontiers above the bottom-up threshold,
+  // so both conversion scans amortize against the level they enable.
+#pragma omp parallel for schedule(static) if (config_.parallel)
+  for (std::int64_t i = 0; i < fsize; ++i) {
+    front_bm_.set_atomic(fview[static_cast<std::size_t>(i)]);
+  }
+  const auto nwords = static_cast<std::int64_t>(visited_bm_.num_words());
+#pragma omp parallel for schedule(static) if (config_.parallel)
+  for (std::int64_t wi = 0; wi < nwords; ++wi) {
+    const auto base = static_cast<vid_t>(wi * 64);
+    const vid_t limit = std::min<vid_t>(64, n - base);
+    std::uint64_t word = 0;
+    for (vid_t b = 0; b < limit; ++b) {
+      if (visited_.is_visited(base + b)) word |= 1ULL << b;
+    }
+    visited_bm_.set_word(static_cast<std::size_t>(wi), word);
+  }
+}
+
+void BfsEngine::bitmap_to_queue(const Bitmap& bitmap, Frontier& frontier) {
+  frontier.clear();
+  const auto nwords = static_cast<std::int64_t>(bitmap.num_words());
   if (config_.parallel) {
-#pragma omp parallel for schedule(static)
-    for (std::int64_t i = 0; i < found; ++i) {
-      const vid_t v = frontier[static_cast<std::size_t>(i)];
-      visited_.visit(v);
-      if (dist) (*dist)[v] = level;
+#pragma omp parallel
+    {
+      Frontier::Local local(frontier);
+#pragma omp for schedule(static) nowait
+      for (std::int64_t wi = 0; wi < nwords; ++wi) {
+        std::uint64_t bits = bitmap.word(static_cast<std::size_t>(wi));
+        while (bits != 0) {
+          const int bit = std::countr_zero(bits);
+          bits &= bits - 1;
+          local.push(static_cast<vid_t>(wi * 64 + bit));
+        }
+      }
     }
   } else {
-    for (std::int64_t i = 0; i < found; ++i) {
-      const vid_t v = frontier[static_cast<std::size_t>(i)];
-      visited_.visit(v);
-      if (dist) (*dist)[v] = level;
+    for (std::int64_t wi = 0; wi < nwords; ++wi) {
+      std::uint64_t bits = bitmap.word(static_cast<std::size_t>(wi));
+      while (bits != 0) {
+        const int bit = std::countr_zero(bits);
+        bits &= bits - 1;
+        frontier.push(static_cast<vid_t>(wi * 64 + bit));
+      }
     }
   }
 }

@@ -1,11 +1,14 @@
 // Direction-optimizing BFS driver (paper §4.6 / Alg. 2).
 //
 // Each level either expands the frontier top-down (data-driven, atomic
-// claims) or bottom-up (topology-driven, no atomics, some wasted work).
-// The bottom-up path is taken while the frontier holds more than
-// `bottomup_threshold` (default 10%) of the vertices, and the engine
-// switches back to top-down when the frontier shrinks below the threshold
-// again, following the latest direction-optimized BFS implementations.
+// claims, queue worklists) or bottom-up (topology-driven, bitmap
+// worklists, no atomics, some wasted work). The bottom-up path is taken
+// while the frontier holds more than `bottomup_threshold` (default 10%)
+// of the vertices, and the engine switches back to top-down when the
+// frontier shrinks below the threshold again. The worklist representation
+// follows the direction: queue<->bitmap conversions happen only on
+// switches, and each conversion is amortized by the above-threshold level
+// that forced it.
 
 #include <algorithm>
 #include <cassert>
@@ -23,6 +26,11 @@ BfsEngine::BfsEngine(const Csr& g, BfsConfig config)
       next_(g.num_vertices()) {
   threshold_count_ = static_cast<std::size_t>(
       static_cast<double>(g.num_vertices()) * config_.bottomup_threshold);
+  if (config_.direction_optimizing) {
+    front_bm_.resize(g.num_vertices());
+    next_bm_.resize(g.num_vertices());
+    visited_bm_.resize(g.num_vertices());
+  }
 }
 
 dist_t BfsEngine::eccentricity(vid_t source) { return run(source, nullptr); }
@@ -41,7 +49,11 @@ dist_t BfsEngine::run(vid_t source, std::vector<dist_t>* dist) {
 
   cur_.clear();
   cur_.push(source);
+  vid_t cur_count = 1;
   last_visited_ = 1;
+  // Which representation currently holds the frontier being expanded:
+  // false = cur_ queue, true = front_bm_ bitmap (+ visited_bm_ in sync).
+  bool bitmap_mode = false;
 
   // Hoisted so an unset hook costs nothing inside the loop: no
   // std::function bool test, no clock reads, no edge-counter snapshot
@@ -51,8 +63,16 @@ dist_t BfsEngine::run(vid_t source, std::vector<dist_t>* dist) {
   dist_t level = 0;
   Timer step_timer;
   while (true) {
-    const bool bottom_up = config_.direction_optimizing &&
-                           cur_.size() > threshold_count_;
+    const bool bottom_up =
+        config_.direction_optimizing && cur_count > threshold_count_;
+    if (bottom_up != bitmap_mode) {
+      if (bottom_up) {
+        queue_to_bitmaps(cur_);
+      } else {
+        bitmap_to_queue(front_bm_, cur_);
+      }
+      bitmap_mode = bottom_up;
+    }
     ++level;
     // Per-level profiling (opt-in): every visited vertex belongs to
     // exactly one expanded frontier, so the reported frontier sizes of a
@@ -62,23 +82,35 @@ dist_t BfsEngine::run(vid_t source, std::vector<dist_t>* dist) {
       edges_before = stats_.edges_examined;
       step_timer.reset();
     }
+    vid_t next_count;
     if (bottom_up) {
       ++stats_.bottomup_levels;
-      step_bottomup(dist, level);
+      next_count = step_bottomup(dist, level);
     } else {
       ++stats_.topdown_levels;
       step_topdown(dist, level);
+      next_count = static_cast<vid_t>(next_.size());
     }
     ++stats_.levels;
     if (profiled) {
       level_hook_(BfsLevelProfile{stats_.traversals, level - 1, bottom_up,
-                                  static_cast<vid_t>(cur_.size()),
+                                  cur_count,
                                   stats_.edges_examined - edges_before,
                                   step_timer.millis() * 1e3});
     }
-    if (next_.empty()) break;  // cur_ still holds the deepest level
-    last_visited_ += static_cast<vid_t>(next_.size());
-    swap(cur_, next_);
+    if (next_count == 0) {
+      // cur_ still holds the deepest level; materialize it as a queue so
+      // last_frontier() keeps its contract when the BFS ended bottom-up.
+      if (bitmap_mode) bitmap_to_queue(front_bm_, cur_);
+      break;
+    }
+    last_visited_ += next_count;
+    if (bitmap_mode) {
+      std::swap(front_bm_, next_bm_);
+    } else {
+      swap(cur_, next_);
+    }
+    cur_count = next_count;
   }
   stats_.vertices_visited += last_visited_;
   return level - 1;

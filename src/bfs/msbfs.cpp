@@ -1,73 +1,131 @@
 #include "bfs/msbfs.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+
+#include "bfs/frontier.hpp"
 
 namespace fdiam {
 
 namespace {
 
+/// Per-batch scratch. `seen`/`frontier`/`next` are full-vertex bit-mask
+/// arrays; the active lists are what makes the sweep frontier-
+/// proportional. Between batches only `seen` needs re-zeroing: the level
+/// loop restores `frontier` and `next` to all-zero as it retires levels.
+struct MsbfsScratch {
+  std::vector<std::uint64_t> seen, frontier, next;
+  Frontier cur_active, next_active;
+
+  explicit MsbfsScratch(vid_t n)
+      : seen(n), frontier(n), next(n), cur_active(n), next_active(n) {}
+
+  void reset() {
+    std::fill(seen.begin(), seen.end(), 0);
+    cur_active.clear();
+    next_active.clear();
+  }
+};
+
 /// One bit-parallel sweep over <= 64 sources. `ecc_out[i]` receives the
 /// eccentricity of `sources[i]`.
 void msbfs_batch(const Csr& g, std::span<const vid_t> sources,
-                 std::span<dist_t> ecc_out, std::vector<std::uint64_t>& seen,
-                 std::vector<std::uint64_t>& frontier,
-                 std::vector<std::uint64_t>& next) {
+                 std::span<dist_t> ecc_out, MsbfsScratch& s, bool parallel) {
   assert(sources.size() <= 64);
-  const vid_t n = g.num_vertices();
-  std::fill(seen.begin(), seen.end(), 0);
-  std::fill(frontier.begin(), frontier.end(), 0);
+  s.reset();
 
   for (std::size_t i = 0; i < sources.size(); ++i) {
     const std::uint64_t bit = 1ULL << i;
-    seen[sources[i]] |= bit;
-    frontier[sources[i]] |= bit;
+    if (s.seen[sources[i]] == 0) s.cur_active.push(sources[i]);
+    s.seen[sources[i]] |= bit;
+    s.frontier[sources[i]] |= bit;
     ecc_out[i] = 0;
   }
 
   dist_t level = 0;
-  bool active = true;
-  while (active) {
+  while (!s.cur_active.empty()) {
     ++level;
-    active = false;
-    std::fill(next.begin(), next.end(), 0);
-    // Pull formulation: a vertex gathers the frontier bits of its
-    // neighbors. Touches every vertex once per level but needs no
-    // atomics and vectorizes well.
-    for (vid_t v = 0; v < n; ++v) {
-      std::uint64_t gathered = 0;
-      for (const vid_t w : g.neighbors(v)) gathered |= frontier[w];
-      gathered &= ~seen[v];
-      if (gathered != 0) {
-        next[v] = gathered;
-        seen[v] |= gathered;
-        active = true;
+    s.next_active.clear();
+    // Push formulation over the active list: a frontier vertex scatters
+    // its bits to its neighbors. `discovered` accumulates every bit that
+    // reached a new vertex this level, folded into the expansion itself
+    // (no post-pass over the vertex array).
+    std::uint64_t discovered = 0;
+    const auto active = s.cur_active.view();
+    const auto asize = static_cast<std::int64_t>(active.size());
+
+    if (parallel) {
+#pragma omp parallel reduction(| : discovered)
+      {
+        Frontier::Local local(s.next_active);
+#pragma omp for schedule(dynamic, 64) nowait
+        for (std::int64_t i = 0; i < asize; ++i) {
+          const vid_t v = active[static_cast<std::size_t>(i)];
+          const std::uint64_t bits = s.frontier[v];
+          for (const vid_t w : g.neighbors(v)) {
+            // Relaxed pre-check skips settled neighbors without an RMW.
+            std::atomic_ref<std::uint64_t> seen_w(s.seen[w]);
+            const std::uint64_t cand =
+                bits & ~seen_w.load(std::memory_order_relaxed);
+            if (cand == 0) continue;
+            const std::uint64_t fresh =
+                cand & ~seen_w.fetch_or(cand, std::memory_order_relaxed);
+            if (fresh == 0) continue;
+            std::atomic_ref<std::uint64_t> next_w(s.next[w]);
+            if (next_w.fetch_or(fresh, std::memory_order_relaxed) == 0) {
+              local.push(w);  // first toucher enlists w exactly once
+            }
+            discovered |= fresh;
+          }
+        }
+      }
+    } else {
+      for (std::int64_t i = 0; i < asize; ++i) {
+        const vid_t v = active[static_cast<std::size_t>(i)];
+        const std::uint64_t bits = s.frontier[v];
+        for (const vid_t w : g.neighbors(v)) {
+          const std::uint64_t fresh = bits & ~s.seen[w];
+          if (fresh == 0) continue;
+          s.seen[w] |= fresh;
+          if (s.next[w] == 0) s.next_active.push(w);
+          s.next[w] |= fresh;
+          discovered |= fresh;
+        }
       }
     }
-    if (!active) break;
+
     // A source whose BFS discovered anything at this level has
-    // eccentricity >= level.
-    std::uint64_t discovered = 0;
-    for (vid_t v = 0; v < n; ++v) discovered |= next[v];
+    // eccentricity >= level; a source absent from `discovered` has
+    // terminated and contributes no further work (its frontier is empty).
     for (std::size_t i = 0; i < sources.size(); ++i) {
       if (discovered & (1ULL << i)) ecc_out[i] = level;
     }
-    frontier.swap(next);
+
+    // Retire the expanded level and promote the next one, touching only
+    // the two active lists (this is also what returns frontier/next to
+    // all-zero by the time the batch ends).
+    for (const vid_t v : active) s.frontier[v] = 0;
+    for (const vid_t w : s.next_active.view()) {
+      s.frontier[w] = s.next[w];
+      s.next[w] = 0;
+    }
+    swap(s.cur_active, s.next_active);
   }
 }
 
 }  // namespace
 
 std::vector<dist_t> msbfs_eccentricities(const Csr& g,
-                                         std::span<const vid_t> sources) {
-  const vid_t n = g.num_vertices();
+                                         std::span<const vid_t> sources,
+                                         bool parallel) {
   std::vector<dist_t> ecc(sources.size(), 0);
-  std::vector<std::uint64_t> seen(n), frontier(n), next(n);
+  MsbfsScratch scratch(g.num_vertices());
   for (std::size_t base = 0; base < sources.size(); base += 64) {
     const std::size_t count = std::min<std::size_t>(64, sources.size() - base);
     msbfs_batch(g, sources.subspan(base, count),
-                std::span<dist_t>(ecc).subspan(base, count), seen, frontier,
-                next);
+                std::span<dist_t>(ecc).subspan(base, count), scratch,
+                parallel);
   }
   return ecc;
 }
@@ -79,7 +137,7 @@ std::vector<dist_t> msbfs_all_eccentricities(const Csr& g) {
 
 #pragma omp parallel
   {
-    std::vector<std::uint64_t> seen(n), frontier(n), next(n);
+    MsbfsScratch scratch(n);
     std::vector<vid_t> sources;
 #pragma omp for schedule(dynamic, 1)
     for (std::int64_t b = 0; b < static_cast<std::int64_t>(batches); ++b) {
@@ -87,9 +145,8 @@ std::vector<dist_t> msbfs_all_eccentricities(const Csr& g) {
       const vid_t count = std::min<vid_t>(64, n - base);
       sources.resize(count);
       for (vid_t i = 0; i < count; ++i) sources[i] = base + i;
-      msbfs_batch(g, sources,
-                  std::span<dist_t>(ecc).subspan(base, count), seen,
-                  frontier, next);
+      msbfs_batch(g, sources, std::span<dist_t>(ecc).subspan(base, count),
+                  scratch, /*parallel=*/false);
     }
   }
   return ecc;
@@ -103,15 +160,14 @@ MsbfsDiameter msbfs_diameter(const Csr& g) {
   result.diameter = *std::max_element(ecc.begin(), ecc.end());
   result.sweeps = (n + 63) / 64;
 
-  // Connectivity check: one ordinary BFS-reach count from vertex 0 would
-  // do, but we already know each vertex's component implicitly is not
-  // tracked here — use the visited mask trick on a single batch instead.
-  std::vector<std::uint64_t> seen(n), frontier(n), next(n);
-  std::vector<dist_t> scratch(1);
+  // Connectivity check: run a single-source batch and count how many
+  // vertices its `seen` mask reached.
+  MsbfsScratch scratch(n);
+  std::vector<dist_t> probe_ecc(1);
   const vid_t probe[1] = {0};
-  msbfs_batch(g, probe, scratch, seen, frontier, next);
+  msbfs_batch(g, probe, probe_ecc, scratch, /*parallel=*/false);
   vid_t reached = 0;
-  for (vid_t v = 0; v < n; ++v) reached += (seen[v] & 1ULL) != 0;
+  for (vid_t v = 0; v < n; ++v) reached += (scratch.seen[v] & 1ULL) != 0;
   result.connected = reached == n;
   return result;
 }

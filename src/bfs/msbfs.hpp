@@ -8,6 +8,12 @@
 // eccentricity-only workloads (this library's APSP ground truth and the
 // all-eccentricity bounding loop) that is a large constant-factor win on
 // sparse graphs.
+//
+// The expansion is an active-list push: only vertices holding frontier
+// bits are expanded, so per-level work is proportional to the frontier
+// (plus its out-edges) instead of touching every vertex every level, and
+// a batch terminates as soon as no traversal in it discovers anything —
+// no full-vertex scan is needed to detect that.
 
 #include <cstdint>
 #include <span>
@@ -18,14 +24,19 @@
 
 namespace fdiam {
 
-/// Eccentricities of up to 64 sources in one bit-parallel sweep.
+/// Eccentricities of up to 64 sources per bit-parallel sweep.
 /// Result[i] = eccentricity of sources[i] within its component.
+/// `parallel` parallelizes inside each batch (OpenMP over the active
+/// list) — the right mode for few-batch workloads like the paper's §4.5
+/// partial multi-source extension; pass false when the caller already
+/// parallelizes across batches.
 std::vector<dist_t> msbfs_eccentricities(const Csr& g,
-                                         std::span<const vid_t> sources);
+                                         std::span<const vid_t> sources,
+                                         bool parallel = true);
 
 /// Eccentricity of EVERY vertex via ceil(n/64) bit-parallel sweeps,
-/// parallelized over batches with OpenMP. Exact replacement for the
-/// one-BFS-per-vertex APSP loop.
+/// parallelized across batches with OpenMP (each batch serial inside).
+/// Exact replacement for the one-BFS-per-vertex APSP loop.
 std::vector<dist_t> msbfs_all_eccentricities(const Csr& g);
 
 /// Exact diameter via msbfs_all_eccentricities: the fast exhaustive

@@ -1,6 +1,8 @@
 // Data-driven top-down BFS level (paper Alg. 2 lines 10-14): scan the
 // adjacency of every frontier vertex and atomically claim unvisited
-// neighbors for the next frontier.
+// neighbors for the next frontier. Discovered vertices are staged in
+// per-thread Frontier::Local chunks, so the shared frontier counter is
+// touched once per chunk instead of once per vertex.
 
 #include "bfs/bfs.hpp"
 
@@ -13,17 +15,22 @@ void BfsEngine::step_topdown(std::vector<dist_t>* dist, dist_t level) {
   std::uint64_t edges = 0;
 
   if (config_.parallel) {
-#pragma omp parallel for schedule(dynamic, 64) reduction(+ : edges)
-    for (std::int64_t i = 0; i < fsize; ++i) {
-      const vid_t v = frontier[static_cast<std::size_t>(i)];
-      const auto adj = g_.neighbors(v);
-      edges += adj.size();
-      for (const vid_t w : adj) {
-        if (visited_.try_visit(w)) {
-          if (dist) (*dist)[w] = level;
-          next_.push_atomic(w);
+#pragma omp parallel reduction(+ : edges)
+    {
+      Frontier::Local local(next_);
+#pragma omp for schedule(dynamic, 64) nowait
+      for (std::int64_t i = 0; i < fsize; ++i) {
+        const vid_t v = frontier[static_cast<std::size_t>(i)];
+        const auto adj = g_.neighbors(v);
+        edges += adj.size();
+        for (const vid_t w : adj) {
+          if (visited_.try_visit(w)) {
+            if (dist) (*dist)[w] = level;
+            local.push(w);
+          }
         }
       }
+      // local flushes on scope exit, before the region's closing barrier.
     }
   } else {
     for (std::int64_t i = 0; i < fsize; ++i) {

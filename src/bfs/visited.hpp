@@ -37,7 +37,7 @@ class EpochVisited {
   /// Atomically claim v for the current epoch. Returns true iff this call
   /// transitioned it from unvisited to visited (exactly one thread wins).
   bool try_visit(vid_t v) {
-    auto& cell = reinterpret_cast<std::atomic<std::uint32_t>&>(cells_[v]);
+    std::atomic_ref<std::uint32_t> cell(cells_[v]);
     std::uint32_t seen = cell.load(std::memory_order_relaxed);
     if (seen == epoch_) return false;
     return cell.compare_exchange_strong(seen, epoch_,

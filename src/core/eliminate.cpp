@@ -77,19 +77,23 @@ void FDiam::extend_eliminated(dist_t old_bound, dist_t fresh_bound) {
     const auto fsize = static_cast<std::int64_t>(frontier.size());
 
     if (opt_.parallel) {
-#pragma omp parallel for schedule(dynamic, 64)
-      for (std::int64_t i = 0; i < fsize; ++i) {
-        const vid_t v = frontier[static_cast<std::size_t>(i)];
-        for (const vid_t w : g_.neighbors(v)) {
-          if (elim_visited_.try_visit(w)) {
-            // The claiming thread exclusively owns w's state update.
-            if (state_[w] == kActiveState) {
-              state_[w] = value;
-              stage_tag_[w] = Stage::kEliminate;
-            } else if (value < state_[w] && state_[w] >= 0) {
-              state_[w] = value;
+#pragma omp parallel
+      {
+        Frontier::Local local(aux_next_);
+#pragma omp for schedule(dynamic, 64) nowait
+        for (std::int64_t i = 0; i < fsize; ++i) {
+          const vid_t v = frontier[static_cast<std::size_t>(i)];
+          for (const vid_t w : g_.neighbors(v)) {
+            if (elim_visited_.try_visit(w)) {
+              // The claiming thread exclusively owns w's state update.
+              if (state_[w] == kActiveState) {
+                state_[w] = value;
+                stage_tag_[w] = Stage::kEliminate;
+              } else if (value < state_[w] && state_[w] >= 0) {
+                state_[w] = value;
+              }
+              local.push(w);
             }
-            aux_next_.push_atomic(w);
           }
         }
       }

@@ -403,4 +403,16 @@ DiameterResult fdiam_diameter(const Csr& g, FDiamOptions opt) {
   return solver.run();
 }
 
+DiameterResult fdiam_diameter_reordered(const Csr& g, ReorderMode mode,
+                                        FDiamOptions opt,
+                                        std::uint64_t seed) {
+  if (mode == ReorderMode::kNone) return fdiam_diameter(g, opt);
+  const Permutation new_id = make_order(g, mode, seed);
+  const Csr permuted = apply_permutation(g, new_id);
+  DiameterResult result = fdiam_diameter(permuted, opt);
+  // The witness lives in permuted-id space; hand the caller their own id.
+  result.witness = inverse_permutation(new_id)[result.witness];
+  return result;
+}
+
 }  // namespace fdiam

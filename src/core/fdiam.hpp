@@ -28,6 +28,7 @@
 
 #include "bfs/bfs.hpp"
 #include "graph/csr.hpp"
+#include "graph/reorder.hpp"
 #include "obs/perf/hw_counters.hpp"
 #include "util/timer.hpp"
 #include "util/types.hpp"
@@ -320,5 +321,16 @@ class FDiam {
 
 /// One-shot convenience wrapper.
 DiameterResult fdiam_diameter(const Csr& g, FDiamOptions opt = {});
+
+/// Run F-Diam on a cache-aware relabeling of `g` (paper §6.2: BFS speed is
+/// bandwidth-bound, and vertex order decides locality): build the `mode`
+/// permutation, solve on the permuted CSR, and translate the diametral
+/// witness back through the inverse permutation — so the result is
+/// bit-identical to running on `g` directly, modulo which of several
+/// equally-diametral witnesses is reported. kNone degenerates to
+/// fdiam_diameter. `seed` only matters for ReorderMode::kRandom.
+DiameterResult fdiam_diameter_reordered(const Csr& g, ReorderMode mode,
+                                        FDiamOptions opt = {},
+                                        std::uint64_t seed = 42);
 
 }  // namespace fdiam

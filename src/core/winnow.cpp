@@ -13,6 +13,7 @@
 // kept across calls, so raising the bound later extends the region
 // incrementally instead of re-traversing it (paper §4.5).
 
+#include <atomic>
 #include <cstdint>
 
 #include "core/fdiam.hpp"
@@ -42,22 +43,26 @@ void FDiam::winnow_extend(dist_t bound) {
     const auto fsize = static_cast<std::int64_t>(winnow_frontier_.size());
 
     if (opt_.parallel) {
-#pragma omp parallel for schedule(dynamic, 64) reduction(+ : removed)
-      for (std::int64_t i = 0; i < fsize; ++i) {
-        const vid_t v = winnow_frontier_[static_cast<std::size_t>(i)];
-        for (const vid_t w : g_.neighbors(v)) {
-          std::uint8_t expected = 0;
-          // Atomically claim membership in the ball; exactly one thread
-          // wins and becomes responsible for marking w.
-          if (__atomic_compare_exchange_n(&in_winnow_region_[w], &expected, 1,
-                                          false, __ATOMIC_RELAXED,
-                                          __ATOMIC_RELAXED)) {
-            if (state_[w] == kActiveState) {
-              state_[w] = kWinnowedState;
-              stage_tag_[w] = Stage::kWinnow;
-              ++removed;
+#pragma omp parallel reduction(+ : removed)
+      {
+        Frontier::Local local(aux_next_);
+#pragma omp for schedule(dynamic, 64) nowait
+        for (std::int64_t i = 0; i < fsize; ++i) {
+          const vid_t v = winnow_frontier_[static_cast<std::size_t>(i)];
+          for (const vid_t w : g_.neighbors(v)) {
+            std::uint8_t expected = 0;
+            // Atomically claim membership in the ball; exactly one thread
+            // wins and becomes responsible for marking w.
+            std::atomic_ref<std::uint8_t> member(in_winnow_region_[w]);
+            if (member.compare_exchange_strong(expected, 1,
+                                               std::memory_order_relaxed)) {
+              if (state_[w] == kActiveState) {
+                state_[w] = kWinnowedState;
+                stage_tag_[w] = Stage::kWinnow;
+                ++removed;
+              }
+              local.push(w);
             }
-            aux_next_.push_atomic(w);
           }
         }
       }

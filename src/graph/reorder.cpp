@@ -89,4 +89,43 @@ Permutation random_order(const Csr& g, std::uint64_t seed) {
   return new_id;
 }
 
+std::optional<ReorderMode> parse_reorder_mode(std::string_view name) {
+  if (name == "none") return ReorderMode::kNone;
+  if (name == "degree") return ReorderMode::kDegree;
+  if (name == "bfs") return ReorderMode::kBfs;
+  if (name == "random") return ReorderMode::kRandom;
+  return std::nullopt;
+}
+
+const char* reorder_mode_name(ReorderMode mode) {
+  switch (mode) {
+    case ReorderMode::kDegree: return "degree";
+    case ReorderMode::kBfs: return "bfs";
+    case ReorderMode::kRandom: return "random";
+    case ReorderMode::kNone: break;
+  }
+  return "none";
+}
+
+Permutation make_order(const Csr& g, ReorderMode mode, std::uint64_t seed) {
+  switch (mode) {
+    case ReorderMode::kDegree: return degree_order(g);
+    case ReorderMode::kBfs: return bfs_order(g);
+    case ReorderMode::kRandom: return random_order(g, seed);
+    case ReorderMode::kNone: break;
+  }
+  Permutation identity(g.num_vertices());
+  std::iota(identity.begin(), identity.end(), 0);
+  return identity;
+}
+
+Permutation inverse_permutation(const Permutation& new_id) {
+  Permutation inverse(new_id.size());
+  for (vid_t old_id = 0; old_id < static_cast<vid_t>(new_id.size());
+       ++old_id) {
+    inverse[new_id[old_id]] = old_id;
+  }
+  return inverse;
+}
+
 }  // namespace fdiam

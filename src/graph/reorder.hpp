@@ -11,6 +11,9 @@
 // vertex perm_inverse[v]; the diameter and all distances are invariant
 // under relabeling (asserted by the tests).
 
+#include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -20,6 +23,24 @@ namespace fdiam {
 
 /// new_id[old_id] permutation; must be a bijection on [0, n).
 using Permutation = std::vector<vid_t>;
+
+/// The orders the solver and CLI expose (--reorder=...). kRandom is the
+/// locality destroyer and only useful as a benchmark contrast, but it is
+/// accepted everywhere the other modes are.
+enum class ReorderMode { kNone, kDegree, kBfs, kRandom };
+
+/// Parse "none"/"degree"/"bfs"/"random"; nullopt on anything else.
+std::optional<ReorderMode> parse_reorder_mode(std::string_view name);
+const char* reorder_mode_name(ReorderMode mode);
+
+/// Build the permutation for `mode` (identity for kNone; `seed` only
+/// matters for kRandom).
+Permutation make_order(const Csr& g, ReorderMode mode,
+                       std::uint64_t seed = 42);
+
+/// inverse[new_id] = old_id, the map that translates results computed on
+/// a permuted graph back to the caller's vertex ids.
+Permutation inverse_permutation(const Permutation& new_id);
 
 /// Apply a permutation: result has edge {new_id[u], new_id[v]} for every
 /// edge {u, v}. Throws std::invalid_argument if perm is not a bijection.

@@ -1,0 +1,160 @@
+// Property test over the whole BFS engine zoo (ISSUE 3): serial, parallel
+// top-down-only, forced bottom-up, hybrid at several switch thresholds,
+// and bit-parallel MS-BFS must all report identical distances and
+// eccentricities on seeded grid / RMAT / tree graphs — and the same must
+// hold after each --reorder relabeling, whose permutation must also map
+// distances through unchanged. This is the bit-identical-results guarantee
+// the bench_compare exact-metric check relies on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bfs/bfs.hpp"
+#include "bfs/msbfs.hpp"
+#include "core/fdiam.hpp"
+#include "gen/generators.hpp"
+#include "graph/reorder.hpp"
+
+namespace fdiam {
+namespace {
+
+struct NamedConfig {
+  const char* name;
+  BfsConfig config;
+};
+
+// Every execution strategy the engine offers. Threshold 0.0 forces the
+// bottom-up step from level 1 on; 1.0 never triggers it; the middle values
+// exercise both conversion directions on the same traversal.
+const std::vector<NamedConfig>& engine_configs() {
+  static const std::vector<NamedConfig> configs = {
+      {"serial_topdown", {false, false, 0.1}},
+      {"serial_hybrid", {false, true, 0.1}},
+      {"parallel_topdown", {true, false, 0.1}},
+      {"forced_bottomup", {true, true, 0.0}},
+      {"hybrid_t005", {true, true, 0.05}},
+      {"hybrid_t01", {true, true, 0.1}},
+      {"hybrid_t05", {true, true, 0.5}},
+  };
+  return configs;
+}
+
+std::vector<vid_t> sample_sources(const Csr& g) {
+  std::vector<vid_t> sources;
+  const vid_t stride = std::max<vid_t>(1, g.num_vertices() / 12);
+  for (vid_t s = 0; s < g.num_vertices(); s += stride) sources.push_back(s);
+  return sources;
+}
+
+// The core property: on `g`, every engine mode and MS-BFS agree with the
+// serial reference on distances and eccentricities for sampled sources.
+void expect_all_strategies_agree(const Csr& g, const std::string& tag) {
+  const std::vector<vid_t> sources = sample_sources(g);
+
+  std::vector<std::vector<dist_t>> ref_dist(sources.size());
+  std::vector<dist_t> ref_ecc(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    ref_ecc[i] = bfs_distances_serial(g, sources[i], ref_dist[i]);
+  }
+
+  for (const auto& [name, config] : engine_configs()) {
+    BfsEngine engine(g, config);
+    std::vector<dist_t> dist;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const dist_t ecc = engine.distances(sources[i], dist);
+      ASSERT_EQ(ecc, ref_ecc[i]) << tag << " / " << name << " / source "
+                                 << sources[i];
+      ASSERT_EQ(dist, ref_dist[i]) << tag << " / " << name << " / source "
+                                   << sources[i];
+      ASSERT_EQ(engine.eccentricity(sources[i]), ref_ecc[i])
+          << tag << " / " << name << " / source " << sources[i];
+    }
+  }
+
+  for (const bool parallel : {false, true}) {
+    const std::vector<dist_t> ecc = msbfs_eccentricities(g, sources, parallel);
+    ASSERT_EQ(ecc.size(), sources.size());
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      ASSERT_EQ(ecc[i], ref_ecc[i])
+          << tag << " / msbfs(parallel=" << parallel << ") / source "
+          << sources[i];
+    }
+  }
+}
+
+struct NamedGraph {
+  std::string name;
+  Csr graph;
+};
+
+std::vector<NamedGraph> property_graphs() {
+  std::vector<NamedGraph> graphs;
+  // The three topology regimes of the bench suite: mesh, power-law, tree.
+  graphs.push_back({"grid_40x30", make_grid(40, 30)});
+  graphs.push_back({"rmat_s9", make_rmat(9, 8.0, 0.57, 0.19, 0.19, 7)});
+  graphs.push_back({"random_tree_2k", make_random_tree(2000, 11)});
+  return graphs;
+}
+
+TEST(BfsProperty, AllStrategiesAgreeOnNaturalOrder) {
+  for (const auto& [name, g] : property_graphs()) {
+    expect_all_strategies_agree(g, name);
+  }
+}
+
+TEST(BfsProperty, AllStrategiesAgreeAfterEveryReorder) {
+  const ReorderMode modes[] = {ReorderMode::kNone, ReorderMode::kDegree,
+                               ReorderMode::kBfs, ReorderMode::kRandom};
+  for (const auto& [name, g] : property_graphs()) {
+    for (const ReorderMode mode : modes) {
+      const Csr permuted = apply_permutation(g, make_order(g, mode, 5));
+      expect_all_strategies_agree(
+          permuted, name + "+" + reorder_mode_name(mode));
+    }
+  }
+}
+
+TEST(BfsProperty, ReorderingMapsDistancesThroughThePermutation) {
+  for (const auto& [name, g] : property_graphs()) {
+    const Permutation new_id = make_order(g, ReorderMode::kBfs, 5);
+    const Csr permuted = apply_permutation(g, new_id);
+    std::vector<dist_t> dist_orig, dist_perm;
+    for (const vid_t s : sample_sources(g)) {
+      const dist_t ecc_orig = bfs_distances_serial(g, s, dist_orig);
+      const dist_t ecc_perm =
+          bfs_distances_serial(permuted, new_id[s], dist_perm);
+      ASSERT_EQ(ecc_orig, ecc_perm) << name << " / source " << s;
+      for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        ASSERT_EQ(dist_orig[v], dist_perm[new_id[v]])
+            << name << " / source " << s << " / vertex " << v;
+      }
+    }
+  }
+}
+
+TEST(BfsProperty, SolverDiameterIsInvariantUnderReorderModes) {
+  const ReorderMode modes[] = {ReorderMode::kNone, ReorderMode::kDegree,
+                               ReorderMode::kBfs, ReorderMode::kRandom};
+  for (const auto& [name, g] : property_graphs()) {
+    const DiameterResult ref = fdiam_diameter(g);
+    std::vector<dist_t> dist;
+    for (const ReorderMode mode : modes) {
+      const DiameterResult r = fdiam_diameter_reordered(g, mode);
+      EXPECT_EQ(r.diameter, ref.diameter)
+          << name << " / " << reorder_mode_name(mode);
+      EXPECT_EQ(r.connected, ref.connected);
+      // The witness is reported in ORIGINAL ids: its eccentricity on the
+      // unpermuted graph must equal the diameter.
+      ASSERT_LT(r.witness, g.num_vertices());
+      EXPECT_EQ(bfs_distances_serial(g, r.witness, dist), ref.diameter)
+          << name << " / " << reorder_mode_name(mode) << " / witness "
+          << r.witness;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fdiam

@@ -1,0 +1,181 @@
+// Tests for the BFS worklist, focused on the contention-free append path:
+// Frontier::Local staging chunks must publish exactly the pushed multiset
+// under concurrent producers, reserve() must hand out disjoint ranges, and
+// the single-threaded Local must preserve push order (the two-sweep reads
+// last_frontier()[0], so single-thread frontier order is load-bearing).
+//
+// The concurrent cases drive the protocol with std::thread rather than
+// OpenMP: TSan intercepts pthread create/join but cannot see through GCC
+// libgomp's futex-based barriers, so only the std::thread form gives the
+// TSan preset (`ctest --preset tsan`) real race-detection power. One
+// OpenMP-shaped test keeps the exact engine protocol (parallel region,
+// nowait loop, destructor flush before the closing barrier) covered in
+// the regular build.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "bfs/bitmap.hpp"
+#include "bfs/frontier.hpp"
+
+namespace fdiam {
+namespace {
+
+constexpr int kThreads = 8;
+
+void run_threads(int count, const std::function<void(int)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(count);
+  for (int t = 0; t < count; ++t) threads.emplace_back(body, t);
+  for (auto& th : threads) th.join();
+}
+
+TEST(Frontier, LocalPublishesEverythingOnDestruction) {
+  constexpr vid_t kN = 5000;  // not a multiple of kChunk: partial tail flush
+  Frontier f(kN);
+  {
+    Frontier::Local local(f);
+    for (vid_t v = 0; v < kN; ++v) local.push(v);
+  }
+  ASSERT_EQ(f.size(), kN);
+}
+
+TEST(Frontier, LocalPreservesSingleThreadPushOrder) {
+  constexpr vid_t kN = 3 * Frontier::Local::kChunk + 17;
+  Frontier f(kN);
+  {
+    Frontier::Local local(f);
+    for (vid_t v = 0; v < kN; ++v) local.push(kN - 1 - v);
+  }
+  const auto view = f.view();
+  ASSERT_EQ(view.size(), kN);
+  for (vid_t i = 0; i < kN; ++i) EXPECT_EQ(view[i], kN - 1 - i);
+}
+
+TEST(Frontier, ExplicitFlushIsIdempotent) {
+  Frontier f(100);
+  Frontier::Local local(f);
+  local.push(7);
+  local.flush();
+  local.flush();  // empty staging buffer: no-op
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], 7u);
+}
+
+TEST(Frontier, ConcurrentLocalsPublishExactMultiset) {
+  constexpr vid_t kN = 100000;
+  Frontier f(kN);
+  run_threads(kThreads, [&](int t) {
+    Frontier::Local local(f);
+    for (vid_t v = t; v < kN; v += kThreads) local.push(v);
+  });  // join publishes the flushed writes, like the engines' barrier
+  ASSERT_EQ(f.size(), kN);
+  std::vector<vid_t> got(f.view().begin(), f.view().end());
+  std::sort(got.begin(), got.end());
+  for (vid_t v = 0; v < kN; ++v) ASSERT_EQ(got[v], v) << "lost or duplicated";
+}
+
+TEST(Frontier, MixedLocalAndAtomicProducers) {
+  constexpr vid_t kN = 40000;
+  Frontier f(kN);
+  run_threads(kThreads, [&](int t) {
+    Frontier::Local local(f);
+    for (vid_t v = t; v < kN; v += kThreads) {
+      if (v % 3 == 0) {
+        f.push_atomic(v);  // cold path: interleaves with chunked flushes
+      } else {
+        local.push(v);
+      }
+    }
+  });
+  ASSERT_EQ(f.size(), kN);
+  std::vector<vid_t> got(f.view().begin(), f.view().end());
+  std::sort(got.begin(), got.end());
+  for (vid_t v = 0; v < kN; ++v) ASSERT_EQ(got[v], v);
+}
+
+TEST(Frontier, ReserveHandsOutDisjointRanges) {
+  constexpr std::size_t kPerThread = 1000;
+  Frontier f(kThreads * kPerThread);
+  // Each thread fills its reserved block with its own id; afterwards every
+  // slot must be owned by exactly one thread's block.
+  std::vector<vid_t> slot_owner(kThreads * kPerThread);
+  run_threads(kThreads, [&](int t) {
+    for (int round = 0; round < 10; ++round) {
+      const std::size_t base = f.reserve(kPerThread / 10);
+      for (std::size_t i = 0; i < kPerThread / 10; ++i) {
+        slot_owner[base + i] = static_cast<vid_t>(t);
+      }
+    }
+  });
+  ASSERT_EQ(f.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  std::vector<std::size_t> per_owner(kThreads, 0);
+  for (const vid_t owner : slot_owner) ++per_owner[owner];
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_owner[t], kPerThread) << "thread " << t;
+  }
+}
+
+// The engines' actual protocol shape: parallel region, nowait worksharing
+// loop, Local destructor flush before the region-end barrier. Under the
+// TSan preset this runs with OMP_NUM_THREADS=1 (see tests/CMakeLists.txt);
+// the std::thread tests above carry the race detection.
+TEST(Frontier, OpenMpRegionProtocolPublishesExactMultiset) {
+  constexpr vid_t kN = 100000;
+  Frontier f(kN);
+#pragma omp parallel
+  {
+    Frontier::Local local(f);
+#pragma omp for schedule(dynamic, 64) nowait
+    for (vid_t v = 0; v < kN; ++v) local.push(v);
+  }
+  ASSERT_EQ(f.size(), kN);
+  std::vector<vid_t> got(f.view().begin(), f.view().end());
+  std::sort(got.begin(), got.end());
+  for (vid_t v = 0; v < kN; ++v) ASSERT_EQ(got[v], v);
+}
+
+TEST(Bitmap, SetTestAndCount) {
+  Bitmap bm;
+  bm.resize(200);
+  EXPECT_EQ(bm.count(), 0u);
+  for (vid_t v = 0; v < 200; v += 7) bm.set(v);
+  for (vid_t v = 0; v < 200; ++v) EXPECT_EQ(bm.test(v), v % 7 == 0);
+  EXPECT_EQ(bm.count(), 29u);  // ceil(200 / 7) ids: 0, 7, ..., 196
+  bm.clear();
+  EXPECT_EQ(bm.count(), 0u);
+}
+
+TEST(Bitmap, ValidMaskCoversExactlyTheTail) {
+  Bitmap bm;
+  bm.resize(70);  // 2 words, 6 valid bits in the last one
+  EXPECT_EQ(bm.valid_mask(0), ~std::uint64_t{0});
+  EXPECT_EQ(bm.valid_mask(1), (std::uint64_t{1} << 6) - 1);
+}
+
+TEST(Bitmap, ConcurrentSetAtomicIsExact) {
+  constexpr vid_t kN = 64 * 1024 + 13;
+  Bitmap bm;
+  bm.resize(kN);
+  // Threads interleave within the same words (stride = thread count), the
+  // worst case for the fetch_or path.
+  run_threads(kThreads, [&](int t) {
+    for (vid_t v = t; v < kN; v += kThreads) {
+      if (v % 2 == 0) bm.set_atomic(v);
+    }
+  });
+  std::size_t expected = 0;
+  for (vid_t v = 0; v < kN; ++v) {
+    ASSERT_EQ(bm.test(v), v % 2 == 0);
+    expected += v % 2 == 0;
+  }
+  EXPECT_EQ(bm.count(), expected);
+}
+
+}  // namespace
+}  // namespace fdiam

@@ -1,7 +1,13 @@
 // Tests for the epoch-counter visited array, including the wraparound
-// reset the paper's counter trick requires.
+// reset the paper's counter trick requires and the concurrent atomic_ref
+// claim protocol (std::thread so the TSan preset sees the synchronization;
+// GCC libgomp's barriers are invisible to TSan).
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
 
 #include "bfs/visited.hpp"
 
@@ -40,6 +46,28 @@ TEST(EpochVisited, WraparoundResetsCells) {
   EXPECT_FALSE(v.is_visited(2));
   v.visit(0);
   EXPECT_TRUE(v.is_visited(0));
+}
+
+TEST(EpochVisited, ConcurrentTryVisitClaimsEachVertexExactlyOnce) {
+  constexpr vid_t kN = 50000;
+  constexpr int kThreads = 8;
+  EpochVisited v(kN);
+  v.new_epoch();
+  std::vector<std::atomic<int>> claims(kN);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    // Every thread races for every vertex; exactly one claim may succeed.
+    threads.emplace_back([&] {
+      for (vid_t w = 0; w < kN; ++w) {
+        if (v.try_visit(w)) claims[w].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (vid_t w = 0; w < kN; ++w) {
+    ASSERT_EQ(claims[w].load(), 1) << "vertex " << w;
+    ASSERT_TRUE(v.is_visited(w));
+  }
 }
 
 TEST(EpochVisited, ResizeResets) {
