@@ -82,9 +82,7 @@ FDiamTrace make_progress_printer() {
   };
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_cli(int argc, char** argv) {
   Cli cli;
   cli.add_option("file", "graph file (.gr/.txt/.el/.snap/.mtx/.csrbin)");
   cli.add_option("input", "built-in suite input name (see --list)");
@@ -365,4 +363,18 @@ int main(int argc, char** argv) {
           << " (open in https://ui.perfetto.dev)\n";
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Malformed graph files and bad flag values throw std::runtime_error
+  // with a descriptive message; surface it as a clean CLI error instead of
+  // an uncaught-exception abort.
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "fdiam_cli: error: " << e.what() << "\n";
+    return 1;
+  }
 }

@@ -406,7 +406,11 @@ DiameterResult fdiam_diameter(const Csr& g, FDiamOptions opt) {
 DiameterResult fdiam_diameter_reordered(const Csr& g, ReorderMode mode,
                                         FDiamOptions opt,
                                         std::uint64_t seed) {
-  if (mode == ReorderMode::kNone) return fdiam_diameter(g, opt);
+  if (mode == ReorderMode::kNone || g.num_vertices() == 0) {
+    // The n == 0 guard matters: translating the default witness 0 through
+    // an empty inverse permutation would read out of bounds.
+    return fdiam_diameter(g, opt);
+  }
   const Permutation new_id = make_order(g, mode, seed);
   const Csr permuted = apply_permutation(g, new_id);
   DiameterResult result = fdiam_diameter(permuted, opt);

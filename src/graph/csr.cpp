@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace fdiam {
 
@@ -59,9 +61,24 @@ Csr Csr::from_raw(std::vector<eid_t> offsets, std::vector<vid_t> neighbors) {
       offsets.back() != neighbors.size()) {
     throw std::invalid_argument("Csr::from_raw: inconsistent offsets");
   }
+  if (offsets.size() - 1 > std::numeric_limits<vid_t>::max()) {
+    throw std::invalid_argument(
+        "Csr::from_raw: vertex count exceeds the 32-bit id space");
+  }
   for (std::size_t i = 1; i < offsets.size(); ++i) {
     if (offsets[i] < offsets[i - 1]) {
       throw std::invalid_argument("Csr::from_raw: offsets not monotone");
+    }
+  }
+  // Out-of-range neighbor ids would be silent out-of-bounds reads in every
+  // traversal downstream; reject them at the only entry point that accepts
+  // raw arrays (the binary loader funnels untrusted bytes through here).
+  const auto n = static_cast<vid_t>(offsets.size() - 1);
+  for (const vid_t w : neighbors) {
+    if (w >= n) {
+      throw std::invalid_argument("Csr::from_raw: neighbor id " +
+                                  std::to_string(w) + " out of range [0, " +
+                                  std::to_string(n) + ")");
     }
   }
   Csr g;

@@ -2,7 +2,9 @@
 // Intermediate edge-list representation produced by generators and file
 // loaders, and consumed by the CSR builder.
 
+#include <cassert>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "util/types.hpp"
@@ -26,7 +28,12 @@ class EdgeList {
   void reserve(std::size_t edges) { edges_.reserve(edges); }
 
   /// Add an undirected edge {u, v}; grows the vertex count if needed.
+  /// Precondition: ids stay below the vid_t maximum so `id + 1` cannot
+  /// wrap the vertex count to 0 (the io/ readers enforce this on untrusted
+  /// input via io::checked_vid; generators satisfy it by construction).
   void add(vid_t u, vid_t v) {
+    assert(u < std::numeric_limits<vid_t>::max() &&
+           v < std::numeric_limits<vid_t>::max());
     if (u >= num_vertices_) num_vertices_ = u + 1;
     if (v >= num_vertices_) num_vertices_ = v + 1;
     edges_.push_back({u, v});

@@ -1,5 +1,6 @@
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
 #include "io/io.hpp"
@@ -11,10 +12,7 @@ constexpr char kMagic[8] = {'F', 'D', 'I', 'A', 'M', 'C', 'S', 'R'};
 constexpr std::uint32_t kVersion = 1;
 }  // namespace
 
-Csr read_binary(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open " + path.string());
-
+Csr read_binary(std::istream& in, const std::string& name, IoLimits limits) {
   char magic[8];
   std::uint32_t version = 0;
   std::uint64_t n = 0, arcs = 0;
@@ -24,8 +22,42 @@ Csr read_binary(const std::filesystem::path& path) {
   in.read(reinterpret_cast<char*>(&arcs), sizeof arcs);
   if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0 ||
       version != kVersion) {
-    throw std::runtime_error("not an fdiam binary CSR file: " +
-                             path.string());
+    throw std::runtime_error("not an fdiam binary CSR file: " + name);
+  }
+  // Validate the header-declared counts BEFORE sizing any allocation: a
+  // corrupt header must throw, not exhaust memory or crash in resize().
+  if (n > kMaxVertexId + 1 || n > limits.max_vertices) {
+    throw std::runtime_error("binary CSR header of " + name + " declares " +
+                             std::to_string(n) +
+                             " vertices, beyond the limit of " +
+                             std::to_string(std::min<std::uint64_t>(
+                                 kMaxVertexId + 1, limits.max_vertices)));
+  }
+  if (arcs > limits.max_edges ||
+      arcs > (std::numeric_limits<std::uint64_t>::max() - (n + 1) *
+              sizeof(eid_t)) / sizeof(vid_t)) {
+    throw std::runtime_error("binary CSR header of " + name + " declares " +
+                             std::to_string(arcs) + " arcs, beyond the limit");
+  }
+  const std::uint64_t payload =
+      (n + 1) * sizeof(eid_t) + arcs * sizeof(vid_t);
+  // Cheap exact-size check when the stream is seekable (files and
+  // stringstreams both are): catches truncation and trailing junk before
+  // allocating payload-sized buffers.
+  if (const auto data_pos = in.tellg(); data_pos >= 0) {
+    in.seekg(0, std::ios::end);
+    if (const auto end_pos = in.tellg(); end_pos >= 0) {
+      const auto available =
+          static_cast<std::uint64_t>(end_pos - data_pos);
+      if (available != payload) {
+        throw std::runtime_error(
+            "binary CSR " + name + " is " +
+            (available < payload ? "truncated" : "oversized") + ": header "
+            "promises " + std::to_string(payload) + " payload bytes, found " +
+            std::to_string(available));
+      }
+    }
+    in.seekg(data_pos);
   }
 
   std::vector<eid_t> offsets(n + 1);
@@ -34,8 +66,19 @@ Csr read_binary(const std::filesystem::path& path) {
           static_cast<std::streamsize>(offsets.size() * sizeof(eid_t)));
   in.read(reinterpret_cast<char*>(neighbors.data()),
           static_cast<std::streamsize>(neighbors.size() * sizeof(vid_t)));
-  if (!in) throw std::runtime_error("truncated binary CSR: " + path.string());
-  return Csr::from_raw(std::move(offsets), std::move(neighbors));
+  if (!in) throw std::runtime_error("truncated binary CSR: " + name);
+  try {
+    return Csr::from_raw(std::move(offsets), std::move(neighbors));
+  } catch (const std::invalid_argument& e) {
+    // Corrupt payload bytes are a file problem, not a caller logic error.
+    throw std::runtime_error("corrupt binary CSR " + name + ": " + e.what());
+  }
+}
+
+Csr read_binary(const std::filesystem::path& path, IoLimits limits) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  return read_binary(in, path.string(), limits);
 }
 
 void write_binary(const Csr& g, const std::filesystem::path& path) {
@@ -48,8 +91,15 @@ void write_binary(const Csr& g, const std::filesystem::path& path) {
   out.write(reinterpret_cast<const char*>(&version), sizeof version);
   out.write(reinterpret_cast<const char*>(&n), sizeof n);
   out.write(reinterpret_cast<const char*>(&arcs), sizeof arcs);
-  out.write(reinterpret_cast<const char*>(g.offsets().data()),
-            static_cast<std::streamsize>(g.offsets().size() * sizeof(eid_t)));
+  // A default-constructed (empty) Csr has no offsets array, but the format
+  // always carries n + 1 of them; synthesize the single 0 so an empty
+  // graph round-trips instead of failing the reader's size check.
+  static constexpr eid_t kZeroOffset = 0;
+  const bool empty = g.offsets().empty();
+  out.write(reinterpret_cast<const char*>(
+                empty ? &kZeroOffset : g.offsets().data()),
+            static_cast<std::streamsize>(
+                (empty ? 1 : g.offsets().size()) * sizeof(eid_t)));
   out.write(
       reinterpret_cast<const char*>(g.raw_neighbors().data()),
       static_cast<std::streamsize>(g.raw_neighbors().size() * sizeof(vid_t)));

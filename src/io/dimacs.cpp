@@ -1,47 +1,92 @@
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 #include "graph/edge_list.hpp"
 #include "io/io.hpp"
+#include "io/parse.hpp"
 
 namespace fdiam::io {
 
-Csr read_dimacs(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path.string());
+namespace {
+// Don't trust a header-declared edge count for more than this much
+// pre-allocation; a lying header must not be able to reserve gigabytes.
+constexpr std::uint64_t kReserveCap = 1u << 22;
+}  // namespace
 
+Csr read_dimacs(std::istream& in, const std::string& name, IoLimits limits) {
   EdgeList edges;
   std::string line;
   bool have_header = false;
+  std::uint64_t n = 0;
+  std::uint64_t lineno = 0;
+  std::uint64_t arcs_seen = 0;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::istringstream ls(line);
-    char tag = 0;
-    ls >> tag;
-    if (tag == 'c') continue;
-    if (tag == 'p') {
-      std::string problem;
-      std::uint64_t n = 0, m = 0;
-      if (!(ls >> problem >> n >> m)) {
-        throw std::runtime_error("malformed DIMACS header in " +
-                                 path.string());
+    ++lineno;
+    const auto toks = detail::tokens(line);
+    if (toks.empty()) continue;
+    const std::string_view tag = toks[0];
+    if (tag == "c") continue;
+    if (tag == "p") {
+      if (have_header) {
+        detail::fail_line(name, lineno, line, "duplicate DIMACS 'p' header");
+      }
+      std::uint64_t m = 0;
+      if (toks.size() < 4 || !detail::to_u64(toks[2], n) ||
+          !detail::to_u64(toks[3], m)) {
+        detail::fail_line(name, lineno, line,
+                          "malformed DIMACS header (expected "
+                          "'p <problem> <vertices> <arcs>')");
+      }
+      if (n > limits.max_vertices) {
+        detail::fail_line(name, lineno, line,
+                          "vertex count " + std::to_string(n) +
+                              " exceeds the limit of " +
+                              std::to_string(limits.max_vertices));
+      }
+      if (m > limits.max_edges) {
+        detail::fail_line(name, lineno, line,
+                          "arc count " + std::to_string(m) +
+                              " exceeds the limit of " +
+                              std::to_string(limits.max_edges));
       }
       edges.ensure_vertices(static_cast<vid_t>(n));
-      edges.reserve(m);
+      edges.reserve(static_cast<std::size_t>(std::min(m, kReserveCap)));
       have_header = true;
-    } else if (tag == 'a' || tag == 'e') {
+    } else if (tag == "a" || tag == "e") {
+      if (!have_header) {
+        detail::fail_line(name, lineno, line,
+                          "DIMACS arc before the 'p' header");
+      }
       std::uint64_t u = 0, v = 0;
-      if (!(ls >> u >> v) || u == 0 || v == 0) {
-        throw std::runtime_error("malformed DIMACS arc in " + path.string());
+      if (toks.size() < 3 || !detail::to_u64(toks[1], u) ||
+          !detail::to_u64(toks[2], v)) {
+        detail::fail_line(name, lineno, line, "malformed DIMACS arc");
+      }
+      if (u == 0 || v == 0 || u > n || v > n) {
+        detail::fail_line(name, lineno, line,
+                          "DIMACS arc endpoint outside [1, " +
+                              std::to_string(n) + "]");
+      }
+      if (++arcs_seen > limits.max_edges) {
+        detail::fail_line(name, lineno, line,
+                          "more arcs than the limit of " +
+                              std::to_string(limits.max_edges));
       }
       edges.add(static_cast<vid_t>(u - 1), static_cast<vid_t>(v - 1));
+    } else {
+      detail::fail_line(name, lineno, line, "unrecognized DIMACS line tag");
     }
   }
   if (!have_header) {
-    throw std::runtime_error("missing DIMACS 'p' header in " + path.string());
+    throw std::runtime_error("missing DIMACS 'p' header in " + name);
   }
   return Csr::from_edges(std::move(edges));
+}
+
+Csr read_dimacs(const std::filesystem::path& path, IoLimits limits) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  return read_dimacs(in, path.string(), limits);
 }
 
 void write_dimacs(const Csr& g, const std::filesystem::path& path) {

@@ -6,45 +6,99 @@
 //
 // All loaders produce undirected graphs: each input arc/edge contributes
 // both directions and the CSR builder removes duplicates and self-loops.
+//
+// Input-validation guarantees (see docs/HARDENING.md): every reader
+// either returns a structurally valid Csr or throws std::runtime_error
+// with the file name, line number, and offending content. Malformed
+// bytes never crash, silently truncate an id, or build a wrong graph.
+// Each reader also has an std::istream overload so in-memory bytes can
+// be parsed without touching the filesystem — the fuzz harnesses in
+// tests/fuzz/ drive these.
 
+#include <cstdint>
 #include <filesystem>
+#include <istream>
+#include <limits>
+#include <stdexcept>
 #include <string>
 
 #include "graph/csr.hpp"
 
 namespace fdiam::io {
 
+/// Largest vertex id a reader accepts. One smaller than the vid_t maximum
+/// because num_vertices = id + 1 must itself fit in vid_t.
+inline constexpr std::uint64_t kMaxVertexId =
+    std::numeric_limits<vid_t>::max() - 1;
+
+/// Checked narrowing of a parsed 64-bit id into vid_t. `what` names the
+/// quantity ("vertex id", "row"), `context` names the file/line. Throws
+/// std::runtime_error instead of wrapping — a SNAP id of 2^32 used to
+/// silently alias vertex 0 and build a wrong graph.
+inline vid_t checked_vid(std::uint64_t value, const char* what,
+                         const std::string& context) {
+  if (value > kMaxVertexId) {
+    throw std::runtime_error(std::string(what) + " " + std::to_string(value) +
+                             " exceeds the 32-bit vertex-id limit (" +
+                             std::to_string(kMaxVertexId) + ") in " + context);
+  }
+  return static_cast<vid_t>(value);
+}
+
+/// Resource ceilings applied while parsing, checked BEFORE any allocation
+/// sized by header-declared counts. The defaults admit anything the type
+/// system can represent (real multi-hundred-million-edge inputs load
+/// unchanged); the fuzz harnesses pass tight limits so a mutated header
+/// declaring 2^60 vertices throws instead of exhausting memory.
+struct IoLimits {
+  std::uint64_t max_vertices = kMaxVertexId + 1;
+  std::uint64_t max_edges = std::numeric_limits<std::uint64_t>::max();
+};
+
 /// DIMACS-9 shortest-path format (.gr): "p sp <n> <m>" header and
 /// "a <u> <v> <w>" arcs, 1-indexed; weights are ignored (the paper treats
-/// the road networks as unweighted). Throws std::runtime_error on
-/// malformed input.
-Csr read_dimacs(const std::filesystem::path& path);
+/// the road networks as unweighted). Arc endpoints must lie in [1, n].
+/// Throws std::runtime_error on malformed input.
+Csr read_dimacs(const std::filesystem::path& path, IoLimits limits = {});
+Csr read_dimacs(std::istream& in, const std::string& name,
+                IoLimits limits = {});
 void write_dimacs(const Csr& g, const std::filesystem::path& path);
 
 /// SNAP edge-list format (.txt/.el): '#' comment lines, one
 /// whitespace-separated "u v" pair per line, 0-indexed ids used verbatim
-/// (num_vertices = max id + 1).
-Csr read_snap(const std::filesystem::path& path);
+/// (num_vertices = max id + 1). Extra columns (timestamps/weights in some
+/// SNAP dumps) are ignored.
+Csr read_snap(const std::filesystem::path& path, IoLimits limits = {});
+Csr read_snap(std::istream& in, const std::string& name, IoLimits limits = {});
 void write_snap(const Csr& g, const std::filesystem::path& path);
 
 /// Matrix Market coordinate format (.mtx) as used by SuiteSparse:
-/// pattern/real/integer entries, general or symmetric, 1-indexed.
-Csr read_matrix_market(const std::filesystem::path& path);
+/// pattern/real/integer entries, general or symmetric, 1-indexed; entries
+/// must lie inside the declared rows x cols box.
+Csr read_matrix_market(const std::filesystem::path& path, IoLimits limits = {});
+Csr read_matrix_market(std::istream& in, const std::string& name,
+                       IoLimits limits = {});
 void write_matrix_market(const Csr& g, const std::filesystem::path& path);
 
 /// Fast binary CSR (.csrbin): magic + version + counts + raw arrays.
-Csr read_binary(const std::filesystem::path& path);
+/// Header counts are validated against the stream length before anything
+/// is allocated, and neighbor ids are range-checked on load.
+Csr read_binary(const std::filesystem::path& path, IoLimits limits = {});
+Csr read_binary(std::istream& in, const std::string& name,
+                IoLimits limits = {});
 void write_binary(const Csr& g, const std::filesystem::path& path);
 
-/// METIS graph format (.metis/.graph): "<n> <m> [fmt]" header followed by
-/// one 1-indexed adjacency line per vertex; '%' comments; vertex/edge
-/// weights (fmt 1/10/11) are parsed and discarded.
-Csr read_metis(const std::filesystem::path& path);
+/// METIS graph format (.metis/.graph): "<n> <m> [fmt [ncon]]" header
+/// followed by one 1-indexed adjacency line per vertex; '%' comments;
+/// vertex/edge weights (fmt 1/10/11, ncon constraints) are parsed and
+/// discarded.
+Csr read_metis(const std::filesystem::path& path, IoLimits limits = {});
+Csr read_metis(std::istream& in, const std::string& name, IoLimits limits = {});
 void write_metis(const Csr& g, const std::filesystem::path& path);
 
 /// Dispatch on extension: .gr -> dimacs, .txt/.el/.snap -> snap, .mtx ->
 /// matrix market, .metis/.graph -> metis, .csrbin -> binary. Throws on
 /// unknown extensions.
-Csr load_graph(const std::filesystem::path& path);
+Csr load_graph(const std::filesystem::path& path, IoLimits limits = {});
 
 }  // namespace fdiam::io

@@ -4,13 +4,15 @@
 
 namespace fdiam::io {
 
-Csr load_graph(const std::filesystem::path& path) {
+Csr load_graph(const std::filesystem::path& path, IoLimits limits) {
   const std::string ext = path.extension().string();
-  if (ext == ".gr") return read_dimacs(path);
-  if (ext == ".txt" || ext == ".el" || ext == ".snap") return read_snap(path);
-  if (ext == ".mtx") return read_matrix_market(path);
-  if (ext == ".metis" || ext == ".graph") return read_metis(path);
-  if (ext == ".csrbin") return read_binary(path);
+  if (ext == ".gr") return read_dimacs(path, limits);
+  if (ext == ".txt" || ext == ".el" || ext == ".snap") {
+    return read_snap(path, limits);
+  }
+  if (ext == ".mtx") return read_matrix_market(path, limits);
+  if (ext == ".metis" || ext == ".graph") return read_metis(path, limits);
+  if (ext == ".csrbin") return read_binary(path, limits);
   throw std::runtime_error(
       "unknown graph file extension: " + path.string() +
       " (expected .gr, .txt, .el, .snap, .mtx, .metis, .graph, .csrbin)");

@@ -1,63 +1,108 @@
 #include <algorithm>
+#include <cctype>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 #include "graph/edge_list.hpp"
 #include "io/io.hpp"
+#include "io/parse.hpp"
 
 namespace fdiam::io {
 
-Csr read_matrix_market(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path.string());
+namespace {
+constexpr std::uint64_t kReserveCap = 1u << 22;  // see dimacs.cpp
+}  // namespace
 
+Csr read_matrix_market(std::istream& in, const std::string& name,
+                       IoLimits limits) {
   std::string line;
+  std::uint64_t lineno = 0;
   if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0) {
-    throw std::runtime_error("missing MatrixMarket banner in " +
-                             path.string());
+    throw std::runtime_error("missing MatrixMarket banner in " + name);
   }
+  ++lineno;
   std::string banner = line;
   std::transform(banner.begin(), banner.end(), banner.begin(),
                  [](unsigned char c) { return std::tolower(c); });
-  if (banner.find("coordinate") == std::string::npos) {
+  if (banner.find("matrix") == std::string::npos ||
+      banner.find("coordinate") == std::string::npos) {
     throw std::runtime_error("only coordinate MatrixMarket supported: " +
-                             path.string());
+                             name);
   }
   const bool pattern = banner.find("pattern") != std::string::npos;
 
   // Skip comments, then read the size line.
   while (std::getline(in, line)) {
+    ++lineno;
     if (!line.empty() && line[0] != '%') break;
   }
   std::uint64_t rows = 0, cols = 0, nnz = 0;
   {
-    std::istringstream ls(line);
-    if (!(ls >> rows >> cols >> nnz)) {
-      throw std::runtime_error("malformed size line in " + path.string());
+    const auto toks = detail::tokens(line);
+    if (toks.size() < 3 || !detail::to_u64(toks[0], rows) ||
+        !detail::to_u64(toks[1], cols) || !detail::to_u64(toks[2], nnz)) {
+      detail::fail_line(name, lineno, line,
+                        "malformed size line (expected '<rows> <cols> <nnz>')");
     }
+  }
+  if (rows > limits.max_vertices || cols > limits.max_vertices) {
+    detail::fail_line(name, lineno, line,
+                      "matrix dimensions exceed the vertex limit of " +
+                          std::to_string(limits.max_vertices));
+  }
+  if (nnz > limits.max_edges) {
+    detail::fail_line(name, lineno, line,
+                      "entry count " + std::to_string(nnz) +
+                          " exceeds the limit of " +
+                          std::to_string(limits.max_edges));
   }
 
   EdgeList edges;
-  edges.ensure_vertices(static_cast<vid_t>(std::max(rows, cols)));
-  edges.reserve(nnz);
-  for (std::uint64_t i = 0; i < nnz; ++i) {
+  edges.ensure_vertices(
+      checked_vid(std::max(rows, cols), "matrix dimension", name));
+  edges.reserve(static_cast<std::size_t>(std::min(nnz, kReserveCap)));
+  std::uint64_t entries = 0;
+  while (entries < nnz) {
     if (!std::getline(in, line)) {
-      throw std::runtime_error("truncated MatrixMarket file " +
-                               path.string());
+      throw std::runtime_error("truncated MatrixMarket file " + name + ": " +
+                               std::to_string(entries) + " of " +
+                               std::to_string(nnz) + " entries present");
     }
-    std::istringstream ls(line);
+    ++lineno;
+    const auto toks = detail::tokens(line);
+    if (toks.empty()) continue;  // tolerate stray blank lines
     std::uint64_t r = 0, c = 0;
-    if (!(ls >> r >> c) || r == 0 || c == 0) {
-      throw std::runtime_error("malformed entry in " + path.string());
+    // Entry values (real/integer formats) are ignored — the library is
+    // unweighted — so only the coordinates are validated.
+    if (toks.size() < (pattern ? 2u : 3u) || !detail::to_u64(toks[0], r) ||
+        !detail::to_u64(toks[1], c)) {
+      detail::fail_line(name, lineno, line, "malformed MatrixMarket entry");
     }
-    if (!pattern) {
-      double value;  // discard — the library is unweighted
-      ls >> value;
+    if (r == 0 || c == 0 || r > rows || c > cols) {
+      detail::fail_line(name, lineno, line,
+                        "entry outside the declared " + std::to_string(rows) +
+                            "x" + std::to_string(cols) + " matrix");
     }
     edges.add(static_cast<vid_t>(r - 1), static_cast<vid_t>(c - 1));
+    ++entries;
+  }
+  // Anything after the declared entries must be blank: trailing garbage
+  // usually means the size line was wrong, not that the file has comments.
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!detail::tokens(line).empty()) {
+      detail::fail_line(name, lineno, line,
+                        "content after the declared " + std::to_string(nnz) +
+                            " entries");
+    }
   }
   return Csr::from_edges(std::move(edges));
+}
+
+Csr read_matrix_market(const std::filesystem::path& path, IoLimits limits) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  return read_matrix_market(in, path.string(), limits);
 }
 
 void write_matrix_market(const Csr& g, const std::filesystem::path& path) {

@@ -1,54 +1,101 @@
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 #include "graph/edge_list.hpp"
 #include "io/io.hpp"
+#include "io/parse.hpp"
 
 namespace fdiam::io {
 
-Csr read_metis(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path.string());
+namespace {
+constexpr std::uint64_t kReserveCap = 1u << 22;  // see dimacs.cpp
+}  // namespace
 
+Csr read_metis(std::istream& in, const std::string& name, IoLimits limits) {
   std::string line;
+  std::uint64_t lineno = 0;
   // Header: "<n> <m> [fmt [ncon]]" after any % comment lines.
   while (std::getline(in, line)) {
+    ++lineno;
     if (!line.empty() && line[0] != '%') break;
   }
-  std::uint64_t n = 0, m = 0;
-  std::uint64_t fmt = 0;
+  std::uint64_t n = 0, m = 0, fmt = 0, ncon = 0;
   {
-    std::istringstream ls(line);
-    if (!(ls >> n >> m)) {
-      throw std::runtime_error("malformed METIS header in " + path.string());
+    const auto toks = detail::tokens(line);
+    if (toks.size() < 2 || !detail::to_u64(toks[0], n) ||
+        !detail::to_u64(toks[1], m)) {
+      detail::fail_line(name, lineno, line,
+                        "malformed METIS header (expected '<n> <m> [fmt]')");
     }
-    ls >> fmt;  // optional; 0/1/10/11 encode vertex/edge weights
+    if (toks.size() > 2 && !detail::to_u64(toks[2], fmt)) {
+      detail::fail_line(name, lineno, line, "malformed METIS fmt field");
+    }
+    if (toks.size() > 3 && !detail::to_u64(toks[3], ncon)) {
+      detail::fail_line(name, lineno, line, "malformed METIS ncon field");
+    }
   }
-  const bool edge_weights = fmt == 1 || fmt == 11;
-  const bool vertex_weights = fmt == 10 || fmt == 11;
+  // fmt is a 3-digit bit string: 100 = vertex sizes, 10 = vertex weights,
+  // 1 = edge weights. All are parsed and discarded.
+  const bool edge_weights = fmt % 10 == 1;
+  const bool vertex_weights = (fmt / 10) % 10 == 1;
+  const bool vertex_sizes = (fmt / 100) % 10 == 1;
+  if (fmt > 111 || fmt % 10 > 1 || (fmt / 10) % 10 > 1) {
+    detail::fail_line(name, lineno, line,
+                      "unsupported METIS fmt " + std::to_string(fmt));
+  }
+  const std::uint64_t weights_per_vertex =
+      vertex_weights ? (ncon == 0 ? 1 : ncon) : 0;
+  if (n > limits.max_vertices) {
+    detail::fail_line(name, lineno, line,
+                      "vertex count " + std::to_string(n) +
+                          " exceeds the limit of " +
+                          std::to_string(limits.max_vertices));
+  }
+  if (m > limits.max_edges) {
+    detail::fail_line(name, lineno, line,
+                      "edge count " + std::to_string(m) +
+                          " exceeds the limit of " +
+                          std::to_string(limits.max_edges));
+  }
 
   EdgeList edges;
   edges.ensure_vertices(static_cast<vid_t>(n));
-  edges.reserve(m);
+  edges.reserve(static_cast<std::size_t>(std::min(m, kReserveCap)));
   std::uint64_t v = 0;
   while (v < n && std::getline(in, line)) {
+    ++lineno;
     if (!line.empty() && line[0] == '%') continue;
-    std::istringstream ls(line);
-    if (vertex_weights) {
-      std::uint64_t weight;
-      ls >> weight;  // discarded — the library is unweighted
+    const auto toks = detail::tokens(line);
+    std::size_t i = 0;
+    // Vertex size and the ncon vertex weights lead the line; discarded.
+    const std::size_t skip =
+        (vertex_sizes ? 1 : 0) + static_cast<std::size_t>(weights_per_vertex);
+    for (std::size_t s = 0; s < skip; ++s, ++i) {
+      std::uint64_t discard = 0;
+      if (i >= toks.size() || !detail::to_u64(toks[i], discard)) {
+        detail::fail_line(name, lineno, line,
+                          "missing vertex size/weight fields");
+      }
     }
-    std::uint64_t w = 0;
-    while (ls >> w) {
+    while (i < toks.size()) {
+      std::uint64_t w = 0;
+      if (!detail::to_u64(toks[i], w)) {
+        detail::fail_line(name, lineno, line, "malformed METIS neighbor id");
+      }
+      ++i;
       if (w == 0 || w > n) {
-        throw std::runtime_error("METIS neighbor out of range in " +
-                                 path.string());
+        detail::fail_line(name, lineno, line,
+                          "METIS neighbor outside [1, " + std::to_string(n) +
+                              "]");
       }
       edges.add(static_cast<vid_t>(v), static_cast<vid_t>(w - 1));
       if (edge_weights) {
-        std::uint64_t weight;
-        ls >> weight;  // discarded
+        std::uint64_t weight = 0;
+        if (i >= toks.size() || !detail::to_u64(toks[i], weight)) {
+          detail::fail_line(name, lineno, line,
+                            "missing edge weight (fmt declares them)");
+        }
+        ++i;
       }
     }
     ++v;
@@ -56,9 +103,25 @@ Csr read_metis(const std::filesystem::path& path) {
   if (v != n) {
     throw std::runtime_error("METIS file truncated: expected " +
                              std::to_string(n) + " adjacency lines in " +
-                             path.string());
+                             name);
+  }
+  // Extra adjacency lines mean the header undercounted.
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line[0] == '%') continue;
+    if (!detail::tokens(line).empty()) {
+      detail::fail_line(name, lineno, line,
+                        "content after the declared " + std::to_string(n) +
+                            " adjacency lines");
+    }
   }
   return Csr::from_edges(std::move(edges));
+}
+
+Csr read_metis(const std::filesystem::path& path, IoLimits limits) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  return read_metis(in, path.string(), limits);
 }
 
 void write_metis(const Csr& g, const std::filesystem::path& path) {

@@ -1,0 +1,55 @@
+#pragma once
+// Internal token-level parsing helpers shared by the text-format readers.
+// Numeric fields go through std::from_chars on whole tokens, so negative
+// ids, trailing garbage ("12x"), and floats-where-ints-belong all fail
+// loudly instead of being half-consumed the way istream extraction (or
+// the old strtoll-style paths) would.
+
+#include <charconv>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fdiam::io::detail {
+
+/// Split on blanks/tabs/CR/FF/VT; views point into `line`.
+inline std::vector<std::string_view> tokens(std::string_view line) {
+  constexpr std::string_view kSpace = " \t\r\f\v";
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t start = line.find_first_not_of(kSpace, pos);
+    if (start == std::string_view::npos) break;
+    const std::size_t end = line.find_first_of(kSpace, start);
+    out.push_back(line.substr(start, (end == std::string_view::npos
+                                          ? line.size()
+                                          : end) - start));
+    pos = end == std::string_view::npos ? line.size() : end;
+  }
+  return out;
+}
+
+/// Parse a whole token as an unsigned 64-bit integer. Rejects empty
+/// tokens, signs, and any trailing non-digit bytes.
+inline bool to_u64(std::string_view tok, std::uint64_t& out) {
+  if (tok.empty()) return false;
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+/// Build a "file:line: message — "offending line"" runtime_error.
+[[noreturn]] inline void fail_line(const std::string& name,
+                                   std::uint64_t lineno,
+                                   std::string_view line,
+                                   const std::string& message) {
+  std::string shown(line.substr(0, 120));
+  if (line.size() > 120) shown += "...";
+  throw std::runtime_error(name + ":" + std::to_string(lineno) + ": " +
+                           message + " — \"" + shown + "\"");
+}
+
+}  // namespace fdiam::io::detail

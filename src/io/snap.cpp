@@ -1,29 +1,51 @@
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 #include "graph/edge_list.hpp"
 #include "io/io.hpp"
+#include "io/parse.hpp"
 
 namespace fdiam::io {
 
-Csr read_snap(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path.string());
-
+Csr read_snap(std::istream& in, const std::string& name, IoLimits limits) {
   EdgeList edges;
   std::string line;
+  std::uint64_t lineno = 0;
+  std::uint64_t edges_seen = 0;
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    std::istringstream ls(line);
+    ++lineno;
+    const auto toks = detail::tokens(line);
+    if (toks.empty() || toks[0][0] == '#' || toks[0][0] == '%') continue;
     std::uint64_t u = 0, v = 0;
-    if (!(ls >> u >> v)) {
-      throw std::runtime_error("malformed edge line in " + path.string() +
-                               ": " + line);
+    // Extra columns (weights/timestamps in some SNAP dumps) are ignored.
+    if (toks.size() < 2 || !detail::to_u64(toks[0], u) ||
+        !detail::to_u64(toks[1], v)) {
+      detail::fail_line(name, lineno, line,
+                        "malformed edge line (expected '<u> <v>')");
     }
-    edges.add(static_cast<vid_t>(u), static_cast<vid_t>(v));
+    const vid_t cu = checked_vid(u, "vertex id", name + ":" +
+                                        std::to_string(lineno));
+    const vid_t cv = checked_vid(v, "vertex id", name + ":" +
+                                        std::to_string(lineno));
+    if (u + 1 > limits.max_vertices || v + 1 > limits.max_vertices) {
+      detail::fail_line(name, lineno, line,
+                        "vertex id exceeds the limit of " +
+                            std::to_string(limits.max_vertices - 1));
+    }
+    if (++edges_seen > limits.max_edges) {
+      detail::fail_line(name, lineno, line,
+                        "more edges than the limit of " +
+                            std::to_string(limits.max_edges));
+    }
+    edges.add(cu, cv);
   }
   return Csr::from_edges(std::move(edges));
+}
+
+Csr read_snap(const std::filesystem::path& path, IoLimits limits) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  return read_snap(in, path.string(), limits);
 }
 
 void write_snap(const Csr& g, const std::filesystem::path& path) {

@@ -1,9 +1,24 @@
 #include "util/cli.hpp"
 
-#include <cstdlib>
+#include <charconv>
 #include <sstream>
+#include <stdexcept>
 
 namespace fdiam {
+
+namespace {
+
+// Typed accessors validate the WHOLE value with std::from_chars and throw
+// naming the flag. The old std::strtoll path silently read "--threads=abc"
+// as 0 and "--seed=1e9" as 1 — a mistyped benchmark flag produced a wrong
+// run instead of an error.
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            const char* expected) {
+  throw std::runtime_error("invalid value for --" + key + ": '" + value +
+                           "' is not " + expected);
+}
+
+}  // namespace
 
 void Cli::add_option(std::string name, std::string help, std::string def) {
   decls_[std::move(name)] = Decl{std::move(help), std::move(def), false};
@@ -60,18 +75,45 @@ std::string Cli::get(const std::string& key, const std::string& def) const {
 
 std::int64_t Cli::get_int(const std::string& key, std::int64_t def) const {
   auto it = values_.find(key);
-  return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == values_.end()) return def;
+  std::string_view sv = it->second;
+  if (!sv.empty() && sv.front() == '+') sv.remove_prefix(1);  // from_chars
+  std::int64_t out = 0;
+  const char* first = sv.data();
+  const char* last = sv.data() + sv.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (sv.empty() || ec == std::errc::result_out_of_range) {
+    bad_value(key, it->second, "a 64-bit integer");
+  }
+  if (ec != std::errc() || ptr != last) {
+    bad_value(key, it->second, "an integer (trailing characters?)");
+  }
+  return out;
 }
 
 double Cli::get_double(const std::string& key, double def) const {
   auto it = values_.find(key);
-  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  if (it == values_.end()) return def;
+  std::string_view sv = it->second;
+  if (!sv.empty() && sv.front() == '+') sv.remove_prefix(1);
+  double out = 0.0;
+  const char* first = sv.data();
+  const char* last = sv.data() + sv.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (sv.empty() || ec != std::errc() || ptr != last) {
+    bad_value(key, it->second, "a number");
+  }
+  return out;
 }
 
 bool Cli::get_bool(const std::string& key, bool def) const {
   auto it = values_.find(key);
   if (it == values_.end()) return def;
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  // "--progress=banana" used to silently mean false.
+  bad_value(key, v, "a boolean (true/false/1/0/yes/no/on/off)");
 }
 
 std::string Cli::usage(const std::string& program) const {

@@ -25,6 +25,12 @@ class Cli {
   [[nodiscard]] bool has(const std::string& key) const;
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& def = "") const;
+
+  /// Typed accessors return `def` when the option was not given. A value
+  /// that was given but does not parse COMPLETELY as the requested type
+  /// (trailing garbage, out of range, "1e9" for an int, "banana" for a
+  /// bool) throws std::runtime_error naming the flag — it is never
+  /// silently coerced to 0/false.
   [[nodiscard]] std::int64_t get_int(const std::string& key,
                                      std::int64_t def) const;
   [[nodiscard]] double get_double(const std::string& key, double def) const;

@@ -1,0 +1,336 @@
+// The differential oracle (tentpole harness (c)).
+//
+// Ground truth is one serial BFS per vertex (the only implementation
+// simple enough to trust unconditionally). Everything else in the library
+// that claims to know the diameter is checked against it, on thousands of
+// seeded random degenerate graphs per run: F-Diam under every engine
+// mode, every reorder path, all four baselines, and the metrics layer.
+// The shared disconnected-graph convention (docs/ALGORITHM.md) is what
+// makes the comparison exact rather than merely approximate.
+
+#include <algorithm>
+#include <cstddef>
+#include <iterator>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "bfs/bfs.hpp"
+#include "core/fdiam.hpp"
+#include "core/metrics.hpp"
+#include "fuzz_harness.hpp"
+#include "fuzz_rng.hpp"
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/reorder.hpp"
+#include "util/types.hpp"
+
+namespace fdiam::fuzz {
+
+namespace {
+
+struct EngineMode {
+  const char* name;
+  FDiamOptions opt;
+};
+
+/// The engine-mode matrix: the paper's design point, both BFS execution
+/// axes, every feature ablation, each start policy, the rejected
+/// candidate-batch alternative, and the randomized scan order.
+const std::vector<EngineMode>& engine_modes() {
+  static const std::vector<EngineMode> modes = [] {
+    std::vector<EngineMode> m;
+    const auto add = [&m](const char* name, auto&& tweak) {
+      FDiamOptions opt;
+      tweak(opt);
+      m.push_back({name, opt});
+    };
+    add("default", [](FDiamOptions&) {});
+    add("serial", [](FDiamOptions& o) {
+      o.parallel = false;
+      o.direction_optimizing = false;
+    });
+    add("serial-dirop", [](FDiamOptions& o) { o.parallel = false; });
+    add("parallel-topdown",
+        [](FDiamOptions& o) { o.direction_optimizing = false; });
+    add("no-winnow", [](FDiamOptions& o) { o.use_winnow = false; });
+    add("no-eliminate", [](FDiamOptions& o) { o.use_eliminate = false; });
+    add("no-chain", [](FDiamOptions& o) { o.use_chain = false; });
+    add("no-features", [](FDiamOptions& o) {
+      o.use_winnow = o.use_eliminate = o.use_chain = false;
+    });
+    add("vertex-zero+random-scan", [](FDiamOptions& o) {
+      o.start_policy = StartPolicy::kVertexZero;
+      o.randomize_scan = true;
+    });
+    add("four-sweep-center", [](FDiamOptions& o) {
+      o.start_policy = StartPolicy::kFourSweepCenter;
+    });
+    add("batch4", [](FDiamOptions& o) { o.candidate_batch = 4; });
+    return m;
+  }();
+  return modes;
+}
+
+constexpr ReorderMode kReorderModes[] = {ReorderMode::kNone,
+                                         ReorderMode::kDegree,
+                                         ReorderMode::kBfs,
+                                         ReorderMode::kRandom};
+
+struct Truth {
+  dist_t diameter = 0;
+  bool connected = true;
+  std::vector<dist_t> ecc;  // per-vertex in-component eccentricity
+};
+
+Truth ground_truth(const Csr& g) {
+  Truth t;
+  const vid_t n = g.num_vertices();
+  t.ecc.resize(n, 0);
+  std::vector<dist_t> dist;
+  for (vid_t v = 0; v < n; ++v) {
+    t.ecc[v] = bfs_distances_serial(g, v, dist);
+    t.diameter = std::max(t.diameter, t.ecc[v]);
+    if (v == 0) {
+      // One source suffices for connectivity: BFS from 0 misses a vertex
+      // iff the graph has >= 2 components.
+      for (const dist_t d : dist) {
+        if (d == kUnreached) {
+          t.connected = false;
+          break;
+        }
+      }
+    }
+  }
+  return t;
+}
+
+[[noreturn]] void fail(const std::string& context, const std::string& what) {
+  throw std::logic_error(context + ": " + what);
+}
+
+void expect(bool ok, const std::string& context, const std::string& what) {
+  if (!ok) fail(context, what);
+}
+
+void check_diameter_result(const DiameterResult& r, const Truth& truth,
+                           vid_t n, const std::string& context) {
+  expect(!r.timed_out, context, "timed out with no budget set");
+  expect(r.diameter == truth.diameter, context,
+         "diameter " + std::to_string(r.diameter) + " != oracle " +
+             std::to_string(truth.diameter));
+  expect(r.connected == truth.connected, context,
+         std::string("connected flag ") + (r.connected ? "true" : "false") +
+             " != oracle " + (truth.connected ? "true" : "false"));
+  if (n == 0) return;
+  expect(r.witness < n, context,
+         "witness " + std::to_string(r.witness) + " out of range (n=" +
+             std::to_string(n) + ")");
+  expect(truth.ecc[r.witness] == truth.diameter, context,
+         "witness " + std::to_string(r.witness) + " has eccentricity " +
+             std::to_string(truth.ecc[r.witness]) +
+             ", not the reported diameter " + std::to_string(truth.diameter));
+}
+
+void check_metrics(const Csr& g, const Truth& truth, const Components& cc,
+                   const std::string& context) {
+  const vid_t n = g.num_vertices();
+
+  const ExactEccResult ex = exact_eccentricities(g);
+  expect(ex.ecc.size() == n, context + " [exact_eccentricities]",
+         "eccentricity vector has wrong size");
+  for (vid_t v = 0; v < n; ++v) {
+    expect(ex.ecc[v] == truth.ecc[v], context + " [exact_eccentricities]",
+           "ecc(" + std::to_string(v) + ") = " + std::to_string(ex.ecc[v]) +
+               " != oracle " + std::to_string(truth.ecc[v]));
+  }
+
+  const GraphMetrics met = graph_metrics(g);
+  const std::string mctx = context + " [graph_metrics]";
+  expect(met.diameter == truth.diameter, mctx, "diameter mismatch");
+  expect(met.connected == truth.connected, mctx, "connected mismatch");
+
+  dist_t radius = 0;
+  if (n > 0) {
+    const std::uint32_t big = cc.largest();
+    radius = std::numeric_limits<dist_t>::max();
+    for (vid_t v = 0; v < n; ++v) {
+      if (cc.label[v] == big) radius = std::min(radius, truth.ecc[v]);
+    }
+  }
+  expect(met.radius == radius, mctx,
+         "radius " + std::to_string(met.radius) + " != oracle " +
+             std::to_string(radius));
+  expect(n == 0 || !met.periphery.empty(), mctx, "empty periphery");
+  expect(n == 0 || !met.center.empty(), mctx, "empty center");
+  for (const vid_t v : met.periphery) {
+    expect(v < n && truth.ecc[v] == truth.diameter, mctx,
+           "periphery vertex " + std::to_string(v) + " is not peripheral");
+  }
+  for (const vid_t v : met.center) {
+    expect(v < n && truth.ecc[v] == radius && cc.label[v] == cc.largest(),
+           mctx, "center vertex " + std::to_string(v) + " is not central");
+  }
+}
+
+/// One random degenerate graph. `depth` guards the recursive union case.
+Csr random_degenerate_graph(Rng& rng, int depth) {
+  const std::uint64_t family = rng.below(depth >= 2 ? 14 : 16);
+  switch (family) {
+    case 0:
+      return Csr{};  // empty graph
+    case 1:
+      return Csr::from_edges(EdgeList(1));  // single vertex
+    case 2:  // only isolated vertices
+      return Csr::from_edges(
+          EdgeList(static_cast<vid_t>(1 + rng.below(8))));
+    case 3:
+      return make_path(static_cast<vid_t>(1 + rng.below(40)));
+    case 4:
+      return make_cycle(static_cast<vid_t>(3 + rng.below(37)));
+    case 5:
+      return make_star(static_cast<vid_t>(1 + rng.below(39)));
+    case 6:
+      return make_complete(static_cast<vid_t>(1 + rng.below(12)));
+    case 7: {  // sparse ER: frequently disconnected, sometimes empty
+      const vid_t n = static_cast<vid_t>(2 + rng.below(30));
+      const eid_t m = rng.below(2 * static_cast<eid_t>(n));
+      return make_erdos_renyi(n, m, rng.u64());
+    }
+    case 8:
+      return make_random_tree(static_cast<vid_t>(1 + rng.below(40)),
+                              rng.u64());
+    case 9:
+      return make_balanced_tree(static_cast<vid_t>(2 + rng.below(3)),
+                                static_cast<vid_t>(1 + rng.below(4)));
+    case 10:
+      return make_caterpillar(static_cast<vid_t>(1 + rng.below(10)),
+                              static_cast<vid_t>(rng.below(4)));
+    case 11:
+      return make_lollipop(static_cast<vid_t>(3 + rng.below(6)),
+                           static_cast<vid_t>(1 + rng.below(8)));
+    case 12:
+      return make_barbell(static_cast<vid_t>(3 + rng.below(5)),
+                          static_cast<vid_t>(1 + rng.below(6)));
+    case 13:
+      return make_grid(static_cast<vid_t>(1 + rng.below(6)),
+                       static_cast<vid_t>(1 + rng.below(6)));
+    case 14:  // disjoint union of two smaller degenerates
+      return disjoint_union(random_degenerate_graph(rng, depth + 1),
+                            random_degenerate_graph(rng, depth + 1));
+    default: {  // "dirty rebuild": self-loops, parallel edges, isolated pad
+      const Csr base = random_degenerate_graph(rng, depth + 1);
+      EdgeList el(static_cast<vid_t>(base.num_vertices() + rng.below(4)));
+      for (vid_t u = 0; u < base.num_vertices(); ++u) {
+        for (const vid_t w : base.neighbors(u)) {
+          if (w >= u) el.add(u, w);
+        }
+      }
+      const std::size_t originals = el.size();
+      for (std::uint64_t i = 0, k = rng.below(8); i < k && originals > 0;
+           ++i) {  // parallel edges
+        const Edge e = el.edges()[rng.below(originals)];
+        el.add(e.u, e.v);
+      }
+      if (el.num_vertices() > 0) {  // self-loops
+        for (std::uint64_t i = 0, k = rng.below(4); i < k; ++i) {
+          const vid_t v = static_cast<vid_t>(rng.below(el.num_vertices()));
+          el.add(v, v);
+        }
+      }
+      return Csr::from_edges(std::move(el));
+    }
+  }
+}
+
+}  // namespace
+
+void check_graph_against_oracle(const Csr& g, const std::string& context,
+                                int mode_index) {
+  const vid_t n = g.num_vertices();
+  const Truth truth = ground_truth(g);
+
+  const Components cc = connected_components(g);
+  expect(cc.connected() == truth.connected, context,
+         "connected_components() disagrees with the BFS oracle about "
+         "connectivity");
+
+  // --- F-Diam engine modes -----------------------------------------------
+  const auto& modes = engine_modes();
+  const std::size_t first =
+      mode_index < 0 ? 0
+                     : static_cast<std::size_t>(mode_index) % modes.size();
+  const std::size_t last = mode_index < 0 ? modes.size() : first + 1;
+  for (std::size_t i = first; i < last; ++i) {
+    check_diameter_result(fdiam_diameter(g, modes[i].opt), truth, n,
+                          context + " [fdiam/" + modes[i].name + "]");
+  }
+
+  // --- Reorder paths ------------------------------------------------------
+  const std::size_t rfirst =
+      mode_index < 0
+          ? 0
+          : (static_cast<std::size_t>(mode_index) / modes.size()) %
+                std::size(kReorderModes);
+  const std::size_t rlast =
+      mode_index < 0 ? std::size(kReorderModes) : rfirst + 1;
+  for (std::size_t i = rfirst; i < rlast; ++i) {
+    check_diameter_result(
+        fdiam_diameter_reordered(g, kReorderModes[i], {}, /*seed=*/42),
+        truth, n,
+        context + " [reorder/" +
+            std::string(reorder_mode_name(kReorderModes[i])) + "]");
+  }
+
+  // --- Baselines ----------------------------------------------------------
+  struct Baseline {
+    const char* name;
+    BaselineResult (*fn)(const Csr&, BaselineOptions);
+  };
+  constexpr Baseline kBaselines[] = {
+      {"apsp", &apsp_diameter},
+      {"ifub", &ifub_diameter},
+      {"graph-diameter", &graph_diameter},
+      {"korf", &korf_diameter},
+  };
+  for (const auto& b : kBaselines) {
+    const BaselineResult r = b.fn(g, {});
+    const std::string bctx = context + " [" + b.name + "]";
+    expect(!r.timed_out, bctx, "timed out with no budget set");
+    expect(r.diameter == truth.diameter, bctx,
+           "diameter " + std::to_string(r.diameter) + " != oracle " +
+               std::to_string(truth.diameter));
+    expect(r.connected == truth.connected, bctx, "connected flag mismatch");
+  }
+  if (mode_index < 0) {
+    BaselineOptions par;
+    par.parallel = true;
+    const BaselineResult r = apsp_diameter(g, par);
+    expect(r.diameter == truth.diameter && r.connected == truth.connected,
+           context + " [apsp/parallel]", "mismatch against serial oracle");
+  }
+
+  // --- Metrics layer (only in the full sweep; it is the slow part) --------
+  if (mode_index < 0) check_metrics(g, truth, cc, context);
+}
+
+void run_differential_campaign(std::uint64_t seed, int graphs) {
+  Rng rng(seed);
+  for (int i = 0; i < graphs; ++i) {
+    const std::uint64_t graph_seed = rng.u64();
+    Rng grng(graph_seed);
+    const Csr g = random_degenerate_graph(grng, 0);
+    check_graph_against_oracle(
+        g, "differential seed=" + std::to_string(seed) + " graph=" +
+               std::to_string(i) + " graph_seed=" +
+               std::to_string(graph_seed) + " (n=" +
+               std::to_string(g.num_vertices()) + ", m=" +
+               std::to_string(g.num_edges()) + ")",
+        /*mode_index=*/-1);
+  }
+}
+
+}  // namespace fdiam::fuzz

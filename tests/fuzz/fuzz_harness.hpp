@@ -1,0 +1,71 @@
+#pragma once
+// Differential-fuzzing and input-hardening harnesses (docs/HARDENING.md).
+//
+// Three harness families, each usable two ways:
+//   * as libFuzzer entry points (tests/fuzz/lf_*.cpp, -DFDIAM_FUZZ=ON,
+//     Clang only) for open-ended coverage-guided campaigns, and
+//   * as deterministic seeded campaigns registered with ctest (label
+//     "fuzz") so every build — including the ASan+UBSan preset — replays
+//     a bounded sweep on every test run.
+//
+// Failure convention: a harness THROWS (std::logic_error for an oracle
+// mismatch, anything non-runtime_error escaping a reader) when it finds a
+// bug. The smoke driver turns that into a nonzero exit; libFuzzer turns
+// the uncaught exception into a crash + reproducer file.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace fdiam::fuzz {
+
+/// File formats with a reader in src/io/.
+enum class Format { kDimacs, kSnap, kMatrixMarket, kMetis, kCsrBin };
+
+const char* format_name(Format format);
+
+/// Feed `size` bytes to the `format` reader (in-memory, tight IoLimits so
+/// lying headers cannot exhaust memory). Contract checked here: the bytes
+/// are either rejected with std::runtime_error or produce a Csr that
+/// passes Csr::validate(). Silent acceptance of garbage that builds an
+/// invalid graph, any other exception type, or a crash is a bug.
+void check_reader_bytes(Format format, const std::uint8_t* data,
+                        std::size_t size);
+
+/// Interpret bytes as a little graph-building program (edges, self-loops,
+/// duplicates, isolated blocks, path/star/cycle bursts, component breaks)
+/// plus a solver-mode selector; run F-Diam on the result and check it
+/// against the APSP oracle.
+void check_structure_bytes(const std::uint8_t* data, std::size_t size);
+
+/// Verify one graph against the ground-truth oracle: APSP diameter +
+/// connectivity + per-vertex eccentricities, F-Diam engine modes, reorder
+/// modes, the iFUB / Graph-Diameter / Korf baselines, the witness
+/// contract, and the metrics layer. `mode_index < 0` runs every engine
+/// and reorder mode (the differential campaign); `mode_index >= 0` picks
+/// one engine+reorder combination from it (the structure fuzzer, where
+/// the byte stream chooses the mode). Throws std::logic_error describing
+/// the first mismatch; `context` is prepended so campaign failures name
+/// their seed.
+void check_graph_against_oracle(const Csr& g, const std::string& context,
+                                int mode_index = -1);
+
+// --- Deterministic seeded campaigns (the ctest smoke runs) ---------------
+
+/// Mutational fuzzing of one reader: start from that format's seed corpus
+/// (valid files, edge-case files, other formats' files), apply 1..8 random
+/// byte/token mutations per iteration, and check_reader_bytes each result.
+void run_io_campaign(Format format, std::uint64_t seed, int iterations);
+
+/// Randomized degenerate-graph programs through check_structure_bytes.
+void run_structure_campaign(std::uint64_t seed, int iterations);
+
+/// The differential oracle: `graphs` seeded random degenerate graphs
+/// (empty, single vertex, isolated vertices, multi-component, self-loops,
+/// parallel edges, stars, chains, cliques, unions thereof), each through
+/// check_graph_against_oracle with every engine and reorder mode.
+void run_differential_campaign(std::uint64_t seed, int graphs);
+
+}  // namespace fdiam::fuzz

@@ -1,0 +1,339 @@
+// Mutational fuzzing of the src/io/ readers (tentpole harness (a)).
+//
+// Contract under test — the io.hpp validation guarantee: arbitrary bytes
+// fed to any reader either produce a structurally valid Csr within the
+// requested IoLimits or throw std::runtime_error. A crash, a hang, any
+// other exception type, an invalid graph, or a graph that ignores the
+// limits is a bug in src/io/.
+
+#include <cctype>
+#include <cstring>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fuzz_harness.hpp"
+#include "fuzz_rng.hpp"
+#include "gen/generators.hpp"
+#include "io/io.hpp"
+
+namespace fdiam::fuzz {
+
+namespace {
+
+// Tight ceilings so a mutated header declaring 2^60 vertices throws
+// instead of exhausting memory — fuzzing must be safe to run unattended.
+constexpr std::uint64_t kFuzzMaxVertices = std::uint64_t{1} << 12;
+constexpr std::uint64_t kFuzzMaxEdges = std::uint64_t{1} << 16;
+
+io::IoLimits fuzz_limits() { return {kFuzzMaxVertices, kFuzzMaxEdges}; }
+
+using Reader = Csr (*)(std::istream&, const std::string&, io::IoLimits);
+
+Reader reader_for(Format format) {
+  using Fn = Reader;
+  switch (format) {
+    case Format::kDimacs:
+      return static_cast<Fn>(&io::read_dimacs);
+    case Format::kSnap:
+      return static_cast<Fn>(&io::read_snap);
+    case Format::kMatrixMarket:
+      return static_cast<Fn>(&io::read_matrix_market);
+    case Format::kMetis:
+      return static_cast<Fn>(&io::read_metis);
+    case Format::kCsrBin:
+      return static_cast<Fn>(&io::read_binary);
+  }
+  return static_cast<Fn>(&io::read_dimacs);  // unreachable
+}
+
+/// Serialize a Csr into the .csrbin wire format in memory (the writer in
+/// binary.cpp is path-based; the corpus wants bytes).
+std::string binary_bytes(const Csr& g) {
+  std::string out;
+  const auto put = [&out](const void* p, std::size_t bytes) {
+    out.append(static_cast<const char*>(p), bytes);
+  };
+  put("FDIAMCSR", 8);
+  const std::uint32_t version = 1;
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t arcs = g.num_arcs();
+  put(&version, sizeof version);
+  put(&n, sizeof n);
+  put(&arcs, sizeof arcs);
+  static constexpr eid_t kZeroOffset = 0;
+  if (g.offsets().empty()) {
+    put(&kZeroOffset, sizeof kZeroOffset);
+  } else {
+    put(g.offsets().data(), g.offsets().size() * sizeof(eid_t));
+  }
+  put(g.raw_neighbors().data(), g.raw_neighbors().size() * sizeof(vid_t));
+  return out;
+}
+
+/// Valid + edge-case seed documents per format. Every document in a
+/// format's own corpus must PARSE cleanly — the campaign checks that
+/// before mutating, so a reader that rots into rejecting good files
+/// fails the smoke run too.
+std::vector<std::string> corpus_for(Format format) {
+  switch (format) {
+    case Format::kDimacs:
+      return {
+          "c tiny path\np sp 4 3\na 1 2 1\na 2 3 1\na 3 4 1\n",
+          "p sp 0 0\n",
+          "p sp 1 0\n",
+          "c self loop and duplicate arcs\n"
+          "p sp 3 4\na 1 1 5\na 1 2 1\na 2 1 7\na 2 3 1\n",
+          "c isolated vertex 5\np sp 5 2\na 1 2 1\na 3 4 1\n",
+      };
+    case Format::kSnap:
+      return {
+          "# Directed graph (each unordered pair once)\n# Nodes: 3 Edges: "
+          "3\n0 1\n1 2\n2 0\n",
+          "",
+          "# only comments\n# nothing else\n",
+          "0 0\n",
+          "# extra columns are tolerated\n0 1 1462312310 0.5\n1 2 1462312311 "
+          "0.25\n",
+          "5 7\n\n7 9\n",
+      };
+    case Format::kMatrixMarket:
+      return {
+          "%%MatrixMarket matrix coordinate pattern symmetric\n"
+          "% comment\n3 3 2\n1 2\n2 3\n",
+          "%%MatrixMarket matrix coordinate real general\n"
+          "4 4 3\n1 2 1.5\n2 3 -2.0\n3 4 1e-3\n",
+          "%%MatrixMarket matrix coordinate integer symmetric\n1 1 0\n",
+          "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n\n1 2\n",
+      };
+    case Format::kMetis:
+      return {
+          "% path on three vertices\n3 2\n2\n1 3\n2\n",
+          "0 0\n",
+          "1 0\n\n",
+          "% fmt=011: vertex + edge weights\n3 2 11 2\n7 8 2 4\n3 3 1 9 3 "
+          "2\n1 1 2 2\n",
+      };
+    case Format::kCsrBin: {
+      std::vector<std::string> docs;
+      docs.push_back(binary_bytes(make_path(5)));
+      docs.push_back(binary_bytes(make_star(4)));
+      docs.push_back(binary_bytes(Csr{}));  // empty graph round-trip
+      return docs;
+    }
+  }
+  return {};
+}
+
+const char* const kNastyTokens[] = {
+    "4294967294",  "4294967295",           "4294967296",
+    "18446744073709551615",                "18446744073709551616",
+    "-1",          "-99999999999999999999", "0",
+    "1e9",         "3.14",                 "0x10",
+    "+7",          "nan",                  "999999999999999999999999999",
+};
+
+/// One random structure-aware-ish mutation. Operates on raw bytes; the
+/// token replacement is what drives the overflow / sign / float paths.
+void mutate(std::string& doc, Rng& rng) {
+  switch (rng.below(9)) {
+    case 0: {  // flip one bit
+      if (doc.empty()) break;
+      doc[rng.below(doc.size())] ^= static_cast<char>(1 << rng.below(8));
+      break;
+    }
+    case 1: {  // overwrite a byte with anything (embedded NUL included)
+      if (doc.empty()) break;
+      doc[rng.below(doc.size())] = static_cast<char>(rng.below(256));
+      break;
+    }
+    case 2: {  // insert a short burst of random bytes
+      std::string burst;
+      for (std::uint64_t i = 0, k = 1 + rng.below(8); i < k; ++i) {
+        burst.push_back(static_cast<char>(rng.below(256)));
+      }
+      doc.insert(rng.below(doc.size() + 1), burst);
+      break;
+    }
+    case 3: {  // erase a random range
+      if (doc.empty()) break;
+      const std::size_t begin = rng.below(doc.size());
+      doc.erase(begin, 1 + rng.below(doc.size() - begin));
+      break;
+    }
+    case 4: {  // truncate (the classic partial-download)
+      doc.resize(rng.below(doc.size() + 1));
+      break;
+    }
+    case 5: {  // duplicate a chunk (repeated headers, repeated arcs)
+      if (doc.empty()) break;
+      const std::size_t begin = rng.below(doc.size());
+      const std::size_t len = 1 + rng.below(doc.size() - begin);
+      doc.insert(rng.below(doc.size() + 1), doc.substr(begin, len));
+      break;
+    }
+    case 6: {  // replace a whitespace-delimited token with a nasty one
+      if (doc.empty()) break;
+      const std::size_t at = rng.below(doc.size());
+      std::size_t begin = at;
+      while (begin > 0 && !std::isspace(static_cast<unsigned char>(
+                              doc[begin - 1]))) {
+        --begin;
+      }
+      std::size_t end = at;
+      while (end < doc.size() &&
+             !std::isspace(static_cast<unsigned char>(doc[end]))) {
+        ++end;
+      }
+      doc.replace(begin, end - begin,
+                  kNastyTokens[rng.below(std::size(kNastyTokens))]);
+      break;
+    }
+    case 7: {  // append a nasty line
+      doc += "\n";
+      for (std::uint64_t i = 0, k = 1 + rng.below(4); i < k; ++i) {
+        doc += kNastyTokens[rng.below(std::size(kNastyTokens))];
+        doc += " ";
+      }
+      doc += "\n";
+      break;
+    }
+    case 8: {  // swap two halves (header after body, body before banner)
+      if (doc.size() < 2) break;
+      const std::size_t cut = 1 + rng.below(doc.size() - 1);
+      doc = doc.substr(cut) + doc.substr(0, cut);
+      break;
+    }
+  }
+}
+
+/// Printable escape of the first bytes of a failing input, so a smoke
+/// failure message alone is enough to reproduce by hand.
+std::string escaped_prefix(const std::string& doc, std::size_t limit = 160) {
+  std::string out;
+  for (std::size_t i = 0; i < doc.size() && i < limit; ++i) {
+    const auto c = static_cast<unsigned char>(doc[i]);
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (c >= 32 && c < 127) {
+      out += static_cast<char>(c);
+    } else {
+      static const char* hex = "0123456789abcdef";
+      out += "\\x";
+      out += hex[c >> 4];
+      out += hex[c & 15];
+    }
+  }
+  if (doc.size() > limit) out += "...";
+  return out;
+}
+
+}  // namespace
+
+const char* format_name(Format format) {
+  switch (format) {
+    case Format::kDimacs: return "dimacs";
+    case Format::kSnap: return "snap";
+    case Format::kMatrixMarket: return "matrix-market";
+    case Format::kMetis: return "metis";
+    case Format::kCsrBin: return "csrbin";
+  }
+  return "?";
+}
+
+void check_reader_bytes(Format format, const std::uint8_t* data,
+                        std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size),
+      std::ios::in | std::ios::binary);
+  Csr g;
+  try {
+    g = reader_for(format)(in, "fuzz-input", fuzz_limits());
+  } catch (const std::runtime_error&) {
+    return;  // clean rejection — the one acceptable failure mode
+  }
+  // The reader accepted the bytes, so the result must be a real graph.
+  const std::string who = format_name(format);
+  if (!g.validate()) {
+    throw std::logic_error(who +
+                           " reader accepted input but built a structurally "
+                           "invalid Csr");
+  }
+  if (g.num_vertices() > kFuzzMaxVertices) {
+    throw std::logic_error(who + " reader ignored IoLimits.max_vertices (" +
+                           std::to_string(g.num_vertices()) + " > " +
+                           std::to_string(kFuzzMaxVertices) + ")");
+  }
+  if (g.num_edges() > kFuzzMaxEdges) {
+    throw std::logic_error(who + " reader ignored IoLimits.max_edges (" +
+                           std::to_string(g.num_edges()) + " > " +
+                           std::to_string(kFuzzMaxEdges) + ")");
+  }
+}
+
+void run_io_campaign(Format format, std::uint64_t seed, int iterations) {
+  Rng rng(seed * 0x100 + static_cast<std::uint64_t>(format));
+  const std::vector<std::string> own = corpus_for(format);
+
+  // The unmutated corpus must parse: every document above is valid for
+  // its format, and check_reader_bytes additionally enforces the
+  // valid-or-reject contract.
+  for (std::size_t i = 0; i < own.size(); ++i) {
+    std::istringstream in(own[i], std::ios::in | std::ios::binary);
+    try {
+      Csr g = reader_for(format)(in, "corpus", fuzz_limits());
+      if (!g.validate()) throw std::runtime_error("invalid Csr");
+    } catch (const std::exception& e) {
+      throw std::logic_error(std::string(format_name(format)) +
+                             " reader rejected its own seed corpus doc #" +
+                             std::to_string(i) + ": " + e.what());
+    }
+  }
+
+  // Mutation pool: own corpus plus every other format's first document —
+  // the cross-format confusions (an .mtx banner handed to the DIMACS
+  // reader, binary bytes handed to a text parser) are classic crashes.
+  std::vector<std::string> pool = own;
+  for (const Format other : {Format::kDimacs, Format::kSnap,
+                             Format::kMatrixMarket, Format::kMetis,
+                             Format::kCsrBin}) {
+    if (other == format) continue;
+    std::vector<std::string> docs = corpus_for(other);
+    if (!docs.empty()) pool.push_back(docs.front());
+  }
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::string doc;
+    if (rng.below(16) == 0) {
+      // Occasionally pure noise, to keep the first-bytes paths honest.
+      const std::uint64_t len = rng.below(512);
+      doc.reserve(len);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        doc.push_back(static_cast<char>(rng.below(256)));
+      }
+    } else {
+      doc = pool[rng.below(pool.size())];
+      for (std::uint64_t i = 0, k = 1 + rng.below(8); i < k; ++i) {
+        mutate(doc, rng);
+      }
+    }
+    try {
+      check_reader_bytes(format,
+                         reinterpret_cast<const std::uint8_t*>(doc.data()),
+                         doc.size());
+    } catch (const std::exception& e) {
+      // Anything escaping check_reader_bytes is a finding; re-throw with
+      // the reproduction recipe attached.
+      throw std::logic_error(
+          std::string(format_name(format)) + " io campaign seed=" +
+          std::to_string(seed) + " iter=" + std::to_string(iter) + ": " +
+          e.what() + "\n  input: \"" + escaped_prefix(doc) + "\"");
+    }
+  }
+}
+
+}  // namespace fdiam::fuzz

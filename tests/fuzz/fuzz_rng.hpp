@@ -1,0 +1,34 @@
+#pragma once
+// Tiny deterministic PRNG for the fuzz harnesses (splitmix64). Not
+// std::mt19937 because the harness contract is "same seed, same campaign,
+// forever" across standard libraries and platforms — reproducer seeds in
+// bug reports must replay bit-identically.
+
+#include <cstdint>
+
+namespace fdiam::fuzz {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+  std::uint64_t u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n); 0 when n == 0.
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : u64() % n; }
+
+  /// True with probability ~p.
+  bool chance(double p) {
+    return static_cast<double>(u64() >> 11) * 0x1.0p-53 < p;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace fdiam::fuzz

@@ -1,0 +1,159 @@
+// Graph-structure fuzzing (tentpole harness (b)).
+//
+// The byte stream is decoded as a tiny graph-building program — edges,
+// self-loops, duplicates, component breaks, isolated blocks, path / star /
+// cycle bursts — so random bytes systematically produce the degenerate
+// shapes that break diameter solvers: empty graphs, singletons, forests
+// of isolated vertices, many components, multigraph input to the CSR
+// builder. The first byte picks which engine + reorder combination to
+// run; the result is checked against the serial-BFS oracle.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "fuzz_harness.hpp"
+#include "fuzz_rng.hpp"
+#include "graph/edge_list.hpp"
+
+namespace fdiam::fuzz {
+
+namespace {
+
+// Bounds keep a worst-case program (every byte grows the graph) cheap
+// enough for the per-input oracle (one BFS per vertex).
+constexpr vid_t kMaxProgramVertices = 512;
+constexpr std::size_t kMaxProgramEdges = 4096;
+
+/// Decode `data[1..]` into an edge list. Never throws: every byte
+/// sequence is a valid program (libFuzzer requirement — the interesting
+/// crashes must come from the library, not the decoder).
+Csr decode_graph(const std::uint8_t* data, std::size_t size) {
+  EdgeList el;
+  vid_t base = 0;   // current component's first vertex id
+  vid_t span = 8;   // current component's width; ids are base + x % span
+  vid_t last_u = 0, last_v = 0;
+  const auto full = [&el] {
+    return el.num_vertices() >= kMaxProgramVertices ||
+           el.size() >= kMaxProgramEdges;
+  };
+  const auto vertex = [&](std::uint8_t raw) {
+    return static_cast<vid_t>(base + raw % span);
+  };
+  std::size_t i = 1;  // data[0] is the mode selector
+  while (i < size && !full()) {
+    const std::uint8_t op = data[i];
+    const std::uint8_t a1 = i + 1 < size ? data[i + 1] : 0;
+    const std::uint8_t a2 = i + 2 < size ? data[i + 2] : 0;
+    switch (op % 8) {
+      case 0: {  // plain edge
+        last_u = vertex(a1);
+        last_v = vertex(a2);
+        el.add(last_u, last_v);
+        i += 3;
+        break;
+      }
+      case 1: {  // self-loop (the CSR builder must drop it)
+        const vid_t v = vertex(a1);
+        el.add(v, v);
+        i += 2;
+        break;
+      }
+      case 2: {  // duplicate the previous edge (parallel edge)
+        el.add(last_u, last_v);
+        i += 1;
+        break;
+      }
+      case 3: {  // component break, optionally leaving an isolated gap
+        base = el.num_vertices() + static_cast<vid_t>(a1 % 4);
+        span = static_cast<vid_t>(1 + a2 % 16);
+        i += 3;
+        break;
+      }
+      case 4: {  // block of isolated vertices
+        el.ensure_vertices(el.num_vertices() +
+                           static_cast<vid_t>(1 + a1 % 8));
+        i += 2;
+        break;
+      }
+      case 5: {  // chain burst
+        const vid_t start = vertex(a1);
+        const vid_t len = static_cast<vid_t>(1 + a2 % 12);
+        for (vid_t s = 0; s < len && !full(); ++s) {
+          el.add(start + s, start + s + 1);
+        }
+        i += 3;
+        break;
+      }
+      case 6: {  // star burst
+        const vid_t center = vertex(a1);
+        const vid_t leaves = static_cast<vid_t>(1 + a2 % 12);
+        const vid_t first_leaf = el.num_vertices();
+        for (vid_t s = 0; s < leaves && !full(); ++s) {
+          el.add(center, first_leaf + s);
+        }
+        i += 3;
+        break;
+      }
+      default: {  // cycle burst
+        const vid_t start = vertex(a1);
+        const vid_t len = static_cast<vid_t>(3 + a2 % 10);
+        for (vid_t s = 0; s + 1 < len && !full(); ++s) {
+          el.add(start + s, start + s + 1);
+        }
+        el.add(start + len - 1, start);
+        i += 3;
+        break;
+      }
+    }
+  }
+  return Csr::from_edges(std::move(el));
+}
+
+std::string hex_prefix(const std::uint8_t* data, std::size_t size,
+                       std::size_t limit = 96) {
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = 0; i < size && i < limit; ++i) {
+    out += hex[data[i] >> 4];
+    out += hex[data[i] & 15];
+  }
+  if (size > limit) out += "...";
+  return out;
+}
+
+}  // namespace
+
+void check_structure_bytes(const std::uint8_t* data, std::size_t size) {
+  const int mode_index = size == 0 ? 0 : data[0];
+  const Csr g = decode_graph(data, size);
+  check_graph_against_oracle(
+      g,
+      "structure input=" + hex_prefix(data, size) + " (n=" +
+          std::to_string(g.num_vertices()) + ", m=" +
+          std::to_string(g.num_edges()) + ")",
+      mode_index);
+}
+
+void run_structure_campaign(std::uint64_t seed, int iterations) {
+  Rng rng(seed);
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::string program;
+    const std::uint64_t len = rng.below(120);
+    program.reserve(len);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      program.push_back(static_cast<char>(rng.below(256)));
+    }
+    try {
+      check_structure_bytes(
+          reinterpret_cast<const std::uint8_t*>(program.data()),
+          program.size());
+    } catch (const std::exception& e) {
+      throw std::logic_error("structure campaign seed=" +
+                             std::to_string(seed) + " iter=" +
+                             std::to_string(iter) + ": " + e.what());
+    }
+  }
+}
+
+}  // namespace fdiam::fuzz

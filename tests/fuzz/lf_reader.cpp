@@ -1,0 +1,22 @@
+// libFuzzer entry for one src/io reader; the format is chosen at compile
+// time (FDIAM_LF_FORMAT, one executable per format — see the FDIAM_FUZZ
+// section of tests/fuzz/CMakeLists.txt). Clang only: GCC has no libFuzzer
+// runtime, so plain builds run the seeded campaigns in smoke_main.cpp
+// instead. An uncaught exception (the harness's finding signal) aborts,
+// which libFuzzer reports with a reproducer file.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_harness.hpp"
+
+#ifndef FDIAM_LF_FORMAT
+#define FDIAM_LF_FORMAT kDimacs
+#endif
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fdiam::fuzz::check_reader_bytes(fdiam::fuzz::Format::FDIAM_LF_FORMAT, data,
+                                  size);
+  return 0;
+}

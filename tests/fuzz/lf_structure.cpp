@@ -1,0 +1,16 @@
+// libFuzzer entry for the graph-structure + differential-oracle harness:
+// bytes become a degenerate graph and an engine/reorder mode, and the
+// solver's answer is checked against the serial-BFS oracle. An uncaught
+// std::logic_error (oracle mismatch) aborts, which libFuzzer reports
+// with a reproducer file. Clang only — see tests/fuzz/CMakeLists.txt.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fdiam::fuzz::check_structure_bytes(data, size);
+  return 0;
+}

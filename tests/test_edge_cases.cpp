@@ -1,0 +1,192 @@
+// Degenerate-graph edge cases through every engine mode and reorder path.
+//
+// The graphs that break diameter solvers are rarely the big ones: they are
+// the empty graph, the singleton, forests of isolated vertices, inputs
+// whose edges all vanish in CSR canonicalization (self-loops, parallel
+// edges), and multi-component unions. Each case here carries its known
+// diameter/connectivity and is pushed through the full FDiamOptions
+// matrix, all four reorder modes, and all four baselines. The fuzz
+// harnesses (tests/fuzz/) cover the randomized closure of this list; this
+// suite pins the canonical shapes with named, debuggable tests.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "bfs/bfs.hpp"
+#include "core/fdiam.hpp"
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/reorder.hpp"
+#include "util/types.hpp"
+
+namespace fdiam {
+namespace {
+
+struct Mode {
+  const char* name;
+  FDiamOptions opt;
+};
+
+std::vector<Mode> all_engine_modes() {
+  std::vector<Mode> modes;
+  const auto add = [&modes](const char* name, auto&& tweak) {
+    FDiamOptions opt;
+    tweak(opt);
+    modes.push_back({name, opt});
+  };
+  add("default", [](FDiamOptions&) {});
+  add("serial", [](FDiamOptions& o) {
+    o.parallel = false;
+    o.direction_optimizing = false;
+  });
+  add("serial-dirop", [](FDiamOptions& o) { o.parallel = false; });
+  add("parallel-topdown",
+      [](FDiamOptions& o) { o.direction_optimizing = false; });
+  add("no-winnow", [](FDiamOptions& o) { o.use_winnow = false; });
+  add("no-eliminate", [](FDiamOptions& o) { o.use_eliminate = false; });
+  add("no-chain", [](FDiamOptions& o) { o.use_chain = false; });
+  add("no-features", [](FDiamOptions& o) {
+    o.use_winnow = o.use_eliminate = o.use_chain = false;
+  });
+  add("vertex-zero", [](FDiamOptions& o) {
+    o.start_policy = StartPolicy::kVertexZero;
+  });
+  add("four-sweep-center", [](FDiamOptions& o) {
+    o.start_policy = StartPolicy::kFourSweepCenter;
+  });
+  add("random-scan", [](FDiamOptions& o) { o.randomize_scan = true; });
+  add("batch4", [](FDiamOptions& o) { o.candidate_batch = 4; });
+  return modes;
+}
+
+constexpr ReorderMode kReorderModes[] = {ReorderMode::kNone,
+                                         ReorderMode::kDegree,
+                                         ReorderMode::kBfs,
+                                         ReorderMode::kRandom};
+
+struct Case {
+  std::string name;
+  Csr g;
+  dist_t diameter;
+  bool connected;
+};
+
+std::vector<Case> edge_cases() {
+  std::vector<Case> cases;
+  cases.push_back({"empty", Csr{}, 0, true});
+  cases.push_back({"single-vertex", Csr::from_edges(EdgeList(1)), 0, true});
+  cases.push_back(
+      {"five-isolated-vertices", Csr::from_edges(EdgeList(5)), 0, false});
+  {
+    // Self-loops are dropped by the CSR builder, but the vertices remain:
+    // four isolated vertices, not an empty graph.
+    EdgeList el;
+    for (vid_t v = 0; v < 4; ++v) el.add(v, v);
+    cases.push_back({"all-self-loops", Csr::from_edges(std::move(el)), 0,
+                     false});
+  }
+  {
+    // Parallel edges collapse to a simple path 0-1-2.
+    EdgeList el;
+    el.add(0, 1);
+    el.add(1, 0);
+    el.add(0, 1);
+    el.add(1, 2);
+    el.add(2, 1);
+    cases.push_back({"parallel-edges", Csr::from_edges(std::move(el)), 2,
+                     true});
+  }
+  cases.push_back({"two-components",
+                   disjoint_union(make_path(4), make_cycle(5)), 3, false});
+  {
+    // A component plus a trailing isolated vertex — the shape that caught
+    // the reordered-witness translation on empty permutations.
+    EdgeList el;
+    el.add(0, 1);
+    el.add(1, 2);
+    el.ensure_vertices(4);
+    cases.push_back({"component-plus-isolated",
+                     Csr::from_edges(std::move(el)), 2, false});
+  }
+  cases.push_back({"path-10", make_path(10), 9, true});
+  cases.push_back({"star-7", make_star(7), 2, true});
+  cases.push_back({"complete-5", make_complete(5), 1, true});
+  cases.push_back({"two-vertex-edge", make_path(2), 1, true});
+  return cases;
+}
+
+void check(const Case& c, const DiameterResult& r, const std::string& what) {
+  SCOPED_TRACE(c.name + " / " + what);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.diameter, c.diameter);
+  EXPECT_EQ(r.connected, c.connected);
+  if (c.g.num_vertices() == 0) {
+    EXPECT_EQ(r.witness, 0u);
+    return;
+  }
+  ASSERT_LT(r.witness, c.g.num_vertices());
+  // The witness must realize the reported diameter within its component.
+  std::vector<dist_t> dist;
+  EXPECT_EQ(bfs_distances_serial(c.g, r.witness, dist), c.diameter);
+}
+
+TEST(EdgeCases, EveryEngineModeOnEveryDegenerateGraph) {
+  const auto modes = all_engine_modes();
+  for (const Case& c : edge_cases()) {
+    for (const Mode& m : modes) {
+      check(c, fdiam_diameter(c.g, m.opt), std::string("fdiam/") + m.name);
+    }
+  }
+}
+
+TEST(EdgeCases, EveryReorderPathOnEveryDegenerateGraph) {
+  for (const Case& c : edge_cases()) {
+    for (const ReorderMode mode : kReorderModes) {
+      check(c, fdiam_diameter_reordered(c.g, mode),
+            std::string("reorder/") + reorder_mode_name(mode));
+    }
+  }
+}
+
+TEST(EdgeCases, EveryBaselineOnEveryDegenerateGraph) {
+  struct Baseline {
+    const char* name;
+    BaselineResult (*fn)(const Csr&, BaselineOptions);
+  };
+  constexpr Baseline kBaselines[] = {
+      {"apsp", &apsp_diameter},
+      {"ifub", &ifub_diameter},
+      {"graph-diameter", &graph_diameter},
+      {"korf", &korf_diameter},
+  };
+  for (const Case& c : edge_cases()) {
+    for (const auto& b : kBaselines) {
+      SCOPED_TRACE(c.name + std::string(" / ") + b.name);
+      const BaselineResult r = b.fn(c.g, {});
+      EXPECT_FALSE(r.timed_out);
+      EXPECT_EQ(r.diameter, c.diameter);
+      EXPECT_EQ(r.connected, c.connected);
+    }
+  }
+}
+
+TEST(EdgeCases, ReorderedWitnessIsInOriginalIdSpace) {
+  // On the permuted graph the diametral pair sits elsewhere; the reported
+  // witness must still be valid under the ORIGINAL labeling.
+  const Csr g = disjoint_union(make_path(9), make_star(3));
+  for (const ReorderMode mode : kReorderModes) {
+    SCOPED_TRACE(reorder_mode_name(mode));
+    const DiameterResult r = fdiam_diameter_reordered(g, mode);
+    ASSERT_LT(r.witness, g.num_vertices());
+    std::vector<dist_t> dist;
+    EXPECT_EQ(bfs_distances_serial(g, r.witness, dist), r.diameter);
+    EXPECT_EQ(r.diameter, 8);
+    EXPECT_FALSE(r.connected);
+  }
+}
+
+}  // namespace
+}  // namespace fdiam

@@ -4,8 +4,12 @@
 
 #include <unistd.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
 
 #include "gen/generators.hpp"
 #include "io/io.hpp"
@@ -154,6 +158,187 @@ TEST_F(IoTest, BinaryRejectsCorruptMagic) {
   out << "NOTMAGIC0000000000000000000000";
   out.close();
   EXPECT_THROW(io::read_binary(file("bad.csrbin")), std::runtime_error);
+}
+
+// --- Input hardening (docs/HARDENING.md) ------------------------------------
+// These drive the std::istream overloads directly — the same entry points
+// the fuzz harnesses use — so no temp files are involved.
+
+Csr parse_dimacs(const std::string& text, io::IoLimits limits = {}) {
+  std::istringstream in(text);
+  return io::read_dimacs(in, "test.gr", limits);
+}
+Csr parse_snap(const std::string& text, io::IoLimits limits = {}) {
+  std::istringstream in(text);
+  return io::read_snap(in, "test.txt", limits);
+}
+Csr parse_mtx(const std::string& text, io::IoLimits limits = {}) {
+  std::istringstream in(text);
+  return io::read_matrix_market(in, "test.mtx", limits);
+}
+Csr parse_metis(const std::string& text, io::IoLimits limits = {}) {
+  std::istringstream in(text);
+  return io::read_metis(in, "test.metis", limits);
+}
+Csr parse_binary(const std::string& bytes, io::IoLimits limits = {}) {
+  std::istringstream in(bytes, std::ios::in | std::ios::binary);
+  return io::read_binary(in, "test.csrbin", limits);
+}
+
+TEST_F(IoTest, SnapRejectsIdsBeyondVidRange) {
+  // 2^32 used to static_cast down to vertex 0 and silently build a wrong
+  // graph; now it must throw with the offending value in the message.
+  try {
+    parse_snap("0 4294967296\n");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("4294967296"), std::string::npos);
+  }
+  // The vid_t maximum itself is also out: num_vertices = id + 1 would wrap.
+  EXPECT_THROW(parse_snap("0 4294967295\n"), std::runtime_error);
+  // A small id parses.
+  EXPECT_EQ(parse_snap("0 1\n").num_vertices(), 2u);
+}
+
+TEST_F(IoTest, SnapRejectsNegativeAndFloatIds) {
+  EXPECT_THROW(parse_snap("-1 3\n"), std::runtime_error);
+  EXPECT_THROW(parse_snap("0 1.5\n"), std::runtime_error);
+  EXPECT_THROW(parse_snap("0 1e3\n"), std::runtime_error);
+}
+
+TEST_F(IoTest, SnapToleratesExtraColumnsAndBlankLines) {
+  const Csr g = parse_snap("\n0 1 1462312310 0.75\n\n1 2 x\n");
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST_F(IoTest, SnapEnforcesIoLimits) {
+  io::IoLimits tight;
+  tight.max_vertices = 4;
+  EXPECT_THROW(parse_snap("0 9\n", tight), std::runtime_error);
+  tight.max_vertices = 100;
+  tight.max_edges = 1;
+  EXPECT_THROW(parse_snap("0 1\n1 2\n", tight), std::runtime_error);
+}
+
+TEST_F(IoTest, DimacsRejectsStructuralGarbage) {
+  // duplicate header
+  EXPECT_THROW(parse_dimacs("p sp 2 1\np sp 2 1\na 1 2 1\n"),
+               std::runtime_error);
+  // endpoint out of the declared range (0 and n+1 both invalid: 1-indexed)
+  EXPECT_THROW(parse_dimacs("p sp 2 1\na 0 2 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_dimacs("p sp 2 1\na 1 3 1\n"), std::runtime_error);
+  // unknown line tag
+  EXPECT_THROW(parse_dimacs("p sp 2 1\nq 1 2 1\n"), std::runtime_error);
+  // non-numeric header counts
+  EXPECT_THROW(parse_dimacs("p sp two 1\n"), std::runtime_error);
+}
+
+TEST_F(IoTest, DimacsHeaderCannotLieAboutSizeToForceAllocation) {
+  io::IoLimits tight;
+  tight.max_vertices = 1u << 12;
+  tight.max_edges = 1u << 16;
+  // A header declaring 2^60 vertices must throw BEFORE any allocation.
+  EXPECT_THROW(parse_dimacs("p sp 1152921504606846976 1\na 1 2 1\n", tight),
+               std::runtime_error);
+}
+
+TEST_F(IoTest, MatrixMarketRejectsOutOfBoxEntriesAndTruncation) {
+  const std::string banner =
+      "%%MatrixMarket matrix coordinate pattern general\n";
+  // entry outside the declared rows x cols box
+  EXPECT_THROW(parse_mtx(banner + "2 2 1\n3 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_mtx(banner + "2 2 1\n1 0\n"), std::runtime_error);
+  // fewer entries than nnz declares (the truncated-download case)
+  EXPECT_THROW(parse_mtx(banner + "3 3 2\n1 2\n"), std::runtime_error);
+  // trailing non-blank content after the declared entries
+  EXPECT_THROW(parse_mtx(banner + "3 3 1\n1 2\nsurprise\n"),
+               std::runtime_error);
+  // pattern entries must not be missing the column
+  EXPECT_THROW(parse_mtx(banner + "3 3 1\n1\n"), std::runtime_error);
+}
+
+TEST_F(IoTest, MetisRejectsBadFormatAndRanges) {
+  // fmt digits other than 0/1
+  EXPECT_THROW(parse_metis("2 1 23\n2\n1\n"), std::runtime_error);
+  // neighbor out of [1, n]
+  EXPECT_THROW(parse_metis("2 1\n3\n1\n"), std::runtime_error);
+  EXPECT_THROW(parse_metis("2 1\n0\n1\n"), std::runtime_error);
+  // fmt=1 promises edge weights; a lone neighbor is truncated
+  EXPECT_THROW(parse_metis("2 1 1\n2\n1 5\n"), std::runtime_error);
+  // adjacency lines beyond the declared n
+  EXPECT_THROW(parse_metis("2 1\n2\n1\n1 2\n"), std::runtime_error);
+  // truncated: fewer adjacency lines than n
+  EXPECT_THROW(parse_metis("3 2\n2\n1 3\n"), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsTruncatedAndOversizedPayload) {
+  const Csr g = make_path(6);
+  io::write_binary(g, file("p.csrbin"));
+  std::string bytes;
+  {
+    std::ifstream in(file("p.csrbin"), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  ASSERT_FALSE(bytes.empty());
+  // the pristine bytes load
+  expect_same_graph(g, parse_binary(bytes));
+  // any truncation point must throw, never crash or misparse
+  for (const std::size_t cut : {bytes.size() - 1, bytes.size() - 7,
+                                bytes.size() / 2, std::size_t{9}}) {
+    EXPECT_THROW(parse_binary(bytes.substr(0, cut)), std::runtime_error)
+        << "cut at " << cut;
+  }
+  // trailing junk is flagged too (header promises an exact payload)
+  EXPECT_THROW(parse_binary(bytes + "junk"), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryHeaderCannotLieAboutSizeToForceAllocation) {
+  // Hand-build a header declaring 2^60 vertices with no payload: the
+  // size checks must reject it before sizing any vector.
+  std::string bytes = "FDIAMCSR";
+  const std::uint32_t version = 1;
+  const std::uint64_t n = std::uint64_t{1} << 60;
+  const std::uint64_t arcs = 0;
+  bytes.append(reinterpret_cast<const char*>(&version), sizeof version);
+  bytes.append(reinterpret_cast<const char*>(&n), sizeof n);
+  bytes.append(reinterpret_cast<const char*>(&arcs), sizeof arcs);
+  EXPECT_THROW(parse_binary(bytes), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsCorruptOffsets) {
+  // Valid header, payload the right size, but offsets not monotone: the
+  // Csr::from_raw invariants must catch it as a runtime_error.
+  std::string bytes = "FDIAMCSR";
+  const std::uint32_t version = 1;
+  const std::uint64_t n = 2;
+  const std::uint64_t arcs = 2;
+  bytes.append(reinterpret_cast<const char*>(&version), sizeof version);
+  bytes.append(reinterpret_cast<const char*>(&n), sizeof n);
+  bytes.append(reinterpret_cast<const char*>(&arcs), sizeof arcs);
+  const eid_t offsets[3] = {0, 5, 2};  // decreasing — corrupt
+  const vid_t neighbors[2] = {1, 0};
+  bytes.append(reinterpret_cast<const char*>(offsets), sizeof offsets);
+  bytes.append(reinterpret_cast<const char*>(neighbors), sizeof neighbors);
+  EXPECT_THROW(parse_binary(bytes), std::runtime_error);
+}
+
+TEST_F(IoTest, EmptyGraphRoundTripsThroughEveryFormat) {
+  const Csr empty;
+  io::write_dimacs(empty, file("e.gr"));
+  EXPECT_EQ(io::read_dimacs(file("e.gr")).num_vertices(), 0u);
+  io::write_snap(empty, file("e.txt"));
+  EXPECT_EQ(io::read_snap(file("e.txt")).num_vertices(), 0u);
+  io::write_matrix_market(empty, file("e.mtx"));
+  EXPECT_EQ(io::read_matrix_market(file("e.mtx")).num_vertices(), 0u);
+  io::write_metis(empty, file("e.metis"));
+  EXPECT_EQ(io::read_metis(file("e.metis")).num_vertices(), 0u);
+  // write_binary used to emit a headerless offsets array for the empty
+  // graph, which its own reader then rejected as truncated.
+  io::write_binary(empty, file("e.csrbin"));
+  EXPECT_EQ(io::read_binary(file("e.csrbin")).num_vertices(), 0u);
 }
 
 }  // namespace

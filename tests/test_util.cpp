@@ -5,6 +5,8 @@
 
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -135,6 +137,74 @@ TEST(Cli, DefaultsWhenAbsent) {
   ASSERT_TRUE(cli.parse(1, argv));
   EXPECT_EQ(cli.get_int("n", 10), 10);
   EXPECT_FALSE(cli.has("n"));
+}
+
+TEST(Cli, IntRejectsGarbageInsteadOfCoercing) {
+  // std::strtoll used to stop at the first bad character, silently turning
+  // "12x" into 12 and "banana" into 0. Every partial or out-of-range value
+  // must now throw, naming the flag.
+  Cli cli;
+  cli.add_option("n", "count");
+  const char* argv[] = {"prog", "--n", "12x"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  try {
+    (void)cli.get_int("n", 0);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--n"), std::string::npos);
+  }
+}
+
+TEST(Cli, IntRejectsFloatsEmptyAndOverflow) {
+  Cli cli;
+  cli.add_option("n", "count");
+  for (const char* bad : {"1e9", "3.5", "", " 7", "99999999999999999999"}) {
+    const char* argv[] = {"prog", "--n", bad};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_THROW((void)cli.get_int("n", 0), std::runtime_error)
+        << "value '" << bad << "' should not parse as an int";
+  }
+  // negatives and an explicit plus sign are legitimate integers
+  for (const char* good : {"-42", "+7", "0"}) {
+    const char* argv[] = {"prog", "--n", good};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_NO_THROW((void)cli.get_int("n", 0)) << good;
+  }
+}
+
+TEST(Cli, DoubleRejectsTrailingGarbage) {
+  Cli cli;
+  cli.add_option("x", "scale");
+  for (const char* bad : {"2.5abc", "nan(", ""}) {
+    const char* argv[] = {"prog", "--x", bad};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_THROW((void)cli.get_double("x", 0.0), std::runtime_error)
+        << "value '" << bad << "'";
+  }
+  const char* argv[] = {"prog", "--x", "1e-3"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), 1e-3);
+}
+
+TEST(Cli, BoolAcceptsSpellingsAndRejectsTheRest) {
+  Cli cli;
+  cli.add_option("b", "toggle");
+  const struct {
+    const char* text;
+    bool value;
+  } good[] = {{"true", true}, {"false", false}, {"1", true},  {"0", false},
+              {"yes", true},  {"no", false},    {"on", true}, {"off", false}};
+  for (const auto& [text, value] : good) {
+    const char* argv[] = {"prog", "--b", text};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_EQ(cli.get_bool("b"), value) << text;
+  }
+  for (const char* bad : {"banana", "2", "TRUEish", ""}) {
+    const char* argv[] = {"prog", "--b", bad};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_THROW((void)cli.get_bool("b"), std::runtime_error)
+        << "value '" << bad << "'";
+  }
 }
 
 TEST(Table, AlignedOutputContainsAllCells) {
