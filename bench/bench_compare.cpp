@@ -13,9 +13,16 @@
 //  * hardware counters are one-sided at --hw-tol (default 50% — counters
 //    are stable but multiplexing and frequency scaling add variance);
 //  * peak RSS is one-sided at --mem-tol (default 25%);
+//  * provenance.seconds_median (the same case rerun with the collector
+//    attached) follows the seconds_median policy; with --check-overhead
+//    the candidate's recorded provenance.overhead must additionally stay
+//    within --prov-tol (default 2%) on cases long enough to measure —
+//    this is the introspection layer's overhead bound, checked against
+//    the candidate alone rather than against the baseline;
 //  * a metric null/absent on either side is skipped (counters degrade to
-//    null on machines without a PMU), so reports from different machines
-//    still compare on their common subset.
+//    null on machines without a PMU, pre-provenance reports lack the
+//    provenance block), so older reports still compare on their common
+//    subset.
 //
 // Exit status: 0 pass, 1 regression (or missing case), 2 usage/parse.
 
@@ -110,6 +117,12 @@ int main(int argc, char** argv) {
   cli.add_option("min-seconds",
                  "skip the time check when both sides ran faster than this",
                  "0.01");
+  cli.add_flag("check-overhead",
+               "gate the candidate's provenance overhead at --prov-tol");
+  cli.add_option("prov-tol",
+                 "allowed provenance-collection overhead (fraction)", "0.02");
+  cli.add_option("prov-min-seconds",
+                 "skip the overhead gate on cases faster than this", "0.05");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n"
               << cli.usage("bench_compare baseline.json candidate.json");
@@ -128,6 +141,9 @@ int main(int argc, char** argv) {
   const double hw_tol = cli.get_double("hw-tol", 0.5);
   const double mem_tol = cli.get_double("mem-tol", 0.25);
   const double min_seconds = cli.get_double("min-seconds", 0.01);
+  const bool check_overhead = cli.get_bool("check-overhead");
+  const double prov_tol = cli.get_double("prov-tol", 0.02);
+  const double prov_min_seconds = cli.get_double("prov-min-seconds", 0.05);
 
   const std::string base_path = cli.positional()[0];
   const std::string cand_path = cli.positional()[1];
@@ -180,6 +196,31 @@ int main(int argc, char** argv) {
       ++cmp.skipped;  // sub-centisecond runs are timer noise
     } else {
       cmp.check(*name, "seconds_median", bt, ct, time_tol);
+    }
+
+    const auto bp = b("provenance.seconds_median");
+    const auto cp = c("provenance.seconds_median");
+    if (bp && cp && std::max(*bp, *cp) < min_seconds) {
+      ++cmp.skipped;
+    } else {
+      cmp.check(*name, "prov_seconds_median", bp, cp, time_tol);
+    }
+    if (check_overhead) {
+      // Not a baseline-vs-candidate diff: the overhead was measured
+      // within one bench_regress process (same machine, interleaved
+      // reps), so it is gated as an absolute bound on the candidate.
+      // Short cases are skipped — 2% of a few ms is below timer noise.
+      const auto ov = c("provenance.overhead");
+      if (ov && ct && *ct >= prov_min_seconds) {
+        ++cmp.compared;
+        const bool ok = *ov <= prov_tol;
+        if (!ok) ++cmp.regressions;
+        cmp.table.add_row(
+            {*name, "prov_overhead", Table::fmt_percent(prov_tol) + " max",
+             Table::fmt_percent(*ov), "-", ok ? "ok" : "REGRESS"});
+      } else {
+        ++cmp.skipped;
+      }
     }
 
     for (std::size_t e = 0; e < obs::kHwEventCount; ++e) {

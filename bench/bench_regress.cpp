@@ -29,6 +29,7 @@
 #include "core/fdiam.hpp"
 #include "gen/generators.hpp"
 #include "obs/json.hpp"
+#include "obs/provenance.hpp"
 #include "obs/report.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -48,6 +49,12 @@ struct CaseResult {
   std::uint64_t bfs_calls = 0;
   std::uint64_t edges_examined = 0;
   std::uint64_t vertices_visited = 0;
+  /// Same case rerun with a ProvenanceCollector attached; overhead is the
+  /// relative slowdown vs seconds_median. Tracked so the introspection
+  /// layer's near-zero-cost promise is a regression-checked number
+  /// (bench_compare --check-overhead), not a code comment.
+  double prov_seconds_median = 0.0;
+  double prov_overhead = 0.0;
   obs::HwCounters hardware;
   obs::MemProfile memory;
 };
@@ -102,6 +109,26 @@ CaseResult run_case(const std::string& name, const Csr& g, int reps,
   }
   std::sort(times.begin(), times.end());
   out.seconds_median = times[times.size() / 2];
+
+  if (!out.timed_out) {
+    obs::ProvenanceCollector collector;
+    FDiamOptions popt = opt;
+    popt.provenance = &collector;
+    std::vector<double> ptimes;
+    ptimes.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+      Timer t;
+      const DiameterResult res = fdiam_diameter(g, popt);
+      ptimes.push_back(t.seconds());
+      if (res.timed_out) break;
+    }
+    std::sort(ptimes.begin(), ptimes.end());
+    out.prov_seconds_median = ptimes[ptimes.size() / 2];
+    if (out.seconds_median > 0.0) {
+      out.prov_overhead =
+          (out.prov_seconds_median - out.seconds_median) / out.seconds_median;
+    }
+  }
   return out;
 }
 
@@ -133,6 +160,11 @@ void write_report(std::ostream& os, const std::vector<CaseResult>& cases,
     w.field("bfs_calls", c.bfs_calls);
     w.field("edges_examined", c.edges_examined);
     w.field("vertices_visited", c.vertices_visited);
+
+    w.key("provenance").begin_object();
+    w.field("seconds_median", c.prov_seconds_median);
+    w.field("overhead", c.prov_overhead);
+    w.end_object();
 
     w.key("hardware").begin_object();
     w.field("available", c.hardware.any());
@@ -198,7 +230,7 @@ int main(int argc, char** argv) {
 
   std::vector<CaseResult> results;
   Table t({"case", "vertices", "arcs", "diameter", "median (s)", "BFS",
-           "edges examined"});
+           "edges examined", "prov ovh"});
   for (const auto& [name, g] : build_cases(seed)) {
     std::cerr << "[regress] " << name << " ... " << std::flush;
     CaseResult c = run_case(name, g, reps, budget);
@@ -208,7 +240,8 @@ int main(int argc, char** argv) {
                std::to_string(c.diameter),
                c.timed_out ? "T/O" : Table::fmt_double(c.seconds_median, 4),
                Table::fmt_count(c.bfs_calls),
-               Table::fmt_count(c.edges_examined)});
+               Table::fmt_count(c.edges_examined),
+               c.timed_out ? "-" : Table::fmt_percent(c.prov_overhead)});
     results.push_back(std::move(c));
   }
   t.print(std::cout);

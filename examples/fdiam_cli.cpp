@@ -15,6 +15,13 @@
 //   --trace-levels         add one span per BFS level to the trace
 //   --progress             live progress line on stderr
 //   --stats                per-stage table + BFS traversal counters
+//   --provenance           per-vertex pruning provenance in the report
+//   --audit-log p.bin      binary provenance log for tools/fdiam_audit
+//   --heartbeat N          progress heartbeat every N seconds (+ SIGUSR1)
+//
+// Progress and heartbeat lines go to stderr and are suppressed when
+// stderr is not a TTY (piped runs stay machine-clean); --force-progress
+// overrides the suppression. SIGUSR1 snapshots always print.
 
 #include <algorithm>
 #include <cstdio>
@@ -29,6 +36,7 @@
 #include "graph/stats.hpp"
 #include "io/io.hpp"
 #include "obs/counters.hpp"
+#include "obs/provenance.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
@@ -59,7 +67,10 @@ FDiamTrace make_progress_printer() {
                      e.value, e.vertex, e.seconds);
         break;
       case Kind::kChainsProcessed:
-        std::fprintf(stderr, "[fdiam] chains processed (%.3f s)\n", e.seconds);
+        std::fprintf(stderr,
+                     "[fdiam] chains: %d vertices removed around %d "
+                     "anchor(s) (%.3f s)\n",
+                     e.value, e.extra, e.seconds);
         break;
       case Kind::kEccentricity:
         ++*ecc_seen;
@@ -68,8 +79,8 @@ FDiamTrace make_progress_printer() {
                      e.value, e.seconds);
         break;
       case Kind::kBoundRaised:
-        std::fprintf(stderr, "\n[fdiam] bound raised to %d by v=%u\n",
-                     e.value, e.vertex);
+        std::fprintf(stderr, "\n[fdiam] bound raised %d -> %d by v=%u\n",
+                     e.extra, e.value, e.vertex);
         break;
       case Kind::kEliminate:
       case Kind::kExtendRegions:
@@ -101,6 +112,19 @@ int run_cli(int argc, char** argv) {
   cli.add_flag("trace-levels",
                "include one span per BFS level in the trace (high volume)");
   cli.add_flag("progress", "print live progress to stderr");
+  cli.add_flag("provenance",
+               "record per-vertex pruning provenance and embed the "
+               "stage histogram + bound timeline in --json-report");
+  cli.add_option("audit-log",
+                 "write a binary provenance log for tools/fdiam_audit "
+                 "(implies --provenance)");
+  cli.add_option("heartbeat",
+                 "print a progress heartbeat to stderr every N seconds "
+                 "(0 = off; SIGUSR1 always dumps a snapshot)",
+                 "0");
+  cli.add_flag("force-progress",
+               "emit --progress/--heartbeat output even when stderr "
+               "is not a TTY");
   cli.add_flag("list", "list the built-in suite inputs and exit");
   cli.add_flag("serial", "disable the parallel BFS");
   cli.add_flag("no-winnow", "disable Winnow (ablation)");
@@ -206,9 +230,29 @@ int run_cli(int argc, char** argv) {
   opt.hw_counters =
       cli.get_bool("hw-counters") || cli.get_bool("stats") || want_report;
 
-  // Fan the solver's event stream out to every requested consumer.
+  // Pruning provenance (opt-in): collected whenever the report should
+  // embed it or a binary audit log was requested.
+  const bool want_prov =
+      cli.get_bool("provenance") || cli.has("audit-log");
+  obs::ProvenanceCollector collector;
+  if (want_prov) opt.provenance = &collector;
+
+  // Live heartbeat: periodic beats only when asked for (and TTY-gated
+  // inside ProgressHeartbeat); the SIGUSR1 snapshot path is always armed
+  // so a stuck run can be poked regardless of flags.
+  const bool force_progress = cli.get_bool("force-progress");
+  obs::ProgressHeartbeat heartbeat(cli.get_double("heartbeat", 0.0),
+                                   force_progress);
+  obs::ProgressHeartbeat::install_signal_handler();
+  opt.heartbeat = &heartbeat;
+
+  // Fan the solver's event stream out to every requested consumer. The
+  // live progress line is interactive-only unless forced: a piped stderr
+  // (CI logs, CSV benches) must not fill up with \r-animation frames.
   std::vector<FDiamTrace> sinks;
-  if (cli.get_bool("progress")) sinks.push_back(make_progress_printer());
+  if (cli.get_bool("progress") && (force_progress || obs::stderr_is_tty())) {
+    sinks.push_back(make_progress_printer());
+  }
   if (want_trace) sinks.push_back(session.fdiam_sink());
   if (!sinks.empty()) {
     opt.trace = [sinks](const FDiamEvent& e) {
@@ -239,6 +283,9 @@ int run_cli(int argc, char** argv) {
   DiameterResult r = fdiam_diameter(g, opt);
   if (!reorder_inverse.empty()) {
     r.witness = reorder_inverse[r.witness];  // back to the input's ids
+    // Provenance was collected in permuted-id space; translate it the
+    // same way so audit logs always match the input graph's ids.
+    if (want_prov) collector.translate(reorder_inverse);
   }
 
   if (!r.connected) {
@@ -335,9 +382,17 @@ int run_cli(int argc, char** argv) {
     }
   }
 
+  if (cli.has("audit-log")) {
+    const std::string path = cli.get("audit-log");
+    collector.log().write_file(path);
+    human << "wrote provenance log to " << path
+          << " (verify with tools/fdiam_audit)\n";
+  }
+
   if (want_report) {
     obs::RunReport report = obs::make_run_report(graph_name, s, opt, r);
     report.metrics = registry.snapshot();
+    if (want_prov) report.provenance = &collector.log();
     const std::string path = cli.get("json-report");
     if (path == "-") {
       report.write_json(std::cout);

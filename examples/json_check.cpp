@@ -1,8 +1,13 @@
 // json_check: validate that each argument file (or stdin, with "-") is a
 // single well-formed JSON document, using the library's dependency-free
 // validator. Exit status 0 iff every input validates. The verify-telemetry
-// ctest uses this to check fdiam_cli's --json-report and --trace-out
-// outputs without requiring python or an external JSON tool.
+// and verify-audit ctests use this to check fdiam_cli's --json-report and
+// --trace-out outputs without requiring python or an external JSON tool.
+//
+// Documents carrying a run report's "provenance" block additionally get a
+// semantic pass (schema tag, closed stage-tag set, monotone contiguous
+// bound timeline, non-increasing alive counts) with a named diagnostic
+// like "provenance.bound_timeline.2: bound not increasing".
 //
 //   ./json_check report.json trace.json
 //   ./fdiam_cli --input grid --json-report - | ./json_check -
@@ -13,6 +18,7 @@
 #include <string>
 
 #include "obs/json.hpp"
+#include "obs/provenance.hpp"
 
 int main(int argc, char** argv) {
   if (argc < 2) {
@@ -37,6 +43,12 @@ int main(int argc, char** argv) {
     const std::string text = buf.str();
     if (const auto diag = fdiam::obs::json_diagnose(text)) {
       std::cerr << path << ": INVALID JSON: " << *diag << "\n";
+      ++failures;
+    } else if (const auto prov =
+                   fdiam::obs::diagnose_provenance_block(text)) {
+      // Structurally valid, but the provenance block (when present)
+      // violates its schema — nullopt means valid or absent.
+      std::cerr << path << ": INVALID PROVENANCE: " << *prov << "\n";
       ++failures;
     } else {
       std::cout << path << ": valid JSON (" << text.size() << " bytes)\n";

@@ -27,11 +27,13 @@
 #include <unordered_map>
 
 #include "core/fdiam.hpp"
+#include "obs/provenance.hpp"
 
 namespace fdiam {
 
-void FDiam::process_chains() {
+vid_t FDiam::process_chains() {
   const vid_t n = g_.num_vertices();
+  obs::ProvenanceCollector* const prov = opt_.provenance;
 
   struct Chain {
     dist_t len;
@@ -70,7 +72,34 @@ void FDiam::process_chains() {
   for (const auto& [anchor, chain] : by_anchor) {
     state_[chain.tip] = kActiveState;
     stage_tag_[chain.tip] = Stage::kNone;
+    if (prov) prov->reactivate(chain.tip);
   }
+
+  // Provenance refinement: vertices lying ON a chain read better as
+  // "chain_tail" than as generic members of the anchor's removed ball.
+  // Re-walk the chains (the kept tips' records were just cleared, so
+  // retagging them is a no-op; anchors are never retagged).
+  if (prov) {
+    for (vid_t v = 0; v < n; ++v) {
+      if (g_.degree(v) != 1) continue;
+      prov->retag(v, obs::ProvStage::kChainAnchorRegion,
+                  obs::ProvStage::kChainTail);
+      vid_t prev = v;
+      vid_t cur = g_.neighbors(v)[0];
+      dist_t len = 1;
+      while (g_.degree(cur) == 2 && len < static_cast<dist_t>(n)) {
+        prov->retag(cur, obs::ProvStage::kChainAnchorRegion,
+                    obs::ProvStage::kChainTail);
+        const auto adj = g_.neighbors(cur);
+        const vid_t next = adj[0] == prev ? adj[1] : adj[0];
+        prev = cur;
+        cur = next;
+        ++len;
+      }
+    }
+  }
+
+  return static_cast<vid_t>(by_anchor.size());
 }
 
 }  // namespace fdiam

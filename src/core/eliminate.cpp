@@ -16,12 +16,22 @@
 // extension can touch large areas and is parallelized like a BFS level.
 
 #include "core/fdiam.hpp"
+#include "obs/provenance.hpp"
 
 namespace fdiam {
 
 void FDiam::eliminate(vid_t source, dist_t ecc, dist_t bound, Stage stage) {
   if (ecc >= bound) return;
   ++stats_.eliminate_calls;
+
+  obs::ProvenanceCollector* const prov = opt_.provenance;
+  const obs::ProvStage pstage = stage == Stage::kChain
+                                    ? obs::ProvStage::kChainAnchorRegion
+                                    : obs::ProvStage::kEliminate;
+  // Chain removal runs under the pseudo-bound MAX with ecc = MAX - s; its
+  // provenance records carry the chain length s so the auditor can decode
+  // the MAX-based value markers.
+  const dist_t pbound = stage == Stage::kChain ? bound - ecc : bound;
 
   elim_visited_.new_epoch();
   // Deviation from the paper's listing: Alg. 5 never marks the source
@@ -42,6 +52,9 @@ void FDiam::eliminate(vid_t source, dist_t ecc, dist_t bound, Stage stage) {
         if (!elim_visited_.is_visited(w)) {
           elim_visited_.visit(w);
           mark_removed(w, value, stage);
+          // No-ops when w already carries a record: the first remover
+          // keeps attribution, mirroring stage_tag_.
+          if (prov) prov->record(w, pstage, source, pbound, value);
           elim_wl2_.push_back(w);
         }
       }
@@ -52,6 +65,7 @@ void FDiam::eliminate(vid_t source, dist_t ecc, dist_t bound, Stage stage) {
 
 void FDiam::extend_eliminated(dist_t old_bound, dist_t fresh_bound) {
   const vid_t n = g_.num_vertices();
+  obs::ProvenanceCollector* const prov = opt_.provenance;
 
   // Seed with every vertex whose recorded bound equals the old diameter
   // bound — these form the outermost ring of every eliminated region plus
@@ -85,10 +99,15 @@ void FDiam::extend_eliminated(dist_t old_bound, dist_t fresh_bound) {
           const vid_t v = frontier[static_cast<std::size_t>(i)];
           for (const vid_t w : g_.neighbors(v)) {
             if (elim_visited_.try_visit(w)) {
-              // The claiming thread exclusively owns w's state update.
+              // The claiming thread exclusively owns w's state update
+              // (and hence also w's provenance record).
               if (state_[w] == kActiveState) {
                 state_[w] = value;
                 stage_tag_[w] = Stage::kEliminate;
+                if (prov) {
+                  prov->record(w, obs::ProvStage::kExtension, obs::kNoAnchor,
+                               fresh_bound, value);
+                }
               } else if (value < state_[w] && state_[w] >= 0) {
                 state_[w] = value;
               }
@@ -104,6 +123,10 @@ void FDiam::extend_eliminated(dist_t old_bound, dist_t fresh_bound) {
           if (!elim_visited_.is_visited(w)) {
             elim_visited_.visit(w);
             mark_removed(w, value, Stage::kEliminate);
+            if (prov) {
+              prov->record(w, obs::ProvStage::kExtension, obs::kNoAnchor,
+                           fresh_bound, value);
+            }
             aux_next_.push(w);
           }
         }

@@ -8,6 +8,7 @@
 
 #include "core/two_sweep.hpp"
 #include "obs/perf/perf_session.hpp"
+#include "obs/provenance.hpp"
 #include "util/rng.hpp"
 
 namespace fdiam {
@@ -30,6 +31,12 @@ FDiam::~FDiam() = default;
 
 obs::HwCounters FDiam::hw_snapshot() const {
   return perf_ ? perf_->read() : obs::HwCounters{};
+}
+
+std::uint64_t FDiam::count_active() const {
+  std::uint64_t alive = 0;
+  for (const dist_t s : state_) alive += s == kActiveState ? 1 : 0;
+  return alive;
 }
 
 void FDiam::mark_removed(vid_t v, dist_t value, Stage stage) {
@@ -84,6 +91,22 @@ DiameterResult FDiam::run() {
   engine_.reset_stats();  // result.bfs reports this run only
   run_timer_.reset();
 
+  obs::ProvenanceCollector* const prov = opt_.provenance;
+  if (prov) prov->begin_run(n);
+  const auto finish_provenance = [&](const DiameterResult& res) {
+    if (prov) prov->finish(res.diameter, res.connected, res.timed_out);
+  };
+  // Heartbeat bookkeeping: the alive count at the first beat anchors the
+  // ETA extrapolation; captured lazily so disabled runs never pay the scan.
+  std::uint64_t hb_initial = 0;
+  const auto heartbeat_tick = [&](dist_t current_bound) {
+    if (opt_.heartbeat == nullptr || !opt_.heartbeat->due()) return;
+    const std::uint64_t alive = count_active();
+    if (hb_initial == 0) hb_initial = alive;
+    opt_.heartbeat->beat(alive, hb_initial, current_bound,
+                         stats_.ecc_computations, run_timer_.seconds());
+  };
+
   // Hardware/software counter session (opt-in; see FDiamOptions). The
   // session is opened once and reused across repeated run() calls.
   if (opt_.hw_counters && !perf_) {
@@ -110,26 +133,38 @@ DiameterResult FDiam::run() {
   };
 
   DiameterResult result;
-  if (n == 0) return result;
+  if (n == 0) {
+    finish_provenance(result);
+    return result;
+  }
   if (g_.num_arcs() == 0) {
     // Edge-free graph: every vertex has eccentricity 0.
-    for (vid_t v = 0; v < n; ++v) mark_removed(v, 0, Stage::kDegree0);
+    for (vid_t v = 0; v < n; ++v) {
+      mark_removed(v, 0, Stage::kDegree0);
+      if (prov) prov->record(v, obs::ProvStage::kDegree0, v, 0, 0);
+    }
     result.connected = n <= 1;
     finalize_stats();
     result.stats = stats_;
     finalize_hw(result);
+    finish_provenance(result);
     return result;
   }
 
   // Isolated vertices have eccentricity 0 and need no computation
   // (Table 4's "Degree-0 Vertices" column).
   for (vid_t v = 0; v < n; ++v) {
-    if (g_.degree(v) == 0) mark_removed(v, 0, Stage::kDegree0);
+    if (g_.degree(v) == 0) {
+      mark_removed(v, 0, Stage::kDegree0);
+      if (prov) prov->record(v, obs::ProvStage::kDegree0, v, 0, 0);
+    }
   }
 
   // --- Initial diameter (§4.1): 2-sweep from the start vertex u ----------
   const obs::HwCounters hw_before_init = hw_snapshot();
   vid_t u;
+  dist_t sweep_ecc = -1;   // kFourSweepCenter: best of the 4 sweeps...
+  vid_t sweep_witness = 0; // ...and the peripheral vertex that attained it
   switch (opt_.start_policy) {
     case StartPolicy::kVertexZero:
       u = 0;
@@ -137,11 +172,15 @@ DiameterResult FDiam::run() {
     case StartPolicy::kFourSweepCenter: {
       // Extension: anchor at a 4-sweep center instead of the degree
       // heuristic. Costs 4 BFS traversals, counted like eccentricity
-      // computations for Table 3 comparability.
+      // computations for Table 3 comparability. The sweeps' best lower
+      // bound and its witness feed the initial bound below instead of
+      // being thrown away.
       Timer t;
       const FourSweepResult sweep = four_sweep(engine_, g_.max_degree_vertex());
       stats_.ecc_computations += 4;
       u = sweep.center;
+      sweep_ecc = sweep.lower_bound;
+      sweep_witness = sweep.witness;
       stats_.time_init += t.seconds();
       break;
     }
@@ -154,6 +193,7 @@ DiameterResult FDiam::run() {
   emit(FDiamEvent::Kind::kStart, static_cast<dist_t>(n), u);
 
   dist_t bound;
+  vid_t bound_witness = u;  // attains the pre-cap maximum lower bound
   {
     Timer t;
     const dist_t ecc_u = engine_.eccentricity(u);
@@ -169,6 +209,9 @@ DiameterResult FDiam::run() {
       ++stats_.ecc_computations;
       bound = std::max(bound, ecc_w);
     }
+    bound = std::max(bound, sweep_ecc);  // -1 when not kFourSweepCenter
+    if (ecc_w >= ecc_u) bound_witness = w;
+    if (sweep_ecc >= std::max(ecc_u, ecc_w)) bound_witness = sweep_witness;
 
     if (opt_.cap_initial_bound > 0 && opt_.cap_initial_bound < bound) {
       // Experiment knob: pretend the 2-sweep produced a weaker (but still
@@ -178,18 +221,47 @@ DiameterResult FDiam::run() {
       // fits under the cap; otherwise they stay active and the main loop
       // re-evaluates them (2 redundant traversals — experiment overhead).
       bound = opt_.cap_initial_bound;
+      if (prov) prov->set_capped();
+    }
+    if (prov) {
+      prov->set_round(static_cast<std::uint32_t>(stats_.ecc_computations));
     }
     result.witness = u;
-    if (ecc_u <= bound) mark_removed(u, ecc_u, Stage::kEvaluated);
+    if (ecc_u <= bound) {
+      mark_removed(u, ecc_u, Stage::kEvaluated);
+      if (prov) {
+        prov->record(u, obs::ProvStage::kTwoSweepSeed, u, bound, ecc_u);
+      }
+    }
     if (ecc_w >= 0 && ecc_w <= bound) {
       mark_removed(w, ecc_w, Stage::kEvaluated);
+      if (prov) {
+        prov->record(w, obs::ProvStage::kTwoSweepSeed, w, bound, ecc_w);
+      }
       if (ecc_w >= ecc_u) result.witness = w;
+    }
+    if (sweep_ecc >= 0 && sweep_ecc <= bound) {
+      // The 4-sweep evaluated this vertex exactly; retiring it here saves
+      // the main loop one redundant traversal.
+      mark_removed(sweep_witness, sweep_ecc, Stage::kEvaluated);
+      if (prov) {
+        prov->record(sweep_witness, obs::ProvStage::kTwoSweepSeed,
+                     sweep_witness, bound, sweep_ecc);
+      }
+      if (sweep_ecc >= bound) result.witness = sweep_witness;
     }
     stats_.time_init += t.seconds();
   }
   stats_.hw_init = obs::HwCounters::delta(hw_snapshot(), hw_before_init);
   emit(FDiamEvent::Kind::kInitialBound, bound, u, stats_.time_init,
        perf_ ? &stats_.hw_init : nullptr);
+  if (prov) {
+    // bound_witness attains the pre-cap maximum, so its true eccentricity
+    // equals the bound (or exceeds it when the cap knob weakened the bound
+    // — the auditor relaxes the capped first entry to <=).
+    prov->bound_raised(-1, bound, bound_witness,
+                       obs::ProvStage::kTwoSweepSeed, count_active());
+  }
 
   // The first BFS visits exactly u's component: fewer vertices than the
   // non-isolated count means the input is disconnected (paper §1: the true
@@ -214,13 +286,17 @@ DiameterResult FDiam::run() {
   if (opt_.use_chain) {
     Timer t;
     const obs::HwCounters hw0 = hw_snapshot();
-    process_chains();
+    const vid_t anchors = process_chains();
     const obs::HwCounters hw_d = obs::HwCounters::delta(hw_snapshot(), hw0);
     stats_.hw_chain += hw_d;
     const double chain_seconds = t.seconds();
     stats_.time_chain += chain_seconds;
-    emit(FDiamEvent::Kind::kChainsProcessed, 0, 0, chain_seconds,
-         perf_ ? &hw_d : nullptr);
+    dist_t chain_removed = 0;
+    for (const Stage tag : stage_tag_) {
+      chain_removed += tag == Stage::kChain ? 1 : 0;
+    }
+    emit(FDiamEvent::Kind::kChainsProcessed, chain_removed, 0, chain_seconds,
+         perf_ ? &hw_d : nullptr, static_cast<dist_t>(anchors));
   }
 
   // --- Main loop (Alg. 1 lines 6-21) --------------------------------------
@@ -252,6 +328,7 @@ DiameterResult FDiam::run() {
     BfsStats batch_bfs;  // per-thread engine counters, merged per batch
     vid_t idx = 0;
     while (idx < n && !result.timed_out) {
+      heartbeat_tick(bound);
       batch.clear();
       while (idx < n && batch.size() < batch_size) {
         const vid_t v = scan_vertex(idx++);
@@ -285,18 +362,27 @@ DiameterResult FDiam::run() {
       stats_.ecc_computations += batch.size();
       stats_.hw_ecc += obs::HwCounters::delta(hw_snapshot(), hw_batch0);
       stats_.time_ecc += t_ecc.seconds();
+      if (prov) {
+        prov->set_round(static_cast<std::uint32_t>(stats_.ecc_computations));
+      }
 
       // Serial pruning phase, in batch order.
       for (std::size_t i = 0; i < batch.size(); ++i) {
         const vid_t v = batch[i];
         const dist_t ecc = batch_ecc[i];
         mark_removed(v, ecc, Stage::kEvaluated);
+        // record() no-ops when an earlier batch member's Eliminate already
+        // claimed v — the first remover keeps attribution, like stage_tag_.
+        if (prov) {
+          prov->record(v, obs::ProvStage::kEvaluated, v, std::max(bound, ecc),
+                       ecc);
+        }
         emit(FDiamEvent::Kind::kEccentricity, ecc, v);
         if (ecc > bound) {
           const dist_t old = bound;
           bound = ecc;
           result.witness = v;
-          emit(FDiamEvent::Kind::kBoundRaised, bound, v);
+          emit(FDiamEvent::Kind::kBoundRaised, bound, v, 0.0, nullptr, old);
           if (opt_.use_winnow) {
             const obs::HwCounters hw0 = hw_snapshot();
             winnow_extend(bound);
@@ -306,6 +392,13 @@ DiameterResult FDiam::run() {
             const obs::HwCounters hw0 = hw_snapshot();
             extend_eliminated(old, bound);
             stats_.hw_eliminate += obs::HwCounters::delta(hw_snapshot(), hw0);
+          }
+          if (prov) {
+            // Appended after the extensions so the alive count reflects the
+            // raise's full pruning effect (keeps the timeline's alive column
+            // non-increasing).
+            prov->bound_raised(old, bound, v, obs::ProvStage::kEvaluated,
+                               count_active());
           }
         } else if (opt_.use_eliminate) {
           const obs::HwCounters hw0 = hw_snapshot();
@@ -320,6 +413,7 @@ DiameterResult FDiam::run() {
     result.bfs = engine_.stats();
     result.bfs += batch_bfs;
     finalize_hw(result);
+    finish_provenance(result);
     emit(FDiamEvent::Kind::kDone, bound, 0, stats_.time_total,
          perf_ ? &result.hardware : nullptr);
     return result;
@@ -327,6 +421,7 @@ DiameterResult FDiam::run() {
 
   for (vid_t idx = 0; idx < n; ++idx) {
     const vid_t v = scan_vertex(idx);
+    heartbeat_tick(bound);
     if (state_[v] != kActiveState) continue;
     if (budget_exhausted()) {
       result.timed_out = true;
@@ -343,6 +438,11 @@ DiameterResult FDiam::run() {
     const double ecc_seconds = t_ecc.seconds();
     stats_.time_ecc += ecc_seconds;
     mark_removed(v, ecc, Stage::kEvaluated);
+    if (prov) {
+      prov->set_round(static_cast<std::uint32_t>(stats_.ecc_computations));
+      prov->record(v, obs::ProvStage::kEvaluated, v, std::max(bound, ecc),
+                   ecc);
+    }
     emit(FDiamEvent::Kind::kEccentricity, ecc, v, ecc_seconds,
          perf_ ? &hw_ecc_d : nullptr);
 
@@ -352,7 +452,7 @@ DiameterResult FDiam::run() {
       const dist_t old = bound;
       bound = ecc;
       result.witness = v;
-      emit(FDiamEvent::Kind::kBoundRaised, bound, v);
+      emit(FDiamEvent::Kind::kBoundRaised, bound, v, 0.0, nullptr, old);
       if (opt_.use_winnow) {
         Timer t;
         const obs::HwCounters hw0 = hw_snapshot();
@@ -370,6 +470,13 @@ DiameterResult FDiam::run() {
         stats_.time_eliminate += ext_seconds;
         emit(FDiamEvent::Kind::kExtendRegions, bound, 0, ext_seconds,
              perf_ ? &hw_d : nullptr);
+      }
+      if (prov) {
+        // Appended after the extensions so the alive count reflects the
+        // raise's full pruning effect (keeps the timeline's alive column
+        // non-increasing).
+        prov->bound_raised(old, bound, v, obs::ProvStage::kEvaluated,
+                           count_active());
       }
     } else if (opt_.use_eliminate) {
       // ecc == bound removes only v itself (already recorded above);
@@ -393,6 +500,7 @@ DiameterResult FDiam::run() {
   result.stats = stats_;
   result.bfs = engine_.stats();
   finalize_hw(result);
+  finish_provenance(result);
   emit(FDiamEvent::Kind::kDone, bound, 0, stats_.time_total,
        perf_ ? &result.hardware : nullptr);
   return result;
@@ -415,7 +523,10 @@ DiameterResult fdiam_diameter_reordered(const Csr& g, ReorderMode mode,
   const Csr permuted = apply_permutation(g, new_id);
   DiameterResult result = fdiam_diameter(permuted, opt);
   // The witness lives in permuted-id space; hand the caller their own id.
-  result.witness = inverse_permutation(new_id)[result.witness];
+  const Permutation inverse = inverse_permutation(new_id);
+  result.witness = inverse[result.witness];
+  // Same for every vertex id baked into the provenance log.
+  if (opt.provenance) opt.provenance->translate(inverse);
   return result;
 }
 

@@ -36,7 +36,9 @@
 namespace fdiam {
 
 namespace obs {
-class PerfSession;  // owned by FDiam when hw_counters is on
+class PerfSession;           // owned by FDiam when hw_counters is on
+class ProvenanceCollector;   // caller-owned, see FDiamOptions::provenance
+class ProgressHeartbeat;     // caller-owned, see FDiamOptions::heartbeat
 }
 
 /// Progress events emitted by FDiam when a trace sink is installed —
@@ -57,6 +59,10 @@ struct FDiamEvent {
   Kind kind;
   dist_t value = 0;
   vid_t vertex = 0;
+  /// Secondary payload: kBoundRaised carries the OLD bound (value is the
+  /// new one), kChainsProcessed the number of chain anchors (value is the
+  /// vertices removed). 0 for every other kind.
+  dist_t extra = 0;
   /// Wall-clock duration of the work this event reports, when the event
   /// closes a timed stage: kInitialBound (the 2-sweep), kWinnow,
   /// kChainsProcessed, kEccentricity (one BFS), kEliminate,
@@ -129,6 +135,19 @@ struct FDiamOptions {
   /// syscalls per stage, so it is opt-in. The counters cover the calling
   /// thread and descendants spawned after run() starts.
   bool hw_counters = false;
+
+  /// Opt-in pruning provenance (obs/provenance.hpp): per-vertex removal
+  /// records and the bound-evolution timeline, for run-report telemetry
+  /// and the fdiam_audit invariant replayer. Caller-owned; the solver
+  /// calls begin_run()/finish() around each run, so one collector can be
+  /// reused across repetitions. Near-zero cost when null (one pointer
+  /// test per removal site).
+  obs::ProvenanceCollector* provenance = nullptr;
+
+  /// Opt-in live progress heartbeat (obs/provenance.hpp): periodic
+  /// stderr lines with alive count and ETA, plus SIGUSR1 snapshots.
+  /// Caller-owned and caller-configured (interval, forcing). Null = off.
+  obs::ProgressHeartbeat* heartbeat = nullptr;
 
   /// Optional per-decision progress sink (see FDiamEvent).
   FDiamTrace trace;
@@ -262,7 +281,8 @@ class FDiam {
   void winnow_extend(dist_t bound);
 
   // --- Chain Processing (§4.3), defined in chain.cpp ----------------------
-  void process_chains();
+  // Returns the number of chain anchors processed (for the trace event).
+  vid_t process_chains();
 
   // --- Eliminate (§4.4) and region extension (§4.5), eliminate.cpp --------
   // Partial BFS from `source` (known eccentricity `ecc`) marking vertices
@@ -281,9 +301,16 @@ class FDiam {
   void finalize_stats();
 
   void emit(FDiamEvent::Kind kind, dist_t value, vid_t vertex = 0,
-            double seconds = 0.0, const obs::HwCounters* hw = nullptr) const {
-    if (opt_.trace) opt_.trace(FDiamEvent{kind, value, vertex, seconds, hw});
+            double seconds = 0.0, const obs::HwCounters* hw = nullptr,
+            dist_t extra = 0) const {
+    if (opt_.trace) {
+      opt_.trace(FDiamEvent{kind, value, vertex, extra, seconds, hw});
+    }
   }
+
+  /// Vertices still under consideration (O(n) scan — called only on the
+  /// rare provenance/heartbeat paths, never on the per-vertex hot path).
+  [[nodiscard]] std::uint64_t count_active() const;
 
   /// Cumulative counter snapshot since run() start (empty when counters
   /// are off/unavailable); stage deltas come from HwCounters::delta.

@@ -56,6 +56,7 @@ FourSweepResult four_sweep(BfsEngine& engine, vid_t start) {
   FourSweepResult r;
   r.center = path_midpoint(g, dist, b2);
   r.lower_bound = std::max(ecc_a1, ecc_a2);
+  r.witness = ecc_a2 >= ecc_a1 ? a2 : a1;
   return r;
 }
 

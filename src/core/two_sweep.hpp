@@ -28,6 +28,10 @@ TwoSweepResult two_sweep(BfsEngine& engine, vid_t start);
 struct FourSweepResult {
   vid_t center = 0;        ///< midpoint vertex with near-minimal ecc
   dist_t lower_bound = 0;  ///< best diameter lower bound of the 4 sweeps
+  /// Peripheral vertex whose exact eccentricity equals lower_bound (a1 or
+  /// a2). F-Diam's kFourSweepCenter path folds it into the initial bound
+  /// and retires it instead of discarding the 4 sweeps' best finding.
+  vid_t witness = 0;
 };
 
 /// Runs 4 BFS traversals (plus one midpoint walk each double sweep).

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "core/fdiam.hpp"
+#include "obs/provenance.hpp"
 
 namespace fdiam {
 
@@ -36,6 +37,7 @@ void FDiam::winnow_extend(dist_t bound) {
   ++stats_.winnow_calls;  // Table 3 counts each (partial) winnow traversal
   Timer winnow_timer;     // duration is reported on the kWinnow event
   const obs::HwCounters hw_before = hw_snapshot();
+  obs::ProvenanceCollector* const prov = opt_.provenance;
 
   std::uint64_t removed = 0;
   while (winnow_radius_ < target_radius && !winnow_frontier_.empty()) {
@@ -59,6 +61,12 @@ void FDiam::winnow_extend(dist_t bound) {
               if (state_[w] == kActiveState) {
                 state_[w] = kWinnowedState;
                 stage_tag_[w] = Stage::kWinnow;
+                // The CAS winner owns w's cells exclusively, so the
+                // provenance record write is race-free like state_[w].
+                if (prov) {
+                  prov->record(w, obs::ProvStage::kWinnow, winnow_center_,
+                               bound, kWinnowedState);
+                }
                 ++removed;
               }
               local.push(w);
@@ -75,6 +83,10 @@ void FDiam::winnow_extend(dist_t bound) {
             if (state_[w] == kActiveState) {
               state_[w] = kWinnowedState;
               stage_tag_[w] = Stage::kWinnow;
+              if (prov) {
+                prov->record(w, obs::ProvStage::kWinnow, winnow_center_,
+                             bound, kWinnowedState);
+              }
               ++removed;
             }
             aux_next_.push(w);

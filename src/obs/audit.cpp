@@ -1,0 +1,280 @@
+#include "obs/audit.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "bfs/bfs.hpp"
+#include "core/fdiam.hpp"
+
+namespace fdiam::obs {
+
+namespace {
+
+struct ErrorSink {
+  std::vector<std::string>& errors;
+  std::size_t max_errors;
+  std::uint64_t total = 0;
+
+  void add(std::string msg) {
+    ++total;
+    if (max_errors == 0 || errors.size() < max_errors) {
+      errors.push_back(std::move(msg));
+    }
+  }
+
+  void finish() {
+    if (total > errors.size()) {
+      errors.push_back("... and " + std::to_string(total - errors.size()) +
+                       " more violation(s)");
+    }
+  }
+};
+
+std::string vtx(vid_t v, const VertexRecord& r) {
+  return "vertex " + std::to_string(v) + " (" +
+         std::string(prov_stage_name(r.stage)) + ", round " +
+         std::to_string(r.round) + "): ";
+}
+
+}  // namespace
+
+AuditResult audit_provenance(const Csr& g, const ProvenanceLog& log,
+                             const AuditOptions& opt) {
+  const vid_t n = g.num_vertices();
+  if (log.n != n || log.records.size() != n) {
+    throw std::runtime_error(
+        "provenance log does not match the graph: log has " +
+        std::to_string(log.n) + " vertices (" +
+        std::to_string(log.records.size()) + " records), graph has " +
+        std::to_string(n));
+  }
+
+  AuditResult out;
+  ErrorSink sink{out.errors, opt.max_errors};
+
+  // --- Ground truth: one full BFS per vertex (the auditor's whole point
+  // is to share zero pruning logic with the solver it checks). ----------
+  std::vector<dist_t> true_ecc(n, 0);
+#pragma omp parallel
+  {
+    std::vector<dist_t> dist;
+#pragma omp for schedule(dynamic, 64)
+    for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
+      const auto v = static_cast<vid_t>(vi);
+      true_ecc[v] = bfs_distances_serial(g, v, dist);
+    }
+  }
+  out.bfs_traversals += n;
+  dist_t true_diameter = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    true_diameter = std::max(true_diameter, true_ecc[v]);
+  }
+  out.true_diameter = true_diameter;
+
+  // --- Global oracle -----------------------------------------------------
+  if (log.timed_out) {
+    if (log.diameter > true_diameter) {
+      sink.add("timed-out run reports diameter " +
+               std::to_string(log.diameter) +
+               " above the true diameter " + std::to_string(true_diameter));
+    }
+  } else if (log.diameter != true_diameter) {
+    sink.add("reported diameter " + std::to_string(log.diameter) +
+             " != true diameter " + std::to_string(true_diameter));
+  }
+
+  // --- Per-record invariants, grouped by anchor so each anchor costs one
+  // ground-truth BFS. -----------------------------------------------------
+  std::unordered_map<vid_t, std::vector<vid_t>> by_anchor;
+  for (vid_t v = 0; v < n; ++v) {
+    const VertexRecord& r = log.records[v];
+    switch (r.stage) {
+      case ProvStage::kActive:
+        if (!log.timed_out) {
+          sink.add("vertex " + std::to_string(v) +
+                   ": no removal record, but the run completed");
+        }
+        continue;
+      case ProvStage::kDegree0:
+        ++out.records_checked;
+        if (g.degree(v) != 0) {
+          sink.add(vtx(v, r) + "tagged degree0 but degree is " +
+                   std::to_string(g.degree(v)));
+        } else if (true_ecc[v] != 0) {
+          sink.add(vtx(v, r) + "isolated vertex with nonzero eccentricity");
+        }
+        continue;
+      case ProvStage::kTwoSweepSeed:
+      case ProvStage::kEvaluated:
+        ++out.records_checked;
+        if (r.value != true_ecc[v]) {
+          sink.add(vtx(v, r) + "recorded eccentricity " +
+                   std::to_string(r.value) + " != true eccentricity " +
+                   std::to_string(true_ecc[v]));
+        }
+        if (r.value > r.bound) {
+          sink.add(vtx(v, r) + "evaluated at " + std::to_string(r.value) +
+                   " above the recorded bound " + std::to_string(r.bound));
+        }
+        continue;
+      case ProvStage::kExtension:
+        ++out.records_checked;
+        if (true_ecc[v] > r.value) {
+          sink.add(vtx(v, r) + "extension bound " + std::to_string(r.value) +
+                   " below the true eccentricity " +
+                   std::to_string(true_ecc[v]) + " (unsound removal)");
+        }
+        if (r.value > r.bound) {
+          sink.add(vtx(v, r) + "extension value " + std::to_string(r.value) +
+                   " exceeds the fresh bound " + std::to_string(r.bound));
+        }
+        continue;
+      case ProvStage::kWinnow:
+      case ProvStage::kChainTail:
+      case ProvStage::kChainAnchorRegion:
+      case ProvStage::kEliminate:
+        // Distance-from-anchor invariants: deferred to the per-anchor BFS.
+        ++out.records_checked;
+        if (r.anchor >= n) {
+          sink.add(vtx(v, r) + "anchor " + std::to_string(r.anchor) +
+                   " out of range");
+          continue;
+        }
+        by_anchor[r.anchor].push_back(v);
+        continue;
+    }
+  }
+
+  std::vector<dist_t> dist;
+  for (const auto& [anchor, members] : by_anchor) {
+    bfs_distances_serial(g, anchor, dist);
+    ++out.bfs_traversals;
+    for (const vid_t v : members) {
+      const VertexRecord& r = log.records[v];
+      const dist_t d = dist[v];
+      if (d < 0) {
+        sink.add(vtx(v, r) + "anchor " + std::to_string(anchor) +
+                 " cannot reach the vertex");
+        continue;
+      }
+      switch (r.stage) {
+        case ProvStage::kWinnow:
+          // Theorem 2/3 precondition: the ball radius is floor(bound/2).
+          if (d > r.bound / 2) {
+            sink.add(vtx(v, r) + "distance " + std::to_string(d) +
+                     " from winnow center " + std::to_string(anchor) +
+                     " exceeds floor(bound/2) = " +
+                     std::to_string(r.bound / 2));
+          }
+          if (r.value != -1) {
+            sink.add(vtx(v, r) + "winnow record carries value " +
+                     std::to_string(r.value) + " instead of the sentinel -1");
+          }
+          break;
+        case ProvStage::kChainTail:
+        case ProvStage::kChainAnchorRegion: {
+          // bound holds the chain length s; value the raw MAX-based
+          // marker the pseudo-bound Eliminate recorded.
+          const dist_t s = r.bound;
+          if (d > s) {
+            sink.add(vtx(v, r) + "distance " + std::to_string(d) +
+                     " from chain anchor " + std::to_string(anchor) +
+                     " exceeds the chain length " + std::to_string(s));
+          }
+          if (r.value != FDiam::kChainMax - s + d) {
+            sink.add(vtx(v, r) + "chain marker " + std::to_string(r.value) +
+                     " does not decode to MAX - s + dist (s = " +
+                     std::to_string(s) + ", dist = " + std::to_string(d) +
+                     ")");
+          }
+          break;
+        }
+        case ProvStage::kEliminate:
+          // Theorem 1: ecc(v) <= ecc(anchor) + d, recorded exactly.
+          if (r.value != true_ecc[anchor] + d) {
+            sink.add(vtx(v, r) + "recorded bound " + std::to_string(r.value) +
+                     " != ecc(anchor) + dist = " +
+                     std::to_string(true_ecc[anchor]) + " + " +
+                     std::to_string(d));
+          }
+          if (r.value > r.bound) {
+            sink.add(vtx(v, r) + "Theorem-1 bound " + std::to_string(r.value) +
+                     " exceeds the diameter bound " + std::to_string(r.bound) +
+                     " in effect");
+          }
+          if (true_ecc[v] > r.value) {
+            sink.add(vtx(v, r) + "Theorem-1 bound " + std::to_string(r.value) +
+                     " below the true eccentricity " +
+                     std::to_string(true_ecc[v]) + " (unsound removal)");
+          }
+          break;
+        default:
+          break;  // unreachable: only anchor stages land in by_anchor
+      }
+    }
+  }
+
+  // --- Bound-evolution timeline -------------------------------------------
+  const std::size_t tn = log.timeline.size();
+  out.timeline_checked = tn;
+  if (tn == 0) {
+    if (!log.timed_out && log.diameter != 0) {
+      sink.add("empty bound timeline but nonzero diameter " +
+               std::to_string(log.diameter));
+    }
+  } else {
+    if (log.timeline.front().old_bound != -1) {
+      sink.add("timeline entry 0: initial old bound " +
+               std::to_string(log.timeline.front().old_bound) +
+               " != -1 sentinel");
+    }
+    for (std::size_t i = 0; i < tn; ++i) {
+      const BoundStep& s = log.timeline[i];
+      const std::string at = "timeline entry " + std::to_string(i) + ": ";
+      if (s.new_bound <= s.old_bound) {
+        sink.add(at + "bound not increasing (" +
+                 std::to_string(s.old_bound) + " -> " +
+                 std::to_string(s.new_bound) + ")");
+      }
+      if (i > 0) {
+        if (s.old_bound != log.timeline[i - 1].new_bound) {
+          sink.add(at + "not contiguous (old " +
+                   std::to_string(s.old_bound) + " != previous new " +
+                   std::to_string(log.timeline[i - 1].new_bound) + ")");
+        }
+        if (s.alive > log.timeline[i - 1].alive) {
+          sink.add(at + "alive count grew (" +
+                   std::to_string(log.timeline[i - 1].alive) + " -> " +
+                   std::to_string(s.alive) + ")");
+        }
+      }
+      if (s.witness >= n) {
+        sink.add(at + "witness " + std::to_string(s.witness) +
+                 " out of range");
+        continue;
+      }
+      const bool relaxed = log.capped && i == 0;
+      if (relaxed ? s.new_bound > true_ecc[s.witness]
+                  : s.new_bound != true_ecc[s.witness]) {
+        sink.add(at + "new bound " + std::to_string(s.new_bound) +
+                 (relaxed ? " above" : " != ") +
+                 " true eccentricity of witness " +
+                 std::to_string(s.witness) + " (" +
+                 std::to_string(true_ecc[s.witness]) + ")");
+      }
+    }
+    if (log.timeline.back().new_bound != log.diameter) {
+      sink.add("timeline ends at bound " +
+               std::to_string(log.timeline.back().new_bound) +
+               " but the run reported diameter " +
+               std::to_string(log.diameter));
+    }
+  }
+
+  sink.finish();
+  out.ok = sink.total == 0;
+  return out;
+}
+
+}  // namespace fdiam::obs

@@ -1,0 +1,62 @@
+#pragma once
+// Invariant auditor for F-Diam provenance logs: recompute ground truth
+// (every vertex's exact eccentricity, by one BFS per vertex) and verify
+// each pruning record against the paper's theorems. This is deliberately
+// the dumbest possible oracle — O(nm), sharing none of the solver's
+// skip logic — so it doubles as a standing correctness check for every
+// future solver-perf change.
+//
+// Invariants checked per record (docs/ALGORITHM.md cross-links these):
+//  * global oracle: the reported diameter equals the maximum true
+//    eccentricity over all vertices (so "every pruned vertex's true
+//    eccentricity <= final diameter" holds with equality somewhere);
+//  * evaluated / two-sweep-seed / degree-0: recorded value == true ecc;
+//  * winnow: dist(center, v) <= floor(bound/2) — Theorem 2/3 precondition;
+//  * eliminate: value == ecc(anchor) + dist(anchor, v) (Theorem 1's bound,
+//    exactly), dist(anchor, v) <= bound - ecc(anchor), and the bound is
+//    sound: true ecc(v) <= value;
+//  * chain regions/tails: dist(anchor, v) <= s (the chain length stored in
+//    the record's bound field), and the raw MAX-based marker decodes back
+//    to that distance;
+//  * incremental extension: old < value <= fresh (the record's bound) and
+//    true ecc(v) <= value;
+//  * bound timeline: strictly increasing, contiguous (old[i] == new[i-1]),
+//    alive counts non-increasing, every new bound equals its witness's
+//    true eccentricity (<= when the cap_initial_bound knob weakened the
+//    2-sweep entry), and the last entry equals the reported diameter;
+//  * completed runs (not timed out) leave no vertex unaccounted for.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "obs/provenance.hpp"
+
+namespace fdiam::obs {
+
+struct AuditOptions {
+  /// Stop collecting error strings after this many (checking continues,
+  /// so the totals stay right); 0 keeps everything.
+  std::size_t max_errors = 25;
+};
+
+struct AuditResult {
+  bool ok = false;
+  /// Human-readable violations, each naming the vertex/entry and the
+  /// invariant it broke. Truncated at AuditOptions::max_errors with a
+  /// final "... and N more" marker.
+  std::vector<std::string> errors;
+  std::uint64_t records_checked = 0;
+  std::uint64_t timeline_checked = 0;
+  std::uint64_t bfs_traversals = 0;  ///< ground-truth BFS runs performed
+  dist_t true_diameter = 0;          ///< max true eccentricity found
+};
+
+/// Replay `log` against `g`. Throws std::runtime_error only on a
+/// graph/log size mismatch (auditing record i of a different graph is
+/// meaningless); every semantic violation lands in AuditResult::errors.
+AuditResult audit_provenance(const Csr& g, const ProvenanceLog& log,
+                             const AuditOptions& opt = {});
+
+}  // namespace fdiam::obs

@@ -1,0 +1,446 @@
+#include "obs/provenance.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <unistd.h>
+#endif
+
+#include "obs/json.hpp"
+
+namespace fdiam::obs {
+
+namespace {
+
+// Order matches the ProvStage enumerators (index == enum value).
+constexpr std::string_view kStageNames[kProvStageCount] = {
+    "active",        "degree0",   "two_sweep_seed",
+    "winnow",        "chain_tail", "chain_anchor_region",
+    "eliminate",     "incremental_extension", "evaluated",
+};
+
+}  // namespace
+
+std::string_view prov_stage_name(ProvStage s) {
+  const auto i = static_cast<std::size_t>(s);
+  return i < kProvStageCount ? kStageNames[i] : std::string_view("unknown");
+}
+
+std::optional<ProvStage> prov_stage_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kProvStageCount; ++i) {
+    if (kStageNames[i] == name) return static_cast<ProvStage>(i);
+  }
+  return std::nullopt;
+}
+
+std::uint64_t ProvenanceLog::removed_count() const {
+  std::uint64_t c = 0;
+  for (const VertexRecord& r : records) {
+    if (r.stage != ProvStage::kActive) ++c;
+  }
+  return c;
+}
+
+std::vector<std::uint64_t> ProvenanceLog::stage_histogram() const {
+  std::vector<std::uint64_t> h(kProvStageCount, 0);
+  for (const VertexRecord& r : records) ++h[static_cast<std::size_t>(r.stage)];
+  return h;
+}
+
+// --- Binary log (magic "FDPL", little-endian, fixed-size records) --------
+//
+// Layout: magic[4] u32 version u8 flags u32 n i32 diameter
+//         u32 timeline_count {u32 round i32 old i32 new u32 witness
+//                             u8 stage u64 alive}*
+//         {u8 stage u32 round u32 anchor i32 bound i32 value} * n
+// No checksum: the reader's structural checks (magic, version, stage
+// range, exact length) are what the corrupted-log tests exercise; semantic
+// damage is the auditor's department.
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'D', 'P', 'L'};
+constexpr std::uint32_t kLogVersion = 1;
+
+template <typename T>
+void put(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T get(std::istream& is, const char* what) {
+  T v;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) {
+    throw std::runtime_error("provenance log truncated while reading " +
+                             std::string(what));
+  }
+  return v;
+}
+
+ProvStage decode_stage(std::uint8_t raw, const std::string& where) {
+  if (raw >= kProvStageCount) {
+    throw std::runtime_error("provenance log corrupt: stage tag " +
+                             std::to_string(raw) + " out of range in " +
+                             where);
+  }
+  return static_cast<ProvStage>(raw);
+}
+
+}  // namespace
+
+void ProvenanceLog::write(std::ostream& os) const {
+  os.write(kMagic, sizeof kMagic);
+  put(os, kLogVersion);
+  const std::uint8_t flags = (connected ? 1u : 0u) | (timed_out ? 2u : 0u) |
+                             (capped ? 4u : 0u);
+  put(os, flags);
+  put(os, n);
+  put(os, diameter);
+  put(os, static_cast<std::uint32_t>(timeline.size()));
+  for (const BoundStep& s : timeline) {
+    put(os, s.round);
+    put(os, s.old_bound);
+    put(os, s.new_bound);
+    put(os, s.witness);
+    put(os, static_cast<std::uint8_t>(s.stage));
+    put(os, s.alive);
+  }
+  for (const VertexRecord& r : records) {
+    put(os, static_cast<std::uint8_t>(r.stage));
+    put(os, r.round);
+    put(os, r.anchor);
+    put(os, r.bound);
+    put(os, r.value);
+  }
+}
+
+ProvenanceLog ProvenanceLog::read(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof magic);
+  if (!is || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error(
+        "provenance log corrupt: bad magic (expected \"FDPL\")");
+  }
+  const auto version = get<std::uint32_t>(is, "version");
+  if (version != kLogVersion) {
+    throw std::runtime_error("provenance log version " +
+                             std::to_string(version) +
+                             " unsupported (this build reads version 1)");
+  }
+  ProvenanceLog log;
+  const auto flags = get<std::uint8_t>(is, "flags");
+  log.connected = (flags & 1u) != 0;
+  log.timed_out = (flags & 2u) != 0;
+  log.capped = (flags & 4u) != 0;
+  log.n = get<std::uint32_t>(is, "vertex count");
+  log.diameter = get<dist_t>(is, "diameter");
+  const auto tl = get<std::uint32_t>(is, "timeline count");
+  // A fabricated count would otherwise turn into a giant allocation
+  // before the truncation check gets a chance to fire.
+  if (tl > log.n + 1u) {
+    throw std::runtime_error(
+        "provenance log corrupt: timeline count " + std::to_string(tl) +
+        " exceeds vertex count " + std::to_string(log.n) + " + 1");
+  }
+  log.timeline.reserve(tl);
+  for (std::uint32_t i = 0; i < tl; ++i) {
+    const std::string where = "timeline entry " + std::to_string(i);
+    BoundStep s;
+    s.round = get<std::uint32_t>(is, where.c_str());
+    s.old_bound = get<dist_t>(is, where.c_str());
+    s.new_bound = get<dist_t>(is, where.c_str());
+    s.witness = get<vid_t>(is, where.c_str());
+    s.stage = decode_stage(get<std::uint8_t>(is, where.c_str()), where);
+    s.alive = get<std::uint64_t>(is, where.c_str());
+    log.timeline.push_back(s);
+  }
+  log.records.resize(log.n);
+  for (std::uint32_t v = 0; v < log.n; ++v) {
+    const std::string where = "vertex record " + std::to_string(v);
+    VertexRecord& r = log.records[v];
+    r.stage = decode_stage(get<std::uint8_t>(is, where.c_str()), where);
+    r.round = get<std::uint32_t>(is, where.c_str());
+    r.anchor = get<vid_t>(is, where.c_str());
+    r.bound = get<dist_t>(is, where.c_str());
+    r.value = get<dist_t>(is, where.c_str());
+  }
+  // Trailing garbage means the file is not what the writer produced.
+  is.peek();
+  if (!is.eof()) {
+    throw std::runtime_error(
+        "provenance log corrupt: trailing bytes after the last record");
+  }
+  return log;
+}
+
+void ProvenanceLog::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  write(out);
+  if (!out) throw std::runtime_error("short write to " + path);
+}
+
+ProvenanceLog ProvenanceLog::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open provenance log " + path);
+  return read(in);
+}
+
+void write_provenance_fields(JsonWriter& w, const ProvenanceLog& log) {
+  w.field("schema", kProvenanceSchema);
+  w.field("vertices", static_cast<std::uint64_t>(log.n));
+  w.field("records", log.removed_count());
+  w.field("capped", log.capped);
+  const auto hist = log.stage_histogram();
+  w.key("stage_counts").begin_object();
+  for (std::size_t i = 1; i < kProvStageCount; ++i) {  // skip "active"
+    w.field(kStageNames[i], hist[i]);
+  }
+  w.end_object();
+  w.key("bound_timeline").begin_array();
+  for (const BoundStep& s : log.timeline) {
+    w.begin_object();
+    w.field("round", static_cast<std::uint64_t>(s.round));
+    w.field("old", static_cast<std::int64_t>(s.old_bound));
+    w.field("new", static_cast<std::int64_t>(s.new_bound));
+    w.field("witness", static_cast<std::uint64_t>(s.witness));
+    w.field("stage", prov_stage_name(s.stage));
+    w.field("alive", s.alive);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+namespace {
+
+/// Top-level keys of a JSON object slice (assumed structurally valid —
+/// json_check runs json_diagnose first). Used to enforce the closed
+/// stage-tag set on "stage_counts" without a DOM.
+std::vector<std::string> object_keys(std::string_view object_slice) {
+  std::vector<std::string> keys;
+  int depth = 0;
+  bool want_key = false;
+  for (std::size_t i = 0; i < object_slice.size(); ++i) {
+    const char c = object_slice[i];
+    if (c == '{' || c == '[') {
+      ++depth;
+      if (depth == 1 && c == '{') want_key = true;
+      continue;
+    }
+    if (c == '}' || c == ']') {
+      --depth;
+      continue;
+    }
+    if (depth == 1 && c == ',') {
+      want_key = true;
+      continue;
+    }
+    if (depth == 1 && want_key && c == '"') {
+      std::string key;
+      for (++i; i < object_slice.size() && object_slice[i] != '"'; ++i) {
+        key.push_back(object_slice[i]);
+      }
+      keys.push_back(std::move(key));
+      want_key = false;
+    }
+  }
+  return keys;
+}
+
+}  // namespace
+
+std::optional<std::string> diagnose_provenance_block(
+    std::string_view report) {
+  if (!json_lookup(report, "provenance")) return std::nullopt;
+
+  const auto schema = json_string(report, "provenance.schema");
+  if (!schema || *schema != kProvenanceSchema) {
+    return "provenance.schema: expected \"" + std::string(kProvenanceSchema) +
+           "\", got " +
+           (schema ? '"' + *schema + '"' : std::string("a non-string value"));
+  }
+  for (const char* field : {"vertices", "records"}) {
+    if (!json_number(report, "provenance." + std::string(field))) {
+      return "provenance." + std::string(field) + ": missing or non-numeric";
+    }
+  }
+
+  const auto counts = json_lookup(report, "provenance.stage_counts");
+  if (!counts) return std::string("provenance.stage_counts: missing");
+  for (const std::string& key : object_keys(*counts)) {
+    const auto stage = prov_stage_from_name(key);
+    if (!stage || *stage == ProvStage::kActive) {
+      return "provenance.stage_counts: stage tag \"" + key +
+             "\" is not in the closed ProvStage set";
+    }
+  }
+
+  if (!json_lookup(report, "provenance.bound_timeline")) {
+    return std::string("provenance.bound_timeline: missing");
+  }
+  std::optional<double> prev_new;
+  std::optional<double> prev_alive;
+  for (std::size_t i = 0;; ++i) {
+    const std::string base = "provenance.bound_timeline." + std::to_string(i);
+    if (!json_lookup(report, base)) break;
+    const auto old_b = json_number(report, base + ".old");
+    const auto new_b = json_number(report, base + ".new");
+    const auto alive = json_number(report, base + ".alive");
+    const auto stage = json_string(report, base + ".stage");
+    if (!old_b || !new_b || !alive || !stage) {
+      return base + ": missing old/new/alive/stage field";
+    }
+    if (!prov_stage_from_name(*stage)) {
+      return base + ": stage tag \"" + *stage +
+             "\" is not in the closed ProvStage set";
+    }
+    if (*new_b <= *old_b) {
+      return base + ": bound not increasing (" +
+             std::to_string(static_cast<long long>(*old_b)) + " -> " +
+             std::to_string(static_cast<long long>(*new_b)) + ")";
+    }
+    if (prev_new && *old_b != *prev_new) {
+      return base + ": timeline not contiguous (old " +
+             std::to_string(static_cast<long long>(*old_b)) +
+             " != previous new " +
+             std::to_string(static_cast<long long>(*prev_new)) + ")";
+    }
+    if (prev_alive && *alive > *prev_alive) {
+      return base + ": alive count grew (" +
+             std::to_string(static_cast<long long>(*prev_alive)) + " -> " +
+             std::to_string(static_cast<long long>(*alive)) + ")";
+    }
+    prev_new = new_b;
+    prev_alive = alive;
+  }
+  return std::nullopt;
+}
+
+// --- ProvenanceCollector -------------------------------------------------
+
+void ProvenanceCollector::begin_run(vid_t n) {
+  log_ = ProvenanceLog{};
+  log_.n = n;
+  log_.records.assign(n, VertexRecord{});
+  round_ = 0;
+}
+
+void ProvenanceCollector::bound_raised(dist_t old_bound, dist_t new_bound,
+                                       vid_t witness, ProvStage stage,
+                                       std::uint64_t alive) {
+  log_.timeline.push_back(
+      BoundStep{round_, old_bound, new_bound, witness, stage, alive});
+}
+
+void ProvenanceCollector::finish(dist_t diameter, bool connected,
+                                 bool timed_out) {
+  log_.diameter = diameter;
+  log_.connected = connected;
+  log_.timed_out = timed_out;
+}
+
+void ProvenanceCollector::translate(const std::vector<vid_t>& inverse) {
+  if (inverse.size() != log_.records.size()) return;  // size mismatch: no-op
+  const auto map = [&inverse](vid_t v) {
+    return v == kNoAnchor ? kNoAnchor : inverse[v];
+  };
+  std::vector<VertexRecord> out(log_.records.size());
+  for (vid_t p = 0; p < log_.records.size(); ++p) {
+    VertexRecord r = log_.records[p];
+    r.anchor = map(r.anchor);
+    out[inverse[p]] = r;
+  }
+  log_.records.swap(out);
+  for (BoundStep& s : log_.timeline) s.witness = map(s.witness);
+}
+
+// --- ProgressHeartbeat ---------------------------------------------------
+
+std::atomic<bool> ProgressHeartbeat::snapshot_requested_{false};
+
+bool stderr_is_tty() {
+#if defined(__unix__) || defined(__APPLE__)
+  return isatty(fileno(stderr)) == 1;
+#else
+  return false;
+#endif
+}
+
+ProgressHeartbeat::ProgressHeartbeat(double interval_seconds, bool force,
+                                     std::FILE* out)
+    : interval_(interval_seconds),
+      force_(force),
+      enabled_(force || stderr_is_tty()),
+      out_(out) {}
+
+bool ProgressHeartbeat::due() {
+  // A snapshot request (SIGUSR1 / request_snapshot()) fires regardless of
+  // TTY state or interval — the user explicitly asked for it.
+  if (snapshot_requested_.exchange(false, std::memory_order_relaxed)) {
+    snapshot_pending_ = true;
+    return true;
+  }
+  if (!enabled_ || interval_ <= 0.0) return false;
+  // Gate the clock read: one steady_clock call per 256 candidate scans is
+  // invisible even on million-vertex main loops.
+  if (++calls_ % 256 != 0) return false;
+  const double now = clock_.seconds();
+  if (now - last_beat_ < interval_) return false;
+  last_beat_ = now;
+  return true;
+}
+
+void ProgressHeartbeat::beat(std::uint64_t alive, std::uint64_t initial,
+                             dist_t bound, std::uint64_t evaluated,
+                             double elapsed_seconds) {
+  const std::uint64_t removed = initial > alive ? initial - alive : 0;
+  double eta = -1.0;
+  if (removed > 0 && alive > 0) {
+    eta = elapsed_seconds * static_cast<double>(alive) /
+          static_cast<double>(removed);
+  }
+  const char* tag = snapshot_pending_ ? "snapshot" : "heartbeat";
+  snapshot_pending_ = false;
+  if (eta >= 0.0) {
+    std::fprintf(out_,
+                 "[fdiam] %s: alive %llu/%llu, bound %d, evaluated %llu, "
+                 "elapsed %.1f s, ETA ~%.1f s\n",
+                 tag, static_cast<unsigned long long>(alive),
+                 static_cast<unsigned long long>(initial), bound,
+                 static_cast<unsigned long long>(evaluated), elapsed_seconds,
+                 eta);
+  } else {
+    std::fprintf(out_,
+                 "[fdiam] %s: alive %llu/%llu, bound %d, evaluated %llu, "
+                 "elapsed %.1f s\n",
+                 tag, static_cast<unsigned long long>(alive),
+                 static_cast<unsigned long long>(initial), bound,
+                 static_cast<unsigned long long>(evaluated),
+                 elapsed_seconds);
+  }
+  std::fflush(out_);
+}
+
+void ProgressHeartbeat::request_snapshot() {
+  snapshot_requested_.store(true, std::memory_order_relaxed);
+}
+
+void ProgressHeartbeat::install_signal_handler() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction sa = {};
+  sa.sa_handler = [](int) { request_snapshot(); };
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGUSR1, &sa, nullptr);
+#endif
+}
+
+}  // namespace fdiam::obs

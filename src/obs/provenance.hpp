@@ -1,0 +1,247 @@
+#pragma once
+// Pruning provenance: an opt-in introspection layer for the F-Diam solver.
+//
+// F-Diam's value proposition is that Winnow, Chain Processing, and
+// Theorem-1 Eliminate retire almost every vertex without evaluating it —
+// but the aggregate counters (FDiamStats) cannot say WHICH stage removed
+// WHICH vertex under WHAT bound, or why the bound grew. This layer records
+// exactly that:
+//
+//  * one VertexRecord per removed vertex — the removing stage, the round,
+//    the responsible anchor vertex, and the bound in effect;
+//  * a BoundStep timeline — every bound increase with witness vertex,
+//    triggering stage, and the alive count at that moment;
+//  * a ProgressHeartbeat — periodic stderr progress lines with alive
+//    count and an ETA, plus a SIGUSR1 / request_snapshot() dump for
+//    stuck long runs.
+//
+// The collector is wired into FDiam through a nullable pointer in
+// FDiamOptions, so a disabled run pays one branch per removal site and
+// nothing else. Records serialize into the fdiam.run_report/v1 JSON
+// ("provenance" block, schema fdiam.provenance/v1) and into a compact
+// binary log that tools/fdiam_audit replays against per-vertex BFS ground
+// truth (obs/audit.hpp documents the verified invariants).
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace fdiam::obs {
+
+class JsonWriter;
+
+/// Why a vertex no longer needs its eccentricity computed. A CLOSED enum:
+/// the JSON stage tags and the binary log encode these values, so adding
+/// a member is a provenance schema bump (see kProvenanceSchema).
+enum class ProvStage : std::uint8_t {
+  kActive = 0,       ///< no record — the vertex was never removed
+  kDegree0,          ///< isolated vertex, eccentricity 0 by definition
+  kTwoSweepSeed,     ///< evaluated by the initial 2-sweep (paper §4.1)
+  kWinnow,           ///< inside the winnow ball (Theorems 2+3, §4.2)
+  kChainTail,        ///< interior of a degree-1 chain (§4.3)
+  kChainAnchorRegion,///< within chain-length steps of a chain anchor (§4.3)
+  kEliminate,        ///< Theorem-1 ball of an evaluated vertex (§4.4)
+  kExtension,        ///< swept by a bound-raise region extension (§4.5)
+  kEvaluated,        ///< eccentricity computed exactly in the main loop
+};
+inline constexpr std::size_t kProvStageCount = 9;
+
+/// JSON tag for `s` ("winnow", "chain_tail", ...); "active" for kActive.
+std::string_view prov_stage_name(ProvStage s);
+/// Reverse of prov_stage_name; nullopt for names outside the closed set.
+std::optional<ProvStage> prov_stage_from_name(std::string_view name);
+
+/// Anchor value for removals with no single responsible vertex (the
+/// multi-source region extension).
+inline constexpr vid_t kNoAnchor = UINT32_MAX;
+
+/// Why/when one vertex was removed from consideration.
+struct VertexRecord {
+  ProvStage stage = ProvStage::kActive;
+  /// Eccentricity evaluations completed when the removal happened (the
+  /// 2-sweep's pair counts, so setup-stage removals carry round <= 2).
+  std::uint32_t round = 0;
+  /// The vertex whose evaluation justified the removal: the winnow
+  /// center, the Eliminate source, the chain anchor, the vertex itself
+  /// for evaluated/degree-0 records, kNoAnchor for extensions.
+  vid_t anchor = kNoAnchor;
+  /// Diameter lower bound in effect at removal time; for chain records
+  /// the chain length s instead (the pseudo-bound MAX is not a bound).
+  dist_t bound = 0;
+  /// Recorded eccentricity value: exact for evaluated/seed records, the
+  /// Theorem-1 upper bound ecc(anchor) + d for eliminate records,
+  /// kWinnowedState (-1) for winnow records, the raw MAX-based marker
+  /// for chain-region records.
+  dist_t value = 0;
+};
+
+/// One bound increase (old -> new) on the evolution timeline.
+struct BoundStep {
+  std::uint32_t round = 0;
+  dist_t old_bound = -1;  ///< -1 on the initial 2-sweep entry
+  dist_t new_bound = 0;
+  vid_t witness = 0;       ///< vertex whose eccentricity equals new_bound
+  ProvStage stage = ProvStage::kTwoSweepSeed;  ///< what raised the bound
+  std::uint64_t alive = 0; ///< vertices still active after this raise
+};
+
+inline constexpr std::string_view kProvenanceSchema = "fdiam.provenance/v1";
+
+/// Everything one provenance-enabled run produced. Written/read as a
+/// compact binary log (magic "FDPL", version 1) for tools/fdiam_audit and
+/// summarized into the run report's "provenance" JSON block.
+struct ProvenanceLog {
+  std::uint32_t n = 0;           ///< |V| of the solved graph
+  dist_t diameter = 0;           ///< final bound the run reported
+  bool connected = true;
+  bool timed_out = false;
+  /// True when FDiamOptions::cap_initial_bound weakened the 2-sweep
+  /// bound: the initial timeline entry is then below its witness's true
+  /// eccentricity, and the auditor relaxes that check to <=.
+  bool capped = false;
+  std::vector<VertexRecord> records;  ///< indexed by vertex id, size n
+  std::vector<BoundStep> timeline;
+
+  /// Vertices carrying a removal record (stage != kActive).
+  [[nodiscard]] std::uint64_t removed_count() const;
+  /// Histogram over ProvStage, indexed by static_cast<size_t>(stage).
+  [[nodiscard]] std::vector<std::uint64_t> stage_histogram() const;
+
+  /// Binary serialization. read() throws std::runtime_error with a
+  /// precise message (bad magic, unsupported version, truncation at a
+  /// named record, out-of-range stage tag) so a corrupted log fails
+  /// loudly instead of auditing garbage.
+  void write(std::ostream& os) const;
+  static ProvenanceLog read(std::istream& is);
+  void write_file(const std::string& path) const;
+  static ProvenanceLog read_file(const std::string& path);
+};
+
+/// Append the run report's "provenance" block fields for `log` onto an
+/// open JsonWriter object. Per-vertex records stay in the binary log;
+/// the JSON carries the schema tag, stage histogram, and full timeline.
+void write_provenance_fields(JsonWriter& w, const ProvenanceLog& log);
+
+/// Semantic validation of the "provenance" block inside a serialized
+/// fdiam.run_report/v1 document: schema version, stage tags from the
+/// closed enum, strictly-increasing and contiguous bound timeline,
+/// non-increasing alive counts. Returns a named one-line diagnostic
+/// ("provenance.bound_timeline.2: ..."), or nullopt when the block is
+/// valid or absent (absence is not an error — provenance is opt-in).
+std::optional<std::string> diagnose_provenance_block(std::string_view report);
+
+/// Collects provenance during one FDiam::run(). Thread-safety matches the
+/// solver's removal protocol: record() writes only the vertex's own cell,
+/// and every parallel removal site first wins a CAS/claim that makes one
+/// thread the exclusive owner of that vertex — so the same distinct-cell
+/// argument that keeps state_[] race-free covers records_[]. Timeline
+/// appends happen on the serial control path only.
+class ProvenanceCollector {
+ public:
+  /// Reset for a run over an n-vertex graph (FDiam::run() calls this, so
+  /// a collector can be reused across repetitions like the solver).
+  void begin_run(vid_t n);
+
+  /// Advance the round counter (= eccentricity evaluations completed).
+  void set_round(std::uint32_t round) { round_ = round; }
+  [[nodiscard]] std::uint32_t round() const { return round_; }
+
+  /// Record the removal of v. First remover keeps the record, mirroring
+  /// FDiam::mark_removed attribution; later calls are no-ops.
+  void record(vid_t v, ProvStage stage, vid_t anchor, dist_t bound,
+              dist_t value) {
+    VertexRecord& r = log_.records[v];
+    if (r.stage != ProvStage::kActive) return;
+    r.stage = stage;
+    r.round = round_;
+    r.anchor = anchor;
+    r.bound = bound;
+    r.value = value;
+  }
+
+  /// Refine an existing record's stage in place (chain processing retags
+  /// the degree-2 chain interiors from kChainAnchorRegion to kChainTail).
+  void retag(vid_t v, ProvStage from, ProvStage to) {
+    if (log_.records[v].stage == from) log_.records[v].stage = to;
+  }
+
+  /// Drop the record of a vertex returned to consideration (chain tips).
+  void reactivate(vid_t v) { log_.records[v] = VertexRecord{}; }
+
+  /// Append a bound-evolution timeline entry.
+  void bound_raised(dist_t old_bound, dist_t new_bound, vid_t witness,
+                    ProvStage stage, std::uint64_t alive);
+
+  void set_capped() { log_.capped = true; }
+
+  /// Stamp the run outcome; call once the solver finished.
+  void finish(dist_t diameter, bool connected, bool timed_out);
+
+  /// Remap every vertex id (record index, anchor, witness) through
+  /// `inverse` (permuted id -> original id), so provenance collected on a
+  /// reordered CSR reads in the caller's id space — the same translation
+  /// fdiam_diameter_reordered applies to the witness.
+  void translate(const std::vector<vid_t>& inverse);
+
+  [[nodiscard]] const ProvenanceLog& log() const { return log_; }
+
+ private:
+  ProvenanceLog log_;
+  std::uint32_t round_ = 0;
+};
+
+/// True when stderr is an interactive terminal (false on non-POSIX
+/// platforms). Progress output keys on this so piped/benchmark runs stay
+/// machine-clean (docs/OBSERVABILITY.md).
+bool stderr_is_tty();
+
+/// Live progress heartbeat for long solver runs: every `interval_seconds`
+/// the solver prints one stderr line with the alive-vertex count, current
+/// bound, and an ETA extrapolated from the removal rate so far. Periodic
+/// beats are suppressed when stderr is not a TTY unless `force` is set;
+/// an explicitly requested snapshot (SIGUSR1 or request_snapshot()) is
+/// always printed — that is the whole point of poking a stuck run.
+class ProgressHeartbeat {
+ public:
+  explicit ProgressHeartbeat(double interval_seconds, bool force = false,
+                             std::FILE* out = stderr);
+
+  /// Cheap per-iteration gate: checks the wall clock only every few
+  /// hundred calls, so the solver can tick once per candidate scan
+  /// without measurable cost. True when a beat (or snapshot) is owed.
+  bool due();
+
+  /// Emit one progress line. The solver calls this only after due().
+  void beat(std::uint64_t alive, std::uint64_t initial, dist_t bound,
+            std::uint64_t evaluated, double elapsed_seconds);
+
+  [[nodiscard]] bool periodic_enabled() const { return enabled_; }
+
+  /// Portable SIGUSR1 fallback: ask the next due() to fire regardless of
+  /// the interval or TTY state. Async-signal-safe (one atomic store).
+  static void request_snapshot();
+  /// Install a SIGUSR1 handler that calls request_snapshot(). No-op on
+  /// platforms without sigaction.
+  static void install_signal_handler();
+
+ private:
+  double interval_;
+  bool force_;
+  bool enabled_;       // periodic beats: force_ || stderr_is_tty()
+  std::FILE* out_;
+  Timer clock_;
+  double last_beat_ = 0.0;
+  std::uint32_t calls_ = 0;
+  bool snapshot_pending_ = false;
+  static std::atomic<bool> snapshot_requested_;
+};
+
+}  // namespace fdiam::obs

@@ -12,6 +12,7 @@
 
 #include "obs/json.hpp"
 #include "obs/perf/hw_counters.hpp"
+#include "obs/provenance.hpp"
 
 namespace fdiam::obs {
 
@@ -162,6 +163,7 @@ void RunReport::write_json(std::ostream& os) const {
   w.field("candidate_batch", options.candidate_batch);
   w.field("time_budget_seconds", options.time_budget_seconds);
   w.field("hw_counters", options.hw_counters);
+  w.field("provenance", options.provenance != nullptr);
   w.end_object();
 
   w.key("result").begin_object();
@@ -263,6 +265,12 @@ void RunReport::write_json(std::ostream& os) const {
     }
   }
   w.end_object();
+
+  if (provenance != nullptr) {
+    w.key("provenance").begin_object();
+    write_provenance_fields(w, *provenance);
+    w.end_object();
+  }
 
   write_env_fields(w, env);
 

@@ -36,6 +36,8 @@ struct EnvInfo {
 /// Capture the current process environment.
 EnvInfo capture_env();
 
+struct ProvenanceLog;
+
 struct RunReport {
   std::string graph_name;   // file path or suite input name
   GraphStats graph;
@@ -44,6 +46,10 @@ struct RunReport {
   EnvInfo env;
   /// Optional registry snapshot appended as a flat "metrics" object.
   std::vector<std::pair<std::string, double>> metrics;
+  /// When set, a schema-versioned "provenance" block (stage histogram +
+  /// bound-evolution timeline) is embedded. Not owned; must outlive
+  /// write_json().
+  const ProvenanceLog* provenance = nullptr;
 
   /// Serialize as one pretty-printed JSON document.
   void write_json(std::ostream& os) const;

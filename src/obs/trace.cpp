@@ -99,14 +99,18 @@ FDiamTrace TraceSession::fdiam_sink() {
                  with_hw({{"radius", value}, {"center", vertex}}));
         break;
       case Kind::kChainsProcessed:
-        complete("chain", e.seconds, with_hw({{"removed", value}}));
+        complete("chain", e.seconds,
+                 with_hw({{"removed", value},
+                          {"anchors", static_cast<std::int64_t>(e.extra)}}));
         break;
       case Kind::kEccentricity:
         complete("ecc_bfs", e.seconds,
                  with_hw({{"ecc", value}, {"vertex", vertex}}));
         break;
       case Kind::kBoundRaised:
-        instant("bound_raised", {{"bound", value}, {"vertex", vertex}});
+        instant("bound_raised", {{"bound", value},
+                                 {"old", static_cast<std::int64_t>(e.extra)},
+                                 {"vertex", vertex}});
         break;
       case Kind::kEliminate:
         complete("eliminate", e.seconds,
