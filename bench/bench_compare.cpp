@@ -19,6 +19,14 @@
 //    within --prov-tol (default 2%) on cases long enough to measure —
 //    this is the introspection layer's overhead bound, checked against
 //    the candidate alone rather than against the baseline;
+//  * the thread count each case ran with must match exactly (skipped for
+//    pre-threads reports) — a baseline recorded at 8 threads must never
+//    pass silently against a 1-thread candidate;
+//  * utilization.seconds_median and profile.seconds_median (reruns with
+//    the utilization collector / sampling profiler attached) follow the
+//    seconds_median policy; with --check-profile-overhead the
+//    candidate's recorded profile.overhead must additionally stay within
+//    --profile-tol (default 5%), gated like the provenance overhead;
 //  * a metric null/absent on either side is skipped (counters degrade to
 //    null on machines without a PMU, pre-provenance reports lack the
 //    provenance block), so older reports still compare on their common
@@ -123,6 +131,11 @@ int main(int argc, char** argv) {
                  "allowed provenance-collection overhead (fraction)", "0.02");
   cli.add_option("prov-min-seconds",
                  "skip the overhead gate on cases faster than this", "0.05");
+  cli.add_flag("check-profile-overhead",
+               "gate the candidate's sampling-profiler overhead at "
+               "--profile-tol");
+  cli.add_option("profile-tol",
+                 "allowed sampling-profiler overhead (fraction)", "0.05");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n"
               << cli.usage("bench_compare baseline.json candidate.json");
@@ -144,6 +157,8 @@ int main(int argc, char** argv) {
   const bool check_overhead = cli.get_bool("check-overhead");
   const double prov_tol = cli.get_double("prov-tol", 0.02);
   const double prov_min_seconds = cli.get_double("prov-min-seconds", 0.05);
+  const bool check_profile = cli.get_bool("check-profile-overhead");
+  const double profile_tol = cli.get_double("profile-tol", 0.05);
 
   const std::string base_path = cli.positional()[0];
   const std::string cand_path = cli.positional()[1];
@@ -186,7 +201,8 @@ int main(int argc, char** argv) {
     };
 
     for (const char* exact :
-         {"diameter", "bfs_calls", "edges_examined", "vertices_visited"}) {
+         {"diameter", "bfs_calls", "edges_examined", "vertices_visited",
+          "threads"}) {
       cmp.check(*name, exact, b(exact), c(exact), -1.0);
     }
 
@@ -217,6 +233,40 @@ int main(int argc, char** argv) {
         if (!ok) ++cmp.regressions;
         cmp.table.add_row(
             {*name, "prov_overhead", Table::fmt_percent(prov_tol) + " max",
+             Table::fmt_percent(*ov), "-", ok ? "ok" : "REGRESS"});
+      } else {
+        ++cmp.skipped;
+      }
+    }
+
+    // Observability reruns: time policy identical to seconds_median;
+    // absent on pre-instrumentation reports, so skips are expected.
+    const auto bu = b("utilization.seconds_median");
+    const auto cu = c("utilization.seconds_median");
+    if (bu && cu && std::max(*bu, *cu) < min_seconds) {
+      ++cmp.skipped;
+    } else {
+      cmp.check(*name, "util_seconds_median", bu, cu, time_tol);
+    }
+    const auto bs = b("profile.seconds_median");
+    const auto cs = c("profile.seconds_median");
+    if (bs && cs && std::max(*bs, *cs) < min_seconds) {
+      ++cmp.skipped;
+    } else {
+      cmp.check(*name, "prof_seconds_median", bs, cs, time_tol);
+    }
+    if (check_profile) {
+      // Absolute bound on the candidate, like --check-overhead: the
+      // sampler slowdown was measured in-process against the same-run
+      // unprofiled median. Null (profiler-less platform) or too-short
+      // cases are skipped.
+      const auto ov = c("profile.overhead");
+      if (ov && ct && *ct >= prov_min_seconds) {
+        ++cmp.compared;
+        const bool ok = *ov <= profile_tol;
+        if (!ok) ++cmp.regressions;
+        cmp.table.add_row(
+            {*name, "prof_overhead", Table::fmt_percent(profile_tol) + " max",
              Table::fmt_percent(*ov), "-", ok ? "ok" : "REGRESS"});
       } else {
         ++cmp.skipped;

@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -29,6 +30,7 @@
 #include "core/fdiam.hpp"
 #include "gen/generators.hpp"
 #include "obs/json.hpp"
+#include "obs/prof/sampler.hpp"
 #include "obs/provenance.hpp"
 #include "obs/report.hpp"
 #include "util/cli.hpp"
@@ -55,6 +57,20 @@ struct CaseResult {
   /// (bench_compare --check-overhead), not a code comment.
   double prov_seconds_median = 0.0;
   double prov_overhead = 0.0;
+  /// OpenMP team size the case ran with — thread-count provenance, so a
+  /// baseline recorded on 8 threads is never silently compared against a
+  /// 1-thread candidate (bench_compare checks it exactly).
+  int threads = 1;
+  /// Same case rerun with a UtilCollector installed (utilization
+  /// accounting on). Recorded for the trajectory, not hard-gated.
+  double util_seconds_median = 0.0;
+  double util_overhead = 0.0;
+  /// Same case rerun with the sampling profiler attached at its default
+  /// rate. bench_compare --check-profile-overhead gates the overhead.
+  bool prof_available = false;
+  double prof_seconds_median = 0.0;
+  double prof_overhead = 0.0;
+  std::uint64_t prof_samples = 0;
   obs::HwCounters hardware;
   obs::MemProfile memory;
 };
@@ -129,6 +145,61 @@ CaseResult run_case(const std::string& name, const Csr& g, int reps,
           (out.prov_seconds_median - out.seconds_median) / out.seconds_median;
     }
   }
+  out.threads = num_threads();
+
+  // Utilization-accounting rerun: same case with a collector installed,
+  // so the RegionScope/record_thread cost shows up in the trajectory.
+  if (!out.timed_out) {
+    UtilCollector util;
+    FDiamOptions uopt = opt;
+    uopt.utilization = &util;
+    std::vector<double> utimes;
+    utimes.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+      Timer t;
+      const DiameterResult res = fdiam_diameter(g, uopt);
+      utimes.push_back(t.seconds());
+      if (res.timed_out) break;
+    }
+    std::sort(utimes.begin(), utimes.end());
+    out.util_seconds_median = utimes[utimes.size() / 2];
+    if (out.seconds_median > 0.0) {
+      out.util_overhead =
+          (out.util_seconds_median - out.seconds_median) / out.seconds_median;
+    }
+  }
+
+  // Sampler-attached rerun: starts/stops the profiler around each rep so
+  // the measured slowdown includes timer arming and signal delivery, not
+  // just the handler. On platforms without the profiler the fields stay
+  // null in the report and bench_compare skips them.
+  if (!out.timed_out) {
+    prof::Sampler& sampler = prof::Sampler::instance();
+    std::vector<double> stimes;
+    stimes.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+      const bool profiled = sampler.start({});
+      Timer t;
+      const DiameterResult res = fdiam_diameter(g, opt);
+      const double secs = t.seconds();
+      if (profiled) {
+        sampler.stop();
+        out.prof_available = true;
+        out.prof_samples += sampler.sample_count();
+        stimes.push_back(secs);
+      }
+      if (res.timed_out) break;
+    }
+    if (!stimes.empty()) {
+      std::sort(stimes.begin(), stimes.end());
+      out.prof_seconds_median = stimes[stimes.size() / 2];
+      if (out.seconds_median > 0.0) {
+        out.prof_overhead =
+            (out.prof_seconds_median - out.seconds_median) /
+            out.seconds_median;
+      }
+    }
+  }
   return out;
 }
 
@@ -144,6 +215,16 @@ void write_report(std::ostream& os, const std::vector<CaseResult>& cases,
   w.field("reps", reps);
   w.field("seed", seed);
   w.field("budget_s", budget);
+  // Thread-count provenance: what the user pinned via the environment
+  // (null when unset) vs what the runtime will actually use. Per-case
+  // "threads" records what each run saw.
+  w.key("omp_num_threads");
+  if (const char* env = std::getenv("OMP_NUM_THREADS")) {
+    w.value(std::string_view(env));
+  } else {
+    w.null();
+  }
+  w.field("threads", num_threads());
   w.end_object();
 
   obs::write_env_fields(w, obs::capture_env());
@@ -160,10 +241,29 @@ void write_report(std::ostream& os, const std::vector<CaseResult>& cases,
     w.field("bfs_calls", c.bfs_calls);
     w.field("edges_examined", c.edges_examined);
     w.field("vertices_visited", c.vertices_visited);
+    w.field("threads", c.threads);
 
     w.key("provenance").begin_object();
     w.field("seconds_median", c.prov_seconds_median);
     w.field("overhead", c.prov_overhead);
+    w.end_object();
+
+    w.key("utilization").begin_object();
+    w.field("seconds_median", c.util_seconds_median);
+    w.field("overhead", c.util_overhead);
+    w.end_object();
+
+    // Nulls (not zeros) when the sampler could not run: bench_compare
+    // skips null metrics, so reports from profiler-less platforms still
+    // compare on their common subset.
+    w.key("profile").begin_object();
+    w.field("available", c.prof_available);
+    w.key("seconds_median");
+    if (c.prof_available) w.value(c.prof_seconds_median); else w.null();
+    w.key("overhead");
+    if (c.prof_available) w.value(c.prof_overhead); else w.null();
+    w.key("samples");
+    if (c.prof_available) w.value(c.prof_samples); else w.null();
     w.end_object();
 
     w.key("hardware").begin_object();
@@ -230,7 +330,7 @@ int main(int argc, char** argv) {
 
   std::vector<CaseResult> results;
   Table t({"case", "vertices", "arcs", "diameter", "median (s)", "BFS",
-           "edges examined", "prov ovh"});
+           "edges examined", "prov ovh", "prof ovh"});
   for (const auto& [name, g] : build_cases(seed)) {
     std::cerr << "[regress] " << name << " ... " << std::flush;
     CaseResult c = run_case(name, g, reps, budget);
@@ -241,7 +341,9 @@ int main(int argc, char** argv) {
                c.timed_out ? "T/O" : Table::fmt_double(c.seconds_median, 4),
                Table::fmt_count(c.bfs_calls),
                Table::fmt_count(c.edges_examined),
-               c.timed_out ? "-" : Table::fmt_percent(c.prov_overhead)});
+               c.timed_out ? "-" : Table::fmt_percent(c.prov_overhead),
+               c.prof_available ? Table::fmt_percent(c.prof_overhead)
+                                : std::string("-")});
     results.push_back(std::move(c));
   }
   t.print(std::cout);

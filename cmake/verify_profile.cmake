@@ -1,0 +1,97 @@
+# verify-profile ctest driver (run via `cmake -P`): end-to-end check of
+# the sampling-profiler + utilization pipeline. One fdiam_cli run with
+# --profile --utilization must produce (a) a run report whose "profile"
+# and "utilization" blocks pass json_check's semantic validators, (b) a
+# non-empty folded-stack file, and (c) an SVG flame graph rendered from it
+# by fdiam_prof. A second leg checks the negative paths: fdiam_prof must
+# reject malformed and empty folded input with exit 2.
+# Variables passed by the add_test() invocation:
+#   FDIAM_CLI   path to the fdiam_cli binary
+#   FDIAM_PROF  path to the fdiam_prof binary
+#   JSON_CHECK  path to the json_check binary
+#   WORK_DIR    scratch directory for the emitted files
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(report "${WORK_DIR}/report.json")
+set(folded "${WORK_DIR}/run.folded")
+set(svg "${WORK_DIR}/flame.svg")
+
+# Scale chosen so the run lasts long enough for the 197 Hz sampler to land
+# a handful of samples even on a fast machine; the assertions below only
+# require the files to be structurally sound, not a minimum sample count
+# (a sampler that captured zero samples still writes a valid summary).
+execute_process(
+  COMMAND "${FDIAM_CLI}" --input 2d-2e20.sym --scale 0.2 --seed 1
+          --profile --utilization --profile-out "${folded}"
+          --json-report "${report}"
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fdiam_cli --profile failed (exit ${rc})")
+endif()
+
+# Structural + semantic validation: json_check runs diagnose_profile_block
+# and diagnose_utilization_block on every report it sees.
+execute_process(COMMAND "${JSON_CHECK}" "${report}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "profile report failed json_check validation")
+endif()
+file(READ "${report}" report_text)
+foreach(needle "fdiam.profile/v1" "fdiam.utilization/v1"
+        "\"busy_ratio\"" "\"per_thread\"" "\"samples\"")
+  string(FIND "${report_text}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "profile report is missing ${needle}")
+  endif()
+endforeach()
+
+if(NOT EXISTS "${folded}")
+  message(FATAL_ERROR "fdiam_cli --profile wrote no folded file")
+endif()
+
+# Post-process: merge/table plus the SVG renderer. On a machine where the
+# run finished before the first timer expiry the folded file can be empty;
+# fdiam_prof reports that as exit 2 with a precise message, which is also
+# an acceptable outcome for this leg — but when samples exist, the full
+# pipeline must produce a well-formed SVG.
+file(SIZE "${folded}" folded_size)
+if(folded_size GREATER 0)
+  execute_process(
+    COMMAND "${FDIAM_PROF}" --svg "${svg}" --top 5 "${folded}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE prof_out ERROR_VARIABLE prof_err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "fdiam_prof failed on ${folded} (exit ${rc}):\n"
+            "${prof_out}${prof_err}")
+  endif()
+  if(NOT prof_out MATCHES "samples across")
+    message(FATAL_ERROR "fdiam_prof summary line missing: ${prof_out}")
+  endif()
+  file(READ "${svg}" svg_text)
+  if(NOT svg_text MATCHES "</svg>")
+    message(FATAL_ERROR "flame graph SVG is not well-formed")
+  endif()
+  string(FIND "${svg_text}" "fdiam" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "flame graph contains no fdiam frames")
+  endif()
+endif()
+
+# Negative paths: malformed counts and empty input must fail loudly with
+# exit 2, never render garbage.
+file(WRITE "${WORK_DIR}/bad.folded" "main;fdiam::FDiam::run banana\n")
+execute_process(
+  COMMAND "${FDIAM_PROF}" "${WORK_DIR}/bad.folded"
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "malformed folded input: expected exit 2, got ${rc}")
+endif()
+
+file(WRITE "${WORK_DIR}/empty.folded" "")
+execute_process(
+  COMMAND "${FDIAM_PROF}" "${WORK_DIR}/empty.folded"
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "empty folded input: expected exit 2, got ${rc}")
+endif()

@@ -18,6 +18,9 @@
 //   --provenance           per-vertex pruning provenance in the report
 //   --audit-log p.bin      binary provenance log for tools/fdiam_audit
 //   --heartbeat N          progress heartbeat every N seconds (+ SIGUSR1)
+//   --utilization          per-parallel-region utilization accounting
+//   --profile              attach the sampling profiler (implies above)
+//   --profile-out f        folded-stack output path (tools/fdiam_prof)
 //
 // Progress and heartbeat lines go to stderr and are suppressed when
 // stderr is not a TTY (piped runs stay machine-clean); --force-progress
@@ -36,6 +39,7 @@
 #include "graph/stats.hpp"
 #include "io/io.hpp"
 #include "obs/counters.hpp"
+#include "obs/prof/sampler.hpp"
 #include "obs/provenance.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -122,6 +126,16 @@ int run_cli(int argc, char** argv) {
                  "print a progress heartbeat to stderr every N seconds "
                  "(0 = off; SIGUSR1 always dumps a snapshot)",
                  "0");
+  cli.add_flag("utilization",
+               "collect per-parallel-region utilization telemetry "
+               "(busy/idle/imbalance tables; embedded in --json-report)");
+  cli.add_flag("profile",
+               "attach the in-process sampling profiler for the run "
+               "(implies --utilization)");
+  cli.add_option("profile-rate", "profiler sampling rate in Hz", "197");
+  cli.add_option("profile-out",
+                 "folded-stack output path (render with tools/fdiam_prof)",
+                 "fdiam.folded");
   cli.add_flag("force-progress",
                "emit --progress/--heartbeat output even when stderr "
                "is not a TTY");
@@ -230,6 +244,15 @@ int run_cli(int argc, char** argv) {
   opt.hw_counters =
       cli.get_bool("hw-counters") || cli.get_bool("stats") || want_report;
 
+  // Utilization accounting (opt-in, solver-lifetime): the collector is
+  // installed by FDiam::run() and its snapshot lands in r.stats.util.
+  // --profile implies it so the flame graph and the busy/idle numbers
+  // always describe the same run.
+  const bool want_profile = cli.get_bool("profile");
+  const bool want_util = cli.get_bool("utilization") || want_profile;
+  UtilCollector util;
+  if (want_util) opt.utilization = &util;
+
   // Pruning provenance (opt-in): collected whenever the report should
   // embed it or a binary audit log was requested.
   const bool want_prov =
@@ -254,6 +277,32 @@ int run_cli(int argc, char** argv) {
     sinks.push_back(make_progress_printer());
   }
   if (want_trace) sinks.push_back(session.fdiam_sink());
+  // Utilization counter track: at every stage-closing event, snapshot the
+  // collector and record cumulative busy-ratio/idle-fraction counters so
+  // Perfetto shows parallel efficiency evolving alongside the stage spans.
+  if (want_trace && want_util) {
+    UtilCollector* u = &util;
+    obs::TraceSession* tsp = &session;
+    sinks.push_back([u, tsp](const FDiamEvent& e) {
+      using Kind = FDiamEvent::Kind;
+      switch (e.kind) {
+        case Kind::kInitialBound:
+        case Kind::kWinnow:
+        case Kind::kChainsProcessed:
+        case Kind::kEliminate:
+        case Kind::kExtendRegions:
+        case Kind::kDone: {
+          const UtilStats snap = u->snapshot();
+          tsp->counter("util.busy_ratio", snap.total.busy_ratio());
+          tsp->counter("util.idle_fraction", snap.total.idle_fraction());
+          tsp->counter("util.imbalance", snap.total.imbalance());
+          break;
+        }
+        default:
+          break;  // per-eccentricity firehose: too hot to snapshot
+      }
+    });
+  }
   if (!sinks.empty()) {
     opt.trace = [sinks](const FDiamEvent& e) {
       for (const FDiamTrace& sink : sinks) sink(e);
@@ -280,7 +329,26 @@ int run_cli(int argc, char** argv) {
     };
   }
 
+  // The sampler brackets exactly the solver run so overhead and sample
+  // counts are attributable to it. A failed start degrades to an
+  // unprofiled run — the summary records the reason, never aborts.
+  prof::Sampler& sampler = prof::Sampler::instance();
+  prof::ProfileSummary profile_summary;
+  if (want_profile) {
+    prof::SamplerOptions popt;
+    popt.rate_hz = cli.get_double("profile-rate", 197.0);
+    if (!sampler.start(popt)) {
+      std::cerr << "fdiam_cli: profiler unavailable: " << sampler.reason()
+                << "\n";
+    }
+  }
+
   DiameterResult r = fdiam_diameter(g, opt);
+
+  if (want_profile) {
+    sampler.stop();
+    profile_summary = sampler.summary();
+  }
   if (!reorder_inverse.empty()) {
     r.witness = reorder_inverse[r.witness];  // back to the input's ids
     // Provenance was collected in permuted-id space; translate it the
@@ -382,6 +450,82 @@ int run_cli(int argc, char** argv) {
     }
   }
 
+  // Utilization tables: what fraction of the thread-seconds capacity each
+  // stage actually used, and where the barrier time went. Printed for
+  // --utilization or --stats runs that collected the data.
+  if (r.stats.util.enabled &&
+      (cli.get_bool("utilization") || cli.get_bool("stats"))) {
+    const UtilStats& u = r.stats.util;
+    const auto agg_row = [](std::string name, const UtilAgg& a) {
+      return std::vector<std::string>{
+          std::move(name), Table::fmt_count(a.regions),
+          Table::fmt_count(a.items), Table::fmt_percent(a.busy_ratio()),
+          Table::fmt_percent(a.idle_fraction()),
+          Table::fmt_double(a.imbalance(), 2),
+          Table::fmt_double(a.barrier_wait_s(), 4)};
+    };
+    Table ut({"stage", "regions", "items", "busy", "idle", "imbalance",
+              "barrier wait (s)"});
+    for (std::size_t i = 0; i < kUtilStageCount; ++i) {
+      if (u.stages[i].regions == 0) continue;
+      ut.add_row(agg_row(
+          std::string(util_stage_name(static_cast<UtilStage>(i))),
+          u.stages[i]));
+    }
+    ut.add_row(agg_row("total", u.total));
+    human << "parallel utilization (" << u.threads << " thread(s)):\n";
+    ut.print(human);
+
+    Table rt({"region kind", "regions", "items", "busy", "idle",
+              "imbalance", "barrier wait (s)"});
+    for (std::size_t i = 0; i < kRegionKindCount; ++i) {
+      if (u.kinds[i].regions == 0) continue;
+      rt.add_row(agg_row(
+          std::string(region_kind_name(static_cast<RegionKind>(i))),
+          u.kinds[i]));
+    }
+    rt.print(human);
+
+    Table tt({"thread", "regions", "items", "busy (s)"});
+    for (std::size_t t = 0; t < u.per_thread.size(); ++t) {
+      tt.add_row({std::to_string(t),
+                  Table::fmt_count(u.per_thread[t].regions),
+                  Table::fmt_count(u.per_thread[t].items),
+                  Table::fmt_double(u.per_thread[t].busy_s, 4)});
+    }
+    tt.print(human);
+  }
+
+  if (want_profile) {
+    if (profile_summary.available) {
+      human << "profile: " << profile_summary.samples << " samples at "
+            << Table::fmt_double(profile_summary.rate_hz, 0) << " Hz over "
+            << profile_summary.threads << " thread(s) ("
+            << profile_summary.dropped << " dropped)\n";
+      if (cli.get_bool("stats") && !profile_summary.top.empty()) {
+        Table pt({"frame (top self samples)", "self", "total"});
+        for (const auto& f : profile_summary.top) {
+          pt.add_row({f.name, Table::fmt_count(f.self),
+                      Table::fmt_count(f.total)});
+        }
+        pt.print(human);
+      }
+      const std::string ppath = cli.get("profile-out", "fdiam.folded");
+      std::ofstream pout(ppath, std::ios::trunc);
+      if (!pout) {
+        std::cerr << "cannot write folded profile to " << ppath << "\n";
+        return 1;
+      }
+      sampler.folded().write(pout);
+      human << "wrote folded profile to " << ppath
+            << " (render with tools/fdiam_prof --svg out.svg " << ppath
+            << ")\n";
+    } else {
+      human << "profile: unavailable ("
+            << profile_summary.unavailable_reason << ")\n";
+    }
+  }
+
   if (cli.has("audit-log")) {
     const std::string path = cli.get("audit-log");
     collector.log().write_file(path);
@@ -393,6 +537,7 @@ int run_cli(int argc, char** argv) {
     obs::RunReport report = obs::make_run_report(graph_name, s, opt, r);
     report.metrics = registry.snapshot();
     if (want_prov) report.provenance = &collector.log();
+    if (want_profile) report.profile = &profile_summary;
     const std::string path = cli.get("json-report");
     if (path == "-") {
       report.write_json(std::cout);

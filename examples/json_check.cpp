@@ -7,7 +7,9 @@
 // Documents carrying a run report's "provenance" block additionally get a
 // semantic pass (schema tag, closed stage-tag set, monotone contiguous
 // bound timeline, non-increasing alive counts) with a named diagnostic
-// like "provenance.bound_timeline.2: bound not increasing".
+// like "provenance.bound_timeline.2: bound not increasing". The same
+// treatment applies to the "profile" (sampling profiler) and
+// "utilization" (parallel-region accounting) blocks.
 //
 //   ./json_check report.json trace.json
 //   ./fdiam_cli --input grid --json-report - | ./json_check -
@@ -18,6 +20,7 @@
 #include <string>
 
 #include "obs/json.hpp"
+#include "obs/prof/prof_report.hpp"
 #include "obs/provenance.hpp"
 
 int main(int argc, char** argv) {
@@ -49,6 +52,14 @@ int main(int argc, char** argv) {
       // Structurally valid, but the provenance block (when present)
       // violates its schema — nullopt means valid or absent.
       std::cerr << path << ": INVALID PROVENANCE: " << *prov << "\n";
+      ++failures;
+    } else if (const auto prof =
+                   fdiam::obs::diagnose_profile_block(text)) {
+      std::cerr << path << ": INVALID PROFILE: " << *prof << "\n";
+      ++failures;
+    } else if (const auto util =
+                   fdiam::obs::diagnose_utilization_block(text)) {
+      std::cerr << path << ": INVALID UTILIZATION: " << *util << "\n";
       ++failures;
     } else {
       std::cout << path << ": valid JSON (" << text.size() << " bytes)\n";

@@ -14,6 +14,7 @@
 #include <bit>
 
 #include "bfs/bfs.hpp"
+#include "util/parallel.hpp"
 
 namespace fdiam {
 
@@ -23,40 +24,47 @@ vid_t BfsEngine::step_bottomup(std::vector<dist_t>* dist, dist_t level) {
   std::uint64_t edges = 0;
   vid_t found_total = 0;
 
-#pragma omp parallel for schedule(dynamic, 32) \
-    reduction(+ : edges, found_total) if (config_.parallel)
-  for (std::int64_t wi = 0; wi < nwords; ++wi) {
-    const auto w_idx = static_cast<std::size_t>(wi);
-    std::uint64_t unvisited =
-        ~visited_bm_.word(w_idx) & visited_bm_.valid_mask(w_idx);
-    std::uint64_t found = 0;
-    while (unvisited != 0) {
-      const int bit = std::countr_zero(unvisited);
-      unvisited &= unvisited - 1;
-      const auto v = static_cast<vid_t>(wi * 64 + bit);
-      for (const vid_t w : g_.neighbors(v)) {
-        ++edges;
-        if (front_bm_.test(w)) {
-          found |= 1ULL << bit;
-          break;
+  // Split `parallel` from `for nowait` (instead of the combined
+  // parallel-for) so each thread can report its busy span and private
+  // edge count to the region scope before the implicit barrier.
+  RegionScope region(RegionKind::kBfsBottomUp);
+#pragma omp parallel reduction(+ : edges, found_total) if (config_.parallel)
+  {
+#pragma omp for schedule(dynamic, 32) nowait
+    for (std::int64_t wi = 0; wi < nwords; ++wi) {
+      const auto w_idx = static_cast<std::size_t>(wi);
+      std::uint64_t unvisited =
+          ~visited_bm_.word(w_idx) & visited_bm_.valid_mask(w_idx);
+      std::uint64_t found = 0;
+      while (unvisited != 0) {
+        const int bit = std::countr_zero(unvisited);
+        unvisited &= unvisited - 1;
+        const auto v = static_cast<vid_t>(wi * 64 + bit);
+        for (const vid_t w : g_.neighbors(v)) {
+          ++edges;
+          if (front_bm_.test(w)) {
+            found |= 1ULL << bit;
+            break;
+          }
+        }
+      }
+      if (found != 0) {
+        visited_bm_.or_word(w_idx, found);
+        next_bm_.set_word(w_idx, found);
+        found_total += static_cast<vid_t>(std::popcount(found));
+        // This thread owns the whole word, so the epoch cells and distance
+        // slots of its vertices are written by exactly one thread.
+        std::uint64_t bits = found;
+        while (bits != 0) {
+          const int bit = std::countr_zero(bits);
+          bits &= bits - 1;
+          const auto v = static_cast<vid_t>(wi * 64 + bit);
+          visited_.visit(v);
+          if (dist) (*dist)[v] = level;
         }
       }
     }
-    if (found != 0) {
-      visited_bm_.or_word(w_idx, found);
-      next_bm_.set_word(w_idx, found);
-      found_total += static_cast<vid_t>(std::popcount(found));
-      // This thread owns the whole word, so the epoch cells and distance
-      // slots of its vertices are written by exactly one thread.
-      std::uint64_t bits = found;
-      while (bits != 0) {
-        const int bit = std::countr_zero(bits);
-        bits &= bits - 1;
-        const auto v = static_cast<vid_t>(wi * 64 + bit);
-        visited_.visit(v);
-        if (dist) (*dist)[v] = level;
-      }
-    }
+    region.thread_done(edges);
   }
   stats_.edges_examined += edges;
   return found_total;
@@ -69,20 +77,29 @@ void BfsEngine::queue_to_bitmaps(const Frontier& frontier) {
   const auto fsize = static_cast<std::int64_t>(fview.size());
   // The switch only happens on frontiers above the bottom-up threshold,
   // so both conversion scans amortize against the level they enable.
-#pragma omp parallel for schedule(static) if (config_.parallel)
-  for (std::int64_t i = 0; i < fsize; ++i) {
-    front_bm_.set_atomic(fview[static_cast<std::size_t>(i)]);
-  }
   const auto nwords = static_cast<std::int64_t>(visited_bm_.num_words());
-#pragma omp parallel for schedule(static) if (config_.parallel)
-  for (std::int64_t wi = 0; wi < nwords; ++wi) {
-    const auto base = static_cast<vid_t>(wi * 64);
-    const vid_t limit = std::min<vid_t>(64, n - base);
-    std::uint64_t word = 0;
-    for (vid_t b = 0; b < limit; ++b) {
-      if (visited_.is_visited(base + b)) word |= 1ULL << b;
+  // One region for both scans: they touch disjoint data (the frontier
+  // bitmap vs. the visited bitmap), so the first loop needs no barrier
+  // and threads flow straight into the second — fusing them also halves
+  // the fork/join cost the old pair of parallel-for regions paid.
+  RegionScope region(RegionKind::kBfsConvert);
+#pragma omp parallel if (config_.parallel)
+  {
+#pragma omp for schedule(static) nowait
+    for (std::int64_t i = 0; i < fsize; ++i) {
+      front_bm_.set_atomic(fview[static_cast<std::size_t>(i)]);
     }
-    visited_bm_.set_word(static_cast<std::size_t>(wi), word);
+#pragma omp for schedule(static) nowait
+    for (std::int64_t wi = 0; wi < nwords; ++wi) {
+      const auto base = static_cast<vid_t>(wi * 64);
+      const vid_t limit = std::min<vid_t>(64, n - base);
+      std::uint64_t word = 0;
+      for (vid_t b = 0; b < limit; ++b) {
+        if (visited_.is_visited(base + b)) word |= 1ULL << b;
+      }
+      visited_bm_.set_word(static_cast<std::size_t>(wi), word);
+    }
+    region.thread_done(static_cast<std::uint64_t>(fsize + nwords));
   }
 }
 
@@ -90,6 +107,7 @@ void BfsEngine::bitmap_to_queue(const Bitmap& bitmap, Frontier& frontier) {
   frontier.clear();
   const auto nwords = static_cast<std::int64_t>(bitmap.num_words());
   if (config_.parallel) {
+    RegionScope region(RegionKind::kBfsConvert);
 #pragma omp parallel
     {
       Frontier::Local local(frontier);
@@ -102,6 +120,7 @@ void BfsEngine::bitmap_to_queue(const Bitmap& bitmap, Frontier& frontier) {
           local.push(static_cast<vid_t>(wi * 64 + bit));
         }
       }
+      region.thread_done();
     }
   } else {
     for (std::int64_t wi = 0; wi < nwords; ++wi) {

@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "bfs/frontier.hpp"
+#include "util/parallel.hpp"
 
 namespace fdiam {
 
@@ -56,13 +57,19 @@ void msbfs_batch(const Csr& g, std::span<const vid_t> sources,
     const auto asize = static_cast<std::int64_t>(active.size());
 
     if (parallel) {
+      // Self-disables when already inside a parallel region (the
+      // all-eccentricities driver runs serial batches under its own
+      // region, which is the one that gets recorded).
+      RegionScope region(RegionKind::kMsbfs);
 #pragma omp parallel reduction(| : discovered)
       {
         Frontier::Local local(s.next_active);
+        std::uint64_t edges = 0;
 #pragma omp for schedule(dynamic, 64) nowait
         for (std::int64_t i = 0; i < asize; ++i) {
           const vid_t v = active[static_cast<std::size_t>(i)];
           const std::uint64_t bits = s.frontier[v];
+          edges += g.neighbors(v).size();
           for (const vid_t w : g.neighbors(v)) {
             // Relaxed pre-check skips settled neighbors without an RMW.
             std::atomic_ref<std::uint64_t> seen_w(s.seen[w]);
@@ -79,6 +86,7 @@ void msbfs_batch(const Csr& g, std::span<const vid_t> sources,
             discovered |= fresh;
           }
         }
+        region.thread_done(edges);
       }
     } else {
       for (std::int64_t i = 0; i < asize; ++i) {
@@ -135,11 +143,12 @@ std::vector<dist_t> msbfs_all_eccentricities(const Csr& g) {
   std::vector<dist_t> ecc(n, 0);
   const vid_t batches = (n + 63) / 64;
 
+  RegionScope region(RegionKind::kMsbfs);
 #pragma omp parallel
   {
     MsbfsScratch scratch(n);
     std::vector<vid_t> sources;
-#pragma omp for schedule(dynamic, 1)
+#pragma omp for schedule(dynamic, 1) nowait
     for (std::int64_t b = 0; b < static_cast<std::int64_t>(batches); ++b) {
       const vid_t base = static_cast<vid_t>(b) * 64;
       const vid_t count = std::min<vid_t>(64, n - base);
@@ -148,6 +157,7 @@ std::vector<dist_t> msbfs_all_eccentricities(const Csr& g) {
       msbfs_batch(g, sources, std::span<dist_t>(ecc).subspan(base, count),
                   scratch, /*parallel=*/false);
     }
+    region.thread_done();
   }
   return ecc;
 }

@@ -5,6 +5,7 @@
 // touched once per chunk instead of once per vertex.
 
 #include "bfs/bfs.hpp"
+#include "util/parallel.hpp"
 
 namespace fdiam {
 
@@ -15,6 +16,7 @@ void BfsEngine::step_topdown(std::vector<dist_t>* dist, dist_t level) {
   std::uint64_t edges = 0;
 
   if (config_.parallel) {
+    RegionScope region(RegionKind::kBfsTopDown);
 #pragma omp parallel reduction(+ : edges)
     {
       Frontier::Local local(next_);
@@ -30,6 +32,9 @@ void BfsEngine::step_topdown(std::vector<dist_t>* dist, dist_t level) {
           }
         }
       }
+      // Reads this thread's private reduction copy of `edges`; must
+      // precede `local`'s flush so staging cost counts as barrier wait.
+      region.thread_done(edges);
       // local flushes on scope exit, before the region's closing barrier.
     }
   } else {

@@ -73,12 +73,19 @@ void FDiam::extend_eliminated(dist_t old_bound, dist_t fresh_bound) {
   // (Alg. 1 lines 17-19, implemented as one multi-source BFS per §4.5).
   aux_cur_.clear();
   elim_visited_.new_epoch();
-#pragma omp parallel for schedule(static) if (opt_.parallel)
-  for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
-    const auto v = static_cast<vid_t>(vi);
-    if (state_[v] == old_bound) {
-      elim_visited_.visit(v);  // distinct cells: safe to set in parallel
-      aux_cur_.push_atomic(v);
+  {
+    RegionScope region(RegionKind::kExtend);
+#pragma omp parallel if (opt_.parallel)
+    {
+#pragma omp for schedule(static) nowait
+      for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
+        const auto v = static_cast<vid_t>(vi);
+        if (state_[v] == old_bound) {
+          elim_visited_.visit(v);  // distinct cells: safe to set in parallel
+          aux_cur_.push_atomic(v);
+        }
+      }
+      region.thread_done();
     }
   }
   if (aux_cur_.empty()) return;
@@ -91,12 +98,15 @@ void FDiam::extend_eliminated(dist_t old_bound, dist_t fresh_bound) {
     const auto fsize = static_cast<std::int64_t>(frontier.size());
 
     if (opt_.parallel) {
+      RegionScope region(RegionKind::kExtend);
 #pragma omp parallel
       {
         Frontier::Local local(aux_next_);
+        std::uint64_t edges = 0;
 #pragma omp for schedule(dynamic, 64) nowait
         for (std::int64_t i = 0; i < fsize; ++i) {
           const vid_t v = frontier[static_cast<std::size_t>(i)];
+          edges += g_.neighbors(v).size();
           for (const vid_t w : g_.neighbors(v)) {
             if (elim_visited_.try_visit(w)) {
               // The claiming thread exclusively owns w's state update
@@ -115,6 +125,7 @@ void FDiam::extend_eliminated(dist_t old_bound, dist_t fresh_bound) {
             }
           }
         }
+        region.thread_done(edges);
       }
     } else {
       for (std::int64_t i = 0; i < fsize; ++i) {

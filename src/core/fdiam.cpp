@@ -5,6 +5,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/two_sweep.hpp"
 #include "obs/perf/perf_session.hpp"
@@ -59,6 +62,9 @@ bool FDiam::budget_exhausted() const {
 }
 
 void FDiam::finalize_stats() {
+  if (opt_.utilization != nullptr) {
+    stats_.util = opt_.utilization->snapshot();
+  }
   stats_.removed_by_winnow = 0;
   stats_.removed_by_eliminate = 0;
   stats_.removed_by_chain = 0;
@@ -96,15 +102,70 @@ DiameterResult FDiam::run() {
   const auto finish_provenance = [&](const DiameterResult& res) {
     if (prov) prov->finish(res.diameter, res.connected, res.timed_out);
   };
+
+  // Utilization accounting: install the caller's collector globally for
+  // the duration of this run so the instrumented OpenMP regions (BFS
+  // steps, winnow/extension levels, candidate batches) find it. The
+  // previous collector is restored on every exit path; the snapshot is
+  // harvested into stats_.util by finalize_stats().
+  UtilCollector* const util = opt_.utilization;
+  struct UtilInstallGuard {
+    UtilCollector* installed;
+    UtilCollector* previous = nullptr;
+    explicit UtilInstallGuard(UtilCollector* c) : installed(c) {
+      if (installed != nullptr) {
+        installed->begin_run();
+        previous = UtilCollector::install(installed);
+      }
+    }
+    ~UtilInstallGuard() {
+      if (installed != nullptr) UtilCollector::install(previous);
+    }
+  } util_guard(util);
+  const auto set_stage = [&](UtilStage s) {
+    if (util != nullptr) util->set_stage(s);
+  };
+
   // Heartbeat bookkeeping: the alive count at the first beat anchors the
   // ETA extrapolation; captured lazily so disabled runs never pay the scan.
   std::uint64_t hb_initial = 0;
+  std::vector<double> hb_busy_prev;  // per-thread busy totals at last beat
+  double hb_time_prev = 0.0;
   const auto heartbeat_tick = [&](dist_t current_bound) {
     if (opt_.heartbeat == nullptr || !opt_.heartbeat->due()) return;
     const std::uint64_t alive = count_active();
     if (hb_initial == 0) hb_initial = alive;
+    const double now = run_timer_.seconds();
+    std::string util_note;
+    if (util != nullptr) {
+      // Live per-thread utilization: busy ratio since the previous beat,
+      // so a stalled or imbalanced solve is visible mid-run.
+      const std::vector<double> busy = util->thread_busy();
+      const double window = now - hb_time_prev;
+      if (window > 0.0 && !busy.empty()) {
+        double lo = 1.0;
+        double hi = 0.0;
+        double sum = 0.0;
+        for (std::size_t t = 0; t < busy.size(); ++t) {
+          const double prev = t < hb_busy_prev.size() ? hb_busy_prev[t] : 0.0;
+          const double r =
+              std::clamp((busy[t] - prev) / window, 0.0, 1.0);
+          lo = std::min(lo, r);
+          hi = std::max(hi, r);
+          sum += r;
+        }
+        char buf[96];
+        std::snprintf(buf, sizeof buf,
+                      "busy %.0f%% (min %.0f%% max %.0f%% over %zu thr)",
+                      100.0 * sum / static_cast<double>(busy.size()),
+                      100.0 * lo, 100.0 * hi, busy.size());
+        util_note = buf;
+      }
+      hb_busy_prev = busy;
+    }
+    hb_time_prev = now;
     opt_.heartbeat->beat(alive, hb_initial, current_bound,
-                         stats_.ecc_computations, run_timer_.seconds());
+                         stats_.ecc_computations, now, util_note);
   };
 
   // Hardware/software counter session (opt-in; see FDiamOptions). The
@@ -161,6 +222,7 @@ DiameterResult FDiam::run() {
   }
 
   // --- Initial diameter (§4.1): 2-sweep from the start vertex u ----------
+  set_stage(UtilStage::kInit);
   const obs::HwCounters hw_before_init = hw_snapshot();
   vid_t u;
   dist_t sweep_ecc = -1;   // kFourSweepCenter: best of the 4 sweeps...
@@ -277,6 +339,7 @@ DiameterResult FDiam::run() {
 
   // --- Winnow (§4.2) and Chain Processing (§4.3) --------------------------
   if (opt_.use_winnow) {
+    set_stage(UtilStage::kWinnow);
     Timer t;
     const obs::HwCounters hw0 = hw_snapshot();
     winnow_extend(bound);
@@ -284,6 +347,7 @@ DiameterResult FDiam::run() {
     stats_.time_winnow += t.seconds();
   }
   if (opt_.use_chain) {
+    set_stage(UtilStage::kChain);
     Timer t;
     const obs::HwCounters hw0 = hw_snapshot();
     const vid_t anchors = process_chains();
@@ -341,23 +405,31 @@ DiameterResult FDiam::run() {
       }
 
       Timer t_ecc;
+      set_stage(UtilStage::kEcc);
       const obs::HwCounters hw_batch0 = hw_snapshot();
       batch_ecc.assign(batch.size(), 0);
-#pragma omp parallel if (opt_.parallel)
       {
-        // Per-thread serial engine: multiple traversals in flight, no
-        // parallelism inside any one of them.
-        BfsEngine local(g_, BfsConfig{false, opt_.direction_optimizing,
-                                      opt_.bottomup_threshold});
-        if (opt_.level_profile) local.set_level_hook(opt_.level_profile);
-#pragma omp for schedule(dynamic, 1)
-        for (std::int64_t i = 0; i < static_cast<std::int64_t>(batch.size());
-             ++i) {
-          batch_ecc[static_cast<std::size_t>(i)] =
-              local.eccentricity(batch[static_cast<std::size_t>(i)]);
-        }
+        // Scoped tightly around the parallel region: the serial pruning
+        // phase below opens its own (winnow/extend) regions, and region
+        // scopes must not nest.
+        RegionScope region(RegionKind::kBatchEcc);
+#pragma omp parallel if (opt_.parallel)
+        {
+          // Per-thread serial engine: multiple traversals in flight, no
+          // parallelism inside any one of them.
+          BfsEngine local(g_, BfsConfig{false, opt_.direction_optimizing,
+                                        opt_.bottomup_threshold});
+          if (opt_.level_profile) local.set_level_hook(opt_.level_profile);
+#pragma omp for schedule(dynamic, 1) nowait
+          for (std::int64_t i = 0;
+               i < static_cast<std::int64_t>(batch.size()); ++i) {
+            batch_ecc[static_cast<std::size_t>(i)] =
+                local.eccentricity(batch[static_cast<std::size_t>(i)]);
+          }
+          region.thread_done(local.stats().edges_examined);
 #pragma omp critical(fdiam_batch_bfs_stats)
-        batch_bfs += local.stats();
+          batch_bfs += local.stats();
+        }
       }
       stats_.ecc_computations += batch.size();
       stats_.hw_ecc += obs::HwCounters::delta(hw_snapshot(), hw_batch0);
@@ -384,11 +456,13 @@ DiameterResult FDiam::run() {
           result.witness = v;
           emit(FDiamEvent::Kind::kBoundRaised, bound, v, 0.0, nullptr, old);
           if (opt_.use_winnow) {
+            set_stage(UtilStage::kWinnow);
             const obs::HwCounters hw0 = hw_snapshot();
             winnow_extend(bound);
             stats_.hw_winnow += obs::HwCounters::delta(hw_snapshot(), hw0);
           }
           if (opt_.use_eliminate) {
+            set_stage(UtilStage::kEliminate);
             const obs::HwCounters hw0 = hw_snapshot();
             extend_eliminated(old, bound);
             stats_.hw_eliminate += obs::HwCounters::delta(hw_snapshot(), hw0);
@@ -401,6 +475,7 @@ DiameterResult FDiam::run() {
                                count_active());
           }
         } else if (opt_.use_eliminate) {
+          set_stage(UtilStage::kEliminate);
           const obs::HwCounters hw0 = hw_snapshot();
           eliminate(v, ecc, bound, Stage::kEliminate);
           stats_.hw_eliminate += obs::HwCounters::delta(hw_snapshot(), hw0);
@@ -429,6 +504,7 @@ DiameterResult FDiam::run() {
     }
 
     Timer t_ecc;
+    set_stage(UtilStage::kEcc);
     const obs::HwCounters hw_ecc0 = hw_snapshot();
     const dist_t ecc = engine_.eccentricity(v);
     ++stats_.ecc_computations;
@@ -454,6 +530,7 @@ DiameterResult FDiam::run() {
       result.witness = v;
       emit(FDiamEvent::Kind::kBoundRaised, bound, v, 0.0, nullptr, old);
       if (opt_.use_winnow) {
+        set_stage(UtilStage::kWinnow);
         Timer t;
         const obs::HwCounters hw0 = hw_snapshot();
         winnow_extend(bound);
@@ -461,6 +538,7 @@ DiameterResult FDiam::run() {
         stats_.time_winnow += t.seconds();
       }
       if (opt_.use_eliminate) {
+        set_stage(UtilStage::kEliminate);
         Timer t;
         const obs::HwCounters hw0 = hw_snapshot();
         extend_eliminated(old, bound);
@@ -481,6 +559,7 @@ DiameterResult FDiam::run() {
     } else if (opt_.use_eliminate) {
       // ecc == bound removes only v itself (already recorded above);
       // eliminate() is a no-op in that case (paper §4.5).
+      set_stage(UtilStage::kEliminate);
       Timer t;
       const obs::HwCounters hw0 = hw_snapshot();
       eliminate(v, ecc, bound, Stage::kEliminate);

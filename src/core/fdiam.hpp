@@ -30,6 +30,7 @@
 #include "graph/csr.hpp"
 #include "graph/reorder.hpp"
 #include "obs/perf/hw_counters.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 #include "util/types.hpp"
 
@@ -149,6 +150,15 @@ struct FDiamOptions {
   /// Caller-owned and caller-configured (interval, forcing). Null = off.
   obs::ProgressHeartbeat* heartbeat = nullptr;
 
+  /// Opt-in parallel-region utilization accounting (util/parallel.hpp):
+  /// per-thread busy time, edges scanned, implicit-barrier wait, and
+  /// region entry counts for every OpenMP region the run launches,
+  /// aggregated per stage and region kind into FDiamStats::util.
+  /// Caller-owned; run() installs it globally for its duration (saving
+  /// and restoring any previous collector). Near-zero cost when null:
+  /// each instrumented region pays one pointer load and branch.
+  UtilCollector* utilization = nullptr;
+
   /// Optional per-decision progress sink (see FDiamEvent).
   FDiamTrace trace;
 
@@ -203,6 +213,11 @@ struct FDiamStats {
   obs::HwCounters hw_chain;
   obs::HwCounters hw_eliminate;
   obs::HwCounters hw_ecc;
+
+  /// Parallel-region utilization snapshot (enabled == false — and every
+  /// aggregate zero — unless FDiamOptions::utilization was set). Stage
+  /// attribution mirrors the time_* fields.
+  UtilStats util;
 
   [[nodiscard]] double time_other() const {
     // Clamped at zero: the stage timers each round independently, so

@@ -45,12 +45,15 @@ void FDiam::winnow_extend(dist_t bound) {
     const auto fsize = static_cast<std::int64_t>(winnow_frontier_.size());
 
     if (opt_.parallel) {
+      RegionScope region(RegionKind::kWinnow);
 #pragma omp parallel reduction(+ : removed)
       {
         Frontier::Local local(aux_next_);
+        std::uint64_t edges = 0;
 #pragma omp for schedule(dynamic, 64) nowait
         for (std::int64_t i = 0; i < fsize; ++i) {
           const vid_t v = winnow_frontier_[static_cast<std::size_t>(i)];
+          edges += g_.neighbors(v).size();
           for (const vid_t w : g_.neighbors(v)) {
             std::uint8_t expected = 0;
             // Atomically claim membership in the ball; exactly one thread
@@ -73,6 +76,7 @@ void FDiam::winnow_extend(dist_t bound) {
             }
           }
         }
+        region.thread_done(edges);
       }
     } else {
       for (std::int64_t i = 0; i < fsize; ++i) {

@@ -1,0 +1,255 @@
+#include "obs/prof/folded.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace fdiam::prof {
+
+namespace {
+
+std::vector<std::string_view> split_frames(std::string_view stack) {
+  std::vector<std::string_view> frames;
+  std::size_t pos = 0;
+  while (pos <= stack.size()) {
+    const std::size_t semi = stack.find(';', pos);
+    if (semi == std::string_view::npos) {
+      frames.push_back(stack.substr(pos));
+      break;
+    }
+    frames.push_back(stack.substr(pos, semi - pos));
+    pos = semi + 1;
+  }
+  return frames;
+}
+
+void xml_escape(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '&':
+        out << "&amp;";
+        break;
+      case '<':
+        out << "&lt;";
+        break;
+      case '>':
+        out << "&gt;";
+        break;
+      case '"':
+        out << "&quot;";
+        break;
+      default:
+        out << c;
+    }
+  }
+}
+
+/// Deterministic warm color for a frame name (flamegraph-style palette).
+std::uint32_t frame_hash(std::string_view name) {
+  std::uint32_t h = 2166136261u;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+struct FlameNode {
+  std::uint64_t total = 0;
+  std::map<std::string, FlameNode, std::less<>> children;
+};
+
+int tree_depth(const FlameNode& n) {
+  int d = 0;
+  for (const auto& [name, child] : n.children) {
+    (void)name;
+    const int cd = tree_depth(child);
+    if (cd > d) d = cd;
+  }
+  return d + 1;
+}
+
+}  // namespace
+
+void FoldedProfile::add(const std::string& stack, std::uint64_t count) {
+  if (stack.empty()) {
+    throw std::runtime_error("folded profile: empty stack");
+  }
+  stacks_[stack] += count;
+}
+
+void FoldedProfile::parse(std::istream& in) {
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) {
+      throw std::runtime_error("folded profile: line " +
+                               std::to_string(lineno) +
+                               ": expected '<stack> <count>'");
+    }
+    const std::string_view count_text =
+        std::string_view(line).substr(space + 1);
+    std::uint64_t count = 0;
+    const auto [ptr, ec] = std::from_chars(
+        count_text.data(), count_text.data() + count_text.size(), count);
+    if (ec != std::errc{} || ptr != count_text.data() + count_text.size()) {
+      throw std::runtime_error("folded profile: line " +
+                               std::to_string(lineno) +
+                               ": malformed sample count '" +
+                               std::string(count_text) + "'");
+    }
+    add(line.substr(0, space), count);
+  }
+}
+
+void FoldedProfile::merge(const FoldedProfile& other) {
+  for (const auto& [stack, count] : other.stacks_) stacks_[stack] += count;
+}
+
+std::uint64_t FoldedProfile::total() const {
+  std::uint64_t n = 0;
+  for (const auto& [stack, count] : stacks_) {
+    (void)stack;
+    n += count;
+  }
+  return n;
+}
+
+std::vector<FoldedProfile::FrameTotal> FoldedProfile::frame_totals() const {
+  std::map<std::string_view, FrameTotal> by_name;
+  for (const auto& [stack, count] : stacks_) {
+    const auto frames = split_frames(stack);
+    std::set<std::string_view> seen;  // count each frame once per stack
+    for (const auto frame : frames) {
+      if (!seen.insert(frame).second) continue;
+      auto& t = by_name[frame];
+      if (t.name.empty()) t.name = std::string(frame);
+      t.total += count;
+    }
+    if (!frames.empty()) by_name[frames.back()].self += count;
+  }
+  std::vector<FrameTotal> out;
+  out.reserve(by_name.size());
+  for (auto& [name, t] : by_name) {
+    (void)name;
+    out.push_back(std::move(t));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.self != b.self) return a.self > b.self;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+void FoldedProfile::write(std::ostream& out) const {
+  for (const auto& [stack, count] : stacks_) {
+    out << stack << ' ' << count << '\n';
+  }
+}
+
+void FoldedProfile::write_svg(std::ostream& out,
+                              const std::string& title) const {
+  constexpr double kWidth = 1200.0;
+  constexpr double kRowH = 17.0;
+  constexpr double kRectH = 16.0;
+  constexpr double kTopPad = 34.0;
+  constexpr double kMinPx = 0.25;   // skip slivers narrower than this
+  constexpr double kCharPx = 7.2;   // approx glyph advance at 12px mono
+
+  // Build the frame trie under a synthetic root.
+  FlameNode root;
+  for (const auto& [stack, count] : stacks_) {
+    FlameNode* node = &root;
+    for (const auto frame : split_frames(stack)) {
+      node = &node->children[std::string(frame)];
+      node->total += count;
+    }
+  }
+  const std::uint64_t all = total();
+  const int depth = all > 0 ? tree_depth(root) - 1 : 0;
+  const double height = kTopPad + static_cast<double>(depth + 1) * kRowH + 8;
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << kWidth
+      << "\" height=\"" << height << "\" font-family=\"monospace\""
+      << " font-size=\"12\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"#f8f8f8\"/>\n";
+  out << "<text x=\"" << kWidth / 2
+      << "\" y=\"22\" text-anchor=\"middle\" font-size=\"15\">";
+  xml_escape(out, title);
+  out << " (" << all << " samples)</text>\n";
+
+  struct Pending {
+    const FlameNode* node;
+    std::string name;
+    std::uint64_t offset;  // in samples
+    int depth;
+  };
+  std::vector<Pending> stack_v;
+  {
+    std::uint64_t off = 0;
+    // Root row spans everything: emit it as a single "all" frame.
+    stack_v.push_back({&root, "all", 0, 0});
+    (void)off;
+  }
+  while (!stack_v.empty()) {
+    const Pending p = stack_v.back();
+    stack_v.pop_back();
+    const std::uint64_t samples = p.node == &root ? all : p.node->total;
+    const double x = all > 0
+                         ? static_cast<double>(p.offset) / all * kWidth
+                         : 0.0;
+    const double w =
+        all > 0 ? static_cast<double>(samples) / all * kWidth : kWidth;
+    if (w >= kMinPx) {
+      const double y = kTopPad + static_cast<double>(p.depth) * kRowH;
+      const std::uint32_t h = frame_hash(p.name);
+      const int r = 205 + static_cast<int>(h % 50u);
+      const int g = static_cast<int>((h >> 8) % 180u);
+      const int b = static_cast<int>((h >> 16) % 55u);
+      const double pct =
+          all > 0 ? 100.0 * static_cast<double>(samples) / all : 0.0;
+      out << "<g><title>";
+      xml_escape(out, p.name);
+      out << " (" << samples << " samples, ";
+      const auto old_prec = out.precision(3);
+      out << pct;
+      out.precision(old_prec);
+      out << "%)</title><rect x=\"" << x << "\" y=\"" << y << "\" width=\""
+          << w << "\" height=\"" << kRectH << "\" fill=\"rgb(" << r << ","
+          << g << "," << b << ")\" rx=\"2\"/>";
+      const auto fit = static_cast<std::size_t>(
+          w > 4.0 ? (w - 4.0) / kCharPx : 0.0);
+      if (fit >= 3) {
+        std::string label = p.name;
+        if (label.size() > fit) label = label.substr(0, fit - 2) + "..";
+        out << "<text x=\"" << x + 3 << "\" y=\"" << y + 12 << "\">";
+        xml_escape(out, label);
+        out << "</text>";
+      }
+      out << "</g>\n";
+    }
+    std::uint64_t child_off = p.offset;
+    // Push children in reverse so they render left-to-right in name
+    // order; offsets are assigned here, before the reversal.
+    std::vector<Pending> kids;
+    for (const auto& [name, child] : p.node->children) {
+      kids.push_back({&child, name, child_off, p.depth + 1});
+      child_off += child.total;
+    }
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack_v.push_back(std::move(*it));
+    }
+  }
+  out << "</svg>\n";
+}
+
+}  // namespace fdiam::prof

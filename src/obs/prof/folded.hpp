@@ -1,0 +1,66 @@
+#pragma once
+// Folded-stack profile container: the interchange format between the
+// in-process sampler, `tools/fdiam_prof`, and external flamegraph
+// tooling. One line per unique stack, root-first frames joined by ';',
+// then a space and the sample count:
+//
+//   main;fdiam::FDiam::run;fdiam::BfsEngine::run 127
+//
+// This is exactly Brendan Gregg's "folded" format, so the emitted files
+// feed flamegraph.pl / speedscope unchanged; write_svg() additionally
+// renders a standalone flame graph with no external dependencies.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fdiam::prof {
+
+/// A profile as a multiset of stacks. Keys are full folded stack strings
+/// (root-first, ';'-separated); values are sample counts.
+class FoldedProfile {
+ public:
+  /// Add `count` samples of `stack` (already-folded "a;b;c" form).
+  void add(const std::string& stack, std::uint64_t count);
+
+  /// Parse folded lines from a stream, merging into this profile.
+  /// Throws std::runtime_error on malformed input (missing count,
+  /// non-numeric count, empty stack).
+  void parse(std::istream& in);
+
+  /// Merge another profile into this one.
+  void merge(const FoldedProfile& other);
+
+  [[nodiscard]] bool empty() const { return stacks_.empty(); }
+  [[nodiscard]] std::size_t size() const { return stacks_.size(); }
+  [[nodiscard]] std::uint64_t total() const;
+
+  /// Per-frame totals. `self` counts samples where the frame is the
+  /// leaf; `total` counts samples where it appears anywhere (once per
+  /// stack, so recursive frames are not double-counted).
+  struct FrameTotal {
+    std::string name;
+    std::uint64_t self = 0;
+    std::uint64_t total = 0;
+  };
+
+  /// Frames ranked by self count (descending), ties by name.
+  [[nodiscard]] std::vector<FrameTotal> frame_totals() const;
+
+  /// Write folded lines (sorted by stack for determinism).
+  void write(std::ostream& out) const;
+
+  /// Render a self-contained SVG flame graph (root at top).
+  void write_svg(std::ostream& out, const std::string& title) const;
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& stacks() const {
+    return stacks_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> stacks_;
+};
+
+}  // namespace fdiam::prof

@@ -1,0 +1,252 @@
+#include "obs/prof/prof_report.hpp"
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace fdiam::obs {
+
+namespace {
+
+void write_agg_fields(JsonWriter& w, const UtilAgg& a) {
+  w.field("regions", a.regions);
+  w.field("items", a.items);
+  w.field("wall_s", a.wall_s);
+  w.field("busy_s", a.busy_s);
+  w.field("barrier_wait_s", a.barrier_wait_s());
+  w.field("busy_ratio", a.busy_ratio());
+  w.field("idle_fraction", a.idle_fraction());
+  w.field("imbalance", a.imbalance());
+}
+
+/// Top-level keys of a JSON object slice (assumed structurally valid —
+/// json_check runs json_diagnose first).
+std::vector<std::string> object_keys(std::string_view object_slice) {
+  std::vector<std::string> keys;
+  int depth = 0;
+  bool want_key = false;
+  for (std::size_t i = 0; i < object_slice.size(); ++i) {
+    const char c = object_slice[i];
+    if (c == '{' || c == '[') {
+      ++depth;
+      if (depth == 1 && c == '{') want_key = true;
+      continue;
+    }
+    if (c == '}' || c == ']') {
+      --depth;
+      continue;
+    }
+    if (depth == 1 && c == ',') {
+      want_key = true;
+      continue;
+    }
+    if (depth == 1 && want_key && c == '"') {
+      std::string key;
+      for (++i; i < object_slice.size() && object_slice[i] != '"'; ++i) {
+        key.push_back(object_slice[i]);
+      }
+      keys.push_back(std::move(key));
+      want_key = false;
+    }
+  }
+  return keys;
+}
+
+bool is_util_stage_tag(std::string_view tag) {
+  for (std::size_t i = 0; i < kUtilStageCount; ++i) {
+    if (tag == util_stage_name(static_cast<UtilStage>(i))) return true;
+  }
+  return false;
+}
+
+bool is_region_kind_tag(std::string_view tag) {
+  for (std::size_t i = 0; i < kRegionKindCount; ++i) {
+    if (tag == region_kind_name(static_cast<RegionKind>(i))) return true;
+  }
+  return false;
+}
+
+/// Check one serialized UtilAgg object at `base`: fields present, ratios
+/// in range, imbalance >= 1 when regions were recorded. Returns a
+/// diagnostic or nullopt.
+std::optional<std::string> diagnose_agg(std::string_view report,
+                                        const std::string& base) {
+  constexpr double kEps = 1e-9;
+  for (const char* f : {"regions", "items", "wall_s", "busy_s",
+                        "barrier_wait_s", "busy_ratio", "idle_fraction",
+                        "imbalance"}) {
+    const auto v = json_number(report, base + "." + f);
+    if (!v) return base + "." + f + ": missing or non-numeric";
+    if (*v < 0.0) return base + "." + f + ": negative";
+  }
+  const double busy_ratio = *json_number(report, base + ".busy_ratio");
+  const double idle = *json_number(report, base + ".idle_fraction");
+  if (busy_ratio > 1.0 + kEps) return base + ".busy_ratio: exceeds 1";
+  if (idle > 1.0 + kEps) return base + ".idle_fraction: exceeds 1";
+  const double regions = *json_number(report, base + ".regions");
+  const double imbalance = *json_number(report, base + ".imbalance");
+  if (regions > 0.0 && imbalance < 1.0 - kEps) {
+    return base + ".imbalance: below 1 with regions recorded";
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void write_profile_fields(JsonWriter& w, const prof::ProfileSummary& s) {
+  w.field("schema", kProfileSchema);
+  w.field("enabled", s.enabled);
+  w.field("available", s.available);
+  if (!s.available && !s.unavailable_reason.empty()) {
+    w.field("reason", std::string_view(s.unavailable_reason));
+  }
+  w.field("rate_hz", s.rate_hz);
+  w.field("duration_s", s.duration_s);
+  w.field("threads", s.threads);
+  w.field("samples", s.samples);
+  w.field("dropped", s.dropped);
+  w.key("top").begin_array();
+  for (const auto& f : s.top) {
+    w.begin_object();
+    w.field("frame", std::string_view(f.name));
+    w.field("self", f.self);
+    w.field("total", f.total);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void write_utilization_fields(JsonWriter& w, const UtilStats& u) {
+  w.field("schema", kUtilizationSchema);
+  w.field("enabled", u.enabled);
+  if (!u.enabled) return;
+  w.field("threads", u.threads);
+  w.key("total").begin_object();
+  write_agg_fields(w, u.total);
+  w.end_object();
+  w.key("stages").begin_object();
+  for (std::size_t i = 0; i < kUtilStageCount; ++i) {
+    if (u.stages[i].regions == 0) continue;  // keep reports lean
+    w.key(util_stage_name(static_cast<UtilStage>(i))).begin_object();
+    write_agg_fields(w, u.stages[i]);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("regions").begin_object();
+  for (std::size_t i = 0; i < kRegionKindCount; ++i) {
+    if (u.kinds[i].regions == 0) continue;
+    w.key(region_kind_name(static_cast<RegionKind>(i))).begin_object();
+    write_agg_fields(w, u.kinds[i]);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("per_thread").begin_array();
+  for (const auto& t : u.per_thread) {
+    w.begin_object();
+    w.field("regions", t.regions);
+    w.field("items", t.items);
+    w.field("busy_s", t.busy_s);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::optional<std::string> diagnose_profile_block(std::string_view report) {
+  if (!json_lookup(report, "profile")) return std::nullopt;
+
+  const auto schema = json_string(report, "profile.schema");
+  if (!schema || *schema != kProfileSchema) {
+    return "profile.schema: expected \"" + std::string(kProfileSchema) +
+           "\", got " +
+           (schema ? '"' + *schema + '"' : std::string("a non-string value"));
+  }
+  for (const char* f : {"rate_hz", "duration_s", "threads", "samples",
+                        "dropped"}) {
+    const auto v = json_number(report, "profile." + std::string(f));
+    if (!v) return "profile." + std::string(f) + ": missing or non-numeric";
+    if (*v < 0.0) return "profile." + std::string(f) + ": negative";
+  }
+  if (!json_lookup(report, "profile.top")) {
+    return std::string("profile.top: missing");
+  }
+  const double samples = *json_number(report, "profile.samples");
+  for (std::size_t i = 0;; ++i) {
+    const std::string base = "profile.top." + std::to_string(i);
+    if (!json_lookup(report, base)) break;
+    const auto frame = json_string(report, base + ".frame");
+    if (!frame || frame->empty()) {
+      return base + ".frame: missing or empty";
+    }
+    const auto self = json_number(report, base + ".self");
+    const auto total = json_number(report, base + ".total");
+    if (!self || !total) return base + ": missing self/total field";
+    if (*self > *total) return base + ": self exceeds total";
+    if (*self > samples) return base + ": self exceeds sample count";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> diagnose_utilization_block(
+    std::string_view report) {
+  if (!json_lookup(report, "utilization")) return std::nullopt;
+
+  const auto schema = json_string(report, "utilization.schema");
+  if (!schema || *schema != kUtilizationSchema) {
+    return "utilization.schema: expected \"" +
+           std::string(kUtilizationSchema) + "\", got " +
+           (schema ? '"' + *schema + '"' : std::string("a non-string value"));
+  }
+  const auto enabled = json_lookup(report, "utilization.enabled");
+  if (!enabled || (*enabled != "true" && *enabled != "false")) {
+    return std::string("utilization.enabled: missing or non-boolean");
+  }
+  if (*enabled == "false") return std::nullopt;
+
+  const auto threads = json_number(report, "utilization.threads");
+  if (!threads || *threads < 1.0) {
+    return std::string("utilization.threads: missing or < 1");
+  }
+  if (auto d = diagnose_agg(report, "utilization.total")) return d;
+
+  const auto stages = json_lookup(report, "utilization.stages");
+  if (!stages) return std::string("utilization.stages: missing");
+  for (const std::string& key : object_keys(*stages)) {
+    if (!is_util_stage_tag(key)) {
+      return "utilization.stages: stage tag \"" + key +
+             "\" is not in the closed UtilStage set";
+    }
+    if (auto d = diagnose_agg(report, "utilization.stages." + key)) return d;
+  }
+
+  const auto regions = json_lookup(report, "utilization.regions");
+  if (!regions) return std::string("utilization.regions: missing");
+  for (const std::string& key : object_keys(*regions)) {
+    if (!is_region_kind_tag(key)) {
+      return "utilization.regions: region tag \"" + key +
+             "\" is not in the closed RegionKind set";
+    }
+    if (auto d = diagnose_agg(report, "utilization.regions." + key)) return d;
+  }
+
+  std::size_t n_threads_rows = 0;
+  for (std::size_t i = 0;; ++i) {
+    const std::string base = "utilization.per_thread." + std::to_string(i);
+    if (!json_lookup(report, base)) break;
+    ++n_threads_rows;
+    for (const char* f : {"regions", "items", "busy_s"}) {
+      const auto v = json_number(report, base + "." + f);
+      if (!v || *v < 0.0) {
+        return base + "." + f + ": missing or negative";
+      }
+    }
+  }
+  if (n_threads_rows != static_cast<std::size_t>(*threads)) {
+    return "utilization.per_thread: " + std::to_string(n_threads_rows) +
+           " rows but threads = " +
+           std::to_string(static_cast<long long>(*threads));
+  }
+  return std::nullopt;
+}
+
+}  // namespace fdiam::obs

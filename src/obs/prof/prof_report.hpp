@@ -1,0 +1,44 @@
+#pragma once
+// JSON glue for the thread-time observability layer: serializers for the
+// run report's "profile" (sampling profiler) and "utilization"
+// (parallel-region accounting) blocks, plus the semantic validators
+// json_check runs on them. Lives in obs/prof/ so util/parallel.hpp (where
+// the utilization types are defined) never depends on the obs layer.
+//
+// Schemas "fdiam.profile/v1" and "fdiam.utilization/v1" — field additions
+// are allowed, renames and removals are a schema bump.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/prof/sampler.hpp"
+#include "util/parallel.hpp"
+
+namespace fdiam::obs {
+
+class JsonWriter;
+
+inline constexpr std::string_view kProfileSchema = "fdiam.profile/v1";
+inline constexpr std::string_view kUtilizationSchema = "fdiam.utilization/v1";
+
+/// Append the members of a "profile" object to an open JsonWriter object.
+void write_profile_fields(JsonWriter& w, const prof::ProfileSummary& s);
+
+/// Append the members of a "utilization" object to an open JsonWriter
+/// object. Emits enabled:false and nothing else when `u.enabled` is
+/// unset, so consumers can always key on "utilization.enabled".
+void write_utilization_fields(JsonWriter& w, const UtilStats& u);
+
+/// Semantic validation of the "profile" block inside a serialized run
+/// report: schema tag, non-negative counters, self <= samples invariants.
+/// Returns nullopt when the block is absent or well-formed; otherwise a
+/// one-line diagnostic naming the offending path.
+std::optional<std::string> diagnose_profile_block(std::string_view report);
+
+/// Semantic validation of the "utilization" block: schema tag, ratio
+/// ranges, closed stage/region tag sets, per-thread array arity.
+std::optional<std::string> diagnose_utilization_block(
+    std::string_view report);
+
+}  // namespace fdiam::obs

@@ -1,0 +1,374 @@
+#include "obs/prof/sampler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+#if defined(__linux__)
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+// Older glibc headers define SIGEV_THREAD_ID but not the accessor macro.
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+#endif  // __linux__
+
+namespace fdiam::prof {
+
+namespace {
+
+constexpr int kMaxSlots = 256;
+constexpr int kMaxFrames = 64;
+
+/// Per-OS-thread capture state. The ring is a linear buffer of
+/// variable-length records [depth, pc0..pc{depth-1}]; the interrupted
+/// thread is the only producer, so `head` is published with a release
+/// store and read with acquire by the harvesting control thread.
+struct ThreadSlot {
+  std::vector<std::uintptr_t> ring;
+  std::atomic<std::size_t> head{0};
+  std::atomic<std::uint64_t> samples{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<bool> armed{false};
+#if defined(__linux__)
+  pid_t tid = 0;
+  timer_t timer{};
+  bool timer_ok = false;
+#endif
+};
+
+std::vector<std::unique_ptr<ThreadSlot>> g_slots;  // grows, never shrinks
+std::atomic<int> g_max_depth{48};
+Timer g_run_timer;
+bool g_started_ok = false;
+thread_local ThreadSlot* tls_slot = nullptr;
+
+#if defined(__linux__)
+bool g_handler_installed = false;
+
+/// SIGPROF handler: async-signal-safe by construction. Touches only the
+/// interrupted thread's slot; backtrace() was warmed up before any timer
+/// was armed, so it cannot dlopen/malloc here.
+void profiler_signal_handler(int /*sig*/, siginfo_t* /*si*/,
+                             void* /*ucontext*/) {
+  ThreadSlot* const slot = tls_slot;
+  if (slot == nullptr || !slot->armed.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const int saved_errno = errno;
+  void* frames[kMaxFrames];
+  const int want = g_max_depth.load(std::memory_order_relaxed);
+  const int depth = backtrace(frames, want < kMaxFrames ? want : kMaxFrames);
+  const std::size_t head = slot->head.load(std::memory_order_relaxed);
+  if (depth > 0 &&
+      head + static_cast<std::size_t>(depth) + 1 <= slot->ring.size()) {
+    slot->ring[head] = static_cast<std::uintptr_t>(depth);
+    for (int i = 0; i < depth; ++i) {
+      slot->ring[head + 1 + static_cast<std::size_t>(i)] =
+          reinterpret_cast<std::uintptr_t>(frames[i]);
+    }
+    slot->head.store(head + static_cast<std::size_t>(depth) + 1,
+                     std::memory_order_release);
+    slot->samples.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    slot->dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+  errno = saved_errno;
+}
+
+pid_t current_tid() {
+  return static_cast<pid_t>(::syscall(SYS_gettid));
+}
+
+/// Frames the sampler injects into every stack (its own handler, the
+/// kernel signal trampoline, backtrace itself). Skipped during folding.
+bool is_internal_frame(std::string_view name) {
+  return name.find("profiler_signal_handler") != std::string_view::npos ||
+         name.find("sigreturn") != std::string_view::npos ||
+         name.find("restore_rt") != std::string_view::npos ||
+         name.find("sigtramp") != std::string_view::npos ||
+         name.find("linux-vdso") != std::string_view::npos ||
+         name == "backtrace";
+}
+
+std::string symbolize_pc(std::uintptr_t pc) {
+  Dl_info info{};
+  std::string name;
+  if (dladdr(reinterpret_cast<void*>(pc), &info) != 0 &&
+      info.dli_sname != nullptr) {
+    int status = -1;
+    char* dem =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    name = (status == 0 && dem != nullptr) ? dem : info.dli_sname;
+    std::free(dem);
+  } else if (info.dli_fname != nullptr) {
+    std::string_view file = info.dli_fname;
+    const std::size_t slash = file.rfind('/');
+    if (slash != std::string_view::npos) file = file.substr(slash + 1);
+    std::ostringstream os;
+    os << file << "+0x" << std::hex
+       << pc - reinterpret_cast<std::uintptr_t>(info.dli_fbase);
+    name = os.str();
+  } else {
+    std::ostringstream os;
+    os << "0x" << std::hex << pc;
+    name = os.str();
+  }
+  // ';' is the folded-format frame separator; control chars would break
+  // line-oriented parsing.
+  for (char& c : name) {
+    if (c == ';' || c == '\n' || c == '\r') c = ':';
+  }
+  return name;
+}
+#endif  // __linux__
+
+}  // namespace
+
+Sampler& Sampler::instance() {
+  static Sampler s;
+  return s;
+}
+
+bool Sampler::start(const SamplerOptions& opt) {
+#if !defined(__linux__)
+  reason_ =
+      "sampling profiler requires Linux (timer_create + SIGEV_THREAD_ID)";
+  (void)opt;
+  g_started_ok = false;
+  return false;
+#else
+  if (running_) {
+    reason_ = "sampler already running";
+    return false;
+  }
+  if (!(opt.rate_hz > 0.0) || opt.rate_hz > 10000.0) {
+    reason_ = "sample rate must be in (0, 10000] Hz";
+    return false;
+  }
+  if (opt.ring_words < 256) {
+    reason_ = "ring_words too small (need >= 256)";
+    return false;
+  }
+  opt_ = opt;
+  g_max_depth.store(std::clamp(opt.max_depth, 2, kMaxFrames),
+                    std::memory_order_relaxed);
+
+  // Warm up backtrace on the control thread before any timer is armed:
+  // its first call may dlopen libgcc_s, which is not async-signal-safe.
+  {
+    void* warm[4];
+    (void)backtrace(warm, 4);
+  }
+
+  const int nthreads = std::min(num_threads(), kMaxSlots);
+  while (static_cast<int>(g_slots.size()) < nthreads) {
+    g_slots.push_back(std::make_unique<ThreadSlot>());
+  }
+  for (int t = 0; t < nthreads; ++t) {
+    ThreadSlot& slot = *g_slots[static_cast<std::size_t>(t)];
+    slot.ring.assign(opt_.ring_words, 0);
+    slot.head.store(0, std::memory_order_relaxed);
+    slot.samples.store(0, std::memory_order_relaxed);
+    slot.dropped.store(0, std::memory_order_relaxed);
+    slot.armed.store(false, std::memory_order_relaxed);
+    slot.tid = 0;
+    slot.timer_ok = false;
+  }
+
+  // Bind each OpenMP worker to its slot: the worker itself must set the
+  // thread-local pointer the handler reads, and we need its kernel tid
+  // for SIGEV_THREAD_ID. libgomp keeps the team alive between regions,
+  // so these same OS threads run the solver's parallel regions later.
+#ifdef _OPENMP
+#pragma omp parallel num_threads(nthreads)
+#endif
+  {
+    const int t = thread_id();
+    if (t < nthreads) {
+      tls_slot = g_slots[static_cast<std::size_t>(t)].get();
+      g_slots[static_cast<std::size_t>(t)]->tid = current_tid();
+    }
+  }
+
+  if (!g_handler_installed) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = profiler_signal_handler;
+    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    if (sigaction(SIGPROF, &sa, nullptr) != 0) {
+      reason_ = std::string("sigaction(SIGPROF) failed: ") +
+                std::strerror(errno);
+      g_started_ok = false;
+      return false;
+    }
+    g_handler_installed = true;
+  }
+
+  const double period_s = 1.0 / opt_.rate_hz;
+  const auto period_ns = static_cast<long>(period_s * 1e9);
+  int armed = 0;
+  for (int t = 0; t < nthreads; ++t) {
+    ThreadSlot& slot = *g_slots[static_cast<std::size_t>(t)];
+    if (slot.tid == 0) continue;
+    struct sigevent sev;
+    std::memset(&sev, 0, sizeof(sev));
+    sev.sigev_notify = SIGEV_THREAD_ID;
+    sev.sigev_signo = SIGPROF;
+    sev.sigev_notify_thread_id = slot.tid;
+    if (timer_create(CLOCK_MONOTONIC, &sev, &slot.timer) != 0) {
+      continue;  // e.g. thread exited; profile the rest of the team
+    }
+    slot.timer_ok = true;
+    slot.armed.store(true, std::memory_order_release);
+    // Stagger first expirations across the team so all threads do not
+    // sample in lockstep at region boundaries.
+    struct itimerspec its;
+    std::memset(&its, 0, sizeof(its));
+    its.it_interval.tv_sec = static_cast<time_t>(period_ns / 1000000000L);
+    its.it_interval.tv_nsec = period_ns % 1000000000L;
+    const long first_ns =
+        std::max<long>(period_ns * (t + 1) / (nthreads + 1), 100000L);
+    its.it_value.tv_sec = static_cast<time_t>(first_ns / 1000000000L);
+    its.it_value.tv_nsec = first_ns % 1000000000L;
+    if (timer_settime(slot.timer, 0, &its, nullptr) != 0) {
+      slot.armed.store(false, std::memory_order_release);
+      timer_delete(slot.timer);
+      slot.timer_ok = false;
+      continue;
+    }
+    ++armed;
+  }
+  if (armed == 0) {
+    reason_ = "timer_create failed for every thread";
+    g_started_ok = false;
+    return false;
+  }
+  armed_threads_ = armed;
+  reason_.clear();
+  g_run_timer.reset();
+  duration_s_ = 0.0;
+  running_ = true;
+  g_started_ok = true;
+  return true;
+#endif  // __linux__
+}
+
+void Sampler::stop() {
+#if defined(__linux__)
+  if (!running_) return;
+  duration_s_ = g_run_timer.seconds();
+  for (auto& slot_ptr : g_slots) {
+    ThreadSlot& slot = *slot_ptr;
+    if (!slot.timer_ok) continue;
+    slot.armed.store(false, std::memory_order_release);
+    timer_delete(slot.timer);
+    slot.timer_ok = false;
+  }
+  running_ = false;
+#endif
+}
+
+std::uint64_t Sampler::sample_count() const {
+  std::uint64_t n = 0;
+  for (const auto& slot : g_slots) {
+    n += slot->samples.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+FoldedProfile Sampler::folded() const {
+  FoldedProfile out;
+#if defined(__linux__)
+  std::map<std::uintptr_t, std::string> names;
+  const auto name_of = [&names](std::uintptr_t pc) -> const std::string& {
+    auto it = names.find(pc);
+    if (it == names.end()) {
+      it = names.emplace(pc, symbolize_pc(pc)).first;
+    }
+    return it->second;
+  };
+  for (const auto& slot_ptr : g_slots) {
+    const ThreadSlot& slot = *slot_ptr;
+    const std::size_t head = slot.head.load(std::memory_order_acquire);
+    std::size_t pos = 0;
+    while (pos < head) {
+      const auto depth = static_cast<std::size_t>(slot.ring[pos]);
+      if (depth == 0 || pos + depth + 1 > head) break;  // truncated record
+      const std::uintptr_t* pcs = &slot.ring[pos + 1];
+      pos += depth + 1;
+      // Skip the sampler's own frames at the leaf end. The handler is a
+      // file-static function, so dladdr cannot name it — match it by
+      // address instead, and drop the frame right above it too (the
+      // kernel's signal-return trampoline, equally unsymbolizable on
+      // most libcs). Name matching remains as a fallback for exported
+      // machinery like backtrace. Bounded scan: give up after a few
+      // frames so a symbolization miss cannot eat the whole stack.
+      const auto handler_pc = reinterpret_cast<std::uintptr_t>(
+          reinterpret_cast<void*>(&profiler_signal_handler));
+      std::size_t first = 0;
+      while (first < depth && first < 6) {
+        const std::uintptr_t pc = pcs[first];
+        if (pc >= handler_pc && pc - handler_pc < 0x2000) {
+          ++first;
+          if (first < depth) ++first;  // the signal trampoline
+          continue;
+        }
+        if (!is_internal_frame(name_of(pc))) break;
+        ++first;
+      }
+      if (first >= depth) continue;
+      std::string stack;
+      for (std::size_t i = depth; i-- > first;) {
+        // Frames above the leaf hold return addresses: step back one
+        // byte so calls at the end of a function attribute correctly.
+        const std::uintptr_t pc = i == first ? pcs[i] : pcs[i] - 1;
+        if (!stack.empty()) stack += ';';
+        stack += name_of(pc);
+      }
+      if (!stack.empty()) out.add(stack, 1);
+    }
+  }
+#endif
+  return out;
+}
+
+ProfileSummary Sampler::summary(std::size_t top_n) const {
+  ProfileSummary s;
+  s.enabled = true;
+  s.available = g_started_ok;
+  s.unavailable_reason = s.available ? std::string() : reason_;
+  s.rate_hz = opt_.rate_hz;
+  s.duration_s = duration_s_;
+  s.threads = armed_threads_;
+  for (const auto& slot : g_slots) {
+    s.samples += slot->samples.load(std::memory_order_relaxed);
+    s.dropped += slot->dropped.load(std::memory_order_relaxed);
+  }
+  const auto totals = folded().frame_totals();
+  for (std::size_t i = 0; i < totals.size() && i < top_n; ++i) {
+    s.top.push_back({totals[i].name, totals[i].self, totals[i].total});
+  }
+  return s;
+}
+
+}  // namespace fdiam::prof

@@ -1,0 +1,102 @@
+#pragma once
+// Opt-in in-process wall-clock sampling profiler. One POSIX per-thread
+// timer (timer_create + SIGEV_THREAD_ID, CLOCK_MONOTONIC) per OpenMP
+// worker delivers SIGPROF at the configured rate; the handler captures a
+// backtrace(3) into that thread's preallocated ring buffer and returns.
+// Everything slow — symbolization (dladdr + __cxa_demangle), folding,
+// aggregation — happens offline in harvest(), after stop().
+//
+// Signal-safety rules (see docs/OBSERVABILITY.md):
+//   * the handler touches only its thread's ring: no locks, no
+//     allocation, no I/O; errno is saved and restored;
+//   * backtrace() is warmed up once in start() before any timer is
+//     armed, because its first call may dlopen libgcc_s (malloc — not
+//     async-signal-safe);
+//   * rings are single-producer (the interrupted thread itself); the
+//     write index is published with release stores so harvest() on the
+//     control thread reads complete records.
+//
+// Linux-only: on other platforms start() fails gracefully with a reason
+// string and the CLI reports the profiler as unavailable.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/prof/folded.hpp"
+
+namespace fdiam::prof {
+
+struct SamplerOptions {
+  double rate_hz = 197.0;        ///< prime-ish default: avoids phase lock
+  std::size_t ring_words = 1u << 17;  ///< per-thread capture capacity
+  int max_depth = 48;            ///< frames kept per sample
+};
+
+/// One ranked frame in the report's top table.
+struct ProfileFrame {
+  std::string name;
+  std::uint64_t self = 0;
+  std::uint64_t total = 0;
+};
+
+/// Summary embedded in the JSON run report's `profile` block.
+struct ProfileSummary {
+  bool enabled = false;      ///< profiling was requested
+  bool available = false;    ///< platform support and start() succeeded
+  std::string unavailable_reason;
+  double rate_hz = 0.0;
+  double duration_s = 0.0;
+  int threads = 0;           ///< threads that had timers armed
+  std::uint64_t samples = 0;
+  std::uint64_t dropped = 0;  ///< lost to ring exhaustion
+  std::vector<ProfileFrame> top;  ///< ranked by self samples
+};
+
+/// Process-wide sampler (SIGPROF has process-global disposition, so only
+/// one can run at a time). start()/stop()/harvest() must be called from
+/// the serial control path.
+class Sampler {
+ public:
+  static Sampler& instance();
+
+  /// Arm per-thread timers across the current OpenMP team. Returns false
+  /// (and sets reason()) when the platform lacks support or timer setup
+  /// fails; the process keeps running unprofiled.
+  bool start(const SamplerOptions& opt = {});
+
+  /// Disarm and delete all timers. The SIGPROF handler stays installed
+  /// (a timer signal can still be pending after timer_delete; the
+  /// handler's armed-flag check turns it into a no-op, whereas restoring
+  /// the default disposition would let it kill the process). Safe to
+  /// call when not running. Captured samples stay buffered until the
+  /// next start().
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] const std::string& reason() const { return reason_; }
+
+  /// Total samples captured so far (racy read; exact after stop()).
+  [[nodiscard]] std::uint64_t sample_count() const;
+
+  /// Symbolize and fold everything captured since the last start().
+  /// Call after stop().
+  [[nodiscard]] FoldedProfile folded() const;
+
+  /// Summary statistics plus the top-N self-time frames.
+  [[nodiscard]] ProfileSummary summary(std::size_t top_n = 10) const;
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+ private:
+  Sampler() = default;
+
+  bool running_ = false;
+  std::string reason_;
+  SamplerOptions opt_;
+  double duration_s_ = 0.0;
+  int armed_threads_ = 0;
+};
+
+}  // namespace fdiam::prof

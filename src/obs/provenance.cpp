@@ -400,7 +400,7 @@ bool ProgressHeartbeat::due() {
 
 void ProgressHeartbeat::beat(std::uint64_t alive, std::uint64_t initial,
                              dist_t bound, std::uint64_t evaluated,
-                             double elapsed_seconds) {
+                             double elapsed_seconds, std::string_view util) {
   const std::uint64_t removed = initial > alive ? initial - alive : 0;
   double eta = -1.0;
   if (removed > 0 && alive > 0) {
@@ -409,23 +409,17 @@ void ProgressHeartbeat::beat(std::uint64_t alive, std::uint64_t initial,
   }
   const char* tag = snapshot_pending_ ? "snapshot" : "heartbeat";
   snapshot_pending_ = false;
-  if (eta >= 0.0) {
-    std::fprintf(out_,
-                 "[fdiam] %s: alive %llu/%llu, bound %d, evaluated %llu, "
-                 "elapsed %.1f s, ETA ~%.1f s\n",
-                 tag, static_cast<unsigned long long>(alive),
-                 static_cast<unsigned long long>(initial), bound,
-                 static_cast<unsigned long long>(evaluated), elapsed_seconds,
-                 eta);
-  } else {
-    std::fprintf(out_,
-                 "[fdiam] %s: alive %llu/%llu, bound %d, evaluated %llu, "
-                 "elapsed %.1f s\n",
-                 tag, static_cast<unsigned long long>(alive),
-                 static_cast<unsigned long long>(initial), bound,
-                 static_cast<unsigned long long>(evaluated),
-                 elapsed_seconds);
+  std::fprintf(out_,
+               "[fdiam] %s: alive %llu/%llu, bound %d, evaluated %llu, "
+               "elapsed %.1f s",
+               tag, static_cast<unsigned long long>(alive),
+               static_cast<unsigned long long>(initial), bound,
+               static_cast<unsigned long long>(evaluated), elapsed_seconds);
+  if (eta >= 0.0) std::fprintf(out_, ", ETA ~%.1f s", eta);
+  if (!util.empty()) {
+    std::fprintf(out_, ", %.*s", static_cast<int>(util.size()), util.data());
   }
+  std::fputc('\n', out_);
   std::fflush(out_);
 }
 

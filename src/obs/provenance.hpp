@@ -220,8 +220,12 @@ class ProgressHeartbeat {
   bool due();
 
   /// Emit one progress line. The solver calls this only after due().
+  /// `util` is an optional pre-formatted live-utilization summary (the
+  /// per-thread busy ratios since the previous beat, built by the solver
+  /// when a UtilCollector is installed); empty = omitted.
   void beat(std::uint64_t alive, std::uint64_t initial, dist_t bound,
-            std::uint64_t evaluated, double elapsed_seconds);
+            std::uint64_t evaluated, double elapsed_seconds,
+            std::string_view util = {});
 
   [[nodiscard]] bool periodic_enabled() const { return enabled_; }
 

@@ -12,6 +12,7 @@
 
 #include "obs/json.hpp"
 #include "obs/perf/hw_counters.hpp"
+#include "obs/prof/prof_report.hpp"
 #include "obs/provenance.hpp"
 
 namespace fdiam::obs {
@@ -164,6 +165,7 @@ void RunReport::write_json(std::ostream& os) const {
   w.field("time_budget_seconds", options.time_budget_seconds);
   w.field("hw_counters", options.hw_counters);
   w.field("provenance", options.provenance != nullptr);
+  w.field("utilization", options.utilization != nullptr);
   w.end_object();
 
   w.key("result").begin_object();
@@ -265,6 +267,19 @@ void RunReport::write_json(std::ostream& os) const {
     }
   }
   w.end_object();
+
+  // Always present so consumers can key on "utilization.enabled" like
+  // they do on "hardware.available"; the full aggregates appear only
+  // when a UtilCollector ran (see FDiamOptions::utilization).
+  w.key("utilization").begin_object();
+  write_utilization_fields(w, st.util);
+  w.end_object();
+
+  if (profile != nullptr) {
+    w.key("profile").begin_object();
+    write_profile_fields(w, *profile);
+    w.end_object();
+  }
 
   if (provenance != nullptr) {
     w.key("provenance").begin_object();

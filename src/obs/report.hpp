@@ -15,6 +15,10 @@
 #include "core/fdiam.hpp"
 #include "graph/stats.hpp"
 
+namespace fdiam::prof {
+struct ProfileSummary;
+}
+
 namespace fdiam::obs {
 
 class JsonWriter;
@@ -50,6 +54,11 @@ struct RunReport {
   /// bound-evolution timeline) is embedded. Not owned; must outlive
   /// write_json().
   const ProvenanceLog* provenance = nullptr;
+  /// When set, a schema-versioned "profile" block (sampling-profiler
+  /// summary + top self-time frames) is embedded. Not owned; must
+  /// outlive write_json(). The "utilization" block needs no pointer —
+  /// it serializes result.stats.util and is always present.
+  const prof::ProfileSummary* profile = nullptr;
 
   /// Serialize as one pretty-printed JSON document.
   void write_json(std::ostream& os) const;

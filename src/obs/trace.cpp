@@ -50,6 +50,11 @@ void TraceSession::instant(std::string name, std::vector<TraceArg> args) {
   record(Event{std::move(name), 'i', now_us(), 0.0, std::move(args)});
 }
 
+void TraceSession::counter(std::string name, double value) {
+  record(Event{std::move(name), 'C', now_us(), 0.0,
+               {TraceArg("value", value)}});
+}
+
 void TraceSession::record(Event e) {
   std::lock_guard lock(mu_);
   events_.push_back(std::move(e));

@@ -80,6 +80,11 @@ class TraceSession {
   /// Record an instant marker at the current time.
   void instant(std::string name, std::vector<TraceArg> args = {});
 
+  /// Record a counter sample (ph "C") at the current time — Perfetto
+  /// renders one counter track per name. Used for the utilization
+  /// busy-ratio/idle tracks the CLI emits at stage boundaries.
+  void counter(std::string name, double value);
+
   /// Adapter for FDiamOptions::trace; the returned callable refers to
   /// this session, which must outlive the solver run.
   [[nodiscard]] FDiamTrace fdiam_sink();
@@ -99,7 +104,7 @@ class TraceSession {
  private:
   struct Event {
     std::string name;
-    char ph;        // 'X' complete, 'i' instant
+    char ph;        // 'X' complete, 'i' instant, 'C' counter
     double ts_us;   // relative to session start
     double dur_us;  // 'X' only
     std::vector<TraceArg> args;

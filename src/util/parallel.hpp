@@ -1,10 +1,29 @@
 #pragma once
 // Thin OpenMP wrappers so the rest of the code never touches raw omp_*
-// calls and still compiles (serially) when OpenMP is unavailable.
+// calls and still compiles (serially) when OpenMP is unavailable — plus
+// the parallel-region utilization collector. Region instrumentation lives
+// here (not in obs/) because the BFS engines and solver stages must not
+// depend on the observability layer; obs/ only *formats* these numbers.
+//
+// Instrumentation contract (mirrors the provenance collector): a
+// RegionScope is constructed by the master thread immediately before an
+// OpenMP parallel region and destroyed right after its implicit barrier.
+// Each worker calls thread_done(items) as its last statement inside the
+// region, reading its thread-private reduction copy. When no collector is
+// installed every call is one pointer load plus a branch, so the disabled
+// path stays within the bench-gated 0.5% overhead budget.
 
 #ifdef _OPENMP
 #include <omp.h>
 #endif
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/timer.hpp"
 
 namespace fdiam {
 
@@ -34,5 +53,301 @@ inline void set_num_threads(int n) {
   (void)n;
 #endif
 }
+
+/// True when called from inside an active parallel region.
+inline bool in_parallel() {
+#ifdef _OPENMP
+  return omp_in_parallel() != 0;
+#else
+  return false;
+#endif
+}
+
+/// Solver stage a parallel region is attributed to. FDiam::run() sets the
+/// current stage on the installed collector as it moves through the
+/// algorithm; regions launched outside a solver run land in kOther.
+enum class UtilStage : std::uint8_t {
+  kInit = 0,
+  kWinnow,
+  kChain,
+  kEliminate,
+  kEcc,
+  kOther,
+};
+inline constexpr std::size_t kUtilStageCount = 6;
+
+[[nodiscard]] constexpr std::string_view util_stage_name(UtilStage s) {
+  switch (s) {
+    case UtilStage::kInit:
+      return "init";
+    case UtilStage::kWinnow:
+      return "winnow";
+    case UtilStage::kChain:
+      return "chain";
+    case UtilStage::kEliminate:
+      return "eliminate";
+    case UtilStage::kEcc:
+      return "ecc";
+    case UtilStage::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+/// Which kind of OpenMP region produced a measurement.
+enum class RegionKind : std::uint8_t {
+  kBfsTopDown = 0,
+  kBfsBottomUp,
+  kBfsConvert,  // queue<->bitmap direction-switch conversions
+  kWinnow,
+  kExtend,
+  kMsbfs,
+  kBatchEcc,  // candidate-batch per-thread serial BFS region
+};
+inline constexpr std::size_t kRegionKindCount = 7;
+
+[[nodiscard]] constexpr std::string_view region_kind_name(RegionKind k) {
+  switch (k) {
+    case RegionKind::kBfsTopDown:
+      return "bfs_topdown";
+    case RegionKind::kBfsBottomUp:
+      return "bfs_bottomup";
+    case RegionKind::kBfsConvert:
+      return "bfs_convert";
+    case RegionKind::kWinnow:
+      return "winnow";
+    case RegionKind::kExtend:
+      return "extend";
+    case RegionKind::kMsbfs:
+      return "msbfs";
+    case RegionKind::kBatchEcc:
+      return "batch_ecc";
+  }
+  return "batch_ecc";
+}
+
+/// Accumulated utilization over a set of parallel regions. busy time is
+/// measured from region start to each thread's thread_done() call; the
+/// gap to the region's wall end is that thread's implicit-barrier wait.
+struct UtilAgg {
+  std::uint64_t regions = 0;        ///< region entry count
+  std::uint64_t items = 0;          ///< work items (edges scanned) summed
+  double wall_s = 0.0;              ///< sum of region wall-clock spans
+  double busy_s = 0.0;              ///< sum over threads of busy time
+  double max_busy_s = 0.0;          ///< sum over regions of slowest thread
+  double mean_busy_s = 0.0;         ///< sum over regions of busy/threads
+  double threads_x_wall_s = 0.0;    ///< capacity: sum of team_size * wall
+
+  /// Fraction of thread-seconds capacity spent busy, in [0, 1].
+  [[nodiscard]] double busy_ratio() const {
+    return threads_x_wall_s > 0.0 ? busy_s / threads_x_wall_s : 0.0;
+  }
+
+  /// Fraction of thread-seconds capacity spent idle (barrier wait plus
+  /// fork/join overhead), in [0, 1].
+  [[nodiscard]] double idle_fraction() const {
+    const double r = 1.0 - busy_ratio();
+    return r > 0.0 ? r : 0.0;
+  }
+
+  /// Total implicit-barrier wait in thread-seconds.
+  [[nodiscard]] double barrier_wait_s() const {
+    const double w = threads_x_wall_s - busy_s;
+    return w > 0.0 ? w : 0.0;
+  }
+
+  /// Load-imbalance factor: slowest thread over mean, >= 1 when any
+  /// region was recorded (1.0 = perfectly balanced).
+  [[nodiscard]] double imbalance() const {
+    if (mean_busy_s <= 0.0) return regions > 0 ? 1.0 : 0.0;
+    const double f = max_busy_s / mean_busy_s;
+    return f > 1.0 ? f : 1.0;
+  }
+
+  UtilAgg& operator+=(const UtilAgg& o) {
+    regions += o.regions;
+    items += o.items;
+    wall_s += o.wall_s;
+    busy_s += o.busy_s;
+    max_busy_s += o.max_busy_s;
+    mean_busy_s += o.mean_busy_s;
+    threads_x_wall_s += o.threads_x_wall_s;
+    return *this;
+  }
+};
+
+/// Lifetime totals for one OpenMP thread.
+struct UtilThread {
+  std::uint64_t regions = 0;
+  std::uint64_t items = 0;  ///< edges scanned by this thread
+  double busy_s = 0.0;
+};
+
+/// Value snapshot of a collector, embedded in FDiamStats and run reports.
+struct UtilStats {
+  bool enabled = false;
+  int threads = 1;
+  UtilAgg total;
+  std::array<UtilAgg, kUtilStageCount> stages{};
+  std::array<UtilAgg, kRegionKindCount> kinds{};
+  std::vector<UtilThread> per_thread;
+};
+
+/// Caller-owned utilization accumulator. Install one for the duration of
+/// a solver run (FDiam::run() does this when FDiamOptions::utilization is
+/// set); instrumented regions find it through the global active() pointer.
+/// Thread-safety: record_thread() writes a distinct scratch cell per
+/// OpenMP thread id; open_region()/commit_region() run only on the serial
+/// control path, before the fork and after the implicit barrier.
+class UtilCollector {
+ public:
+  static constexpr int kMaxThreads = 256;
+
+  /// Reset accumulators for a fresh run.
+  void begin_run() {
+    threads_seen_ = 1;
+    stage_ = UtilStage::kOther;
+    total_ = UtilAgg{};
+    stages_.fill(UtilAgg{});
+    kinds_.fill(UtilAgg{});
+    for (auto& t : per_thread_) t = UtilThread{};
+    scratch_used_.fill(0);
+  }
+
+  void set_stage(UtilStage s) { stage_ = s; }
+  [[nodiscard]] UtilStage stage() const { return stage_; }
+
+  /// Master thread, immediately before the parallel region.
+  void open_region() {
+    const int n = num_threads() < kMaxThreads ? num_threads() : kMaxThreads;
+    for (int t = 0; t < n; ++t) scratch_used_[static_cast<std::size_t>(t)] = 0;
+    region_timer_.reset();
+  }
+
+  /// Seconds since the current region opened (signal-free busy clock).
+  [[nodiscard]] double region_seconds() const {
+    return region_timer_.seconds();
+  }
+
+  /// Worker thread, as its last statement inside the region. Writes only
+  /// this thread's scratch cell, so concurrent calls never race.
+  void record_thread(int tid, double busy_s, std::uint64_t items) {
+    if (tid < 0 || tid >= kMaxThreads) return;
+    const auto i = static_cast<std::size_t>(tid);
+    scratch_busy_[i] = busy_s;
+    scratch_items_[i] = items;
+    scratch_used_[i] = 1;
+  }
+
+  /// Master thread, after the implicit barrier: fold the scratch cells
+  /// into the stage/kind/thread aggregates.
+  void commit_region(RegionKind kind) {
+    const double wall = region_timer_.seconds();
+    UtilAgg delta;
+    delta.regions = 1;
+    delta.wall_s = wall;
+    int team = 0;
+    double max_busy = 0.0;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(kMaxThreads); ++i) {
+      if (scratch_used_[i] == 0) continue;
+      ++team;
+      const double busy = scratch_busy_[i];
+      delta.busy_s += busy;
+      delta.items += scratch_items_[i];
+      if (busy > max_busy) max_busy = busy;
+      per_thread_[i].busy_s += busy;
+      per_thread_[i].items += scratch_items_[i];
+      per_thread_[i].regions += 1;
+      if (static_cast<int>(i) + 1 > threads_seen_) {
+        threads_seen_ = static_cast<int>(i) + 1;
+      }
+    }
+    if (team == 0) return;  // region recorded nothing; skip
+    delta.max_busy_s = max_busy;
+    delta.mean_busy_s = delta.busy_s / team;
+    delta.threads_x_wall_s = static_cast<double>(team) * wall;
+    total_ += delta;
+    stages_[static_cast<std::size_t>(stage_)] += delta;
+    kinds_[static_cast<std::size_t>(kind)] += delta;
+  }
+
+  [[nodiscard]] UtilStats snapshot() const {
+    UtilStats s;
+    s.enabled = true;
+    s.threads = threads_seen_;
+    s.total = total_;
+    s.stages = stages_;
+    s.kinds = kinds_;
+    s.per_thread.assign(per_thread_.begin(),
+                        per_thread_.begin() + threads_seen_);
+    return s;
+  }
+
+  /// Cumulative per-thread busy seconds, for heartbeat busy-ratio deltas.
+  [[nodiscard]] std::vector<double> thread_busy() const {
+    std::vector<double> out(static_cast<std::size_t>(threads_seen_));
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = per_thread_[i].busy_s;
+    }
+    return out;
+  }
+
+  [[nodiscard]] static UtilCollector* active() {
+    return active_.load(std::memory_order_acquire);
+  }
+
+  /// Install a collector globally; returns the previous one so nested
+  /// runs can save/restore.
+  static UtilCollector* install(UtilCollector* c) {
+    return active_.exchange(c, std::memory_order_acq_rel);
+  }
+
+ private:
+  UtilStage stage_ = UtilStage::kOther;
+  int threads_seen_ = 1;
+  Timer region_timer_;
+  UtilAgg total_;
+  std::array<UtilAgg, kUtilStageCount> stages_{};
+  std::array<UtilAgg, kRegionKindCount> kinds_{};
+  std::array<UtilThread, kMaxThreads> per_thread_{};
+  std::array<double, kMaxThreads> scratch_busy_{};
+  std::array<std::uint64_t, kMaxThreads> scratch_items_{};
+  std::array<unsigned char, kMaxThreads> scratch_used_{};
+
+  inline static std::atomic<UtilCollector*> active_{nullptr};
+};
+
+/// RAII wrapper around one OpenMP parallel region. Construct on the
+/// master thread right before the region; call thread_done() from each
+/// worker as its last statement inside the region. Costs one atomic load
+/// and a branch per call when no collector is installed. Regions launched
+/// from inside another parallel region (e.g. msbfs_batch under the
+/// all-eccentricities driver) disable themselves: only the serial control
+/// path is instrumented.
+class RegionScope {
+ public:
+  explicit RegionScope(RegionKind kind)
+      : c_(UtilCollector::active()), kind_(kind) {
+    if (c_ != nullptr && in_parallel()) c_ = nullptr;
+    if (c_ != nullptr) c_->open_region();
+  }
+  RegionScope(const RegionScope&) = delete;
+  RegionScope& operator=(const RegionScope&) = delete;
+
+  /// Record the calling thread's busy span and work-item count.
+  void thread_done(std::uint64_t items = 0) const {
+    if (c_ != nullptr) {
+      c_->record_thread(thread_id(), c_->region_seconds(), items);
+    }
+  }
+
+  ~RegionScope() {
+    if (c_ != nullptr) c_->commit_region(kind_);
+  }
+
+ private:
+  UtilCollector* c_;
+  RegionKind kind_;
+};
 
 }  // namespace fdiam

@@ -1,0 +1,474 @@
+// Tests for the thread-time observability layer: the folded-stack profile
+// container (parse/merge/rank/SVG plus malformed-input negatives), the
+// parallel-region utilization collector as driven by a real solver run,
+// the sampling profiler's lifecycle (start/stop/restart, signal delivery
+// during OpenMP regions), and the JSON report round-trip through the
+// diagnose_profile_block / diagnose_utilization_block validators.
+//
+// Sampler tests are wall-clock dependent by nature: they spin a busy loop
+// until samples arrive with a generous timeout, and skip (not fail) when
+// the platform cannot start the profiler at all — CI sandboxes sometimes
+// filter timer signals.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+
+#include "core/fdiam.hpp"
+#include "gen/generators.hpp"
+#include "graph/stats.hpp"
+#include "obs/json.hpp"
+#include "obs/prof/folded.hpp"
+#include "obs/prof/prof_report.hpp"
+#include "obs/prof/sampler.hpp"
+#include "obs/report.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace fdiam {
+namespace {
+
+using obs::json_number;
+using obs::json_string;
+using obs::json_valid;
+using prof::FoldedProfile;
+using prof::Sampler;
+using prof::SamplerOptions;
+
+// --- FoldedProfile --------------------------------------------------------
+
+TEST(FoldedProfile, ParseMergeAndTotals) {
+  FoldedProfile p;
+  std::istringstream in(
+      "main;run;bfs 10\n"
+      "main;run;winnow 5\n"
+      "main;run;bfs 2\n");
+  p.parse(in);
+  EXPECT_EQ(p.size(), 2u);       // the two bfs lines merge
+  EXPECT_EQ(p.total(), 17u);
+
+  FoldedProfile q;
+  q.add("main;run;bfs", 3);
+  q.add("main;other", 1);
+  p.merge(q);
+  EXPECT_EQ(p.total(), 21u);
+  EXPECT_EQ(p.stacks().at("main;run;bfs"), 15u);
+}
+
+TEST(FoldedProfile, FrameTotalsSelfVsInclusive) {
+  FoldedProfile p;
+  p.add("a;b;c", 4);
+  p.add("a;b", 2);
+  p.add("a;d", 1);
+  const auto totals = p.frame_totals();
+  // Ranked by self count descending: c(4), b(2), d(1), a(0).
+  ASSERT_EQ(totals.size(), 4u);
+  EXPECT_EQ(totals[0].name, "c");
+  EXPECT_EQ(totals[0].self, 4u);
+  EXPECT_EQ(totals[0].total, 4u);
+  EXPECT_EQ(totals[1].name, "b");
+  EXPECT_EQ(totals[1].self, 2u);
+  EXPECT_EQ(totals[1].total, 6u);
+  // The root appears in every stack but is never a leaf.
+  const auto& a = totals[3];
+  EXPECT_EQ(a.name, "a");
+  EXPECT_EQ(a.self, 0u);
+  EXPECT_EQ(a.total, 7u);
+}
+
+TEST(FoldedProfile, RecursiveFramesCountOncePerStack) {
+  FoldedProfile p;
+  p.add("f;f;f", 5);  // direct recursion
+  const auto totals = p.frame_totals();
+  ASSERT_EQ(totals.size(), 1u);
+  EXPECT_EQ(totals[0].total, 5u);  // not 15
+  EXPECT_EQ(totals[0].self, 5u);
+}
+
+TEST(FoldedProfile, DemangledNamesWithSpacesSurviveRoundTrip) {
+  FoldedProfile p;
+  const std::string stack =
+      "main;fdiam::Bfs::run(std::vector<int, std::allocator<int> > const&)";
+  p.add(stack, 7);
+  std::ostringstream out;
+  p.write(out);
+  FoldedProfile back;
+  std::istringstream in(out.str());
+  back.parse(in);
+  EXPECT_EQ(back.stacks().at(stack), 7u);
+}
+
+TEST(FoldedProfile, ParseRejectsMalformedInput) {
+  for (const char* bad : {
+           "main;run banana\n",  // non-numeric count
+           "main;run\n",         // no count at all
+           " 12\n",              // empty stack
+           "main;run 12trailing\n",
+       }) {
+    FoldedProfile p;
+    std::istringstream in(bad);
+    EXPECT_THROW(p.parse(in), std::runtime_error) << bad;
+  }
+}
+
+TEST(FoldedProfile, ParseToleratesBlankLinesAndEmptyInput) {
+  FoldedProfile p;
+  std::istringstream in("\n\nmain 3\n\n");
+  p.parse(in);
+  EXPECT_EQ(p.total(), 3u);
+  FoldedProfile empty;
+  std::istringstream nothing("");
+  empty.parse(nothing);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(FoldedProfile, SvgIsWellFormedAndContainsFrames) {
+  FoldedProfile p;
+  p.add("main;solve;bfs", 30);
+  p.add("main;solve;winnow", 10);
+  p.add("main;io", 2);
+  std::ostringstream out;
+  p.write_svg(out, "test profile");
+  const std::string svg = out.str();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("test profile"), std::string::npos);
+  EXPECT_NE(svg.find("bfs"), std::string::npos);
+  EXPECT_NE(svg.find("winnow"), std::string::npos);
+}
+
+TEST(FoldedProfile, SvgEscapesMarkupInFrameNames) {
+  FoldedProfile p;
+  p.add("main;std::vector<Foo>::push_back", 3);
+  std::ostringstream out;
+  p.write_svg(out, "a<b & \"c\"");
+  const std::string svg = out.str();
+  // Raw angle brackets from the template argument must not survive.
+  EXPECT_EQ(svg.find("vector<Foo>"), std::string::npos);
+  EXPECT_NE(svg.find("vector&lt;Foo&gt;"), std::string::npos);
+}
+
+// --- UtilCollector / RegionScope ------------------------------------------
+
+TEST(Utilization, SolverRunPopulatesAllAggregates) {
+  const Csr g = make_grid(60, 60);
+  UtilCollector util;
+  FDiamOptions opt;
+  opt.utilization = &util;
+  const DiameterResult r = fdiam_diameter(g, opt);
+
+  const UtilStats& u = r.stats.util;
+  ASSERT_TRUE(u.enabled);
+  EXPECT_GE(u.threads, 1);
+  EXPECT_LE(u.threads, UtilCollector::kMaxThreads);
+  EXPECT_GT(u.total.regions, 0u);
+  EXPECT_GT(u.total.items, 0u);  // edges were attributed
+  EXPECT_GT(u.total.wall_s, 0.0);
+  EXPECT_GE(u.total.busy_s, 0.0);
+  EXPECT_GE(u.total.busy_ratio(), 0.0);
+  EXPECT_LE(u.total.busy_ratio(), 1.0 + 1e-9);
+  EXPECT_GE(u.total.imbalance(), 1.0);
+  ASSERT_EQ(u.per_thread.size(), static_cast<std::size_t>(u.threads));
+
+  // Stage attribution: a grid run must at least traverse in init (the
+  // 2-sweep) and ecc (the evaluation loop); stage sums must reconcile
+  // with the total.
+  EXPECT_GT(u.stages[static_cast<std::size_t>(UtilStage::kInit)].regions, 0u);
+  EXPECT_GT(u.stages[static_cast<std::size_t>(UtilStage::kEcc)].regions, 0u);
+  std::uint64_t stage_regions = 0;
+  double stage_busy = 0.0;
+  for (const UtilAgg& a : u.stages) {
+    stage_regions += a.regions;
+    stage_busy += a.busy_s;
+  }
+  EXPECT_EQ(stage_regions, u.total.regions);
+  EXPECT_NEAR(stage_busy, u.total.busy_s, 1e-9);
+  std::uint64_t kind_regions = 0;
+  for (const UtilAgg& a : u.kinds) kind_regions += a.regions;
+  EXPECT_EQ(kind_regions, u.total.regions);
+
+  // Per-thread totals reconcile with the aggregate too.
+  double thread_busy = 0.0;
+  std::uint64_t thread_items = 0;
+  for (const UtilThread& t : u.per_thread) {
+    thread_busy += t.busy_s;
+    thread_items += t.items;
+  }
+  EXPECT_NEAR(thread_busy, u.total.busy_s, 1e-9);
+  EXPECT_EQ(thread_items, u.total.items);
+}
+
+TEST(Utilization, DisabledRunLeavesStatsEmpty) {
+  const Csr g = make_grid(20, 20);
+  const DiameterResult r = fdiam_diameter(g, FDiamOptions{});
+  EXPECT_FALSE(r.stats.util.enabled);
+  EXPECT_EQ(r.stats.util.total.regions, 0u);
+}
+
+TEST(Utilization, CollectorResetsBetweenRuns) {
+  const Csr g = make_grid(30, 30);
+  UtilCollector util;
+  FDiamOptions opt;
+  opt.utilization = &util;
+  const DiameterResult r1 = fdiam_diameter(g, opt);
+  const DiameterResult r2 = fdiam_diameter(g, opt);
+  // Deterministic solver: the second run must report the same region
+  // count, not the sum of both runs.
+  EXPECT_EQ(r1.stats.util.total.regions, r2.stats.util.total.regions);
+  EXPECT_EQ(r1.stats.util.total.items, r2.stats.util.total.items);
+}
+
+TEST(Utilization, InstallIsRestoredAfterRun) {
+  ASSERT_EQ(UtilCollector::active(), nullptr);
+  const Csr g = make_grid(15, 15);
+  UtilCollector util;
+  FDiamOptions opt;
+  opt.utilization = &util;
+  (void)fdiam_diameter(g, opt);
+  EXPECT_EQ(UtilCollector::active(), nullptr);
+}
+
+TEST(Utilization, AggInvariantHelpers) {
+  UtilAgg a;
+  EXPECT_EQ(a.busy_ratio(), 0.0);
+  EXPECT_EQ(a.imbalance(), 0.0);  // nothing recorded
+  a.regions = 1;
+  a.wall_s = 1.0;
+  a.busy_s = 1.5;
+  a.max_busy_s = 1.0;
+  a.mean_busy_s = 0.75;
+  a.threads_x_wall_s = 2.0;
+  EXPECT_NEAR(a.busy_ratio(), 0.75, 1e-12);
+  EXPECT_NEAR(a.idle_fraction(), 0.25, 1e-12);
+  EXPECT_NEAR(a.barrier_wait_s(), 0.5, 1e-12);
+  EXPECT_NEAR(a.imbalance(), 1.0 / 0.75, 1e-12);
+}
+
+// --- Sampler ---------------------------------------------------------------
+
+/// Spin an OpenMP-parallel busy loop until the sampler has captured at
+/// least `want` samples or `timeout_s` elapsed. Returns samples seen.
+std::uint64_t spin_until_samples(std::uint64_t want, double timeout_s) {
+  Timer t;
+  volatile double sink = 0.0;
+  while (Sampler::instance().sample_count() < want &&
+         t.seconds() < timeout_s) {
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+    {
+      double local = 0.0;
+      for (int i = 0; i < 200000; ++i) {
+        local += static_cast<double>(i % 97) * 1e-9;
+      }
+#ifdef _OPENMP
+#pragma omp atomic
+#endif
+      sink = sink + local;
+    }
+  }
+  return Sampler::instance().sample_count();
+}
+
+TEST(SamplerTest, StartStopRestartLifecycle) {
+  Sampler& s = Sampler::instance();
+  ASSERT_FALSE(s.running());
+  SamplerOptions opt;
+  opt.rate_hz = 997.0;  // fast, so the busy loop below is short
+  if (!s.start(opt)) {
+    GTEST_SKIP() << "sampler unavailable: " << s.reason();
+  }
+  EXPECT_TRUE(s.running());
+  // Double-start must fail crisply without disturbing the running one.
+  EXPECT_FALSE(s.start(opt));
+  EXPECT_TRUE(s.running());
+
+  const std::uint64_t got = spin_until_samples(3, 10.0);
+  s.stop();
+  EXPECT_FALSE(s.running());
+  EXPECT_GE(got, 3u) << "no SIGPROF delivery within timeout";
+  const auto summary = s.summary();
+  EXPECT_TRUE(summary.available);
+  EXPECT_GE(summary.threads, 1);
+  EXPECT_EQ(summary.samples, s.sample_count());
+  EXPECT_GT(summary.duration_s, 0.0);
+
+  // Restart: a second session must reset the counters and capture fresh
+  // samples rather than appending to the first session's buffers.
+  ASSERT_TRUE(s.start(opt));
+  EXPECT_EQ(s.sample_count(), 0u);
+  (void)spin_until_samples(1, 10.0);
+  s.stop();
+  EXPECT_GE(s.sample_count(), 1u);
+  // Stop when already stopped is a no-op.
+  s.stop();
+  EXPECT_FALSE(s.running());
+}
+
+TEST(SamplerTest, FoldedStacksAreParseableAndNonTrivial) {
+  Sampler& s = Sampler::instance();
+  SamplerOptions opt;
+  opt.rate_hz = 997.0;
+  if (!s.start(opt)) {
+    GTEST_SKIP() << "sampler unavailable: " << s.reason();
+  }
+  const std::uint64_t got = spin_until_samples(5, 10.0);
+  s.stop();
+  if (got == 0) GTEST_SKIP() << "no samples captured";
+
+  const FoldedProfile p = s.folded();
+  ASSERT_FALSE(p.empty());
+  EXPECT_LE(p.total(), s.sample_count());  // truncated records may drop
+  // Round-trip through the text format.
+  std::ostringstream out;
+  p.write(out);
+  FoldedProfile back;
+  std::istringstream in(out.str());
+  back.parse(in);
+  EXPECT_EQ(back.total(), p.total());
+  // No stack may keep the sampler's own machinery as its leaf.
+  for (const auto& [stack, count] : p.stacks()) {
+    EXPECT_EQ(stack.find("profiler_signal_handler"), std::string::npos)
+        << stack;
+  }
+}
+
+TEST(SamplerTest, RejectsBadOptions) {
+  Sampler& s = Sampler::instance();
+  ASSERT_FALSE(s.running());
+  SamplerOptions opt;
+  opt.rate_hz = 0.0;
+  EXPECT_FALSE(s.start(opt));
+  EXPECT_FALSE(s.reason().empty());
+  opt.rate_hz = 100.0;
+  opt.ring_words = 8;  // below the documented floor
+  EXPECT_FALSE(s.start(opt));
+}
+
+// --- Report round-trip -----------------------------------------------------
+
+TEST(ProfReport, UtilizationBlockValidatesInRunReport) {
+  const Csr g = make_grid(40, 40);
+  const GraphStats stats = compute_stats(g);
+  UtilCollector util;
+  FDiamOptions opt;
+  opt.utilization = &util;
+  const DiameterResult r = fdiam_diameter(g, opt);
+
+  obs::RunReport report = obs::make_run_report("grid40", stats, opt, r);
+  std::ostringstream os;
+  report.write_json(os);
+  const std::string doc = os.str();
+
+  ASSERT_TRUE(json_valid(doc)) << doc;
+  EXPECT_EQ(json_string(doc, "utilization.schema"), "fdiam.utilization/v1");
+  EXPECT_EQ(obs::json_lookup(doc, "utilization.enabled"), "true");
+  EXPECT_GE(json_number(doc, "utilization.threads").value_or(0.0), 1.0);
+  EXPECT_GT(json_number(doc, "utilization.total.regions").value_or(0.0),
+            0.0);
+  // The semantic validator must accept its own writer's output.
+  EXPECT_EQ(obs::diagnose_utilization_block(doc), std::nullopt);
+  EXPECT_EQ(obs::diagnose_profile_block(doc), std::nullopt);  // absent: ok
+}
+
+TEST(ProfReport, DisabledUtilizationSerializesAsEnabledFalse) {
+  const Csr g = make_grid(10, 10);
+  const GraphStats stats = compute_stats(g);
+  FDiamOptions opt;
+  const DiameterResult r = fdiam_diameter(g, opt);
+  obs::RunReport report = obs::make_run_report("grid10", stats, opt, r);
+  std::ostringstream os;
+  report.write_json(os);
+  const std::string doc = os.str();
+  EXPECT_EQ(obs::json_lookup(doc, "utilization.enabled"), "false");
+  EXPECT_EQ(obs::diagnose_utilization_block(doc), std::nullopt);
+}
+
+TEST(ProfReport, ProfileBlockRoundTripsThroughValidator) {
+  prof::ProfileSummary s;
+  s.enabled = true;
+  s.available = true;
+  s.rate_hz = 197.0;
+  s.duration_s = 1.5;
+  s.threads = 2;
+  s.samples = 300;
+  s.dropped = 1;
+  s.top.push_back({"fdiam::BfsEngine::run", 120, 290});
+  s.top.push_back({"fdiam::FDiam::run", 10, 300});
+
+  const Csr g = make_grid(10, 10);
+  const GraphStats stats = compute_stats(g);
+  FDiamOptions opt;
+  const DiameterResult r = fdiam_diameter(g, opt);
+  obs::RunReport report = obs::make_run_report("grid10", stats, opt, r);
+  report.profile = &s;
+  std::ostringstream os;
+  report.write_json(os);
+  const std::string doc = os.str();
+
+  ASSERT_TRUE(json_valid(doc)) << doc;
+  EXPECT_EQ(json_string(doc, "profile.schema"), "fdiam.profile/v1");
+  EXPECT_EQ(json_number(doc, "profile.samples"), 300.0);
+  EXPECT_EQ(json_string(doc, "profile.top.0.frame"),
+            "fdiam::BfsEngine::run");
+  EXPECT_EQ(obs::diagnose_profile_block(doc), std::nullopt);
+}
+
+TEST(ProfReport, ValidatorsCatchCorruptedBlocks) {
+  // Hand-built minimal documents with one invariant broken each.
+  const std::string bad_schema =
+      R"({"profile": {"schema": "fdiam.profile/v0", "rate_hz": 1,)"
+      R"( "duration_s": 1, "threads": 1, "samples": 1, "dropped": 0,)"
+      R"( "top": []}})";
+  EXPECT_TRUE(obs::diagnose_profile_block(bad_schema).has_value());
+
+  const std::string self_over_total =
+      R"({"profile": {"schema": "fdiam.profile/v1", "rate_hz": 1,)"
+      R"( "duration_s": 1, "threads": 1, "samples": 10, "dropped": 0,)"
+      R"( "top": [{"frame": "f", "self": 5, "total": 3}]}})";
+  const auto diag = obs::diagnose_profile_block(self_over_total);
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_NE(diag->find("self exceeds total"), std::string::npos) << *diag;
+
+  const std::string bad_stage_tag =
+      R"({"utilization": {"schema": "fdiam.utilization/v1",)"
+      R"( "enabled": true, "threads": 1,)"
+      R"( "total": {"regions": 1, "items": 0, "wall_s": 1, "busy_s": 1,)"
+      R"( "barrier_wait_s": 0, "busy_ratio": 1, "idle_fraction": 0,)"
+      R"( "imbalance": 1},)"
+      R"( "stages": {"warp_drive": {"regions": 1, "items": 0, "wall_s": 1,)"
+      R"( "busy_s": 1, "barrier_wait_s": 0, "busy_ratio": 1,)"
+      R"( "idle_fraction": 0, "imbalance": 1}},)"
+      R"( "regions": {}, "per_thread": [{"regions": 1, "items": 0,)"
+      R"( "busy_s": 1}]}})";
+  const auto stage_diag = obs::diagnose_utilization_block(bad_stage_tag);
+  ASSERT_TRUE(stage_diag.has_value());
+  EXPECT_NE(stage_diag->find("warp_drive"), std::string::npos) << *stage_diag;
+
+  const std::string ratio_over_one =
+      R"({"utilization": {"schema": "fdiam.utilization/v1",)"
+      R"( "enabled": true, "threads": 1,)"
+      R"( "total": {"regions": 1, "items": 0, "wall_s": 1, "busy_s": 2,)"
+      R"( "barrier_wait_s": 0, "busy_ratio": 1.5, "idle_fraction": 0,)"
+      R"( "imbalance": 1},)"
+      R"( "stages": {}, "regions": {}, "per_thread": [{"regions": 1,)"
+      R"( "items": 0, "busy_s": 2}]}})";
+  EXPECT_TRUE(obs::diagnose_utilization_block(ratio_over_one).has_value());
+
+  const std::string thread_arity =
+      R"({"utilization": {"schema": "fdiam.utilization/v1",)"
+      R"( "enabled": true, "threads": 2,)"
+      R"( "total": {"regions": 1, "items": 0, "wall_s": 1, "busy_s": 1,)"
+      R"( "barrier_wait_s": 0, "busy_ratio": 1, "idle_fraction": 0,)"
+      R"( "imbalance": 1},)"
+      R"( "stages": {}, "regions": {}, "per_thread": [{"regions": 1,)"
+      R"( "items": 0, "busy_s": 1}]}})";
+  const auto arity_diag = obs::diagnose_utilization_block(thread_arity);
+  ASSERT_TRUE(arity_diag.has_value());
+  EXPECT_NE(arity_diag->find("per_thread"), std::string::npos) << *arity_diag;
+}
+
+}  // namespace
+}  // namespace fdiam

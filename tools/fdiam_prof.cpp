@@ -1,0 +1,134 @@
+// fdiam_prof: post-processor for the sampling profiler's folded-stack
+// output (docs/OBSERVABILITY.md, "Profiling and utilization").
+//
+// Merges one or more folded files (the format fdiam_cli --profile writes:
+// root-first ';'-joined frames, space, sample count — Brendan Gregg's
+// "folded" interchange format), prints a top-N self/total sample table,
+// and optionally renders a standalone SVG flame graph. No external
+// dependencies: the SVG is emitted by the library's own writer, so the
+// whole profile workflow works on a bare build machine.
+//
+//   ./fdiam_cli --input 2d-2e20.sym --profile --profile-out run.folded
+//   ./fdiam_prof run.folded                       # top table
+//   ./fdiam_prof --svg flame.svg run.folded       # + flame graph
+//   ./fdiam_prof --merge-out all.folded a.folded b.folded
+//
+// Exit status: 0 = ok, 1 = write failure, 2 = usage / unreadable or
+// malformed input.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/prof/folded.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using fdiam::Cli;
+using fdiam::Table;
+using fdiam::prof::FoldedProfile;
+
+int run_prof(int argc, char** argv) {
+  Cli cli;
+  cli.add_option("top", "rows in the self-time table (0 = hide)", "20");
+  cli.add_option("svg", "render a standalone SVG flame graph to this path");
+  cli.add_option("title", "flame graph title", "fdiam profile");
+  cli.add_option("merge-out",
+                 "write the merged folded profile to this path");
+  cli.add_flag("quiet", "suppress the summary line and table");
+
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage("fdiam_prof");
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage("fdiam_prof");
+    return 0;
+  }
+  if (cli.positional().empty()) {
+    std::cerr << "need at least one folded file (or '-' for stdin)\n"
+              << cli.usage("fdiam_prof");
+    return 2;
+  }
+
+  // Parse + merge. FoldedProfile::parse throws on malformed lines with a
+  // line-numbered message; surface it with the offending file name.
+  FoldedProfile profile;
+  for (const std::string& path : cli.positional()) {
+    try {
+      if (path == "-") {
+        profile.parse(std::cin);
+      } else {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+          std::cerr << "fdiam_prof: cannot open " << path << "\n";
+          return 2;
+        }
+        profile.parse(in);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "fdiam_prof: " << path << ": " << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (profile.empty()) {
+    std::cerr << "fdiam_prof: no samples in input\n";
+    return 2;
+  }
+
+  const bool quiet = cli.get_bool("quiet");
+  if (!quiet) {
+    std::cout << profile.total() << " samples across " << profile.size()
+              << " unique stack(s)\n";
+    const auto top = static_cast<int>(cli.get_int("top", 20));
+    if (top > 0) {
+      const double total = static_cast<double>(profile.total());
+      Table t({"frame", "self", "self %", "total", "total %"});
+      int rows = 0;
+      for (const auto& f : profile.frame_totals()) {
+        if (rows++ >= top) break;
+        t.add_row({f.name, Table::fmt_count(f.self),
+                   Table::fmt_percent(static_cast<double>(f.self) / total),
+                   Table::fmt_count(f.total),
+                   Table::fmt_percent(static_cast<double>(f.total) / total)});
+      }
+      t.print(std::cout);
+    }
+  }
+
+  if (cli.has("merge-out")) {
+    const std::string out_path = cli.get("merge-out");
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "fdiam_prof: cannot write " << out_path << "\n";
+      return 1;
+    }
+    profile.write(out);
+    if (!quiet) std::cout << "wrote merged profile to " << out_path << "\n";
+  }
+
+  if (cli.has("svg")) {
+    const std::string svg_path = cli.get("svg");
+    std::ofstream out(svg_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "fdiam_prof: cannot write " << svg_path << "\n";
+      return 1;
+    }
+    profile.write_svg(out, cli.get("title", "fdiam profile"));
+    if (!quiet) std::cout << "wrote flame graph to " << svg_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_prof(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "fdiam_prof: error: " << e.what() << "\n";
+    return 2;
+  }
+}
