@@ -22,11 +22,14 @@
 //  * the thread count each case ran with must match exactly (skipped for
 //    pre-threads reports) — a baseline recorded at 8 threads must never
 //    pass silently against a 1-thread candidate;
-//  * utilization.seconds_median and profile.seconds_median (reruns with
-//    the utilization collector / sampling profiler attached) follow the
-//    seconds_median policy; with --check-profile-overhead the
+//  * utilization.seconds_median, log.seconds_median, and
+//    profile.seconds_median (reruns with the utilization collector /
+//    info-level structured logger / sampling profiler attached) follow
+//    the seconds_median policy; with --check-profile-overhead the
 //    candidate's recorded profile.overhead must additionally stay within
-//    --profile-tol (default 5%), gated like the provenance overhead;
+//    --profile-tol (default 5%), and with --check-log-overhead the
+//    recorded log.overhead within --log-tol (default 2%), gated like the
+//    provenance overhead;
 //  * a metric null/absent on either side is skipped (counters degrade to
 //    null on machines without a PMU, pre-provenance reports lack the
 //    provenance block), so older reports still compare on their common
@@ -136,6 +139,11 @@ int main(int argc, char** argv) {
                "--profile-tol");
   cli.add_option("profile-tol",
                  "allowed sampling-profiler overhead (fraction)", "0.05");
+  cli.add_flag("check-log-overhead",
+               "gate the candidate's info-level structured-logging "
+               "overhead at --log-tol");
+  cli.add_option("log-tol",
+                 "allowed info-level logging overhead (fraction)", "0.02");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n"
               << cli.usage("bench_compare baseline.json candidate.json");
@@ -159,6 +167,8 @@ int main(int argc, char** argv) {
   const double prov_min_seconds = cli.get_double("prov-min-seconds", 0.05);
   const bool check_profile = cli.get_bool("check-profile-overhead");
   const double profile_tol = cli.get_double("profile-tol", 0.05);
+  const bool check_log = cli.get_bool("check-log-overhead");
+  const double log_tol = cli.get_double("log-tol", 0.02);
 
   const std::string base_path = cli.positional()[0];
   const std::string cand_path = cli.positional()[1];
@@ -247,6 +257,29 @@ int main(int argc, char** argv) {
       ++cmp.skipped;
     } else {
       cmp.check(*name, "util_seconds_median", bu, cu, time_tol);
+    }
+    const auto bl = b("log.seconds_median");
+    const auto cl = c("log.seconds_median");
+    if (bl && cl && std::max(*bl, *cl) < min_seconds) {
+      ++cmp.skipped;
+    } else {
+      cmp.check(*name, "log_seconds_median", bl, cl, time_tol);
+    }
+    if (check_log) {
+      // Absolute bound on the candidate, like --check-overhead: the
+      // info-level logging slowdown was measured in-process against the
+      // same-run unlogged median. Too-short cases are skipped.
+      const auto ov = c("log.overhead");
+      if (ov && ct && *ct >= prov_min_seconds) {
+        ++cmp.compared;
+        const bool ok = *ov <= log_tol;
+        if (!ok) ++cmp.regressions;
+        cmp.table.add_row(
+            {*name, "log_overhead", Table::fmt_percent(log_tol) + " max",
+             Table::fmt_percent(*ov), "-", ok ? "ok" : "REGRESS"});
+      } else {
+        ++cmp.skipped;
+      }
     }
     const auto bs = b("profile.seconds_median");
     const auto cs = c("profile.seconds_median");

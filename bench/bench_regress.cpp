@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -30,6 +31,8 @@
 #include "core/fdiam.hpp"
 #include "gen/generators.hpp"
 #include "obs/json.hpp"
+#include "obs/log/log.hpp"
+#include "obs/log/log_sink.hpp"
 #include "obs/prof/sampler.hpp"
 #include "obs/provenance.hpp"
 #include "obs/report.hpp"
@@ -65,6 +68,12 @@ struct CaseResult {
   /// accounting on). Recorded for the trajectory, not hard-gated.
   double util_seconds_median = 0.0;
   double util_overhead = 0.0;
+  /// Same case rerun with info-level structured logging attached (the
+  /// solver's event stream bridged onto the logger, records written to a
+  /// scratch file). bench_compare --check-log-overhead gates the
+  /// overhead, keeping "logging costs <= 2%" a checked number.
+  double log_seconds_median = 0.0;
+  double log_overhead = 0.0;
   /// Same case rerun with the sampling profiler attached at its default
   /// rate. bench_compare --check-profile-overhead gates the overhead.
   bool prof_available = false;
@@ -169,6 +178,49 @@ CaseResult run_case(const std::string& name, const Csr& g, int reps,
     }
   }
 
+  // Structured-logging rerun: info level, records to a scratch stream,
+  // the solver's event stream bridged through make_log_trace_sink. This
+  // prices the full production path — level check, field formatting, and
+  // the fwrite — not just the disabled-branch cost. Unlike the reruns
+  // above, the overhead is computed from interleaved base/logged runs
+  // as min(logged)/min(base) - 1: the sequential reruns drift with the
+  // machine (thermal/noisy-neighbor skew of tens of percent on shared
+  // 1-core VMs) and single runs jitter by several percent, so a 2% gate
+  // needs both interleaving (drift immunity) and the minimum (the
+  // classic low-noise timing estimator — scheduler interference only
+  // ever adds time, never subtracts it).
+  if (!out.timed_out) {
+    obs::Logger& logger = obs::Logger::instance();
+    std::FILE* scratch = std::tmpfile();  // nullptr → records go to stderr
+    const obs::LogLevel old_level = logger.level();
+    if (scratch != nullptr) logger.set_output(scratch);
+    logger.set_level(obs::LogLevel::kInfo);
+    FDiamOptions lopt = opt;
+    lopt.trace = obs::make_log_trace_sink();
+    std::vector<double> ltimes;
+    std::vector<double> btimes;
+    ltimes.reserve(static_cast<std::size_t>(reps));
+    btimes.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+      Timer tb;
+      const DiameterResult base = fdiam_diameter(g, opt);
+      btimes.push_back(tb.seconds());
+      Timer tl;
+      const DiameterResult res = fdiam_diameter(g, lopt);
+      ltimes.push_back(tl.seconds());
+      if (base.timed_out || res.timed_out) break;
+    }
+    logger.set_level(old_level);
+    logger.set_output(nullptr);
+    if (scratch != nullptr) std::fclose(scratch);
+    std::sort(ltimes.begin(), ltimes.end());
+    std::sort(btimes.begin(), btimes.end());
+    out.log_seconds_median = ltimes[ltimes.size() / 2];
+    if (btimes.front() > 0.0) {
+      out.log_overhead = ltimes.front() / btimes.front() - 1.0;
+    }
+  }
+
   // Sampler-attached rerun: starts/stops the profiler around each rep so
   // the measured slowdown includes timer arming and signal delivery, not
   // just the handler. On platforms without the profiler the fields stay
@@ -251,6 +303,11 @@ void write_report(std::ostream& os, const std::vector<CaseResult>& cases,
     w.key("utilization").begin_object();
     w.field("seconds_median", c.util_seconds_median);
     w.field("overhead", c.util_overhead);
+    w.end_object();
+
+    w.key("log").begin_object();
+    w.field("seconds_median", c.log_seconds_median);
+    w.field("overhead", c.log_overhead);
     w.end_object();
 
     // Nulls (not zeros) when the sampler could not run: bench_compare

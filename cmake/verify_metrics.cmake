@@ -1,0 +1,104 @@
+# verify-metrics ctest driver (run via `cmake -P`): exercises the
+# structured-logging + histogram-metrics surface end-to-end and validates
+# every produced artifact with the in-tree json_check tool — no python,
+# promtool, or other external utilities required. Variables passed by the
+# add_test() invocation:
+#   FDIAM_CLI   path to the fdiam_cli binary
+#   JSON_CHECK  path to the json_check binary
+#   WORK_DIR    scratch directory for the emitted files
+
+set(report "${WORK_DIR}/metrics_report.json")
+set(log "${WORK_DIR}/metrics_run.log")
+set(prom "${WORK_DIR}/metrics_run.prom")
+
+# One production-telemetry run: info-level JSON-lines logging to a file,
+# OpenMetrics exposition, JSON report with the fdiam.metrics/v1 block,
+# JSON heartbeats forced on so the log carries heartbeat records too.
+execute_process(
+  COMMAND "${FDIAM_CLI}" --input 2d-2e20.sym --scale 0.05
+          --log-level info --log-out "${log}"
+          --metrics-out "${prom}" --json-report "${report}"
+          --heartbeat 0.001 --heartbeat-format json --force-progress
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fdiam_cli metrics run failed (exit ${rc})")
+endif()
+
+# Report: structural JSON + every semantic block validator, including the
+# fdiam.metrics/v1 histograms block and the cross-block consistency pass
+# (histogram BFS counts vs bfs_calls). Log: every line parses as JSON.
+# Exposition: the OpenMetrics lint.
+execute_process(
+  COMMAND "${JSON_CHECK}" "${report}" --jsonl "${log}" --openmetrics "${prom}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "metrics artifacts failed validation (exit ${rc})")
+endif()
+
+# Cheap content smoke checks on top of structural validity.
+file(READ "${report}" report_text)
+foreach(needle "fdiam.metrics/v1" "fdiam.bfs.seconds[stage=" "\"p99\"")
+  string(FIND "${report_text}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "run report is missing ${needle}")
+  endif()
+endforeach()
+file(READ "${prom}" prom_text)
+foreach(needle "# TYPE fdiam_bfs_seconds histogram" "le=\"+Inf\"" "# EOF")
+  string(FIND "${prom_text}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "OpenMetrics exposition is missing ${needle}")
+  endif()
+endforeach()
+file(READ "${log}" log_text)
+string(FIND "${log_text}" "\"sub\":\"heartbeat\"" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "structured log is missing JSON heartbeat records")
+endif()
+
+# Negative cases: the lint must actually reject malformed expositions —
+# a linter that accepts everything would pass the positive check above.
+set(bad1 "${WORK_DIR}/metrics_bad1.prom")
+file(WRITE "${bad1}" "fdiam_x_total 1\n")  # no # EOF terminator
+set(bad2 "${WORK_DIR}/metrics_bad2.prom")
+file(WRITE "${bad2}" "# TYPE fdiam_h histogram
+fdiam_h_bucket{le=\"2.0\"} 5
+fdiam_h_bucket{le=\"1.0\"} 6
+fdiam_h_bucket{le=\"+Inf\"} 6
+fdiam_h_sum 3.0
+fdiam_h_count 6
+# EOF
+")  # le not ascending
+set(bad3 "${WORK_DIR}/metrics_bad3.prom")
+file(WRITE "${bad3}" "# TYPE fdiam_c counter
+fdiam_c_total 5
+fdiam_c_total 4
+# TYPE fdiam_c counter
+# EOF
+")  # duplicate TYPE for one family
+foreach(bad "${bad1}" "${bad2}" "${bad3}")
+  execute_process(
+    COMMAND "${JSON_CHECK}" --openmetrics "${bad}"
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "lint accepted malformed exposition ${bad}")
+  endif()
+endforeach()
+
+# Write-failure discipline: pointing --metrics-out (and the other output
+# artifacts) into a nonexistent directory must exit nonzero, not succeed
+# with a missing file.
+execute_process(
+  COMMAND "${FDIAM_CLI}" --input 2d-2e20.sym --scale 0.05
+          --metrics-out "${WORK_DIR}/no_such_dir/m.prom"
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "fdiam_cli exited 0 despite an unwritable --metrics-out")
+endif()
+execute_process(
+  COMMAND "${FDIAM_CLI}" --input 2d-2e20.sym --scale 0.05
+          --json-report "${WORK_DIR}/no_such_dir/r.json"
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "fdiam_cli exited 0 despite an unwritable --json-report")
+endif()

@@ -21,6 +21,12 @@
 //   --utilization          per-parallel-region utilization accounting
 //   --profile              attach the sampling profiler (implies above)
 //   --profile-out f        folded-stack output path (tools/fdiam_prof)
+//   --log-level L          structured JSON-lines logging threshold
+//   --log-out f            structured-log destination (default stderr)
+//   --metrics-out f        OpenMetrics text exposition of the registry
+//   --heartbeat-format F   heartbeat rendering: text | json
+//   --flight-recorder      crash flight recorder + fatal-signal dumps
+//   --crash-dump f         crash-dump file (implies --flight-recorder)
 //
 // Progress and heartbeat lines go to stderr and are suppressed when
 // stderr is not a TTY (piped runs stay machine-clean); --force-progress
@@ -39,6 +45,11 @@
 #include "graph/stats.hpp"
 #include "io/io.hpp"
 #include "obs/counters.hpp"
+#include "obs/log/flight.hpp"
+#include "obs/log/log.hpp"
+#include "obs/log/log_sink.hpp"
+#include "obs/metrics/metrics_report.hpp"
+#include "obs/metrics/openmetrics.hpp"
 #include "obs/prof/sampler.hpp"
 #include "obs/provenance.hpp"
 #include "obs/report.hpp"
@@ -126,6 +137,26 @@ int run_cli(int argc, char** argv) {
                  "print a progress heartbeat to stderr every N seconds "
                  "(0 = off; SIGUSR1 always dumps a snapshot)",
                  "0");
+  cli.add_option("heartbeat-format",
+                 "heartbeat rendering: text (classic stderr line) or json "
+                 "(one structured record through the logger)",
+                 "text");
+  cli.add_option("log-level",
+                 "structured JSON-lines log threshold: "
+                 "trace|debug|info|warn|error|off (default: FDIAM_LOG "
+                 "env, else off)");
+  cli.add_option("log-out",
+                 "structured-log destination file (default: FDIAM_LOG_OUT "
+                 "env, else stderr)");
+  cli.add_option("metrics-out",
+                 "write an OpenMetrics text exposition of the run's "
+                 "counters, gauges, and latency histograms");
+  cli.add_flag("flight-recorder",
+               "keep a crash flight recorder of recent telemetry events "
+               "and dump it from fatal-signal handlers");
+  cli.add_option("crash-dump",
+                 "also write fatal-signal flight-recorder dumps to this "
+                 "file (implies --flight-recorder)");
   cli.add_flag("utilization",
                "collect per-parallel-region utilization telemetry "
                "(busy/idle/imbalance tables; embedded in --json-report)");
@@ -165,6 +196,47 @@ int run_cli(int argc, char** argv) {
       std::cout << e.name << "  (" << e.type << "; " << e.analogue << ")\n";
     }
     return 0;
+  }
+
+  // Structured logging: flags override the FDIAM_LOG / FDIAM_LOG_OUT
+  // environment (which already configured instance() on first use).
+  obs::Logger& logger = obs::Logger::instance();
+  if (cli.has("log-level")) {
+    const auto lvl = obs::log_level_from_name(cli.get("log-level"));
+    if (!lvl) {
+      std::cerr << "unknown --log-level '" << cli.get("log-level")
+                << "' (expected trace|debug|info|warn|error|off)\n";
+      return 1;
+    }
+    logger.set_level(*lvl);
+  }
+  if (cli.has("log-out") && !logger.open_output(cli.get("log-out"))) {
+    std::cerr << "fdiam_cli: cannot open --log-out " << cli.get("log-out")
+              << "\n";
+    return 1;
+  }
+  const std::string hb_format = cli.get("heartbeat-format", "text");
+  if (hb_format != "text" && hb_format != "json") {
+    std::cerr << "unknown --heartbeat-format '" << hb_format
+              << "' (expected text|json)\n";
+    return 1;
+  }
+
+  // Crash flight recorder: ring + fatal-signal dump handlers. The ring
+  // is fed by the logger mirror, the heartbeat, and the trace sink below;
+  // on SIGSEGV/SIGBUS/SIGABRT the handlers dump it with the current
+  // stage and diameter bounds, then re-raise.
+  const bool want_flight =
+      cli.get_bool("flight-recorder") || cli.has("crash-dump");
+  obs::FlightRecorder flight;
+  if (want_flight) {
+    obs::FlightRecorder::install(&flight);
+    const std::string dump_path =
+        cli.has("crash-dump") ? cli.get("crash-dump") : std::string();
+    if (!obs::FlightRecorder::install_crash_handlers(dump_path)) {
+      std::cerr << "fdiam_cli: cannot open --crash-dump " << dump_path
+                << " (crash dumps will go to stderr only)\n";
+    }
   }
 
   const auto reorder_mode = parse_reorder_mode(cli.get("reorder", "none"));
@@ -266,6 +338,13 @@ int run_cli(int argc, char** argv) {
   const bool force_progress = cli.get_bool("force-progress");
   obs::ProgressHeartbeat heartbeat(cli.get_double("heartbeat", 0.0),
                                    force_progress);
+  if (hb_format == "json") {
+    heartbeat.set_format(obs::HeartbeatFormat::kJson);
+    // A JSON beat is a logger record; an off logger would swallow it.
+    if (logger.level() == obs::LogLevel::kOff) {
+      logger.set_level(obs::LogLevel::kInfo);
+    }
+  }
   obs::ProgressHeartbeat::install_signal_handler();
   opt.heartbeat = &heartbeat;
 
@@ -277,6 +356,12 @@ int run_cli(int argc, char** argv) {
     sinks.push_back(make_progress_printer());
   }
   if (want_trace) sinks.push_back(session.fdiam_sink());
+  // Structured-log + flight-recorder bridge: milestones as info records,
+  // per-vertex events as debug. Installed whenever either consumer is
+  // live — the sink feeds the crash ring even when the logger is off.
+  if (logger.level() != obs::LogLevel::kOff || want_flight) {
+    sinks.push_back(obs::make_log_trace_sink());
+  }
   // Utilization counter track: at every stage-closing event, snapshot the
   // collector and record cumulative busy-ratio/idle-fraction counters so
   // Perfetto shows parallel efficiency evolving alongside the stage spans.
@@ -313,6 +398,17 @@ int run_cli(int argc, char** argv) {
   // for; otherwise a report run folds the direction decisions into the
   // metric registry so they land in the report's "metrics" block.
   obs::MetricRegistry& registry = obs::metrics();
+
+  // Latency/size histograms (fdiam.metrics/v1): recorded whenever a
+  // consumer exists — the OpenMetrics exposition or the JSON report's
+  // "histograms" block.
+  const bool want_metrics = cli.has("metrics-out");
+  std::optional<obs::SolveHistograms> solve_hist;
+  if (want_report || want_metrics) {
+    solve_hist.emplace(registry);
+    opt.histograms = &*solve_hist;
+  }
+
   if (want_trace && cli.get_bool("trace-levels")) {
     opt.level_profile = session.bfs_level_sink();
   } else if (want_report) {
@@ -517,6 +613,11 @@ int run_cli(int argc, char** argv) {
         return 1;
       }
       sampler.folded().write(pout);
+      pout.flush();
+      if (!pout.good()) {
+        std::cerr << "cannot write folded profile to " << ppath << "\n";
+        return 1;
+      }
       human << "wrote folded profile to " << ppath
             << " (render with tools/fdiam_prof --svg out.svg " << ppath
             << ")\n";
@@ -533,9 +634,28 @@ int run_cli(int argc, char** argv) {
           << " (verify with tools/fdiam_audit)\n";
   }
 
+  // Output-artifact write discipline: every file write is flushed and
+  // checked, so an ENOSPC/EIO that only surfaces at flush time (or a
+  // path that never opened) fails the run with an error log record
+  // instead of leaving a silently truncated artifact behind.
+  const auto write_error = [](std::string_view what, const std::string& path,
+                              std::string_view detail) {
+    obs::Logger::instance().log(
+        obs::LogLevel::kError, "cli", "output write failed",
+        {{"artifact", what}, {"path", path}, {"detail", detail}});
+    std::cerr << "fdiam_cli: cannot write " << what << " to " << path << " ("
+              << detail << ")\n";
+    return 1;
+  };
+  const auto finish_write = [](std::ofstream& out) {
+    out.flush();
+    return out.good();
+  };
+
   if (want_report) {
     obs::RunReport report = obs::make_run_report(graph_name, s, opt, r);
     report.metrics = registry.snapshot();
+    report.histograms = registry.snapshot_histograms();
     if (want_prov) report.provenance = &collector.log();
     if (want_profile) report.profile = &profile_summary;
     const std::string path = cli.get("json-report");
@@ -543,24 +663,39 @@ int run_cli(int argc, char** argv) {
       report.write_json(std::cout);
     } else {
       std::ofstream out(path, std::ios::trunc);
-      if (!out) {
-        std::cerr << "cannot write JSON report to " << path << "\n";
-        return 1;
-      }
+      if (!out) return write_error("JSON report", path, "open failed");
       report.write_json(out);
+      if (!finish_write(out)) {
+        return write_error("JSON report", path, "write failed");
+      }
       human << "wrote run report to " << path << "\n";
     }
+  }
+  if (want_metrics) {
+    const std::string path = cli.get("metrics-out");
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return write_error("OpenMetrics exposition", path, "open failed");
+    obs::write_openmetrics(out, registry);
+    if (!finish_write(out)) {
+      return write_error("OpenMetrics exposition", path, "write failed");
+    }
+    human << "wrote OpenMetrics exposition to " << path << "\n";
   }
   if (want_trace) {
     const std::string path = cli.get("trace-out");
     std::ofstream out(path, std::ios::trunc);
-    if (!out) {
-      std::cerr << "cannot write trace to " << path << "\n";
-      return 1;
-    }
+    if (!out) return write_error("trace", path, "open failed");
     session.write(out);
+    if (!finish_write(out)) return write_error("trace", path, "write failed");
     human << "wrote " << session.size() << " trace events to " << path
           << " (open in https://ui.perfetto.dev)\n";
+  }
+  // The structured log is an output artifact too: a failed write to
+  // --log-out must not exit 0.
+  logger.flush();
+  if (!logger.ok()) {
+    std::cerr << "fdiam_cli: error writing structured log\n";
+    return 1;
   }
   return 0;
 }

@@ -1,69 +1,152 @@
 // json_check: validate that each argument file (or stdin, with "-") is a
 // single well-formed JSON document, using the library's dependency-free
-// validator. Exit status 0 iff every input validates. The verify-telemetry
-// and verify-audit ctests use this to check fdiam_cli's --json-report and
-// --trace-out outputs without requiring python or an external JSON tool.
+// validator. Exit status 0 iff every input validates. The verify-telemetry,
+// verify-audit, and verify-metrics ctests use this to check fdiam_cli's
+// --json-report / --trace-out / --metrics-out / --log-out outputs without
+// requiring python or an external JSON tool.
 //
 // Documents carrying a run report's "provenance" block additionally get a
 // semantic pass (schema tag, closed stage-tag set, monotone contiguous
 // bound timeline, non-increasing alive counts) with a named diagnostic
 // like "provenance.bound_timeline.2: bound not increasing". The same
-// treatment applies to the "profile" (sampling profiler) and
-// "utilization" (parallel-region accounting) blocks.
+// treatment applies to the "profile" (sampling profiler), "utilization"
+// (parallel-region accounting), and "histograms" (fdiam.metrics/v1)
+// blocks — plus cross-block consistency: the per-stage BFS histogram
+// counts must sum to stages.counts.bfs_calls, and the utilization busy
+// totals must fit inside wall time x threads.
+//
+// Two extra modes switch the validation grammar for the remaining files:
+//   --jsonl        every non-empty LINE must be a JSON document
+//                  (structured-log streams from --log-out)
+//   --openmetrics  OpenMetrics text exposition lint (--metrics-out files)
 //
 //   ./json_check report.json trace.json
+//   ./json_check --jsonl run.log --openmetrics m.prom
 //   ./fdiam_cli --input grid --json-report - | ./json_check -
 
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "obs/json.hpp"
+#include "obs/metrics/metrics_report.hpp"
+#include "obs/metrics/openmetrics.hpp"
 #include "obs/prof/prof_report.hpp"
 #include "obs/provenance.hpp"
 
+namespace {
+
+enum class Mode { kJson, kJsonLines, kOpenMetrics };
+
+/// Whole-document JSON + every semantic block validator we have.
+bool check_json(const std::string& path, const std::string& text) {
+  if (const auto diag = fdiam::obs::json_diagnose(text)) {
+    std::cerr << path << ": INVALID JSON: " << *diag << "\n";
+    return false;
+  }
+  // Structurally valid; each block validator returns nullopt when its
+  // block is valid or absent (every block is opt-in).
+  if (const auto prov = fdiam::obs::diagnose_provenance_block(text)) {
+    std::cerr << path << ": INVALID PROVENANCE: " << *prov << "\n";
+    return false;
+  }
+  if (const auto prof = fdiam::obs::diagnose_profile_block(text)) {
+    std::cerr << path << ": INVALID PROFILE: " << *prof << "\n";
+    return false;
+  }
+  if (const auto util = fdiam::obs::diagnose_utilization_block(text)) {
+    std::cerr << path << ": INVALID UTILIZATION: " << *util << "\n";
+    return false;
+  }
+  if (const auto hist = fdiam::obs::diagnose_metrics_block(text)) {
+    std::cerr << path << ": INVALID HISTOGRAMS: " << *hist << "\n";
+    return false;
+  }
+  if (const auto cross = fdiam::obs::diagnose_report_consistency(text)) {
+    std::cerr << path << ": INCONSISTENT REPORT: " << *cross << "\n";
+    return false;
+  }
+  std::cout << path << ": valid JSON (" << text.size() << " bytes)\n";
+  return true;
+}
+
+/// JSON-lines: every non-empty line is its own document (log streams).
+bool check_jsonl(const std::string& path, const std::string& text) {
+  std::size_t line_no = 0;
+  std::size_t records = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line(
+        text.data() + pos,
+        (eol == std::string::npos ? text.size() : eol) - pos);
+    ++line_no;
+    pos = (eol == std::string::npos) ? text.size() + 1 : eol + 1;
+    if (line.empty()) continue;
+    if (const auto diag = fdiam::obs::json_diagnose(std::string(line))) {
+      std::cerr << path << ": INVALID JSONL: line " << line_no << ": "
+                << *diag << "\n";
+      return false;
+    }
+    ++records;
+  }
+  std::cout << path << ": valid JSON lines (" << records << " records)\n";
+  return true;
+}
+
+bool check_openmetrics(const std::string& path, const std::string& text) {
+  if (const auto diag = fdiam::obs::openmetrics_lint(text)) {
+    std::cerr << path << ": INVALID OPENMETRICS: " << *diag << "\n";
+    return false;
+  }
+  std::cout << path << ": valid OpenMetrics (" << text.size() << " bytes)\n";
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: json_check <file|-> [more files...]\n";
+    std::cerr << "usage: json_check [--jsonl|--openmetrics|--json] "
+                 "<file|-> [more files/modes...]\n";
     return 2;
   }
+  Mode mode = Mode::kJson;
   int failures = 0;
+  int checked = 0;
   for (int i = 1; i < argc; ++i) {
-    const std::string path = argv[i];
+    const std::string arg = argv[i];
+    if (arg == "--json") { mode = Mode::kJson; continue; }
+    if (arg == "--jsonl") { mode = Mode::kJsonLines; continue; }
+    if (arg == "--openmetrics") { mode = Mode::kOpenMetrics; continue; }
     std::ostringstream buf;
-    if (path == "-") {
+    if (arg == "-") {
       buf << std::cin.rdbuf();
     } else {
-      std::ifstream in(path, std::ios::binary);
+      std::ifstream in(arg, std::ios::binary);
       if (!in) {
-        std::cerr << path << ": cannot open\n";
+        std::cerr << arg << ": cannot open\n";
         ++failures;
+        ++checked;
         continue;
       }
       buf << in.rdbuf();
     }
     const std::string text = buf.str();
-    if (const auto diag = fdiam::obs::json_diagnose(text)) {
-      std::cerr << path << ": INVALID JSON: " << *diag << "\n";
-      ++failures;
-    } else if (const auto prov =
-                   fdiam::obs::diagnose_provenance_block(text)) {
-      // Structurally valid, but the provenance block (when present)
-      // violates its schema — nullopt means valid or absent.
-      std::cerr << path << ": INVALID PROVENANCE: " << *prov << "\n";
-      ++failures;
-    } else if (const auto prof =
-                   fdiam::obs::diagnose_profile_block(text)) {
-      std::cerr << path << ": INVALID PROFILE: " << *prof << "\n";
-      ++failures;
-    } else if (const auto util =
-                   fdiam::obs::diagnose_utilization_block(text)) {
-      std::cerr << path << ": INVALID UTILIZATION: " << *util << "\n";
-      ++failures;
-    } else {
-      std::cout << path << ": valid JSON (" << text.size() << " bytes)\n";
+    bool ok = false;
+    switch (mode) {
+      case Mode::kJson: ok = check_json(arg, text); break;
+      case Mode::kJsonLines: ok = check_jsonl(arg, text); break;
+      case Mode::kOpenMetrics: ok = check_openmetrics(arg, text); break;
     }
+    if (!ok) ++failures;
+    ++checked;
+  }
+  if (checked == 0) {
+    std::cerr << "json_check: no input files\n";
+    return 2;
   }
   return failures == 0 ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 #include "bfs/frontier.hpp"
 #include "bfs/visited.hpp"
 #include "graph/csr.hpp"
+#include "util/histogram.hpp"
 #include "util/types.hpp"
 
 namespace fdiam {
@@ -96,6 +97,12 @@ class BfsEngine {
   /// Install (or clear, with an empty function) the per-level profiler.
   void set_level_hook(BfsLevelHook hook) { level_hook_ = std::move(hook); }
 
+  /// Install (or clear, with nullptr) a frontier-size distribution sink:
+  /// every expanded level records its frontier size. Histogram::record is
+  /// lock-free, so the candidate-batch per-thread engines may share one
+  /// histogram. Not owned; one relaxed branch per level when unset.
+  void set_frontier_histogram(Histogram* h) { frontier_hist_ = h; }
+
   [[nodiscard]] const BfsConfig& config() const { return config_; }
   [[nodiscard]] const Csr& graph() const { return g_; }
 
@@ -125,6 +132,7 @@ class BfsEngine {
   std::size_t threshold_count_ = 0;
   BfsStats stats_;
   BfsLevelHook level_hook_;
+  Histogram* frontier_hist_ = nullptr;
 };
 
 /// Self-contained serial BFS filling a caller-provided distance vector

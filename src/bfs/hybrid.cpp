@@ -98,6 +98,9 @@ dist_t BfsEngine::run(vid_t source, std::vector<dist_t>* dist) {
                                   stats_.edges_examined - edges_before,
                                   step_timer.millis() * 1e3});
     }
+    if (frontier_hist_ != nullptr) {
+      frontier_hist_->record(static_cast<double>(cur_count));
+    }
     if (next_count == 0) {
       // cur_ still holds the deepest level; materialize it as a queue so
       // last_frontier() keeps its contract when the BFS ended bottom-up.

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "core/two_sweep.hpp"
+#include "obs/log/flight.hpp"
+#include "obs/metrics/metrics_report.hpp"
 #include "obs/perf/perf_session.hpp"
 #include "obs/provenance.hpp"
 #include "util/rng.hpp"
@@ -28,6 +30,9 @@ FDiam::FDiam(const Csr& g, FDiamOptions opt)
       aux_next_(g.num_vertices()),
       elim_visited_(g.num_vertices()) {
   if (opt_.level_profile) engine_.set_level_hook(opt_.level_profile);
+  if (opt_.histograms != nullptr) {
+    engine_.set_frontier_histogram(&opt_.histograms->frontier);
+  }
 }
 
 FDiam::~FDiam() = default;
@@ -122,8 +127,17 @@ DiameterResult FDiam::run() {
       if (installed != nullptr) UtilCollector::install(previous);
     }
   } util_guard(util);
+
+  // Distribution telemetry and crash context: both are single pointer
+  // tests per record site, never on the per-edge hot path. The flight
+  // recorder's stage/bounds are what a post-crash dump reports, so they
+  // are updated by the solver itself rather than the (optional) trace
+  // sink.
+  obs::SolveHistograms* const hist = opt_.histograms;
+  obs::FlightRecorder* const flight = obs::FlightRecorder::active();
   const auto set_stage = [&](UtilStage s) {
     if (util != nullptr) util->set_stage(s);
+    if (flight != nullptr) flight->set_stage(s);
   };
 
   // Heartbeat bookkeeping: the alive count at the first beat anchors the
@@ -243,7 +257,16 @@ DiameterResult FDiam::run() {
       u = sweep.center;
       sweep_ecc = sweep.lower_bound;
       sweep_witness = sweep.witness;
-      stats_.time_init += t.seconds();
+      const double sweep_seconds = t.seconds();
+      stats_.time_init += sweep_seconds;
+      if (hist != nullptr) {
+        // four_sweep runs 4 BFS internally; attribute each an equal
+        // share so the per-BFS sample count matches ecc_computations
+        // (the cross-block invariant json_check enforces).
+        for (int s = 0; s < 4; ++s) {
+          hist->bfs_init.record(sweep_seconds / 4.0);
+        }
+      }
       break;
     }
     case StartPolicy::kMaxDegree:
@@ -258,8 +281,10 @@ DiameterResult FDiam::run() {
   vid_t bound_witness = u;  // attains the pre-cap maximum lower bound
   {
     Timer t;
+    Timer t_call;
     const dist_t ecc_u = engine_.eccentricity(u);
     ++stats_.ecc_computations;
+    if (hist != nullptr) hist->bfs_init.record(t_call.seconds());
     bound = ecc_u;
 
     // The farthest vertex from u sits on the periphery; its eccentricity
@@ -267,8 +292,10 @@ DiameterResult FDiam::run() {
     const vid_t w = engine_.last_frontier()[0];
     dist_t ecc_w = -1;
     if (w != u) {
+      t_call.reset();
       ecc_w = engine_.eccentricity(w);
       ++stats_.ecc_computations;
+      if (hist != nullptr) hist->bfs_init.record(t_call.seconds());
       bound = std::max(bound, ecc_w);
     }
     bound = std::max(bound, sweep_ecc);  // -1 when not kFourSweepCenter
@@ -315,6 +342,7 @@ DiameterResult FDiam::run() {
     stats_.time_init += t.seconds();
   }
   stats_.hw_init = obs::HwCounters::delta(hw_snapshot(), hw_before_init);
+  if (flight != nullptr) flight->set_bounds(bound);
   emit(FDiamEvent::Kind::kInitialBound, bound, u, stats_.time_init,
        perf_ ? &stats_.hw_init : nullptr);
   if (prov) {
@@ -355,6 +383,7 @@ DiameterResult FDiam::run() {
     stats_.hw_chain += hw_d;
     const double chain_seconds = t.seconds();
     stats_.time_chain += chain_seconds;
+    if (hist != nullptr) hist->stage_chain.record(chain_seconds);
     dist_t chain_removed = 0;
     for (const Stage tag : stage_tag_) {
       chain_removed += tag == Stage::kChain ? 1 : 0;
@@ -420,6 +449,9 @@ DiameterResult FDiam::run() {
           BfsEngine local(g_, BfsConfig{false, opt_.direction_optimizing,
                                         opt_.bottomup_threshold});
           if (opt_.level_profile) local.set_level_hook(opt_.level_profile);
+          if (hist != nullptr) {
+            local.set_frontier_histogram(&hist->frontier);  // lock-free
+          }
 #pragma omp for schedule(dynamic, 1) nowait
           for (std::int64_t i = 0;
                i < static_cast<std::int64_t>(batch.size()); ++i) {
@@ -433,7 +465,19 @@ DiameterResult FDiam::run() {
       }
       stats_.ecc_computations += batch.size();
       stats_.hw_ecc += obs::HwCounters::delta(hw_snapshot(), hw_batch0);
-      stats_.time_ecc += t_ecc.seconds();
+      const double batch_seconds = t_ecc.seconds();
+      stats_.time_ecc += batch_seconds;
+      if (hist != nullptr) {
+        // Only the batch is timed (the traversals overlap); attribute
+        // each member an equal share so per-BFS counts stay exact, and
+        // record the batch itself as one batched-traversal sample.
+        const double share =
+            batch_seconds / static_cast<double>(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          hist->bfs_ecc.record(share);
+        }
+        hist->msbfs_batch.record(batch_seconds);
+      }
       if (prov) {
         prov->set_round(static_cast<std::uint32_t>(stats_.ecc_computations));
       }
@@ -454,6 +498,11 @@ DiameterResult FDiam::run() {
           const dist_t old = bound;
           bound = ecc;
           result.witness = v;
+          if (flight != nullptr) {
+            flight->set_bounds(bound);
+            flight->record(obs::FlightRecorder::EventKind::kBound,
+                           obs::LogLevel::kInfo, "bound raised", old, bound);
+          }
           emit(FDiamEvent::Kind::kBoundRaised, bound, v, 0.0, nullptr, old);
           if (opt_.use_winnow) {
             set_stage(UtilStage::kWinnow);
@@ -463,9 +512,17 @@ DiameterResult FDiam::run() {
           }
           if (opt_.use_eliminate) {
             set_stage(UtilStage::kEliminate);
+            Timer t_ext;
             const obs::HwCounters hw0 = hw_snapshot();
             extend_eliminated(old, bound);
             stats_.hw_eliminate += obs::HwCounters::delta(hw_snapshot(), hw0);
+            if (hist != nullptr) {
+              // Histogram-only: the batch path deliberately leaves the
+              // time_* stage accounting to the batch timer.
+              const double ext_seconds = t_ext.seconds();
+              hist->stage_extend.record(ext_seconds);
+              hist->msbfs_batch.record(ext_seconds);
+            }
           }
           if (prov) {
             // Appended after the extensions so the alive count reflects the
@@ -476,9 +533,13 @@ DiameterResult FDiam::run() {
           }
         } else if (opt_.use_eliminate) {
           set_stage(UtilStage::kEliminate);
+          Timer t_elim;
           const obs::HwCounters hw0 = hw_snapshot();
           eliminate(v, ecc, bound, Stage::kEliminate);
           stats_.hw_eliminate += obs::HwCounters::delta(hw_snapshot(), hw0);
+          if (hist != nullptr) {
+            hist->stage_eliminate.record(t_elim.seconds());
+          }
         }
       }
     }
@@ -489,6 +550,9 @@ DiameterResult FDiam::run() {
     result.bfs += batch_bfs;
     finalize_hw(result);
     finish_provenance(result);
+    if (flight != nullptr && !result.timed_out) {
+      flight->set_bounds(bound, bound);  // proven exact at termination
+    }
     emit(FDiamEvent::Kind::kDone, bound, 0, stats_.time_total,
          perf_ ? &result.hardware : nullptr);
     return result;
@@ -513,6 +577,7 @@ DiameterResult FDiam::run() {
     stats_.hw_ecc += hw_ecc_d;
     const double ecc_seconds = t_ecc.seconds();
     stats_.time_ecc += ecc_seconds;
+    if (hist != nullptr) hist->bfs_ecc.record(ecc_seconds);
     mark_removed(v, ecc, Stage::kEvaluated);
     if (prov) {
       prov->set_round(static_cast<std::uint32_t>(stats_.ecc_computations));
@@ -528,6 +593,11 @@ DiameterResult FDiam::run() {
       const dist_t old = bound;
       bound = ecc;
       result.witness = v;
+      if (flight != nullptr) {
+        flight->set_bounds(bound);
+        flight->record(obs::FlightRecorder::EventKind::kBound,
+                       obs::LogLevel::kInfo, "bound raised", old, bound);
+      }
       emit(FDiamEvent::Kind::kBoundRaised, bound, v, 0.0, nullptr, old);
       if (opt_.use_winnow) {
         set_stage(UtilStage::kWinnow);
@@ -546,6 +616,10 @@ DiameterResult FDiam::run() {
         stats_.hw_eliminate += hw_d;
         const double ext_seconds = t.seconds();
         stats_.time_eliminate += ext_seconds;
+        if (hist != nullptr) {
+          hist->stage_extend.record(ext_seconds);
+          hist->msbfs_batch.record(ext_seconds);
+        }
         emit(FDiamEvent::Kind::kExtendRegions, bound, 0, ext_seconds,
              perf_ ? &hw_d : nullptr);
       }
@@ -567,6 +641,7 @@ DiameterResult FDiam::run() {
       stats_.hw_eliminate += hw_d;
       const double elim_seconds = t.seconds();
       stats_.time_eliminate += elim_seconds;
+      if (hist != nullptr) hist->stage_eliminate.record(elim_seconds);
       if (ecc < bound) {
         emit(FDiamEvent::Kind::kEliminate, bound - ecc, v, elim_seconds,
              perf_ ? &hw_d : nullptr);
@@ -580,6 +655,9 @@ DiameterResult FDiam::run() {
   result.bfs = engine_.stats();
   finalize_hw(result);
   finish_provenance(result);
+  if (flight != nullptr && !result.timed_out) {
+    flight->set_bounds(bound, bound);  // proven exact at termination
+  }
   emit(FDiamEvent::Kind::kDone, bound, 0, stats_.time_total,
        perf_ ? &result.hardware : nullptr);
   return result;

@@ -40,6 +40,7 @@ namespace obs {
 class PerfSession;           // owned by FDiam when hw_counters is on
 class ProvenanceCollector;   // caller-owned, see FDiamOptions::provenance
 class ProgressHeartbeat;     // caller-owned, see FDiamOptions::heartbeat
+struct SolveHistograms;      // caller-owned, see FDiamOptions::histograms
 }
 
 /// Progress events emitted by FDiam when a trace sink is installed —
@@ -158,6 +159,15 @@ struct FDiamOptions {
   /// and restoring any previous collector). Near-zero cost when null:
   /// each instrumented region pays one pointer load and branch.
   UtilCollector* utilization = nullptr;
+
+  /// Opt-in latency/size distribution telemetry
+  /// (obs/metrics/metrics_report.hpp): per-BFS-call and per-batch
+  /// latencies, per-stage episode durations, and per-level frontier
+  /// sizes recorded into registry-backed histograms for the
+  /// fdiam.metrics/v1 report block and the OpenMetrics exposition.
+  /// Caller-owned; near-zero cost when null (one pointer test per
+  /// record site, all outside the per-edge hot path).
+  obs::SolveHistograms* histograms = nullptr;
 
   /// Optional per-decision progress sink (see FDiamEvent).
   FDiamTrace trace;

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "core/fdiam.hpp"
+#include "obs/metrics/metrics_report.hpp"
 #include "obs/provenance.hpp"
 
 namespace fdiam {
@@ -105,8 +106,15 @@ void FDiam::winnow_extend(dist_t bound) {
   }
   (void)removed;  // attribution is tallied from stage_tag_ in finalize_stats
   const obs::HwCounters hw_d = obs::HwCounters::delta(hw_snapshot(), hw_before);
+  const double winnow_seconds = winnow_timer.seconds();
+  if (opt_.histograms != nullptr) {
+    // One sample per winnow_calls increment: the early returns above skip
+    // both, so this histogram's count equals stats_.winnow_calls exactly
+    // (json_check cross-checks Σ fdiam.bfs.seconds counts == bfs_calls).
+    opt_.histograms->bfs_winnow.record(winnow_seconds);
+  }
   emit(FDiamEvent::Kind::kWinnow, target_radius, winnow_center_,
-       winnow_timer.seconds(), perf_ ? &hw_d : nullptr);
+       winnow_seconds, perf_ ? &hw_d : nullptr);
 }
 
 }  // namespace fdiam

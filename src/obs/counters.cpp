@@ -23,6 +23,16 @@ Gauge& MetricRegistry::gauge(std::string_view name) {
   return *it->second;
 }
 
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
 void MetricRegistry::write_text(std::ostream& os) const {
   std::lock_guard lock(mu_);
   for (const auto& [name, c] : counters_) {
@@ -30,6 +40,12 @@ void MetricRegistry::write_text(std::ostream& os) const {
   }
   for (const auto& [name, g] : gauges_) {
     os << name << ' ' << g->get() << '\n';
+  }
+  // Histograms expose their aggregates here; the full bucket layout
+  // lives in the OpenMetrics exposition and the JSON report block.
+  for (const auto& [name, h] : histograms_) {
+    os << name << ".count " << h->count() << '\n';
+    os << name << ".sum " << h->sum() << '\n';
   }
 }
 
@@ -53,17 +69,50 @@ std::vector<std::pair<std::string, double>> MetricRegistry::snapshot() const {
   return out;
 }
 
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricRegistry::snapshot_histograms() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name, h->snapshot());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+MetricRegistry::snapshot_counters() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->get());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricRegistry::snapshot_gauges()
+    const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->get());
+  return out;
+}
+
 void MetricRegistry::reset_counters() {
   std::lock_guard lock(mu_);
   for (const auto& [name, c] : counters_) {
     (void)name;
     c->reset();
   }
+  for (const auto& [name, h] : histograms_) {
+    (void)name;
+    h->reset();
+  }
 }
 
 std::size_t MetricRegistry::size() const {
   std::lock_guard lock(mu_);
-  return counters_.size() + gauges_.size();
+  return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 MetricRegistry& metrics() {

@@ -20,6 +20,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/histogram.hpp"
+
 namespace fdiam::obs {
 
 class Counter {
@@ -50,10 +52,16 @@ class Gauge {
 class MetricRegistry {
  public:
   /// Find-or-create; the reference stays valid for the registry's
-  /// lifetime. Counter and gauge namespaces are disjoint: registering
-  /// "x" as both is allowed and yields two series ("x" and "x" gauge).
+  /// lifetime. Counter, gauge, and histogram namespaces are disjoint:
+  /// registering "x" as more than one kind is allowed and yields
+  /// distinct series.
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
+  /// Distribution series (util/histogram.hpp). Naming convention: an
+  /// optional `[key=value,...]` suffix ("fdiam.bfs.seconds[stage=ecc]")
+  /// is parsed into labels by the OpenMetrics writer
+  /// (obs/metrics/openmetrics.hpp); the JSON report keeps the raw name.
+  Histogram& histogram(std::string_view name);
 
   /// `name value` lines sorted by name (Prometheus-style exposition
   /// without type annotations). Counters print as integers.
@@ -62,11 +70,23 @@ class MetricRegistry {
   /// One flat JSON object {"name": value, ...} sorted by name.
   void write_json(std::ostream& os) const;
 
-  /// Snapshot of every metric as (name, value), counters first.
+  /// Snapshot of every scalar metric as (name, value), counters first.
+  /// Histograms are not flattened here; see snapshot_histograms().
   [[nodiscard]] std::vector<std::pair<std::string, double>> snapshot() const;
 
-  /// Zero all counters (gauges keep their last value). Tests use this to
-  /// isolate runs sharing the global registry.
+  /// Snapshot of every histogram as (name, snapshot), sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, HistogramSnapshot>>
+  snapshot_histograms() const;
+
+  /// Typed snapshots, sorted by name — the OpenMetrics writer needs to
+  /// know counter vs gauge to pick the sample suffix and TYPE.
+  [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>>
+  snapshot_counters() const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> snapshot_gauges()
+      const;
+
+  /// Zero all counters and histograms (gauges keep their last value).
+  /// Tests use this to isolate runs sharing the global registry.
   void reset_counters();
 
   [[nodiscard]] std::size_t size() const;
@@ -76,6 +96,7 @@ class MetricRegistry {
   // unique_ptr keeps handle addresses stable across rehash/insert.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
 /// Process-wide registry.

@@ -1,0 +1,271 @@
+#include "obs/log/flight.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace fdiam::obs {
+
+namespace {
+
+std::atomic<FlightRecorder*> g_active{nullptr};
+
+// ---- async-signal-safe formatting helpers -------------------------------
+//
+// Everything below the dump path builds lines in caller-provided stack
+// buffers and emits them with raw write(2). No allocation, no stdio, no
+// locale — the only libc calls are async-signal-safe per POSIX.
+
+struct SafeBuf {
+  char* data;
+  std::size_t cap;
+  std::size_t len = 0;
+
+  void put(char c) {
+    if (len < cap) data[len++] = c;
+  }
+  void puts(const char* s) {
+    while (*s != '\0') put(*s++);
+  }
+  void put_sv(std::string_view s) {
+    for (const char c : s) put(c);
+  }
+  void put_int(std::int64_t v) {
+    if (v < 0) {
+      put('-');
+      // Negate digit-by-digit via unsigned to survive INT64_MIN.
+      put_uint(static_cast<std::uint64_t>(-(v + 1)) + 1);
+      return;
+    }
+    put_uint(static_cast<std::uint64_t>(v));
+  }
+  void put_uint(std::uint64_t v) {
+    char tmp[24];
+    std::size_t n = 0;
+    do {
+      tmp[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) put(tmp[--n]);
+  }
+  /// micros rendered as fixed-point seconds ("12.345678").
+  void put_micros_as_seconds(std::uint64_t micros) {
+    put_uint(micros / 1000000);
+    put('.');
+    std::uint64_t frac = micros % 1000000;
+    for (std::uint64_t div = 100000; div > 0; div /= 10) {
+      put(static_cast<char>('0' + frac / div));
+      frac %= div;
+    }
+  }
+};
+
+void safe_write(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // best effort — nothing sane to do mid-crash
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+// ---- crash handler state ------------------------------------------------
+
+constexpr int kCrashSignals[] = {SIGSEGV, SIGBUS, SIGABRT, SIGFPE, SIGILL};
+constexpr std::size_t kCrashSignalCount =
+    sizeof kCrashSignals / sizeof kCrashSignals[0];
+
+struct sigaction g_saved_actions[kCrashSignalCount];
+std::atomic<bool> g_handlers_installed{false};
+std::atomic<int> g_dump_fd{-1};  ///< extra dump target beyond stderr
+
+extern "C" void fdiam_crash_handler(int sig) {
+  // Re-entrancy guard: a second fault inside the dump must not recurse.
+  static std::atomic<bool> dumping{false};
+  bool expected = false;
+  if (dumping.compare_exchange_strong(expected, true)) {
+    if (FlightRecorder* fr = g_active.load(std::memory_order_acquire)) {
+      fr->dump(STDERR_FILENO, sig);
+      const int fd = g_dump_fd.load(std::memory_order_relaxed);
+      if (fd >= 0) fr->dump(fd, sig);
+    } else {
+      char line[64];
+      SafeBuf b{line, sizeof line};
+      b.puts("[fdiam] fatal signal=");
+      b.put_int(sig);
+      b.puts(", no flight recorder active\n");
+      safe_write(STDERR_FILENO, b.data, b.len);
+    }
+  }
+  // Restore default disposition and re-raise so the process still dies
+  // with the right wait status (and a core where ulimits allow one).
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+std::string_view FlightRecorder::event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kLog: return "log";
+    case EventKind::kSpanBegin: return "span_begin";
+    case EventKind::kSpanEnd: return "span_end";
+    case EventKind::kBound: return "bound";
+    case EventKind::kHeartbeat: return "heartbeat";
+  }
+  return "?";
+}
+
+void FlightRecorder::record(EventKind kind, LogLevel level,
+                            std::string_view text, std::int64_t a,
+                            std::int64_t b) {
+  const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& s = slots_[ticket % kSlots];
+  // Invalidate first so a reader never pairs the new sequence number
+  // with the previous occupant's payload.
+  s.seq.store(0, std::memory_order_release);
+  s.micros = static_cast<std::uint64_t>(mono_seconds() * 1e6);
+  s.a = a;
+  s.b = b;
+  s.kind = kind;
+  s.level = level;
+  s.tid = static_cast<std::uint16_t>(log_thread_ordinal());
+  const std::size_t n = text.size() < kTextSize - 1 ? text.size()
+                                                    : kTextSize - 1;
+  std::memcpy(s.text, text.data(), n);
+  s.text[n] = '\0';
+  s.seq.store(ticket + 1, std::memory_order_release);
+}
+
+void FlightRecorder::dump(int fd, int signal) const {
+  char line[256];
+  {
+    SafeBuf b{line, sizeof line};
+    b.puts("[fdiam] flight recorder dump");
+    if (signal >= 0) {
+      b.puts(": crash signal=");
+      b.put_int(signal);
+    }
+    b.put('\n');
+    safe_write(fd, b.data, b.len);
+  }
+  {
+    SafeBuf b{line, sizeof line};
+    b.puts("[fdiam] crash: signal=");
+    b.put_int(signal);
+    b.puts(" stage=");
+    if (has_stage_.load(std::memory_order_relaxed)) {
+      b.put_sv(util_stage_name(
+          static_cast<UtilStage>(stage_.load(std::memory_order_relaxed))));
+    } else {
+      b.put('?');
+    }
+    b.puts(" bound_lower=");
+    if (has_bounds_.load(std::memory_order_relaxed)) {
+      b.put_int(bound_lower_.load(std::memory_order_relaxed));
+      b.puts(" bound_upper=");
+      const std::int64_t up = bound_upper_.load(std::memory_order_relaxed);
+      if (up < 0) {
+        b.put('?');
+      } else {
+        b.put_int(up);
+      }
+    } else {
+      b.puts("? bound_upper=?");
+    }
+    b.puts(" events=");
+    b.put_uint(head_.load(std::memory_order_relaxed));
+    b.put('\n');
+    safe_write(fd, b.data, b.len);
+  }
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  // Oldest surviving slot first. When the ring has not wrapped, slots
+  // beyond head have seq 0 and are skipped.
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    const Slot& s = slots_[(head + i) % kSlots];
+    const std::uint64_t seq = s.seq.load(std::memory_order_acquire);
+    if (seq == 0) continue;  // empty or mid-write (torn) — skip
+    SafeBuf b{line, sizeof line};
+    b.puts("  #");
+    b.put_uint(seq - 1);
+    b.puts(" +");
+    b.put_micros_as_seconds(s.micros);
+    b.puts("s ");
+    b.put_sv(event_kind_name(s.kind));
+    b.put('/');
+    b.put_sv(log_level_name(s.level));
+    b.puts(" tid=");
+    b.put_uint(s.tid);
+    b.put(' ');
+    // s.text is NUL-terminated by record(); cap defensively anyway.
+    for (std::size_t j = 0; j < kTextSize && s.text[j] != '\0'; ++j) {
+      b.put(s.text[j]);
+    }
+    if (s.a != 0 || s.b != 0) {
+      b.puts(" a=");
+      b.put_int(s.a);
+      b.puts(" b=");
+      b.put_int(s.b);
+    }
+    b.put('\n');
+    safe_write(fd, b.data, b.len);
+  }
+  {
+    SafeBuf b{line, sizeof line};
+    b.puts("[fdiam] end of flight recorder dump\n");
+    safe_write(fd, b.data, b.len);
+  }
+}
+
+FlightRecorder* FlightRecorder::install(FlightRecorder* fr) {
+  return g_active.exchange(fr, std::memory_order_acq_rel);
+}
+
+FlightRecorder* FlightRecorder::active() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+bool FlightRecorder::install_crash_handlers(const std::string& path) {
+  bool opened = true;
+  if (!path.empty()) {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      const int prev = g_dump_fd.exchange(fd, std::memory_order_relaxed);
+      if (prev >= 0) ::close(prev);
+    } else {
+      opened = false;
+    }
+  }
+  if (!g_handlers_installed.exchange(true, std::memory_order_acq_rel)) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = fdiam_crash_handler;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESETHAND: the handler restores SIG_DFL itself after the
+    // dump, and the re-entrancy guard covers faults inside the dump.
+    sa.sa_flags = 0;
+    for (std::size_t i = 0; i < kCrashSignalCount; ++i) {
+      ::sigaction(kCrashSignals[i], &sa, &g_saved_actions[i]);
+    }
+  }
+  return opened;
+}
+
+void FlightRecorder::uninstall_crash_handlers() {
+  if (g_handlers_installed.exchange(false, std::memory_order_acq_rel)) {
+    for (std::size_t i = 0; i < kCrashSignalCount; ++i) {
+      ::sigaction(kCrashSignals[i], &g_saved_actions[i], nullptr);
+    }
+  }
+  const int fd = g_dump_fd.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace fdiam::obs

@@ -1,0 +1,123 @@
+#pragma once
+// Crash flight recorder: a fixed-size lock-free ring of recent telemetry
+// events (log records, span begin/end, bound updates, heartbeats) plus
+// async-signal-safe fatal-signal handlers that dump the ring, the
+// solver's current stage, and the current diameter bounds to stderr and
+// an optional file. A mid-solve SIGSEGV becomes a diagnosable artifact
+// instead of a bare core dump.
+//
+// Design constraints, in order:
+//  * record() must be cheap and wait-free — it runs on solver threads
+//    between BFS calls, and the logger mirrors every emitted record into
+//    it. One fetch_add claims a slot; fields are plain stores.
+//  * dump() must be async-signal-safe — it runs inside SIGSEGV. It uses
+//    only write(2) and hand-rolled formatting: no malloc, no stdio, no
+//    locks.
+//  * The crash context (stage + bounds) is a handful of atomics updated
+//    by the solver on stage transitions and bound raises, so the dump
+//    header is meaningful even when the ring has wrapped past them.
+//
+// Best-effort caveat: a writer that claims a slot and is then preempted
+// for a full ring revolution can be overwritten mid-copy; the per-slot
+// sequence number (stamped last, checked by readers) makes such a slot
+// detectably torn rather than silently corrupt. With kSlots = 256 this
+// needs 256 concurrent in-flight records — far beyond any real
+// configuration.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/log/log.hpp"
+#include "util/parallel.hpp"
+
+namespace fdiam::obs {
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kSlots = 256;  ///< power of two
+  static constexpr std::size_t kTextSize = 96;
+
+  enum class EventKind : std::uint8_t {
+    kLog = 0,       ///< mirrored logger record (a/b unused)
+    kSpanBegin,     ///< stage/span opened (a = payload)
+    kSpanEnd,       ///< stage/span closed (a = payload, b = microseconds)
+    kBound,         ///< diameter bound update (a = old, b = new)
+    kHeartbeat,     ///< progress beat (a = evaluated, b = bound)
+  };
+  static constexpr std::size_t kEventKindCount = 5;
+
+  [[nodiscard]] static std::string_view event_kind_name(EventKind k);
+
+  /// Append one event. Wait-free; callable from any thread (but NOT
+  /// from a signal handler — handlers only read).
+  void record(EventKind kind, LogLevel level, std::string_view text,
+              std::int64_t a = 0, std::int64_t b = 0);
+
+  /// Crash context: the stage the solver is currently in. Plain atomic
+  /// stores; read by the signal handler.
+  void set_stage(UtilStage s) {
+    stage_.store(static_cast<std::uint8_t>(s), std::memory_order_relaxed);
+    has_stage_.store(true, std::memory_order_relaxed);
+  }
+  /// Crash context: current diameter bounds. `upper < 0` means unknown
+  /// (the solver proves optimality by elimination, not by an upper
+  /// bound, so mid-run the upper bound is usually open).
+  void set_bounds(std::int64_t lower, std::int64_t upper = -1) {
+    bound_lower_.store(lower, std::memory_order_relaxed);
+    bound_upper_.store(upper, std::memory_order_relaxed);
+    has_bounds_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Write a human-readable dump (header with stage/bounds, then the
+  /// ring oldest-first) to a file descriptor. Async-signal-safe: only
+  /// write(2), stack buffers, and integer formatting. `signal` >= 0 is
+  /// included in the header (the crashing signal); -1 means a
+  /// programmatic dump.
+  void dump(int fd, int signal = -1) const;
+
+  /// Events recorded so far (monotone ticket counter, for tests).
+  [[nodiscard]] std::uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Process-wide active recorder, mirroring UtilCollector::install:
+  /// returns the previous one so scopes can nest/restore. Passing
+  /// nullptr deactivates.
+  static FlightRecorder* install(FlightRecorder* fr);
+  [[nodiscard]] static FlightRecorder* active();
+
+  /// Install SIGSEGV/SIGBUS/SIGABRT/SIGFPE/SIGILL handlers that dump the
+  /// active recorder to stderr — and to `path`, opened (and truncated)
+  /// eagerly here so the handler never touches the filesystem namespace
+  /// — then restore the default disposition and re-raise, preserving
+  /// the fatal exit status. Empty `path` → stderr only. False when the
+  /// dump file cannot be opened (handlers are still installed).
+  static bool install_crash_handlers(const std::string& path = {});
+  /// Restore the dispositions saved by install_crash_handlers and close
+  /// the dump file. No-op when not installed.
+  static void uninstall_crash_handlers();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  ///< ticket + 1; 0 = never written
+    std::uint64_t micros = 0;           ///< mono_seconds() in microseconds
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    EventKind kind = EventKind::kLog;
+    LogLevel level = LogLevel::kInfo;
+    std::uint16_t tid = 0;
+    char text[kTextSize] = {};
+  };
+
+  Slot slots_[kSlots];
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint8_t> stage_{0};
+  std::atomic<bool> has_stage_{false};
+  std::atomic<std::int64_t> bound_lower_{0};
+  std::atomic<std::int64_t> bound_upper_{-1};
+  std::atomic<bool> has_bounds_{false};
+};
+
+}  // namespace fdiam::obs

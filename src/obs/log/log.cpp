@@ -1,0 +1,245 @@
+#include "obs/log/log.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#include "obs/json.hpp"
+#include "obs/log/flight.hpp"
+
+namespace fdiam::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no Infinity/NaN tokens
+    return;
+  }
+  char buf[40];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;  // 40 bytes always suffice for a finite double
+  out.append(buf, static_cast<std::size_t>(end - buf));
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;
+  out.append(buf, static_cast<std::size_t>(end - buf));
+}
+
+void append_uint(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;
+  out.append(buf, static_cast<std::size_t>(end - buf));
+}
+
+/// Escape-and-append without the temporary json_escape would allocate
+/// for the (overwhelmingly common) clean-string case.
+void append_escaped(std::string& out, std::string_view s) {
+  bool clean = true;
+  for (const char c : s) {
+    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) {
+      clean = false;
+      break;
+    }
+  }
+  if (clean) {
+    out += s;
+  } else {
+    out += json_escape(s);
+  }
+}
+
+/// UTC wall timestamp, ISO-8601 with milliseconds.
+void append_wall_timestamp(std::string& out) {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto secs = time_point_cast<seconds>(now);
+  const auto ms = duration_cast<milliseconds>(now - secs).count();
+  const std::time_t t = system_clock::to_time_t(secs);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[40];
+  const std::size_t n =
+      std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%S", &tm);
+  out.append(buf, n);
+  char msbuf[8];
+  std::snprintf(msbuf, sizeof msbuf, ".%03dZ", static_cast<int>(ms));
+  out += msbuf;
+}
+
+}  // namespace
+
+std::string_view log_level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> log_level_from_name(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  for (const LogLevel l :
+       {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+        LogLevel::kError, LogLevel::kOff}) {
+    if (lower == log_level_name(l)) return l;
+  }
+  return std::nullopt;
+}
+
+void LogField::append_to(std::string& out) const {
+  out += ",\"";
+  out += key_;
+  out += "\":";
+  switch (kind_) {
+    case Kind::kInt: append_int(out, i_); break;
+    case Kind::kUint: append_uint(out, u_); break;
+    case Kind::kDouble: append_double(out, d_); break;
+    case Kind::kBool: out += b_ ? "true" : "false"; break;
+    case Kind::kString:
+      out += '"';
+      append_escaped(out, s_);
+      out += '"';
+      break;
+  }
+}
+
+double mono_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
+unsigned log_thread_ordinal() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+Logger::~Logger() { close_output(); }
+
+void Logger::set_output(std::FILE* out) {
+  const std::lock_guard<std::mutex> lock(output_mutex_);
+  if (owned_ != nullptr) {
+    std::fclose(owned_);
+    owned_ = nullptr;
+  }
+  out_.store(out, std::memory_order_release);
+  write_failed_.store(false, std::memory_order_relaxed);
+}
+
+bool Logger::open_output(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::lock_guard<std::mutex> lock(output_mutex_);
+  if (owned_ != nullptr) std::fclose(owned_);
+  owned_ = f;
+  out_.store(f, std::memory_order_release);
+  write_failed_.store(false, std::memory_order_relaxed);
+  return true;
+}
+
+void Logger::close_output() { set_output(nullptr); }
+
+void Logger::flush() {
+  std::FILE* out = out_.load(std::memory_order_acquire);
+  if (std::fflush(out != nullptr ? out : stderr) != 0) {
+    write_failed_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Logger::log(LogLevel l, std::string_view subsystem, std::string_view msg,
+                 std::initializer_list<LogField> fields) {
+  if (!enabled(l)) return;
+  // Per-thread buffer: the whole record is formatted off to the side and
+  // hits the stream in one fwrite, whose internal FILE lock guarantees
+  // whole-line atomicity without a logger-level mutex.
+  thread_local std::string buf;
+  buf.clear();
+  buf += "{\"ts\":\"";
+  append_wall_timestamp(buf);
+  buf += "\",\"mono_s\":";
+  append_double(buf, mono_seconds());
+  buf += ",\"level\":\"";
+  buf += log_level_name(l);
+  buf += "\",\"tid\":";
+  append_uint(buf, log_thread_ordinal());
+  buf += ",\"sub\":\"";
+  append_escaped(buf, subsystem);
+  buf += "\",\"msg\":\"";
+  append_escaped(buf, msg);
+  buf += '"';
+  for (const LogField& f : fields) f.append_to(buf);
+  buf += "}\n";
+
+  std::FILE* out = out_.load(std::memory_order_acquire);
+  if (out == nullptr) out = stderr;
+  if (std::fwrite(buf.data(), 1, buf.size(), out) != buf.size()) {
+    write_failed_.store(true, std::memory_order_relaxed);
+  }
+  if (l >= LogLevel::kWarn) std::fflush(out);
+  records_.fetch_add(1, std::memory_order_relaxed);
+
+  // Mirror into the crash ring so a post-mortem dump shows the last few
+  // records even when the stream went to a file that died with the
+  // process. The text slot keeps "sub: msg", truncated.
+  if (FlightRecorder* fr = FlightRecorder::active()) {
+    char text[FlightRecorder::kTextSize];
+    std::size_t n = 0;
+    for (const char c : subsystem) {
+      if (n + 3 >= sizeof text) break;
+      text[n++] = c;
+    }
+    text[n++] = ':';
+    text[n++] = ' ';
+    for (const char c : msg) {
+      if (n + 1 >= sizeof text) break;
+      text[n++] = c;
+    }
+    text[n] = '\0';
+    fr->record(FlightRecorder::EventKind::kLog, l,
+               std::string_view(text, n));
+  }
+}
+
+void Logger::configure_from_env() {
+  if (const char* lvl = std::getenv("FDIAM_LOG")) {
+    if (const auto parsed = log_level_from_name(lvl)) set_level(*parsed);
+  }
+  if (const char* path = std::getenv("FDIAM_LOG_OUT")) {
+    if (*path != '\0' && !open_output(path)) {
+      std::fprintf(stderr,
+                   "{\"level\":\"error\",\"sub\":\"log\",\"msg\":"
+                   "\"cannot open FDIAM_LOG_OUT\",\"path\":\"%s\"}\n",
+                   path);
+    }
+  }
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  static const bool configured = [] {
+    logger.configure_from_env();
+    return true;
+  }();
+  (void)configured;
+  return logger;
+}
+
+}  // namespace fdiam::obs

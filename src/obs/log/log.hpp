@@ -1,0 +1,174 @@
+#pragma once
+// Leveled structured logger: one JSON object per line, so every
+// diagnostic the toolchain prints is machine-parseable (json_check
+// --jsonl validates a stream). Replaces the ad-hoc fprintf/std::cerr
+// call sites that used to be scattered through src/.
+//
+// Record shape (field order fixed, extra fields appended last):
+//
+//   {"ts":"2026-08-09T12:34:56.789Z","mono_s":1.234567,"level":"info",
+//    "tid":0,"sub":"solver","msg":"bound raised","bound":42}
+//
+//  * ts      — wall clock (UTC, millisecond ISO-8601); correlates runs
+//              across machines.
+//  * mono_s  — steady-clock seconds since process start; survives NTP
+//              steps, matches trace/heartbeat timing.
+//  * tid     — small per-thread ordinal (registration order), not the
+//              OS tid: stable across runs with the same thread count.
+//  * sub     — subsystem tag ("solver", "cli", "heartbeat", "bench"...).
+//
+// Concurrency: each record is formatted into a thread-local buffer and
+// written with a single fwrite; POSIX stdio locks the FILE per call, so
+// concurrent records never interleave mid-line. Level filtering is one
+// relaxed atomic load, cheap enough to leave debug statements in hot
+// paths.
+//
+// Runtime control: FDIAM_LOG=<trace|debug|info|warn|error|off> and
+// FDIAM_LOG_OUT=<path> configure the global instance() on first use;
+// fdiam_cli --log-level/--log-out override them.
+//
+// Every emitted record is also appended to the active FlightRecorder
+// ring (see flight.hpp), so the crash dump carries the most recent log
+// context even when the log stream itself goes to a file.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fdiam::obs {
+
+enum class LogLevel : std::uint8_t {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,  ///< threshold only; not a record level
+};
+
+[[nodiscard]] std::string_view log_level_name(LogLevel l);
+/// Parse a level name ("info", "OFF", ...); nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> log_level_from_name(
+    std::string_view name);
+
+/// One typed key/value attached to a record. Keys must be plain
+/// identifier-ish strings (they are emitted unescaped); values are
+/// JSON-escaped as needed. string_view payloads are not copied — they
+/// must outlive the log() call, which every call site satisfies by
+/// passing literals or locals.
+class LogField {
+ public:
+  // Anchored on long long so every standard integer type (and therefore
+  // both possible spellings of int64_t) finds exactly one constructor.
+  LogField(std::string_view key, long long v)
+      : key_(key), kind_(Kind::kInt), i_(v) {}
+  LogField(std::string_view key, unsigned long long v)
+      : key_(key), kind_(Kind::kUint), u_(v) {}
+  LogField(std::string_view key, int v)
+      : LogField(key, static_cast<long long>(v)) {}
+  LogField(std::string_view key, long v)
+      : LogField(key, static_cast<long long>(v)) {}
+  LogField(std::string_view key, unsigned v)
+      : LogField(key, static_cast<unsigned long long>(v)) {}
+  LogField(std::string_view key, unsigned long v)
+      : LogField(key, static_cast<unsigned long long>(v)) {}
+  LogField(std::string_view key, double v)
+      : key_(key), kind_(Kind::kDouble), d_(v) {}
+  LogField(std::string_view key, bool v)
+      : key_(key), kind_(Kind::kBool), b_(v) {}
+  LogField(std::string_view key, std::string_view v)
+      : key_(key), kind_(Kind::kString), s_(v) {}
+  LogField(std::string_view key, const char* v)
+      : LogField(key, std::string_view(v)) {}
+
+  /// Append `,"key":<value>` to `out`.
+  void append_to(std::string& out) const;
+
+ private:
+  enum class Kind : std::uint8_t { kInt, kUint, kDouble, kBool, kString };
+  std::string_view key_;
+  Kind kind_;
+  union {
+    std::int64_t i_;
+    std::uint64_t u_;
+    double d_;
+    bool b_;
+  };
+  std::string_view s_{};
+};
+
+class Logger {
+ public:
+  Logger() = default;
+  ~Logger();
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  void set_level(LogLevel l) {
+    level_.store(static_cast<std::uint8_t>(l), std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  /// True when a record at level `l` would be emitted. One relaxed
+  /// atomic load — safe to call on hot paths before formatting fields.
+  [[nodiscard]] bool enabled(LogLevel l) const {
+    return static_cast<std::uint8_t>(l) >=
+               level_.load(std::memory_order_relaxed) &&
+           l != LogLevel::kOff;
+  }
+
+  /// Redirect output to a caller-owned stream (nullptr → stderr).
+  /// Closes any stream previously opened with open_output().
+  void set_output(std::FILE* out);
+  /// Open `path` (truncating) as an owned output stream. False (and
+  /// output unchanged) when the file cannot be opened.
+  [[nodiscard]] bool open_output(const std::string& path);
+  /// Close an owned stream and fall back to stderr.
+  void close_output();
+  void flush();
+  /// True when no write on the current stream has failed. Sticky until
+  /// the output is switched; lets callers turn silent log-file write
+  /// failures into a nonzero exit.
+  [[nodiscard]] bool ok() const {
+    return !write_failed_.load(std::memory_order_relaxed);
+  }
+
+  void log(LogLevel l, std::string_view subsystem, std::string_view msg,
+           std::initializer_list<LogField> fields = {});
+  /// Records emitted so far (post-filter); monotone, for tests.
+  [[nodiscard]] std::uint64_t records() const {
+    return records_.load(std::memory_order_relaxed);
+  }
+
+  /// Apply FDIAM_LOG / FDIAM_LOG_OUT. Called once by instance().
+  void configure_from_env();
+
+  /// Process-wide logger. Starts at kOff with stderr output unless the
+  /// environment says otherwise, so library code can log unconditionally
+  /// at near-zero cost when nobody asked for logs.
+  static Logger& instance();
+
+ private:
+  std::atomic<std::uint8_t> level_{static_cast<std::uint8_t>(LogLevel::kOff)};
+  std::atomic<std::FILE*> out_{nullptr};  ///< nullptr → stderr
+  std::atomic<bool> write_failed_{false};
+  std::atomic<std::uint64_t> records_{0};
+  std::FILE* owned_ = nullptr;
+  std::mutex output_mutex_;  ///< guards owned_ swaps, not the write path
+};
+
+/// Steady-clock seconds since the first telemetry call in this process.
+/// Shared by the logger, the heartbeat JSON records, and the flight
+/// recorder so their timestamps are directly comparable.
+[[nodiscard]] double mono_seconds();
+
+/// Small per-thread ordinal used as the "tid" record field.
+[[nodiscard]] unsigned log_thread_ordinal();
+
+}  // namespace fdiam::obs

@@ -1,0 +1,71 @@
+#include "obs/log/log_sink.hpp"
+
+#include "obs/log/flight.hpp"
+#include "obs/log/log.hpp"
+
+namespace fdiam::obs {
+
+namespace {
+
+struct EventShape {
+  std::string_view msg;
+  LogLevel level;
+  FlightRecorder::EventKind ring_kind;
+};
+
+EventShape shape_of(FDiamEvent::Kind k) {
+  using K = FDiamEvent::Kind;
+  using R = FlightRecorder::EventKind;
+  switch (k) {
+    case K::kStart: return {"solve start", LogLevel::kInfo, R::kSpanBegin};
+    case K::kInitialBound:
+      return {"initial bound", LogLevel::kInfo, R::kBound};
+    case K::kWinnow: return {"winnow", LogLevel::kInfo, R::kSpanEnd};
+    case K::kChainsProcessed:
+      return {"chains processed", LogLevel::kInfo, R::kSpanEnd};
+    case K::kEccentricity:
+      return {"eccentricity", LogLevel::kDebug, R::kSpanEnd};
+    case K::kBoundRaised:
+      return {"bound raised", LogLevel::kInfo, R::kBound};
+    case K::kEliminate: return {"eliminate", LogLevel::kDebug, R::kSpanEnd};
+    case K::kExtendRegions:
+      return {"extend regions", LogLevel::kInfo, R::kSpanEnd};
+    case K::kDone: return {"solve done", LogLevel::kInfo, R::kSpanEnd};
+  }
+  return {"event", LogLevel::kDebug, R::kSpanEnd};
+}
+
+void forward(Logger& log, const FDiamEvent& e) {
+  const EventShape shape = shape_of(e.kind);
+  if (log.enabled(shape.level)) {
+    log.log(shape.level, "solver", shape.msg,
+            {{"value", static_cast<std::int64_t>(e.value)},
+             {"vertex", static_cast<std::int64_t>(e.vertex)},
+             {"extra", static_cast<std::int64_t>(e.extra)},
+             {"seconds", e.seconds}});
+  }
+  // Note: Logger::log already mirrors emitted records into the ring as
+  // kLog events; this direct record is the level-independent milestone
+  // trail (debug events land here even when the logger drops them).
+  if (FlightRecorder* fr = FlightRecorder::active()) {
+    // kBound slots carry (old, new); span slots carry (value, micros).
+    const bool is_bound =
+        shape.ring_kind == FlightRecorder::EventKind::kBound;
+    const auto a = static_cast<std::int64_t>(is_bound ? e.extra : e.value);
+    const auto b = is_bound ? static_cast<std::int64_t>(e.value)
+                            : static_cast<std::int64_t>(e.seconds * 1e6);
+    fr->record(shape.ring_kind, shape.level, shape.msg, a, b);
+  }
+}
+
+}  // namespace
+
+FDiamTrace make_log_trace_sink(Logger& log) {
+  return [&log](const FDiamEvent& e) { forward(log, e); };
+}
+
+FDiamTrace make_log_trace_sink() {
+  return make_log_trace_sink(Logger::instance());
+}
+
+}  // namespace fdiam::obs

@@ -1,0 +1,27 @@
+#pragma once
+// Bridges the solver's FDiamEvent trace stream onto the structured
+// logger and the crash flight recorder: milestones (start, initial
+// bound, winnow, chains, bound raises, region extensions, done) become
+// info records; the per-vertex-decision events (eccentricity,
+// eliminate) become debug records so info-level logs stay
+// O(algorithmic decisions), not O(evaluated vertices).
+//
+// The returned sink also feeds span/bound events into the active
+// FlightRecorder regardless of the logger level — the crash ring is a
+// post-mortem artifact, not a verbosity surface, so it should carry
+// solve milestones even when logging is off.
+
+#include "core/fdiam.hpp"
+
+namespace fdiam::obs {
+
+class Logger;
+
+/// A trace sink forwarding events to `log` (default: the global
+/// instance()). Compose with other sinks via the usual fan-out vector
+/// in fdiam_cli. The level filter is evaluated per event, so flipping
+/// the logger level mid-run takes effect immediately.
+[[nodiscard]] FDiamTrace make_log_trace_sink();
+[[nodiscard]] FDiamTrace make_log_trace_sink(Logger& log);
+
+}  // namespace fdiam::obs

@@ -1,0 +1,173 @@
+#include "obs/metrics/metrics_report.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace fdiam::obs {
+
+namespace {
+constexpr std::string_view kMetricsSchema = "fdiam.metrics/v1";
+}
+
+void write_metrics_block(
+    JsonWriter& w,
+    const std::vector<std::pair<std::string, HistogramSnapshot>>& series) {
+  w.field("schema", kMetricsSchema);
+  w.key("series").begin_array();
+  for (const auto& [name, h] : series) {
+    if (h.count == 0) continue;  // ablated/trivial runs have fewer series
+    w.begin_object();
+    w.field("name", std::string_view(name));
+    w.field("count", h.count);
+    w.field("sum", h.sum);
+    w.field("min", h.min);
+    w.field("max", h.max);
+    w.field("p50", h.quantile(0.50));
+    w.field("p90", h.quantile(0.90));
+    w.field("p99", h.quantile(0.99));
+    w.key("buckets").begin_array();
+    for (const auto& b : h.buckets) {
+      w.begin_object();
+      // The overflow bucket's +inf upper bound serializes as null
+      // (JSON has no Infinity); validators treat a null `le` as +inf
+      // and require it to be the last bucket.
+      w.field("le", b.le);
+      w.field("count", b.count);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::optional<std::string> diagnose_metrics_block(std::string_view report) {
+  if (!json_lookup(report, "histograms")) return std::nullopt;
+
+  const auto schema = json_string(report, "histograms.schema");
+  if (!schema || *schema != kMetricsSchema) {
+    return "histograms.schema: expected \"" + std::string(kMetricsSchema) +
+           "\", got " +
+           (schema ? '"' + *schema + '"' : std::string("a non-string value"));
+  }
+  if (!json_lookup(report, "histograms.series")) {
+    return "histograms.series: missing";
+  }
+
+  for (std::size_t i = 0;; ++i) {
+    const std::string base = "histograms.series." + std::to_string(i);
+    if (!json_lookup(report, base)) break;
+    const auto name = json_string(report, base + ".name");
+    if (!name || name->empty()) return base + ".name: missing or empty";
+    const auto at = [&](const char* field) {
+      return json_number(report, base + "." + field);
+    };
+    const auto count = at("count");
+    if (!count || *count <= 0.0 || *count != std::floor(*count)) {
+      return base + " (" + *name + "): count must be a positive integer";
+    }
+    const auto mn = at("min"), mx = at("max");
+    const auto p50 = at("p50"), p90 = at("p90"), p99 = at("p99");
+    const auto sum = at("sum");
+    if (!mn || !mx || !p50 || !p90 || !p99 || !sum) {
+      return base + " (" + *name + "): missing aggregate field";
+    }
+    if (!(*mn <= *p50 && *p50 <= *p90 && *p90 <= *p99 && *p99 <= *mx)) {
+      return base + " (" + *name +
+             "): quantiles must satisfy min <= p50 <= p90 <= p99 <= max";
+    }
+    // Moment sanity with a sliver of float slack: n*min <= sum <= n*max.
+    const double eps = 1e-9 + 1e-9 * std::abs(*sum);
+    if (*sum + eps < *count * *mn || *sum - eps > *count * *mx) {
+      return base + " (" + *name + "): sum outside [count*min, count*max]";
+    }
+
+    double prev_le = -1.0;
+    bool saw_overflow = false;
+    std::uint64_t bucket_total = 0;
+    std::size_t buckets = 0;
+    for (std::size_t j = 0;; ++j, ++buckets) {
+      const std::string bpath = base + ".buckets." + std::to_string(j);
+      if (!json_lookup(report, bpath)) break;
+      const auto bcount = json_number(report, bpath + ".count");
+      if (!bcount || *bcount <= 0.0 || *bcount != std::floor(*bcount)) {
+        return bpath + ": bucket count must be a positive integer";
+      }
+      bucket_total += static_cast<std::uint64_t>(*bcount);
+      if (!json_lookup(report, bpath + ".le")) {
+        return bpath + ".le: missing";
+      }
+      const auto le = json_number(report, bpath + ".le");
+      if (!le) {
+        // null le = the +inf overflow bucket; nothing may follow it.
+        saw_overflow = true;
+        continue;
+      }
+      if (saw_overflow) {
+        return bpath + ": finite bucket after the +inf overflow bucket";
+      }
+      if (*le <= prev_le) {
+        return bpath + ": bucket le values must be strictly ascending";
+      }
+      prev_le = *le;
+    }
+    if (buckets == 0) return base + " (" + *name + "): no buckets";
+    if (static_cast<double>(bucket_total) != *count) {
+      return base + " (" + *name + "): bucket counts sum to " +
+             std::to_string(bucket_total) + ", expected count " +
+             std::to_string(static_cast<std::uint64_t>(*count));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> diagnose_report_consistency(
+    std::string_view report) {
+  // --- per-BFS histogram counts vs the run report's bfs_calls ----------
+  const auto bfs_calls = json_number(report, "stages.counts.bfs_calls");
+  if (bfs_calls && json_lookup(report, "histograms.series")) {
+    double hist_bfs = 0.0;
+    bool any_bfs_series = false;
+    for (std::size_t i = 0;; ++i) {
+      const std::string base = "histograms.series." + std::to_string(i);
+      const auto name = json_string(report, base + ".name");
+      if (!name) break;
+      if (name->rfind("fdiam.bfs.seconds", 0) == 0) {
+        any_bfs_series = true;
+        if (const auto c = json_number(report, base + ".count")) {
+          hist_bfs += *c;
+        }
+      }
+    }
+    // A metrics block without per-BFS series (instrumentation off, or a
+    // zero-BFS run whose empty series were omitted) is not inconsistent;
+    // once any fdiam.bfs.seconds series exists, the sum must be exact.
+    if (any_bfs_series && hist_bfs != *bfs_calls) {
+      return "histograms: fdiam.bfs.seconds[stage=*] counts sum to " +
+             std::to_string(static_cast<std::uint64_t>(hist_bfs)) +
+             " but stages.counts.bfs_calls is " +
+             std::to_string(static_cast<std::uint64_t>(*bfs_calls));
+    }
+  }
+
+  // --- utilization busy total vs wall time x threads -------------------
+  const auto busy = json_number(report, "utilization.total.busy_s");
+  const auto threads = json_number(report, "utilization.threads");
+  const auto wall = json_number(report, "stages.times_s.total");
+  if (busy && threads && wall && *threads > 0.0) {
+    // 5% + 1ms slack: the stage timers and the per-thread busy clocks
+    // are sampled independently, so scheduling skew can nudge the sum
+    // past the exact product on very short runs.
+    const double limit = *wall * *threads * 1.05 + 1e-3;
+    if (*busy > limit) {
+      return "utilization.total.busy_s (" + std::to_string(*busy) +
+             ") exceeds wall x threads (" + std::to_string(*wall) + " x " +
+             std::to_string(*threads) + ")";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fdiam::obs

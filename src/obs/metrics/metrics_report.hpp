@@ -1,0 +1,84 @@
+#pragma once
+// Latency/size distribution telemetry for one solve, and its validated
+// run-report block (schema "fdiam.metrics/v1").
+//
+// SolveHistograms bundles the registry-backed histograms the solver's
+// instrumentation points record into (see FDiamOptions::histograms):
+//
+//   fdiam.bfs.seconds[stage=init|ecc|winnow]  per-BFS-call latency; the
+//       three counts sum exactly to FDiamStats::bfs_calls (init 2-sweep
+//       BFS + main-loop eccentricities count as ecc_computations, winnow
+//       traversals as winnow_calls), which json_check cross-checks
+//       against the run report.
+//   fdiam.stage.seconds[stage=chain|eliminate|extend]  per-episode stage
+//       durations (not BFS calls; Eliminate is not a counted traversal).
+//   fdiam.msbfs.batch.seconds  per-batch latency of multi-source /
+//       batched traversals: the solver's eliminated-region extensions
+//       and candidate-batch rounds, plus msbfs_* sweeps when a batch
+//       histogram is installed (bfs/msbfs.hpp).
+//   fdiam.bfs.frontier.vertices  per-level frontier sizes from every
+//       engine the run uses.
+//
+// The report block carries, per non-empty series: count, sum, min/max,
+// p50/p90/p99 quantiles, and the sparse bucket layout — enough to
+// recompute the quantiles offline and to cross-validate the OpenMetrics
+// exposition.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/counters.hpp"
+
+namespace fdiam::obs {
+
+class JsonWriter;
+
+/// Stable handles into `reg` for every solver-recorded distribution.
+/// Construct once per run (or reuse across repetitions; reset via the
+/// registry) and hand to FDiamOptions::histograms.
+struct SolveHistograms {
+  explicit SolveHistograms(MetricRegistry& reg)
+      : bfs_init(reg.histogram("fdiam.bfs.seconds[stage=init]")),
+        bfs_ecc(reg.histogram("fdiam.bfs.seconds[stage=ecc]")),
+        bfs_winnow(reg.histogram("fdiam.bfs.seconds[stage=winnow]")),
+        stage_chain(reg.histogram("fdiam.stage.seconds[stage=chain]")),
+        stage_eliminate(reg.histogram("fdiam.stage.seconds[stage=eliminate]")),
+        stage_extend(reg.histogram("fdiam.stage.seconds[stage=extend]")),
+        msbfs_batch(reg.histogram("fdiam.msbfs.batch.seconds")),
+        frontier(reg.histogram("fdiam.bfs.frontier.vertices")) {}
+
+  Histogram& bfs_init;
+  Histogram& bfs_ecc;
+  Histogram& bfs_winnow;
+  Histogram& stage_chain;
+  Histogram& stage_eliminate;
+  Histogram& stage_extend;
+  Histogram& msbfs_batch;
+  Histogram& frontier;
+};
+
+/// Append the "histograms" block (schema fdiam.metrics/v1) to an open
+/// report object. Series with zero records are omitted — an ablated or
+/// trivial run simply has fewer series. `series` is typically
+/// MetricRegistry::snapshot_histograms().
+void write_metrics_block(
+    JsonWriter& w,
+    const std::vector<std::pair<std::string, HistogramSnapshot>>& series);
+
+/// Validate the "histograms" block of a run-report document: schema tag,
+/// per-series shape (quantile monotonicity min <= p50 <= p90 <= p99 <=
+/// max, bucket le ascending, bucket counts summing to count). Returns
+/// nullopt when the block is absent (older reports) or valid.
+[[nodiscard]] std::optional<std::string> diagnose_metrics_block(
+    std::string_view report);
+
+/// Cross-block consistency over one run-report document:
+///  * the fdiam.bfs.seconds[stage=*] histogram counts must sum to
+///    stages.counts.bfs_calls;
+///  * utilization busy totals must not exceed wall time x threads.
+/// Nullopt when consistent or when the involved blocks are absent.
+[[nodiscard]] std::optional<std::string> diagnose_report_consistency(
+    std::string_view report);
+
+}  // namespace fdiam::obs

@@ -1,0 +1,511 @@
+#include "obs/metrics/openmetrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace fdiam::obs {
+
+namespace {
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;
+  return std::string(buf, static_cast<std::size_t>(end - buf));
+}
+
+bool valid_name_char(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+/// Split "base[key=value,...]" into base and the raw label suffix.
+std::pair<std::string_view, std::string_view> split_labels(
+    std::string_view name) {
+  const std::size_t open = name.find('[');
+  if (open == std::string_view::npos || name.back() != ']') {
+    return {name, {}};
+  }
+  return {name.substr(0, open),
+          name.substr(open + 1, name.size() - open - 2)};
+}
+
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string openmetrics_family(std::string_view name) {
+  const auto [base, labels] = split_labels(name);
+  (void)labels;
+  std::string fam;
+  fam.reserve(base.size() + 6);
+  for (const char c : base) {
+    fam += valid_name_char(c, /*first=*/false) ? c : '_';
+  }
+  if (fam.empty() || !valid_name_char(fam.front(), /*first=*/true)) {
+    fam.insert(fam.begin(), '_');
+  }
+  if (fam.rfind("fdiam_", 0) != 0) fam.insert(0, "fdiam_");
+  return fam;
+}
+
+std::string openmetrics_labels(std::string_view name) {
+  const auto [base, raw] = split_labels(name);
+  (void)base;
+  if (raw.empty()) return {};
+  std::string out = "{";
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < raw.size()) {
+    std::size_t comma = raw.find(',', pos);
+    if (comma == std::string_view::npos) comma = raw.size();
+    const std::string_view pair = raw.substr(pos, comma - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos) {
+      if (!first) out += ',';
+      first = false;
+      for (const char c : pair.substr(0, eq)) {
+        out += valid_name_char(c, /*first=*/out.back() == '{' || out.back() == ',')
+                   ? c
+                   : '_';
+      }
+      out += "=\"";
+      out += escape_label_value(pair.substr(eq + 1));
+      out += '"';
+    }
+    pos = comma + 1;
+  }
+  out += '}';
+  return out == "{}" ? std::string{} : out;
+}
+
+void write_openmetrics(std::ostream& os, const MetricRegistry& reg) {
+  const auto counters = reg.snapshot_counters();
+  const auto gauges = reg.snapshot_gauges();
+  const auto hists = reg.snapshot_histograms();
+
+  struct Series {
+    std::string labels;
+    std::string raw_name;
+    std::size_t index;  // into the typed snapshot vector
+  };
+  // Group series sharing a sanitized family under one TYPE block,
+  // preserving the registry's sorted-by-raw-name order within a family.
+  std::map<std::string, std::vector<Series>> counter_fams, gauge_fams,
+      hist_fams;
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    const auto& name = counters[i].first;
+    counter_fams[openmetrics_family(name)].push_back(
+        {openmetrics_labels(name), name, i});
+  }
+  for (std::size_t i = 0; i < hists.size(); ++i) {
+    const auto& name = hists[i].first;
+    hist_fams[openmetrics_family(name)].push_back(
+        {openmetrics_labels(name), name, i});
+  }
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    const auto& name = gauges[i].first;
+    std::string fam = openmetrics_family(name);
+    // The registry's namespaces are disjoint but the exposition's are
+    // not: a gauge landing on a counter/histogram family gets its own.
+    if (counter_fams.count(fam) != 0 || hist_fams.count(fam) != 0) {
+      fam += "_gauge";
+    }
+    gauge_fams[fam].push_back({openmetrics_labels(name), name, i});
+  }
+
+  for (const auto& [fam, series] : counter_fams) {
+    os << "# TYPE " << fam << " counter\n";
+    os << "# HELP " << fam << " registry counter " << series.front().raw_name
+       << "\n";
+    for (const auto& s : series) {
+      os << fam << "_total" << s.labels << ' ' << counters[s.index].second
+         << '\n';
+    }
+  }
+  for (const auto& [fam, series] : gauge_fams) {
+    os << "# TYPE " << fam << " gauge\n";
+    for (const auto& s : series) {
+      os << fam << s.labels << ' ' << format_double(gauges[s.index].second)
+         << '\n';
+    }
+  }
+  for (const auto& [fam, series] : hist_fams) {
+    os << "# TYPE " << fam << " histogram\n";
+    if (fam.size() > 8 && fam.compare(fam.size() - 8, 8, "_seconds") == 0) {
+      os << "# UNIT " << fam << " seconds\n";
+    }
+    for (const auto& s : series) {
+      const HistogramSnapshot& h = hists[s.index].second;
+      // Cumulative sparse buckets; the mandatory +Inf bucket carries the
+      // total and doubles as the overflow bucket.
+      std::uint64_t cum = 0;
+      for (const auto& b : h.buckets) {
+        if (std::isinf(b.le)) break;  // folded into +Inf below
+        cum += b.count;
+        std::string labels = s.labels;
+        const std::string le = "le=\"" + format_double(b.le) + "\"";
+        if (labels.empty()) {
+          labels = "{" + le + "}";
+        } else {
+          labels.insert(labels.size() - 1, "," + le);
+        }
+        os << fam << "_bucket" << labels << ' ' << cum << '\n';
+      }
+      std::string inf_labels = s.labels;
+      if (inf_labels.empty()) {
+        inf_labels = "{le=\"+Inf\"}";
+      } else {
+        inf_labels.insert(inf_labels.size() - 1, ",le=\"+Inf\"");
+      }
+      os << fam << "_bucket" << inf_labels << ' ' << h.count << '\n';
+      os << fam << "_sum" << s.labels << ' ' << format_double(h.sum) << '\n';
+      os << fam << "_count" << s.labels << ' ' << h.count << '\n';
+    }
+  }
+  os << "# EOF\n";
+}
+
+// ---- lint ---------------------------------------------------------------
+
+namespace {
+
+struct LintError {
+  std::size_t line;
+  std::string what;
+};
+
+struct HistSeries {
+  double last_le = -std::numeric_limits<double>::infinity();
+  double last_cum = -1.0;
+  bool saw_inf = false;
+  double inf_value = 0.0;
+  bool saw_sum = false;
+  bool saw_count = false;
+  double count_value = 0.0;
+  std::size_t first_line = 0;
+};
+
+bool parse_metric_name(std::string_view& rest, std::string& out) {
+  std::size_t i = 0;
+  while (i < rest.size() && valid_name_char(rest[i], i == 0)) ++i;
+  if (i == 0) return false;
+  out = std::string(rest.substr(0, i));
+  rest.remove_prefix(i);
+  return true;
+}
+
+/// Parse `{key="value",...}` from the head of `rest`. On success,
+/// `labels_out` receives the canonical labels (input order, escapes
+/// kept) and `le_out` the raw value of a `le` label when present.
+bool parse_labels(std::string_view& rest, std::string& labels_out,
+                  std::optional<std::string>& le_out, std::string& err) {
+  if (rest.empty() || rest.front() != '{') return true;  // no labels
+  rest.remove_prefix(1);
+  bool first = true;
+  while (true) {
+    if (rest.empty()) {
+      err = "unterminated label set";
+      return false;
+    }
+    if (rest.front() == '}') {
+      rest.remove_prefix(1);
+      return true;
+    }
+    if (!first) {
+      if (rest.front() != ',') {
+        err = "expected ',' between labels";
+        return false;
+      }
+      rest.remove_prefix(1);
+    }
+    first = false;
+    std::string key;
+    if (!parse_metric_name(rest, key) || key.find(':') != std::string::npos) {
+      err = "invalid label name";
+      return false;
+    }
+    if (rest.empty() || rest.front() != '=') {
+      err = "expected '=' after label name";
+      return false;
+    }
+    rest.remove_prefix(1);
+    if (rest.empty() || rest.front() != '"') {
+      err = "label value must be quoted";
+      return false;
+    }
+    rest.remove_prefix(1);
+    std::string value;
+    while (!rest.empty() && rest.front() != '"') {
+      if (rest.front() == '\\') {
+        if (rest.size() < 2) break;
+        value += rest[1];
+        rest.remove_prefix(2);
+      } else {
+        value += rest.front();
+        rest.remove_prefix(1);
+      }
+    }
+    if (rest.empty()) {
+      err = "unterminated label value";
+      return false;
+    }
+    rest.remove_prefix(1);  // closing quote
+    if (key == "le") {
+      le_out = value;
+    } else {
+      if (!labels_out.empty()) labels_out += ',';
+      labels_out += key + "=\"" + value + "\"";
+    }
+  }
+}
+
+bool parse_value(std::string_view token, double& out) {
+  if (token == "+Inf" || token == "Inf") {
+    out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "-Inf") {
+    out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "NaN") {
+    out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  const std::string buf(token);
+  char* end = nullptr;
+  out = std::strtod(buf.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != buf.c_str();
+}
+
+}  // namespace
+
+std::optional<std::string> openmetrics_lint(std::string_view text) {
+  std::map<std::string, std::string> family_type;
+  std::set<std::string> sampled_families;
+  std::map<std::string, HistSeries> hist_series;
+  bool saw_eof = false;
+  std::size_t line_no = 0;
+
+  const auto fail = [&](const std::string& what) {
+    return "line " + std::to_string(line_no) + ": " + what;
+  };
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    const bool last_fragment = nl == std::string_view::npos;
+    const std::string_view line =
+        text.substr(pos, last_fragment ? text.size() - pos : nl - pos);
+    pos = last_fragment ? text.size() + 1 : nl + 1;
+    if (last_fragment && line.empty()) break;  // trailing newline artifact
+    ++line_no;
+    if (saw_eof) return fail("content after # EOF");
+    if (line.empty()) return fail("blank lines are not allowed");
+
+    if (line.front() == '#') {
+      if (line == "# EOF") {
+        saw_eof = true;
+        continue;
+      }
+      std::string_view rest = line;
+      rest.remove_prefix(1);
+      if (rest.empty() || rest.front() != ' ') {
+        return fail("malformed comment line");
+      }
+      rest.remove_prefix(1);
+      std::string keyword;
+      for (const char* kw : {"TYPE ", "HELP ", "UNIT "}) {
+        if (rest.rfind(kw, 0) == 0) {
+          keyword = std::string(kw, 4);
+          rest.remove_prefix(5);
+          break;
+        }
+      }
+      if (keyword.empty()) return fail("unknown metadata keyword");
+      std::string fam;
+      if (!parse_metric_name(rest, fam)) return fail("invalid family name");
+      if (keyword == "TYPE") {
+        if (rest.empty() || rest.front() != ' ') {
+          return fail("TYPE needs a type");
+        }
+        rest.remove_prefix(1);
+        static const char* kTypes[] = {"counter", "gauge", "histogram",
+                                       "summary", "unknown", "info",
+                                       "stateset", "gaugehistogram"};
+        if (std::find(std::begin(kTypes), std::end(kTypes),
+                      std::string(rest)) == std::end(kTypes)) {
+          return fail("unknown metric type '" + std::string(rest) + "'");
+        }
+        if (family_type.count(fam) != 0) {
+          return fail("duplicate TYPE for family " + fam);
+        }
+        if (sampled_families.count(fam) != 0) {
+          return fail("TYPE for " + fam + " after its samples");
+        }
+        family_type[fam] = std::string(rest);
+      } else if (keyword == "UNIT") {
+        if (rest.empty() || rest.front() != ' ') {
+          return fail("UNIT needs a unit");
+        }
+        rest.remove_prefix(1);
+        const std::string unit = "_" + std::string(rest);
+        if (fam.size() <= unit.size() ||
+            fam.compare(fam.size() - unit.size(), unit.size(), unit) != 0) {
+          return fail("UNIT '" + std::string(rest) +
+                      "' is not a suffix of family " + fam);
+        }
+      }
+      // HELP: free text, nothing further to check.
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    std::string_view rest = line;
+    std::string name;
+    if (!parse_metric_name(rest, name)) return fail("invalid metric name");
+    std::string labels;
+    std::optional<std::string> le;
+    std::string err;
+    if (!parse_labels(rest, labels, le, err)) return fail(err);
+    if (rest.empty() || rest.front() != ' ') {
+      return fail("expected ' ' before sample value");
+    }
+    rest.remove_prefix(1);
+    const std::size_t sp = rest.find(' ');
+    const std::string_view value_tok =
+        sp == std::string_view::npos ? rest : rest.substr(0, sp);
+    double value = 0.0;
+    if (!parse_value(value_tok, value)) {
+      return fail("unparseable sample value '" + std::string(value_tok) +
+                  "'");
+    }
+    if (sp != std::string_view::npos) {
+      double ts = 0.0;
+      if (!parse_value(rest.substr(sp + 1), ts)) {
+        return fail("unparseable timestamp");
+      }
+    }
+
+    // Resolve the sample to a family; suffix resolution prefers the
+    // longest matching registered family.
+    const auto suffix_family = [&](std::string_view suffix)
+        -> std::optional<std::string> {
+      if (name.size() <= suffix.size() ||
+          name.compare(name.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+        return std::nullopt;
+      }
+      std::string fam = name.substr(0, name.size() - suffix.size());
+      const auto it = family_type.find(fam);
+      if (it == family_type.end()) return std::nullopt;
+      return fam;
+    };
+
+    if (const auto fam = suffix_family("_total");
+        fam && family_type[*fam] == "counter") {
+      if (value < 0.0) return fail("counter " + name + " is negative");
+      sampled_families.insert(*fam);
+      continue;
+    }
+    const auto bucket_fam = suffix_family("_bucket");
+    if (bucket_fam && family_type[*bucket_fam] == "histogram") {
+      if (!le) return fail(name + " sample is missing the le label");
+      double le_value = 0.0;
+      if (!parse_value(*le, le_value)) {
+        return fail("unparseable le value '" + *le + "'");
+      }
+      if (value < 0.0) return fail("negative bucket count in " + name);
+      HistSeries& hs = hist_series[*bucket_fam + "|" + labels];
+      if (hs.first_line == 0) hs.first_line = line_no;
+      if (le_value <= hs.last_le) {
+        return fail("bucket le values must be strictly ascending");
+      }
+      if (value < hs.last_cum) {
+        return fail("cumulative bucket counts must be non-decreasing");
+      }
+      hs.last_le = le_value;
+      hs.last_cum = value;
+      if (std::isinf(le_value) && le_value > 0) {
+        hs.saw_inf = true;
+        hs.inf_value = value;
+      }
+      sampled_families.insert(*bucket_fam);
+      continue;
+    }
+    const auto sum_fam = suffix_family("_sum");
+    if (sum_fam && family_type[*sum_fam] == "histogram") {
+      HistSeries& hs = hist_series[*sum_fam + "|" + labels];
+      if (hs.first_line == 0) hs.first_line = line_no;
+      hs.saw_sum = true;
+      sampled_families.insert(*sum_fam);
+      continue;
+    }
+    const auto count_fam = suffix_family("_count");
+    if (count_fam && family_type[*count_fam] == "histogram") {
+      if (value < 0.0) return fail("negative count in " + name);
+      HistSeries& hs = hist_series[*count_fam + "|" + labels];
+      if (hs.first_line == 0) hs.first_line = line_no;
+      hs.saw_count = true;
+      hs.count_value = value;
+      sampled_families.insert(*count_fam);
+      continue;
+    }
+    if (const auto it = family_type.find(name); it != family_type.end()) {
+      if (it->second == "counter") {
+        return fail("counter " + name + " samples must use the _total suffix");
+      }
+      if (it->second == "histogram") {
+        return fail("histogram " + name +
+                    " samples must use _bucket/_sum/_count");
+      }
+      sampled_families.insert(name);  // gauge / unknown
+      continue;
+    }
+    return fail("sample '" + name + "' has no preceding # TYPE");
+  }
+
+  if (!saw_eof) return "missing terminating # EOF";
+  for (const auto& [key, hs] : hist_series) {
+    line_no = hs.first_line;
+    const std::string series = key.substr(0, key.find('|'));
+    if (!hs.saw_inf) {
+      return fail("histogram " + series + " is missing the +Inf bucket");
+    }
+    if (!hs.saw_sum || !hs.saw_count) {
+      return fail("histogram " + series + " is missing _sum or _count");
+    }
+    if (hs.inf_value != hs.count_value) {
+      return fail("histogram " + series + " +Inf bucket (" +
+                  format_double(hs.inf_value) + ") != _count (" +
+                  format_double(hs.count_value) + ")");
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fdiam::obs

@@ -1,0 +1,54 @@
+#pragma once
+// OpenMetrics/Prometheus text exposition for the metric registry, plus
+// a lint for the subset this writer emits — so verify-metrics can gate
+// the CLI's --metrics-out files (and CI can catch a writer regression)
+// without a Prometheus binary in the container.
+//
+// Name mapping (registry → exposition):
+//  * an optional `[key=value,...]` suffix becomes a label set:
+//    "fdiam.bfs.seconds[stage=ecc]" → fdiam_bfs_seconds{stage="ecc"}
+//  * remaining characters outside [a-zA-Z0-9_:] become '_', and a
+//    "fdiam_" prefix is added when missing, namespacing the scrape;
+//  * counters gain the OpenMetrics-required "_total" sample suffix;
+//  * a gauge whose sanitized family collides with a counter family is
+//    suffixed "_gauge" (the registry's namespaces are disjoint, the
+//    exposition's are not);
+//  * histograms emit cumulative `_bucket{le="..."}` samples (sparse:
+//    only non-empty buckets, plus the mandatory le="+Inf"), `_sum`,
+//    and `_count`, with series of the same family grouped under one
+//    `# TYPE` block; families ending in `_seconds` also get
+//    `# UNIT ... seconds`.
+//
+// The exposition ends with the mandatory `# EOF` marker.
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/counters.hpp"
+
+namespace fdiam::obs {
+
+/// Sanitized family name for a registry metric name (label suffix
+/// stripped, charset fixed, "fdiam_" prefix ensured). Exposed for tests.
+[[nodiscard]] std::string openmetrics_family(std::string_view name);
+
+/// Labels rendered from a registry name's `[key=value,...]` suffix
+/// ("{stage=\"ecc\"}"); empty string when the name carries no labels.
+[[nodiscard]] std::string openmetrics_labels(std::string_view name);
+
+/// Write the full exposition (counters, gauges, histograms, `# EOF`).
+void write_openmetrics(std::ostream& os, const MetricRegistry& reg);
+
+/// Validate `text` against the grammar of the subset write_openmetrics
+/// produces: metadata lines (`# TYPE|HELP|UNIT`), sample lines with
+/// optional label sets, TYPE-before-samples ordering, counter
+/// non-negativity and `_total` naming, histogram bucket monotonicity
+/// (ascending le, non-decreasing cumulative counts, mandatory +Inf
+/// equal to `_count`), and the terminating `# EOF`. Returns nullopt on
+/// success or a "line N: ..." diagnostic for the first violation.
+[[nodiscard]] std::optional<std::string> openmetrics_lint(
+    std::string_view text);
+
+}  // namespace fdiam::obs

@@ -12,6 +12,8 @@
 #endif
 
 #include "obs/json.hpp"
+#include "obs/log/flight.hpp"
+#include "obs/log/log.hpp"
 
 namespace fdiam::obs {
 
@@ -409,6 +411,38 @@ void ProgressHeartbeat::beat(std::uint64_t alive, std::uint64_t initial,
   }
   const char* tag = snapshot_pending_ ? "snapshot" : "heartbeat";
   snapshot_pending_ = false;
+  // Progress beats also feed the crash flight recorder: a post-mortem dump
+  // then shows how far the run had progressed, not just its final events.
+  if (FlightRecorder* fr = FlightRecorder::active()) {
+    fr->record(FlightRecorder::EventKind::kHeartbeat, LogLevel::kInfo, tag,
+               static_cast<std::int64_t>(evaluated),
+               static_cast<std::int64_t>(bound));
+  }
+  if (format_ == HeartbeatFormat::kJson) {
+    // Route through the process logger: one JSON-lines record that the
+    // --jsonl checker validates like every other log line. ETA/util stay
+    // optional fields exactly like they are optional suffixes in text.
+    Logger& lg = Logger::instance();
+    if (eta >= 0.0) {
+      lg.log(LogLevel::kInfo, "heartbeat", tag,
+             {{"alive", alive},
+              {"initial", initial},
+              {"bound", static_cast<std::int64_t>(bound)},
+              {"evaluated", evaluated},
+              {"elapsed_s", elapsed_seconds},
+              {"eta_s", eta},
+              {"util", util}});
+    } else {
+      lg.log(LogLevel::kInfo, "heartbeat", tag,
+             {{"alive", alive},
+              {"initial", initial},
+              {"bound", static_cast<std::int64_t>(bound)},
+              {"evaluated", evaluated},
+              {"elapsed_s", elapsed_seconds},
+              {"util", util}});
+    }
+    return;
+  }
   std::fprintf(out_,
                "[fdiam] %s: alive %llu/%llu, bound %d, evaluated %llu, "
                "elapsed %.1f s",

@@ -203,6 +203,12 @@ class ProvenanceCollector {
 /// machine-clean (docs/OBSERVABILITY.md).
 bool stderr_is_tty();
 
+/// Rendering of one progress beat: the classic human-readable stderr line
+/// (byte-identical to what the solver always printed), or one structured
+/// record through the process logger (sub "heartbeat", level info) so
+/// monitoring can parse progress without scraping text.
+enum class HeartbeatFormat : std::uint8_t { kText, kJson };
+
 /// Live progress heartbeat for long solver runs: every `interval_seconds`
 /// the solver prints one stderr line with the alive-vertex count, current
 /// bound, and an ETA extrapolated from the removal rate so far. Periodic
@@ -213,6 +219,10 @@ class ProgressHeartbeat {
  public:
   explicit ProgressHeartbeat(double interval_seconds, bool force = false,
                              std::FILE* out = stderr);
+
+  /// Select text (default) or structured-logger output for beat().
+  void set_format(HeartbeatFormat format) { format_ = format; }
+  [[nodiscard]] HeartbeatFormat format() const { return format_; }
 
   /// Cheap per-iteration gate: checks the wall clock only every few
   /// hundred calls, so the solver can tick once per candidate scan
@@ -240,6 +250,7 @@ class ProgressHeartbeat {
   double interval_;
   bool force_;
   bool enabled_;       // periodic beats: force_ || stderr_is_tty()
+  HeartbeatFormat format_ = HeartbeatFormat::kText;
   std::FILE* out_;
   Timer clock_;
   double last_beat_ = 0.0;

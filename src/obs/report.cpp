@@ -11,6 +11,7 @@
 #endif
 
 #include "obs/json.hpp"
+#include "obs/metrics/metrics_report.hpp"
 #include "obs/perf/hw_counters.hpp"
 #include "obs/prof/prof_report.hpp"
 #include "obs/provenance.hpp"
@@ -284,6 +285,12 @@ void RunReport::write_json(std::ostream& os) const {
   if (provenance != nullptr) {
     w.key("provenance").begin_object();
     write_provenance_fields(w, *provenance);
+    w.end_object();
+  }
+
+  if (!histograms.empty()) {
+    w.key("histograms").begin_object();
+    write_metrics_block(w, histograms);
     w.end_object();
   }
 

@@ -14,6 +14,7 @@
 
 #include "core/fdiam.hpp"
 #include "graph/stats.hpp"
+#include "util/histogram.hpp"
 
 namespace fdiam::prof {
 struct ProfileSummary;
@@ -50,6 +51,12 @@ struct RunReport {
   EnvInfo env;
   /// Optional registry snapshot appended as a flat "metrics" object.
   std::vector<std::pair<std::string, double>> metrics;
+  /// Optional distribution snapshot (MetricRegistry::snapshot_histograms)
+  /// embedded as a schema-versioned "histograms" block
+  /// ("fdiam.metrics/v1": per-series count/sum/min/max/p50/p90/p99 and
+  /// sparse buckets; see obs/metrics/metrics_report.hpp). Series with
+  /// zero records are omitted; an empty vector omits the whole block.
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
   /// When set, a schema-versioned "provenance" block (stage histogram +
   /// bound-evolution timeline) is embedded. Not owned; must outlive
   /// write_json().

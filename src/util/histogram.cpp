@@ -1,0 +1,147 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fdiam {
+
+namespace {
+
+/// Shared inclusive-upper-bound table. Bucket 0 absorbs everything
+/// <= kMinValue; the linear buckets for octave `o`, sub-bucket `s`
+/// cover (le(prev), kMinValue * 2^o * (1 + (s+1)/kSubBuckets)]; the
+/// final bucket is the +inf overflow. Built once, read-only afterwards,
+/// so lookup and binary search are safe from any thread.
+const std::array<double, Histogram::kBucketCount>& bounds_table() {
+  static const std::array<double, Histogram::kBucketCount> table = [] {
+    std::array<double, Histogram::kBucketCount> t{};
+    t[0] = Histogram::kMinValue;
+    std::size_t i = 1;
+    for (int o = 0; o < Histogram::kOctaves; ++o) {
+      const double base = std::ldexp(Histogram::kMinValue, o);
+      for (int s = 0; s < Histogram::kSubBuckets; ++s) {
+        t[i++] = base * (1.0 + static_cast<double>(s + 1) /
+                                   Histogram::kSubBuckets);
+      }
+    }
+    // The last linear bound above equals 2^kOctaves * kMinValue; the
+    // overflow bucket replaces it with +inf so every value has a home.
+    t[Histogram::kBucketCount - 1] =
+        std::numeric_limits<double>::infinity();
+    return t;
+  }();
+  return table;
+}
+
+/// fetch_add for atomic<double> predates C++20 on some standard
+/// libraries; a CAS loop keeps the accumulate portable.
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double Histogram::bucket_le(std::size_t i) { return bounds_table()[i]; }
+
+std::size_t Histogram::bucket_index(double v) {
+  const auto& t = bounds_table();
+  if (!(v > t[0])) return 0;  // underflow; NaN compares false and lands here
+  // First bound >= v: exact "le" semantics, immune to the rounding drift
+  // a closed-form log/frexp index would accumulate at bucket boundaries.
+  const auto it = std::lower_bound(t.begin(), t.end(), v);
+  return static_cast<std::size_t>(it - t.begin());
+}
+
+void Histogram::record(double v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  if (!any_.load(std::memory_order_acquire)) {
+    // First record wins the init race via CAS against the 0.0 defaults:
+    // seed with +/-inf semantics by treating "not yet any" as both
+    // extremes. A plain store would race with a concurrent min/max.
+    double expected = 0.0;
+    min_.compare_exchange_strong(expected,
+                                 std::numeric_limits<double>::infinity(),
+                                 std::memory_order_relaxed);
+    expected = 0.0;
+    max_.compare_exchange_strong(expected,
+                                 -std::numeric_limits<double>::infinity(),
+                                 std::memory_order_relaxed);
+    any_.store(true, std::memory_order_release);
+  }
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  if (s.count > 0) {
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    if (std::isinf(s.min)) s.min = 0.0;  // raced with the very first record
+    if (std::isinf(s.max)) s.max = 0.0;
+  }
+  s.buckets.reserve(16);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    s.buckets.push_back({bucket_le(i), c});
+    seen += c;
+  }
+  // A snapshot racing active writers can see count_ ahead of the bucket
+  // it lands in (or behind it); pin count to the buckets actually seen
+  // so downstream invariants (sum of buckets == count) always hold.
+  s.count = seen;
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  any_.store(false, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t cum = 0;
+  double le = buckets.back().le;
+  for (const auto& b : buckets) {
+    cum += b.count;
+    if (cum >= target) {
+      le = b.le;
+      break;
+    }
+  }
+  // The bucket upper bound can overshoot the true extreme (and is +inf
+  // for the overflow bucket); the recorded min/max are exact, so clamp.
+  return std::clamp(le, min, max);
+}
+
+}  // namespace fdiam

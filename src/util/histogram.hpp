@@ -1,0 +1,92 @@
+#pragma once
+// Log-linear (HDR-style) histogram for latency and size distributions.
+//
+// The run reports and OpenMetrics exposition need *distributions* — a
+// handful of high-eccentricity BFS calls dominate the tail, which stage
+// totals cannot show — so this records values into buckets whose upper
+// bounds grow geometrically: kSubBuckets linear sub-buckets per octave
+// (power of two), giving a worst-case relative quantile error of
+// 1/kSubBuckets (6.25%) over the whole range [kMinValue, 2^kOctaves *
+// kMinValue) with a fixed 8 KiB footprint and no allocation on the
+// record path.
+//
+// The type lives in util/ (not obs/) for the same layering reason as
+// UtilCollector in util/parallel.hpp: the BFS engines and solver stages
+// record into it, and they must not depend on the observability layer —
+// obs/metrics/ only registers, formats, and exports these numbers.
+//
+// Thread-safety: record() is lock-free (relaxed atomic adds plus CAS
+// loops for min/max), so the candidate-batch per-thread BFS engines can
+// share one histogram. snapshot() is a racy-but-consistent-enough read:
+// counters are monotone, so a snapshot taken while writers are active
+// can undercount the newest records but never tears a bucket.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace fdiam {
+
+/// Value copy of a histogram for serialization: non-empty buckets with
+/// their inclusive upper bounds, plus the moment aggregates.
+struct HistogramSnapshot {
+  struct Bucket {
+    double le = 0.0;          ///< inclusive upper bound; +inf for overflow
+    std::uint64_t count = 0;  ///< records in (previous le, le]
+  };
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when empty
+  double max = 0.0;  ///< 0 when empty
+  std::vector<Bucket> buckets;  ///< non-empty buckets, ascending le
+
+  /// Quantile estimate for q in [0, 1]: the upper bound of the bucket
+  /// holding the ceil(q * count)-th smallest record, clamped into
+  /// [min, max] so p99 never exceeds the observed maximum. 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+};
+
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 16;   ///< linear buckets per octave
+  static constexpr int kOctaves = 63;      ///< kMinValue << 63 ~ 9.2e9
+  static constexpr double kMinValue = 1e-9;
+  /// underflow + kOctaves * kSubBuckets log-linear + overflow.
+  static constexpr std::size_t kBucketCount =
+      2 + static_cast<std::size_t>(kOctaves) * kSubBuckets;
+
+  /// Record one value. Values <= kMinValue (and NaN) land in the
+  /// underflow bucket; values beyond the last octave in the overflow
+  /// bucket. Lock-free; callable concurrently from any thread.
+  void record(double v);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket `i` (the shared static bound table;
+  /// last entry is +inf).
+  [[nodiscard]] static double bucket_le(std::size_t i);
+  /// Index of the bucket that record(v) increments.
+  [[nodiscard]] static std::size_t bucket_index(double v);
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// Zero every counter (tests isolating runs that share a registry).
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // Encoded as raw doubles under CAS; min_ starts at +inf, max_ at -inf.
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> any_{false};
+};
+
+}  // namespace fdiam

@@ -1,0 +1,347 @@
+// Tests for the structured JSON-lines logger, the crash flight recorder,
+// and the solver-event -> logger/ring bridge (obs/log/).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fdiam.hpp"
+#include "gen/generators.hpp"
+#include "obs/json.hpp"
+#include "obs/log/flight.hpp"
+#include "obs/log/log.hpp"
+#include "obs/log/log_sink.hpp"
+
+namespace fdiam {
+namespace {
+
+using obs::FlightRecorder;
+using obs::Logger;
+using obs::LogLevel;
+
+/// Everything written to a tmpfile-backed stream so far.
+std::string slurp(std::FILE* f) {
+  std::fflush(f);
+  std::rewind(f);
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  return out;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::size_t end = eol == std::string::npos ? text.size() : eol;
+    if (end > pos) lines.push_back(text.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return lines;
+}
+
+TEST(LoggerTest, LevelNamesRoundTrip) {
+  for (const LogLevel l : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo,
+                           LogLevel::kWarn, LogLevel::kError, LogLevel::kOff}) {
+    const auto parsed = obs::log_level_from_name(obs::log_level_name(l));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, l);
+  }
+  EXPECT_EQ(obs::log_level_from_name("INFO"), LogLevel::kInfo);  // any case
+  EXPECT_FALSE(obs::log_level_from_name("loud").has_value());
+  EXPECT_FALSE(obs::log_level_from_name("").has_value());
+}
+
+TEST(LoggerTest, LevelThresholdFiltersRecords) {
+  Logger lg;
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  lg.set_output(f);
+
+  // Default is off: nothing passes, not even errors.
+  EXPECT_FALSE(lg.enabled(LogLevel::kError));
+  lg.log(LogLevel::kError, "test", "dropped");
+  EXPECT_EQ(lg.records(), 0u);
+
+  lg.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(lg.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(lg.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(lg.enabled(LogLevel::kError));
+  EXPECT_FALSE(lg.enabled(LogLevel::kOff));  // never a record level
+  lg.log(LogLevel::kInfo, "test", "filtered");
+  lg.log(LogLevel::kWarn, "test", "kept");
+  EXPECT_EQ(lg.records(), 1u);
+
+  const auto lines = lines_of(slurp(f));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"msg\":\"kept\""), std::string::npos);
+  lg.set_output(nullptr);
+  std::fclose(f);
+}
+
+TEST(LoggerTest, RecordsAreOneValidJsonObjectPerLine) {
+  Logger lg;
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  lg.set_output(f);
+  lg.set_level(LogLevel::kTrace);
+
+  lg.log(LogLevel::kInfo, "solver", "bound raised",
+         {{"old", -1}, {"new", std::uint64_t{42}}, {"ratio", 0.5},
+          {"final", false}, {"witness", "v17"}});
+  lg.log(LogLevel::kDebug, "io", "weird payload",
+         {{"text", "quote\" backslash\\ newline\n tab\t"}});
+  lg.log(LogLevel::kError, "cli", "nan stays json", {{"x", 0.0 / 0.0}});
+
+  const auto lines = lines_of(slurp(f));
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(obs::json_diagnose(line), std::nullopt) << line;
+  }
+  EXPECT_NE(lines[0].find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"sub\":\"solver\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"old\":-1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"new\":42"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"final\":false"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"ts\":\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"mono_s\":"), std::string::npos);
+  EXPECT_NE(lines[1].find("\\\""), std::string::npos);   // escaped quote
+  EXPECT_NE(lines[2].find("\"x\":null"), std::string::npos);  // NaN -> null
+  lg.set_output(nullptr);
+  std::fclose(f);
+}
+
+TEST(LoggerTest, ConcurrentRecordsNeverInterleaveMidLine) {
+  Logger lg;
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  lg.set_output(f);
+  lg.set_level(LogLevel::kInfo);
+
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&lg, t] {
+      // Per-thread payload lengths differ so a torn line would almost
+      // surely fail JSON validation below.
+      const std::string payload(17 + 13 * static_cast<std::size_t>(t), 'x');
+      for (int r = 0; r < kRecords; ++r) {
+        lg.log(LogLevel::kInfo, "worker", payload, {{"t", t}, {"r", r}});
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const auto lines = lines_of(slurp(f));
+  ASSERT_EQ(lines.size(),
+            static_cast<std::size_t>(kThreads) * kRecords);
+  EXPECT_EQ(lg.records(), static_cast<std::uint64_t>(kThreads) * kRecords);
+  for (const std::string& line : lines) {
+    ASSERT_EQ(obs::json_diagnose(line), std::nullopt) << line;
+  }
+  lg.set_output(nullptr);
+  std::fclose(f);
+}
+
+TEST(LoggerTest, OpenOutputFailureLeavesLoggerUsable) {
+  Logger lg;
+  EXPECT_FALSE(lg.open_output("/nonexistent-dir/fdiam-test.log"));
+  EXPECT_TRUE(lg.ok());
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  lg.set_output(f);
+  lg.set_level(LogLevel::kInfo);
+  lg.log(LogLevel::kInfo, "test", "still alive");
+  EXPECT_EQ(lg.records(), 1u);
+  EXPECT_TRUE(lg.ok());
+  lg.set_output(nullptr);
+  std::fclose(f);
+}
+
+#ifdef __linux__
+TEST(LoggerTest, WriteFailureIsStickyUntilOutputSwitch) {
+  // /dev/full: writes succeed into the stdio buffer, the flush fails
+  // with ENOSPC — exactly the failure mode ok() exists to surface.
+  std::FILE* full = std::fopen("/dev/full", "w");
+  if (full == nullptr) GTEST_SKIP() << "/dev/full unavailable";
+  Logger lg;
+  lg.set_output(full);
+  lg.set_level(LogLevel::kInfo);
+  lg.log(LogLevel::kInfo, "test", "doomed record");
+  lg.flush();
+  EXPECT_FALSE(lg.ok());
+  lg.flush();
+  EXPECT_FALSE(lg.ok());  // sticky
+  lg.set_output(nullptr);  // switching the stream clears the flag
+  EXPECT_TRUE(lg.ok());
+  std::fclose(full);
+}
+#endif
+
+TEST(FlightRecorderTest, DumpCarriesContextAndEventsInOrder) {
+  FlightRecorder fr;
+  fr.set_stage(UtilStage::kEcc);
+  fr.set_bounds(4);
+  fr.record(FlightRecorder::EventKind::kSpanBegin, LogLevel::kInfo, "first",
+            7);
+  fr.record(FlightRecorder::EventKind::kBound, LogLevel::kInfo, "raise", 4,
+            6);
+  fr.record(FlightRecorder::EventKind::kHeartbeat, LogLevel::kInfo, "beat",
+            12, 6);
+  EXPECT_EQ(fr.recorded(), 3u);
+
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  fr.dump(fileno(f), SIGSEGV);
+  const std::string text = slurp(f);
+  std::fclose(f);
+
+  // The crash-context header is one line so a death-test regex can match
+  // it; bound_upper stays "?" until the solver proves optimality.
+  EXPECT_NE(text.find("crash: signal=11 stage=ecc bound_lower=4 "
+                      "bound_upper=? events=3"),
+            std::string::npos)
+      << text;
+  const std::size_t p_first = text.find("span_begin/info tid=");
+  const std::size_t p_raise = text.find("bound/info");
+  const std::size_t p_beat = text.find("heartbeat/info");
+  ASSERT_NE(p_first, std::string::npos) << text;
+  ASSERT_NE(p_raise, std::string::npos);
+  ASSERT_NE(p_beat, std::string::npos);
+  EXPECT_LT(p_first, p_raise);
+  EXPECT_LT(p_raise, p_beat);
+  EXPECT_NE(text.find("raise a=4 b=6"), std::string::npos) << text;
+}
+
+TEST(FlightRecorderTest, RingWrapsKeepingTheNewestEvents) {
+  FlightRecorder fr;
+  const std::size_t total = FlightRecorder::kSlots + 50;
+  for (std::size_t i = 0; i < total; ++i) {
+    fr.record(FlightRecorder::EventKind::kLog, LogLevel::kDebug,
+              "ev" + std::to_string(i));
+  }
+  EXPECT_EQ(fr.recorded(), total);
+
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  fr.dump(fileno(f));
+  const std::string text = slurp(f);
+  std::fclose(f);
+
+  // Events 0..49 were overwritten; 50..total-1 survive, oldest first.
+  EXPECT_EQ(text.find(" ev49\n"), std::string::npos) << text;
+  const std::size_t p_oldest = text.find(" ev50\n");
+  const std::size_t p_newest =
+      text.find(" ev" + std::to_string(total - 1) + "\n");
+  ASSERT_NE(p_oldest, std::string::npos) << text;
+  ASSERT_NE(p_newest, std::string::npos);
+  EXPECT_LT(p_oldest, p_newest);
+  // Dump without a signal: programmatic header, unknown stage/bounds.
+  EXPECT_NE(text.find("crash: signal=-1 stage=? bound_lower=? bound_upper=?"),
+            std::string::npos)
+      << text;
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordsAllGetTickets) {
+  FlightRecorder fr;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&fr, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        fr.record(FlightRecorder::EventKind::kLog, LogLevel::kInfo, "c",
+                  t, i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(fr.recorded(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(FlightRecorderTest, InstallReturnsThePreviousRecorder) {
+  FlightRecorder a, b;
+  FlightRecorder* before = FlightRecorder::install(&a);
+  EXPECT_EQ(FlightRecorder::active(), &a);
+  EXPECT_EQ(FlightRecorder::install(&b), &a);
+  EXPECT_EQ(FlightRecorder::active(), &b);
+  FlightRecorder::install(before);
+}
+
+TEST(LogSinkTest, BridgesSolverEventsToLoggerAndRing) {
+  Logger lg;
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  lg.set_output(f);
+  lg.set_level(LogLevel::kDebug);
+
+  FlightRecorder fr;
+  FlightRecorder* before = FlightRecorder::install(&fr);
+
+  const Csr g = make_barabasi_albert(400, 3.0, 11);
+  FDiamOptions opt;
+  opt.trace = obs::make_log_trace_sink(lg);
+  const DiameterResult r = fdiam_diameter(g, opt);
+  FlightRecorder::install(before);
+
+  EXPECT_GE(r.diameter, 1);
+  EXPECT_GT(lg.records(), 0u);
+  EXPECT_GT(fr.recorded(), 0u);
+
+  const std::string text = slurp(f);
+  std::fclose(f);
+  for (const std::string& line : lines_of(text)) {
+    ASSERT_EQ(obs::json_diagnose(line), std::nullopt) << line;
+  }
+  EXPECT_NE(text.find("\"msg\":\"solve start\""), std::string::npos);
+  EXPECT_NE(text.find("\"msg\":\"initial bound\""), std::string::npos);
+  EXPECT_NE(text.find("\"msg\":\"solve done\""), std::string::npos);
+
+  // Milestones stay at info; the per-vertex firehose must not.
+  lg.set_level(LogLevel::kInfo);
+  const std::uint64_t info_before = lg.records();
+  std::FILE* f2 = std::tmpfile();
+  ASSERT_NE(f2, nullptr);
+  lg.set_output(f2);
+  FDiamOptions opt2;
+  opt2.trace = obs::make_log_trace_sink(lg);
+  fdiam_diameter(g, opt2);
+  const std::string info_text = slurp(f2);
+  lg.set_output(nullptr);
+  std::fclose(f2);
+  EXPECT_GT(lg.records(), info_before);
+  EXPECT_EQ(info_text.find("\"level\":\"debug\""), std::string::npos);
+}
+
+TEST(CrashDumpDeathTest, FatalSignalDumpsStageAndBounds) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Csr g = make_path(200);
+  // Crash mid-solve from the winnow milestone: by then the solver has
+  // published both a stage and an initial lower bound to the recorder,
+  // and the single-line crash context must carry them to stderr.
+  EXPECT_DEATH(
+      {
+        obs::FlightRecorder fr;
+        obs::FlightRecorder::install(&fr);
+        obs::FlightRecorder::install_crash_handlers();
+        FDiamOptions opt;
+        opt.trace = [](const FDiamEvent& e) {
+          if (e.kind == FDiamEvent::Kind::kWinnow) std::raise(SIGSEGV);
+        };
+        fdiam_diameter(g, opt);
+      },
+      "crash: signal=[0-9]+ stage=winnow bound_lower=[0-9]+ bound_upper=\\?");
+}
+
+}  // namespace
+}  // namespace fdiam

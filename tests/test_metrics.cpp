@@ -4,11 +4,23 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/eccentricity.hpp"
 #include "core/fdiam.hpp"
 #include "core/metrics.hpp"
 #include "gen/generators.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics/metrics_report.hpp"
+#include "obs/metrics/openmetrics.hpp"
+#include "util/histogram.hpp"
 
 namespace fdiam {
 namespace {
@@ -129,6 +141,279 @@ TEST(GraphMetrics, DisconnectedUsesLargestComponentForRadius) {
   EXPECT_EQ(m.diameter, 10);
   EXPECT_EQ(m.radius, 10);
   for (const vid_t c : m.center) EXPECT_GE(c, 3u);  // in the cycle
+}
+
+// ---- log-linear histogram (util/histogram.hpp) --------------------------
+
+TEST(HistogramTest, BucketBoundariesAreExactlyInclusive) {
+  // Spot-check the whole range: a bound is the last value of its own
+  // bucket, and the next representable double already spills over.
+  for (const std::size_t i : {std::size_t{1}, std::size_t{7},
+                              std::size_t{16}, std::size_t{100},
+                              std::size_t{500}, Histogram::kBucketCount - 2}) {
+    const double le = Histogram::bucket_le(i);
+    ASSERT_TRUE(std::isfinite(le)) << i;
+    EXPECT_EQ(Histogram::bucket_index(le), i);
+    EXPECT_EQ(Histogram::bucket_index(
+                  std::nextafter(le, std::numeric_limits<double>::infinity())),
+              i + 1);
+  }
+  // Underflow: everything <= kMinValue, negatives, and NaN.
+  EXPECT_EQ(Histogram::bucket_index(Histogram::kMinValue), 0u);
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-5.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(std::nan("")), 0u);
+  // Overflow: beyond the last octave lands in the +inf bucket.
+  EXPECT_EQ(Histogram::bucket_index(1e30), Histogram::kBucketCount - 1);
+  EXPECT_TRUE(std::isinf(Histogram::bucket_le(Histogram::kBucketCount - 1)));
+}
+
+TEST(HistogramTest, RecordTracksCountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.snapshot().quantile(0.5), 0.0);  // empty
+  for (const double v : {0.25, 0.5, 0.125, 4.0}) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_NEAR(s.sum, 4.875, 1e-12);
+  EXPECT_EQ(s.min, 0.125);
+  EXPECT_EQ(s.max, 4.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.snapshot().buckets.size(), 0u);
+}
+
+TEST(HistogramTest, QuantilesMatchSortedOracleWithinBucketError) {
+  Histogram h;
+  std::mt19937_64 rng(42);
+  // Log-uniform over six decades: every octave in range gets traffic.
+  std::uniform_real_distribution<double> exp10(-6.0, 0.0);
+  std::vector<double> values;
+  values.reserve(4000);
+  for (int i = 0; i < 4000; ++i) {
+    const double v = std::pow(10.0, exp10(rng));
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  const HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.count, values.size());
+  for (const double q : {0.5, 0.9, 0.99, 1.0}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    const double exact = values[rank - 1];
+    const double est = s.quantile(q);
+    // The estimate is the bucket's inclusive upper bound (clamped to the
+    // observed max): never below the true order statistic, and at most
+    // one sub-bucket width (1/16 relative) above it.
+    EXPECT_GE(est, exact * (1.0 - 1e-12)) << "q=" << q;
+    EXPECT_LE(est, exact * (1.0 + 1.0 / Histogram::kSubBuckets + 1e-9))
+        << "q=" << q;
+  }
+  EXPECT_EQ(s.quantile(1.0), s.max);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreLossless) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(1e-6 * (1 + t) * (1 + i % 97));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const auto& b : s.buckets) bucket_total += b.count;
+  EXPECT_EQ(bucket_total, s.count);  // quiescent: pinning loses nothing
+  EXPECT_EQ(s.min, 1e-6);
+  EXPECT_NEAR(s.max, 1e-6 * kThreads * 97, 1e-15);
+}
+
+// ---- OpenMetrics exposition + lint (obs/metrics/openmetrics.hpp) --------
+
+TEST(OpenMetricsTest, FamilyAndLabelMapping) {
+  EXPECT_EQ(obs::openmetrics_family("fdiam.bfs.seconds[stage=ecc]"),
+            "fdiam_bfs_seconds");
+  EXPECT_EQ(obs::openmetrics_family("fdiam.bfs.calls"), "fdiam_bfs_calls");
+  EXPECT_EQ(obs::openmetrics_family("weird name!"), "fdiam_weird_name_");
+  EXPECT_EQ(obs::openmetrics_labels("fdiam.bfs.seconds[stage=ecc]"),
+            "{stage=\"ecc\"}");
+  EXPECT_EQ(obs::openmetrics_labels("x[a=1,b=two]"), "{a=\"1\",b=\"two\"}");
+  EXPECT_EQ(obs::openmetrics_labels("fdiam.bfs.calls"), "");
+}
+
+TEST(OpenMetricsTest, WriterOutputPassesLint) {
+  obs::MetricRegistry reg;
+  reg.counter("fdiam.bfs.calls").inc(5);
+  reg.gauge("fdiam.bfs.calls").set(2.5);  // family collision with counter
+  reg.gauge("threads").set(8.0);
+  obs::SolveHistograms sh(reg);
+  for (const double v : {0.001, 0.002, 0.004, 0.1}) sh.bfs_ecc.record(v);
+  sh.bfs_init.record(0.05);
+  sh.frontier.record(128.0);
+  sh.frontier.record(1e30);  // overflow -> folded into the +Inf bucket
+
+  std::ostringstream os;
+  obs::write_openmetrics(os, reg);
+  const std::string text = os.str();
+
+  const auto diag = obs::openmetrics_lint(text);
+  EXPECT_EQ(diag, std::nullopt) << *diag << "\n" << text;
+  EXPECT_NE(text.find("# TYPE fdiam_bfs_calls counter"), std::string::npos);
+  EXPECT_NE(text.find("fdiam_bfs_calls_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fdiam_bfs_calls_gauge gauge"),
+            std::string::npos)
+      << "gauge colliding with a counter family must be renamed";
+  EXPECT_NE(text.find("# TYPE fdiam_bfs_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("# UNIT fdiam_bfs_seconds seconds"), std::string::npos);
+  EXPECT_NE(text.find("stage=\"ecc\""), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("fdiam_bfs_frontier_vertices_count 2"),
+            std::string::npos);
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(OpenMetricsTest, LintRejectsMalformedExpositions) {
+  const auto reject = [](std::string_view text, std::string_view why) {
+    const auto diag = obs::openmetrics_lint(text);
+    ASSERT_TRUE(diag.has_value()) << "accepted: " << text;
+    EXPECT_NE(diag->find(why), std::string::npos) << *diag;
+  };
+  reject("# TYPE fdiam_x counter\nfdiam_x_total 1\n",
+         "missing terminating # EOF");
+  reject("fdiam_x_total 1\n# EOF\n", "no preceding # TYPE");
+  reject(
+      "# TYPE fdiam_h histogram\n"
+      "fdiam_h_bucket{le=\"2.0\"} 5\n"
+      "fdiam_h_bucket{le=\"1.0\"} 6\n"
+      "fdiam_h_bucket{le=\"+Inf\"} 6\n"
+      "fdiam_h_sum 3.0\nfdiam_h_count 6\n# EOF\n",
+      "strictly ascending");
+  reject(
+      "# TYPE fdiam_h histogram\n"
+      "fdiam_h_bucket{le=\"+Inf\"} 5\n"
+      "fdiam_h_sum 3.0\nfdiam_h_count 6\n# EOF\n",
+      "!= _count");
+  reject(
+      "# TYPE fdiam_h histogram\n"
+      "fdiam_h_sum 3.0\nfdiam_h_count 0\n# EOF\n",
+      "missing the +Inf bucket");
+  reject("# TYPE fdiam_c counter\nfdiam_c_total 5\n# TYPE fdiam_c counter\n"
+         "# EOF\n",
+         "duplicate TYPE");
+  reject("# TYPE fdiam_g gauge\nfdiam_g -1\n\n# EOF\n", "blank lines");
+  reject("# EOF\nfdiam_g 1\n", "content after # EOF");
+  reject("# TYPE fdiam_c counter\nfdiam_c_total -2\n# EOF\n", "negative");
+  reject("# TYPE fdiam_c counter\nfdiam_c 5\n# EOF\n", "_total");
+  reject("fdiam_g 1\n# TYPE fdiam_g gauge\n# EOF\n", "no preceding # TYPE");
+}
+
+// ---- fdiam.metrics/v1 report block (obs/metrics/metrics_report.hpp) -----
+
+namespace {
+
+/// Wrap `series` the way RunReport does: {"histograms": {<block>}}.
+std::string metrics_document(
+    const std::vector<std::pair<std::string, HistogramSnapshot>>& series) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.key("histograms").begin_object();
+  obs::write_metrics_block(w, series);
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace
+
+TEST(MetricsBlockTest, WriterRoundTripValidates) {
+  obs::MetricRegistry reg;
+  obs::SolveHistograms sh(reg);
+  for (const double v : {0.001, 0.002, 0.004, 0.1}) sh.bfs_ecc.record(v);
+  sh.bfs_init.record(0.05);
+  sh.frontier.record(1e30);  // overflow bucket -> null le in JSON
+  const std::string doc = metrics_document(reg.snapshot_histograms());
+
+  const auto parse = obs::json_diagnose(doc);
+  ASSERT_EQ(parse, std::nullopt) << *parse << "\n" << doc;
+  const auto diag = obs::diagnose_metrics_block(doc);
+  EXPECT_EQ(diag, std::nullopt) << *diag << "\n" << doc;
+  EXPECT_EQ(obs::json_string(doc, "histograms.schema"), "fdiam.metrics/v1");
+  // Empty series (chain/eliminate/... never recorded) are omitted.
+  EXPECT_EQ(doc.find("stage=chain"), std::string::npos);
+  // The +inf bucket must serialize as null, not as an Infinity token.
+  EXPECT_NE(doc.find("\"le\": null"), std::string::npos) << doc;
+}
+
+TEST(MetricsBlockTest, RejectsHandcraftedViolations) {
+  const auto reject = [](std::string_view doc, std::string_view why) {
+    const auto diag = obs::diagnose_metrics_block(doc);
+    ASSERT_TRUE(diag.has_value()) << "accepted: " << doc;
+    EXPECT_NE(diag->find(why), std::string::npos) << *diag;
+  };
+  // No histograms block at all is fine (older reports).
+  EXPECT_EQ(obs::diagnose_metrics_block(R"({"result":{}})"), std::nullopt);
+  reject(R"({"histograms":{"schema":"bogus/v9","series":[]}})",
+         "histograms.schema");
+  reject(R"({"histograms":{"schema":"fdiam.metrics/v1","series":[
+    {"name":"x","count":2,"sum":3.0,"min":1.0,"max":2.0,
+     "p50":1.9,"p90":1.5,"p99":2.0,
+     "buckets":[{"le":2.0,"count":2}]}]}})",
+         "quantiles");
+  reject(R"({"histograms":{"schema":"fdiam.metrics/v1","series":[
+    {"name":"x","count":3,"sum":4.5,"min":1.0,"max":2.0,
+     "p50":1.5,"p90":2.0,"p99":2.0,
+     "buckets":[{"le":2.0,"count":2}]}]}})",
+         "bucket counts sum");
+  reject(R"({"histograms":{"schema":"fdiam.metrics/v1","series":[
+    {"name":"x","count":2,"sum":3.0,"min":1.0,"max":2.0,
+     "p50":1.5,"p90":2.0,"p99":2.0,
+     "buckets":[{"le":null,"count":1},{"le":2.0,"count":1}]}]}})",
+         "after the +inf overflow");
+  reject(R"({"histograms":{"schema":"fdiam.metrics/v1","series":[
+    {"name":"x","count":2,"sum":99.0,"min":1.0,"max":2.0,
+     "p50":1.5,"p90":2.0,"p99":2.0,
+     "buckets":[{"le":2.0,"count":2}]}]}})",
+         "sum outside");
+}
+
+TEST(MetricsBlockTest, ConsistencyCrossChecksBfsCallsAndUtilization) {
+  const auto report = [](int bfs_calls, double busy_s) {
+    std::ostringstream os;
+    os << R"({"stages":{"counts":{"bfs_calls":)" << bfs_calls
+       << R"(},"times_s":{"total":2.0}},)"
+       << R"("utilization":{"threads":4,"total":{"busy_s":)" << busy_s
+       << R"(}},"histograms":{"schema":"fdiam.metrics/v1","series":[)"
+       << R"({"name":"fdiam.bfs.seconds[stage=ecc]","count":3},)"
+       << R"({"name":"fdiam.bfs.seconds[stage=init]","count":2},)"
+       << R"({"name":"fdiam.stage.seconds[stage=chain]","count":99}]}})";
+    return os.str();
+  };
+  EXPECT_EQ(obs::diagnose_report_consistency(report(5, 7.9)), std::nullopt);
+
+  const auto bad_calls = obs::diagnose_report_consistency(report(6, 7.9));
+  ASSERT_TRUE(bad_calls.has_value());
+  EXPECT_NE(bad_calls->find("bfs_calls"), std::string::npos) << *bad_calls;
+
+  // 5% + 1ms slack over wall x threads = 2.0 x 4: 9.0 is over the line.
+  const auto bad_busy = obs::diagnose_report_consistency(report(5, 9.0));
+  ASSERT_TRUE(bad_busy.has_value());
+  EXPECT_NE(bad_busy->find("exceeds wall"), std::string::npos) << *bad_busy;
+
+  // Without any fdiam.bfs.seconds series the count check is vacuous.
+  EXPECT_EQ(obs::diagnose_report_consistency(
+                R"({"stages":{"counts":{"bfs_calls":7}},)"
+                R"("histograms":{"schema":"fdiam.metrics/v1","series":[)"
+                R"({"name":"fdiam.stage.seconds[stage=chain]","count":99}]}})"),
+            std::nullopt);
 }
 
 }  // namespace
