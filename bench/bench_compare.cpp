@@ -30,6 +30,11 @@
 //    --profile-tol (default 5%), and with --check-log-overhead the
 //    recorded log.overhead within --log-tol (default 2%), gated like the
 //    provenance overhead;
+//  * scale.build_seconds / scale.spill_bytes (the out-of-core case's
+//    stream-build trajectory) follow the time / memory policies; with
+//    --check-peak-rss the candidate's recorded scale.build_peak_rss_bytes
+//    must stay within scale.mem_budget_bytes plus --peak-rss-slack —
+//    the external-memory builder's bounded-RAM promise as a gate;
 //  * a metric null/absent on either side is skipped (counters degrade to
 //    null on machines without a PMU, pre-provenance reports lack the
 //    provenance block), so older reports still compare on their common
@@ -144,6 +149,13 @@ int main(int argc, char** argv) {
                "overhead at --log-tol");
   cli.add_option("log-tol",
                  "allowed info-level logging overhead (fraction)", "0.02");
+  cli.add_flag("check-peak-rss",
+               "gate each candidate case's recorded external-memory build "
+               "peak RSS at scale.mem_budget_bytes plus --peak-rss-slack");
+  cli.add_option("peak-rss-slack",
+                 "fixed allowance (MiB) on top of the build budget "
+                 "(process image, resident source graph, allocator slack)",
+                 "64");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n"
               << cli.usage("bench_compare baseline.json candidate.json");
@@ -169,6 +181,9 @@ int main(int argc, char** argv) {
   const double profile_tol = cli.get_double("profile-tol", 0.05);
   const bool check_log = cli.get_bool("check-log-overhead");
   const double log_tol = cli.get_double("log-tol", 0.02);
+  const bool check_peak_rss = cli.get_bool("check-peak-rss");
+  const double peak_rss_slack =
+      std::max(0.0, cli.get_double("peak-rss-slack", 64.0)) * 1048576.0;
 
   const std::string base_path = cli.positional()[0];
   const std::string cand_path = cli.positional()[1];
@@ -192,6 +207,31 @@ int main(int argc, char** argv) {
   }
 
   Comparison cmp;
+
+  // Absolute bound on the candidate, like the overhead gates, because the
+  // budget is a promise, not a baseline-relative quantity: with
+  // --check-peak-rss the candidate's recorded build watermark must
+  // respect the memory budget it claims to have run under.
+  const auto peak_rss_gate = [&](const std::string& name, std::size_t j) {
+    if (!check_peak_rss) return;
+    const auto budget =
+        obs::json_number(*cand, case_path(j, "scale.mem_budget_bytes"));
+    const auto peak =
+        obs::json_number(*cand, case_path(j, "scale.build_peak_rss_bytes"));
+    if (budget && peak) {
+      ++cmp.compared;
+      const double limit = *budget + peak_rss_slack;
+      const bool ok = *peak <= limit;
+      if (!ok) ++cmp.regressions;
+      cmp.table.add_row({name, "scale_build_peak_rss",
+                         Table::fmt_double(limit, 0) + " max",
+                         Table::fmt_double(*peak, 0), "-",
+                         ok ? "ok" : "REGRESS"});
+    } else if (obs::json_lookup(*cand, case_path(j, "scale"))) {
+      ++cmp.skipped;  // scale case without a measurable watermark
+    }
+  };
+
   std::size_t n_cases = 0;
   for (std::size_t i = 0;; ++i) {
     const auto name = obs::json_string(*base, case_path(i, "name"));
@@ -316,10 +356,31 @@ int main(int argc, char** argv) {
 
     cmp.check(*name, "peak_rss_bytes", b("memory.peak_rss_bytes"),
               c("memory.peak_rss_bytes"), mem_tol);
+
+    // Out-of-core build trajectory (scale cases only): spill and build
+    // time follow the usual one-sided policies, plus the absolute
+    // budget gate above.
+    cmp.check(*name, "scale_build_seconds", b("scale.build_seconds"),
+              c("scale.build_seconds"), time_tol);
+    cmp.check(*name, "scale_spill_bytes", b("scale.spill_bytes"),
+              c("scale.spill_bytes"), mem_tol);
+    peak_rss_gate(*name, *j);
   }
   if (n_cases == 0) {
     std::cerr << base_path << ": no cases found\n";
     return 2;
+  }
+
+  // Candidate-only cases (a tier added since the baseline was recorded):
+  // nothing to diff against, but the absolute gates still apply — the
+  // budget check must not be vacuous on the very report that introduces
+  // its case.
+  for (std::size_t i = 0;; ++i) {
+    const auto name = obs::json_string(*cand, case_path(i, "name"));
+    if (!name) break;
+    if (find_case(*base, *name)) continue;
+    ++n_cases;
+    peak_rss_gate(*name, i);
   }
 
   cmp.table.print(std::cout);

@@ -1,0 +1,274 @@
+// bench_scale: the out-of-core tier (docs/SCALING.md).
+//
+// Streams a deterministic RMAT edge sequence straight into
+// StreamCsrBuilder — the edge list is never materialized — then
+// mmap-loads the resulting v2 .csrbin and solves it. Three phases, each
+// timed and RSS-watermarked separately (util::reset_peak_rss between
+// phases), with the pipeline's two memory claims asserted:
+//
+//  * BUILD: anonymous peak RSS stays within --mem-budget plus the
+//    documented 4-bytes-per-vertex degree array plus a fixed allowance
+//    (--rss-slack) — the builder really is bounded-RAM;
+//  * SOLVE (mapped): anonymous peak RSS is O(n) solver scratch. When the
+//    graph file is large enough for the distinction to be meaningful
+//    (>= 512 MiB) the anon peak must stay under half the file size —
+//    the graph bytes are resident via the page cache, not copied.
+//
+// A violated assertion exits nonzero, so `ctest` (verify-scale) and CI
+// can gate on it. At the default --scale 24 --edge-factor 8 the input is
+// ~1.3 x 10^8 generated edges (~1.2 GB on disk); verify-scale runs the
+// same binary at --scale 17 as a smoke test.
+//
+//   ./bench_scale                                  # full tier
+//   ./bench_scale --scale 17 --mem-budget 8        # ~1M-edge smoke
+//   ./bench_scale --out scale.json                 # machine-readable too
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/fdiam.hpp"
+#include "graph/stream_builder.hpp"
+#include "io/io.hpp"
+#include "obs/json.hpp"
+#include "util/cli.hpp"
+#include "util/memory.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace fdiam;
+
+struct PhaseSample {
+  double seconds = 0.0;
+  std::uint64_t peak_rss_bytes = 0;  ///< VmHWM since the phase started
+  std::uint64_t anon_rss_bytes = 0;  ///< RssAnon at phase end
+};
+
+/// Run `fn` with the RSS watermark reset at entry and sampled at exit.
+template <typename Fn>
+PhaseSample phase(bool rss_ok, Fn&& fn) {
+  PhaseSample s;
+  if (rss_ok) util::reset_peak_rss();
+  Timer t;
+  fn();
+  s.seconds = t.seconds();
+  if (const util::RssSample rss = util::read_rss(); rss.available) {
+    s.peak_rss_bytes = rss.peak;
+    s.anon_rss_bytes = rss.anon;
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_option("scale", "log2 of the vertex count", "24");
+  cli.add_option("edge-factor", "generated edges per vertex", "8");
+  cli.add_option("seed", "RMAT seed", "42");
+  cli.add_option("mem-budget", "stream-builder memory budget in MiB", "256");
+  cli.add_option("rss-slack",
+                 "fixed allowance (MiB) on top of the budget for the build "
+                 "RSS assertion (process image, allocator slack)", "96");
+  cli.add_option("work-dir",
+                 "where the .csrbin and spill runs go (default: the system "
+                 "temp directory)");
+  cli.add_option("out", "also write a fdiam.scale_report/v1 JSON here");
+  cli.add_flag("no-check", "measure only; skip the RSS assertions");
+  cli.add_flag("keep", "keep the built .csrbin instead of removing it");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage("bench_scale");
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage("bench_scale");
+    return 0;
+  }
+
+  const int scale =
+      std::clamp(static_cast<int>(cli.get_int("scale", 24)), 4, 30);
+  const auto edge_factor =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(
+          1, cli.get_int("edge-factor", 8)));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const std::uint64_t budget_bytes =
+      static_cast<std::uint64_t>(
+          std::max<std::int64_t>(1, cli.get_int("mem-budget", 256))) << 20;
+  const std::uint64_t slack_bytes =
+      static_cast<std::uint64_t>(
+          std::max<std::int64_t>(0, cli.get_int("rss-slack", 96))) << 20;
+  const bool check = !cli.get_bool("no-check");
+
+  const vid_t n = vid_t{1} << scale;
+  const std::uint64_t target_edges = edge_factor * n;
+  const std::filesystem::path dir = cli.has("work-dir")
+      ? std::filesystem::path(cli.get("work-dir"))
+      : std::filesystem::temp_directory_path();
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path built =
+      dir / ("bench_scale_s" + std::to_string(scale) + "_" +
+             std::to_string(::getpid()) + ".csrbin");
+
+  const bool rss_ok = util::reset_peak_rss();
+  if (!rss_ok) {
+    std::cerr << "[scale] warning: /proc/self/clear_refs not writable — "
+                 "peak-RSS assertions skipped\n";
+  }
+
+  std::cerr << "[scale] build: 2^" << scale << " vertices, "
+            << Table::fmt_count(target_edges) << " generated edges, budget "
+            << (budget_bytes >> 20) << " MiB -> " << built << "\n";
+
+  // --- phase 1: streamed external-memory build -------------------------
+  StreamBuildStats st;
+  const PhaseSample build = phase(rss_ok, [&] {
+    StreamBuildOptions opt;
+    opt.mem_budget_bytes = budget_bytes;
+    StreamCsrBuilder b(built, opt);
+    // The classic RMAT recursion, identical to gen/rmat.cpp, fed edge by
+    // edge — this process never holds more than one edge of the input.
+    Rng rng(seed);
+    for (std::uint64_t e = 0; e < target_edges; ++e) {
+      vid_t u = 0, v = 0;
+      for (int bit = 0; bit < scale; ++bit) {
+        const double r = rng.uniform();
+        u <<= 1;
+        v <<= 1;
+        if (r < 0.45) {
+        } else if (r < 0.67) {
+          v |= 1;
+        } else if (r < 0.89) {
+          u |= 1;
+        } else {
+          u |= 1;
+          v |= 1;
+        }
+      }
+      if (u != v) b.add_edge(u, v);
+    }
+    st = b.finish();
+  });
+
+  // --- phase 2: zero-copy load ----------------------------------------
+  Csr g;
+  const PhaseSample load = phase(rss_ok, [&] {
+    // The builder's own output needs no O(m) re-verification (and the
+    // scan would fault every page in, spoiling the solve-phase numbers).
+    g = io::map_binary(built, {}, /*verify_neighbors=*/false);
+  });
+
+  // --- phase 3: solve on the mapped graph ------------------------------
+  DiameterResult res;
+  const PhaseSample solve = phase(rss_ok, [&] {
+    res = fdiam_diameter(g);
+  });
+
+  Table t({"phase", "seconds", "peak RSS", "anon RSS"});
+  const auto row = [&](const char* name, const PhaseSample& p) {
+    t.add_row({name, Table::fmt_double(p.seconds, 3),
+               Table::fmt_count(p.peak_rss_bytes),
+               Table::fmt_count(p.anon_rss_bytes)});
+  };
+  row("build", build);
+  row("mmap-load", load);
+  row("solve", solve);
+  t.print(std::cout);
+  std::cout << "graph: " << Table::fmt_count(g.num_vertices())
+            << " vertices, " << Table::fmt_count(g.num_arcs()) << " arcs, "
+            << Table::fmt_count(st.spill_bytes) << " spill bytes, "
+            << Table::fmt_count(st.output_bytes) << " on disk\n"
+            << "diameter: " << res.diameter
+            << (res.connected ? "" : " (largest component)") << ", "
+            << res.stats.bfs_calls << " BFS calls\n";
+
+  int failures = 0;
+  if (check && rss_ok) {
+    // Build bound: budgeted buffers + the documented 4n degree array +
+    // fixed slack, against the phase's VmHWM watermark — the end-of-phase
+    // anon sample would be vacuous (the builder's buffers are already
+    // freed by then), and the watermark also catches a regression that
+    // mmaps its way around the budget.
+    const std::uint64_t degree_bytes = std::uint64_t{4} * n;
+    const std::uint64_t build_limit =
+        budget_bytes + degree_bytes + slack_bytes;
+    if (build.peak_rss_bytes > build_limit) {
+      std::cerr << "[scale] FAIL: build peak RSS "
+                << Table::fmt_count(build.peak_rss_bytes) << " exceeds "
+                << Table::fmt_count(build_limit)
+                << " (budget + 4n degrees + slack)\n";
+      ++failures;
+    }
+    // Solve bound: only meaningful when the graph dwarfs the solver's
+    // O(n)-and-per-thread scratch; below that the constant terms win.
+    if (st.output_bytes >= (std::uint64_t{512} << 20) &&
+        solve.anon_rss_bytes > st.output_bytes / 2) {
+      std::cerr << "[scale] FAIL: mapped solve anon RSS "
+                << Table::fmt_count(solve.anon_rss_bytes)
+                << " is not small next to the "
+                << Table::fmt_count(st.output_bytes)
+                << "-byte graph file — zero-copy is broken\n";
+      ++failures;
+    }
+    if (failures == 0) std::cout << "RSS assertions: ok\n";
+  }
+
+  if (cli.has("out")) {
+    std::ofstream out(cli.get("out"), std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot write " << cli.get("out") << "\n";
+      return 2;
+    }
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.field("schema", std::string_view("fdiam.scale_report/v1"));
+    w.key("config").begin_object();
+    w.field("scale", static_cast<std::int64_t>(scale));
+    w.field("edge_factor", edge_factor);
+    w.field("seed", seed);
+    w.field("mem_budget_bytes", budget_bytes);
+    w.field("threads", num_threads());
+    w.end_object();
+    w.key("build").begin_object();
+    w.field("seconds", build.seconds);
+    w.field("peak_rss_bytes", build.peak_rss_bytes);
+    w.field("anon_rss_bytes", build.anon_rss_bytes);
+    w.field("edges_in", st.edges_in);
+    w.field("edges_unique", st.edges_unique);
+    w.field("chunks_spilled", st.chunks_spilled);
+    w.field("spill_bytes", st.spill_bytes);
+    w.field("output_bytes", st.output_bytes);
+    w.end_object();
+    w.key("load").begin_object();
+    w.field("seconds", load.seconds);
+    w.field("mapped_bytes", util::mapped_bytes());
+    w.end_object();
+    w.key("solve").begin_object();
+    w.field("seconds", solve.seconds);
+    w.field("peak_rss_bytes", solve.peak_rss_bytes);
+    w.field("anon_rss_bytes", solve.anon_rss_bytes);
+    w.field("diameter", static_cast<std::int64_t>(res.diameter));
+    w.field("bfs_calls", res.stats.bfs_calls);
+    w.field("connected", res.connected);
+    w.end_object();
+    w.field("rss_checked", check && rss_ok);
+    w.field("failures", static_cast<std::int64_t>(failures));
+    w.end_object();
+    out << '\n';
+  }
+
+  g = Csr{};  // release the mapping before removing the file
+  if (!cli.get_bool("keep")) std::filesystem::remove(built);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+# verify-scale ctest driver (run via `cmake -P`): smoke-runs the
+# out-of-core pipeline end to end at a CI-sized input — bench_scale at
+# --scale 17 --edge-factor 8 generates ~10^6 RMAT edges, streams them
+# through the external-memory builder under a deliberately tight 8 MiB
+# budget, mmap-loads the v2 .csrbin, solves it, and self-asserts the
+# peak-RSS bounds (a violated bound exits nonzero). The JSON sidecar is
+# then schema-checked with json_check. The full 10^8-edge tier is the
+# same binary at its defaults. Variables passed by add_test():
+#   BENCH_SCALE  path to the bench_scale binary
+#   JSON_CHECK   path to the json_check binary
+#   WORK_DIR     scratch directory for the build output and report
+#   SKIP_RSS     ON under sanitizers (shadow memory voids the RSS bounds)
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(extra_args)
+if(SKIP_RSS)
+  list(APPEND extra_args --no-check)
+endif()
+execute_process(
+  COMMAND "${BENCH_SCALE}" --scale 17 --edge-factor 8 --mem-budget 8
+          --work-dir "${WORK_DIR}" --out "${WORK_DIR}/scale.json"
+          ${extra_args}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_scale smoke failed (exit ${rc}):\n${out}${err}")
+endif()
+if(NOT SKIP_RSS AND NOT out MATCHES "RSS assertions: ok")
+  message(FATAL_ERROR
+          "bench_scale did not confirm its RSS assertions:\n${out}${err}")
+endif()
+
+execute_process(COMMAND "${JSON_CHECK}" "${WORK_DIR}/scale.json"
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_scale report failed JSON validation")
+endif()
+
+# Schema smoke checks on the sidecar: the three phases, the stream-build
+# counters, and a clean failure count.
+file(READ "${WORK_DIR}/scale.json" report_text)
+foreach(needle "fdiam.scale_report/v1" "\"build\"" "\"load\"" "\"solve\""
+        "\"spill_bytes\"" "\"mapped_bytes\"" "\"failures\": 0")
+  string(FIND "${report_text}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "scale report is missing ${needle}")
+  endif()
+endforeach()

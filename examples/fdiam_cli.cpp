@@ -43,6 +43,7 @@
 #include "gen/suite.hpp"
 #include "graph/reorder.hpp"
 #include "graph/stats.hpp"
+#include "graph/stream_builder.hpp"
 #include "io/io.hpp"
 #include "obs/counters.hpp"
 #include "obs/log/flight.hpp"
@@ -55,6 +56,7 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
+#include "util/memory.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -120,6 +122,22 @@ int run_cli(int argc, char** argv) {
                  "none|degree|bfs|random (results are id-translated back)",
                  "none");
   cli.add_option("save", "write the loaded/generated graph to this file");
+  cli.add_flag("mmap",
+               "zero-copy load: mmap the .csrbin input instead of reading "
+               "it into anonymous memory (out-of-core tier)");
+  cli.add_option("stream-build",
+                 "build a v2 .csrbin at this path from the edge-list "
+                 "--file via the bounded-RAM external-memory builder, "
+                 "then solve the built file");
+  cli.add_option("mem-budget",
+                 "streaming-builder memory budget in MiB", "256");
+  cli.add_option("numa",
+                 "NUMA placement for the big arrays: none|interleave|local",
+                 "none");
+  cli.add_option("huge-pages",
+                 "transparent-huge-page advice for the big arrays: "
+                 "auto|on|off",
+                 "auto");
   cli.add_option("json-report",
                  "write a fdiam.run_report/v1 JSON report ('-' = stdout)");
   cli.add_option("trace-out",
@@ -239,6 +257,22 @@ int run_cli(int argc, char** argv) {
     }
   }
 
+  // Memory placement must be installed before the graph is built or
+  // mapped — the policy is applied as the big arrays are sized.
+  util::MemoryPolicy mem_policy;
+  if (!util::parse_numa_mode(cli.get("numa", "none"), mem_policy.numa)) {
+    std::cerr << "unknown --numa mode '" << cli.get("numa")
+              << "' (expected none|interleave|local)\n";
+    return 1;
+  }
+  if (!util::parse_huge_page_mode(cli.get("huge-pages", "auto"),
+                                  mem_policy.huge_pages)) {
+    std::cerr << "unknown --huge-pages mode '" << cli.get("huge-pages")
+              << "' (expected auto|on|off)\n";
+    return 1;
+  }
+  util::set_memory_policy(mem_policy);
+
   const auto reorder_mode = parse_reorder_mode(cli.get("reorder", "none"));
   if (!reorder_mode) {
     std::cerr << "unknown --reorder mode '" << cli.get("reorder")
@@ -254,12 +288,52 @@ int run_cli(int argc, char** argv) {
   std::ostream& human = report_to_stdout ? std::cerr : std::cout;
   obs::TraceSession session;
 
+  const bool want_mmap = cli.get_bool("mmap");
   Csr g;
   std::string graph_name;
-  if (cli.has("file")) {
+  if (cli.has("stream-build")) {
+    // Out-of-core path: edge-list text -> external-memory build straight
+    // to a v2 .csrbin on disk -> (optionally zero-copy) load of that file.
+    if (!cli.has("file")) {
+      std::cerr << "--stream-build needs an edge-list --file input\n";
+      return 1;
+    }
+    const std::filesystem::path built = cli.get("stream-build");
+    StreamBuildOptions sopt;
+    sopt.mem_budget_bytes =
+        static_cast<std::uint64_t>(
+            std::max<std::int64_t>(1, cli.get_int("mem-budget", 256))) << 20;
+    StreamBuildStats sb;
+    {
+      const auto build_span = session.span("stream_build");
+      Timer build_timer;
+      sb = stream_build_snap(cli.get("file"), built, sopt);
+      human << "stream-build: " << Table::fmt_count(sb.edges_unique)
+            << " unique edges over " << Table::fmt_count(sb.num_vertices)
+            << " vertices, " << sb.chunks_spilled << " spilled run(s), "
+            << Table::fmt_count(sb.spill_bytes) << " spill bytes -> "
+            << built << " (" << Table::fmt_count(sb.output_bytes)
+            << " bytes) in " << Table::fmt_double(build_timer.seconds(), 3)
+            << " s\n";
+    }
+    const auto load_span = session.span("load_graph");
+    graph_name = built.string();
+    // The builder's own output needs no O(m) re-verification.
+    g = want_mmap ? io::map_binary(built, {}, /*verify_neighbors=*/false)
+                  : io::read_binary(built);
+  } else if (cli.has("file")) {
     const auto load_span = session.span("load_graph");
     graph_name = cli.get("file");
-    g = io::load_graph(graph_name);
+    if (want_mmap) {
+      if (std::filesystem::path(graph_name).extension() != ".csrbin") {
+        std::cerr << "--mmap needs a .csrbin input (got " << graph_name
+                  << "); convert with --save first\n";
+        return 1;
+      }
+      g = io::map_binary(graph_name);
+    } else {
+      g = io::load_graph(graph_name);
+    }
   } else if (cli.has("input")) {
     const auto gen_span = session.span("generate_graph");
     graph_name = cli.get("input");

@@ -64,6 +64,10 @@ bool check_json(const std::string& path, const std::string& text) {
     std::cerr << path << ": INVALID HISTOGRAMS: " << *hist << "\n";
     return false;
   }
+  if (const auto mem = fdiam::obs::diagnose_memory_block(text)) {
+    std::cerr << path << ": INVALID MEMORY: " << *mem << "\n";
+    return false;
+  }
   if (const auto cross = fdiam::obs::diagnose_report_consistency(text)) {
     std::cerr << path << ": INCONSISTENT REPORT: " << *cross << "\n";
     return false;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/memory.hpp"
 #include "util/types.hpp"
 
 namespace fdiam {
@@ -29,6 +30,7 @@ class Bitmap {
   void resize(vid_t bits) {
     bits_ = bits;
     words_.assign((static_cast<std::size_t>(bits) + 63) / 64, 0);
+    util::place(words_);
   }
 
   void clear() { std::fill(words_.begin(), words_.end(), 0); }

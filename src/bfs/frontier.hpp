@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "util/memory.hpp"
 #include "util/types.hpp"
 
 namespace fdiam {
@@ -26,10 +27,11 @@ namespace fdiam {
 class Frontier {
  public:
   Frontier() = default;
-  explicit Frontier(vid_t capacity) : buf_(capacity) {}
+  explicit Frontier(vid_t capacity) : buf_(capacity) { util::place(buf_); }
 
   void resize(vid_t capacity) {
     buf_.assign(capacity, 0);
+    util::place(buf_);
     count_.store(0, std::memory_order_relaxed);
   }
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/memory.hpp"
 #include "util/types.hpp"
 
 namespace fdiam {
@@ -15,10 +16,11 @@ namespace fdiam {
 class EpochVisited {
  public:
   EpochVisited() = default;
-  explicit EpochVisited(vid_t n) : cells_(n, 0) {}
+  explicit EpochVisited(vid_t n) : cells_(n, 0) { util::place(cells_); }
 
   void resize(vid_t n) {
     cells_.assign(n, 0);
+    util::place(cells_);
     epoch_ = 0;
   }
 

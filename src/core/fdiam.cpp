@@ -14,6 +14,7 @@
 #include "obs/metrics/metrics_report.hpp"
 #include "obs/perf/perf_session.hpp"
 #include "obs/provenance.hpp"
+#include "util/memory.hpp"
 #include "util/rng.hpp"
 
 namespace fdiam {
@@ -29,6 +30,10 @@ FDiam::FDiam(const Csr& g, FDiamOptions opt)
       aux_cur_(g.num_vertices()),
       aux_next_(g.num_vertices()),
       elim_visited_(g.num_vertices()) {
+  // The per-vertex driver state is touched by every stage; give it the
+  // same NUMA/huge-page treatment as the BFS arrays (util/memory.hpp).
+  util::place(state_);
+  util::place(stage_tag_);
   if (opt_.level_profile) engine_.set_level_hook(opt_.level_profile);
   if (opt_.histograms != nullptr) {
     engine_.set_frontier_histogram(&opt_.histograms->frontier);

@@ -4,6 +4,9 @@
 // any connected component" (§1, §5).
 
 #include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -16,7 +19,16 @@ struct Components {
   /// Vertex count per component.
   std::vector<vid_t> size;
 
+  /// Components are one-per-seed-vertex at most, and vertex counts fit
+  /// vid_t, so 32 bits always suffice — but guard the narrowing anyway:
+  /// a labelling bug that grew `size` past 2^32 would otherwise wrap
+  /// here and silently misreport connectivity downstream.
   [[nodiscard]] std::uint32_t count() const {
+    if (size.size() > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::length_error(
+          "component count " + std::to_string(size.size()) +
+          " exceeds the 32-bit label space");
+    }
     return static_cast<std::uint32_t>(size.size());
   }
   /// Id of the largest component (0 if the graph is empty).

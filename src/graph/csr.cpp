@@ -6,7 +6,42 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/mapped_file.hpp"
+#include "util/memory.hpp"
+
 namespace fdiam {
+
+Csr& Csr::operator=(const Csr& o) {
+  if (this != &o) {
+    offsets_ = o.offsets_;
+    neighbors_ = o.neighbors_;
+    mapping_ = o.mapping_;
+    if (mapping_ != nullptr) {
+      // Mapped: the views point into the shared mapping, not the (empty)
+      // vectors — copy them verbatim.
+      offsets_view_ = o.offsets_view_;
+      neighbors_view_ = o.neighbors_view_;
+    } else {
+      bind_owned();
+    }
+  }
+  return *this;
+}
+
+Csr& Csr::operator=(Csr&& o) noexcept {
+  if (this != &o) {
+    offsets_ = std::move(o.offsets_);
+    neighbors_ = std::move(o.neighbors_);
+    mapping_ = std::move(o.mapping_);
+    // std::vector move transfers the heap buffer, so the source's views
+    // stay valid for the destination in both modes.
+    offsets_view_ = o.offsets_view_;
+    neighbors_view_ = o.neighbors_view_;
+    o.offsets_view_ = {};
+    o.neighbors_view_ = {};
+  }
+  return *this;
+}
 
 Csr Csr::from_edges(EdgeList edges) {
   // Counting-scatter construction: O(n + m) plus a parallel per-vertex
@@ -53,6 +88,9 @@ Csr Csr::from_edges(EdgeList edges) {
                 degree[v + 1],
                 g.neighbors_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]));
   }
+  util::place(g.offsets_);
+  util::place(g.neighbors_);
+  g.bind_owned();
   return g;
 }
 
@@ -84,6 +122,43 @@ Csr Csr::from_raw(std::vector<eid_t> offsets, std::vector<vid_t> neighbors) {
   Csr g;
   g.offsets_ = std::move(offsets);
   g.neighbors_ = std::move(neighbors);
+  util::place(g.offsets_);
+  util::place(g.neighbors_);
+  g.bind_owned();
+  return g;
+}
+
+Csr Csr::from_mapped(std::shared_ptr<util::MappedFile> file,
+                     std::span<const eid_t> offsets,
+                     std::span<const vid_t> neighbors,
+                     bool verify_neighbors) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != neighbors.size()) {
+    throw std::invalid_argument("Csr::from_mapped: inconsistent offsets");
+  }
+  if (offsets.size() - 1 > std::numeric_limits<vid_t>::max()) {
+    throw std::invalid_argument(
+        "Csr::from_mapped: vertex count exceeds the 32-bit id space");
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      throw std::invalid_argument("Csr::from_mapped: offsets not monotone");
+    }
+  }
+  const auto n = static_cast<vid_t>(offsets.size() - 1);
+  if (verify_neighbors) {
+    for (const vid_t w : neighbors) {
+      if (w >= n) {
+        throw std::invalid_argument("Csr::from_mapped: neighbor id " +
+                                    std::to_string(w) + " out of range [0, " +
+                                    std::to_string(n) + ")");
+      }
+    }
+  }
+  Csr g;
+  g.mapping_ = std::move(file);
+  g.offsets_view_ = offsets;
+  g.neighbors_view_ = neighbors;
   return g;
 }
 
@@ -112,9 +187,11 @@ bool Csr::has_edge(vid_t u, vid_t v) const {
 
 bool Csr::validate() const {
   const vid_t n = num_vertices();
-  if (offsets_.empty()) return neighbors_.empty();
-  if (offsets_.front() != 0 || offsets_.back() != neighbors_.size())
+  if (offsets_view_.empty()) return neighbors_view_.empty();
+  if (offsets_view_.front() != 0 ||
+      offsets_view_.back() != neighbors_view_.size()) {
     return false;
+  }
   for (vid_t v = 0; v < n; ++v) {
     auto adj = neighbors(v);
     for (std::size_t i = 0; i < adj.size(); ++i) {

@@ -7,8 +7,18 @@
 // The graph is undirected: each undirected edge {u, v} is stored as the two
 // directed arcs (u,v) and (v,u), matching how the paper counts "edges
 // (including back edges)" in Table 1.
+//
+// Storage is dual-mode (the out-of-core tier, docs/SCALING.md): the
+// offsets/neighbors accessors are std::span views that either cover owned
+// std::vector storage (from_edges/from_raw — the classic in-memory path)
+// or point straight into a read-only mmap of a .csrbin file
+// (from_mapped/io::map_binary — zero-copy, the graph bytes stay in the
+// page cache and never enter anonymous memory). Every algorithm reads
+// through the views, so both modes are bit-identical to traverse.
 
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/edge_list.hpp"
@@ -16,9 +26,24 @@
 
 namespace fdiam {
 
+namespace util {
+class MappedFile;
+}
+
 class Csr {
  public:
   Csr() = default;
+  ~Csr() = default;
+
+  // Copying an owned graph deep-copies the vectors and rebinds the views;
+  // copying a mapped graph shares the mapping (shared_ptr) — both cheap
+  // relative to, and exactly as valid as, the original.
+  Csr(const Csr& o) { *this = o; }
+  Csr& operator=(const Csr& o);
+  // Moves transfer vector storage (data pointers are stable under
+  // std::vector move) or the mapping; views stay valid either way.
+  Csr(Csr&& o) noexcept { *this = std::move(o); }
+  Csr& operator=(Csr&& o) noexcept;
 
   /// Build from an edge list. Self-loops and duplicate undirected edges are
   /// removed; adjacency lists come out sorted by neighbor id.
@@ -28,24 +53,39 @@ class Csr {
   /// must be monotonically increasing with offsets[n] == neighbors.size().
   static Csr from_raw(std::vector<eid_t> offsets, std::vector<vid_t> neighbors);
 
+  /// Zero-copy view over CSR arrays inside `file` (io::map_binary builds
+  /// these from a v2 .csrbin mapping). The mapping is kept alive by the
+  /// returned graph and all its copies. Offsets are always validated
+  /// (monotone, consistent with `neighbors.size()` — they gate every
+  /// indexing operation); the O(m) neighbor range scan runs only when
+  /// `verify_neighbors` is set, because it faults in the whole file
+  /// (callers that just built or already checked the file skip it).
+  /// Throws std::invalid_argument on inconsistent arrays.
+  static Csr from_mapped(std::shared_ptr<util::MappedFile> file,
+                         std::span<const eid_t> offsets,
+                         std::span<const vid_t> neighbors,
+                         bool verify_neighbors = true);
+
   [[nodiscard]] vid_t num_vertices() const {
-    return offsets_.empty() ? 0 : static_cast<vid_t>(offsets_.size() - 1);
+    return offsets_view_.empty()
+               ? 0
+               : static_cast<vid_t>(offsets_view_.size() - 1);
   }
 
   /// Number of directed arcs (= 2x the undirected edge count), matching the
   /// paper's Table 1 "edges" column.
-  [[nodiscard]] eid_t num_arcs() const { return neighbors_.size(); }
+  [[nodiscard]] eid_t num_arcs() const { return neighbors_view_.size(); }
 
   /// Number of undirected edges.
   [[nodiscard]] eid_t num_edges() const { return num_arcs() / 2; }
 
   [[nodiscard]] vid_t degree(vid_t v) const {
-    return static_cast<vid_t>(offsets_[v + 1] - offsets_[v]);
+    return static_cast<vid_t>(offsets_view_[v + 1] - offsets_view_[v]);
   }
 
   [[nodiscard]] std::span<const vid_t> neighbors(vid_t v) const {
-    return {neighbors_.data() + offsets_[v],
-            neighbors_.data() + offsets_[v + 1]};
+    return {neighbors_view_.data() + offsets_view_[v],
+            neighbors_view_.data() + offsets_view_[v + 1]};
   }
 
   /// Vertex with the largest degree (smallest id wins ties); the paper's
@@ -57,18 +97,35 @@ class Csr {
   [[nodiscard]] bool has_edge(vid_t u, vid_t v) const;
 
   /// Raw arrays, exposed for the binary writer and the bottom-up BFS.
-  [[nodiscard]] const std::vector<eid_t>& offsets() const { return offsets_; }
-  [[nodiscard]] const std::vector<vid_t>& raw_neighbors() const {
-    return neighbors_;
+  /// Views — valid for the lifetime of this graph (and of the mapping it
+  /// may share).
+  [[nodiscard]] std::span<const eid_t> offsets() const {
+    return offsets_view_;
   }
+  [[nodiscard]] std::span<const vid_t> raw_neighbors() const {
+    return neighbors_view_;
+  }
+
+  /// True when the arrays live in a read-only file mapping (zero-copy
+  /// load) rather than owned heap vectors.
+  [[nodiscard]] bool is_mapped() const { return mapping_ != nullptr; }
 
   /// Structural invariants (sorted adjacency, symmetric arcs, no loops).
   /// Cheap enough for tests; O(m log m) worst case.
   [[nodiscard]] bool validate() const;
 
  private:
-  std::vector<eid_t> offsets_;   // size n+1
-  std::vector<vid_t> neighbors_; // size num_arcs
+  // Rebind the views onto the owned vectors (after building or copying).
+  void bind_owned() {
+    offsets_view_ = offsets_;
+    neighbors_view_ = neighbors_;
+  }
+
+  std::vector<eid_t> offsets_;    // owned storage; empty when mapped
+  std::vector<vid_t> neighbors_;  // owned storage; empty when mapped
+  std::span<const eid_t> offsets_view_;    // size n+1 (empty graph: empty)
+  std::span<const vid_t> neighbors_view_;  // size num_arcs
+  std::shared_ptr<util::MappedFile> mapping_;  // keeps a mmap view alive
 };
 
 }  // namespace fdiam

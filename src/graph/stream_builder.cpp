@@ -1,0 +1,324 @@
+#include "graph/stream_builder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "io/io.hpp"
+#include "io/parse.hpp"
+#include "io/raw_writer.hpp"
+
+namespace fdiam {
+
+namespace {
+
+constexpr std::uint64_t kLowMask = 0xffffffffull;
+
+std::uint64_t pack(vid_t hi, vid_t lo) {
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+/// Sequential reader over one sorted spill run (raw u64 records).
+class RunReader {
+ public:
+  RunReader(const std::filesystem::path& path, std::size_t buf_entries)
+      : f_(std::fopen(path.string().c_str(), "rb")) {
+    if (f_ == nullptr) {
+      throw std::runtime_error("cannot reopen spill run " + path.string());
+    }
+    buf_.resize(std::max<std::size_t>(buf_entries, 4096));
+  }
+  ~RunReader() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  RunReader(RunReader&& o) noexcept
+      : f_(std::exchange(o.f_, nullptr)),
+        buf_(std::move(o.buf_)),
+        pos_(o.pos_),
+        len_(o.len_) {}
+  RunReader(const RunReader&) = delete;
+  RunReader& operator=(const RunReader&) = delete;
+  RunReader& operator=(RunReader&&) = delete;
+
+  bool next(std::uint64_t& out) {
+    if (pos_ == len_) {
+      len_ = std::fread(buf_.data(), sizeof(std::uint64_t), buf_.size(), f_);
+      pos_ = 0;
+      if (len_ == 0) return false;
+    }
+    out = buf_[pos_++];
+    return true;
+  }
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::vector<std::uint64_t> buf_;
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
+};
+
+/// K-way merge over sorted runs, optionally collapsing duplicate keys.
+/// Runs are re-mergeable (the canonical runs are merged twice — once to
+/// count degrees, once as the forward arc stream) because merging is
+/// deterministic and never mutates the run files.
+class RunMerger {
+ public:
+  RunMerger(const std::vector<std::filesystem::path>& runs,
+            std::size_t buf_entries_per_run, bool dedup)
+      : dedup_(dedup) {
+    readers_.reserve(runs.size());
+    for (const auto& r : runs) {
+      readers_.emplace_back(r, buf_entries_per_run);
+      std::uint64_t v = 0;
+      if (readers_.back().next(v)) {
+        heap_.emplace(v, readers_.size() - 1);
+      }
+    }
+  }
+
+  bool next(std::uint64_t& out) {
+    while (!heap_.empty()) {
+      const auto [value, idx] = heap_.top();
+      heap_.pop();
+      std::uint64_t refill = 0;
+      if (readers_[idx].next(refill)) heap_.emplace(refill, idx);
+      if (dedup_ && has_last_ && value == last_) continue;
+      has_last_ = true;
+      last_ = value;
+      out = value;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<RunReader> readers_;
+  std::priority_queue<std::pair<std::uint64_t, std::size_t>,
+                      std::vector<std::pair<std::uint64_t, std::size_t>>,
+                      std::greater<>>
+      heap_;
+  bool dedup_;
+  bool has_last_ = false;
+  std::uint64_t last_ = 0;
+};
+
+void remove_all(std::vector<std::filesystem::path>& files) {
+  std::error_code ignored;
+  for (const auto& f : files) std::filesystem::remove(f, ignored);
+  files.clear();
+}
+
+}  // namespace
+
+StreamCsrBuilder::StreamCsrBuilder(std::filesystem::path output,
+                                   StreamBuildOptions options)
+    : output_(std::move(output)), options_(std::move(options)) {
+  if (options_.temp_dir.empty()) {
+    options_.temp_dir = output_.has_parent_path() ? output_.parent_path()
+                                                  : std::filesystem::path(".");
+  }
+  // Half the budget goes to the chunk buffer (the other half covers merge
+  // read buffers and write staging later — the two phases don't overlap,
+  // but the OS may not return freed chunk memory, so stay conservative).
+  chunk_cap_ = std::max<std::size_t>(
+      std::size_t{1} << 16,
+      static_cast<std::size_t>(options_.mem_budget_bytes / 2 /
+                               sizeof(std::uint64_t)));
+  chunk_.reserve(chunk_cap_);
+}
+
+StreamCsrBuilder::~StreamCsrBuilder() {
+  remove_all(runs_);
+}
+
+void StreamCsrBuilder::add_edge(vid_t u, vid_t v) {
+  ++stats_.edges_in;
+  const std::uint64_t top = std::max(u, v);
+  if (top + 1 > n_) n_ = top + 1;
+  if (u == v) return;  // self-loop: counts toward n, never becomes an arc
+  chunk_.push_back(u < v ? pack(u, v) : pack(v, u));
+  if (chunk_.size() >= chunk_cap_) spill_chunk();
+}
+
+void StreamCsrBuilder::spill_chunk() {
+  if (chunk_.empty()) return;
+  std::sort(chunk_.begin(), chunk_.end());
+  chunk_.erase(std::unique(chunk_.begin(), chunk_.end()), chunk_.end());
+  std::filesystem::path run =
+      options_.temp_dir /
+      (output_.filename().string() + ".run" + std::to_string(runs_.size()));
+  io::RawWriter out(run);
+  out.write(chunk_.data(), chunk_.size() * sizeof(std::uint64_t));
+  out.finish(false);
+  runs_.push_back(std::move(run));
+  ++stats_.chunks_spilled;
+  stats_.spill_bytes += chunk_.size() * sizeof(std::uint64_t);
+  chunk_.clear();
+}
+
+StreamBuildStats StreamCsrBuilder::finish() {
+  if (finished_) {
+    throw std::logic_error("StreamCsrBuilder::finish called twice");
+  }
+  finished_ = true;
+  spill_chunk();
+  stats_.num_vertices = n_;
+
+  // Per-run read buffers: a quarter of the budget across every reader the
+  // final pass has open at once (canonical merge + swapped merge).
+  const std::size_t max_readers = 2 * std::max<std::size_t>(runs_.size(), 1);
+  const std::size_t buf_entries = std::clamp<std::size_t>(
+      static_cast<std::size_t>(options_.mem_budget_bytes / 4) /
+          (max_readers * sizeof(std::uint64_t)),
+      4096, std::size_t{1} << 22);
+
+  // Pass 1: merge+dedup the canonical runs to count degrees, spilling the
+  // swapped (max,min) keys into a second set of sorted runs.
+  std::vector<std::uint32_t> degree(n_, 0);
+  std::vector<std::filesystem::path> swap_runs;
+  try {
+    {
+      // Reuse the (now empty) chunk buffer for the swapped keys.
+      auto spill_swapped = [&] {
+        if (chunk_.empty()) return;
+        std::sort(chunk_.begin(), chunk_.end());
+        std::filesystem::path run =
+            options_.temp_dir / (output_.filename().string() + ".swp" +
+                                 std::to_string(swap_runs.size()));
+        io::RawWriter out(run);
+        out.write(chunk_.data(), chunk_.size() * sizeof(std::uint64_t));
+        out.finish(false);
+        swap_runs.push_back(std::move(run));
+        ++stats_.chunks_spilled;
+        stats_.spill_bytes += chunk_.size() * sizeof(std::uint64_t);
+        chunk_.clear();
+      };
+      RunMerger canon(runs_, buf_entries, /*dedup=*/true);
+      std::uint64_t key = 0;
+      while (canon.next(key)) {
+        const auto u = static_cast<vid_t>(key >> 32);
+        const auto v = static_cast<vid_t>(key & kLowMask);
+        ++degree[u];
+        ++degree[v];
+        ++stats_.edges_unique;
+        chunk_.push_back(pack(v, u));
+        if (chunk_.size() >= chunk_cap_) spill_swapped();
+      }
+      spill_swapped();
+      chunk_.clear();
+      chunk_.shrink_to_fit();
+    }
+
+    const std::uint64_t arcs = 2 * stats_.edges_unique;
+    const std::uint64_t offsets_off = io::csrbin::kHeaderBytes;
+    const std::uint64_t neighbors_off =
+        io::csrbin::align_up(offsets_off + (n_ + 1) * sizeof(eid_t));
+
+    io::RawWriter out(output_);
+    {
+      std::byte header[io::csrbin::kHeaderBytes] = {};
+      std::memcpy(header, io::csrbin::kMagic, 8);
+      std::memcpy(header + 8, &io::csrbin::kVersion, 4);
+      std::memcpy(header + 12, &io::csrbin::kEndianMark, 4);
+      std::memcpy(header + 16, &n_, 8);
+      std::memcpy(header + 24, &arcs, 8);
+      std::memcpy(header + 32, &offsets_off, 8);
+      std::memcpy(header + 40, &neighbors_off, 8);
+      out.write(header, sizeof header);
+    }
+
+    // Offsets section: prefix sums of the degrees, streamed in chunks.
+    {
+      std::vector<eid_t> staging;
+      staging.reserve(std::size_t{1} << 19);
+      eid_t running = 0;
+      staging.push_back(running);
+      for (std::uint64_t v = 0; v < n_; ++v) {
+        running += degree[v];
+        staging.push_back(running);
+        if (staging.size() == staging.capacity()) {
+          out.write(staging.data(), staging.size() * sizeof(eid_t));
+          staging.clear();
+        }
+      }
+      out.write(staging.data(), staging.size() * sizeof(eid_t));
+      out.pad(neighbors_off - offsets_off - (n_ + 1) * sizeof(eid_t));
+    }
+    degree.clear();
+    degree.shrink_to_fit();
+
+    // Pass 2: both streams are sorted by (source << 32 | neighbor) — the
+    // forward arcs (u < v) from re-merging the canonical runs, the
+    // backward arcs (v > u) from the swapped runs — so a plain 2-way
+    // merge of the packed keys emits the neighbors section in exact CSR
+    // order in one sequential pass.
+    {
+      RunMerger forward(runs_, buf_entries, /*dedup=*/true);
+      RunMerger backward(swap_runs, buf_entries, /*dedup=*/false);
+      std::vector<vid_t> staging;
+      staging.reserve(std::size_t{1} << 20);
+      auto emit = [&](std::uint64_t key) {
+        staging.push_back(static_cast<vid_t>(key & kLowMask));
+        if (staging.size() == staging.capacity()) {
+          out.write(staging.data(), staging.size() * sizeof(vid_t));
+          staging.clear();
+        }
+      };
+      std::uint64_t f = 0, b = 0;
+      bool has_f = forward.next(f);
+      bool has_b = backward.next(b);
+      while (has_f || has_b) {
+        if (!has_b || (has_f && f < b)) {
+          emit(f);
+          has_f = forward.next(f);
+        } else {
+          emit(b);
+          has_b = backward.next(b);
+        }
+      }
+      out.write(staging.data(), staging.size() * sizeof(vid_t));
+    }
+    out.finish(options_.sync);
+    stats_.output_bytes = neighbors_off + arcs * sizeof(vid_t);
+    remove_all(swap_runs);
+    remove_all(runs_);
+  } catch (...) {
+    remove_all(swap_runs);
+    remove_all(runs_);
+    throw;
+  }
+  return stats_;
+}
+
+StreamBuildStats stream_build_snap(const std::filesystem::path& input,
+                                   const std::filesystem::path& output,
+                                   StreamBuildOptions options) {
+  std::ifstream in(input);
+  if (!in) throw std::runtime_error("cannot open " + input.string());
+  const std::string name = input.string();
+  StreamCsrBuilder builder(output, std::move(options));
+  std::string line;
+  std::uint64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto toks = io::detail::tokens(line);
+    if (toks.empty() || toks[0][0] == '#' || toks[0][0] == '%') continue;
+    std::uint64_t u = 0, v = 0;
+    if (toks.size() < 2 || !io::detail::to_u64(toks[0], u) ||
+        !io::detail::to_u64(toks[1], v)) {
+      io::detail::fail_line(name, lineno, line,
+                            "malformed edge line (expected '<u> <v>')");
+    }
+    const std::string context = name + ":" + std::to_string(lineno);
+    builder.add_edge(io::checked_vid(u, "vertex id", context),
+                     io::checked_vid(v, "vertex id", context));
+  }
+  return builder.finish();
+}
+
+}  // namespace fdiam

@@ -1,0 +1,97 @@
+#pragma once
+// External-memory CSR construction (the out-of-core tier, docs/SCALING.md).
+//
+// Csr::from_edges needs the whole edge list plus scatter buffers in RAM —
+// roughly 20 bytes per undirected edge — which caps the build step long
+// before the solve does (a solve over a *mapped* CSR only needs O(n)
+// scratch). StreamCsrBuilder breaks that cap: edges are accepted one at a
+// time, canonicalized into packed (min,max) 64-bit keys, accumulated in a
+// bounded chunk buffer, sorted/deduplicated, and spilled to temporary run
+// files; finish() then k-way-merges the runs and writes a v2 .csrbin
+// straight to disk, never holding more than the configured memory budget
+// plus one 4-byte degree counter per vertex. The output is byte-for-byte
+// the same graph from_edges + write_binary would produce (sorted unique
+// adjacencies, no self-loops, both arc directions), so io::map_binary of
+// the result solves bit-identically to the in-core path.
+//
+// Pipeline inside finish():
+//   1. canonical runs --k-way merge+dedup--> forward arc stream (u<v),
+//      counting per-vertex degrees and spilling the swapped (v,u) keys
+//      into a second set of sorted runs;
+//   2. header + offsets (prefix sums of the degrees) stream to the output;
+//   3. the forward stream and the k-way-merged swapped runs — both sorted
+//      by (source << 32 | neighbor) — 2-way merge into the neighbors
+//      section, which therefore lands in exact CSR order in one pass.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace fdiam {
+
+struct StreamBuildOptions {
+  /// Bound on the builder's big in-core buffers (chunk buffer + merge-run
+  /// read buffers). The per-vertex degree array (4 bytes/vertex) is on
+  /// top of this — callers budgeting a whole machine should allow
+  /// mem_budget_bytes + 4n. Tiny values are clamped to a workable floor.
+  std::uint64_t mem_budget_bytes = 256ull << 20;
+  /// Where spill runs go; defaults to the output file's directory.
+  std::filesystem::path temp_dir;
+  /// fsync the finished .csrbin (see BinaryWriteOptions::sync).
+  bool sync = false;
+};
+
+struct StreamBuildStats {
+  std::uint64_t edges_in = 0;       ///< add_edge calls (loops/dupes included)
+  std::uint64_t edges_unique = 0;   ///< surviving undirected edges
+  std::uint64_t num_vertices = 0;   ///< max id + 1
+  std::uint64_t chunks_spilled = 0; ///< sorted runs written (both passes)
+  std::uint64_t spill_bytes = 0;    ///< temp-file bytes written
+  std::uint64_t output_bytes = 0;   ///< final .csrbin size
+};
+
+class StreamCsrBuilder {
+ public:
+  /// The .csrbin lands at `output` when finish() returns; nothing is
+  /// visible there before that (a failed build removes partial files).
+  explicit StreamCsrBuilder(std::filesystem::path output,
+                            StreamBuildOptions options = {});
+  ~StreamCsrBuilder();
+
+  StreamCsrBuilder(const StreamCsrBuilder&) = delete;
+  StreamCsrBuilder& operator=(const StreamCsrBuilder&) = delete;
+
+  /// Feed one undirected edge. Self-loops are dropped (their endpoint
+  /// still counts toward num_vertices, matching Csr::from_edges);
+  /// duplicates collapse during the merge.
+  void add_edge(vid_t u, vid_t v);
+
+  /// Sort/merge the spilled runs and write the v2 .csrbin. The builder is
+  /// spent afterwards. Throws on I/O failure (temp files are cleaned up).
+  StreamBuildStats finish();
+
+ private:
+  void spill_chunk();
+
+  std::filesystem::path output_;
+  StreamBuildOptions options_;
+  std::vector<std::uint64_t> chunk_;   // packed (min<<32)|max keys
+  std::size_t chunk_cap_ = 0;
+  std::vector<std::filesystem::path> runs_;
+  std::uint64_t n_ = 0;
+  StreamBuildStats stats_;
+  bool finished_ = false;
+};
+
+/// Stream a SNAP edge-list text file ('#'/'%' comments, "u v" per line)
+/// through a StreamCsrBuilder without materializing the edge list.
+/// Validation matches io::read_snap: malformed lines, oversized ids, and
+/// limit violations throw with file:line context.
+StreamBuildStats stream_build_snap(const std::filesystem::path& input,
+                                   const std::filesystem::path& output,
+                                   StreamBuildOptions options = {});
+
+}  // namespace fdiam

@@ -1,29 +1,50 @@
+// .csrbin reader/writer — see the csrbin namespace in io/io.hpp for the
+// v1/v2 layouts. The reader accepts both versions from a stream; the
+// writer emits v2 (aligned, mappable) through bounded-chunk raw writes;
+// map_binary() turns a v2 file into a zero-copy Csr view.
+
+#include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "io/io.hpp"
+#include "io/raw_writer.hpp"
+#include "util/mapped_file.hpp"
 
 namespace fdiam::io {
 
 namespace {
-constexpr char kMagic[8] = {'F', 'D', 'I', 'A', 'M', 'C', 'S', 'R'};
-constexpr std::uint32_t kVersion = 1;
-}  // namespace
 
-Csr read_binary(std::istream& in, const std::string& name, IoLimits limits) {
-  char magic[8];
+// Parsed + validated header, either version, with the section table
+// normalized to absolute file offsets.
+struct BinHeader {
   std::uint32_t version = 0;
-  std::uint64_t n = 0, arcs = 0;
-  in.read(magic, sizeof magic);
-  in.read(reinterpret_cast<char*>(&version), sizeof version);
-  in.read(reinterpret_cast<char*>(&n), sizeof n);
-  in.read(reinterpret_cast<char*>(&arcs), sizeof arcs);
-  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0 ||
-      version != kVersion) {
-    throw std::runtime_error("not an fdiam binary CSR file: " + name);
-  }
+  std::uint64_t n = 0;
+  std::uint64_t arcs = 0;
+  std::uint64_t offsets_off = 0;    // file offset of the offsets array
+  std::uint64_t neighbors_off = 0;  // file offset of the neighbors array
+  std::uint64_t total_bytes = 0;    // exact file size the header implies
+};
+
+std::uint64_t offsets_bytes(std::uint64_t n) {
+  return (n + 1) * sizeof(eid_t);
+}
+
+template <typename T>
+T load_raw(const std::byte* p) {
+  T v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+void check_counts(std::uint64_t n, std::uint64_t arcs, const std::string& name,
+                  const IoLimits& limits) {
   // Validate the header-declared counts BEFORE sizing any allocation: a
   // corrupt header must throw, not exhaust memory or crash in resize().
   if (n > kMaxVertexId + 1 || n > limits.max_vertices) {
@@ -34,36 +55,124 @@ Csr read_binary(std::istream& in, const std::string& name, IoLimits limits) {
                                  kMaxVertexId + 1, limits.max_vertices)));
   }
   if (arcs > limits.max_edges ||
-      arcs > (std::numeric_limits<std::uint64_t>::max() - (n + 1) *
-              sizeof(eid_t)) / sizeof(vid_t)) {
+      arcs > (std::numeric_limits<std::uint64_t>::max() -
+              (n + 1) * sizeof(eid_t)) /
+                 sizeof(vid_t)) {
     throw std::runtime_error("binary CSR header of " + name + " declares " +
                              std::to_string(arcs) + " arcs, beyond the limit");
   }
-  const std::uint64_t payload =
-      (n + 1) * sizeof(eid_t) + arcs * sizeof(vid_t);
+}
+
+/// Parse + validate a header from the first `size` bytes of the file.
+/// `size` only needs to cover the header itself (28 or 64 bytes).
+BinHeader parse_header(const std::byte* data, std::uint64_t size,
+                       const std::string& name, const IoLimits& limits) {
+  if (size < csrbin::kLegacyHeaderBytes ||
+      std::memcmp(data, csrbin::kMagic, sizeof csrbin::kMagic) != 0) {
+    throw std::runtime_error("not an fdiam binary CSR file: " + name);
+  }
+  BinHeader h;
+  h.version = load_raw<std::uint32_t>(data + 8);
+  if (h.version == csrbin::kVersionLegacy) {
+    h.n = load_raw<std::uint64_t>(data + 12);
+    h.arcs = load_raw<std::uint64_t>(data + 20);
+    check_counts(h.n, h.arcs, name, limits);
+    h.offsets_off = csrbin::kLegacyHeaderBytes;
+    h.neighbors_off = h.offsets_off + offsets_bytes(h.n);
+    h.total_bytes = h.neighbors_off + h.arcs * sizeof(vid_t);
+    return h;
+  }
+  if (h.version != csrbin::kVersion) {
+    throw std::runtime_error("binary CSR " + name +
+                             " has unsupported version " +
+                             std::to_string(h.version));
+  }
+  if (size < csrbin::kHeaderBytes) {
+    throw std::runtime_error("binary CSR " + name + " is truncated: v2 "
+                             "header needs " +
+                             std::to_string(csrbin::kHeaderBytes) + " bytes");
+  }
+  if (load_raw<std::uint32_t>(data + 12) != csrbin::kEndianMark) {
+    throw std::runtime_error(
+        "binary CSR " + name +
+        " was written on a machine with different endianness");
+  }
+  h.n = load_raw<std::uint64_t>(data + 16);
+  h.arcs = load_raw<std::uint64_t>(data + 24);
+  h.offsets_off = load_raw<std::uint64_t>(data + 32);
+  h.neighbors_off = load_raw<std::uint64_t>(data + 40);
+  check_counts(h.n, h.arcs, name, limits);
+  // Section table sanity: in order, non-overlapping, aligned enough to
+  // reinterpret in place. Overflow-guard the size computation so a
+  // wrapped total can't fake a matching file size.
+  if (h.offsets_off < csrbin::kHeaderBytes ||
+      h.offsets_off % alignof(eid_t) != 0 ||
+      h.offsets_off >
+          std::numeric_limits<std::uint64_t>::max() - offsets_bytes(h.n) ||
+      h.neighbors_off < h.offsets_off + offsets_bytes(h.n) ||
+      h.neighbors_off % alignof(vid_t) != 0 ||
+      h.neighbors_off >
+          std::numeric_limits<std::uint64_t>::max() - h.arcs * sizeof(vid_t)) {
+    throw std::runtime_error("binary CSR " + name +
+                             " has a corrupt section table");
+  }
+  h.total_bytes = h.neighbors_off + h.arcs * sizeof(vid_t);
+  return h;
+}
+
+[[noreturn]] void throw_size_mismatch(const std::string& name,
+                                      std::uint64_t available,
+                                      std::uint64_t expected) {
+  throw std::runtime_error(
+      "binary CSR " + name + " is " +
+      (available < expected ? "truncated" : "oversized") +
+      ": header promises " + std::to_string(expected) + " bytes, found " +
+      std::to_string(available));
+}
+
+}  // namespace
+
+Csr read_binary(std::istream& in, const std::string& name, IoLimits limits) {
+  const auto start_pos = in.tellg();
+  std::byte header[csrbin::kHeaderBytes];
+  in.read(reinterpret_cast<char*>(header), csrbin::kLegacyHeaderBytes);
+  if (!in) throw std::runtime_error("not an fdiam binary CSR file: " + name);
+  if (load_raw<std::uint32_t>(header + 8) == csrbin::kVersion) {
+    in.read(reinterpret_cast<char*>(header) + csrbin::kLegacyHeaderBytes,
+            csrbin::kHeaderBytes - csrbin::kLegacyHeaderBytes);
+    if (!in) {
+      throw std::runtime_error("binary CSR " + name +
+                               " is truncated: v2 header needs " +
+                               std::to_string(csrbin::kHeaderBytes) +
+                               " bytes");
+    }
+  }
+  const std::uint64_t header_bytes =
+      static_cast<std::uint64_t>(in.tellg() - start_pos);
+  const BinHeader h = parse_header(header, header_bytes, name, limits);
+
   // Cheap exact-size check when the stream is seekable (files and
   // stringstreams both are): catches truncation and trailing junk before
   // allocating payload-sized buffers.
-  if (const auto data_pos = in.tellg(); data_pos >= 0) {
+  if (start_pos >= 0) {
+    const auto data_pos = in.tellg();
     in.seekg(0, std::ios::end);
     if (const auto end_pos = in.tellg(); end_pos >= 0) {
-      const auto available =
-          static_cast<std::uint64_t>(end_pos - data_pos);
-      if (available != payload) {
-        throw std::runtime_error(
-            "binary CSR " + name + " is " +
-            (available < payload ? "truncated" : "oversized") + ": header "
-            "promises " + std::to_string(payload) + " payload bytes, found " +
-            std::to_string(available));
+      const auto available = static_cast<std::uint64_t>(end_pos - start_pos);
+      if (available != h.total_bytes) {
+        throw_size_mismatch(name, available, h.total_bytes);
       }
     }
     in.seekg(data_pos);
   }
 
-  std::vector<eid_t> offsets(n + 1);
-  std::vector<vid_t> neighbors(arcs);
+  std::vector<eid_t> offsets(h.n + 1);
+  std::vector<vid_t> neighbors(h.arcs);
+  in.ignore(static_cast<std::streamsize>(h.offsets_off - header_bytes));
   in.read(reinterpret_cast<char*>(offsets.data()),
           static_cast<std::streamsize>(offsets.size() * sizeof(eid_t)));
+  in.ignore(static_cast<std::streamsize>(h.neighbors_off - h.offsets_off -
+                                         offsets_bytes(h.n)));
   in.read(reinterpret_cast<char*>(neighbors.data()),
           static_cast<std::streamsize>(neighbors.size() * sizeof(vid_t)));
   if (!in) throw std::runtime_error("truncated binary CSR: " + name);
@@ -81,29 +190,80 @@ Csr read_binary(const std::filesystem::path& path, IoLimits limits) {
   return read_binary(in, path.string(), limits);
 }
 
-void write_binary(const Csr& g, const std::filesystem::path& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot write " + path.string());
-  const std::uint32_t version = kVersion;
+void write_binary(const Csr& g, const std::filesystem::path& path,
+                  BinaryWriteOptions options) {
+  if (options.version != csrbin::kVersion &&
+      options.version != csrbin::kVersionLegacy) {
+    throw std::invalid_argument("write_binary: unknown csrbin version " +
+                                std::to_string(options.version));
+  }
   const std::uint64_t n = g.num_vertices();
   const std::uint64_t arcs = g.num_arcs();
-  out.write(kMagic, sizeof kMagic);
-  out.write(reinterpret_cast<const char*>(&version), sizeof version);
-  out.write(reinterpret_cast<const char*>(&n), sizeof n);
-  out.write(reinterpret_cast<const char*>(&arcs), sizeof arcs);
+
+  RawWriter out(path);
+  std::uint64_t offsets_off = 0;
+  std::uint64_t neighbors_off = 0;
+  if (options.version == csrbin::kVersionLegacy) {
+    std::byte header[csrbin::kLegacyHeaderBytes];
+    std::memcpy(header, csrbin::kMagic, 8);
+    std::memcpy(header + 8, &options.version, 4);
+    std::memcpy(header + 12, &n, 8);
+    std::memcpy(header + 20, &arcs, 8);
+    out.write(header, sizeof header);
+    offsets_off = csrbin::kLegacyHeaderBytes;
+    neighbors_off = offsets_off + offsets_bytes(n);
+  } else {
+    offsets_off = csrbin::kHeaderBytes;
+    neighbors_off = csrbin::align_up(offsets_off + offsets_bytes(n));
+    std::byte header[csrbin::kHeaderBytes] = {};
+    std::memcpy(header, csrbin::kMagic, 8);
+    std::memcpy(header + 8, &options.version, 4);
+    std::memcpy(header + 12, &csrbin::kEndianMark, 4);
+    std::memcpy(header + 16, &n, 8);
+    std::memcpy(header + 24, &arcs, 8);
+    std::memcpy(header + 32, &offsets_off, 8);
+    std::memcpy(header + 40, &neighbors_off, 8);
+    out.write(header, sizeof header);
+  }
+
   // A default-constructed (empty) Csr has no offsets array, but the format
   // always carries n + 1 of them; synthesize the single 0 so an empty
   // graph round-trips instead of failing the reader's size check.
   static constexpr eid_t kZeroOffset = 0;
   const bool empty = g.offsets().empty();
-  out.write(reinterpret_cast<const char*>(
-                empty ? &kZeroOffset : g.offsets().data()),
-            static_cast<std::streamsize>(
-                (empty ? 1 : g.offsets().size()) * sizeof(eid_t)));
-  out.write(
-      reinterpret_cast<const char*>(g.raw_neighbors().data()),
-      static_cast<std::streamsize>(g.raw_neighbors().size() * sizeof(vid_t)));
-  if (!out) throw std::runtime_error("write failed: " + path.string());
+  out.write(empty ? &kZeroOffset : g.offsets().data(),
+            (empty ? 1 : g.offsets().size()) * sizeof(eid_t));
+  out.pad(neighbors_off - offsets_off - offsets_bytes(n));
+  out.write(g.raw_neighbors().data(),
+            g.raw_neighbors().size() * sizeof(vid_t));
+  out.finish(options.sync);
+}
+
+Csr map_binary(const std::filesystem::path& path, IoLimits limits,
+               bool verify_neighbors) {
+  const std::string name = path.string();
+  auto file = std::make_shared<util::MappedFile>(util::MappedFile::open(path));
+  const BinHeader h = parse_header(file->data(), file->size(), name, limits);
+  if (h.version == csrbin::kVersionLegacy) {
+    // v1 sections sit at unaligned file offsets (28-byte header) — they
+    // cannot be reinterpreted in place; eager-load instead.
+    file.reset();
+    return read_binary(path, limits);
+  }
+  if (file->size() != h.total_bytes) {
+    throw_size_mismatch(name, file->size(), h.total_bytes);
+  }
+  const std::byte* base = file->data();
+  const std::span<const eid_t> offsets(
+      reinterpret_cast<const eid_t*>(base + h.offsets_off), h.n + 1);
+  const std::span<const vid_t> neighbors(
+      reinterpret_cast<const vid_t*>(base + h.neighbors_off), h.arcs);
+  try {
+    return Csr::from_mapped(std::move(file), offsets, neighbors,
+                            verify_neighbors);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error("corrupt binary CSR " + name + ": " + e.what());
+  }
 }
 
 }  // namespace fdiam::io

@@ -80,13 +80,66 @@ Csr read_matrix_market(std::istream& in, const std::string& name,
                        IoLimits limits = {});
 void write_matrix_market(const Csr& g, const std::filesystem::path& path);
 
-/// Fast binary CSR (.csrbin): magic + version + counts + raw arrays.
+/// Fast binary CSR (.csrbin) layout constants, shared by the reader, the
+/// writer, and the streaming builder (graph/stream_builder.hpp) which
+/// emits the format directly to disk.
+///
+/// v1 (legacy): 28-byte packed header (magic, u32 version, u64 n,
+/// u64 arcs) followed immediately by the offsets and neighbors arrays —
+/// readable forever, but the arrays land at unaligned file offsets, so it
+/// cannot be traversed in place.
+///
+/// v2 (current): 64-byte header adding a u32 endianness marker
+/// (kEndianMark, so a file from an other-endian machine is rejected
+/// instead of decoded into garbage) and an explicit section table; both
+/// array sections are 64-byte aligned so a page-aligned mmap of the file
+/// IS a valid CSR — io::map_binary() hands out zero-copy views.
+namespace csrbin {
+inline constexpr char kMagic[8] = {'F', 'D', 'I', 'A', 'M', 'C', 'S', 'R'};
+inline constexpr std::uint32_t kVersionLegacy = 1;
+inline constexpr std::uint32_t kVersion = 2;
+inline constexpr std::uint32_t kEndianMark = 0x01020304;
+inline constexpr std::uint64_t kLegacyHeaderBytes = 28;
+inline constexpr std::uint64_t kHeaderBytes = 64;
+inline constexpr std::uint64_t kSectionAlign = 64;
+inline constexpr std::uint64_t align_up(std::uint64_t x) {
+  return (x + kSectionAlign - 1) & ~(kSectionAlign - 1);
+}
+}  // namespace csrbin
+
+struct BinaryWriteOptions {
+  /// Format version to emit: csrbin::kVersion (aligned, mappable) or
+  /// csrbin::kVersionLegacy for compatibility testing.
+  std::uint32_t version = csrbin::kVersion;
+  /// fsync(2) before close, so the cache file survives a crash right
+  /// after the build step that produced it.
+  bool sync = false;
+};
+
+/// Fast binary CSR (.csrbin): see the csrbin namespace for the layout.
 /// Header counts are validated against the stream length before anything
-/// is allocated, and neighbor ids are range-checked on load.
+/// is allocated, and neighbor ids are range-checked on load. Both v1 and
+/// v2 files are accepted.
 Csr read_binary(const std::filesystem::path& path, IoLimits limits = {});
 Csr read_binary(std::istream& in, const std::string& name,
                 IoLimits limits = {});
-void write_binary(const Csr& g, const std::filesystem::path& path);
+
+/// Write `g` as .csrbin (v2 by default). Streams the arrays in bounded
+/// chunks through raw file-descriptor writes — no payload-sized staging
+/// buffer — and reports ENOSPC as a clean "disk full" error (removing the
+/// partial file) instead of a generic stream failure.
+void write_binary(const Csr& g, const std::filesystem::path& path,
+                  BinaryWriteOptions options = {});
+
+/// Zero-copy load: mmap a v2 .csrbin and return a Csr whose arrays are
+/// read-only views into the page cache (Csr::is_mapped()). The graph
+/// bytes never enter anonymous memory, so solve-time RSS is O(n) scratch
+/// instead of O(n + m). v1 files (unaligned sections) silently fall back
+/// to the eager read_binary path. `verify_neighbors` controls the O(m)
+/// neighbor range scan — it faults the whole file in, so benches that
+/// just wrote the file skip it; offsets are always validated.
+Csr map_binary(const std::filesystem::path& path, IoLimits limits = {},
+               bool verify_neighbors = true);
 
 /// METIS graph format (.metis/.graph): "<n> <m> [fmt [ncon]]" header
 /// followed by one 1-indexed adjacency line per vertex; '%' comments;

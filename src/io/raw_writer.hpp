@@ -1,0 +1,125 @@
+#pragma once
+// Bounded-chunk raw-write file sink, shared by the .csrbin writer
+// (io/binary.cpp) and the external-memory builder
+// (graph/stream_builder.cpp). Chunking keeps each syscall a sane size
+// regardless of array length; any failed write removes the partial file
+// so a half-written graph cache can never be picked up by a later run,
+// and ENOSPC is reported as a distinct "disk full" error instead of a
+// generic stream failure.
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#if defined(__linux__) || defined(__APPLE__)
+#define FDIAM_HAVE_POSIX_WRITE 1
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace fdiam::io {
+
+class RawWriter {
+ public:
+  explicit RawWriter(const std::filesystem::path& path)
+      : path_(path.string()) {
+#ifdef FDIAM_HAVE_POSIX_WRITE
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                 0644);
+    if (fd_ < 0) {
+      throw std::runtime_error("cannot write " + path_ + ": " +
+                               std::strerror(errno));
+    }
+#else
+    out_.open(path, std::ios::binary | std::ios::trunc);
+    if (!out_) throw std::runtime_error("cannot write " + path_);
+#endif
+  }
+
+  ~RawWriter() {
+#ifdef FDIAM_HAVE_POSIX_WRITE
+    if (fd_ >= 0) ::close(fd_);  // finish() not reached: error unwind
+#endif
+  }
+
+  RawWriter(const RawWriter&) = delete;
+  RawWriter& operator=(const RawWriter&) = delete;
+
+  void write(const void* data, std::uint64_t bytes) {
+    static constexpr std::uint64_t kChunk = 4u << 20;
+    const char* p = static_cast<const char*>(data);
+    while (bytes != 0) {
+      const auto chunk = std::min(bytes, kChunk);
+#ifdef FDIAM_HAVE_POSIX_WRITE
+      const ssize_t wrote = ::write(fd_, p, chunk);
+      if (wrote < 0) {
+        if (errno == EINTR) continue;
+        fail(errno);
+      }
+      p += wrote;
+      bytes -= static_cast<std::uint64_t>(wrote);
+#else
+      out_.write(p, static_cast<std::streamsize>(chunk));
+      if (!out_) fail(ENOSPC);
+      p += chunk;
+      bytes -= chunk;
+#endif
+    }
+  }
+
+  /// Write `bytes` zero bytes (section-alignment padding).
+  void pad(std::uint64_t bytes) {
+    static constexpr char zeros[64] = {};
+    while (bytes != 0) {
+      const auto chunk = std::min<std::uint64_t>(bytes, sizeof zeros);
+      write(zeros, chunk);
+      bytes -= chunk;
+    }
+  }
+
+  /// Flush and close; with `sync`, fsync(2) first so the file survives a
+  /// crash right after the build that produced it. Must be called on the
+  /// success path — the destructor only releases the descriptor.
+  void finish(bool sync) {
+#ifdef FDIAM_HAVE_POSIX_WRITE
+    if (sync && ::fsync(fd_) != 0) fail(errno);
+    const int fd = std::exchange(fd_, -1);
+    if (::close(fd) != 0) fail(errno);  // deferred ENOSPC on NFS & co.
+#else
+    out_.flush();
+    if (!out_) fail(ENOSPC);
+#endif
+  }
+
+ private:
+  [[noreturn]] void fail(int err) {
+#ifdef FDIAM_HAVE_POSIX_WRITE
+    if (fd_ >= 0) ::close(std::exchange(fd_, -1));
+#else
+    out_.close();
+#endif
+    std::error_code ignored;
+    std::filesystem::remove(path_, ignored);
+    if (err == ENOSPC) {
+      throw std::runtime_error("disk full (ENOSPC) while writing " + path_ +
+                               "; partial file removed");
+    }
+    throw std::runtime_error("write failed: " + path_ + ": " +
+                             std::strerror(err) + "; partial file removed");
+  }
+
+  std::string path_;
+#ifdef FDIAM_HAVE_POSIX_WRITE
+  int fd_ = -1;
+#else
+  std::ofstream out_;
+#endif
+};
+
+}  // namespace fdiam::io

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/json.hpp"
+#include "util/memory.hpp"
 
 namespace fdiam::obs {
 
@@ -165,6 +166,65 @@ std::optional<std::string> diagnose_report_consistency(
       return "utilization.total.busy_s (" + std::to_string(*busy) +
              ") exceeds wall x threads (" + std::to_string(*wall) + " x " +
              std::to_string(*threads) + ")";
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> diagnose_memory_block(std::string_view report) {
+  if (!json_lookup(report, "memory")) return std::nullopt;
+
+  const auto uint_at = [&](const char* field) -> std::optional<double> {
+    const auto v = json_number(report, std::string("memory.") + field);
+    if (!v || *v < 0.0 || *v != std::floor(*v)) return std::nullopt;
+    return v;
+  };
+
+  // Placement provenance: the enums must round-trip through the same
+  // parsers the CLI uses, so a report can seed a reproduction run.
+  const auto numa = json_string(report, "memory.numa_mode");
+  util::NumaMode numa_mode{};
+  if (!numa || !util::parse_numa_mode(*numa, numa_mode)) {
+    return "memory.numa_mode: expected one of none/interleave/local, got " +
+           (numa ? '"' + *numa + '"' : std::string("a non-string value"));
+  }
+  const auto huge = json_string(report, "memory.huge_pages");
+  util::HugePageMode huge_mode{};
+  if (!huge || !util::parse_huge_page_mode(*huge, huge_mode)) {
+    return "memory.huge_pages: expected one of auto/on/off, got " +
+           (huge ? '"' + *huge + '"' : std::string("a non-string value"));
+  }
+  const auto nodes = uint_at("numa_nodes");
+  if (!nodes || *nodes < 1.0) {
+    return "memory.numa_nodes: must be a positive integer";
+  }
+  if (!uint_at("mapped_bytes")) {
+    return "memory.mapped_bytes: must be a non-negative integer";
+  }
+  if (json_lookup(report, "memory.anon_rss_bytes") &&
+      !uint_at("anon_rss_bytes")) {
+    return "memory.anon_rss_bytes: must be a non-negative integer";
+  }
+
+  // Watermark profile (only when the solver measured one).
+  const auto avail = json_lookup(report, "memory.available");
+  if (avail && *avail == "true") {
+    const auto peak = uint_at("peak_rss_bytes");
+    if (!peak || *peak <= 0.0) {
+      return "memory.peak_rss_bytes: must be a positive integer when "
+             "memory.available is true";
+    }
+    const auto end = uint_at("rss_end_bytes");
+    if (!end) {
+      return "memory.rss_end_bytes: must be a non-negative integer when "
+             "memory.available is true";
+    }
+    if (*peak < *end) {
+      return "memory.peak_rss_bytes (" +
+             std::to_string(static_cast<std::uint64_t>(*peak)) +
+             ") below rss_end_bytes (" +
+             std::to_string(static_cast<std::uint64_t>(*end)) +
+             "): a high-water mark cannot undercut the closing sample";
     }
   }
   return std::nullopt;

@@ -81,4 +81,15 @@ void write_metrics_block(
 [[nodiscard]] std::optional<std::string> diagnose_report_consistency(
     std::string_view report);
 
+/// Validate the "memory" block of a run-report document: placement
+/// provenance enums (numa_mode / huge_pages) must be spellings
+/// util::parse_* accepts, numa_nodes a positive integer, mapped_bytes /
+/// anon_rss_bytes non-negative integers, and — when the watermark
+/// profile is available — peak_rss_bytes a positive integer no smaller
+/// than rss_end_bytes (a high-water mark below the closing sample means
+/// the writer mixed up fields). Nullopt when the block is absent (older
+/// reports) or valid.
+[[nodiscard]] std::optional<std::string> diagnose_memory_block(
+    std::string_view report);
+
 }  // namespace fdiam::obs

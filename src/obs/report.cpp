@@ -15,6 +15,7 @@
 #include "obs/perf/hw_counters.hpp"
 #include "obs/prof/prof_report.hpp"
 #include "obs/provenance.hpp"
+#include "util/memory.hpp"
 
 namespace fdiam::obs {
 
@@ -266,6 +267,20 @@ void RunReport::write_json(std::ostream& os) const {
               static_cast<double>(mem.peak_rss_bytes) /
                   static_cast<double>(graph.vertices));
     }
+  }
+  // Memory-placement provenance (the out-of-core tier, docs/SCALING.md):
+  // which policy the run used, how many NUMA nodes it saw, how many graph
+  // bytes were file-mapped (zero-copy — resident but evictable), and the
+  // anonymous RSS that actually counts against the machine.
+  w.field("numa_mode",
+          std::string(util::numa_mode_name(util::memory_policy().numa)));
+  w.field("huge_pages", std::string(util::huge_page_mode_name(
+                            util::memory_policy().huge_pages)));
+  w.field("numa_nodes",
+          static_cast<std::uint64_t>(util::numa_topology().nodes));
+  w.field("mapped_bytes", util::mapped_bytes());
+  if (const util::RssSample rss = util::read_rss(); rss.available) {
+    w.field("anon_rss_bytes", rss.anon);
   }
   w.end_object();
 

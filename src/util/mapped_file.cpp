@@ -1,0 +1,147 @@
+#include "util/mapped_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__linux__) || defined(__APPLE__)
+#define FDIAM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <cstdio>
+#endif
+
+#include "util/memory.hpp"
+
+namespace fdiam::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+MappedFile& MappedFile::operator=(MappedFile&& o) noexcept {
+  if (this != &o) {
+    reset();
+    data_ = std::exchange(o.data_, nullptr);
+    size_ = std::exchange(o.size_, 0);
+    mapped_ = std::exchange(o.mapped_, false);
+    fallback_ = std::move(o.fallback_);
+    path_ = std::move(o.path_);
+  }
+  return *this;
+}
+
+MappedFile MappedFile::open(const std::filesystem::path& path,
+                            Options options) {
+  MappedFile m;
+  m.path_ = path.string();
+#ifdef FDIAM_HAVE_MMAP
+  const int fd = ::open(m.path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail("cannot open", m.path_);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("cannot stat", m.path_);
+  }
+  m.size_ = static_cast<std::size_t>(st.st_size);
+  if (m.size_ == 0) {
+    ::close(fd);
+    return m;
+  }
+  void* p = ::mmap(nullptr, m.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (p != MAP_FAILED) {
+    m.data_ = static_cast<const std::byte*>(p);
+    m.mapped_ = true;
+#ifdef MADV_SEQUENTIAL
+    if (options.sequential) (void)::madvise(p, m.size_, MADV_SEQUENTIAL);
+#endif
+#ifdef MADV_WILLNEED
+    if (options.willneed) (void)::madvise(p, m.size_, MADV_WILLNEED);
+#endif
+    add_mapped_bytes(m.size_);
+    ::close(fd);  // the mapping keeps its own reference
+    return m;
+  }
+  if (!options.allow_fallback) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("cannot mmap", m.path_);
+  }
+  // Graceful fallback: mmap refused (filesystem without mmap support,
+  // address-space exhaustion) — same bytes, heap-owned, zero-copy lost.
+  m.fallback_ = std::make_unique<std::byte[]>(m.size_);
+  std::size_t off = 0;
+  while (off < m.size_) {
+    const ssize_t got =
+        ::read(fd, m.fallback_.get() + off, m.size_ - off);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved == 0 ? EIO : saved;
+      fail("short read of", m.path_);
+    }
+    off += static_cast<std::size_t>(got);
+  }
+  ::close(fd);
+  m.data_ = m.fallback_.get();
+  m.mapped_ = false;
+  return m;
+#else
+  (void)options;
+  std::FILE* f = std::fopen(m.path_.c_str(), "rb");
+  if (f == nullptr) fail("cannot open", m.path_);
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    fail("cannot stat", m.path_);
+  }
+  m.size_ = static_cast<std::size_t>(end);
+  std::rewind(f);
+  m.fallback_ = std::make_unique<std::byte[]>(m.size_);
+  if (m.size_ != 0 &&
+      std::fread(m.fallback_.get(), 1, m.size_, f) != m.size_) {
+    std::fclose(f);
+    fail("short read of", m.path_);
+  }
+  std::fclose(f);
+  m.data_ = m.size_ ? m.fallback_.get() : nullptr;
+  return m;
+#endif
+}
+
+void MappedFile::drop_cache() const {
+#if defined(FDIAM_HAVE_MMAP) && defined(MADV_DONTNEED)
+  if (mapped_ && data_ != nullptr && size_ != 0) {
+    (void)::madvise(const_cast<std::byte*>(data_), size_, MADV_DONTNEED);
+  }
+#endif
+}
+
+void MappedFile::reset() {
+#ifdef FDIAM_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+    sub_mapped_bytes(size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  fallback_.reset();
+  path_.clear();
+}
+
+}  // namespace fdiam::util

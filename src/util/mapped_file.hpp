@@ -1,0 +1,75 @@
+#pragma once
+// Read-only memory-mapped file with RAII lifetime — the zero-copy
+// substrate of the out-of-core graph tier (docs/SCALING.md).
+//
+// A MappedFile owns one open()+mmap() of an entire file. The mapping is
+// MAP_PRIVATE read-only, advised MADV_WILLNEED (start readahead now) and
+// optionally MADV_SEQUENTIAL; pages live in the page cache, so a solve
+// over a mapped CSR keeps its *anonymous* RSS at O(n) scratch while the
+// graph bytes stay evictable. When mmap is unavailable (ENODEV on weird
+// filesystems, ENOMEM address-space pressure, non-Linux hosts) the
+// wrapper degrades to read()ing the file into an anonymous buffer — the
+// data() contract is identical, only the zero-copy property is lost and
+// `mapped()` reports false.
+//
+// Instances are movable, not copyable; share one via std::shared_ptr
+// (Csr does) when several views must keep the mapping alive.
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+namespace fdiam::util {
+
+class MappedFile {
+ public:
+  struct Options {
+    bool sequential = true;   ///< MADV_SEQUENTIAL readahead hint
+    bool willneed = true;     ///< MADV_WILLNEED prefetch hint
+    bool allow_fallback = true;  ///< read() into heap when mmap fails
+  };
+
+  MappedFile() = default;
+  ~MappedFile() { reset(); }
+
+  MappedFile(MappedFile&& o) noexcept { *this = std::move(o); }
+  MappedFile& operator=(MappedFile&& o) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Map `path` read-only. Throws std::runtime_error (with errno detail)
+  /// when the file cannot be opened/stat'ed, or when mapping fails and
+  /// the fallback is disabled or also fails. An empty file maps to
+  /// size() == 0 with a null data pointer.
+  static MappedFile open(const std::filesystem::path& path, Options options);
+  static MappedFile open(const std::filesystem::path& path) {
+    return open(path, Options{});
+  }
+
+  [[nodiscard]] const std::byte* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// True when the bytes are a real file mapping (zero-copy); false for
+  /// the read() fallback (bytes were copied into anonymous memory).
+  [[nodiscard]] bool mapped() const { return mapped_; }
+
+  /// Drop the page-cache residency hint for the whole range
+  /// (MADV_DONTNEED on the mapping). Used by the scale bench to measure
+  /// cold-cache loads; advisory, no-op on the fallback buffer.
+  void drop_cache() const;
+
+  /// Unmap/free now (also called by the destructor).
+  void reset();
+
+ private:
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::unique_ptr<std::byte[]> fallback_;  // owns bytes when !mapped_
+  std::string path_;
+};
+
+}  // namespace fdiam::util

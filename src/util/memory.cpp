@@ -1,0 +1,175 @@
+#include "util/memory.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace fdiam::util {
+
+namespace {
+
+MemoryPolicy g_policy;
+std::atomic<std::uint64_t> g_mapped_bytes{0};
+
+#if defined(__linux__)
+// mbind(2) policy constants, defined locally so the build needs neither
+// libnuma nor <numaif.h> (which only libnuma-dev ships).
+constexpr int kMpolInterleave = 3;
+constexpr unsigned kMpolMfMove = 1u << 1;  // migrate already-touched pages
+
+long sys_mbind(void* addr, unsigned long len, int mode,
+               const unsigned long* nodemask, unsigned long maxnode,
+               unsigned flags) {
+  return ::syscall(SYS_mbind, addr, len, mode, nodemask, maxnode, flags);
+}
+#endif
+
+NumaTopology detect_topology() {
+  NumaTopology topo;
+#if defined(__linux__)
+  // Count node<N> directories. The "possible" file is authoritative but
+  // needs range parsing; counting online node dirs is simpler and what
+  // placement actually cares about.
+  for (int n = 0;; ++n) {
+    char path[64];
+    std::snprintf(path, sizeof path, "/sys/devices/system/node/node%d", n);
+    if (::access(path, F_OK) != 0) {
+      if (n > 0) {
+        topo.nodes = n;
+        topo.detected = true;
+      }
+      break;
+    }
+  }
+#endif
+  return topo;
+}
+
+}  // namespace
+
+bool parse_numa_mode(std::string_view name, NumaMode& out) {
+  if (name == "none") out = NumaMode::kNone;
+  else if (name == "interleave") out = NumaMode::kInterleave;
+  else if (name == "local") out = NumaMode::kLocal;
+  else return false;
+  return true;
+}
+
+bool parse_huge_page_mode(std::string_view name, HugePageMode& out) {
+  if (name == "auto") out = HugePageMode::kAuto;
+  else if (name == "on") out = HugePageMode::kOn;
+  else if (name == "off") out = HugePageMode::kOff;
+  else return false;
+  return true;
+}
+
+const NumaTopology& numa_topology() {
+  static const NumaTopology topo = detect_topology();
+  return topo;
+}
+
+void set_memory_policy(MemoryPolicy policy) { g_policy = policy; }
+const MemoryPolicy& memory_policy() { return g_policy; }
+
+std::size_t place_range(void* p, std::size_t bytes) {
+#if defined(__linux__)
+  const MemoryPolicy& policy = g_policy;
+  if (policy.numa == NumaMode::kNone &&
+      policy.huge_pages == HugePageMode::kAuto) {
+    return 0;
+  }
+  static const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  auto addr = reinterpret_cast<std::uintptr_t>(p);
+  // Shrink inward: the allocation may share its first/last page with
+  // unrelated heap objects, and madvise/mbind operate on whole pages.
+  const std::uintptr_t begin = (addr + page - 1) & ~(page - 1);
+  const std::uintptr_t end = (addr + bytes) & ~(page - 1);
+  if (end <= begin) return 0;
+  void* base = reinterpret_cast<void*>(begin);
+  const std::size_t len = end - begin;
+
+  if (policy.huge_pages == HugePageMode::kOn) {
+#ifdef MADV_HUGEPAGE
+    (void)::madvise(base, len, MADV_HUGEPAGE);
+#endif
+  } else if (policy.huge_pages == HugePageMode::kOff) {
+#ifdef MADV_NOHUGEPAGE
+    (void)::madvise(base, len, MADV_NOHUGEPAGE);
+#endif
+  }
+
+  if (policy.numa == NumaMode::kInterleave && numa_topology().nodes > 1) {
+    // All detected nodes, round-robin, migrating pages first-touched on
+    // one node before the policy was applied. EPERM/ENOSYS (seccomp,
+    // CAP_SYS_NICE-less move) degrade to the kernel default silently:
+    // placement is advisory, never fatal.
+    const int nodes = numa_topology().nodes;
+    unsigned long mask[16] = {};
+    for (int n = 0; n < nodes && n < 1024; ++n) {
+      mask[n / (8 * sizeof(unsigned long))] |=
+          1UL << (n % (8 * sizeof(unsigned long)));
+    }
+    (void)sys_mbind(base, len, kMpolInterleave, mask,
+                    sizeof(mask) * 8, kMpolMfMove);
+  }
+  // kLocal is first-touch — the kernel default; recording it in the run
+  // report is the whole point, no syscall needed.
+  return len;
+#else
+  (void)p;
+  (void)bytes;
+  return 0;
+#endif
+}
+
+bool reset_peak_rss() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "we");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5\n", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+#else
+  return false;
+#endif
+}
+
+RssSample read_rss() {
+  RssSample s;
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "re");
+  if (f == nullptr) return s;
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    unsigned long long kb = 0;
+    if (std::sscanf(line, "VmRSS: %llu kB", &kb) == 1) {
+      s.total = kb * 1024;
+      s.available = true;
+    } else if (std::sscanf(line, "RssAnon: %llu kB", &kb) == 1) {
+      s.anon = kb * 1024;
+    } else if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+      s.peak = kb * 1024;
+    }
+  }
+  std::fclose(f);
+#endif
+  return s;
+}
+
+std::uint64_t mapped_bytes() {
+  return g_mapped_bytes.load(std::memory_order_relaxed);
+}
+void add_mapped_bytes(std::uint64_t bytes) {
+  g_mapped_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+void sub_mapped_bytes(std::uint64_t bytes) {
+  g_mapped_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace fdiam::util

@@ -1,0 +1,134 @@
+#pragma once
+// Memory-system placement for the out-of-core tier (docs/SCALING.md).
+//
+// BFS on massive sparse graphs is DRAM-latency/bandwidth bound, so WHERE
+// the big arrays live is a first-order performance knob: 2 MB huge pages
+// cut TLB misses on the multi-GB CSR, and NUMA interleaving spreads the
+// bandwidth demand of a socket-spanning OpenMP team across memory
+// controllers. This module provides:
+//
+//  * topology detection from sysfs (no libnuma dependency — the mbind
+//    policy call is issued as a raw syscall and degrades gracefully on
+//    kernels/containers that refuse it);
+//  * a process-wide MemoryPolicy (set once from the CLI knobs
+//    --numa interleave|local|none and --huge-pages auto|on|off);
+//  * place_range()/place(): apply the policy to an existing allocation
+//    (madvise(MADV_HUGEPAGE/NOHUGEPAGE) + mbind(MPOL_INTERLEAVE));
+//    callers sprinkle these on the big arrays (CSR, visited/distance/
+//    frontier) right after they are sized;
+//  * RSS observability used by the scale bench: peak-RSS reset
+//    (/proc/self/clear_refs), anonymous-RSS reading (RssAnon), and a
+//    process-wide counter of mmap()ed graph bytes so run reports can
+//    separate "resident because mapped" from "resident because copied".
+//
+// Everything here is advisory: no call ever fails a run. On non-Linux or
+// locked-down kernels the functions are no-ops that report unavailable.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace fdiam::util {
+
+/// NUMA placement mode for the big arrays.
+enum class NumaMode : std::uint8_t {
+  kNone = 0,    ///< leave the kernel's default policy alone
+  kInterleave,  ///< round-robin pages across all nodes (bandwidth-bound BFS)
+  kLocal,       ///< first-touch locality (default kernel behavior, recorded)
+};
+
+/// Transparent-huge-page mode for the big arrays.
+enum class HugePageMode : std::uint8_t {
+  kAuto = 0,  ///< leave the system THP setting alone
+  kOn,        ///< madvise(MADV_HUGEPAGE) every placed range
+  kOff,       ///< madvise(MADV_NOHUGEPAGE) every placed range
+};
+
+constexpr std::string_view numa_mode_name(NumaMode m) {
+  switch (m) {
+    case NumaMode::kNone: return "none";
+    case NumaMode::kInterleave: return "interleave";
+    case NumaMode::kLocal: return "local";
+  }
+  return "unknown";
+}
+
+constexpr std::string_view huge_page_mode_name(HugePageMode m) {
+  switch (m) {
+    case HugePageMode::kAuto: return "auto";
+    case HugePageMode::kOn: return "on";
+    case HugePageMode::kOff: return "off";
+  }
+  return "unknown";
+}
+
+/// Parse the CLI spellings; returns false on an unknown name.
+bool parse_numa_mode(std::string_view name, NumaMode& out);
+bool parse_huge_page_mode(std::string_view name, HugePageMode& out);
+
+/// NUMA topology snapshot from /sys/devices/system/node. On non-NUMA
+/// machines (or masked sysfs) `nodes == 1` and interleaving is a no-op.
+struct NumaTopology {
+  int nodes = 1;
+  /// True when /sys/devices/system/node was readable (vs the fallback).
+  bool detected = false;
+};
+
+/// Detect (and cache) the topology. Thread-safe.
+const NumaTopology& numa_topology();
+
+/// Process-wide placement policy applied by place_range().
+struct MemoryPolicy {
+  NumaMode numa = NumaMode::kNone;
+  HugePageMode huge_pages = HugePageMode::kAuto;
+};
+
+/// Install / read the process-wide policy. Not synchronized — set it once
+/// at startup (the CLI does) before solver threads exist.
+void set_memory_policy(MemoryPolicy policy);
+const MemoryPolicy& memory_policy();
+
+/// Apply the current policy to [p, p + bytes): the range is shrunk inward
+/// to page boundaries, madvise'd per the huge-page mode, and mbind'ed
+/// MPOL_INTERLEAVE (with page migration) when interleaving across > 1
+/// node. Ranges smaller than one page, a kNone/kAuto policy pair, and
+/// EPERM/ENOSYS from the kernel are all silent no-ops. Returns the number
+/// of bytes the policy was actually applied to (0 when nothing was done).
+std::size_t place_range(void* p, std::size_t bytes);
+
+/// Convenience overload for contiguous containers (vector, string).
+template <typename Container>
+std::size_t place(Container& c) {
+  return c.empty() ? 0
+                   : place_range(static_cast<void*>(c.data()),
+                                 c.size() * sizeof(typename Container::value_type));
+}
+
+/// Reset the kernel's peak-RSS watermark (VmHWM) by writing "5" to
+/// /proc/self/clear_refs, so per-phase peaks can be measured inside one
+/// process. Returns false when the file is not writable (old kernels,
+/// restricted /proc) — callers must treat the subsequent watermark as
+/// process-lifetime, not per-phase.
+bool reset_peak_rss();
+
+/// Current resident-set sizes from /proc/self/status, in bytes.
+/// `anon` (RssAnon) is the honest zero-copy metric: file-backed mapped
+/// graph pages count in `total` but not in `anon`. Zeros when /proc is
+/// unavailable (`available == false`).
+struct RssSample {
+  bool available = false;
+  std::uint64_t total = 0;  ///< VmRSS
+  std::uint64_t anon = 0;   ///< RssAnon (0 on pre-4.5 kernels)
+  std::uint64_t peak = 0;   ///< VmHWM
+};
+RssSample read_rss();
+
+/// Process-wide counter of bytes currently mapped through MappedFile
+/// (util/mapped_file.hpp); run reports record it as memory.mapped_bytes.
+std::uint64_t mapped_bytes();
+/// Internal: MappedFile calls these from map/unmap.
+void add_mapped_bytes(std::uint64_t bytes);
+void sub_mapped_bytes(std::uint64_t bytes);
+
+}  // namespace fdiam::util

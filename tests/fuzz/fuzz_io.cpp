@@ -50,24 +50,42 @@ Reader reader_for(Format format) {
 }
 
 /// Serialize a Csr into the .csrbin wire format in memory (the writer in
-/// binary.cpp is path-based; the corpus wants bytes).
-std::string binary_bytes(const Csr& g) {
+/// binary.cpp is path-based; the corpus wants bytes). Emits either the
+/// legacy packed v1 layout or the aligned v2 layout with its endianness
+/// marker and section table — both versions stay fuzzed forever.
+std::string binary_bytes(const Csr& g, std::uint32_t version) {
   std::string out;
   const auto put = [&out](const void* p, std::size_t bytes) {
     out.append(static_cast<const char*>(p), bytes);
   };
   put("FDIAMCSR", 8);
-  const std::uint32_t version = 1;
   const std::uint64_t n = g.num_vertices();
   const std::uint64_t arcs = g.num_arcs();
   put(&version, sizeof version);
-  put(&n, sizeof n);
-  put(&arcs, sizeof arcs);
+  if (version == io::csrbin::kVersionLegacy) {
+    put(&n, sizeof n);
+    put(&arcs, sizeof arcs);
+  } else {
+    put(&io::csrbin::kEndianMark, sizeof io::csrbin::kEndianMark);
+    put(&n, sizeof n);
+    put(&arcs, sizeof arcs);
+    const std::uint64_t offsets_off = io::csrbin::kHeaderBytes;
+    const std::uint64_t neighbors_off =
+        io::csrbin::align_up(offsets_off + (n + 1) * sizeof(eid_t));
+    put(&offsets_off, sizeof offsets_off);
+    put(&neighbors_off, sizeof neighbors_off);
+    out.append(io::csrbin::kHeaderBytes - out.size(), '\0');  // reserved
+  }
   static constexpr eid_t kZeroOffset = 0;
   if (g.offsets().empty()) {
     put(&kZeroOffset, sizeof kZeroOffset);
   } else {
     put(g.offsets().data(), g.offsets().size() * sizeof(eid_t));
+  }
+  if (version != io::csrbin::kVersionLegacy) {
+    const std::uint64_t payload =
+        out.size() - io::csrbin::kHeaderBytes;  // offsets written so far
+    out.append(io::csrbin::align_up(payload) - payload, '\0');  // pad
   }
   put(g.raw_neighbors().data(), g.raw_neighbors().size() * sizeof(vid_t));
   return out;
@@ -118,9 +136,12 @@ std::vector<std::string> corpus_for(Format format) {
       };
     case Format::kCsrBin: {
       std::vector<std::string> docs;
-      docs.push_back(binary_bytes(make_path(5)));
-      docs.push_back(binary_bytes(make_star(4)));
-      docs.push_back(binary_bytes(Csr{}));  // empty graph round-trip
+      for (const std::uint32_t v :
+           {io::csrbin::kVersionLegacy, io::csrbin::kVersion}) {
+        docs.push_back(binary_bytes(make_path(5), v));
+        docs.push_back(binary_bytes(make_star(4), v));
+        docs.push_back(binary_bytes(Csr{}, v));  // empty graph round-trip
+      }
       return docs;
     }
   }

@@ -416,5 +416,60 @@ TEST(MetricsBlockTest, ConsistencyCrossChecksBfsCallsAndUtilization) {
             std::nullopt);
 }
 
+TEST(MemoryBlockTest, AcceptsWellFormedAndAbsentBlocks) {
+  // No memory block at all is fine (older reports).
+  EXPECT_EQ(obs::diagnose_memory_block(R"({"result":{}})"), std::nullopt);
+
+  const std::string_view good = R"({"memory":{
+    "available": true, "peak_rss_bytes": 4734976,
+    "rss_start_bytes": 1000000, "rss_end_bytes": 2000000,
+    "numa_mode": "interleave", "huge_pages": "auto",
+    "numa_nodes": 2, "mapped_bytes": 168, "anon_rss_bytes": 380928}})";
+  const auto diag = obs::diagnose_memory_block(good);
+  EXPECT_EQ(diag, std::nullopt) << *diag;
+
+  // Watermark profile absent (available=false): only the placement
+  // provenance fields are required.
+  EXPECT_EQ(obs::diagnose_memory_block(
+                R"({"memory":{"available": false, "numa_mode": "none",
+                  "huge_pages": "off", "numa_nodes": 1,
+                  "mapped_bytes": 0}})"),
+            std::nullopt);
+}
+
+TEST(MemoryBlockTest, RejectsMalformedMemoryBlocks) {
+  const auto reject = [](std::string_view doc, std::string_view why) {
+    const auto diag = obs::diagnose_memory_block(doc);
+    ASSERT_TRUE(diag.has_value()) << "accepted: " << doc;
+    EXPECT_NE(diag->find(why), std::string::npos) << *diag;
+  };
+  reject(R"({"memory":{"numa_mode": "banana", "huge_pages": "auto",
+             "numa_nodes": 1, "mapped_bytes": 0}})",
+         "numa_mode");
+  reject(R"({"memory":{"numa_mode": "none", "huge_pages": 7,
+             "numa_nodes": 1, "mapped_bytes": 0}})",
+         "huge_pages");
+  reject(R"({"memory":{"numa_mode": "none", "huge_pages": "on",
+             "numa_nodes": 0, "mapped_bytes": 0}})",
+         "numa_nodes");
+  reject(R"({"memory":{"numa_mode": "none", "huge_pages": "on",
+             "numa_nodes": 1, "mapped_bytes": -5}})",
+         "mapped_bytes");
+  reject(R"({"memory":{"numa_mode": "none", "huge_pages": "on",
+             "numa_nodes": 1, "mapped_bytes": 0,
+             "anon_rss_bytes": 1.5}})",
+         "anon_rss_bytes");
+  // available=true demands the watermark fields...
+  reject(R"({"memory":{"available": true, "numa_mode": "none",
+             "huge_pages": "on", "numa_nodes": 1, "mapped_bytes": 0}})",
+         "peak_rss_bytes");
+  // ...and a high-water mark below the closing sample is impossible.
+  reject(R"({"memory":{"available": true, "peak_rss_bytes": 100,
+             "rss_start_bytes": 0, "rss_end_bytes": 200,
+             "numa_mode": "none", "huge_pages": "on", "numa_nodes": 1,
+             "mapped_bytes": 0}})",
+         "high-water");
+}
+
 }  // namespace
 }  // namespace fdiam

@@ -1,0 +1,304 @@
+// Zero-copy mmap loading of .csrbin files (io::map_binary): format
+// version round-trips, bit-identical solves against the eager loader
+// across the engine x reorder matrix, and hand-corrupted negatives.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/fdiam.hpp"
+#include "gen/generators.hpp"
+#include "graph/reorder.hpp"
+#include "io/io.hpp"
+#include "util/memory.hpp"
+
+namespace fdiam {
+namespace {
+
+namespace fs = std::filesystem;
+
+class MmapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fdiam_mmap_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] fs::path file(const std::string& name) const {
+    return dir_ / name;
+  }
+
+  static void expect_same_graph(const Csr& a, const Csr& b) {
+    ASSERT_EQ(a.num_vertices(), b.num_vertices());
+    ASSERT_EQ(a.num_arcs(), b.num_arcs());
+    EXPECT_TRUE(std::ranges::equal(a.offsets(), b.offsets()));
+    EXPECT_TRUE(std::ranges::equal(a.raw_neighbors(), b.raw_neighbors()));
+  }
+
+  [[nodiscard]] std::string slurp(const fs::path& p) const {
+    std::ifstream in(p, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    return bytes;
+  }
+
+  void spit(const fs::path& p, const std::string& bytes) const {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(MmapTest, V2RoundTripsThroughReaderAndMapper) {
+  const Csr g = make_rmat(10, 8.0, 0.45, 0.15, 0.15, 7);
+  io::write_binary(g, file("g.csrbin"));  // v2 by default
+
+  const Csr eager = io::read_binary(file("g.csrbin"));
+  EXPECT_FALSE(eager.is_mapped());
+  expect_same_graph(g, eager);
+
+  const Csr mapped = io::map_binary(file("g.csrbin"));
+  EXPECT_TRUE(mapped.is_mapped());
+  expect_same_graph(g, mapped);
+}
+
+TEST_F(MmapTest, LegacyV1StillReadsAndMapperFallsBack) {
+  const Csr g = make_barabasi_albert(400, 2.0, 11);
+  io::BinaryWriteOptions v1;
+  v1.version = io::csrbin::kVersionLegacy;
+  io::write_binary(g, file("v1.csrbin"), v1);
+
+  // The v1 file is the old 28-byte-packed layout byte for byte.
+  EXPECT_EQ(fs::file_size(file("v1.csrbin")),
+            io::csrbin::kLegacyHeaderBytes +
+                (g.num_vertices() + 1ull) * sizeof(eid_t) +
+                g.num_arcs() * sizeof(vid_t));
+  expect_same_graph(g, io::read_binary(file("v1.csrbin")));
+
+  // v1 sections are unaligned, so map_binary must fall back to an eager
+  // load — same graph, but not a mapping.
+  const Csr fallback = io::map_binary(file("v1.csrbin"));
+  EXPECT_FALSE(fallback.is_mapped());
+  expect_same_graph(g, fallback);
+}
+
+TEST_F(MmapTest, V1ToV2RewriteRoundTrips) {
+  const Csr g = make_grid(23, 17);
+  io::BinaryWriteOptions v1;
+  v1.version = io::csrbin::kVersionLegacy;
+  io::write_binary(g, file("old.csrbin"), v1);
+
+  // The upgrade path a cache directory goes through: read v1, write v2.
+  const Csr loaded = io::read_binary(file("old.csrbin"));
+  io::write_binary(loaded, file("new.csrbin"));
+  const Csr mapped = io::map_binary(file("new.csrbin"));
+  EXPECT_TRUE(mapped.is_mapped());
+  expect_same_graph(g, mapped);
+}
+
+TEST_F(MmapTest, V2SectionsAreAligned) {
+  const Csr g = make_path(37);  // n+1 = 38 offsets: forces real padding
+  io::write_binary(g, file("a.csrbin"));
+  const std::string bytes = slurp(file("a.csrbin"));
+  ASSERT_GE(bytes.size(), io::csrbin::kHeaderBytes);
+  std::uint64_t offsets_off = 0, neighbors_off = 0;
+  std::memcpy(&offsets_off, bytes.data() + 32, 8);
+  std::memcpy(&neighbors_off, bytes.data() + 40, 8);
+  EXPECT_EQ(offsets_off % io::csrbin::kSectionAlign, 0u);
+  EXPECT_EQ(neighbors_off % io::csrbin::kSectionAlign, 0u);
+  EXPECT_EQ(bytes.size(), neighbors_off + g.num_arcs() * sizeof(vid_t));
+}
+
+TEST_F(MmapTest, EmptyGraphMapsCleanly) {
+  io::write_binary(Csr{}, file("e.csrbin"));
+  const Csr mapped = io::map_binary(file("e.csrbin"));
+  EXPECT_TRUE(mapped.is_mapped());
+  EXPECT_EQ(mapped.num_vertices(), 0u);
+  EXPECT_EQ(mapped.num_arcs(), 0u);
+}
+
+// The whole point of the zero-copy path: a mapped graph must be
+// indistinguishable from an owned one to every solver configuration.
+TEST_F(MmapTest, MappedSolvesBitIdenticalAcrossEngineReorderMatrix) {
+  const Csr base = make_rmat(11, 8.0, 0.45, 0.15, 0.15, 3);
+
+  for (const ReorderMode mode : {ReorderMode::kNone, ReorderMode::kDegree,
+                                 ReorderMode::kBfs, ReorderMode::kRandom}) {
+    const Csr owned = apply_permutation(base, make_order(base, mode, 5));
+    const fs::path p = file(std::string("m_") + reorder_mode_name(mode) +
+                            ".csrbin");
+    io::write_binary(owned, p);
+    const Csr mapped = io::map_binary(p);
+    ASSERT_TRUE(mapped.is_mapped());
+    expect_same_graph(owned, mapped);
+
+    for (const bool parallel : {false, true}) {
+      for (const bool dopt : {false, true}) {
+        FDiamOptions opt;
+        opt.parallel = parallel;
+        opt.direction_optimizing = dopt;
+        const DiameterResult a = fdiam_diameter(owned, opt);
+        const DiameterResult b = fdiam_diameter(mapped, opt);
+        const std::string cfg = std::string(reorder_mode_name(mode)) +
+                                (parallel ? "/par" : "/ser") +
+                                (dopt ? "/dopt" : "/plain");
+        EXPECT_EQ(a.diameter, b.diameter) << cfg;
+        EXPECT_EQ(a.witness, b.witness) << cfg;
+        EXPECT_EQ(a.connected, b.connected) << cfg;
+        EXPECT_EQ(a.stats.bfs_calls, b.stats.bfs_calls) << cfg;
+      }
+    }
+  }
+}
+
+TEST_F(MmapTest, MappedCsrSurvivesCopyAndMove) {
+  const Csr g = make_cycle(64);
+  io::write_binary(g, file("cm.csrbin"));
+  Csr mapped = io::map_binary(file("cm.csrbin"));
+
+  const Csr copy = mapped;  // shares the mapping
+  EXPECT_TRUE(copy.is_mapped());
+  expect_same_graph(g, copy);
+
+  const Csr moved = std::move(mapped);
+  EXPECT_TRUE(moved.is_mapped());
+  expect_same_graph(g, moved);
+
+  // Both alive at once: the shared_ptr keeps the pages valid.
+  EXPECT_EQ(copy.degree(0), moved.degree(0));
+}
+
+TEST_F(MmapTest, MappedBytesCounterTracksLiveMappings) {
+  const Csr g = make_path(100);
+  io::write_binary(g, file("acct.csrbin"));
+  const std::uint64_t before = util::mapped_bytes();
+  {
+    const Csr mapped = io::map_binary(file("acct.csrbin"));
+    ASSERT_TRUE(mapped.is_mapped());
+    EXPECT_EQ(util::mapped_bytes(),
+              before + fs::file_size(file("acct.csrbin")));
+  }
+  EXPECT_EQ(util::mapped_bytes(), before);
+}
+
+// --- Negatives: every corruption must throw, never crash or misparse ---
+
+TEST_F(MmapTest, RejectsTruncatedFiles) {
+  const Csr g = make_path(20);
+  io::write_binary(g, file("t.csrbin"));
+  const std::string bytes = slurp(file("t.csrbin"));
+  for (const std::size_t cut :
+       {bytes.size() - 1, bytes.size() - 9, io::csrbin::kHeaderBytes + 3,
+        std::size_t{40}, std::size_t{9}}) {
+    spit(file("cut.csrbin"), bytes.substr(0, cut));
+    EXPECT_THROW(io::map_binary(file("cut.csrbin")), std::runtime_error)
+        << "cut at " << cut;
+  }
+  spit(file("junk.csrbin"), bytes + "extra");
+  EXPECT_THROW(io::map_binary(file("junk.csrbin")), std::runtime_error);
+}
+
+TEST_F(MmapTest, RejectsForeignEndiannessAndBadVersions) {
+  const Csr g = make_path(8);
+  io::write_binary(g, file("h.csrbin"));
+  std::string bytes = slurp(file("h.csrbin"));
+
+  {
+    std::string bad = bytes;  // byte-swapped endian marker
+    const std::uint32_t swapped = 0x04030201;
+    std::memcpy(bad.data() + 12, &swapped, 4);
+    spit(file("endian.csrbin"), bad);
+    try {
+      io::map_binary(file("endian.csrbin"));
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("endian"), std::string::npos);
+    }
+  }
+  {
+    std::string bad = bytes;  // a version from the future
+    const std::uint32_t v9 = 9;
+    std::memcpy(bad.data() + 8, &v9, 4);
+    spit(file("v9.csrbin"), bad);
+    EXPECT_THROW(io::map_binary(file("v9.csrbin")), std::runtime_error);
+  }
+}
+
+TEST_F(MmapTest, RejectsCorruptSectionTables) {
+  const Csr g = make_path(8);
+  io::write_binary(g, file("s.csrbin"));
+  const std::string bytes = slurp(file("s.csrbin"));
+
+  const auto with_u64_at = [&](std::size_t at, std::uint64_t v) {
+    std::string bad = bytes;
+    std::memcpy(bad.data() + at, &v, 8);
+    return bad;
+  };
+  // offsets_off inside the header
+  spit(file("b1.csrbin"), with_u64_at(32, 8));
+  EXPECT_THROW(io::map_binary(file("b1.csrbin")), std::runtime_error);
+  // offsets_off misaligned for eid_t (file-size check can't save us: keep
+  // total_bytes plausible by also shifting neighbors_off is NOT done —
+  // the parser must reject the misalignment on its own)
+  spit(file("b2.csrbin"), with_u64_at(32, 68));
+  EXPECT_THROW(io::map_binary(file("b2.csrbin")), std::runtime_error);
+  // neighbors_off overlapping the offsets section
+  spit(file("b3.csrbin"), with_u64_at(40, 64));
+  EXPECT_THROW(io::map_binary(file("b3.csrbin")), std::runtime_error);
+  // neighbors_off chosen so total_bytes wraps to something tiny
+  spit(file("b4.csrbin"),
+       with_u64_at(40, std::numeric_limits<std::uint64_t>::max() - 8));
+  EXPECT_THROW(io::map_binary(file("b4.csrbin")), std::runtime_error);
+}
+
+TEST_F(MmapTest, RejectsCorruptPayload) {
+  const Csr g = make_path(6);
+  io::write_binary(g, file("p.csrbin"));
+  std::string bytes = slurp(file("p.csrbin"));
+
+  // Decreasing offsets: from_mapped's invariant check must fire.
+  const eid_t bogus = 1u << 20;
+  std::memcpy(bytes.data() + io::csrbin::kHeaderBytes + sizeof(eid_t),
+              &bogus, sizeof bogus);
+  spit(file("badoff.csrbin"), bytes);
+  EXPECT_THROW(io::map_binary(file("badoff.csrbin")), std::runtime_error);
+}
+
+TEST_F(MmapTest, NeighborRangeScanIsOptionalButOffsetsAreNot) {
+  const Csr g = make_path(6);
+  io::write_binary(g, file("nv.csrbin"));
+  std::string bytes = slurp(file("nv.csrbin"));
+  // Corrupt one neighbor id to an out-of-range vertex.
+  std::uint64_t neighbors_off = 0;
+  std::memcpy(&neighbors_off, bytes.data() + 40, 8);
+  const vid_t bogus = 1u << 30;
+  std::memcpy(bytes.data() + neighbors_off, &bogus, sizeof bogus);
+  spit(file("badnbr.csrbin"), bytes);
+
+  // The default verifying load catches it...
+  EXPECT_THROW(io::map_binary(file("badnbr.csrbin")), std::runtime_error);
+  // ...the trusted fast path (just-written cache files) maps it anyway.
+  const Csr trusted =
+      io::map_binary(file("badnbr.csrbin"), {}, /*verify_neighbors=*/false);
+  EXPECT_TRUE(trusted.is_mapped());
+}
+
+TEST_F(MmapTest, MissingFileThrows) {
+  EXPECT_THROW(io::map_binary(file("absent.csrbin")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fdiam

@@ -1,0 +1,213 @@
+// External-memory CSR builder (graph/stream_builder.hpp): the output
+// must be byte-for-byte what the in-core from_edges + write_binary path
+// produces, under any memory budget, for any edge feed order.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/stream_builder.hpp"
+#include "io/io.hpp"
+
+namespace fdiam {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StreamBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fdiam_stream_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] fs::path file(const std::string& name) const {
+    return dir_ / name;
+  }
+
+  /// All undirected edges of g as (u, v) pairs with u < v.
+  static std::vector<std::pair<vid_t, vid_t>> edges_of(const Csr& g) {
+    std::vector<std::pair<vid_t, vid_t>> edges;
+    for (vid_t u = 0; u < g.num_vertices(); ++u) {
+      for (const vid_t v : g.neighbors(u)) {
+        if (u < v) edges.emplace_back(u, v);
+      }
+    }
+    return edges;
+  }
+
+  [[nodiscard]] std::string slurp(const fs::path& p) const {
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  /// Stream g's edges (shuffled, duplicated) under `budget` and expect
+  /// the output file to be byte-identical to write_binary(g).
+  void expect_byte_identical(const Csr& g, std::uint64_t budget,
+                             std::uint64_t seed) {
+    io::write_binary(g, file("ref.csrbin"));
+
+    auto edges = edges_of(g);
+    std::mt19937_64 rng(seed);
+    std::shuffle(edges.begin(), edges.end(), rng);
+
+    StreamBuildOptions opt;
+    opt.mem_budget_bytes = budget;
+    StreamCsrBuilder b(file("out.csrbin"), opt);
+    for (const auto& [u, v] : edges) {
+      // Feed in both orientations and with duplicates — the builder must
+      // canonicalize and dedup exactly like Csr::from_edges.
+      if (rng() % 2 == 0) {
+        b.add_edge(u, v);
+      } else {
+        b.add_edge(v, u);
+      }
+      if (rng() % 4 == 0) b.add_edge(u, v);
+    }
+    const StreamBuildStats st = b.finish();
+
+    EXPECT_EQ(st.edges_unique, edges.size());
+    EXPECT_EQ(st.num_vertices, g.num_vertices());
+    EXPECT_EQ(st.output_bytes, fs::file_size(file("out.csrbin")));
+    EXPECT_EQ(slurp(file("out.csrbin")), slurp(file("ref.csrbin")))
+        << "budget " << budget;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(StreamBuilderTest, MatchesInCoreBuildAcrossBudgets) {
+  const Csr g = make_rmat(10, 8.0, 0.45, 0.15, 0.15, 13);
+  // From "everything fits in one chunk" down to "every chunk spills":
+  // the clamped floor makes even budget=0 workable.
+  for (const std::uint64_t budget :
+       {std::uint64_t{1} << 30, std::uint64_t{1} << 20, std::uint64_t{0}}) {
+    expect_byte_identical(g, budget, /*seed=*/budget + 1);
+  }
+}
+
+TEST_F(StreamBuilderTest, TinyBudgetForcesSpillsAndStillMatches) {
+  const Csr g = make_barabasi_albert(2000, 3.0, 17);
+  StreamBuildOptions opt;
+  opt.mem_budget_bytes = 0;  // clamped to the floor — maximal spilling
+  io::write_binary(g, file("ref.csrbin"));
+  StreamCsrBuilder b(file("out.csrbin"), opt);
+  for (const auto& [u, v] : edges_of(g)) b.add_edge(u, v);
+  const StreamBuildStats st = b.finish();
+  EXPECT_GT(st.chunks_spilled, 0u);
+  EXPECT_GT(st.spill_bytes, 0u);
+  EXPECT_EQ(slurp(file("out.csrbin")), slurp(file("ref.csrbin")));
+  // Spill runs are gone after a successful finish.
+  std::size_t files = 0;
+  for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir_)) ++files;
+  EXPECT_EQ(files, 2u);  // ref + out, nothing else
+}
+
+TEST_F(StreamBuilderTest, MappedOutputSolvesLikeTheInCoreGraph) {
+  const Csr g = make_grid(40, 25);
+  StreamCsrBuilder b(file("grid.csrbin"), {});
+  for (const auto& [u, v] : edges_of(g)) b.add_edge(u, v);
+  b.finish();
+  const Csr mapped = io::map_binary(file("grid.csrbin"));
+  ASSERT_TRUE(mapped.is_mapped());
+  ASSERT_EQ(mapped.num_vertices(), g.num_vertices());
+  ASSERT_EQ(mapped.num_arcs(), g.num_arcs());
+  EXPECT_TRUE(std::ranges::equal(mapped.offsets(), g.offsets()));
+  EXPECT_TRUE(std::ranges::equal(mapped.raw_neighbors(), g.raw_neighbors()));
+}
+
+TEST_F(StreamBuilderTest, SelfLoopsDropButStillCountTowardVertices) {
+  // Matches Csr::from_edges semantics: the loop endpoint defines n.
+  StreamCsrBuilder b(file("loop.csrbin"), {});
+  b.add_edge(0, 1);
+  b.add_edge(9, 9);
+  const StreamBuildStats st = b.finish();
+  EXPECT_EQ(st.edges_in, 2u);
+  EXPECT_EQ(st.edges_unique, 1u);
+  EXPECT_EQ(st.num_vertices, 10u);
+
+  EdgeList e(10);
+  e.add(0, 1);
+  const Csr ref = Csr::from_edges(std::move(e));
+  io::write_binary(ref, file("ref.csrbin"));
+  EXPECT_EQ(slurp(file("loop.csrbin")), slurp(file("ref.csrbin")));
+}
+
+TEST_F(StreamBuilderTest, EmptyBuildYieldsTheEmptyGraphFile) {
+  StreamCsrBuilder b(file("empty.csrbin"), {});
+  const StreamBuildStats st = b.finish();
+  EXPECT_EQ(st.edges_unique, 0u);
+  EXPECT_EQ(st.num_vertices, 0u);
+  io::write_binary(Csr{}, file("ref.csrbin"));
+  EXPECT_EQ(slurp(file("empty.csrbin")), slurp(file("ref.csrbin")));
+  EXPECT_EQ(io::read_binary(file("empty.csrbin")).num_vertices(), 0u);
+}
+
+TEST_F(StreamBuilderTest, AbandonedBuilderLeavesNoTempFiles) {
+  {
+    StreamCsrBuilder b(file("never.csrbin"), [] {
+      StreamBuildOptions o;
+      o.mem_budget_bytes = 0;  // floor-sized chunks: guarantee spills
+      return o;
+    }());
+    for (vid_t i = 0; i < 100000; ++i) b.add_edge(i, i + 1);
+    // finish() never called — destructor must clean up the spill runs.
+  }
+  std::size_t files = 0;
+  for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir_)) ++files;
+  EXPECT_EQ(files, 0u);
+}
+
+TEST_F(StreamBuilderTest, SnapStreamingMatchesTheEagerSnapReader) {
+  const Csr g = make_barabasi_albert(600, 2.5, 29);
+  io::write_snap(g, file("g.txt"));
+
+  const StreamBuildStats st =
+      stream_build_snap(file("g.txt"), file("g.csrbin"), {});
+  EXPECT_EQ(st.num_vertices, g.num_vertices());
+
+  io::write_binary(io::read_snap(file("g.txt")), file("ref.csrbin"));
+  EXPECT_EQ(slurp(file("g.csrbin")), slurp(file("ref.csrbin")));
+}
+
+TEST_F(StreamBuilderTest, SnapStreamingValidatesLikeReadSnap) {
+  const auto write_text = [&](const std::string& name,
+                              const std::string& text) {
+    std::ofstream out(file(name));
+    out << text;
+    return file(name);
+  };
+  // Comments, blank lines, extra columns tolerated.
+  const auto ok = write_text("ok.txt", "# c\n\n0 1 999 0.5\n1 2\n");
+  const StreamBuildStats st = stream_build_snap(ok, file("ok.csrbin"), {});
+  EXPECT_EQ(st.num_vertices, 3u);
+  EXPECT_EQ(st.edges_unique, 2u);
+
+  // Malformed lines and oversized ids throw, like io::read_snap.
+  EXPECT_THROW(stream_build_snap(write_text("bad1.txt", "0 1\nnope\n"),
+                                 file("b1.csrbin"), {}),
+               std::runtime_error);
+  EXPECT_THROW(stream_build_snap(write_text("bad2.txt", "0 4294967296\n"),
+                                 file("b2.csrbin"), {}),
+               std::runtime_error);
+  EXPECT_THROW(stream_build_snap(file("absent.txt"), file("b3.csrbin"), {}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fdiam
