@@ -1,0 +1,205 @@
+# verify-serve ctest driver (run via `cmake -P`): boots a real fdiam_serve
+# daemon on a temp socket, drives it with fdiam_client over the wire —
+# happy-path queries, a malformed request, a live reload — then shuts it
+# down via the protocol verb and validates the OpenMetrics dump the
+# daemon leaves behind. Variables passed by the add_test() invocation:
+#   GRAPH_GEN    path to the graph_gen binary (produces the .csrbin)
+#   FDIAM_SERVE  path to the fdiam_serve binary
+#   FDIAM_CLIENT path to the fdiam_client binary
+#   JSON_CHECK   path to the json_check binary
+#   WORK_DIR     scratch directory (socket, graph, metrics, log)
+
+find_program(SH_PROGRAM sh)
+if(NOT SH_PROGRAM)
+  message(FATAL_ERROR "verify-serve needs a POSIX sh to background the daemon")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(graph "${WORK_DIR}/serve_graph.csrbin")
+set(socket "${WORK_DIR}/serve.sock")
+set(prom "${WORK_DIR}/serve.om.txt")
+set(log "${WORK_DIR}/serve.log")
+set(pidfile "${WORK_DIR}/serve.pid")
+
+# A small but non-trivial graph for the daemon to serve.
+execute_process(
+  COMMAND "${GRAPH_GEN}" --family rmat --scale-log2 10 --ef 8
+          --out "${graph}"
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "graph_gen failed (exit ${rc})")
+endif()
+
+# Background the daemon through sh so the test can keep driving it; the
+# pidfile lets the cleanup path kill a daemon that outlives a failure.
+execute_process(
+  COMMAND "${SH_PROGRAM}" -c
+    "'${FDIAM_SERVE}' --socket '${socket}' --graph demo='${graph}' \
+     --metrics-out '${prom}' --log-level info --log-out '${log}' \
+     </dev/null >/dev/null 2>&1 & echo $! > '${pidfile}'"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "failed to launch fdiam_serve (exit ${rc})")
+endif()
+file(READ "${pidfile}" daemon_pid)
+string(STRIP "${daemon_pid}" daemon_pid)
+
+function(kill_daemon)
+  execute_process(COMMAND "${SH_PROGRAM}" -c
+                  "kill ${daemon_pid} 2>/dev/null" ERROR_QUIET)
+endfunction()
+
+# Wait for the socket to come up: retry ping until it answers.
+set(up FALSE)
+foreach(attempt RANGE 100)
+  execute_process(
+    COMMAND "${FDIAM_CLIENT}" --socket "${socket}" ping
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  if(rc EQUAL 0)
+    set(up TRUE)
+    break()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.1)
+endforeach()
+if(NOT up)
+  kill_daemon()
+  message(FATAL_ERROR "daemon never answered ping on ${socket}")
+endif()
+
+# Happy path: every query verb answers ok=true with sane payloads.
+execute_process(
+  COMMAND "${FDIAM_CLIENT}" --socket "${socket}" diameter
+  RESULT_VARIABLE rc OUTPUT_VARIABLE diameter_out)
+if(NOT rc EQUAL 0)
+  kill_daemon()
+  message(FATAL_ERROR "diameter query failed (exit ${rc}): ${diameter_out}")
+endif()
+string(FIND "${diameter_out}" "\"diameter\":" found)
+if(found EQUAL -1)
+  kill_daemon()
+  message(FATAL_ERROR "diameter response missing field: ${diameter_out}")
+endif()
+
+execute_process(
+  COMMAND "${FDIAM_CLIENT}" --socket "${socket}" ecc 0
+  RESULT_VARIABLE rc OUTPUT_VARIABLE ecc_out)
+if(NOT rc EQUAL 0)
+  kill_daemon()
+  message(FATAL_ERROR "eccentricity query failed (exit ${rc}): ${ecc_out}")
+endif()
+
+execute_process(
+  COMMAND "${FDIAM_CLIENT}" --socket "${socket}" dist 0 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE dist_out)
+if(NOT rc EQUAL 0)
+  kill_daemon()
+  message(FATAL_ERROR "distance query failed (exit ${rc}): ${dist_out}")
+endif()
+
+execute_process(
+  COMMAND "${FDIAM_CLIENT}" --socket "${socket}" path demo
+  RESULT_VARIABLE rc OUTPUT_VARIABLE path_out)
+if(NOT rc EQUAL 0)
+  kill_daemon()
+  message(FATAL_ERROR "diametral_path query failed (exit ${rc}): ${path_out}")
+endif()
+
+execute_process(
+  COMMAND "${FDIAM_CLIENT}" --socket "${socket}" stats
+  RESULT_VARIABLE rc OUTPUT_VARIABLE stats_out)
+if(NOT rc EQUAL 0)
+  kill_daemon()
+  message(FATAL_ERROR "stats query failed (exit ${rc}): ${stats_out}")
+endif()
+string(FIND "${stats_out}" "fdiam.serve/v1" found)
+if(found EQUAL -1)
+  kill_daemon()
+  message(FATAL_ERROR "stats response missing protocol tag: ${stats_out}")
+endif()
+
+# Malformed requests fail the REQUEST (exit 1, error field), not the
+# daemon: garbage JSON, an unknown op, an out-of-range vertex.
+foreach(bad "{not json" "{\"op\":\"frobnicate\"}" "{\"op\":\"eccentricity\"}")
+  execute_process(
+    COMMAND "${FDIAM_CLIENT}" --socket "${socket}" --raw "${bad}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE bad_out)
+  if(NOT rc EQUAL 1)
+    kill_daemon()
+    message(FATAL_ERROR
+            "malformed request ${bad} should exit 1, got ${rc}: ${bad_out}")
+  endif()
+  string(FIND "${bad_out}" "\"error\":" found)
+  if(found EQUAL -1)
+    kill_daemon()
+    message(FATAL_ERROR "malformed request got no error field: ${bad_out}")
+  endif()
+endforeach()
+execute_process(
+  COMMAND "${FDIAM_CLIENT}" --socket "${socket}" dist 0 999999999
+  RESULT_VARIABLE rc OUTPUT_VARIABLE range_out)
+if(NOT rc EQUAL 1)
+  kill_daemon()
+  message(FATAL_ERROR "out-of-range vertex should exit 1, got ${rc}")
+endif()
+
+# Reload bumps the generation and the daemon keeps answering.
+execute_process(
+  COMMAND "${FDIAM_CLIENT}" --socket "${socket}" reload demo
+  RESULT_VARIABLE rc OUTPUT_VARIABLE reload_out)
+if(NOT rc EQUAL 0)
+  kill_daemon()
+  message(FATAL_ERROR "reload failed (exit ${rc}): ${reload_out}")
+endif()
+execute_process(
+  COMMAND "${FDIAM_CLIENT}" --socket "${socket}" dist 1 2
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  kill_daemon()
+  message(FATAL_ERROR "query after reload failed (exit ${rc})")
+endif()
+
+# Graceful shutdown via the protocol verb; wait for the process to exit
+# and the metrics dump to appear.
+execute_process(
+  COMMAND "${FDIAM_CLIENT}" --socket "${socket}" shutdown
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  kill_daemon()
+  message(FATAL_ERROR "shutdown verb failed (exit ${rc})")
+endif()
+set(gone FALSE)
+foreach(attempt RANGE 100)
+  execute_process(COMMAND "${SH_PROGRAM}" -c "kill -0 ${daemon_pid} 2>/dev/null"
+                  RESULT_VARIABLE alive)
+  if(NOT alive EQUAL 0)
+    set(gone TRUE)
+    break()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.1)
+endforeach()
+if(NOT gone)
+  kill_daemon()
+  message(FATAL_ERROR "daemon did not exit after the shutdown verb")
+endif()
+
+# The shutdown dump: lint-clean OpenMetrics carrying the serve counters,
+# and a structured log that parses as JSON-lines.
+if(NOT EXISTS "${prom}")
+  message(FATAL_ERROR "daemon exited without writing ${prom}")
+endif()
+execute_process(
+  COMMAND "${JSON_CHECK}" --openmetrics "${prom}" --jsonl "${log}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve artifacts failed validation (exit ${rc})")
+endif()
+file(READ "${prom}" prom_text)
+foreach(needle "serve_requests_diameter" "serve_connections" "serve_reloads")
+  string(FIND "${prom_text}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "OpenMetrics dump is missing ${needle}")
+  endif()
+endforeach()
+
+message(STATUS "verify-serve: all protocol, reload, and shutdown checks passed")

@@ -1,0 +1,118 @@
+// fdiam_client: command-line client for a running fdiam_serve daemon.
+//
+//   fdiam_client --socket /tmp/fdiam.sock diameter [graph]
+//   fdiam_client --socket /tmp/fdiam.sock ecc <u> [graph]
+//   fdiam_client --socket /tmp/fdiam.sock dist <u> <v> [graph]
+//   fdiam_client --socket /tmp/fdiam.sock path [graph]
+//   fdiam_client --socket /tmp/fdiam.sock stats | reload [graph] |
+//                ping | shutdown
+//   fdiam_client --socket /tmp/fdiam.sock --raw '{"op":"ping"}'
+//
+// Prints the raw response JSON on stdout. Exit codes: 0 = server said
+// ok, 1 = server returned an error response, 2 = usage or transport
+// failure — so shell scripts (and cmake/verify_serve.cmake) can assert
+// on outcomes without parsing.
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "serve/client.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+fdiam::vid_t parse_vertex(const std::string& s) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || v > UINT32_MAX) {
+    throw std::runtime_error("bad vertex id \"" + s + "\"");
+  }
+  return static_cast<fdiam::vid_t>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fdiam::Cli cli;
+  cli.add_option("socket", "UNIX socket path of the daemon");
+  cli.add_option("raw", "send this JSON payload verbatim");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(),
+                 cli.usage("fdiam_client").c_str());
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::fprintf(stdout,
+                 "%s\nverbs: ping | diameter [graph] | ecc <u> [graph] | "
+                 "dist <u> <v> [graph] |\n       path [graph] | stats | "
+                 "reload [graph] | shutdown\n",
+                 cli.usage("fdiam_client").c_str());
+    return 0;
+  }
+  const std::string socket = cli.get("socket");
+  if (socket.empty()) {
+    std::fprintf(stderr, "error: --socket is required\n");
+    return 2;
+  }
+
+  fdiam::serve::Client client;
+  if (!client.connect(socket)) {
+    std::fprintf(stderr, "fdiam_client: %s\n", client.error().c_str());
+    return 2;
+  }
+
+  std::string response;
+  try {
+    const std::string raw = cli.get("raw");
+    const auto& args = cli.positional();
+    if (!raw.empty()) {
+      if (!client.call(raw, response)) response.clear();
+    } else if (args.empty()) {
+      std::fprintf(stderr, "error: no verb given (try --help)\n");
+      return 2;
+    } else {
+      const std::string& verb = args[0];
+      auto graph_arg = [&args](std::size_t i) {
+        return args.size() > i ? args[i] : std::string();
+      };
+      if (verb == "ping") {
+        response = client.ping();
+      } else if (verb == "diameter") {
+        response = client.diameter(graph_arg(1));
+      } else if (verb == "ecc" || verb == "eccentricity") {
+        if (args.size() < 2) throw std::runtime_error("ecc needs <u>");
+        response = client.eccentricity(parse_vertex(args[1]), graph_arg(2));
+      } else if (verb == "dist" || verb == "distance") {
+        if (args.size() < 3) throw std::runtime_error("dist needs <u> <v>");
+        response = client.distance(parse_vertex(args[1]),
+                                   parse_vertex(args[2]), graph_arg(3));
+      } else if (verb == "path") {
+        response = client.diametral_path(graph_arg(1));
+      } else if (verb == "stats") {
+        response = client.stats();
+      } else if (verb == "reload") {
+        response = client.reload(graph_arg(1));
+      } else if (verb == "shutdown") {
+        response = client.shutdown();
+      } else {
+        std::fprintf(stderr, "error: unknown verb \"%s\"\n", verb.c_str());
+        return 2;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fdiam_client: %s\n", e.what());
+    return 2;
+  }
+  if (response.empty()) {
+    std::fprintf(stderr, "fdiam_client: %s\n", client.error().c_str());
+    return 2;
+  }
+  std::fprintf(stdout, "%s\n", response.c_str());
+  std::optional<std::string_view> ok = fdiam::obs::json_lookup(response, "ok");
+  return ok.has_value() && *ok == "true" ? 0 : 1;
+}

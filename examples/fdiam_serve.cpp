@@ -1,0 +1,111 @@
+// fdiam_serve: diameter-as-a-service daemon (docs/SERVICE.md).
+//
+// Loads one or more .csrbin graphs read-only via mmap and answers
+// diameter / eccentricity / distance / diametral-path queries over a
+// UNIX-domain socket. Concurrent point queries are batched onto shared
+// MS-BFS sweeps (up to 64 sources per traversal). SIGHUP or the
+// `reload` verb re-maps graphs from disk without dropping in-flight
+// queries; SIGINT/SIGTERM or the `shutdown` verb stop gracefully and,
+// with --metrics-out, leave an OpenMetrics dump behind.
+//
+//   fdiam_serve --socket /tmp/fdiam.sock --graph web=web.csrbin \
+//               --graph road=road.csrbin --metrics-out serve.om.txt
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "obs/log/log.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using fdiam::obs::LogLevel;
+
+LogLevel parse_level(const std::string& s) {
+  if (s == "trace") return LogLevel::kTrace;
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off") return LogLevel::kOff;
+  throw std::runtime_error("unknown --log-level \"" + s + "\"");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fdiam::Cli cli;
+  cli.add_option("socket", "UNIX socket path to listen on");
+  cli.add_option("graph",
+                 "graph to serve as name=path.csrbin (repeatable via "
+                 "comma-separated list)");
+  cli.add_option("max-batch", "MS-BFS sources per sweep (1..64)", "64");
+  cli.add_flag("no-batch",
+               "answer each point query with its own BFS (baseline mode)");
+  cli.add_flag("serial", "disable OpenMP parallelism inside sweeps/solves");
+  cli.add_option("metrics-out", "write OpenMetrics here at shutdown");
+  cli.add_option("log-level", "trace|debug|info|warn|error|off", "info");
+  cli.add_option("log-out", "structured-log destination (default stderr)");
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(),
+                 cli.usage("fdiam_serve").c_str());
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::fprintf(stdout, "%s", cli.usage("fdiam_serve").c_str());
+    return 0;
+  }
+  try {
+    const std::string socket = cli.get("socket");
+    const std::string graphs = cli.get("graph");
+    if (socket.empty() || graphs.empty()) {
+      std::fprintf(stderr, "error: --socket and --graph are required\n%s",
+                   cli.usage("fdiam_serve").c_str());
+      return 2;
+    }
+
+    fdiam::obs::Logger& logger = fdiam::obs::Logger::instance();
+    logger.set_level(parse_level(cli.get("log-level", "info")));
+    const std::string log_out = cli.get("log-out");
+    if (!log_out.empty() && !logger.open_output(log_out)) {
+      std::fprintf(stderr, "error: cannot open --log-out %s\n",
+                   log_out.c_str());
+      return 2;
+    }
+
+    fdiam::serve::ServerOptions opt;
+    opt.socket_path = socket;
+    opt.max_batch = static_cast<int>(cli.get_int("max-batch", 64));
+    opt.batching = !cli.get_bool("no-batch", false);
+    opt.parallel = !cli.get_bool("serial", false);
+    opt.metrics_out = cli.get("metrics-out");
+
+    fdiam::serve::Server server(opt);
+    // name=path entries, comma-separated.
+    std::string rest = graphs;
+    while (!rest.empty()) {
+      std::size_t comma = rest.find(',');
+      std::string entry = rest.substr(0, comma);
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+      std::size_t eq = entry.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == entry.size()) {
+        std::fprintf(stderr,
+                     "error: --graph entry \"%s\" is not name=path\n",
+                     entry.c_str());
+        return 2;
+      }
+      server.add_graph(entry.substr(0, eq), entry.substr(eq + 1));
+    }
+
+    fdiam::serve::install_server_signal_handlers();
+    server.start();
+    server.join();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fdiam_serve: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

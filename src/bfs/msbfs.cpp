@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "bfs/frontier.hpp"
 #include "util/parallel.hpp"
@@ -29,10 +31,23 @@ struct MsbfsScratch {
   }
 };
 
+/// One point-to-point distance to resolve during a sweep: when
+/// `source`'s bit first reaches `target`, the discovery level is stored
+/// through `out` (pre-initialized to -1 = not yet reached).
+struct BatchTarget {
+  std::uint32_t source = 0;  ///< bit index within this batch
+  vid_t target = 0;
+  dist_t* out = nullptr;
+};
+
 /// One bit-parallel sweep over <= 64 sources. `ecc_out[i]` receives the
-/// eccentricity of `sources[i]`.
+/// eccentricity of `sources[i]`; each entry of `targets` is resolved at
+/// the level its source bit discovers the target vertex (one mask test
+/// per unresolved target per level — free for the ecc-only callers that
+/// pass no targets).
 void msbfs_batch(const Csr& g, std::span<const vid_t> sources,
-                 std::span<dist_t> ecc_out, MsbfsScratch& s, bool parallel) {
+                 std::span<dist_t> ecc_out, MsbfsScratch& s, bool parallel,
+                 std::span<const BatchTarget> targets = {}) {
   assert(sources.size() <= 64);
   s.reset();
 
@@ -43,6 +58,16 @@ void msbfs_batch(const Csr& g, std::span<const vid_t> sources,
     s.frontier[sources[i]] |= bit;
     ecc_out[i] = 0;
   }
+  // Level-0 resolution: a target that IS its source (or shares it with
+  // another seeded source) is at distance 0.
+  const auto resolve_targets = [&](dist_t level) {
+    for (const BatchTarget& t : targets) {
+      if (*t.out < 0 && ((s.seen[t.target] >> t.source) & 1ULL) != 0) {
+        *t.out = level;
+      }
+    }
+  };
+  resolve_targets(0);
 
   dist_t level = 0;
   while (!s.cur_active.empty()) {
@@ -109,6 +134,7 @@ void msbfs_batch(const Csr& g, std::span<const vid_t> sources,
     for (std::size_t i = 0; i < sources.size(); ++i) {
       if (discovered & (1ULL << i)) ecc_out[i] = level;
     }
+    if (!targets.empty()) resolve_targets(level);
 
     // Retire the expanded level and promote the next one, touching only
     // the two active lists (this is also what returns frontier/next to
@@ -136,6 +162,40 @@ std::vector<dist_t> msbfs_eccentricities(const Csr& g,
                 parallel);
   }
   return ecc;
+}
+
+MsbfsQueryResult msbfs_point_queries(const Csr& g,
+                                     std::span<const vid_t> sources,
+                                     std::span<const MsbfsTarget> targets,
+                                     bool parallel) {
+  MsbfsQueryResult result;
+  result.ecc.assign(sources.size(), 0);
+  result.dist.assign(targets.size(), -1);
+  for (const MsbfsTarget& t : targets) {
+    if (t.source >= sources.size()) {
+      throw std::out_of_range("msbfs_point_queries: target source index " +
+                              std::to_string(t.source) + " >= batch size " +
+                              std::to_string(sources.size()));
+    }
+  }
+  MsbfsScratch scratch(g.num_vertices());
+  std::vector<BatchTarget> batch_targets;
+  for (std::size_t base = 0; base < sources.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, sources.size() - base);
+    batch_targets.clear();
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+      const MsbfsTarget& t = targets[j];
+      if (t.source >= base && t.source < base + count) {
+        batch_targets.push_back(
+            {static_cast<std::uint32_t>(t.source - base), t.target,
+             &result.dist[j]});
+      }
+    }
+    msbfs_batch(g, sources.subspan(base, count),
+                std::span<dist_t>(result.ecc).subspan(base, count), scratch,
+                parallel, batch_targets);
+  }
+  return result;
 }
 
 std::vector<dist_t> msbfs_all_eccentricities(const Csr& g) {

@@ -34,6 +34,36 @@ std::vector<dist_t> msbfs_eccentricities(const Csr& g,
                                          std::span<const vid_t> sources,
                                          bool parallel = true);
 
+/// One point-to-point distance resolved inside a bit-parallel sweep:
+/// `source` indexes into the batch's sources span, `target` is a vertex
+/// id. The serving layer packs concurrent distance queries into these so
+/// one sweep answers them all alongside the eccentricities.
+struct MsbfsTarget {
+  std::uint32_t source = 0;  ///< index into the sources span
+  vid_t target = 0;
+};
+
+/// Combined result of one batched query sweep.
+struct MsbfsQueryResult {
+  /// ecc[i] = eccentricity of sources[i] within its component.
+  std::vector<dist_t> ecc;
+  /// dist[j] = d(sources[targets[j].source], targets[j].target), or -1
+  /// when the target is unreachable from that source.
+  std::vector<dist_t> dist;
+};
+
+/// Answer up to 64 sources' eccentricities AND any number of
+/// point-to-point distance queries over those sources in bit-parallel
+/// sweeps (ceil(sources/64) graph traversals total). A target is
+/// resolved at the level its source's bit first reaches it, so the
+/// distance queries cost one mask test per pending query per level on
+/// top of the plain eccentricity sweep. Targets whose `source` index is
+/// out of range throw std::out_of_range.
+MsbfsQueryResult msbfs_point_queries(const Csr& g,
+                                     std::span<const vid_t> sources,
+                                     std::span<const MsbfsTarget> targets,
+                                     bool parallel = true);
+
 /// Eccentricity of EVERY vertex via ceil(n/64) bit-parallel sweeps,
 /// parallelized across batches with OpenMP (each batch serial inside).
 /// Exact replacement for the one-BFS-per-vertex APSP loop.

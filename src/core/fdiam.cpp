@@ -113,11 +113,13 @@ DiameterResult FDiam::run() {
     if (prov) prov->finish(res.diameter, res.connected, res.timed_out);
   };
 
-  // Utilization accounting: install the caller's collector globally for
-  // the duration of this run so the instrumented OpenMP regions (BFS
-  // steps, winnow/extension levels, candidate batches) find it. The
-  // previous collector is restored on every exit path; the snapshot is
-  // harvested into stats_.util by finalize_stats().
+  // Utilization accounting: install the caller's collector on THIS
+  // thread for the duration of the run so the instrumented OpenMP
+  // regions (BFS steps, winnow/extension levels, candidate batches) find
+  // it. The install slot is thread-local (util/parallel.hpp), so
+  // concurrent solves on different threads never alias each other's
+  // accumulators. The previous collector is restored on every exit path;
+  // the snapshot is harvested into stats_.util by finalize_stats().
   UtilCollector* const util = opt_.utilization;
   struct UtilInstallGuard {
     UtilCollector* installed;
@@ -139,7 +141,10 @@ DiameterResult FDiam::run() {
   // are updated by the solver itself rather than the (optional) trace
   // sink.
   obs::SolveHistograms* const hist = opt_.histograms;
-  obs::FlightRecorder* const flight = obs::FlightRecorder::active();
+  // Per-solve recorder when the caller provided one (concurrent-solve
+  // daemons), otherwise the process-wide primary (single-solve CLI).
+  obs::FlightRecorder* const flight =
+      opt_.flight != nullptr ? opt_.flight : obs::FlightRecorder::active();
   const auto set_stage = [&](UtilStage s) {
     if (util != nullptr) util->set_stage(s);
     if (flight != nullptr) flight->set_stage(s);

@@ -41,6 +41,7 @@ class PerfSession;           // owned by FDiam when hw_counters is on
 class ProvenanceCollector;   // caller-owned, see FDiamOptions::provenance
 class ProgressHeartbeat;     // caller-owned, see FDiamOptions::heartbeat
 struct SolveHistograms;      // caller-owned, see FDiamOptions::histograms
+class FlightRecorder;        // caller-owned, see FDiamOptions::flight
 }
 
 /// Progress events emitted by FDiam when a trace sink is installed —
@@ -168,6 +169,15 @@ struct FDiamOptions {
   /// Caller-owned; near-zero cost when null (one pointer test per
   /// record site, all outside the per-edge hot path).
   obs::SolveHistograms* histograms = nullptr;
+
+  /// Opt-in per-solve crash flight recorder (obs/log/flight.hpp). When
+  /// set, this run's stage transitions and bound raises go to THIS
+  /// recorder instead of the process-wide FlightRecorder::active() — the
+  /// right mode for a daemon running concurrent solves, where each
+  /// request registers its own recorder (register_recorder) so a crash
+  /// dumps every in-flight solve's state. Null = fall back to the
+  /// process-wide active recorder (single-solve CLI behavior).
+  obs::FlightRecorder* flight = nullptr;
 
   /// Optional per-decision progress sink (see FDiamEvent).
   FDiamTrace trace;

@@ -213,6 +213,7 @@ StreamBuildStats StreamCsrBuilder::finish() {
       chunk_.clear();
       chunk_.shrink_to_fit();
     }
+    if (options_.checkpoint) options_.checkpoint("degrees");
 
     const std::uint64_t arcs = 2 * stats_.edges_unique;
     const std::uint64_t offsets_off = io::csrbin::kHeaderBytes;
@@ -251,6 +252,7 @@ StreamBuildStats StreamCsrBuilder::finish() {
     }
     degree.clear();
     degree.shrink_to_fit();
+    if (options_.checkpoint) options_.checkpoint("offsets");
 
     // Pass 2: both streams are sorted by (source << 32 | neighbor) — the
     // forward arcs (u < v) from re-merging the canonical runs, the
@@ -282,6 +284,7 @@ StreamBuildStats StreamCsrBuilder::finish() {
         }
       }
       out.write(staging.data(), staging.size() * sizeof(vid_t));
+      if (options_.checkpoint) options_.checkpoint("neighbors");
     }
     out.finish(options_.sync);
     stats_.output_bytes = neighbors_off + arcs * sizeof(vid_t);
@@ -290,6 +293,13 @@ StreamBuildStats StreamCsrBuilder::finish() {
   } catch (...) {
     remove_all(swap_runs);
     remove_all(runs_);
+    // The output file exists (and is partial) once pass 1 succeeded: a
+    // failed build must not leave a truncated .csrbin behind — a later
+    // read_binary/map_binary would reject it, but cache-warming scripts
+    // that test for mere existence would skip the rebuild and then fail
+    // downstream.
+    std::error_code ignored;
+    std::filesystem::remove(output_, ignored);
     throw;
   }
   return stats_;

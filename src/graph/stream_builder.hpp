@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -42,6 +43,13 @@ struct StreamBuildOptions {
   std::filesystem::path temp_dir;
   /// fsync the finished .csrbin (see BinaryWriteOptions::sync).
   bool sync = false;
+  /// TEST-ONLY fault injection: when set, finish() invokes this at named
+  /// internal phase boundaries ("degrees" after pass 1, "offsets" after
+  /// the offsets section hit the output file, "neighbors" after pass 2).
+  /// A throwing checkpoint simulates an I/O failure at that point; the
+  /// abandonment tests use it to assert that a failed build leaves no
+  /// artifacts — neither spill runs nor a partially written .csrbin.
+  std::function<void(const char* phase)> checkpoint;
 };
 
 struct StreamBuildStats {

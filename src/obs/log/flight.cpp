@@ -14,6 +14,12 @@ namespace {
 
 std::atomic<FlightRecorder*> g_active{nullptr};
 
+// Crash-dump registry: fixed array of atomic slots so the fatal-signal
+// handler can walk it without locks or allocation. Slots are claimed by
+// CAS and cleared on unregister; the handler tolerates concurrent
+// mutation (it reads each slot once).
+std::atomic<FlightRecorder*> g_registry[FlightRecorder::kMaxRegistered]{};
+
 // ---- async-signal-safe formatting helpers -------------------------------
 //
 // Everything below the dump path builds lines in caller-provided stack
@@ -91,11 +97,28 @@ extern "C" void fdiam_crash_handler(int sig) {
   static std::atomic<bool> dumping{false};
   bool expected = false;
   if (dumping.compare_exchange_strong(expected, true)) {
-    if (FlightRecorder* fr = g_active.load(std::memory_order_acquire)) {
+    // Dump every registered recorder (a daemon registers one per
+    // in-flight solve), then the primary if it is not also registered —
+    // so concurrent solves each report their own stage/bounds instead of
+    // the crash clobbering them into one.
+    FlightRecorder* const primary = g_active.load(std::memory_order_acquire);
+    const int fd = g_dump_fd.load(std::memory_order_relaxed);
+    bool dumped_primary = false;
+    bool dumped_any = false;
+    for (std::size_t i = 0; i < FlightRecorder::kMaxRegistered; ++i) {
+      FlightRecorder* fr = g_registry[i].load(std::memory_order_acquire);
+      if (fr == nullptr) continue;
       fr->dump(STDERR_FILENO, sig);
-      const int fd = g_dump_fd.load(std::memory_order_relaxed);
       if (fd >= 0) fr->dump(fd, sig);
-    } else {
+      dumped_any = true;
+      if (fr == primary) dumped_primary = true;
+    }
+    if (primary != nullptr && !dumped_primary) {
+      primary->dump(STDERR_FILENO, sig);
+      if (fd >= 0) primary->dump(fd, sig);
+      dumped_any = true;
+    }
+    if (!dumped_any) {
       char line[64];
       SafeBuf b{line, sizeof line};
       b.puts("[fdiam] fatal signal=");
@@ -225,11 +248,49 @@ void FlightRecorder::dump(int fd, int signal) const {
 }
 
 FlightRecorder* FlightRecorder::install(FlightRecorder* fr) {
-  return g_active.exchange(fr, std::memory_order_acq_rel);
+  FlightRecorder* prev = g_active.exchange(fr, std::memory_order_acq_rel);
+  // Keep the registry consistent with the primary slot so a plain
+  // single-solve install is still crash-dumped exactly once.
+  if (prev != nullptr && prev != fr) unregister_recorder(prev);
+  if (fr != nullptr) register_recorder(fr);
+  return prev;
 }
 
 FlightRecorder* FlightRecorder::active() {
   return g_active.load(std::memory_order_acquire);
+}
+
+bool FlightRecorder::register_recorder(FlightRecorder* fr) {
+  if (fr == nullptr) return false;
+  // Idempotent: already registered counts as success.
+  for (auto& slot : g_registry) {
+    if (slot.load(std::memory_order_acquire) == fr) return true;
+  }
+  for (auto& slot : g_registry) {
+    FlightRecorder* expected = nullptr;
+    if (slot.compare_exchange_strong(expected, fr,
+                                     std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;  // registry full — recorder simply not crash-dumped
+}
+
+void FlightRecorder::unregister_recorder(FlightRecorder* fr) {
+  if (fr == nullptr) return;
+  for (auto& slot : g_registry) {
+    FlightRecorder* expected = fr;
+    slot.compare_exchange_strong(expected, nullptr,
+                                 std::memory_order_acq_rel);
+  }
+}
+
+std::size_t FlightRecorder::registered_count() {
+  std::size_t n = 0;
+  for (const auto& slot : g_registry) {
+    n += slot.load(std::memory_order_acquire) != nullptr ? 1 : 0;
+  }
+  return n;
 }
 
 bool FlightRecorder::install_crash_handlers(const std::string& path) {

@@ -82,11 +82,27 @@ class FlightRecorder {
     return head_.load(std::memory_order_relaxed);
   }
 
-  /// Process-wide active recorder, mirroring UtilCollector::install:
-  /// returns the previous one so scopes can nest/restore. Passing
-  /// nullptr deactivates.
+  /// Process-wide PRIMARY recorder (the logger mirrors records into it,
+  /// and single-solve tools treat it as "the" recorder): returns the
+  /// previous one so scopes can nest/restore. Passing nullptr
+  /// deactivates. install() also registers/unregisters the recorder in
+  /// the crash-dump registry below.
   static FlightRecorder* install(FlightRecorder* fr);
   [[nodiscard]] static FlightRecorder* active();
+
+  /// Crash-dump registry: every registered recorder is dumped by the
+  /// fatal-signal handler, each with its own stage/bounds header. A
+  /// daemon running concurrent solves registers one recorder per solve
+  /// (see FDiamOptions::flight) so a crash reports every in-flight
+  /// request's state instead of whichever one happened to be "active".
+  /// Registration is idempotent (re-registering an already-registered
+  /// recorder is a no-op) and bounded: at most kMaxRegistered recorders;
+  /// further registrations return false and are simply not dumped.
+  static constexpr std::size_t kMaxRegistered = 32;
+  static bool register_recorder(FlightRecorder* fr);
+  static void unregister_recorder(FlightRecorder* fr);
+  /// Registered recorders right now (for tests).
+  [[nodiscard]] static std::size_t registered_count();
 
   /// Install SIGSEGV/SIGBUS/SIGABRT/SIGFPE/SIGILL handlers that dump the
   /// active recorder to stderr — and to `path`, opened (and truncated)

@@ -366,7 +366,7 @@ void ProvenanceCollector::translate(const std::vector<vid_t>& inverse) {
 
 // --- ProgressHeartbeat ---------------------------------------------------
 
-std::atomic<bool> ProgressHeartbeat::snapshot_requested_{false};
+std::atomic<std::uint64_t> ProgressHeartbeat::snapshot_epoch_{0};
 
 bool stderr_is_tty() {
 #if defined(__unix__) || defined(__APPLE__)
@@ -381,12 +381,18 @@ ProgressHeartbeat::ProgressHeartbeat(double interval_seconds, bool force,
     : interval_(interval_seconds),
       force_(force),
       enabled_(force || stderr_is_tty()),
-      out_(out) {}
+      out_(out),
+      epoch_seen_(snapshot_epoch_.load(std::memory_order_relaxed)) {}
 
 bool ProgressHeartbeat::due() {
   // A snapshot request (SIGUSR1 / request_snapshot()) fires regardless of
-  // TTY state or interval — the user explicitly asked for it.
-  if (snapshot_requested_.exchange(false, std::memory_order_relaxed)) {
+  // TTY state or interval — the user explicitly asked for it. Each
+  // heartbeat tracks the last epoch it served, so one request reaches
+  // every concurrently running solve instead of the first poller eating
+  // it.
+  const std::uint64_t epoch = snapshot_epoch_.load(std::memory_order_relaxed);
+  if (epoch != epoch_seen_) {
+    epoch_seen_ = epoch;
     snapshot_pending_ = true;
     return true;
   }
@@ -458,11 +464,16 @@ void ProgressHeartbeat::beat(std::uint64_t alive, std::uint64_t initial,
 }
 
 void ProgressHeartbeat::request_snapshot() {
-  snapshot_requested_.store(true, std::memory_order_relaxed);
+  snapshot_epoch_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ProgressHeartbeat::install_signal_handler() {
 #if defined(__unix__) || defined(__APPLE__)
+  // Idempotent: a daemon calls this once per solve; only the first call
+  // actually installs (re-installing the same disposition is harmless
+  // but would clobber a user-replaced handler).
+  static std::atomic<bool> installed{false};
+  if (installed.exchange(true, std::memory_order_acq_rel)) return;
   struct sigaction sa = {};
   sa.sa_handler = [](int) { request_snapshot(); };
   sigemptyset(&sa.sa_mask);

@@ -239,11 +239,16 @@ class ProgressHeartbeat {
 
   [[nodiscard]] bool periodic_enabled() const { return enabled_; }
 
-  /// Portable SIGUSR1 fallback: ask the next due() to fire regardless of
-  /// the interval or TTY state. Async-signal-safe (one atomic store).
+  /// Portable SIGUSR1 fallback: ask the next due() of EVERY live
+  /// heartbeat to fire regardless of the interval or TTY state.
+  /// Async-signal-safe (one atomic increment). The request is an epoch
+  /// counter, not a flag: with several concurrent solves in one process
+  /// (a serving daemon), one SIGUSR1 snapshots all of them instead of
+  /// being consumed by whichever heartbeat polls first.
   static void request_snapshot();
   /// Install a SIGUSR1 handler that calls request_snapshot(). No-op on
-  /// platforms without sigaction.
+  /// platforms without sigaction; idempotent — repeated calls (one per
+  /// concurrent solve in a daemon) install the handler exactly once.
   static void install_signal_handler();
 
  private:
@@ -256,7 +261,10 @@ class ProgressHeartbeat {
   double last_beat_ = 0.0;
   std::uint32_t calls_ = 0;
   bool snapshot_pending_ = false;
-  static std::atomic<bool> snapshot_requested_;
+  /// Last snapshot epoch this heartbeat served; initialized to the epoch
+  /// at construction so requests predating the heartbeat don't fire.
+  std::uint64_t epoch_seen_;
+  static std::atomic<std::uint64_t> snapshot_epoch_;
 };
 
 }  // namespace fdiam::obs

@@ -1,0 +1,156 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <unordered_map>
+
+#include "bfs/msbfs.hpp"
+#include "obs/counters.hpp"
+#include "util/histogram.hpp"
+#include "util/timer.hpp"
+
+namespace fdiam::serve {
+
+QueryBatcher::QueryBatcher(Options opt) : opt_(opt) {
+  opt_.max_batch = std::clamp(opt_.max_batch, 1, 64);
+}
+
+QueryBatcher::~QueryBatcher() { stop(); }
+
+void QueryBatcher::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void QueryBatcher::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+void QueryBatcher::submit(PointQuery& q) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!started_ || stopping_) {
+    q.failed = true;
+    q.error = "server is shutting down";
+    q.done = true;
+    return;
+  }
+  pending_.push_back(&q);
+  if (opt_.registry != nullptr) {
+    opt_.registry->gauge("serve.queue.depth")
+        .set(static_cast<double>(pending_.size()));
+  }
+  work_cv_.notify_one();
+  done_cv_.wait(lock, [&q] { return q.done; });
+}
+
+void QueryBatcher::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return !pending_.empty() || stopping_; });
+    if (pending_.empty()) {
+      if (stopping_) return;  // drained; exit
+      continue;
+    }
+    // Group by graph identity: take the oldest query's graph and pull
+    // every pending query for the same ServedGraph (same generation —
+    // queries pinned to a pre-reload generation form their own batch).
+    const ServedGraph* key = pending_.front()->graph.get();
+    const int limit = opt_.batching ? opt_.max_batch : 1;
+    std::vector<PointQuery*> batch;
+    std::vector<vid_t> batch_sources;  // deduped source set of `batch`
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      PointQuery* q = pending_[i];
+      bool take = false;
+      if (q->graph.get() == key) {
+        bool known = std::find(batch_sources.begin(), batch_sources.end(),
+                               q->u) != batch_sources.end();
+        // A repeated source rides along for free (shares a mask bit), so
+        // only NEW sources count against the sweep width.
+        if (known) {
+          take = true;
+        } else if (batch_sources.size() <
+                   static_cast<std::size_t>(limit)) {
+          batch_sources.push_back(q->u);
+          take = true;
+        }
+      }
+      if (take) {
+        batch.push_back(q);
+      } else {
+        pending_[w++] = q;
+      }
+    }
+    pending_.resize(w);
+    if (opt_.registry != nullptr) {
+      opt_.registry->gauge("serve.queue.depth")
+          .set(static_cast<double>(pending_.size()));
+    }
+    lock.unlock();
+    run_batch(batch);
+    lock.lock();
+    for (PointQuery* q : batch) q->done = true;
+    done_cv_.notify_all();
+  }
+}
+
+void QueryBatcher::run_batch(std::vector<PointQuery*>& batch) {
+  const Csr& g = batch.front()->graph->graph();
+  // Dedup sources into sweep slots; map each query to its slot.
+  std::vector<vid_t> sources;
+  std::unordered_map<vid_t, std::uint32_t> slot_of;
+  std::vector<std::uint32_t> slot(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto [it, inserted] = slot_of.try_emplace(
+        batch[i]->u, static_cast<std::uint32_t>(sources.size()));
+    if (inserted) sources.push_back(batch[i]->u);
+    slot[i] = it->second;
+  }
+  std::vector<MsbfsTarget> targets;
+  std::vector<std::size_t> target_query;  // targets[j] answers batch[...]
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i]->kind == PointQuery::Kind::kDistance) {
+      targets.push_back(MsbfsTarget{slot[i], batch[i]->v});
+      target_query.push_back(i);
+    }
+  }
+  Timer timer;
+  try {
+    MsbfsQueryResult result = msbfs_point_queries(
+        g, sources, targets, opt_.parallel_sweep);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i]->kind == PointQuery::Kind::kEccentricity) {
+        batch[i]->value = result.ecc[slot[i]];
+      }
+    }
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+      batch[target_query[j]]->value = result.dist[j];
+    }
+  } catch (const std::exception& e) {
+    for (PointQuery* q : batch) {
+      q->failed = true;
+      q->error = e.what();
+    }
+  }
+  if (opt_.registry != nullptr) {
+    opt_.registry->counter("serve.sweeps").inc();
+    opt_.registry->counter("serve.batched_queries")
+        .inc(static_cast<std::int64_t>(batch.size()));
+    opt_.registry->histogram("serve.batch.occupancy")
+        .record(static_cast<double>(sources.size()));
+    opt_.registry->histogram("serve.sweep.seconds").record(timer.seconds());
+  }
+}
+
+}  // namespace fdiam::serve

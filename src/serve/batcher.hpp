@@ -1,0 +1,105 @@
+#pragma once
+// Query batching for fdiam_serve: the piece that turns N concurrent
+// point queries into one bit-parallel MS-BFS sweep.
+//
+// A naive server answers each eccentricity/distance request with its own
+// BFS — O(n + m) per request. The MS-BFS engine (bfs/msbfs.hpp) runs 64
+// sources through one sweep for roughly the cost of one traversal, so
+// under concurrency the marginal cost of a point query collapses to a
+// 64th of a BFS plus mask bookkeeping. QueryBatcher implements the
+// collection side: connection threads submit() queries and block; a
+// single worker thread drains the pending queue, groups queries that
+// target the same ServedGraph generation (reload safety falls out of
+// grouping by graph identity — mixed generations simply land in
+// different batches), dedupes sources, and answers up to max_batch
+// sources per msbfs_point_queries() call.
+//
+// The batching window is purely demand-driven: the worker sweeps
+// whatever has accumulated while the previous sweep ran, so an idle
+// server answers a lone query at one-BFS latency (no artificial delay)
+// and a loaded server amortizes automatically — the classic group-commit
+// dynamic. `batching = false` degrades to one single-source sweep per
+// query, which is the baseline bench_serve compares against.
+//
+// Metrics (optional registry): batch occupancy histogram, sweep latency
+// histogram, queue-depth gauge, and sweep/query counters feed the
+// OpenMetrics endpoint via the server's registry.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/graph_store.hpp"
+#include "util/types.hpp"
+
+namespace fdiam::obs {
+class MetricRegistry;
+}
+
+namespace fdiam::serve {
+
+/// One pending point query. The submitting thread owns the storage;
+/// the worker fills the result fields before marking it done.
+struct PointQuery {
+  enum class Kind : std::uint8_t { kEccentricity, kDistance };
+  Kind kind = Kind::kEccentricity;
+  std::shared_ptr<const ServedGraph> graph;  ///< pins the generation
+  vid_t u = 0;  ///< source vertex
+  vid_t v = 0;  ///< target vertex (distance only)
+
+  // Filled by the worker:
+  dist_t value = -1;  ///< ecc(u) or d(u,v); -1 = v unreachable from u
+  bool failed = false;
+  std::string error;
+  bool done = false;  ///< guarded by the batcher mutex
+};
+
+class QueryBatcher {
+ public:
+  struct Options {
+    /// Sources per MS-BFS sweep; clamped to [1, 64] (one u64 mask word).
+    int max_batch = 64;
+    /// False = one single-source sweep per query (the naive baseline;
+    /// bench_serve's control arm).
+    bool batching = true;
+    /// OpenMP-parallel sweep levels.
+    bool parallel_sweep = true;
+    /// Optional metrics sink (serve.batch.*, serve.sweep.*). Must
+    /// outlive the batcher.
+    obs::MetricRegistry* registry = nullptr;
+  };
+
+  explicit QueryBatcher(Options opt);
+  ~QueryBatcher();
+
+  QueryBatcher(const QueryBatcher&) = delete;
+  QueryBatcher& operator=(const QueryBatcher&) = delete;
+
+  void start();
+  /// Graceful stop: the worker drains every already-submitted query,
+  /// then exits. submit() after stop() fails the query immediately.
+  void stop();
+
+  /// Enqueue and block until answered. `q.graph` must be set and `q.u`
+  /// (and `q.v` for distance) already range-checked by the caller.
+  void submit(PointQuery& q);
+
+ private:
+  void worker_loop();
+  void run_batch(std::vector<PointQuery*>& batch);
+
+  Options opt_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< worker waits for pending work
+  std::condition_variable done_cv_;   ///< submitters wait for completion
+  std::vector<PointQuery*> pending_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread worker_;
+};
+
+}  // namespace fdiam::serve

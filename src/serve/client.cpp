@@ -1,0 +1,153 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "serve/protocol.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define FDIAM_SERVE_POSIX 1
+#endif
+
+namespace fdiam::serve {
+
+Client::~Client() { close(); }
+
+#if FDIAM_SERVE_POSIX
+
+bool Client::connect(const std::string& socket_path) {
+  close();
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    error_ = "socket path too long: " + socket_path;
+    close();
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    error_ = "connect " + socket_path + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+#else
+
+bool Client::connect(const std::string&) {
+  error_ = "fdiam_client requires POSIX sockets";
+  return false;
+}
+
+void Client::close() {}
+
+#endif
+
+bool Client::call(std::string_view request, std::string& response) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  if (!write_frame(fd_, request)) {
+    error_ = "write failed";
+    close();
+    return false;
+  }
+  std::string read_error;
+  ReadStatus st = read_frame(fd_, response, read_error);
+  if (st != ReadStatus::kOk) {
+    error_ = st == ReadStatus::kEof ? "server closed the connection"
+                                    : read_error;
+    close();
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+std::string build(std::string_view op, std::string_view graph,
+                  std::uint64_t id,
+                  const std::vector<std::pair<std::string_view, vid_t>>&
+                      vertex_args = {}) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object();
+  w.field("op", op);
+  w.field("id", id);
+  if (!graph.empty()) w.field("graph", graph);
+  for (const auto& [key, value] : vertex_args) {
+    w.field(key, static_cast<std::uint64_t>(value));
+  }
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace
+
+std::string Client::simple(std::string_view op, std::string_view graph,
+                           std::uint64_t id) {
+  std::string response;
+  if (!call(build(op, graph, id), response)) return {};
+  return response;
+}
+
+std::string Client::ping(std::uint64_t id) { return simple("ping", {}, id); }
+
+std::string Client::diameter(std::string_view graph, std::uint64_t id) {
+  return simple("diameter", graph, id);
+}
+
+std::string Client::eccentricity(vid_t u, std::string_view graph,
+                                 std::uint64_t id) {
+  std::string response;
+  if (!call(build("eccentricity", graph, id, {{"u", u}}), response)) {
+    return {};
+  }
+  return response;
+}
+
+std::string Client::distance(vid_t u, vid_t v, std::string_view graph,
+                             std::uint64_t id) {
+  std::string response;
+  if (!call(build("distance", graph, id, {{"u", u}, {"v", v}}), response)) {
+    return {};
+  }
+  return response;
+}
+
+std::string Client::diametral_path(std::string_view graph, std::uint64_t id) {
+  return simple("diametral_path", graph, id);
+}
+
+std::string Client::stats(std::uint64_t id) { return simple("stats", {}, id); }
+
+std::string Client::reload(std::string_view graph, std::uint64_t id) {
+  return simple("reload", graph, id);
+}
+
+std::string Client::shutdown(std::uint64_t id) {
+  return simple("shutdown", {}, id);
+}
+
+}  // namespace fdiam::serve

@@ -1,0 +1,59 @@
+#pragma once
+// Minimal synchronous client for the fdiam_serve protocol: connect to a
+// UNIX socket, send one JSON request frame, read one response frame.
+// Shared by the fdiam_client CLI, the bench_serve load generator, and
+// the end-to-end tests so none of them reimplement framing.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace fdiam::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to the daemon socket. False (with error() set) on failure.
+  [[nodiscard]] bool connect(const std::string& socket_path);
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Send one raw JSON payload and read the response payload. False on
+  /// any transport failure (error() explains); the connection is dead
+  /// afterwards and must be re-connected.
+  [[nodiscard]] bool call(std::string_view request, std::string& response);
+
+  /// Convenience builders around call(): each returns the raw response
+  /// JSON (empty on transport failure). `graph` may be empty.
+  [[nodiscard]] std::string ping(std::uint64_t id = 0);
+  [[nodiscard]] std::string diameter(std::string_view graph = {},
+                                     std::uint64_t id = 0);
+  [[nodiscard]] std::string eccentricity(vid_t u, std::string_view graph = {},
+                                         std::uint64_t id = 0);
+  [[nodiscard]] std::string distance(vid_t u, vid_t v,
+                                     std::string_view graph = {},
+                                     std::uint64_t id = 0);
+  [[nodiscard]] std::string diametral_path(std::string_view graph = {},
+                                           std::uint64_t id = 0);
+  [[nodiscard]] std::string stats(std::uint64_t id = 0);
+  [[nodiscard]] std::string reload(std::string_view graph = {},
+                                   std::uint64_t id = 0);
+  [[nodiscard]] std::string shutdown(std::uint64_t id = 0);
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  std::string simple(std::string_view op, std::string_view graph,
+                     std::uint64_t id);
+  int fd_ = -1;
+  std::string error_;
+};
+
+}  // namespace fdiam::serve

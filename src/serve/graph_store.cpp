@@ -1,0 +1,139 @@
+#include "serve/graph_store.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "io/io.hpp"
+#include "obs/log/log.hpp"
+
+namespace fdiam::serve {
+
+ServedGraph::ServedGraph(std::string name, std::filesystem::path path,
+                         Csr graph, std::uint64_t generation,
+                         bool parallel_solve)
+    : name_(std::move(name)),
+      path_(std::move(path)),
+      graph_(std::move(graph)),
+      generation_(generation),
+      parallel_solve_(parallel_solve) {}
+
+const DiameterResult& ServedGraph::diameter() const {
+  std::call_once(diameter_once_, [this] {
+    FDiamOptions opt;
+    opt.parallel = parallel_solve_;
+    diameter_ = fdiam_diameter(graph_, opt);
+    diameter_ready_.store(true, std::memory_order_release);
+  });
+  return diameter_;
+}
+
+const DiametralPath& ServedGraph::diametral() const {
+  std::call_once(path_once_, [this] {
+    const DiameterResult& d = diameter();
+    BfsConfig config;
+    config.parallel = parallel_solve_;
+    dpath_ = diametral_path_from(graph_, d.witness, config);
+  });
+  return dpath_;
+}
+
+bool ServedGraph::diameter_cached() const {
+  return diameter_ready_.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<const ServedGraph> GraphStore::build(
+    const std::string& name, const std::filesystem::path& path,
+    std::uint64_t generation) const {
+  // map_binary throws with a precise message on a missing/corrupt file;
+  // the caller decides whether that aborts startup or fails a reload.
+  Csr g = io::map_binary(path);
+  return std::make_shared<ServedGraph>(name, path, std::move(g), generation,
+                                       parallel_solve_);
+}
+
+std::uint64_t GraphStore::load(const std::string& name,
+                               const std::filesystem::path& path) {
+  if (name.empty()) {
+    throw std::runtime_error("graph name must not be empty");
+  }
+  std::uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    generation = next_generation_++;
+  }
+  std::shared_ptr<const ServedGraph> g = build(name, path, generation);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    graphs_[name] = g;
+  }
+  obs::Logger::instance().log(
+      obs::LogLevel::kInfo, "serve", "graph loaded",
+      {{"graph", name},
+       {"path", path.string()},
+       {"generation", generation},
+       {"n", static_cast<std::uint64_t>(g->graph().num_vertices())},
+       {"m", static_cast<std::uint64_t>(g->graph().num_edges())},
+       {"mapped", g->graph().is_mapped()}});
+  return generation;
+}
+
+std::shared_ptr<const ServedGraph> GraphStore::get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (name.empty()) {
+    if (graphs_.size() == 1) return graphs_.begin()->second;
+    return nullptr;
+  }
+  auto it = graphs_.find(name);
+  return it == graphs_.end() ? nullptr : it->second;
+}
+
+std::uint64_t GraphStore::reload(const std::string& name) {
+  std::filesystem::path path;
+  std::uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = graphs_.find(name);
+    if (it == graphs_.end()) {
+      throw std::runtime_error("reload: unknown graph \"" + name + "\"");
+    }
+    path = it->second->path();
+    generation = next_generation_++;
+  }
+  // Build outside the lock: mapping + header validation can do I/O, and
+  // a failure here must leave the old entry serving.
+  std::shared_ptr<const ServedGraph> fresh = build(name, path, generation);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    graphs_[name] = fresh;
+  }
+  obs::Logger::instance().log(obs::LogLevel::kInfo, "serve", "graph reloaded",
+                              {{"graph", name}, {"generation", generation}});
+  return generation;
+}
+
+std::vector<std::string> GraphStore::reload_all() {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(graphs_.size());
+    for (const auto& [name, g] : graphs_) names.push_back(name);
+  }
+  for (const std::string& name : names) reload(name);
+  return names;
+}
+
+std::vector<std::shared_ptr<const ServedGraph>> GraphStore::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const ServedGraph>> out;
+  out.reserve(graphs_.size());
+  for (const auto& [name, g] : graphs_) out.push_back(g);
+  return out;
+}
+
+std::size_t GraphStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graphs_.size();
+}
+
+}  // namespace fdiam::serve

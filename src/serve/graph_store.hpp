@@ -1,0 +1,112 @@
+#pragma once
+// Named, reloadable graph registry for fdiam_serve.
+//
+// Each served graph is an immutable ServedGraph: the zero-copy mapped
+// Csr (io::map_binary), its source path, a monotonically increasing
+// generation number, and lazily computed diameter / diametral-path
+// caches. The store hands graphs out as shared_ptr<const ServedGraph>,
+// which is the whole reload story: reload() maps and validates the NEW
+// file first, then swaps the map entry under the lock. Queries already
+// in flight keep their shared_ptr, so the old mapping stays valid until
+// the last of them drains, at which point the final release munmaps it.
+// No locks are held during a query, no query is ever torn by a reload,
+// and a failed reload (file vanished, corrupt header) leaves the old
+// generation serving untouched.
+//
+// Diameter and diametral-path results are cached per ServedGraph (so per
+// generation) behind std::once_flag: the first `diameter` query after a
+// (re)load pays one F-Diam solve, concurrent duplicates block on the
+// same once_flag instead of racing duplicate solves, and a reload
+// naturally invalidates by virtue of being a fresh object.
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/diametral_path.hpp"
+#include "core/fdiam.hpp"
+#include "graph/csr.hpp"
+
+namespace fdiam::serve {
+
+class ServedGraph {
+ public:
+  ServedGraph(std::string name, std::filesystem::path path, Csr graph,
+              std::uint64_t generation, bool parallel_solve);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+  [[nodiscard]] const Csr& graph() const { return graph_; }
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  /// Exact diameter, solved on first use and cached for the lifetime of
+  /// this generation. Thread-safe; concurrent callers share one solve.
+  const DiameterResult& diameter() const;
+
+  /// One realizing path, derived from the cached diameter's witness
+  /// (costs one extra BFS on first use).
+  const DiametralPath& diametral() const;
+
+  /// True when the diameter cache is populated (stats reporting).
+  [[nodiscard]] bool diameter_cached() const;
+
+ private:
+  std::string name_;
+  std::filesystem::path path_;
+  Csr graph_;
+  std::uint64_t generation_;
+  bool parallel_solve_;
+  mutable std::once_flag diameter_once_;
+  mutable std::once_flag path_once_;
+  mutable DiameterResult diameter_;
+  mutable DiametralPath dpath_;
+  mutable std::atomic<bool> diameter_ready_{false};
+};
+
+class GraphStore {
+ public:
+  /// Load `path` (a v2 .csrbin; v1 falls back to an eager read) and
+  /// register it under `name`, replacing any previous entry. Throws
+  /// std::runtime_error on I/O or validation failure. Returns the new
+  /// generation number.
+  std::uint64_t load(const std::string& name,
+                     const std::filesystem::path& path);
+
+  /// Fetch a graph by name. An empty name resolves to the store's sole
+  /// graph when exactly one is registered. Returns nullptr when the name
+  /// is unknown (or empty is ambiguous).
+  [[nodiscard]] std::shared_ptr<const ServedGraph> get(
+      const std::string& name) const;
+
+  /// Re-map `name` from its recorded source path. The new mapping is
+  /// built before the swap; on failure the old generation keeps serving
+  /// and the error propagates. Returns the new generation.
+  std::uint64_t reload(const std::string& name);
+
+  /// Reload every registered graph. Returns the names reloaded; throws
+  /// on the first failure (earlier reloads stay swapped).
+  std::vector<std::string> reload_all();
+
+  [[nodiscard]] std::vector<std::shared_ptr<const ServedGraph>> list() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Solver mode for per-generation diameter caches (set once at server
+  /// construction, before any load).
+  void set_parallel_solve(bool parallel) { parallel_solve_ = parallel; }
+
+ private:
+  std::shared_ptr<const ServedGraph> build(const std::string& name,
+                                           const std::filesystem::path& path,
+                                           std::uint64_t generation) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const ServedGraph>> graphs_;
+  std::uint64_t next_generation_ = 1;
+  bool parallel_solve_ = true;
+};
+
+}  // namespace fdiam::serve

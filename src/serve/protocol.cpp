@@ -1,0 +1,205 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define FDIAM_SERVE_POSIX 1
+#endif
+
+namespace fdiam::serve {
+
+std::string_view verb_name(Verb v) {
+  switch (v) {
+    case Verb::kPing: return "ping";
+    case Verb::kDiameter: return "diameter";
+    case Verb::kEccentricity: return "eccentricity";
+    case Verb::kDistance: return "distance";
+    case Verb::kDiametralPath: return "diametral_path";
+    case Verb::kStats: return "stats";
+    case Verb::kReload: return "reload";
+    case Verb::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+namespace {
+
+std::optional<Verb> verb_from_name(std::string_view name) {
+  for (Verb v : {Verb::kPing, Verb::kDiameter, Verb::kEccentricity,
+                 Verb::kDistance, Verb::kDiametralPath, Verb::kStats,
+                 Verb::kReload, Verb::kShutdown}) {
+    if (name == verb_name(v)) return v;
+  }
+  return std::nullopt;
+}
+
+/// Fetch a required vertex-id field: a non-negative integer that fits
+/// vid_t. The protocol treats 3.5 or "3" as malformed, not coercible.
+bool parse_vertex(std::string_view json, std::string_view key, vid_t& out,
+                  std::string& error) {
+  std::optional<double> num = obs::json_number(json, key);
+  if (!num.has_value()) {
+    error = "missing or non-numeric field \"" + std::string(key) + "\"";
+    return false;
+  }
+  double d = *num;
+  if (d < 0 || d > static_cast<double>(UINT32_MAX) ||
+      d != static_cast<double>(static_cast<std::uint64_t>(d))) {
+    error = "field \"" + std::string(key) + "\" is not a valid vertex id";
+    return false;
+  }
+  out = static_cast<vid_t>(d);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Request> parse_request(std::string_view json,
+                                     std::string& error) {
+  if (!obs::json_valid(json)) {
+    error = "request is not valid JSON";
+    return std::nullopt;
+  }
+  Request req;
+  if (std::optional<double> id = obs::json_number(json, "id");
+      id.has_value() && *id >= 0) {
+    req.id = static_cast<std::uint64_t>(*id);
+  }
+  std::optional<std::string> op = obs::json_string(json, "op");
+  if (!op.has_value()) {
+    error = "missing or non-string field \"op\"";
+    return std::nullopt;
+  }
+  std::optional<Verb> verb = verb_from_name(*op);
+  if (!verb.has_value()) {
+    error = "unknown op \"" + *op + "\"";
+    return std::nullopt;
+  }
+  req.verb = *verb;
+  if (std::optional<std::string> g = obs::json_string(json, "graph");
+      g.has_value()) {
+    req.graph = *g;
+  }
+  switch (req.verb) {
+    case Verb::kEccentricity:
+      if (!parse_vertex(json, "u", req.u, error)) return std::nullopt;
+      break;
+    case Verb::kDistance:
+      if (!parse_vertex(json, "u", req.u, error)) return std::nullopt;
+      if (!parse_vertex(json, "v", req.v, error)) return std::nullopt;
+      break;
+    default:
+      break;
+  }
+  return req;
+}
+
+std::string error_response(std::uint64_t id, std::string_view message) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object();
+  w.field("ok", false);
+  w.field("id", id);
+  w.field("error", message);
+  w.end_object();
+  return os.str();
+}
+
+#if FDIAM_SERVE_POSIX
+
+namespace {
+
+bool read_exact(int fd, void* buf, std::size_t len) {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t got = 0;
+  while (got < len) {
+    ssize_t r = ::read(fd, p + got, len - got);
+    if (r == 0) return false;  // EOF mid-read
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+ReadStatus read_frame(int fd, std::string& payload, std::string& error) {
+  unsigned char prefix[4];
+  // The first prefix byte distinguishes clean EOF from truncation.
+  ssize_t first;
+  do {
+    first = ::read(fd, prefix, 1);
+  } while (first < 0 && errno == EINTR);
+  if (first == 0) return ReadStatus::kEof;
+  if (first < 0) {
+    error = std::string("read: ") + std::strerror(errno);
+    return ReadStatus::kError;
+  }
+  if (!read_exact(fd, prefix + 1, 3)) {
+    error = "truncated length prefix";
+    return ReadStatus::kError;
+  }
+  std::uint32_t len = static_cast<std::uint32_t>(prefix[0]) |
+                      (static_cast<std::uint32_t>(prefix[1]) << 8) |
+                      (static_cast<std::uint32_t>(prefix[2]) << 16) |
+                      (static_cast<std::uint32_t>(prefix[3]) << 24);
+  if (len > kMaxFrameBytes) {
+    error = "frame length " + std::to_string(len) + " exceeds limit " +
+            std::to_string(kMaxFrameBytes);
+    return ReadStatus::kError;
+  }
+  payload.resize(len);
+  if (len > 0 && !read_exact(fd, payload.data(), len)) {
+    error = "truncated frame payload";
+    return ReadStatus::kError;
+  }
+  return ReadStatus::kOk;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  auto len = static_cast<std::uint32_t>(payload.size());
+  unsigned char prefix[4] = {
+      static_cast<unsigned char>(len & 0xff),
+      static_cast<unsigned char>((len >> 8) & 0xff),
+      static_cast<unsigned char>((len >> 16) & 0xff),
+      static_cast<unsigned char>((len >> 24) & 0xff),
+  };
+  // Stage prefix + payload into one buffer so short requests go out in a
+  // single write and the common case is one syscall.
+  std::string buf;
+  buf.reserve(4 + payload.size());
+  buf.append(reinterpret_cast<const char*>(prefix), 4);
+  buf.append(payload);
+  std::size_t sent = 0;
+  while (sent < buf.size()) {
+    ssize_t w = ::write(fd, buf.data() + sent, buf.size() - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+#else  // !FDIAM_SERVE_POSIX
+
+ReadStatus read_frame(int, std::string&, std::string& error) {
+  error = "fdiam_serve requires POSIX sockets";
+  return ReadStatus::kError;
+}
+
+bool write_frame(int, std::string_view) { return false; }
+
+#endif
+
+}  // namespace fdiam::serve

@@ -1,0 +1,85 @@
+#pragma once
+// Wire protocol for fdiam_serve (docs/SERVICE.md).
+//
+// Transport: a UNIX stream socket carrying length-prefixed frames — a
+// 4-byte little-endian payload length followed by that many bytes of
+// UTF-8 JSON. Length prefixing (rather than newline delimiting) keeps
+// the framing independent of the JSON formatting and makes oversized or
+// garbage input rejectable before any parsing happens: a prefix above
+// kMaxFrameBytes closes the connection without reading the payload.
+//
+// Requests are flat JSON objects:
+//   {"op":"distance","u":3,"v":17,"graph":"web","id":42}
+// `op` is required; `graph` defaults to the server's sole graph when it
+// serves exactly one; `id` is an optional client-chosen correlation tag
+// echoed back verbatim. Responses always carry "ok" (bool) and the echoed
+// "id"; successful ones add op-specific fields, failures add "error".
+//
+// parse_request is strict: unknown ops, missing or non-numeric vertex
+// arguments, and structurally invalid JSON all fail with a one-line
+// message that the server echoes back to the client — a malformed
+// request never kills the connection, only that request.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace fdiam::serve {
+
+/// Hard ceiling on a frame payload. Requests are tiny; anything bigger
+/// is garbage or an attack, and the reader rejects it from the length
+/// prefix alone.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Protocol tag reported by the `stats` verb so clients can detect
+/// incompatible servers.
+inline constexpr std::string_view kProtocolVersion = "fdiam.serve/v1";
+
+enum class Verb : std::uint8_t {
+  kPing,          ///< liveness check, answers "pong"
+  kDiameter,      ///< exact diameter (cached per graph generation)
+  kEccentricity,  ///< ecc(u) — batched onto an MS-BFS sweep
+  kDistance,      ///< d(u, v) — batched onto an MS-BFS sweep
+  kDiametralPath, ///< one realizing vertex path (cached per generation)
+  kStats,         ///< server + metrics snapshot
+  kReload,        ///< re-map a graph (or all) from its source path
+  kShutdown,      ///< graceful stop: drain in-flight work, then exit
+};
+
+/// JSON `op` tag ("ping", "diameter", ...).
+std::string_view verb_name(Verb v);
+
+/// One parsed request.
+struct Request {
+  Verb verb = Verb::kPing;
+  std::uint64_t id = 0;     ///< client correlation tag, echoed back
+  std::string graph;        ///< empty = server default (sole graph / all)
+  vid_t u = 0;              ///< source vertex (eccentricity, distance)
+  vid_t v = 0;              ///< target vertex (distance)
+};
+
+/// Parse one request payload. On failure returns nullopt and fills
+/// `error` with a one-line diagnostic suitable for the error response.
+std::optional<Request> parse_request(std::string_view json,
+                                     std::string& error);
+
+/// Build the uniform failure response: {"ok":false,"id":...,"error":...}.
+std::string error_response(std::uint64_t id, std::string_view message);
+
+/// Frame I/O over a connected socket fd. Both calls loop over partial
+/// reads/writes and retry EINTR; they are the only code that touches the
+/// wire format, so client, server, bench, and tests cannot disagree on
+/// framing.
+enum class ReadStatus : std::uint8_t {
+  kOk,    ///< one complete frame read into `payload`
+  kEof,   ///< peer closed cleanly before the first prefix byte
+  kError, ///< I/O error, truncated frame, or oversized length prefix
+};
+
+ReadStatus read_frame(int fd, std::string& payload, std::string& error);
+[[nodiscard]] bool write_frame(int fd, std::string_view payload);
+
+}  // namespace fdiam::serve

@@ -1,0 +1,473 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "obs/log/log.hpp"
+#include "obs/metrics/openmetrics.hpp"
+#include "util/histogram.hpp"
+#include "util/timer.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define FDIAM_SERVE_POSIX 1
+#endif
+
+namespace fdiam::serve {
+
+std::atomic<bool> Server::stop_flag_{false};
+std::atomic<bool> Server::reload_flag_{false};
+
+Server::Server(ServerOptions opt)
+    : opt_(std::move(opt)),
+      batcher_(QueryBatcher::Options{opt_.max_batch, opt_.batching,
+                                     opt_.parallel, &registry_}) {
+  store_.set_parallel_solve(opt_.parallel);
+  stop_flag_.store(false, std::memory_order_relaxed);
+  reload_flag_.store(false, std::memory_order_relaxed);
+}
+
+Server::~Server() { stop(); }
+
+void Server::add_graph(const std::string& name,
+                       const std::filesystem::path& path) {
+  store_.load(name, path);
+  registry_.gauge("serve.graphs").set(static_cast<double>(store_.size()));
+}
+
+#if FDIAM_SERVE_POSIX
+
+void Server::start() {
+  if (running_.load()) return;
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string path = opt_.socket_path.string();
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    int e = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind " + path + ": " + std::strerror(e));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    int e = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(path.c_str());
+    throw std::runtime_error(std::string("listen: ") + std::strerror(e));
+  }
+  running_.store(true);
+  stop_requested_.store(false);
+  batcher_.start();
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  obs::Logger::instance().log(obs::LogLevel::kInfo, "serve", "listening",
+                              {{"socket", path},
+                               {"graphs", static_cast<std::uint64_t>(
+                                              store_.size())},
+                               {"batching", opt_.batching},
+                               {"max_batch", opt_.max_batch}});
+}
+
+void Server::acceptor_loop() {
+  const int timeout_ms =
+      std::max(1, static_cast<int>(opt_.poll_seconds * 1000.0));
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    if (stop_flag_.load(std::memory_order_relaxed)) break;
+    if (reload_flag_.exchange(false, std::memory_order_relaxed)) {
+      do_reload();
+    }
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0 || (pfd.revents & POLLIN) == 0) continue;
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    registry_.counter("serve.connections").inc();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    open_fds_.push_back(conn);
+    handlers_.emplace_back([this, conn] { handle_connection(conn); });
+  }
+  // Acceptor exit means a stop is in progress (flag, signal, or error);
+  // make sure the full stop sequence runs even for the signal path.
+  if (!stop_requested_.load(std::memory_order_relaxed)) {
+    std::thread([this] { stop(); }).detach();
+  }
+}
+
+void Server::handle_connection(int fd) {
+  std::string payload;
+  std::string io_error;
+  for (;;) {
+    ReadStatus st = read_frame(fd, payload, io_error);
+    if (st == ReadStatus::kEof) break;
+    if (st == ReadStatus::kError) {
+      // Framing violations (oversized prefix, truncation) get one error
+      // frame if the socket still accepts writes, then the connection
+      // closes — a malformed PAYLOAD, by contrast, only fails the
+      // request (dispatch handles that case).
+      registry_.counter("serve.errors.framing").inc();
+      (void)write_frame(fd, error_response(0, io_error));
+      break;
+    }
+    Timer timer;
+    std::string op = "invalid";
+    std::string response;
+    std::string parse_error;
+    std::optional<Request> req = parse_request(payload, parse_error);
+    if (!req.has_value()) {
+      registry_.counter("serve.errors.request").inc();
+      std::uint64_t id = 0;
+      if (obs::json_valid(payload)) {
+        if (std::optional<double> i = obs::json_number(payload, "id");
+            i.has_value() && *i >= 0) {
+          id = static_cast<std::uint64_t>(*i);
+        }
+      }
+      response = error_response(id, parse_error);
+    } else {
+      op = verb_name(req->verb);
+      response = dispatch(*req);
+    }
+    registry_.counter("serve.requests." + op).inc();
+    registry_.histogram("serve.request.seconds." + op)
+        .record(timer.seconds());
+    if (!write_frame(fd, response)) break;
+  }
+  // Erase + close under conn_mu_ so stop()'s shutdown sweep can never
+  // race a close and hit a recycled descriptor.
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  open_fds_.erase(std::remove(open_fds_.begin(), open_fds_.end(), fd),
+                  open_fds_.end());
+  ::close(fd);
+}
+
+void Server::stop() {
+  bool claimed = false;
+  if (!stop_claimed_.compare_exchange_strong(claimed, true)) {
+    // Another thread owns the stop; wait until it finishes so callers
+    // (notably the destructor) never return mid-teardown.
+    std::unique_lock<std::mutex> lock(join_mu_);
+    join_cv_.wait(lock, [this] { return stopped_; });
+    return;
+  }
+  stop_requested_.store(true);
+  if (acceptor_.joinable() &&
+      acceptor_.get_id() != std::this_thread::get_id()) {
+    acceptor_.join();
+  }
+  // Unblock handler threads parked in read_frame(); their queries (if
+  // any) are already in the batcher and will be drained below.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+  batcher_.stop();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(opt_.socket_path.string().c_str());
+  }
+  running_.store(false);
+  if (!opt_.metrics_out.empty()) {
+    std::ofstream out(opt_.metrics_out);
+    if (out) {
+      obs::write_openmetrics(out, registry_);
+    }
+    if (!out) {
+      obs::Logger::instance().log(obs::LogLevel::kError, "serve",
+                                  "metrics write failed",
+                                  {{"path", opt_.metrics_out.string()}});
+    }
+  }
+  obs::Logger::instance().log(obs::LogLevel::kInfo, "serve", "stopped", {});
+  {
+    std::lock_guard<std::mutex> lock(join_mu_);
+    stopped_ = true;
+  }
+  join_cv_.notify_all();
+}
+
+#else  // !FDIAM_SERVE_POSIX
+
+void Server::start() {
+  throw std::runtime_error("fdiam_serve requires POSIX sockets");
+}
+void Server::acceptor_loop() {}
+void Server::handle_connection(int) {}
+void Server::stop() {
+  std::lock_guard<std::mutex> lock(join_mu_);
+  stopped_ = true;
+  join_cv_.notify_all();
+}
+
+#endif
+
+void Server::join() {
+  std::unique_lock<std::mutex> lock(join_mu_);
+  join_cv_.wait(lock, [this] { return stopped_; });
+}
+
+void Server::do_reload() {
+  Timer timer;
+  try {
+    std::vector<std::string> names = store_.reload_all();
+    registry_.counter("serve.reloads").inc();
+    obs::Logger::instance().log(
+        obs::LogLevel::kInfo, "serve", "reload complete",
+        {{"graphs", static_cast<std::uint64_t>(names.size())},
+         {"seconds", timer.seconds()}});
+  } catch (const std::exception& e) {
+    registry_.counter("serve.errors.reload").inc();
+    obs::Logger::instance().log(obs::LogLevel::kError, "serve",
+                                "reload failed", {{"error", e.what()}});
+  }
+}
+
+namespace {
+
+/// Begin the uniform success envelope; the caller adds result fields and
+/// closes the object.
+void begin_ok(obs::JsonWriter& w, const Request& req) {
+  w.begin_object();
+  w.field("ok", true);
+  w.field("id", req.id);
+  w.field("op", verb_name(req.verb));
+}
+
+}  // namespace
+
+std::string Server::dispatch(const Request& req) {
+  switch (req.verb) {
+    case Verb::kPing: {
+      std::ostringstream os;
+      obs::JsonWriter w(os, 0);
+      begin_ok(w, req);
+      w.field("result", "pong");
+      w.end_object();
+      return os.str();
+    }
+    case Verb::kEccentricity:
+    case Verb::kDistance:
+      return handle_point(req);
+    case Verb::kDiameter:
+      return handle_diameter(req);
+    case Verb::kDiametralPath:
+      return handle_path(req);
+    case Verb::kStats:
+      return handle_stats(req);
+    case Verb::kReload:
+      return handle_reload(req);
+    case Verb::kShutdown: {
+      // Answer first, then trigger the stop from a detached thread so
+      // this handler (which stop() joins) is not joining itself.
+      std::thread([this] { stop(); }).detach();
+      std::ostringstream os;
+      obs::JsonWriter w(os, 0);
+      begin_ok(w, req);
+      w.field("result", "stopping");
+      w.end_object();
+      return os.str();
+    }
+  }
+  return error_response(req.id, "unhandled verb");
+}
+
+std::string Server::handle_point(const Request& req) {
+  std::shared_ptr<const ServedGraph> g = store_.get(req.graph);
+  if (g == nullptr) {
+    registry_.counter("serve.errors.request").inc();
+    return error_response(req.id, req.graph.empty()
+                                      ? "no default graph (specify \"graph\")"
+                                      : "unknown graph \"" + req.graph + "\"");
+  }
+  const vid_t n = g->graph().num_vertices();
+  if (req.u >= n || (req.verb == Verb::kDistance && req.v >= n)) {
+    registry_.counter("serve.errors.request").inc();
+    return error_response(req.id, "vertex id out of range (n=" +
+                                      std::to_string(n) + ")");
+  }
+  PointQuery q;
+  q.kind = req.verb == Verb::kDistance ? PointQuery::Kind::kDistance
+                                       : PointQuery::Kind::kEccentricity;
+  q.graph = g;
+  q.u = req.u;
+  q.v = req.v;
+  batcher_.submit(q);
+  if (q.failed) {
+    registry_.counter("serve.errors.internal").inc();
+    return error_response(req.id, q.error);
+  }
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  begin_ok(w, req);
+  w.field("graph", g->name());
+  w.field("generation", g->generation());
+  w.field("u", static_cast<std::uint64_t>(req.u));
+  if (req.verb == Verb::kDistance) {
+    w.field("v", static_cast<std::uint64_t>(req.v));
+    w.field("reachable", q.value >= 0);
+    w.field("distance", static_cast<std::int64_t>(q.value));
+  } else {
+    w.field("eccentricity", static_cast<std::int64_t>(q.value));
+  }
+  w.end_object();
+  return os.str();
+}
+
+std::string Server::handle_diameter(const Request& req) {
+  std::shared_ptr<const ServedGraph> g = store_.get(req.graph);
+  if (g == nullptr) {
+    registry_.counter("serve.errors.request").inc();
+    return error_response(req.id, req.graph.empty()
+                                      ? "no default graph (specify \"graph\")"
+                                      : "unknown graph \"" + req.graph + "\"");
+  }
+  const bool cached = g->diameter_cached();
+  const DiameterResult& d = g->diameter();
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  begin_ok(w, req);
+  w.field("graph", g->name());
+  w.field("generation", g->generation());
+  w.field("diameter", static_cast<std::int64_t>(d.diameter));
+  w.field("witness", static_cast<std::uint64_t>(d.witness));
+  w.field("connected", d.connected);
+  w.field("cached", cached);
+  w.end_object();
+  return os.str();
+}
+
+std::string Server::handle_path(const Request& req) {
+  std::shared_ptr<const ServedGraph> g = store_.get(req.graph);
+  if (g == nullptr) {
+    registry_.counter("serve.errors.request").inc();
+    return error_response(req.id, req.graph.empty()
+                                      ? "no default graph (specify \"graph\")"
+                                      : "unknown graph \"" + req.graph + "\"");
+  }
+  const DiametralPath& p = g->diametral();
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  begin_ok(w, req);
+  w.field("graph", g->name());
+  w.field("generation", g->generation());
+  w.field("diameter", static_cast<std::int64_t>(p.diameter));
+  w.field("connected", p.connected);
+  w.key("path").begin_array();
+  for (vid_t v : p.path) w.value(static_cast<std::uint64_t>(v));
+  w.end_array();
+  w.end_object();
+  return os.str();
+}
+
+std::string Server::handle_stats(const Request& req) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  begin_ok(w, req);
+  w.field("protocol", kProtocolVersion);
+  w.key("graphs").begin_array();
+  for (const auto& g : store_.list()) {
+    w.begin_object();
+    w.field("name", g->name());
+    w.field("path", g->path().string());
+    w.field("generation", g->generation());
+    w.field("n", static_cast<std::uint64_t>(g->graph().num_vertices()));
+    w.field("m", static_cast<std::uint64_t>(g->graph().num_edges()));
+    w.field("mapped", g->graph().is_mapped());
+    w.field("diameter_cached", g->diameter_cached());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : registry_.snapshot()) {
+    w.field(name, value);
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, snap] : registry_.snapshot_histograms()) {
+    w.key(name).begin_object();
+    w.field("count", snap.count);
+    w.field("p50", snap.quantile(0.5));
+    w.field("p99", snap.quantile(0.99));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+std::string Server::handle_reload(const Request& req) {
+  try {
+    std::ostringstream os;
+    obs::JsonWriter w(os, 0);
+    begin_ok(w, req);
+    if (req.graph.empty()) {
+      std::vector<std::string> names = store_.reload_all();
+      w.key("reloaded").begin_array();
+      for (const std::string& name : names) w.value(name);
+      w.end_array();
+    } else {
+      std::uint64_t generation = store_.reload(req.graph);
+      w.key("reloaded").begin_array().value(req.graph).end_array();
+      w.field("generation", generation);
+    }
+    registry_.counter("serve.reloads").inc();
+    w.end_object();
+    return os.str();
+  } catch (const std::exception& e) {
+    registry_.counter("serve.errors.reload").inc();
+    return error_response(req.id, e.what());
+  }
+}
+
+void install_server_signal_handlers() {
+#if FDIAM_SERVE_POSIX
+  static std::atomic<bool> installed{false};
+  if (installed.exchange(true, std::memory_order_acq_rel)) return;
+  struct sigaction sa{};
+  sa.sa_handler = [](int) { Server::request_stop_async(); };
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  struct sigaction hup{};
+  hup.sa_handler = [](int) { Server::request_reload_async(); };
+  sigemptyset(&hup.sa_mask);
+  sigaction(SIGHUP, &hup, nullptr);
+#endif
+}
+
+}  // namespace fdiam::serve

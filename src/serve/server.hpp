@@ -1,0 +1,130 @@
+#pragma once
+// fdiam_serve core: a UNIX-domain-socket daemon serving diameter and
+// point queries over mapped .csrbin graphs (docs/SERVICE.md).
+//
+// Architecture: one acceptor thread polls the listening socket with a
+// short timeout so it can also observe the async stop/reload flags set
+// by signal handlers (SIGHUP → reload, SIGINT/SIGTERM/`shutdown` verb →
+// graceful stop). Each accepted connection gets its own handler thread
+// running a read-frame → dispatch → write-frame loop; point queries
+// park the handler thread in the QueryBatcher, everything else is
+// answered inline. Shutdown closes the listener, shuts down live
+// connection sockets (unblocking their reads), joins every handler,
+// drains the batcher, and finally writes the OpenMetrics dump when
+// --metrics-out was given — so a scrape of a cleanly stopped daemon
+// always reflects the full run.
+//
+// Reload never interrupts a query: GraphStore swaps the map entry while
+// in-flight queries keep shared_ptr pins on the old generation (see
+// graph_store.hpp). The `reload` verb and SIGHUP are equivalent.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "serve/batcher.hpp"
+#include "serve/graph_store.hpp"
+#include "serve/protocol.hpp"
+
+namespace fdiam::serve {
+
+struct ServerOptions {
+  std::filesystem::path socket_path;
+  /// Sources per MS-BFS sweep (clamped to [1, 64]).
+  int max_batch = 64;
+  /// False = answer each point query with its own single-source sweep
+  /// (baseline mode for bench_serve).
+  bool batching = true;
+  /// OpenMP parallelism inside sweeps and diameter solves.
+  bool parallel = true;
+  /// Written at shutdown when non-empty (OpenMetrics text format).
+  std::filesystem::path metrics_out;
+  /// Acceptor poll interval; also bounds signal-flag latency.
+  double poll_seconds = 0.1;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opt);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Register a graph before start(). Throws on load failure.
+  void add_graph(const std::string& name, const std::filesystem::path& path);
+
+  /// Bind the socket and launch the acceptor + batcher. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void start();
+
+  /// Block until a shutdown request (verb, signal flag, or stop()).
+  void join();
+
+  /// Graceful stop; idempotent, callable from any thread.
+  void stop();
+
+  /// Async-signal-safe request flags (for signal handlers).
+  static void request_stop_async() {
+    stop_flag_.store(true, std::memory_order_relaxed);
+  }
+  static void request_reload_async() {
+    reload_flag_.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::filesystem::path& socket_path() const {
+    return opt_.socket_path;
+  }
+  [[nodiscard]] obs::MetricRegistry& registry() { return registry_; }
+  [[nodiscard]] GraphStore& store() { return store_; }
+
+ private:
+  void acceptor_loop();
+  void handle_connection(int fd);
+  std::string dispatch(const Request& req);
+  std::string handle_point(const Request& req);
+  std::string handle_diameter(const Request& req);
+  std::string handle_path(const Request& req);
+  std::string handle_stats(const Request& req);
+  std::string handle_reload(const Request& req);
+  void do_reload();
+
+  ServerOptions opt_;
+  GraphStore store_;
+  obs::MetricRegistry registry_;
+  QueryBatcher batcher_;
+
+  int listen_fd_ = -1;
+  std::thread acceptor_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> handlers_;
+  std::vector<int> open_fds_;  ///< live connection sockets (for shutdown)
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  /// First stop() caller does the work; later callers (destructor, a
+  /// concurrent shutdown verb) block until it completes.
+  std::atomic<bool> stop_claimed_{false};
+  std::mutex join_mu_;
+  std::condition_variable join_cv_;
+  bool stopped_ = false;  ///< set (under join_mu_) when stop work is done
+
+  /// Process-wide signal flags: sigaction handlers cannot carry a
+  /// `this`, and one daemon process runs one server.
+  static std::atomic<bool> stop_flag_;
+  static std::atomic<bool> reload_flag_;
+};
+
+/// Install SIGINT/SIGTERM → request_stop_async and SIGHUP →
+/// request_reload_async. Idempotent; used by the fdiam_serve binary
+/// (tests drive stop()/reload via verbs instead).
+void install_server_signal_handlers();
+
+}  // namespace fdiam::serve

@@ -195,7 +195,8 @@ struct UtilStats {
 
 /// Caller-owned utilization accumulator. Install one for the duration of
 /// a solver run (FDiam::run() does this when FDiamOptions::utilization is
-/// set); instrumented regions find it through the global active() pointer.
+/// set); instrumented regions find it through the thread-local active()
+/// pointer, so concurrent solves on different threads never alias.
 /// Thread-safety: record_thread() writes a distinct scratch cell per
 /// OpenMP thread id; open_region()/commit_region() run only on the serial
 /// control path, before the fork and after the implicit barrier.
@@ -292,14 +293,21 @@ class UtilCollector {
     return out;
   }
 
-  [[nodiscard]] static UtilCollector* active() {
-    return active_.load(std::memory_order_acquire);
-  }
+  [[nodiscard]] static UtilCollector* active() { return active_; }
 
-  /// Install a collector globally; returns the previous one so nested
-  /// runs can save/restore.
+  /// Install a collector for the CALLING THREAD; returns the previous
+  /// one so nested runs can save/restore. The slot is thread-local, not
+  /// process-global: a daemon running two solver threads concurrently
+  /// gets two independent collectors instead of one aliased accumulator
+  /// (the old process-global install let solve B's regions land in solve
+  /// A's stage buckets, and the restore order raced). RegionScope is
+  /// always constructed on the solve's control thread, so worker threads
+  /// inside the region still reach the right collector through the
+  /// pointer the scope captured at construction.
   static UtilCollector* install(UtilCollector* c) {
-    return active_.exchange(c, std::memory_order_acq_rel);
+    UtilCollector* prev = active_;
+    active_ = c;
+    return prev;
   }
 
  private:
@@ -314,7 +322,9 @@ class UtilCollector {
   std::array<std::uint64_t, kMaxThreads> scratch_items_{};
   std::array<unsigned char, kMaxThreads> scratch_used_{};
 
-  inline static std::atomic<UtilCollector*> active_{nullptr};
+  // Thread-local: each solver thread owns its own active collector (see
+  // install()), which is what makes concurrent in-process solves safe.
+  inline static thread_local UtilCollector* active_ = nullptr;
 };
 
 /// RAII wrapper around one OpenMP parallel region. Construct on the

@@ -1,0 +1,373 @@
+// Tests for the serving layer (src/serve/): MS-BFS point queries, the
+// wire protocol, the reloadable graph store, the query batcher, and one
+// in-process end-to-end server round trip.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "bfs/bfs.hpp"
+#include "bfs/msbfs.hpp"
+#include "gen/generators.hpp"
+#include "io/io.hpp"
+#include "serve/batcher.hpp"
+#include "serve/client.hpp"
+#include "serve/graph_store.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "obs/json.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <unistd.h>
+#define FDIAM_SERVE_TEST_POSIX 1
+#endif
+
+namespace fdiam {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- msbfs
+
+TEST(ServeMsbfsQueries, EccAndDistanceMatchScalarBfs) {
+  const Csr g = make_erdos_renyi(300, 900, 7);
+  std::vector<vid_t> sources = {0, 5, 17, 120, 299};
+  std::vector<MsbfsTarget> targets;
+  for (std::uint32_t s = 0; s < sources.size(); ++s) {
+    targets.push_back({s, static_cast<vid_t>((s * 37 + 11) % 300)});
+    targets.push_back({s, sources[s]});  // self-distance = 0
+  }
+  const MsbfsQueryResult r = msbfs_point_queries(g, sources, targets);
+  ASSERT_EQ(r.ecc.size(), sources.size());
+  ASSERT_EQ(r.dist.size(), targets.size());
+  std::vector<dist_t> dist;
+  for (std::uint32_t s = 0; s < sources.size(); ++s) {
+    EXPECT_EQ(r.ecc[s], bfs_distances_serial(g, sources[s], dist));
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+      if (targets[j].source != s) continue;
+      EXPECT_EQ(r.dist[j], dist[targets[j].target])
+          << "d(" << sources[s] << "," << targets[j].target << ")";
+    }
+  }
+}
+
+TEST(ServeMsbfsQueries, UnreachableTargetIsMinusOne) {
+  const Csr g = disjoint_union(make_path(10), make_path(10));
+  std::vector<vid_t> sources = {0};
+  std::vector<MsbfsTarget> targets = {{0, 15}, {0, 9}};
+  const MsbfsQueryResult r = msbfs_point_queries(g, sources, targets);
+  EXPECT_EQ(r.dist[0], -1);  // other component
+  EXPECT_EQ(r.dist[1], 9);
+}
+
+TEST(ServeMsbfsQueries, MoreThan64SourcesSplitAcrossSweeps) {
+  const Csr g = make_barabasi_albert(500, 2.0, 9);
+  std::vector<vid_t> sources(100);
+  std::vector<MsbfsTarget> targets;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    sources[i] = static_cast<vid_t>(i * 3);
+    targets.push_back({i, static_cast<vid_t>(499 - i)});
+  }
+  const MsbfsQueryResult r = msbfs_point_queries(g, sources, targets);
+  std::vector<dist_t> dist;
+  for (std::uint32_t i = 0; i < 100; i += 17) {
+    EXPECT_EQ(r.ecc[i], bfs_distances_serial(g, sources[i], dist));
+    EXPECT_EQ(r.dist[i], dist[499 - i]);
+  }
+}
+
+TEST(ServeMsbfsQueries, BadSourceSlotThrows) {
+  const Csr g = make_path(5);
+  std::vector<vid_t> sources = {0};
+  std::vector<MsbfsTarget> targets = {{3, 1}};  // slot 3 with 1 source
+  EXPECT_THROW(msbfs_point_queries(g, sources, targets), std::out_of_range);
+}
+
+// ------------------------------------------------------------- protocol
+
+TEST(ServeProtocol, ParsesEveryVerb) {
+  std::string error;
+  auto req = serve::parse_request(
+      R"({"op":"distance","u":3,"v":17,"graph":"web","id":42})", error);
+  ASSERT_TRUE(req.has_value()) << error;
+  EXPECT_EQ(req->verb, serve::Verb::kDistance);
+  EXPECT_EQ(req->u, 3u);
+  EXPECT_EQ(req->v, 17u);
+  EXPECT_EQ(req->graph, "web");
+  EXPECT_EQ(req->id, 42u);
+
+  req = serve::parse_request(R"({"op":"eccentricity","u":9})", error);
+  ASSERT_TRUE(req.has_value()) << error;
+  EXPECT_EQ(req->verb, serve::Verb::kEccentricity);
+  EXPECT_TRUE(req->graph.empty());
+
+  for (const char* op : {"ping", "diameter", "diametral_path", "stats",
+                         "reload", "shutdown"}) {
+    req = serve::parse_request("{\"op\":\"" + std::string(op) + "\"}", error);
+    ASSERT_TRUE(req.has_value()) << op << ": " << error;
+    EXPECT_EQ(serve::verb_name(req->verb), op);
+  }
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+  std::string error;
+  EXPECT_FALSE(serve::parse_request("{not json", error).has_value());
+  EXPECT_FALSE(serve::parse_request("{}", error).has_value());
+  EXPECT_FALSE(serve::parse_request(R"({"op":"frobnicate"})", error));
+  EXPECT_FALSE(serve::parse_request(R"({"op":"distance","u":1})", error));
+  EXPECT_FALSE(
+      serve::parse_request(R"({"op":"eccentricity","u":-4})", error));
+  EXPECT_FALSE(
+      serve::parse_request(R"({"op":"eccentricity","u":1.5})", error));
+  EXPECT_FALSE(
+      serve::parse_request(R"({"op":"eccentricity","u":"3"})", error));
+  // The error is a usable one-liner, not empty.
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ServeProtocol, ErrorResponseIsValidJson) {
+  const std::string r = serve::error_response(7, "bad \"thing\"\n");
+  EXPECT_TRUE(obs::json_valid(r)) << r;
+  EXPECT_EQ(obs::json_string(r, "error").value(), "bad \"thing\"\n");
+  EXPECT_EQ(obs::json_number(r, "id").value(), 7.0);
+}
+
+#if FDIAM_SERVE_TEST_POSIX
+TEST(ServeProtocol, FrameRoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload = R"({"op":"ping","id":1})";
+  ASSERT_TRUE(serve::write_frame(fds[0], payload));
+  std::string got, error;
+  ASSERT_EQ(serve::read_frame(fds[1], got, error), serve::ReadStatus::kOk);
+  EXPECT_EQ(got, payload);
+
+  // Empty payload frames round-trip too.
+  ASSERT_TRUE(serve::write_frame(fds[0], ""));
+  ASSERT_EQ(serve::read_frame(fds[1], got, error), serve::ReadStatus::kOk);
+  EXPECT_TRUE(got.empty());
+
+  // Clean EOF is distinguished from errors.
+  ::close(fds[0]);
+  EXPECT_EQ(serve::read_frame(fds[1], got, error), serve::ReadStatus::kEof);
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocol, OversizedFrameIsRejectedFromThePrefix) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const unsigned char huge[4] = {0xff, 0xff, 0xff, 0x7f};  // ~2 GiB
+  ASSERT_EQ(::write(fds[0], huge, 4), 4);
+  std::string got, error;
+  EXPECT_EQ(serve::read_frame(fds[1], got, error), serve::ReadStatus::kError);
+  EXPECT_NE(error.find("exceeds"), std::string::npos) << error;
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+#endif  // FDIAM_SERVE_TEST_POSIX
+
+// ----------------------------------------------------------- graph store
+
+class ServeStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fdiam_serve_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  fs::path write_graph(const std::string& name, const Csr& g) {
+    fs::path p = dir_ / name;
+    io::write_binary(g, p);
+    return p;
+  }
+  fs::path dir_;
+};
+
+TEST_F(ServeStoreTest, LoadGetAndDefaultResolution) {
+  serve::GraphStore store;
+  const fs::path p = write_graph("a.csrbin", make_grid(8, 8));
+  EXPECT_EQ(store.load("a", p), 1u);
+  ASSERT_NE(store.get("a"), nullptr);
+  EXPECT_EQ(store.get("a")->graph().num_vertices(), 64u);
+  // Empty name resolves to the sole graph...
+  EXPECT_EQ(store.get(""), store.get("a"));
+  EXPECT_EQ(store.get("nope"), nullptr);
+  // ...but becomes ambiguous once a second graph arrives.
+  store.load("b", write_graph("b.csrbin", make_path(5)));
+  EXPECT_EQ(store.get(""), nullptr);
+}
+
+TEST_F(ServeStoreTest, ReloadSwapsGenerationOldPinStaysValid) {
+  serve::GraphStore store;
+  const fs::path p = write_graph("g.csrbin", make_path(10));
+  store.load("g", p);
+  std::shared_ptr<const serve::ServedGraph> pin = store.get("g");
+  ASSERT_NE(pin, nullptr);
+  EXPECT_EQ(pin->generation(), 1u);
+
+  // Replace the file on disk with a different graph, then reload.
+  io::write_binary(make_cycle(12), p);
+  EXPECT_EQ(store.reload("g"), 2u);
+
+  // The pinned (pre-reload) generation still reads the old topology —
+  // this is the in-flight-query drain guarantee.
+  EXPECT_EQ(pin->graph().num_vertices(), 10u);
+  EXPECT_EQ(store.get("g")->graph().num_vertices(), 12u);
+  EXPECT_EQ(store.get("g")->generation(), 2u);
+}
+
+TEST_F(ServeStoreTest, FailedReloadKeepsServingOldGeneration) {
+  serve::GraphStore store;
+  const fs::path p = write_graph("g.csrbin", make_path(10));
+  store.load("g", p);
+  fs::remove(p);
+  EXPECT_THROW(store.reload("g"), std::exception);
+  ASSERT_NE(store.get("g"), nullptr);
+  EXPECT_EQ(store.get("g")->generation(), 1u);
+  EXPECT_EQ(store.get("g")->graph().num_vertices(), 10u);
+  EXPECT_THROW(store.reload("unknown"), std::runtime_error);
+}
+
+TEST_F(ServeStoreTest, DiameterCachedPerGeneration) {
+  serve::GraphStore store;
+  const fs::path p = write_graph("g.csrbin", make_path(10));
+  store.load("g", p);
+  std::shared_ptr<const serve::ServedGraph> g = store.get("g");
+  EXPECT_FALSE(g->diameter_cached());
+  EXPECT_EQ(g->diameter().diameter, 9);
+  EXPECT_TRUE(g->diameter_cached());
+  EXPECT_EQ(g->diametral().path.size(), 10u);
+
+  io::write_binary(make_cycle(12), p);
+  store.reload("g");
+  EXPECT_FALSE(store.get("g")->diameter_cached());
+  EXPECT_EQ(store.get("g")->diameter().diameter, 6);
+}
+
+// -------------------------------------------------------------- batcher
+
+TEST_F(ServeStoreTest, BatcherAnswersConcurrentQueriesCorrectly) {
+  serve::GraphStore store;
+  const Csr reference = make_erdos_renyi(400, 1200, 11);
+  store.load("g", write_graph("g.csrbin", reference));
+  std::shared_ptr<const serve::ServedGraph> g = store.get("g");
+
+  obs::MetricRegistry registry;
+  serve::QueryBatcher::Options opt;
+  opt.registry = &registry;
+  serve::QueryBatcher batcher(opt);
+  batcher.start();
+
+  constexpr int kThreads = 16;
+  constexpr int kPerThread = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> wrong{0};
+  // Precompute expectations serially; worker threads only compare.
+  std::vector<dist_t> expected_ecc(kThreads);
+  std::vector<std::vector<dist_t>> dist_fields(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    expected_ecc[t] = bfs_distances_serial(
+        reference, static_cast<vid_t>(t * 7), dist_fields[t]);
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        serve::PointQuery q;
+        q.graph = g;
+        q.u = static_cast<vid_t>(t * 7);
+        if (i % 2 == 0) {
+          q.kind = serve::PointQuery::Kind::kEccentricity;
+          batcher.submit(q);
+          if (q.failed || q.value != expected_ecc[t]) wrong.fetch_add(1);
+        } else {
+          q.kind = serve::PointQuery::Kind::kDistance;
+          q.v = static_cast<vid_t>((t * 31 + i) % 400);
+          batcher.submit(q);
+          if (q.failed || q.value != dist_fields[t][q.v]) wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  batcher.stop();
+  EXPECT_EQ(wrong.load(), 0);
+  // Every query went through a sweep, and occupancy was recorded.
+  EXPECT_GE(registry.counter("serve.batched_queries").get(),
+            kThreads * kPerThread);
+  EXPECT_GE(registry.histogram("serve.batch.occupancy").count(), 1u);
+}
+
+TEST_F(ServeStoreTest, BatcherSubmitAfterStopFailsCleanly) {
+  serve::QueryBatcher batcher(serve::QueryBatcher::Options{});
+  batcher.start();
+  batcher.stop();
+  serve::PointQuery q;
+  batcher.submit(q);
+  EXPECT_TRUE(q.failed);
+  EXPECT_TRUE(q.done);
+}
+
+// ---------------------------------------------------------- end to end
+
+#if FDIAM_SERVE_TEST_POSIX
+TEST_F(ServeStoreTest, ServerEndToEndRoundTrip) {
+  const Csr reference = make_grid(12, 12);  // diameter 22
+  const fs::path graph_path = write_graph("g.csrbin", reference);
+  serve::ServerOptions opt;
+  opt.socket_path = dir_ / "srv.sock";
+  opt.metrics_out = dir_ / "srv.om.txt";
+  serve::Server server(opt);
+  server.add_graph("grid", graph_path);
+  server.start();
+
+  serve::Client client;
+  ASSERT_TRUE(client.connect(opt.socket_path.string())) << client.error();
+  std::string r = client.ping();
+  EXPECT_EQ(obs::json_string(r, "result").value_or(""), "pong") << r;
+
+  r = client.diameter("grid");
+  EXPECT_EQ(obs::json_number(r, "diameter").value_or(-1), 22.0) << r;
+
+  r = client.eccentricity(0, "grid");
+  EXPECT_EQ(obs::json_number(r, "eccentricity").value_or(-1), 22.0) << r;
+
+  r = client.distance(0, 143, "grid");
+  EXPECT_EQ(obs::json_number(r, "distance").value_or(-1), 22.0) << r;
+
+  r = client.diametral_path("grid");
+  EXPECT_TRUE(obs::json_lookup(r, "path").has_value()) << r;
+
+  // Unknown graph and out-of-range vertex fail the request only.
+  r = client.diameter("nope");
+  EXPECT_EQ(obs::json_lookup(r, "ok").value_or(""), "false") << r;
+  r = client.eccentricity(100000, "grid");
+  EXPECT_EQ(obs::json_lookup(r, "ok").value_or(""), "false") << r;
+
+  // Malformed payload gets an error response on a live connection.
+  std::string response;
+  ASSERT_TRUE(client.call("{broken", response));
+  EXPECT_EQ(obs::json_lookup(response, "ok").value_or(""), "false");
+
+  r = client.reload("grid");
+  EXPECT_EQ(obs::json_lookup(r, "ok").value_or(""), "true") << r;
+  r = client.distance(0, 1, "grid");
+  EXPECT_EQ(obs::json_number(r, "distance").value_or(-1), 1.0) << r;
+  EXPECT_EQ(obs::json_number(r, "generation").value_or(-1), 2.0) << r;
+
+  client.close();
+  server.stop();
+  EXPECT_TRUE(fs::exists(opt.metrics_out));
+}
+#endif  // FDIAM_SERVE_TEST_POSIX
+
+}  // namespace
+}  // namespace fdiam

@@ -12,6 +12,7 @@
 #include <fstream>
 #include <random>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -207,6 +208,54 @@ TEST_F(StreamBuilderTest, SnapStreamingValidatesLikeReadSnap) {
                std::runtime_error);
   EXPECT_THROW(stream_build_snap(file("absent.txt"), file("b3.csrbin"), {}),
                std::runtime_error);
+}
+
+TEST_F(StreamBuilderTest, FailedFinishLeavesNoArtifacts) {
+  // A failure AFTER the output file has been created (the "offsets"
+  // checkpoint fires once the header + offsets section hit disk) must
+  // remove the partial .csrbin along with the spill runs — a daemon
+  // pointing map_binary at the output path must never see a torn file.
+  for (const char* phase : {"degrees", "offsets", "neighbors"}) {
+    StreamBuildOptions opt;
+    opt.mem_budget_bytes = 0;  // force spills so both run sets exist
+    opt.checkpoint = [phase](const char* at) {
+      if (std::string_view(at) == phase) {
+        throw std::runtime_error("injected failure");
+      }
+    };
+    StreamCsrBuilder b(file("out.csrbin"), opt);
+    for (vid_t i = 0; i < 50000; ++i) b.add_edge(i, i + 1);
+    EXPECT_THROW(b.finish(), std::runtime_error) << phase;
+    std::size_t files = 0;
+    for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir_)) {
+      ++files;
+    }
+    EXPECT_EQ(files, 0u) << "phase " << phase
+                         << " left artifacts behind";
+  }
+}
+
+TEST_F(StreamBuilderTest, FailedFinishThenRetrySucceeds) {
+  // The output path is clean after a failure, so a retry at the same
+  // path produces the byte-exact graph.
+  const Csr g = make_rmat(9, 8.0, 0.45, 0.15, 0.15, 23);
+  io::write_binary(g, file("ref.csrbin"));
+  StreamBuildOptions failing;
+  failing.checkpoint = [](const char* at) {
+    if (std::string_view(at) == "offsets") {
+      throw std::runtime_error("injected failure");
+    }
+  };
+  {
+    StreamCsrBuilder b(file("out.csrbin"), failing);
+    for (const auto& [u, v] : edges_of(g)) b.add_edge(u, v);
+    EXPECT_THROW(b.finish(), std::runtime_error);
+  }
+  EXPECT_FALSE(fs::exists(file("out.csrbin")));
+  StreamCsrBuilder retry(file("out.csrbin"));
+  for (const auto& [u, v] : edges_of(g)) retry.add_edge(u, v);
+  retry.finish();
+  EXPECT_EQ(slurp(file("out.csrbin")), slurp(file("ref.csrbin")));
 }
 
 }  // namespace
